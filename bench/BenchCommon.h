@@ -1,0 +1,112 @@
+//===- bench/BenchCommon.h - Shared bench-harness plumbing --------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Task construction at bench scale and the sweep helpers the per-figure
+/// binaries share. Every binary prints the rows of its paper table/figure
+/// and mirrors them to <benchname>.csv in the working directory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_BENCH_BENCHCOMMON_H
+#define PROM_BENCH_BENCHCOMMON_H
+
+#include "eval/Runner.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+#include "tasks/DnnCodeGeneration.h"
+#include "tasks/HeterogeneousMapping.h"
+#include "tasks/LoopVectorization.h"
+#include "tasks/ThreadCoarsening.h"
+#include "tasks/VulnerabilityDetection.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+namespace prom {
+namespace bench {
+
+/// Fixed seed so every bench replays identically.
+constexpr uint64_t BenchSeed = 20250301; // CGO'25 presentation date.
+
+/// Builds a case study at the scale used throughout the bench harness
+/// (scaled relative to the paper corpora so a full sweep stays laptop-
+/// sized; DESIGN.md documents the scaling).
+inline std::unique_ptr<tasks::CaseStudy> makeTask(eval::TaskId Task) {
+  switch (Task) {
+  case eval::TaskId::ThreadCoarsening:
+    return std::make_unique<tasks::ThreadCoarsening>(12);
+  case eval::TaskId::LoopVectorization:
+    return std::make_unique<tasks::LoopVectorization>(100);
+  case eval::TaskId::HeterogeneousMapping:
+    return std::make_unique<tasks::HeterogeneousMapping>(97);
+  case eval::TaskId::VulnerabilityDetection:
+    return std::make_unique<tasks::VulnerabilityDetection>(220);
+  case eval::TaskId::DnnCodeGeneration:
+    return std::make_unique<tasks::DnnCodeGeneration>(500);
+  }
+  return nullptr;
+}
+
+/// The classification case studies of Figures 7-11.
+inline std::vector<eval::TaskId> classificationTasks() {
+  return {eval::TaskId::ThreadCoarsening, eval::TaskId::LoopVectorization,
+          eval::TaskId::HeterogeneousMapping,
+          eval::TaskId::VulnerabilityDetection};
+}
+
+/// Representative (fast) underlying model per task, used by the benches
+/// that sweep detectors rather than models.
+inline std::string representativeModel(eval::TaskId Task) {
+  switch (Task) {
+  case eval::TaskId::ThreadCoarsening:
+    return "IR2Vec";
+  case eval::TaskId::LoopVectorization:
+    return "K.Stock";
+  case eval::TaskId::HeterogeneousMapping:
+    return "IR2Vec";
+  case eval::TaskId::VulnerabilityDetection:
+    return "CodeXGLUE";
+  case eval::TaskId::DnnCodeGeneration:
+    return "TLP";
+  }
+  return "";
+}
+
+/// Short "C1".."C5" tag.
+inline std::string taskTag(eval::TaskId Task) {
+  return "C" + std::to_string(static_cast<int>(Task));
+}
+
+/// Caps the number of drift splits swept per task (the leave-suite-out
+/// tasks have one split per suite; the first \p MaxSplits cover every
+/// characteristic regime at bench scale).
+inline std::vector<tasks::TaskSplit>
+driftSplitsFor(tasks::CaseStudy &Task, const data::Dataset &Data,
+               support::Rng &R, size_t MaxSplits = 3) {
+  std::vector<tasks::TaskSplit> Splits = Task.driftSplits(Data, R);
+  if (Splits.size() > MaxSplits)
+    Splits.resize(MaxSplits);
+  return Splits;
+}
+
+/// "min/q25/med/q75/max" violin summary string.
+inline std::string violin(const std::vector<double> &Values) {
+  if (Values.empty())
+    return "-";
+  support::Summary S = support::summarize(Values);
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%.2f/%.2f/%.2f/%.2f/%.2f", S.Min, S.Q25,
+                S.Median, S.Q75, S.Max);
+  return Buf;
+}
+
+} // namespace bench
+} // namespace prom
+
+#endif // PROM_BENCH_BENCHCOMMON_H

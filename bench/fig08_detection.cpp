@@ -1,0 +1,105 @@
+//===- bench/fig08_detection.cpp - Figure 8 -----------------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 8: PROM's drifting-sample detection quality (accuracy, precision,
+// recall, F1) per case study and underlying model, on the drift-staged
+// deployment splits. "Positive" = the underlying model mispredicts (>= 20%
+// below oracle for the optimization tasks, misclassification for C4/C5).
+// The paper reports average recall 0.96 with FPR < 0.14.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "ml/Model.h"
+
+#include <cstdio>
+
+using namespace prom;
+using namespace prom::bench;
+
+int main() {
+  support::Table T({"case", "model", "accuracy", "precision", "recall",
+                    "F1", "FPR"});
+  double F1Sum = 0.0, RecallSum = 0.0, PrecSum = 0.0, AccSum = 0.0;
+  size_t Rows = 0;
+
+  for (eval::TaskId Id : classificationTasks()) {
+    auto Task = makeTask(Id);
+    support::Rng R(BenchSeed + static_cast<uint64_t>(Id));
+    data::Dataset Data = Task->generate(R);
+    auto Design = Task->designSplits(Data, R);
+    auto Drift = driftSplitsFor(*Task, Data, R, /*MaxSplits=*/2);
+
+    for (const std::string &ModelName : eval::classifierNamesFor(Id)) {
+      std::printf("[fig08] %s / %s...\n", taskTag(Id).c_str(),
+                  ModelName.c_str());
+      IncrementalConfig NoIl;
+      NoIl.RelabelBudget = 0.0;
+      DetectionCounts Counts;
+      for (size_t SplitIdx = 0; SplitIdx < Drift.size(); ++SplitIdx) {
+        eval::DeploymentRow Row = eval::runDeployment(
+            Id, ModelName, Design[0], Drift[SplitIdx], PromConfig(), NoIl,
+            BenchSeed + SplitIdx);
+        Counts.merge(Row.Prom.Detection);
+      }
+      T.addRow({taskTag(Id), ModelName,
+                support::Table::num(Counts.accuracy()),
+                support::Table::num(Counts.precision()),
+                support::Table::num(Counts.recall()),
+                support::Table::num(Counts.f1()),
+                support::Table::num(Counts.falsePositiveRate())});
+      AccSum += Counts.accuracy();
+      PrecSum += Counts.precision();
+      RecallSum += Counts.recall();
+      F1Sum += Counts.f1();
+      ++Rows;
+    }
+  }
+
+  // C5 (regression) detection.
+  {
+    std::printf("[fig08] C5 / TLP...\n");
+    auto Task = makeTask(eval::TaskId::DnnCodeGeneration);
+    support::Rng R(BenchSeed + 5);
+    data::Dataset Data = Task->generate(R);
+    auto Drift = Task->driftSplits(Data, R);
+    for (tasks::TaskSplit &Split : Drift) {
+      eval::PreparedSplit Prep = eval::prepare(Split, R);
+      auto Model = eval::makeTlpRegressor();
+      Model->fit(Prep.Train, R);
+      IncrementalConfig NoIl;
+      NoIl.RelabelBudget = 0.0;
+      // The regression experts measure complementary signals (residual vs
+      // feature novelty): any-expert voting is the appropriate committee.
+      PromConfig RegCfg;
+      RegCfg.MinVotesToFlag = 1;
+      RegressionIncrementalOutcome Out = runIncrementalLearningRegression(
+          *Model, Prep.Train, Prep.Calib, Prep.Test, RegCfg, NoIl, R);
+      T.addRow({"C5", "TLP (" + Split.Name + ")",
+                support::Table::num(Out.Detection.accuracy()),
+                support::Table::num(Out.Detection.precision()),
+                support::Table::num(Out.Detection.recall()),
+                support::Table::num(Out.Detection.f1()),
+                support::Table::num(Out.Detection.falsePositiveRate())});
+      AccSum += Out.Detection.accuracy();
+      PrecSum += Out.Detection.precision();
+      RecallSum += Out.Detection.recall();
+      F1Sum += Out.Detection.f1();
+      ++Rows;
+    }
+  }
+
+  double N = static_cast<double>(Rows);
+  T.addRow({"avg", "-", support::Table::num(AccSum / N),
+            support::Table::num(PrecSum / N),
+            support::Table::num(RecallSum / N),
+            support::Table::num(F1Sum / N), "-"});
+  T.print("Figure 8: PROM drifting-sample detection per case study/model");
+  T.writeCsv("fig08_detection.csv");
+  std::printf("\nPaper shape: recall ~0.9-1.0 everywhere, precision ~0.7-1, "
+              "binary C3 the weakest (less informative CP probabilities).\n");
+  return 0;
+}

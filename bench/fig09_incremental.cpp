@@ -1,0 +1,66 @@
+//===- bench/fig09_incremental.cpp - Figure 9 ---------------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 9: incremental learning on PROM-identified samples. For each case
+// study and model, the deployed model is updated with <= 5% of the test
+// set relabeled (lowest-credibility flagged samples first) and the
+// deployment quality is re-measured. The paper's violins shift up towards
+// the design-time level; C1 recovers from one relabeled sample.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include <cstdio>
+
+using namespace prom;
+using namespace prom::bench;
+
+int main() {
+  support::Table T({"case", "model", "native acc", "PROM acc",
+                    "native perf (violin)", "PROM perf (violin)",
+                    "relabeled"});
+
+  for (eval::TaskId Id : classificationTasks()) {
+    auto Task = makeTask(Id);
+    support::Rng R(BenchSeed + static_cast<uint64_t>(Id));
+    data::Dataset Data = Task->generate(R);
+    auto Design = Task->designSplits(Data, R);
+    auto Drift = driftSplitsFor(*Task, Data, R, /*MaxSplits=*/2);
+
+    for (const std::string &ModelName : eval::classifierNamesFor(Id)) {
+      std::printf("[fig09] %s / %s...\n", taskTag(Id).c_str(),
+                  ModelName.c_str());
+      IncrementalConfig IlCfg; // Default: 5% relabel budget.
+      std::vector<double> NativePerf, PromPerf;
+      double NativeAcc = 0.0, PromAcc = 0.0;
+      size_t Relabeled = 0;
+      for (size_t SplitIdx = 0; SplitIdx < Drift.size(); ++SplitIdx) {
+        eval::DeploymentRow Row = eval::runDeployment(
+            Id, ModelName, Design[0], Drift[SplitIdx], PromConfig(), IlCfg,
+            BenchSeed + SplitIdx);
+        NativeAcc += Row.Prom.NativeAccuracy;
+        PromAcc += Row.Prom.UpdatedAccuracy;
+        Relabeled += Row.Prom.NumRelabeled;
+        NativePerf.insert(NativePerf.end(), Row.Prom.NativePerf.begin(),
+                          Row.Prom.NativePerf.end());
+        PromPerf.insert(PromPerf.end(), Row.Prom.UpdatedPerf.begin(),
+                        Row.Prom.UpdatedPerf.end());
+      }
+      double Splits = static_cast<double>(Drift.size());
+      T.addRow({taskTag(Id), ModelName,
+                support::Table::num(NativeAcc / Splits),
+                support::Table::num(PromAcc / Splits), violin(NativePerf),
+                violin(PromPerf), std::to_string(Relabeled)});
+    }
+  }
+
+  T.print("Figure 9: deployment quality with PROM incremental learning");
+  T.writeCsv("fig09_incremental.csv");
+  std::printf("\nPaper shape: PROM-updated models recover most of the "
+              "design-time quality with <=5%% of samples relabeled.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- bench/fig10_baselines.cpp - Figure 10 ----------------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 10: misprediction-detection F1 of PROM vs the prior CP-based
+// detectors on case studies 1-4: a naive split-CP rejector (the MAPIE /
+// PUNCC usage), RISE (CP + learned SVM) and a TESSERACT-style per-class
+// threshold rejector. One representative underlying model per task.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Baselines.h"
+#include "bench/BenchCommon.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace prom;
+using namespace prom::bench;
+
+namespace {
+
+std::unique_ptr<DriftDetector> makeDetector(const std::string &Name,
+                                            const MispredicateFn &Wrong) {
+  if (Name == "NaiveCP")
+    return std::make_unique<baselines::NaiveCpDetector>();
+  if (Name == "RISE")
+    return std::make_unique<baselines::RiseDetector>();
+  if (Name == "TESSERACT")
+    return std::make_unique<baselines::TesseractDetector>();
+  return std::make_unique<PromDriftDetector>(PromConfig(), /*AutoTune=*/true,
+                                             Wrong);
+}
+
+} // namespace
+
+int main() {
+  const char *Detectors[] = {"RISE", "TESSERACT", "NaiveCP", "PROM"};
+  support::Table T({"case", "model", "detector", "F1", "precision",
+                    "recall"});
+
+  for (eval::TaskId Id : classificationTasks()) {
+    auto Task = makeTask(Id);
+    support::Rng R(BenchSeed + static_cast<uint64_t>(Id));
+    data::Dataset Data = Task->generate(R);
+    auto Drift = driftSplitsFor(*Task, Data, R, /*MaxSplits=*/2);
+    std::string ModelName = representativeModel(Id);
+
+    for (const char *DetName : Detectors) {
+      std::printf("[fig10] %s / %s / %s...\n", taskTag(Id).c_str(),
+                  ModelName.c_str(), DetName);
+      DetectionCounts Counts;
+      for (size_t SplitIdx = 0; SplitIdx < Drift.size(); ++SplitIdx) {
+        support::Rng RunR(BenchSeed + SplitIdx);
+        eval::PreparedSplit Prep = eval::prepare(Drift[SplitIdx], RunR);
+        auto Model = eval::makeClassifier(Id, ModelName);
+        Model->fit(Prep.Train, RunR);
+
+        bool HasCosts = !Prep.Test[0].OptionCosts.empty();
+        MispredicateFn Wrong = eval::mispredicateFor(HasCosts);
+        auto Det = makeDetector(DetName, Wrong);
+        Det->fit(*Model, Prep.Calib, RunR);
+
+        for (const data::Sample &S : Prep.Test.samples())
+          Counts.record(Wrong(S, Model->predict(S)), Det->isDrifting(S));
+      }
+      T.addRow({taskTag(Id), ModelName, DetName,
+                support::Table::num(Counts.f1()),
+                support::Table::num(Counts.precision()),
+                support::Table::num(Counts.recall())});
+    }
+  }
+
+  T.print("Figure 10: detection F1 vs prior CP detectors (C1-C4)");
+  T.writeCsv("fig10_baselines.csv");
+  std::printf("\nPaper shape: PROM's adaptive-ensemble CP beats TESSERACT "
+              "(~+17%%), RISE struggles on many-label tasks, naive CP is "
+              "weakest.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+//===- bench/fig13_sensitivity.cpp - Figure 13 --------------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 13, the sensitivity study:
+//  (a) detection quality vs the significance threshold (loop vectorization)
+//  (b) detection quality vs the cluster count (the C5 regression task)
+//  (c) the closed-form confidence vs prediction-set size for c in {1..4}
+//  (d) Eq. (3) coverage deviation across the five case studies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "core/Assessment.h"
+
+#include <cstdio>
+
+using namespace prom;
+using namespace prom::bench;
+
+/// (a) Significance-level sweep on C2 with the K.Stock SVM.
+static void sweepSignificance() {
+  auto Task = makeTask(eval::TaskId::LoopVectorization);
+  support::Rng R(BenchSeed + 2);
+  data::Dataset Data = Task->generate(R);
+  auto Drift = driftSplitsFor(*Task, Data, R, 1);
+  eval::PreparedSplit Prep = eval::prepare(Drift[0], R);
+  auto Model = eval::makeClassifier(eval::TaskId::LoopVectorization,
+                                    "K.Stock");
+  Model->fit(Prep.Train, R);
+
+  PromClassifier Prom(*Model);
+  Prom.calibrate(Prep.Calib);
+  MispredicateFn Wrong = eval::mispredicateFor(true);
+
+  support::Table T({"significance eps", "precision", "recall", "F1",
+                    "flagged"});
+  for (double Eps : {0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    Prom.config().Epsilon = Eps;
+    Prom.config().CredThreshold = -1.0;
+    DetectionCounts Counts;
+    size_t Flagged = 0;
+    for (const data::Sample &S : Prep.Test.samples()) {
+      Verdict V = Prom.assess(S);
+      Counts.record(Wrong(S, V.Predicted), V.Drifted);
+      Flagged += V.Drifted ? 1 : 0;
+    }
+    T.addRow({support::Table::num(Eps, 2),
+              support::Table::num(Counts.precision()),
+              support::Table::num(Counts.recall()),
+              support::Table::num(Counts.f1()), std::to_string(Flagged)});
+  }
+  T.print("Figure 13(a): significance-threshold sweep (C2, K.Stock)");
+  T.writeCsv("fig13a_significance.csv");
+}
+
+/// (b) Cluster-count sweep on the C5 regression detector.
+static void sweepClusters() {
+  auto Task = makeTask(eval::TaskId::DnnCodeGeneration);
+  support::Rng R(BenchSeed + 5);
+  data::Dataset Data = Task->generate(R);
+  auto Drift = Task->driftSplits(Data, R);
+  eval::PreparedSplit Prep = eval::prepare(Drift[0], R);
+  auto Model = eval::makeTlpRegressor();
+  Model->fit(Prep.Train, R);
+
+  support::Table T({"clusters K", "precision", "recall", "F1"});
+  for (size_t K : {2u, 4u, 8u, 12u, 16u, 24u, 30u}) {
+    PromConfig Cfg;
+    Cfg.FixedClusters = K;
+    PromRegressor Prom(*Model, Cfg);
+    support::Rng CalR(BenchSeed);
+    Prom.calibrate(Prep.Calib, CalR);
+    DetectionCounts Counts;
+    for (const data::Sample &S : Prep.Test.samples()) {
+      RegressionVerdict V = Prom.assess(S);
+      Counts.record(regressionMispredicted(V.Predicted, S.Target),
+                    V.Drifted);
+    }
+    T.addRow({std::to_string(K), support::Table::num(Counts.precision()),
+              support::Table::num(Counts.recall()),
+              support::Table::num(Counts.f1())});
+  }
+  T.print("Figure 13(b): cluster-count sweep (C5 regression)");
+  T.writeCsv("fig13b_clusters.csv");
+}
+
+/// (c) The Gaussian confidence curve (closed form).
+static void confidenceCurve() {
+  support::Table T({"set size", "c=1", "c=2", "c=3", "c=4"});
+  for (size_t Size = 0; Size <= 5; ++Size) {
+    std::vector<std::string> Row = {std::to_string(Size)};
+    for (double C : {1.0, 2.0, 3.0, 4.0})
+      Row.push_back(support::Table::num(confidenceFromSetSize(Size, C)));
+    T.addRow(Row);
+  }
+  T.print("Figure 13(c): confidence vs prediction-set size");
+  T.writeCsv("fig13c_confidence.csv");
+}
+
+/// (d) Coverage deviation (Eq. 3) across the case studies.
+static void coverageDeviations() {
+  support::Table T({"case", "model", "coverage", "deviation", "ok"});
+  for (eval::TaskId Id : classificationTasks()) {
+    auto Task = makeTask(Id);
+    support::Rng R(BenchSeed + static_cast<uint64_t>(Id));
+    data::Dataset Data = Task->generate(R);
+    auto Drift = driftSplitsFor(*Task, Data, R, 1);
+    eval::PreparedSplit Prep = eval::prepare(Drift[0], R);
+    std::string ModelName = representativeModel(Id);
+    auto Model = eval::makeClassifier(Id, ModelName);
+    Model->fit(Prep.Train, R);
+    AssessmentResult Res =
+        assessInitialization(*Model, Prep.Calib, PromConfig(), R);
+    T.addRow({taskTag(Id), ModelName, support::Table::num(Res.MeanCoverage),
+              support::Table::num(Res.Deviation), Res.Ok ? "yes" : "NO"});
+  }
+  T.print("Figure 13(d): coverage deviation per case study");
+  T.writeCsv("fig13d_coverage.csv");
+}
+
+int main() {
+  std::printf("[fig13] significance sweep...\n");
+  sweepSignificance();
+  std::printf("[fig13] cluster sweep...\n");
+  sweepClusters();
+  confidenceCurve();
+  std::printf("[fig13] coverage deviations...\n");
+  coverageDeviations();
+  std::printf("\nPaper shape: precision rises with the threshold while "
+              "recall holds; detection degrades away from the gap-statistic "
+              "cluster count; set sizes != 1 lower confidence; coverage "
+              "deviations stay small (geomean ~2.5%%).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+//===- bench/micro_overhead.cpp - Sec. 7.6 runtime overhead -------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 7.6 runtime-overhead microbenchmarks (google-benchmark): the
+// paper reports < 10 ms to compute credibility/confidence scores and
+// < 2 ms for the drift decision on a low-end laptop. Measured here:
+// committee assessment (scores + vote) on calibration sets of increasing
+// size, the underlying-model inference alone (for reference), and the
+// offline calibration step.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "data/Split.h"
+#include "ml/Mlp.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace prom;
+using namespace prom::bench;
+
+namespace {
+
+/// Shared state: an MLP over 16-d features with a calibrated PROM wrapper.
+struct MicroState {
+  support::Rng R{BenchSeed};
+  data::Dataset Train{"micro", 6};
+  data::Dataset Calib{"micro", 6};
+  ml::MlpClassifier Model;
+  std::unique_ptr<PromClassifier> Prom;
+  data::Sample Probe;
+
+  explicit MicroState(size_t CalibSize) {
+    auto MakeSample = [this](int Label) {
+      data::Sample S;
+      for (int D = 0; D < 16; ++D)
+        S.Features.push_back(R.gaussian(Label * 0.7, 1.0));
+      S.Label = Label;
+      return S;
+    };
+    for (int I = 0; I < 1200; ++I)
+      Train.add(MakeSample(I % 6));
+    for (size_t I = 0; I < CalibSize; ++I)
+      Calib.add(MakeSample(static_cast<int>(I % 6)));
+    Model.fit(Train, R);
+    Prom = std::make_unique<PromClassifier>(Model);
+    Prom->calibrate(Calib);
+    Probe = MakeSample(3);
+  }
+};
+
+MicroState &state(size_t CalibSize) {
+  static std::map<size_t, std::unique_ptr<MicroState>> Cache;
+  auto &Slot = Cache[CalibSize];
+  if (!Slot)
+    Slot = std::make_unique<MicroState>(CalibSize);
+  return *Slot;
+}
+
+} // namespace
+
+/// Full deployment-time assessment: 4 experts' scores + committee vote.
+static void BM_CommitteeAssess(benchmark::State &BState) {
+  MicroState &S = state(static_cast<size_t>(BState.range(0)));
+  for (auto _ : BState) {
+    Verdict V = S.Prom->assess(S.Probe);
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_CommitteeAssess)->Arg(100)->Arg(500)->Arg(1000);
+
+/// The underlying model inference alone, for reference.
+static void BM_ModelInference(benchmark::State &BState) {
+  MicroState &S = state(500);
+  for (auto _ : BState) {
+    std::vector<double> P = S.Model.predictProba(S.Probe);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_ModelInference);
+
+/// One expert's p-value computation (selection + Eq. 2).
+static void BM_SingleExpertPValues(benchmark::State &BState) {
+  MicroState &S = state(static_cast<size_t>(BState.range(0)));
+  for (auto _ : BState) {
+    std::vector<double> P = S.Prom->pValues(S.Probe, 0);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_SingleExpertPValues)->Arg(100)->Arg(1000);
+
+/// Offline calibration processing (design-time, not on the serving path).
+static void BM_Calibrate(benchmark::State &BState) {
+  MicroState &S = state(500);
+  for (auto _ : BState)
+    S.Prom->calibrate(S.Calib);
+}
+BENCHMARK(BM_Calibrate);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+//===- bench/table3_dnn_codegen.cpp - Table 3 ---------------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 3: the DNN code-generation case study. The TLP-style cost model is
+// trained on BERT-base schedules and drives the guided schedule search on
+// each network variant; performance-to-oracle is the ratio of the best
+// found throughput to the exhaustive optimum. "Native deployment" uses the
+// base-trained model as-is; "PROM-assisted" first runs a PROM detection +
+// profiling round (<= 5% of the variant's candidate schedules profiled and
+// fed back into the model, the paper's online retraining during search).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "data/Scaler.h"
+
+#include <cstdio>
+
+using namespace prom;
+using namespace prom::bench;
+using tasks::DnnCodeGeneration;
+
+int main() {
+  auto Task = std::make_unique<DnnCodeGeneration>(500);
+  support::Rng R(BenchSeed + 5);
+  data::Dataset Data = Task->generate(R);
+
+  // Design-time: train on BERT-base (80%), validate in-distribution.
+  auto Design = Task->designSplits(Data, R);
+  eval::PreparedSplit BasePrep = eval::prepare(Design[0], R);
+  auto BaseModel = eval::makeTlpRegressor();
+  std::printf("training TLP cost model on BERT-base...\n");
+  BaseModel->fit(BasePrep.Train, R);
+
+  support::Table T({"network", "native deploy", "PROM-assisted",
+                    "flagged", "profiled"});
+
+  // BERT-base row: the in-distribution search quality (paper: 0.845).
+  {
+    support::Rng SearchR(BenchSeed);
+    DnnCodeGeneration::SearchResult Res =
+        DnnCodeGeneration::guidedSearch(*BaseModel, 0, SearchR);
+    T.addRow({"BERT-base", support::Table::num(Res.PerfToOracle), "-", "-",
+              "-"});
+  }
+
+  auto Drift = Task->driftSplits(Data, R);
+  for (size_t Idx = 0; Idx < Drift.size(); ++Idx) {
+    int NetworkIdx = static_cast<int>(Idx) + 1;
+    const char *Name =
+        DnnCodeGeneration::variants()[static_cast<size_t>(NetworkIdx)].Name;
+    std::printf("[table3] %s...\n", Name);
+
+    // Native deployment: base-trained model searches the variant.
+    auto NativeModel = eval::makeTlpRegressor();
+    support::Rng FitR(BenchSeed + 11);
+    NativeModel->fit(BasePrep.Train, FitR);
+    support::Rng SearchR(BenchSeed + Idx);
+    DnnCodeGeneration::SearchResult Native =
+        DnnCodeGeneration::guidedSearch(*NativeModel, NetworkIdx, SearchR);
+
+    // PROM-assisted: detect drifting cost predictions on the variant's
+    // schedule corpus, profile <= 5% of them, update the model online,
+    // then search with the updated model.
+    eval::PreparedSplit Prep = eval::prepare(Drift[Idx], R);
+    auto PromModel = eval::makeTlpRegressor();
+    support::Rng FitR2(BenchSeed + 11);
+    PromModel->fit(Prep.Train, FitR2);
+    IncrementalConfig IlCfg;
+    IlCfg.RelabelBudget = 0.05;
+    IlCfg.OversampleFactor = 6;
+    PromConfig RegCfg;
+    RegCfg.MinVotesToFlag = 1; // Any-expert voting for regression.
+    RegressionIncrementalOutcome Out = runIncrementalLearningRegression(
+        *PromModel, Prep.Train, Prep.Calib, Prep.Test, RegCfg, IlCfg,
+        R);
+    support::Rng SearchR2(BenchSeed + Idx);
+    DnnCodeGeneration::SearchResult Assisted =
+        DnnCodeGeneration::guidedSearch(*PromModel, NetworkIdx, SearchR2);
+
+    T.addRow({Name, support::Table::num(Native.PerfToOracle),
+              support::Table::num(Assisted.PerfToOracle),
+              std::to_string(Out.NumFlagged),
+              std::to_string(Out.NumRelabeled)});
+  }
+
+  T.print("Table 3: C5 performance-to-oracle, native vs PROM-assisted");
+  T.writeCsv("table3_dnn_codegen.csv");
+  std::printf("\nPaper: native 0.845 (base) dropping to 0.224-0.703 on "
+              "variants; PROM-assisted recovers to ~0.79-0.81.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- examples/autotuner_guard.cpp - Rejection-aware autotuning --------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's flagship use case (Sec. 1/5.4): an ML compiler heuristic
+// whose predictions PROM vets at deployment time. Accepted predictions are
+// used directly; rejected ones fall back to a (more expensive) empirical
+// search over the option space — "use alternative search processes to find
+// better solutions".
+//
+// Substrate: the loop-vectorization case study. The model is trained on 12
+// loop families and deployed on loops from families of two entirely unseen
+// regimes. The output compares three policies: trust-the-model everywhere,
+// search-everything (the expensive oracle), and PROM-guarded (search only
+// where PROM rejects).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Prom.h"
+#include "support/Rng.h"
+#include "eval/ModelZoo.h"
+#include "eval/Runner.h"
+#include "support/Stats.h"
+#include "tasks/LoopVectorization.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace prom;
+
+int main() {
+  support::Rng R(42);
+  tasks::LoopVectorization Task(/*LoopsPerFamily=*/80);
+  data::Dataset Data = Task.generate(R);
+  auto Drift = Task.driftSplits(Data, R)[0];
+  eval::PreparedSplit Prep = eval::prepare(Drift, R);
+
+  auto Model =
+      eval::makeClassifier(eval::TaskId::LoopVectorization, "K.Stock");
+  std::printf("training the vectorization heuristic on %zu loops...\n",
+              Prep.Train.size());
+  Model->fit(Prep.Train, R);
+
+  // Tune the rejection thresholds on the calibration split (Sec. 5.2).
+  GridSearchResult Tuned =
+      gridSearch(*Model, Prep.Calib, GridSearchSpace(), PromConfig(), R, 1,
+                 eval::mispredicateFor(true));
+  PromClassifier Prom(*Model, Tuned.Best);
+  Prom.calibrate(Prep.Calib);
+
+  std::vector<double> TrustPerf, GuardedPerf, SearchPerf;
+  size_t Searches = 0;
+  for (const data::Sample &S : Prep.Test.samples()) {
+    Verdict V = Prom.assess(S);
+    TrustPerf.push_back(S.perfToOracle(V.Predicted));
+    SearchPerf.push_back(1.0); // Exhaustive search always finds the best.
+    if (V.Drifted) {
+      // Fallback: empirically try every (VF, IF) pair for this loop.
+      ++Searches;
+      GuardedPerf.push_back(1.0);
+    } else {
+      GuardedPerf.push_back(S.perfToOracle(V.Predicted));
+    }
+  }
+
+  std::printf("\npolicy comparison on %zu unseen-regime loops:\n",
+              Prep.Test.size());
+  std::printf("  trust model everywhere : mean perf-to-oracle %.3f, "
+              "0 searches\n",
+              support::mean(TrustPerf));
+  std::printf("  PROM-guarded           : mean perf-to-oracle %.3f, "
+              "%zu searches (%.0f%%)\n",
+              support::mean(GuardedPerf), Searches,
+              100.0 * Searches / Prep.Test.size());
+  std::printf("  search everything      : mean perf-to-oracle %.3f, "
+              "%zu searches\n",
+              support::mean(SearchPerf), Prep.Test.size());
+  std::printf("\nPROM converts a fraction of the search budget into most "
+              "of the search quality.\n");
+  return 0;
+}

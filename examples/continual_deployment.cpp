@@ -1,0 +1,80 @@
+//===- examples/continual_deployment.cpp - Incremental-learning loop ----------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The full Figure 3 feedback loop on the vulnerability-detection case
+// study: a Vulde-style Bi-LSTM classifier trained on 2013-2020 deploys on the
+// 2021-2023 code, PROM flags drifting inputs, a 5% budget of the flagged
+// samples is relabeled (here: the generator's ground truth, standing in
+// for the expert), the model is warm-start updated and deployment accuracy
+// is re-measured. The loop then repeats on the updated model to show the
+// detector adapts along with it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Prom.h"
+#include "data/Scaler.h"
+#include "eval/ModelZoo.h"
+#include "eval/Runner.h"
+#include "support/Rng.h"
+#include "tasks/VulnerabilityDetection.h"
+
+#include <cstdio>
+
+using namespace prom;
+
+int main() {
+  support::Rng R(11);
+  tasks::VulnerabilityDetection Task(/*SamplesPerClass=*/180);
+  data::Dataset Data = Task.generate(R);
+  tasks::TaskSplit Split = Task.driftSplits(Data, R)[0];
+  eval::PreparedSplit Prep = eval::prepare(Split, R);
+
+  auto Model = eval::makeClassifier(eval::TaskId::VulnerabilityDetection,
+                                    "Vulde");
+  std::printf("training on 2013-2020 (%zu samples), deploying on "
+              "2021-2023 (%zu samples)...\n",
+              Prep.Train.size(), Prep.Test.size());
+  Model->fit(Prep.Train, R);
+
+  // Tune the rejection thresholds on the calibration split (Sec. 5.2) —
+  // fixed defaults are rarely right for an arbitrary model/task pair.
+  GridSearchResult Tuned = gridSearch(*Model, Prep.Calib,
+                                      GridSearchSpace(), PromConfig(), R,
+                                      /*Repeats=*/2, labelMispredicate());
+  std::printf("grid search: credibility threshold %.2f, confidence "
+              "threshold %.2f (internal F1 %.2f)\n",
+              Tuned.Best.credThreshold(), Tuned.Best.ConfThreshold,
+              Tuned.BestF1);
+
+  IncrementalConfig IlCfg;
+  IlCfg.RelabelBudget = 0.05;
+
+  data::Dataset Train = Prep.Train;
+  data::Dataset Calib = Prep.Calib;
+  std::printf("\n%-7s %-12s %-12s %-9s %-9s\n", "round", "native acc",
+              "updated acc", "flagged", "relabeled");
+  for (int Round = 1; Round <= 3; ++Round) {
+    IncrementalOutcome Out = runIncrementalLearning(
+        *Model, Train, Calib, Prep.Test, Tuned.Best, IlCfg,
+        labelMispredicate(), R);
+    std::printf("%-7d %-12.3f %-12.3f %-9zu %-9zu\n", Round,
+                Out.NativeAccuracy, Out.UpdatedAccuracy, Out.NumFlagged,
+                Out.NumRelabeled);
+    if (Out.NumRelabeled == 0)
+      break; // Nothing left to learn from.
+    // Fold the relabeled samples into the training and calibration sets so
+    // the next round builds on this one.
+    for (size_t I : Out.RelabeledIndices) {
+      Train.add(Prep.Test[I]);
+      Calib.add(Prep.Test[I]);
+    }
+  }
+
+  std::printf("\nEach round relabels <= 5%% of the deployment set; "
+              "accuracy climbs toward the design-time level (the paper's "
+              "Figure 3 loop).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- examples/drift_monitor.cpp - Streaming drift monitoring ----------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// A deployment-monitoring loop for the vulnerability-detection case study:
+// a Vulde-style Bi-LSTM trained on 2013-2018 classifies a stream of
+// samples arriving year by year. PROM's per-year rejection rate acts as a
+// model-ageing alarm — it stays low through the training era and climbs as
+// the code idioms evolve, telling the operator *when* retraining is due
+// (paper Sec. 5.4: "Prom detects ageing models").
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Prom.h"
+#include "support/Rng.h"
+#include "data/Scaler.h"
+#include "data/Split.h"
+#include "eval/ModelZoo.h"
+#include "tasks/VulnerabilityDetection.h"
+
+#include <cstdio>
+
+using namespace prom;
+
+int main() {
+  support::Rng R(7);
+  tasks::VulnerabilityDetection Task(/*SamplesPerClass=*/160);
+  data::Dataset Data = Task.generate(R);
+
+  data::Dataset TrainYears = Data.byYearRange(2013, 2018);
+  auto [Train, Calib] = data::calibrationPartition(TrainYears, R, 0.15);
+
+  data::StandardScaler Scaler;
+  Scaler.fit(Train);
+  Scaler.transformInPlace(Train);
+  Scaler.transformInPlace(Calib);
+
+  auto Model =
+      eval::makeClassifier(eval::TaskId::VulnerabilityDetection, "Vulde");
+  std::printf("training the bug detector on 2013-2018 (%zu samples)...\n",
+              Train.size());
+  Model->fit(Train, R);
+
+  PromClassifier Prom(*Model);
+  Prom.calibrate(Calib);
+
+  std::printf("\n%-6s %-9s %-10s %-10s\n", "year", "samples",
+              "accuracy", "rejected");
+  for (int Year = 2016; Year <= 2023; ++Year) {
+    data::Dataset Stream = Data.byYearRange(Year, Year);
+    Scaler.transformInPlace(Stream);
+    size_t Correct = 0, Rejected = 0;
+    for (const data::Sample &S : Stream.samples()) {
+      Verdict V = Prom.assess(S);
+      if (V.Predicted == S.Label)
+        ++Correct;
+      if (V.Drifted)
+        ++Rejected;
+    }
+    double N = static_cast<double>(Stream.size());
+    std::printf("%-6d %-9zu %-10.3f %-10.3f %s\n", Year, Stream.size(),
+                Correct / N, Rejected / N,
+                Rejected / N > 0.25 ? "<- retraining recommended" : "");
+  }
+  std::printf("\nThe rejection rate tracks the (invisible in production!) "
+              "accuracy drop: a label-free ageing alarm.\n");
+  return 0;
+}

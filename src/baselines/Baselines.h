@@ -1,0 +1,92 @@
+//===- baselines/Baselines.h - Comparison drift detectors --------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The detectors PROM is compared against in Figure 10, re-implemented from
+/// their source descriptions:
+///
+///  * NaiveCpDetector — a plain split-CP rejector in the style of the MAPIE
+///    and PUNCC libraries: one nonconformity function (LAC), the full
+///    calibration set, no distance weighting, reject iff the credibility
+///    p-value falls below epsilon.
+///  * RiseDetector — RISE (Zhai et al., MobiCom '21): CP credibility and
+///    confidence scores feed a learned SVM that classifies mispredictions;
+///    single nonconformity function, full calibration set.
+///  * TesseractDetector — TESSERACT-style (Pendlebury et al., USENIX
+///    Security '19) per-class credibility thresholds calibrated on an
+///    internal validation split of correctly-predicted samples.
+///
+/// All three share PROM's DriftDetector interface so the Figure 10 bench
+/// can sweep them uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_BASELINES_BASELINES_H
+#define PROM_BASELINES_BASELINES_H
+
+#include "core/Detector.h"
+#include "ml/Linear.h"
+
+#include <memory>
+#include <vector>
+
+namespace prom {
+namespace baselines {
+
+/// Plain split-CP rejection (MAPIE / PUNCC stand-in).
+class NaiveCpDetector : public DriftDetector {
+public:
+  explicit NaiveCpDetector(double Epsilon = 0.1) : Epsilon(Epsilon) {}
+
+  void fit(const ml::Classifier &Model, const data::Dataset &Calib,
+           support::Rng &R) override;
+  bool isDrifting(const data::Sample &S) const override;
+  std::string name() const override { return "NaiveCP"; }
+
+private:
+  double Epsilon;
+  std::unique_ptr<PromClassifier> Impl;
+};
+
+/// RISE: CP scores + an SVM misprediction classifier.
+class RiseDetector : public DriftDetector {
+public:
+  explicit RiseDetector(double Epsilon = 0.1) : Epsilon(Epsilon) {}
+
+  void fit(const ml::Classifier &Model, const data::Dataset &Calib,
+           support::Rng &R) override;
+  bool isDrifting(const data::Sample &S) const override;
+  std::string name() const override { return "RISE"; }
+
+private:
+  /// (credibility, 1 - second-best p-value) feature of one sample.
+  std::vector<double> cpFeatures(const data::Sample &S) const;
+
+  double Epsilon;
+  std::unique_ptr<PromClassifier> Impl;
+  std::unique_ptr<ml::LinearSvm> Svm;
+};
+
+/// TESSERACT-style per-class credibility thresholds.
+class TesseractDetector : public DriftDetector {
+public:
+  explicit TesseractDetector(double Quantile = 0.1) : Quantile(Quantile) {}
+
+  void fit(const ml::Classifier &Model, const data::Dataset &Calib,
+           support::Rng &R) override;
+  bool isDrifting(const data::Sample &S) const override;
+  std::string name() const override { return "TESSERACT"; }
+
+private:
+  double Quantile;
+  std::unique_ptr<PromClassifier> Impl;
+  std::vector<double> ClassThresholds;
+};
+
+} // namespace baselines
+} // namespace prom
+
+#endif // PROM_BASELINES_BASELINES_H

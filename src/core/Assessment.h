@@ -1,0 +1,45 @@
+//===- core/Assessment.h - Initialization assessment -------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Design-time framework validation (paper Sec. 5.2, Eq. 3): the
+/// calibration set is split R times into internal calibration (80%) and
+/// validation (20%) halves, and the empirical coverage of the epsilon-level
+/// prediction regions on the validation half is compared against 1 - eps.
+/// A deviation above 0.1 signals an ineffective initialization (typically a
+/// poorly trained underlying model) and PROM alerts the user.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_CORE_ASSESSMENT_H
+#define PROM_CORE_ASSESSMENT_H
+
+#include "core/PromConfig.h"
+#include "data/Dataset.h"
+#include "ml/Model.h"
+
+#include <vector>
+
+namespace prom {
+
+/// Outcome of the initialization assessment.
+struct AssessmentResult {
+  double MeanCoverage = 0.0;
+  double Deviation = 0.0; ///< |MeanCoverage - (1 - Epsilon)|.
+  bool Ok = false;        ///< Deviation within the 0.1 alert threshold.
+  std::vector<double> FoldCoverages;
+};
+
+/// Runs the Eq. (3) coverage cross-validation (R = \p Repeats splits).
+/// Coverage is averaged over the committee's experts.
+AssessmentResult assessInitialization(const ml::Classifier &Model,
+                                      const data::Dataset &Calib,
+                                      const PromConfig &Cfg,
+                                      support::Rng &R, size_t Repeats = 3);
+
+} // namespace prom
+
+#endif // PROM_CORE_ASSESSMENT_H

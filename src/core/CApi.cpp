@@ -1,0 +1,126 @@
+//===- core/CApi.cpp - C ABI for non-C++ integration --------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CApi.h"
+#include "core/Calibration.h"
+#include "core/Nonconformity.h"
+#include "core/PromConfig.h"
+#include "support/Matrix.h"
+
+#include <memory>
+#include <vector>
+
+using namespace prom;
+
+/// The C-side detector: a frozen committee over host-supplied calibration
+/// rows. Unlike PromClassifier it holds no model reference — the host
+/// feeds it the model's outputs directly, which is the whole point of the
+/// FFI boundary.
+struct prom_detector {
+  int NumClasses = 0;
+  int FeatureDim = 0;
+  PromConfig Cfg;
+  std::vector<std::unique_ptr<ClassificationScorer>> Scorers;
+  CalibrationScores Calib;
+  bool Finalized = false;
+};
+
+prom_detector *prom_create(int num_classes, int feature_dim,
+                           double epsilon) {
+  if (num_classes < 2 || feature_dim < 1)
+    return nullptr;
+  auto *D = new prom_detector();
+  D->NumClasses = num_classes;
+  D->FeatureDim = feature_dim;
+  if (epsilon > 0.0 && epsilon < 1.0)
+    D->Cfg.Epsilon = epsilon;
+  D->Scorers = defaultClassificationScorers();
+  return D;
+}
+
+int prom_add_calibration(prom_detector *d, const double *probabilities,
+                         const double *features, int label) {
+  if (!d || !probabilities || !features || d->Finalized)
+    return -1;
+  if (label < 0 || label >= d->NumClasses)
+    return -1;
+
+  std::vector<double> Probs(probabilities,
+                            probabilities + d->NumClasses);
+  CalibrationEntry Entry;
+  Entry.Embed.assign(features, features + d->FeatureDim);
+  Entry.Label = label;
+  Entry.Scores.reserve(d->Scorers.size());
+  for (const auto &Scorer : d->Scorers)
+    Entry.Scores.push_back(Scorer->score(Probs, label));
+  d->Calib.add(std::move(Entry));
+  return 0;
+}
+
+int prom_finalize(prom_detector *d) {
+  if (!d || d->Calib.size() < 4)
+    return -1;
+  d->Calib.finalize();
+  d->Finalized = true;
+  return 0;
+}
+
+int prom_predicted_label(const prom_detector *d,
+                         const double *probabilities) {
+  if (!d || !probabilities)
+    return -1;
+  std::vector<double> Probs(probabilities,
+                            probabilities + d->NumClasses);
+  return static_cast<int>(support::argmax(Probs));
+}
+
+int prom_should_reject(const prom_detector *d, const double *probabilities,
+                       const double *features, double *credibility_out,
+                       double *confidence_out) {
+  if (!d || !probabilities || !features || !d->Finalized)
+    return -1;
+
+  std::vector<double> Probs(probabilities,
+                            probabilities + d->NumClasses);
+  std::vector<double> Embed(features, features + d->FeatureDim);
+  int Predicted = static_cast<int>(support::argmax(Probs));
+
+  CalibrationSelection Sel = d->Calib.select(Embed, d->Cfg);
+  std::vector<double> TestScores(static_cast<size_t>(d->NumClasses));
+
+  size_t Votes = 0;
+  double CredSum = 0.0, ConfSum = 0.0;
+  for (size_t E = 0; E < d->Scorers.size(); ++E) {
+    for (int C = 0; C < d->NumClasses; ++C)
+      TestScores[static_cast<size_t>(C)] = d->Scorers[E]->score(Probs, C);
+    std::vector<double> PVals =
+        d->Calib.pValues(Sel, E, TestScores, d->Cfg,
+                         d->Scorers[E]->isDiscrete());
+
+    double Cred = PVals[static_cast<size_t>(Predicted)];
+    size_t SetSize = 0;
+    for (double P : PVals)
+      if (P > d->Cfg.Epsilon)
+        ++SetSize;
+    double Conf = confidenceFromSetSize(SetSize, d->Cfg.ConfidenceC);
+    CredSum += Cred;
+    ConfSum += Conf;
+    if (Cred < d->Cfg.credThreshold() && Conf < d->Cfg.ConfThreshold)
+      ++Votes;
+  }
+
+  if (credibility_out)
+    *credibility_out = CredSum / static_cast<double>(d->Scorers.size());
+  if (confidence_out)
+    *confidence_out = ConfSum / static_cast<double>(d->Scorers.size());
+
+  size_t Needed = d->Cfg.MinVotesToFlag != 0
+                      ? d->Cfg.MinVotesToFlag
+                      : (d->Scorers.size() + 1) / 2;
+  return Votes >= Needed ? 1 : 0;
+}
+
+void prom_destroy(prom_detector *d) { delete d; }

@@ -1,0 +1,72 @@
+//===- core/CApi.h - C ABI for non-C++ integration ----------------*- C -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A C ABI mirroring the paper's Sec. 8 integration story: "for C/C++
+/// code, Prom provides a [pybind11] API to take the probabilistic vector
+/// of the model prediction as input and returns a boolean value to suggest
+/// whether the prediction should be accepted".
+///
+/// The C layer owns an opaque detector handle. The host registers its
+/// calibration data as (probability vector, feature vector, label) rows —
+/// exactly the intermediate results the underlying model already produces
+/// — finalizes the detector, and then queries one (probabilities,
+/// features) pair per deployment input. No C++ types cross the boundary,
+/// so any FFI (a compiler pass, a JIT runtime, a Fortran harness) can
+/// drive PROM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_CORE_CAPI_H
+#define PROM_CORE_CAPI_H
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/// Opaque drift-detector handle.
+typedef struct prom_detector prom_detector;
+
+/// Creates a detector for \p num_classes classes whose feature vectors
+/// have \p feature_dim entries. \p epsilon is the significance level
+/// (pass 0 for the default 0.1). Returns NULL on invalid arguments.
+prom_detector *prom_create(int num_classes, int feature_dim,
+                           double epsilon);
+
+/// Registers one calibration sample: the model's probability vector
+/// (length num_classes), its feature/embedding vector (length
+/// feature_dim) and the true label. Returns 0 on success, -1 on error.
+int prom_add_calibration(prom_detector *d, const double *probabilities,
+                         const double *features, int label);
+
+/// Finalizes calibration (computes nonconformity scores and the distance
+/// scale). Must be called after the last prom_add_calibration and before
+/// the first query. Returns 0 on success, -1 with too few samples (< 4).
+int prom_finalize(prom_detector *d);
+
+/// Assesses one deployment input. Returns 1 when the prediction should be
+/// REJECTED (drift suspected), 0 when it can be accepted, -1 on error.
+/// When non-NULL, \p credibility_out and \p confidence_out receive the
+/// committee-mean scores.
+int prom_should_reject(const prom_detector *d, const double *probabilities,
+                       const double *features, double *credibility_out,
+                       double *confidence_out);
+
+/// The committee's predicted label for the given probability vector
+/// (argmax; provided so hosts need not duplicate the tie-breaking).
+int prom_predicted_label(const prom_detector *d,
+                         const double *probabilities);
+
+/// Destroys the detector. NULL is allowed.
+void prom_destroy(prom_detector *d);
+
+#ifdef __cplusplus
+} // extern "C"
+#endif
+
+#endif // PROM_CORE_CAPI_H

@@ -1,0 +1,166 @@
+//===- core/Calibration.cpp - Calibration scores and selection --------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Calibration.h"
+#include "support/Distance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace prom;
+
+void CalibrationScores::finalize() {
+  if (Entries.size() < 2) {
+    MedianNNDist = 1.0;
+    return;
+  }
+  // Median nearest-neighbour distance over a bounded subsample keeps this
+  // O(min(n,256)^2) even for large calibration sets.
+  size_t N = std::min<size_t>(Entries.size(), 256);
+  std::vector<double> NNDist;
+  NNDist.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    double Best = -1.0;
+    for (size_t J = 0; J < N; ++J) {
+      if (I == J)
+        continue;
+      double D = support::euclidean(Entries[I].Embed, Entries[J].Embed);
+      if (Best < 0.0 || D < Best)
+        Best = D;
+    }
+    NNDist.push_back(Best);
+  }
+  std::sort(NNDist.begin(), NNDist.end());
+  MedianNNDist = std::max(NNDist[NNDist.size() / 2], 1e-9);
+}
+
+CalibrationSelection
+CalibrationScores::select(const std::vector<double> &TestEmbed,
+                          const PromConfig &Cfg) const {
+  assert(!Entries.empty() && "empty calibration set");
+
+  std::vector<double> Dist(Entries.size());
+  for (size_t I = 0; I < Entries.size(); ++I)
+    Dist[I] = support::euclidean(Entries[I].Embed, TestEmbed);
+
+  std::vector<size_t> Order(Entries.size());
+  std::iota(Order.begin(), Order.end(), size_t(0));
+  std::sort(Order.begin(), Order.end(), [&Dist](size_t A, size_t B) {
+    if (Dist[A] != Dist[B])
+      return Dist[A] < Dist[B];
+    return A < B;
+  });
+
+  size_t Keep = Entries.size();
+  if (Entries.size() >= Cfg.SelectAllBelow) {
+    Keep = static_cast<size_t>(Cfg.SelectFraction *
+                               static_cast<double>(Entries.size()) + 0.5);
+    Keep = std::max<size_t>(1, std::min(Keep, Entries.size()));
+  }
+  Order.resize(Keep);
+
+  CalibrationSelection Sel;
+  Sel.Indices = Order;
+  Sel.Weights.resize(Keep, 1.0);
+  if (Cfg.WeightMode != CalibrationWeightMode::None) {
+    double Tau = Cfg.Tau;
+    if (Cfg.AutoTau && MedianNNDist > 0.0)
+      Tau = Cfg.TauScale * MedianNNDist;
+    // WeightedCount emphasizes *locally relevant* calibration evidence, so
+    // distances are measured relative to the nearest selected sample — a
+    // far-away test input must not wash out every weight at once (that
+    // would leave the smoothing term dominating and report p ~ 1 exactly
+    // when the input is most novel). ScoreScaling keeps absolute
+    // distances: its novelty mechanism is the global shrink itself.
+    double Offset = Cfg.WeightMode == CalibrationWeightMode::WeightedCount
+                        ? Dist[Sel.Indices.front()]
+                        : 0.0;
+    for (size_t I = 0; I < Keep; ++I) {
+      double D = std::max(0.0, Dist[Sel.Indices[I]] - Offset);
+      double Norm = Cfg.WeightNormPower == 2 ? D * D : D;
+      Sel.Weights[I] = std::exp(-Norm / Tau);
+    }
+  }
+  return Sel;
+}
+
+std::vector<double>
+CalibrationScores::pValues(const CalibrationSelection &Sel, size_t Expert,
+                           const std::vector<double> &TestScores,
+                           const PromConfig &Cfg,
+                           bool DiscreteScores) const {
+  assert(Expert < numExperts() && "expert index out of range");
+  size_t NumLabels = TestScores.size();
+  std::vector<double> GreaterEq(NumLabels, 0.0);
+  std::vector<double> Total(NumLabels, 0.0);
+
+  CalibrationWeightMode Mode = Cfg.WeightMode;
+  if (Mode == CalibrationWeightMode::ScoreScaling && DiscreteScores)
+    Mode = CalibrationWeightMode::WeightedCount;
+
+  for (size_t Pos = 0; Pos < Sel.Indices.size(); ++Pos) {
+    const CalibrationEntry &E = Entries[Sel.Indices[Pos]];
+    if (E.Label < 0 || static_cast<size_t>(E.Label) >= NumLabels)
+      continue;
+    size_t L = static_cast<size_t>(E.Label);
+    double W = Sel.Weights[Pos];
+    switch (Mode) {
+    case CalibrationWeightMode::WeightedCount:
+      // Weighted conformal counting: each calibration sample contributes
+      // its Eq. (1) weight to both counts.
+      Total[L] += W;
+      if (E.Scores[Expert] >= TestScores[L])
+        GreaterEq[L] += W;
+      break;
+    case CalibrationWeightMode::ScoreScaling:
+      // The paper's literal adjustment a_i = w_i * a_i with unit counts.
+      Total[L] += 1.0;
+      if (W * E.Scores[Expert] >= TestScores[L])
+        GreaterEq[L] += 1.0;
+      break;
+    case CalibrationWeightMode::None:
+      Total[L] += 1.0;
+      if (E.Scores[Expert] >= TestScores[L])
+        GreaterEq[L] += 1.0;
+      break;
+    }
+  }
+
+  // Per-label selected counts, for the weighted smoothing pseudo-count.
+  std::vector<double> Counts(NumLabels, 0.0);
+  for (size_t Pos = 0; Pos < Sel.Indices.size(); ++Pos) {
+    const CalibrationEntry &E = Entries[Sel.Indices[Pos]];
+    if (E.Label >= 0 && static_cast<size_t>(E.Label) < NumLabels)
+      Counts[static_cast<size_t>(E.Label)] += 1.0;
+  }
+
+  std::vector<double> P(NumLabels, 0.0);
+  for (size_t L = 0; L < NumLabels; ++L) {
+    if (Counts[L] <= 0.0) {
+      // No conformity evidence for this label among the selected samples.
+      P[L] = 0.0;
+      continue;
+    }
+    if (Cfg.SmoothedPValues) {
+      // The pseudo-count is one *typical* observation (the mean weight),
+      // so the minimum p-value stays ~1/(n+1) regardless of how sharply
+      // the weights localize.
+      double MeanW = Total[L] / Counts[L];
+      P[L] = (GreaterEq[L] + MeanW) / (Total[L] + MeanW);
+    } else {
+      P[L] = Total[L] > 0.0 ? GreaterEq[L] / Total[L] : 0.0;
+    }
+  }
+  return P;
+}
+
+double prom::confidenceFromSetSize(size_t Size, double C) {
+  assert(C > 0.0 && "Gaussian scale must be positive");
+  double D = static_cast<double>(Size) - 1.0;
+  return std::exp(-(D * D) / (2.0 * C * C));
+}

@@ -1,0 +1,111 @@
+//===- core/Calibration.h - Calibration scores and selection -----*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline calibration-set processing (paper Sec. 4.1.1) and the adaptive
+/// per-test selection + weighting scheme (Sec. 5.1.2).
+///
+/// At design time PROM applies the trained model to every calibration
+/// sample and stores its feature embedding plus one nonconformity score per
+/// committee expert. At deployment the nearest 50% of calibration samples
+/// (all, when fewer than 200) are selected per test input, their scores are
+/// shrunk by exp(-distance/tau), and class-conditional p-values are
+/// computed against the weighted scores (Eq. 2, with the standard +1
+/// smoothing so p in (0, 1]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_CORE_CALIBRATION_H
+#define PROM_CORE_CALIBRATION_H
+
+#include "core/PromConfig.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace prom {
+
+/// One calibration sample's precomputed state.
+struct CalibrationEntry {
+  std::vector<double> Embed; ///< Model feature embedding.
+  int Label = 0;             ///< True class (or cluster pseudo-label).
+  std::vector<double> Scores; ///< One nonconformity score per expert.
+};
+
+/// The subset of calibration samples chosen for one test input.
+struct CalibrationSelection {
+  std::vector<size_t> Indices;  ///< Entries, closest first.
+  std::vector<double> Weights;  ///< Eq. (1) weight per selected entry.
+};
+
+/// Precomputed calibration scores plus the adaptive selection machinery.
+/// Label-agnostic: classification uses true class labels, regression uses
+/// k-means pseudo-labels.
+class CalibrationScores {
+public:
+  void clear() {
+    Entries.clear();
+    MedianNNDist = 0.0;
+  }
+  void reserve(size_t N) { Entries.reserve(N); }
+  void add(CalibrationEntry Entry) { Entries.push_back(std::move(Entry)); }
+
+  /// Computes the distance scale of the calibration set (median nearest-
+  /// neighbour distance over a bounded sample of entries). Called once
+  /// after all entries are added; required for PromConfig::AutoTau.
+  void finalize();
+
+  /// Median nearest-neighbour distance (0 before finalize()).
+  double medianNNDist() const { return MedianNNDist; }
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+  const CalibrationEntry &entry(size_t I) const { return Entries[I]; }
+
+  /// Number of experts scored per entry (0 when empty).
+  size_t numExperts() const {
+    return Entries.empty() ? 0 : Entries.front().Scores.size();
+  }
+
+  /// Adaptive subset selection for \p TestEmbed (Sec. 5.1.2): sorts entries
+  /// by Euclidean distance, keeps the closest Cfg.SelectFraction (all when
+  /// the set is smaller than Cfg.SelectAllBelow), and attaches Eq. (1)
+  /// weights (1.0 when weighting is disabled).
+  CalibrationSelection select(const std::vector<double> &TestEmbed,
+                              const PromConfig &Cfg) const;
+
+  /// Class-conditional p-values (Eq. 2) for every label in [0, NumLabels).
+  ///
+  /// For label c: p_c = #{ i in Sel : y_i = c and w_i * a_i^(s) >=
+  /// TestScores[c] } / #{ i in Sel : y_i = c }, with +1 smoothing on both
+  /// counts when Cfg.SmoothedPValues. Labels with no selected calibration
+  /// sample get p = 0 (no conformity evidence).
+  ///
+  /// \param Sel the selection from select().
+  /// \param Expert which nonconformity function's stored scores to use.
+  /// \param TestScores the test sample's nonconformity score per label.
+  /// \param DiscreteScores true when the expert's scores are tie-heavy
+  ///        (e.g. TopK ranks); the ScoreScaling mode then falls back to
+  ///        weighted counting, since any multiplicative shrink flips every
+  ///        exact tie against the test sample.
+  std::vector<double> pValues(const CalibrationSelection &Sel, size_t Expert,
+                              const std::vector<double> &TestScores,
+                              const PromConfig &Cfg,
+                              bool DiscreteScores = false) const;
+
+private:
+  std::vector<CalibrationEntry> Entries;
+  double MedianNNDist = 0.0;
+};
+
+/// Gaussian confidence of a prediction-set size (Sec. 5.3):
+/// exp(-(Size-1)^2 / (2 c^2)). Size 1 gives 1.0; empty or ambiguous sets
+/// give lower confidence.
+double confidenceFromSetSize(size_t Size, double C);
+
+} // namespace prom
+
+#endif // PROM_CORE_CALIBRATION_H

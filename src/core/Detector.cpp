@@ -1,0 +1,336 @@
+//===- core/Detector.cpp - The PROM drift detectors --------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Detector.h"
+#include "core/GridSearch.h"
+#include "support/Distance.h"
+#include "support/KMeans.h"
+#include "support/Matrix.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace prom;
+
+DriftDetector::~DriftDetector() = default;
+
+double Verdict::meanCredibility() const {
+  double Sum = 0.0;
+  for (const ExpertOpinion &E : Experts)
+    Sum += E.Credibility;
+  return Experts.empty() ? 0.0 : Sum / static_cast<double>(Experts.size());
+}
+
+double Verdict::meanConfidence() const {
+  double Sum = 0.0;
+  for (const ExpertOpinion &E : Experts)
+    Sum += E.Confidence;
+  return Experts.empty() ? 0.0 : Sum / static_cast<double>(Experts.size());
+}
+
+double RegressionVerdict::meanCredibility() const {
+  double Sum = 0.0;
+  for (const ExpertOpinion &E : Experts)
+    Sum += E.Credibility;
+  return Experts.empty() ? 0.0 : Sum / static_cast<double>(Experts.size());
+}
+
+/// Committee decision rule shared by both detectors: an expert flags drift
+/// when both scores fall below their thresholds (Sec. 5); the committee
+/// flags when at least MinVotesToFlag experts do (majority by default).
+static bool committeeFlags(const std::vector<ExpertOpinion> &Experts,
+                           const PromConfig &Cfg, size_t &VotesOut) {
+  size_t Votes = 0;
+  for (const ExpertOpinion &E : Experts)
+    if (E.FlagDrift)
+      ++Votes;
+  VotesOut = Votes;
+  size_t Needed = Cfg.MinVotesToFlag != 0
+                      ? Cfg.MinVotesToFlag
+                      : (Experts.size() + 1) / 2;
+  return Votes >= Needed;
+}
+
+//===----------------------------------------------------------------------===//
+// PromClassifier
+//===----------------------------------------------------------------------===//
+
+PromClassifier::PromClassifier(const ml::Classifier &Model, PromConfig Cfg)
+    : PromClassifier(Model, defaultClassificationScorers(), Cfg) {}
+
+PromClassifier::PromClassifier(
+    const ml::Classifier &Model,
+    std::vector<std::unique_ptr<ClassificationScorer>> ScorersIn,
+    PromConfig CfgIn)
+    : Model(Model), Cfg(CfgIn), Scorers(std::move(ScorersIn)) {
+  assert(!Scorers.empty() && "committee needs at least one expert");
+}
+
+/// Applies temperature \p T to a probability vector: softmax(log(p) / T).
+/// T > 1 softens saturated outputs; the argmax never changes.
+static std::vector<double> applyTemperature(std::vector<double> Probs,
+                                            double T) {
+  if (T == 1.0)
+    return Probs;
+  for (double &P : Probs)
+    P = std::log(std::max(P, 1e-12)) / T;
+  support::softmaxInPlace(Probs);
+  return Probs;
+}
+
+void PromClassifier::calibrate(const data::Dataset &CalibSet) {
+  assert(!CalibSet.empty() && "empty calibration set");
+
+  // First pass: raw model probabilities for every calibration sample.
+  std::vector<std::vector<double>> RawProbs;
+  RawProbs.reserve(CalibSet.size());
+  for (const data::Sample &S : CalibSet.samples())
+    RawProbs.push_back(Model.predictProba(S));
+
+  // Fit the softening temperature by true-label NLL on the calibration
+  // set (standard post-hoc temperature scaling, argmax-invariant).
+  static const double Grid[] = {0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 8.0};
+  double BestNll = 1e300;
+  for (double T : Grid) {
+    double Nll = 0.0;
+    for (size_t I = 0; I < CalibSet.size(); ++I) {
+      std::vector<double> P = applyTemperature(RawProbs[I], T);
+      Nll -= std::log(
+          std::max(P[static_cast<size_t>(CalibSet[I].Label)], 1e-12));
+    }
+    if (Nll < BestNll) {
+      BestNll = Nll;
+      Temperature = T;
+    }
+  }
+
+  Calib.clear();
+  Calib.reserve(CalibSet.size());
+  for (size_t I = 0; I < CalibSet.size(); ++I) {
+    const data::Sample &S = CalibSet[I];
+    CalibrationEntry Entry;
+    Entry.Embed = Model.embed(S);
+    Entry.Label = S.Label;
+    std::vector<double> Probs = applyTemperature(RawProbs[I], Temperature);
+    Entry.Scores.reserve(Scorers.size());
+    for (const auto &Scorer : Scorers)
+      Entry.Scores.push_back(Scorer->score(Probs, S.Label));
+    Calib.add(std::move(Entry));
+  }
+  Calib.finalize();
+}
+
+std::vector<double> PromClassifier::softenedProbs(const data::Sample &S) const {
+  return applyTemperature(Model.predictProba(S), Temperature);
+}
+
+std::vector<double> PromClassifier::pValues(const data::Sample &S,
+                                            size_t Expert) const {
+  assert(isCalibrated() && "assess before calibrate");
+  std::vector<double> Probs = softenedProbs(S);
+  CalibrationSelection Sel = Calib.select(Model.embed(S), Cfg);
+  std::vector<double> TestScores(Probs.size());
+  for (size_t C = 0; C < Probs.size(); ++C)
+    TestScores[C] = Scorers[Expert]->score(Probs, static_cast<int>(C));
+  return Calib.pValues(Sel, Expert, TestScores, Cfg,
+                       Scorers[Expert]->isDiscrete());
+}
+
+ExpertOpinion PromClassifier::judge(const std::vector<double> &PVals,
+                                    int Predicted) const {
+  ExpertOpinion Op;
+  Op.Credibility = PVals[static_cast<size_t>(Predicted)];
+  for (double P : PVals)
+    if (P > Cfg.Epsilon)
+      ++Op.PredictionSetSize;
+  Op.Confidence = confidenceFromSetSize(Op.PredictionSetSize,
+                                        Cfg.ConfidenceC);
+  Op.FlagDrift = Op.Credibility < Cfg.credThreshold() &&
+                 Op.Confidence < Cfg.ConfThreshold;
+  return Op;
+}
+
+Verdict PromClassifier::assess(const data::Sample &S) const {
+  assert(isCalibrated() && "assess before calibrate");
+  Verdict V;
+  V.Probabilities = softenedProbs(S);
+  V.Predicted = static_cast<int>(support::argmax(V.Probabilities));
+
+  CalibrationSelection Sel = Calib.select(Model.embed(S), Cfg);
+  size_t NumClasses = V.Probabilities.size();
+  std::vector<double> TestScores(NumClasses);
+  V.Experts.reserve(Scorers.size());
+  for (size_t E = 0; E < Scorers.size(); ++E) {
+    for (size_t C = 0; C < NumClasses; ++C)
+      TestScores[C] =
+          Scorers[E]->score(V.Probabilities, static_cast<int>(C));
+    std::vector<double> PVals =
+        Calib.pValues(Sel, E, TestScores, Cfg, Scorers[E]->isDiscrete());
+    V.Experts.push_back(judge(PVals, V.Predicted));
+  }
+  V.Drifted = committeeFlags(V.Experts, Cfg, V.VotesToFlag);
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// PromDriftDetector
+//===----------------------------------------------------------------------===//
+
+void PromDriftDetector::fit(const ml::Classifier &Model,
+                            const data::Dataset &Calib, support::Rng &R) {
+  PromConfig Use = Cfg;
+  if (AutoTune && Calib.size() >= 10)
+    Use = gridSearch(Model, Calib, GridSearchSpace(), Cfg, R,
+                     /*Repeats=*/1, Mispredicted)
+              .Best;
+  Impl = std::make_unique<PromClassifier>(Model, Use);
+  Impl->calibrate(Calib);
+}
+
+bool PromDriftDetector::isDrifting(const data::Sample &S) const {
+  assert(Impl && "fit() not called");
+  return Impl->assess(S).Drifted;
+}
+
+//===----------------------------------------------------------------------===//
+// PromRegressor
+//===----------------------------------------------------------------------===//
+
+PromRegressor::PromRegressor(const ml::Regressor &Model, PromConfig Cfg)
+    : PromRegressor(Model, defaultRegressionScorers(), Cfg) {}
+
+PromRegressor::PromRegressor(
+    const ml::Regressor &Model,
+    std::vector<std::unique_ptr<RegressionScorer>> ScorersIn,
+    PromConfig CfgIn)
+    : Model(Model), Cfg(CfgIn), Scorers(std::move(ScorersIn)) {
+  assert(!Scorers.empty() && "committee needs at least one expert");
+}
+
+/// k-NN statistics of \p Embed against the calibration embeddings,
+/// excluding an optional \p SelfIndex.
+static void knnStats(const std::vector<std::vector<double>> &Embeds,
+                     const std::vector<double> &Targets,
+                     const std::vector<double> &Embed, size_t K,
+                     long SelfIndex, double &MeanTarget, double &Spread,
+                     double &MeanDist) {
+  std::vector<size_t> Near =
+      support::kNearest(Embeds, Embed, K + (SelfIndex >= 0 ? 1 : 0));
+  std::vector<double> NearTargets;
+  std::vector<double> Dists;
+  for (size_t Idx : Near) {
+    if (SelfIndex >= 0 && Idx == static_cast<size_t>(SelfIndex))
+      continue;
+    if (NearTargets.size() == K)
+      break;
+    NearTargets.push_back(Targets[Idx]);
+    Dists.push_back(support::euclidean(Embeds[Idx], Embed));
+  }
+  assert(!NearTargets.empty() && "calibration set too small for k-NN");
+  MeanTarget = support::mean(NearTargets);
+  Spread = support::stddev(NearTargets);
+  MeanDist = support::mean(Dists);
+}
+
+RegressionScoreInput
+PromRegressor::makeScoreInput(const std::vector<double> &Embed,
+                              double Prediction) const {
+  RegressionScoreInput In;
+  In.Prediction = Prediction;
+  In.ResidualIqr = ResidualIqr;
+  knnStats(CalibEmbeds, CalibTargets, Embed, Cfg.KnnK, /*SelfIndex=*/-1,
+           In.ApproxTarget, In.KnnTargetSpread, In.KnnMeanDistance);
+  return In;
+}
+
+void PromRegressor::calibrate(const data::Dataset &CalibSet,
+                              support::Rng &R) {
+  assert(CalibSet.size() > Cfg.KnnK && "calibration set too small");
+
+  CalibEmbeds.clear();
+  CalibTargets.clear();
+  std::vector<double> Predictions;
+  std::vector<double> Residuals;
+  for (const data::Sample &S : CalibSet.samples()) {
+    CalibEmbeds.push_back(Model.embed(S));
+    CalibTargets.push_back(S.Target);
+    double Pred = Model.predict(S);
+    Predictions.push_back(Pred);
+    Residuals.push_back(std::fabs(Pred - S.Target));
+  }
+  ResidualIqr = support::quantile(Residuals, 0.75) -
+                support::quantile(Residuals, 0.25);
+
+  // Pseudo-labels from k-means over the embedding space (Sec. 5.1.2).
+  size_t K = Cfg.FixedClusters;
+  if (K == 0)
+    K = support::gapStatisticK(CalibEmbeds, R, Cfg.MinClusters,
+                               std::min(Cfg.MaxClusters,
+                                        CalibSet.size() / 2));
+  support::KMeansResult Clusters = support::kMeans(CalibEmbeds, K, R);
+  Centroids = Clusters.Centroids;
+
+  Calib.clear();
+  Calib.reserve(CalibSet.size());
+  for (size_t I = 0; I < CalibSet.size(); ++I) {
+    CalibrationEntry Entry;
+    Entry.Embed = CalibEmbeds[I];
+    Entry.Label = Clusters.Assignments[I];
+
+    // Calibration samples use their true targets but the same local
+    // statistics pipeline as test samples (self excluded from the k-NN).
+    RegressionScoreInput In;
+    In.Prediction = Predictions[I];
+    In.ResidualIqr = ResidualIqr;
+    double ApproxUnused;
+    knnStats(CalibEmbeds, CalibTargets, CalibEmbeds[I], Cfg.KnnK,
+             static_cast<long>(I), ApproxUnused, In.KnnTargetSpread,
+             In.KnnMeanDistance);
+    In.ApproxTarget = CalibTargets[I];
+
+    Entry.Scores.reserve(Scorers.size());
+    for (const auto &Scorer : Scorers)
+      Entry.Scores.push_back(Scorer->score(In));
+    Calib.add(std::move(Entry));
+  }
+  Calib.finalize();
+}
+
+RegressionVerdict PromRegressor::assess(const data::Sample &S) const {
+  assert(!Calib.empty() && "assess before calibrate");
+  RegressionVerdict V;
+  V.Predicted = Model.predict(S);
+
+  std::vector<double> Embed = Model.embed(S);
+  V.Cluster = static_cast<int>(support::nearestCentroid(Centroids, Embed));
+
+  RegressionScoreInput In = makeScoreInput(Embed, V.Predicted);
+  CalibrationSelection Sel = Calib.select(Embed, Cfg);
+
+  V.Experts.reserve(Scorers.size());
+  for (size_t E = 0; E < Scorers.size(); ++E) {
+    double TestScore = Scorers[E]->score(In);
+    // The test score is label-independent for regression; the conditioning
+    // happens through which cluster's calibration scores it is compared to.
+    std::vector<double> TestScores(Centroids.size(), TestScore);
+    std::vector<double> PVals = Calib.pValues(Sel, E, TestScores, Cfg);
+
+    ExpertOpinion Op;
+    Op.Credibility = PVals[static_cast<size_t>(V.Cluster)];
+    for (double P : PVals)
+      if (P > Cfg.Epsilon)
+        ++Op.PredictionSetSize;
+    Op.Confidence =
+        confidenceFromSetSize(Op.PredictionSetSize, Cfg.ConfidenceC);
+    Op.FlagDrift = Op.Credibility < Cfg.credThreshold() &&
+                   Op.Confidence < Cfg.ConfThreshold;
+    V.Experts.push_back(Op);
+  }
+  V.Drifted = committeeFlags(V.Experts, Cfg, V.VotesToFlag);
+  return V;
+}

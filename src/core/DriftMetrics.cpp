@@ -1,0 +1,70 @@
+//===- core/DriftMetrics.cpp - Drift-detection confusion counts -------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DriftMetrics.h"
+
+using namespace prom;
+
+void DetectionCounts::record(bool Mispredicted, bool Rejected) {
+  if (Mispredicted && Rejected)
+    ++TruePositive;
+  else if (Mispredicted && !Rejected)
+    ++FalseNegative;
+  else if (!Mispredicted && Rejected)
+    ++FalsePositive;
+  else
+    ++TrueNegative;
+}
+
+double DetectionCounts::accuracy() const {
+  size_t N = total();
+  if (N == 0)
+    return 0.0;
+  return static_cast<double>(TruePositive + TrueNegative) /
+         static_cast<double>(N);
+}
+
+double DetectionCounts::precision() const {
+  size_t Denom = TruePositive + FalsePositive;
+  if (Denom == 0)
+    return 1.0; // No rejections: vacuously precise.
+  return static_cast<double>(TruePositive) / static_cast<double>(Denom);
+}
+
+double DetectionCounts::recall() const {
+  size_t Denom = TruePositive + FalseNegative;
+  if (Denom == 0)
+    return 1.0; // No mispredictions to find.
+  return static_cast<double>(TruePositive) / static_cast<double>(Denom);
+}
+
+double DetectionCounts::f1() const {
+  double P = precision(), R = recall();
+  if (P + R == 0.0)
+    return 0.0;
+  return 2.0 * P * R / (P + R);
+}
+
+double DetectionCounts::falsePositiveRate() const {
+  size_t Denom = FalsePositive + TrueNegative;
+  if (Denom == 0)
+    return 0.0;
+  return static_cast<double>(FalsePositive) / static_cast<double>(Denom);
+}
+
+double DetectionCounts::falseNegativeRate() const {
+  size_t Denom = TruePositive + FalseNegative;
+  if (Denom == 0)
+    return 0.0;
+  return static_cast<double>(FalseNegative) / static_cast<double>(Denom);
+}
+
+void DetectionCounts::merge(const DetectionCounts &Other) {
+  TruePositive += Other.TruePositive;
+  FalsePositive += Other.FalsePositive;
+  TrueNegative += Other.TrueNegative;
+  FalseNegative += Other.FalseNegative;
+}

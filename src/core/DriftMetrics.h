@@ -1,0 +1,54 @@
+//===- core/DriftMetrics.h - Drift-detection confusion counts ----*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Confusion counts and derived metrics for misprediction detection
+/// (paper Sec. 6.6). The positive class is "the underlying model
+/// mispredicts"; a detector rejection is a positive prediction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_CORE_DRIFTMETRICS_H
+#define PROM_CORE_DRIFTMETRICS_H
+
+#include <cstddef>
+
+namespace prom {
+
+/// Misprediction-detection confusion counts.
+struct DetectionCounts {
+  size_t TruePositive = 0;  ///< Mispredicted and rejected.
+  size_t FalsePositive = 0; ///< Correct but rejected.
+  size_t TrueNegative = 0;  ///< Correct and accepted.
+  size_t FalseNegative = 0; ///< Mispredicted but accepted.
+
+  /// Records one decision.
+  void record(bool Mispredicted, bool Rejected);
+
+  size_t total() const {
+    return TruePositive + FalsePositive + TrueNegative + FalseNegative;
+  }
+
+  /// Fraction of decisions that were correct.
+  double accuracy() const;
+  /// Of all rejections, the fraction that were real mispredictions.
+  double precision() const;
+  /// Of all mispredictions, the fraction that were rejected.
+  double recall() const;
+  /// Harmonic mean of precision and recall.
+  double f1() const;
+  /// Of all correct predictions, the fraction wrongly rejected.
+  double falsePositiveRate() const;
+  /// Of all mispredictions, the fraction wrongly accepted.
+  double falseNegativeRate() const;
+
+  /// Accumulates counts from \p Other.
+  void merge(const DetectionCounts &Other);
+};
+
+} // namespace prom
+
+#endif // PROM_CORE_DRIFTMETRICS_H

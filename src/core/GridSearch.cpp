@@ -1,0 +1,114 @@
+//===- core/GridSearch.cpp - Automatic parameter selection ------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GridSearch.h"
+#include "core/Detector.h"
+#include "core/DriftMetrics.h"
+#include "data/Split.h"
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace prom;
+
+GridSearchResult prom::gridSearch(const ml::Classifier &Model,
+                                  const data::Dataset &Calib,
+                                  const GridSearchSpace &Space,
+                                  const PromConfig &Base, support::Rng &R,
+                                  size_t Repeats,
+                                  const MispredicateFn &Mispredicted) {
+  assert(Calib.size() >= 10 && "calibration set too small for grid search");
+  MispredicateFn Wrong =
+      Mispredicted ? Mispredicted : labelMispredicate();
+  GridSearchResult Result;
+  Result.Best = Base;
+  Result.BestF1 = -1.0;
+
+  // Accumulated per-candidate F1 across the repeats. The swept value is
+  // the credibility threshold, decoupled from the prediction-set epsilon:
+  // sweeping epsilon itself would shrink the sets toward singletons at the
+  // same time it loosens the rejection bar, and the "both scores below"
+  // rule would block every flag (singleton => confidence 1.0).
+  std::vector<PromConfig> Candidates;
+  for (double Cred : Space.Epsilons)
+    for (double Conf : Space.ConfThresholds)
+      for (double Tau : Space.Taus) {
+        PromConfig Cfg = Base;
+        Cfg.CredThreshold = Cred;
+        Cfg.ConfThreshold = Conf;
+        Cfg.Tau = Tau;
+        Candidates.push_back(Cfg);
+      }
+  std::vector<double> F1Sum(Candidates.size(), 0.0);
+  std::vector<double> FlagRateSum(Candidates.size(), 0.0);
+  size_t FoldsWithPositives = 0;
+  size_t FoldsRun = 0;
+
+  for (size_t Rep = 0; Rep < Repeats; ++Rep) {
+    data::TrainTest Split = data::randomSplit(Calib, /*TestFraction=*/0.2, R);
+    if (Split.Train.empty() || Split.Test.empty())
+      continue;
+    ++FoldsRun;
+
+    // Calibration scores do not depend on the searched parameters, so one
+    // PromClassifier per split serves every candidate via config mutation.
+    PromClassifier Prom(Model, Base);
+    Prom.calibrate(Split.Train);
+
+    bool FoldHasPositives = false;
+    for (size_t CandIdx = 0; CandIdx < Candidates.size(); ++CandIdx) {
+      Prom.config() = Candidates[CandIdx];
+      DetectionCounts Counts;
+      for (const data::Sample &S : Split.Test.samples()) {
+        Verdict V = Prom.assess(S);
+        Counts.record(Wrong(S, V.Predicted), /*Rejected=*/V.Drifted);
+      }
+      F1Sum[CandIdx] += Counts.f1();
+      FlagRateSum[CandIdx] +=
+          static_cast<double>(Counts.TruePositive + Counts.FalsePositive) /
+          static_cast<double>(Split.Test.size());
+      FoldHasPositives |=
+          Counts.TruePositive + Counts.FalseNegative > 0;
+    }
+    if (FoldHasPositives)
+      ++FoldsWithPositives;
+  }
+  Result.NumEvaluated = Candidates.size();
+  if (FoldsRun == 0)
+    return Result;
+
+  if (FoldsWithPositives > 0) {
+    // F1 objective: the validation folds contain real mispredictions.
+    for (size_t CandIdx = 0; CandIdx < Candidates.size(); ++CandIdx) {
+      double MeanF1 = F1Sum[CandIdx] / static_cast<double>(FoldsRun);
+      if (MeanF1 > Result.BestF1) {
+        Result.BestF1 = MeanF1;
+        Result.Best = Candidates[CandIdx];
+      }
+    }
+    return Result;
+  }
+
+  // The model is (near-)perfect on its own distribution: every candidate's
+  // F1 is vacuous (no positives to find), and picking by F1 would always
+  // choose "flag nothing" — blinding the detector at deployment. Instead,
+  // spend the conformal false-alarm budget: choose the most sensitive
+  // thresholds whose in-distribution flag rate stays within Epsilon.
+  double BestSensitivity = -1.0;
+  for (size_t CandIdx = 0; CandIdx < Candidates.size(); ++CandIdx) {
+    double FlagRate = FlagRateSum[CandIdx] / static_cast<double>(FoldsRun);
+    if (FlagRate > Base.Epsilon + 0.02)
+      continue;
+    double Sensitivity = Candidates[CandIdx].credThreshold() +
+                         Candidates[CandIdx].ConfThreshold;
+    if (Sensitivity > BestSensitivity) {
+      BestSensitivity = Sensitivity;
+      Result.Best = Candidates[CandIdx];
+      Result.BestF1 = 0.0; // No positives: F1 undefined, report 0.
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,64 @@
+//===- core/GridSearch.h - Automatic parameter selection ---------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Grid-search parameter selection (paper Sec. 5.2). Candidate
+/// (epsilon, confidence-threshold, tau) triples are evaluated on internal
+/// calibration/validation splits: the objective is the F1 of detecting the
+/// underlying model's own mispredictions on the validation half, which
+/// needs no deployment data. Calibration scores are epsilon/tau-agnostic,
+/// so each split is calibrated once and every candidate reuses it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_CORE_GRIDSEARCH_H
+#define PROM_CORE_GRIDSEARCH_H
+
+#include "core/IncrementalLearner.h"
+#include "core/PromConfig.h"
+#include "data/Dataset.h"
+#include "ml/Model.h"
+
+#include <vector>
+
+namespace prom {
+
+/// Candidate values per tuned parameter. The credibility threshold range
+/// reaches well above the default epsilon because a model that is already
+/// imperfect on its calibration data needs a looser rejection bar to catch
+/// deployment mispredictions (the objective below measures exactly that).
+struct GridSearchSpace {
+  /// Swept credibility thresholds (the prediction-set epsilon stays at the
+  /// base config's value; see gridSearch() for why they are decoupled).
+  std::vector<double> Epsilons = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5};
+  /// Swept confidence thresholds; 1.01 disables the confidence conjunct
+  /// (credibility-only rejection), letting the data decide whether the
+  /// set-size signal helps for this model.
+  std::vector<double> ConfThresholds = {0.90, 0.95, 1.01};
+  std::vector<double> Taus = {100.0, 500.0, 2000.0};
+};
+
+/// Winning configuration plus search bookkeeping.
+struct GridSearchResult {
+  PromConfig Best;
+  double BestF1 = 0.0;
+  size_t NumEvaluated = 0;
+};
+
+/// Searches \p Space around \p Base; \p Repeats internal 80/20 splits of
+/// \p Calib are averaged per candidate. \p Mispredicted defines the
+/// positive class of the F1 objective (defaults to label mismatch; the
+/// code-optimization tasks pass the >= 20%-below-oracle predicate).
+GridSearchResult gridSearch(const ml::Classifier &Model,
+                            const data::Dataset &Calib,
+                            const GridSearchSpace &Space,
+                            const PromConfig &Base, support::Rng &R,
+                            size_t Repeats = 2,
+                            const MispredicateFn &Mispredicted = nullptr);
+
+} // namespace prom
+
+#endif // PROM_CORE_GRIDSEARCH_H

@@ -1,0 +1,181 @@
+//===- core/IncrementalLearner.cpp - Deployment-time improvement ------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/IncrementalLearner.h"
+#include "core/Detector.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace prom;
+
+MispredicateFn prom::labelMispredicate() {
+  return [](const data::Sample &S, int Predicted) {
+    return Predicted != S.Label;
+  };
+}
+
+MispredicateFn prom::perfToOracleMispredicate(double Slack) {
+  return [Slack](const data::Sample &S, int Predicted) {
+    return S.perfToOracle(Predicted) < 1.0 - Slack;
+  };
+}
+
+bool prom::regressionMispredicted(double Predicted, double Target,
+                                  double Slack) {
+  double Scale = std::max(std::fabs(Target), 1e-9);
+  return std::fabs(Predicted - Target) / Scale > Slack;
+}
+
+/// Ranks the flagged indices by ascending mean credibility so the most
+/// out-of-distribution samples are relabeled first.
+static std::vector<size_t>
+rankFlagged(const std::vector<size_t> &Flagged,
+            const std::vector<double> &Credibility) {
+  std::vector<size_t> Order(Flagged);
+  std::sort(Order.begin(), Order.end(), [&Credibility](size_t A, size_t B) {
+    if (Credibility[A] != Credibility[B])
+      return Credibility[A] < Credibility[B];
+    return A < B;
+  });
+  return Order;
+}
+
+IncrementalOutcome prom::runIncrementalLearning(
+    ml::Classifier &Model, const data::Dataset &Train,
+    const data::Dataset &Calib, const data::Dataset &Test,
+    const PromConfig &Cfg, const IncrementalConfig &IlCfg,
+    const MispredicateFn &Mispredicted, support::Rng &R) {
+  assert(!Test.empty() && "empty deployment set");
+  IncrementalOutcome Out;
+
+  // Deployment pass: predict + assess every test sample.
+  PromClassifier Prom(Model, Cfg);
+  Prom.calibrate(Calib);
+
+  std::vector<size_t> Flagged;
+  std::vector<double> Credibility(Test.size(), 0.0);
+  size_t NativeCorrect = 0;
+  bool HasCosts = !Test[0].OptionCosts.empty();
+  for (size_t I = 0; I < Test.size(); ++I) {
+    const data::Sample &S = Test[I];
+    Verdict V = Prom.assess(S);
+    Credibility[I] = V.meanCredibility();
+    bool Wrong = Mispredicted(S, V.Predicted);
+    Out.Detection.record(Wrong, V.Drifted);
+    if (V.Drifted)
+      Flagged.push_back(I);
+    if (V.Predicted == S.Label)
+      ++NativeCorrect;
+    if (HasCosts)
+      Out.NativePerf.push_back(S.perfToOracle(V.Predicted));
+  }
+  Out.NativeAccuracy =
+      static_cast<double>(NativeCorrect) / static_cast<double>(Test.size());
+  Out.NumFlagged = Flagged.size();
+
+  // Relabel the lowest-credibility flagged samples within the budget. A
+  // non-positive budget means detection-only (no model update); otherwise
+  // at least one flagged sample is relabeled (the paper's C1 case updates
+  // on a single sample).
+  size_t Budget = 0;
+  if (IlCfg.RelabelBudget > 0.0) {
+    Budget = static_cast<size_t>(IlCfg.RelabelBudget *
+                                 static_cast<double>(Test.size()) + 0.5);
+    if (!Flagged.empty())
+      Budget = std::max<size_t>(Budget, 1);
+  }
+  std::vector<size_t> Ranked = rankFlagged(Flagged, Credibility);
+  if (Ranked.size() > Budget)
+    Ranked.resize(Budget);
+  Out.NumRelabeled = Ranked.size();
+  Out.RelabeledIndices = Ranked;
+
+  if (!Ranked.empty()) {
+    // Merge: original training data + oversampled relabeled samples. The
+    // samples carry their oracle labels, which is exactly the user feedback
+    // loop of Figure 3.
+    data::Dataset Merged = Train;
+    data::Dataset NewCalib = Calib;
+    for (size_t I : Ranked) {
+      for (size_t Copy = 0; Copy < IlCfg.OversampleFactor; ++Copy)
+        Merged.add(Test[I]);
+      if (IlCfg.RefreshCalibration)
+        NewCalib.add(Test[I]);
+    }
+    Model.update(Merged, R);
+    Prom.calibrate(IlCfg.RefreshCalibration ? NewCalib : Calib);
+  }
+
+  // Post-update deployment performance.
+  size_t UpdatedCorrect = 0;
+  for (size_t I = 0; I < Test.size(); ++I) {
+    const data::Sample &S = Test[I];
+    int Pred = Model.predict(S);
+    if (Pred == S.Label)
+      ++UpdatedCorrect;
+    if (HasCosts)
+      Out.UpdatedPerf.push_back(S.perfToOracle(Pred));
+  }
+  Out.UpdatedAccuracy =
+      static_cast<double>(UpdatedCorrect) / static_cast<double>(Test.size());
+  return Out;
+}
+
+RegressionIncrementalOutcome prom::runIncrementalLearningRegression(
+    ml::Regressor &Model, const data::Dataset &Train,
+    const data::Dataset &Calib, const data::Dataset &Test,
+    const PromConfig &Cfg, const IncrementalConfig &IlCfg, support::Rng &R) {
+  assert(!Test.empty() && "empty deployment set");
+  RegressionIncrementalOutcome Out;
+
+  PromRegressor Prom(Model, Cfg);
+  Prom.calibrate(Calib, R);
+
+  std::vector<size_t> Flagged;
+  std::vector<double> Credibility(Test.size(), 0.0);
+  double NativeErrSum = 0.0;
+  for (size_t I = 0; I < Test.size(); ++I) {
+    const data::Sample &S = Test[I];
+    RegressionVerdict V = Prom.assess(S);
+    Credibility[I] = V.meanCredibility();
+    bool Wrong = regressionMispredicted(V.Predicted, S.Target);
+    Out.Detection.record(Wrong, V.Drifted);
+    if (V.Drifted)
+      Flagged.push_back(I);
+    double Scale = std::max(std::fabs(S.Target), 1e-9);
+    NativeErrSum += std::fabs(V.Predicted - S.Target) / Scale;
+  }
+  Out.NativeError = NativeErrSum / static_cast<double>(Test.size());
+  Out.NumFlagged = Flagged.size();
+
+  size_t Budget = static_cast<size_t>(
+      IlCfg.RelabelBudget * static_cast<double>(Test.size()) + 0.5);
+  if (!Flagged.empty())
+    Budget = std::max<size_t>(Budget, 1);
+  std::vector<size_t> Ranked = rankFlagged(Flagged, Credibility);
+  if (Ranked.size() > Budget)
+    Ranked.resize(Budget);
+  Out.NumRelabeled = Ranked.size();
+
+  if (!Ranked.empty()) {
+    data::Dataset Merged = Train;
+    for (size_t I : Ranked)
+      for (size_t Copy = 0; Copy < IlCfg.OversampleFactor; ++Copy)
+        Merged.add(Test[I]); // Sample::Target is the profiled ground truth.
+    Model.update(Merged, R);
+  }
+
+  double UpdatedErrSum = 0.0;
+  for (const data::Sample &S : Test.samples()) {
+    double Scale = std::max(std::fabs(S.Target), 1e-9);
+    UpdatedErrSum += std::fabs(Model.predict(S) - S.Target) / Scale;
+  }
+  Out.UpdatedError = UpdatedErrSum / static_cast<double>(Test.size());
+  return Out;
+}

@@ -1,0 +1,108 @@
+//===- core/IncrementalLearner.h - Deployment-time improvement ---*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental-learning feedback loop (paper Sec. 5.4, Figures 3/9):
+/// PROM assesses every deployment sample, the flagged ones are ranked by
+/// ascending credibility, a small budget (default 5% of the deployment set)
+/// is relabeled by the task oracle, the underlying model is warm-start
+/// updated on the merged data, and the calibration set is refreshed so the
+/// detector adapts alongside the model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_CORE_INCREMENTALLEARNER_H
+#define PROM_CORE_INCREMENTALLEARNER_H
+
+#include "core/DriftMetrics.h"
+#include "core/PromConfig.h"
+#include "data/Dataset.h"
+#include "ml/Model.h"
+
+#include <functional>
+#include <vector>
+
+namespace prom {
+
+/// Incremental-learning policy knobs.
+struct IncrementalConfig {
+  /// Relabeling budget as a fraction of the deployment set (paper: <= 5%).
+  double RelabelBudget = 0.05;
+  /// Each relabeled sample is replicated this many times in the merged
+  /// training set so a handful of new samples can steer the update.
+  size_t OversampleFactor = 4;
+  /// Refresh PROM's calibration set with the relabeled samples.
+  bool RefreshCalibration = true;
+};
+
+/// "Is this prediction a misprediction?" — task-specific (paper Sec. 6.6:
+/// label mismatch for bug detection, >=20% below the oracle for the code
+/// optimization tasks).
+using MispredicateFn =
+    std::function<bool(const data::Sample &S, int Predicted)>;
+
+/// Label-mismatch mispredicate (the classification default).
+MispredicateFn labelMispredicate();
+
+/// Perf-to-oracle mispredicate: mispredicted when the chosen option's
+/// performance is more than \p Slack below the oracle (paper: Slack = 0.2).
+MispredicateFn perfToOracleMispredicate(double Slack = 0.2);
+
+/// Outcome of one deployment + incremental-learning round.
+struct IncrementalOutcome {
+  /// PROM's misprediction detection on the deployment set (pre-update).
+  DetectionCounts Detection;
+  /// Accuracy of the model before/after the update.
+  double NativeAccuracy = 0.0;
+  double UpdatedAccuracy = 0.0;
+  /// Per-sample performance-to-oracle before/after (empty when the task has
+  /// no option costs). Feeds the violin summaries of Figures 7/9.
+  std::vector<double> NativePerf;
+  std::vector<double> UpdatedPerf;
+  size_t NumFlagged = 0;
+  size_t NumRelabeled = 0;
+  /// Test-set indices of the relabeled samples, so callers running
+  /// repeated rounds can fold them into the training/calibration sets.
+  std::vector<size_t> RelabeledIndices;
+};
+
+/// Runs one full classification deployment round.
+///
+/// \param Model trained underlying model; updated in place.
+/// \param Train original training data (merged into the update).
+/// \param Calib PROM calibration set.
+/// \param Test deployment samples (ground-truth labels are the oracle).
+/// \param Mispredicted task-specific misprediction predicate.
+IncrementalOutcome runIncrementalLearning(
+    ml::Classifier &Model, const data::Dataset &Train,
+    const data::Dataset &Calib, const data::Dataset &Test,
+    const PromConfig &Cfg, const IncrementalConfig &IlCfg,
+    const MispredicateFn &Mispredicted, support::Rng &R);
+
+/// Regression flavour (paper case study 5): flagged samples are "profiled"
+/// (their true targets revealed) and the cost model is updated.
+struct RegressionIncrementalOutcome {
+  DetectionCounts Detection;
+  /// Mean absolute relative error before/after the update.
+  double NativeError = 0.0;
+  double UpdatedError = 0.0;
+  size_t NumFlagged = 0;
+  size_t NumRelabeled = 0;
+};
+
+/// Mispredicted when |pred - target| / max(|target|, eps) > Slack
+/// (paper: 20% deviation from profiling results).
+bool regressionMispredicted(double Predicted, double Target,
+                            double Slack = 0.2);
+
+RegressionIncrementalOutcome runIncrementalLearningRegression(
+    ml::Regressor &Model, const data::Dataset &Train,
+    const data::Dataset &Calib, const data::Dataset &Test,
+    const PromConfig &Cfg, const IncrementalConfig &IlCfg, support::Rng &R);
+
+} // namespace prom
+
+#endif // PROM_CORE_INCREMENTALLEARNER_H

@@ -1,0 +1,118 @@
+//===- core/Nonconformity.cpp - Nonconformity functions ---------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Nonconformity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace prom;
+
+ClassificationScorer::~ClassificationScorer() = default;
+RegressionScorer::~RegressionScorer() = default;
+
+double LacScorer::score(const std::vector<double> &Probs, int Label) const {
+  assert(Label >= 0 && static_cast<size_t>(Label) < Probs.size());
+  return 1.0 - Probs[static_cast<size_t>(Label)];
+}
+
+/// 1-based rank of \p Label when probabilities are sorted descending.
+static size_t labelRank(const std::vector<double> &Probs, int Label) {
+  double P = Probs[static_cast<size_t>(Label)];
+  size_t Rank = 1;
+  for (size_t C = 0; C < Probs.size(); ++C) {
+    if (static_cast<int>(C) == Label)
+      continue;
+    // Ties broken by index so the rank is deterministic.
+    if (Probs[C] > P || (Probs[C] == P && C < static_cast<size_t>(Label)))
+      ++Rank;
+  }
+  return Rank;
+}
+
+/// Soft descending-probability rank of \p Label: sum_j min(1, p_j / p_l).
+/// Coincides with the hard rank on one-hot distributions and grows
+/// smoothly as probability mass spreads.
+static double softRank(const std::vector<double> &Probs, int Label) {
+  double PL = std::max(Probs[static_cast<size_t>(Label)], 1e-12);
+  double Rank = 0.0;
+  for (double P : Probs)
+    Rank += std::min(1.0, P / PL);
+  return Rank;
+}
+
+double TopKScorer::score(const std::vector<double> &Probs, int Label) const {
+  assert(Label >= 0 && static_cast<size_t>(Label) < Probs.size());
+  return softRank(Probs, Label);
+}
+
+/// Cumulative mass strictly above the label plus half the label's own mass
+/// (the deterministic u = 0.5 variant of APS). The half-inclusion matters:
+/// with the full label mass included, a confident model drives every
+/// calibration score to exactly 1.0 and the p-values degenerate into float
+/// ties.
+static double apsMass(const std::vector<double> &Probs, int Label,
+                      size_t Rank) {
+  std::vector<double> Sorted(Probs);
+  std::sort(Sorted.begin(), Sorted.end(), std::greater<double>());
+  double Sum = 0.0;
+  for (size_t I = 0; I + 1 < Rank; ++I)
+    Sum += Sorted[I];
+  return Sum + 0.5 * Probs[static_cast<size_t>(Label)];
+}
+
+double ApsScorer::score(const std::vector<double> &Probs, int Label) const {
+  assert(Label >= 0 && static_cast<size_t>(Label) < Probs.size());
+  return apsMass(Probs, Label, labelRank(Probs, Label));
+}
+
+double RapsScorer::score(const std::vector<double> &Probs, int Label) const {
+  assert(Label >= 0 && static_cast<size_t>(Label) < Probs.size());
+  double Soft = softRank(Probs, Label);
+  double Penalty = Soft > KReg ? Lambda * (Soft - KReg) : 0.0;
+  return apsMass(Probs, Label, labelRank(Probs, Label)) + Penalty;
+}
+
+std::vector<std::unique_ptr<ClassificationScorer>>
+prom::defaultClassificationScorers() {
+  std::vector<std::unique_ptr<ClassificationScorer>> Scorers;
+  Scorers.push_back(std::make_unique<LacScorer>());
+  Scorers.push_back(std::make_unique<TopKScorer>());
+  Scorers.push_back(std::make_unique<ApsScorer>());
+  Scorers.push_back(std::make_unique<RapsScorer>());
+  return Scorers;
+}
+
+double AbsoluteResidualScorer::score(const RegressionScoreInput &In) const {
+  return std::fabs(In.Prediction - In.ApproxTarget);
+}
+
+double
+KnnNormalizedResidualScorer::score(const RegressionScoreInput &In) const {
+  return std::fabs(In.Prediction - In.ApproxTarget) /
+         (In.KnnTargetSpread + 1e-6);
+}
+
+double IqrScaledResidualScorer::score(const RegressionScoreInput &In) const {
+  return std::fabs(In.Prediction - In.ApproxTarget) /
+         (In.ResidualIqr + 1e-6);
+}
+
+double FeatureDistanceScorer::score(const RegressionScoreInput &In) const {
+  return In.KnnMeanDistance;
+}
+
+std::vector<std::unique_ptr<RegressionScorer>>
+prom::defaultRegressionScorers() {
+  std::vector<std::unique_ptr<RegressionScorer>> Scorers;
+  Scorers.push_back(std::make_unique<AbsoluteResidualScorer>());
+  Scorers.push_back(std::make_unique<KnnNormalizedResidualScorer>());
+  Scorers.push_back(std::make_unique<IqrScaledResidualScorer>());
+  Scorers.push_back(std::make_unique<FeatureDistanceScorer>());
+  return Scorers;
+}

@@ -1,0 +1,142 @@
+//===- core/Nonconformity.h - Nonconformity functions ------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The nonconformity functions PROM's expert committee is built from
+/// (paper Sec. 5.1.1 and the supplemental table).
+///
+/// Classification scorers map a probability vector and a candidate label to
+/// a "strangeness" value; the defaults are LAC, Top-K, APS and RAPS. The
+/// regression scorers consume the residual between the model prediction and
+/// the (k-NN approximated) ground truth plus local density statistics. New
+/// functions plug in by implementing the abstract class, exactly like the
+/// paper's extensibility story.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_CORE_NONCONFORMITY_H
+#define PROM_CORE_NONCONFORMITY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace prom {
+
+/// Nonconformity over classifier probability vectors. Higher = stranger.
+class ClassificationScorer {
+public:
+  virtual ~ClassificationScorer();
+
+  /// Nonconformity of label \p Label under probability vector \p Probs.
+  virtual double score(const std::vector<double> &Probs, int Label) const = 0;
+
+  /// True when scores are tie-heavy discrete values (e.g. ranks); the
+  /// score-scaling weight mode falls back to weighted counting for these.
+  virtual bool isDiscrete() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+/// LAC (Sadinle et al.): 1 - p(label).
+class LacScorer : public ClassificationScorer {
+public:
+  double score(const std::vector<double> &Probs, int Label) const override;
+  std::string name() const override { return "LAC"; }
+};
+
+/// Top-K (Angelopoulos et al.), deployment-adapted soft-rank form:
+/// sum_j min(1, p_j / p_label). At the predicted (argmax) label the hard
+/// rank is 1 by construction and carries no deployment-time signal, while
+/// the soft rank reduces to 1 / max(p) and grows smoothly as the
+/// distribution flattens — the rank semantics Top-K is meant to capture.
+class TopKScorer : public ClassificationScorer {
+public:
+  double score(const std::vector<double> &Probs, int Label) const override;
+  std::string name() const override { return "TopK"; }
+};
+
+/// APS (Romano et al.): cumulative probability mass from the most probable
+/// class down to and including the label.
+class ApsScorer : public ClassificationScorer {
+public:
+  double score(const std::vector<double> &Probs, int Label) const override;
+  std::string name() const override { return "APS"; }
+};
+
+/// RAPS (Angelopoulos et al.): APS plus the soft-rank regularizer
+/// lambda * max(0, softRank - kReg), which keeps the regularizer active at
+/// deployment time (see TopKScorer for why the hard rank cannot be).
+class RapsScorer : public ClassificationScorer {
+public:
+  explicit RapsScorer(double Lambda = 0.25, double KReg = 1.5)
+      : Lambda(Lambda), KReg(KReg) {}
+  double score(const std::vector<double> &Probs, int Label) const override;
+  std::string name() const override { return "RAPS"; }
+
+private:
+  double Lambda;
+  double KReg;
+};
+
+/// The paper's default committee: {LAC, TopK, APS, RAPS}.
+std::vector<std::unique_ptr<ClassificationScorer>>
+defaultClassificationScorers();
+
+/// Inputs to a regression nonconformity function (Sec. 5.1.1). For
+/// calibration samples ApproxTarget is the true target; for test samples it
+/// is the mean target of the k nearest calibration samples.
+struct RegressionScoreInput {
+  double Prediction = 0.0;     ///< Model output.
+  double ApproxTarget = 0.0;   ///< True (calib) or k-NN-approximated target.
+  double KnnTargetSpread = 0.0; ///< Stddev of the k-NN targets.
+  double KnnMeanDistance = 0.0; ///< Mean feature distance to the k-NN.
+  double ResidualIqr = 0.0;    ///< IQR of calibration residuals (global).
+};
+
+/// Nonconformity over regression predictions. Higher = stranger.
+class RegressionScorer {
+public:
+  virtual ~RegressionScorer();
+  virtual double score(const RegressionScoreInput &In) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// |prediction - target|.
+class AbsoluteResidualScorer : public RegressionScorer {
+public:
+  double score(const RegressionScoreInput &In) const override;
+  std::string name() const override { return "AbsRes"; }
+};
+
+/// Residual scaled by the local k-NN target spread (locally adaptive CP).
+class KnnNormalizedResidualScorer : public RegressionScorer {
+public:
+  double score(const RegressionScoreInput &In) const override;
+  std::string name() const override { return "KnnRes"; }
+};
+
+/// Residual scaled by the global calibration-residual IQR.
+class IqrScaledResidualScorer : public RegressionScorer {
+public:
+  double score(const RegressionScoreInput &In) const override;
+  std::string name() const override { return "IqrRes"; }
+};
+
+/// Pure novelty expert: mean feature distance to the k nearest calibration
+/// samples (large when the input sits outside the calibration manifold).
+class FeatureDistanceScorer : public RegressionScorer {
+public:
+  double score(const RegressionScoreInput &In) const override;
+  std::string name() const override { return "FeatDist"; }
+};
+
+/// The default regression committee: {AbsRes, KnnRes, IqrRes, FeatDist}.
+std::vector<std::unique_ptr<RegressionScorer>> defaultRegressionScorers();
+
+} // namespace prom
+
+#endif // PROM_CORE_NONCONFORMITY_H

@@ -1,0 +1,97 @@
+//===- data/Dataset.cpp - Sample collections ------------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Dataset.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace prom::data;
+
+double Sample::perfToOracle(int PredLabel) const {
+  assert(!OptionCosts.empty() && "sample has no option costs");
+  assert(PredLabel >= 0 &&
+         static_cast<size_t>(PredLabel) < OptionCosts.size() &&
+         "predicted option out of range");
+  double Best = *std::min_element(OptionCosts.begin(), OptionCosts.end());
+  double Chosen = OptionCosts[static_cast<size_t>(PredLabel)];
+  assert(Best > 0.0 && Chosen > 0.0 && "costs must be positive");
+  return Best / Chosen;
+}
+
+size_t Dataset::featureDim() const {
+  return Samples.empty() ? 0 : Samples.front().Features.size();
+}
+
+Dataset Dataset::subset(const std::vector<size_t> &Indices) const {
+  Dataset Out(Name, NumClasses, VocabSize);
+  Out.reserve(Indices.size());
+  for (size_t I : Indices) {
+    assert(I < Samples.size() && "subset index out of range");
+    Out.add(Samples[I]);
+  }
+  return Out;
+}
+
+Dataset Dataset::byGroups(const std::vector<int> &Groups) const {
+  Dataset Out(Name, NumClasses, VocabSize);
+  for (const Sample &S : Samples)
+    if (std::find(Groups.begin(), Groups.end(), S.Group) != Groups.end())
+      Out.add(S);
+  return Out;
+}
+
+Dataset Dataset::excludingGroups(const std::vector<int> &Groups) const {
+  Dataset Out(Name, NumClasses, VocabSize);
+  for (const Sample &S : Samples)
+    if (std::find(Groups.begin(), Groups.end(), S.Group) == Groups.end())
+      Out.add(S);
+  return Out;
+}
+
+Dataset Dataset::byYearRange(int FromYear, int ToYear) const {
+  Dataset Out(Name, NumClasses, VocabSize);
+  for (const Sample &S : Samples)
+    if (S.Year >= FromYear && S.Year <= ToYear)
+      Out.add(S);
+  return Out;
+}
+
+std::vector<int> Dataset::groupIds() const {
+  std::vector<int> Ids;
+  for (const Sample &S : Samples)
+    if (std::find(Ids.begin(), Ids.end(), S.Group) == Ids.end())
+      Ids.push_back(S.Group);
+  std::sort(Ids.begin(), Ids.end());
+  return Ids;
+}
+
+std::vector<size_t> Dataset::classCounts() const {
+  std::vector<size_t> Counts(static_cast<size_t>(std::max(NumClasses, 0)), 0);
+  for (const Sample &S : Samples) {
+    if (S.Label < 0)
+      continue;
+    assert(static_cast<size_t>(S.Label) < Counts.size() &&
+           "label exceeds class count");
+    ++Counts[static_cast<size_t>(S.Label)];
+  }
+  return Counts;
+}
+
+std::vector<std::vector<double>> Dataset::featureRows() const {
+  std::vector<std::vector<double>> Rows;
+  Rows.reserve(Samples.size());
+  for (const Sample &S : Samples)
+    Rows.push_back(S.Features);
+  return Rows;
+}
+
+void Dataset::append(const Dataset &Other) {
+  assert((NumClasses == 0 || Other.NumClasses == 0 ||
+          NumClasses == Other.NumClasses) &&
+         "appending dataset with different class count");
+  Samples.insert(Samples.end(), Other.Samples.begin(), Other.Samples.end());
+}

@@ -1,0 +1,88 @@
+//===- data/Dataset.h - Sample collections ----------------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Dataset is an ordered collection of Samples plus task-level metadata
+/// (class count, vocabulary size). It provides the selection helpers the
+/// split/drift machinery builds on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_DATA_DATASET_H
+#define PROM_DATA_DATASET_H
+
+#include "data/Sample.h"
+
+#include <string>
+#include <vector>
+
+namespace prom {
+namespace data {
+
+/// Ordered sample collection with task metadata.
+class Dataset {
+public:
+  Dataset() = default;
+  Dataset(std::string Name, int NumClasses, int VocabSize = 0)
+      : Name(std::move(Name)), NumClasses(NumClasses), VocabSize(VocabSize) {}
+
+  const std::string &name() const { return Name; }
+  int numClasses() const { return NumClasses; }
+  int vocabSize() const { return VocabSize; }
+  void setNumClasses(int N) { NumClasses = N; }
+  void setVocabSize(int V) { VocabSize = V; }
+
+  size_t size() const { return Samples.size(); }
+  bool empty() const { return Samples.empty(); }
+
+  void add(Sample S) { Samples.push_back(std::move(S)); }
+  void reserve(size_t N) { Samples.reserve(N); }
+
+  Sample &operator[](size_t I) { return Samples[I]; }
+  const Sample &operator[](size_t I) const { return Samples[I]; }
+
+  std::vector<Sample> &samples() { return Samples; }
+  const std::vector<Sample> &samples() const { return Samples; }
+
+  /// Feature dimensionality of the first sample (0 when empty).
+  size_t featureDim() const;
+
+  /// New dataset holding copies of the samples at \p Indices (metadata
+  /// preserved).
+  Dataset subset(const std::vector<size_t> &Indices) const;
+
+  /// Samples whose Group is in \p Groups.
+  Dataset byGroups(const std::vector<int> &Groups) const;
+
+  /// Samples whose Group is NOT in \p Groups.
+  Dataset excludingGroups(const std::vector<int> &Groups) const;
+
+  /// Samples with FromYear <= Year <= ToYear.
+  Dataset byYearRange(int FromYear, int ToYear) const;
+
+  /// Sorted list of distinct Group ids present.
+  std::vector<int> groupIds() const;
+
+  /// Count of samples per class label (length numClasses()).
+  std::vector<size_t> classCounts() const;
+
+  /// Feature rows of all samples.
+  std::vector<std::vector<double>> featureRows() const;
+
+  /// Appends all samples of \p Other (metadata must be compatible).
+  void append(const Dataset &Other);
+
+private:
+  std::string Name;
+  int NumClasses = 0;
+  int VocabSize = 0;
+  std::vector<Sample> Samples;
+};
+
+} // namespace data
+} // namespace prom
+
+#endif // PROM_DATA_DATASET_H

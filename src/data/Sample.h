@@ -1,0 +1,88 @@
+//===- data/Sample.h - One labeled program sample ---------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unit of data flowing through the system.
+///
+/// PROM's underlying models consume different program representations: the
+/// Magni/Stock-style models use numeric characteristics, DeepTune/Vulde-style
+/// models use token sequences, and ProGraML-style models use program graphs.
+/// A Sample carries all three (task generators fill what applies) plus the
+/// supervision signal and the metadata used to stage data drift (benchmark
+/// suite / collection year).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_DATA_SAMPLE_H
+#define PROM_DATA_SAMPLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace prom {
+namespace data {
+
+/// A small program graph (ProGraML-style stand-in): per-node feature rows
+/// plus directed edges. Used by the GCN model in the heterogeneous-mapping
+/// case study.
+struct Graph {
+  int NumNodes = 0;
+  int FeatDim = 0;
+  /// Row-major NumNodes x FeatDim node feature matrix.
+  std::vector<double> NodeFeats;
+  /// Directed (src, dst) pairs; self-loops are added by the GCN itself.
+  std::vector<std::pair<int, int>> Edges;
+
+  double nodeFeat(int Node, int Feat) const {
+    return NodeFeats[static_cast<size_t>(Node) * FeatDim + Feat];
+  }
+};
+
+/// One labeled sample.
+struct Sample {
+  /// Numeric characteristics (always present; the models' fallback feature
+  /// space and the space PROM measures calibration distances in).
+  std::vector<double> Features;
+
+  /// Token-id sequence for sequence models (empty when not applicable).
+  std::vector<int> Tokens;
+
+  /// Program graph for graph models (empty when not applicable).
+  Graph ProgramGraph;
+
+  /// Class label for classification tasks (-1 when not applicable).
+  int Label = -1;
+
+  /// Regression target (0 when not applicable).
+  double Target = 0.0;
+
+  /// Cost of choosing each class option, for code-optimization tasks where
+  /// "performance to the oracle" is computed per prediction. OptionCosts[c]
+  /// is the simulated runtime when option c is chosen; the oracle label is
+  /// the argmin. Empty for pure classification (e.g. bug detection).
+  std::vector<double> OptionCosts;
+
+  /// Grouping id used for leave-group-out drift splits (benchmark suite,
+  /// benchmark family, or network variant).
+  int Group = 0;
+
+  /// Collection year, used for temporal drift splits (vulnerability task).
+  int Year = 0;
+
+  /// Stable sample id, useful in logs and tests.
+  uint64_t Id = 0;
+
+  /// Performance of predicting \p PredLabel relative to the oracle choice:
+  /// bestCost / chosenCost, in (0, 1]. Requires OptionCosts.
+  double perfToOracle(int PredLabel) const;
+};
+
+} // namespace data
+} // namespace prom
+
+#endif // PROM_DATA_SAMPLE_H

@@ -1,0 +1,54 @@
+//===- data/Scaler.cpp - Feature standardization ---------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Scaler.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace prom::data;
+
+void StandardScaler::fit(const Dataset &Train) {
+  assert(!Train.empty() && "cannot fit scaler on empty data");
+  size_t Dim = Train.featureDim();
+  Mean.assign(Dim, 0.0);
+  Stddev.assign(Dim, 0.0);
+  double N = static_cast<double>(Train.size());
+
+  for (const Sample &S : Train.samples()) {
+    assert(S.Features.size() == Dim && "inconsistent feature dims");
+    for (size_t D = 0; D < Dim; ++D)
+      Mean[D] += S.Features[D];
+  }
+  for (size_t D = 0; D < Dim; ++D)
+    Mean[D] /= N;
+
+  for (const Sample &S : Train.samples())
+    for (size_t D = 0; D < Dim; ++D) {
+      double Delta = S.Features[D] - Mean[D];
+      Stddev[D] += Delta * Delta;
+    }
+  for (size_t D = 0; D < Dim; ++D) {
+    Stddev[D] = std::sqrt(Stddev[D] / N);
+    if (Stddev[D] < 1e-12)
+      Stddev[D] = 1.0; // Constant dimension: center only.
+  }
+}
+
+std::vector<double>
+StandardScaler::transform(const std::vector<double> &Features) const {
+  assert(isFitted() && "scaler not fitted");
+  assert(Features.size() == Mean.size() && "feature dim mismatch");
+  std::vector<double> Out(Features.size());
+  for (size_t D = 0; D < Features.size(); ++D)
+    Out[D] = (Features[D] - Mean[D]) / Stddev[D];
+  return Out;
+}
+
+void StandardScaler::transformInPlace(Dataset &Data) const {
+  for (Sample &S : Data.samples())
+    S.Features = transform(S.Features);
+}

@@ -1,0 +1,51 @@
+//===- data/Scaler.h - Feature standardization -------------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Z-score feature standardization fitted on training data and applied to
+/// deployment samples; keeps distance computations in PROM's adaptive
+/// calibration selection meaningful across heterogeneous feature scales.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_DATA_SCALER_H
+#define PROM_DATA_SCALER_H
+
+#include "data/Dataset.h"
+
+#include <vector>
+
+namespace prom {
+namespace data {
+
+/// Per-dimension z-score scaler. Dimensions with zero variance pass through
+/// centered but unscaled.
+class StandardScaler {
+public:
+  /// Learns per-dimension means and standard deviations from \p Train.
+  void fit(const Dataset &Train);
+
+  /// Whether fit() has been called.
+  bool isFitted() const { return !Mean.empty(); }
+
+  /// Returns the standardized copy of \p Features.
+  std::vector<double> transform(const std::vector<double> &Features) const;
+
+  /// Standardizes Sample::Features of every sample in place.
+  void transformInPlace(Dataset &Data) const;
+
+  const std::vector<double> &means() const { return Mean; }
+  const std::vector<double> &stddevs() const { return Stddev; }
+
+private:
+  std::vector<double> Mean;
+  std::vector<double> Stddev;
+};
+
+} // namespace data
+} // namespace prom
+
+#endif // PROM_DATA_SCALER_H

@@ -1,0 +1,90 @@
+//===- data/Split.cpp - Train/calibration/test splitting ------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Split.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace prom;
+using namespace prom::data;
+
+TrainTest prom::data::randomSplit(const Dataset &Data, double TestFraction,
+                                  support::Rng &R) {
+  assert(TestFraction >= 0.0 && TestFraction <= 1.0 &&
+         "test fraction out of range");
+  std::vector<size_t> Perm = R.permutation(Data.size());
+  size_t NumTest = static_cast<size_t>(TestFraction *
+                                       static_cast<double>(Data.size()));
+  std::vector<size_t> TestIdx(Perm.begin(), Perm.begin() + NumTest);
+  std::vector<size_t> TrainIdx(Perm.begin() + NumTest, Perm.end());
+  return {Data.subset(TrainIdx), Data.subset(TestIdx)};
+}
+
+TrainTest prom::data::stratifiedSplit(const Dataset &Data,
+                                      double TestFraction, support::Rng &R) {
+  assert(Data.numClasses() > 0 && "stratified split needs class labels");
+  std::vector<std::vector<size_t>> PerClass(
+      static_cast<size_t>(Data.numClasses()));
+  for (size_t I = 0; I < Data.size(); ++I) {
+    int L = Data[I].Label;
+    assert(L >= 0 && L < Data.numClasses() && "label out of range");
+    PerClass[static_cast<size_t>(L)].push_back(I);
+  }
+  std::vector<size_t> TrainIdx, TestIdx;
+  for (auto &Members : PerClass) {
+    R.shuffle(Members);
+    size_t NumTest = static_cast<size_t>(
+        TestFraction * static_cast<double>(Members.size()) + 0.5);
+    NumTest = std::min(NumTest, Members.size());
+    TestIdx.insert(TestIdx.end(), Members.begin(), Members.begin() + NumTest);
+    TrainIdx.insert(TrainIdx.end(), Members.begin() + NumTest, Members.end());
+  }
+  return {Data.subset(TrainIdx), Data.subset(TestIdx)};
+}
+
+std::vector<TrainTest> prom::data::kFold(const Dataset &Data, size_t K,
+                                         support::Rng &R) {
+  assert(K >= 2 && K <= Data.size() && "invalid fold count");
+  std::vector<size_t> Perm = R.permutation(Data.size());
+  std::vector<TrainTest> Folds;
+  Folds.reserve(K);
+  for (size_t F = 0; F < K; ++F) {
+    std::vector<size_t> TrainIdx, TestIdx;
+    for (size_t I = 0; I < Perm.size(); ++I) {
+      if (I % K == F)
+        TestIdx.push_back(Perm[I]);
+      else
+        TrainIdx.push_back(Perm[I]);
+    }
+    Folds.push_back({Data.subset(TrainIdx), Data.subset(TestIdx)});
+  }
+  return Folds;
+}
+
+std::vector<TrainTest> prom::data::leaveGroupOut(const Dataset &Data) {
+  std::vector<TrainTest> Splits;
+  for (int G : Data.groupIds()) {
+    std::vector<int> Held = {G};
+    Splits.push_back({Data.excludingGroups(Held), Data.byGroups(Held)});
+  }
+  return Splits;
+}
+
+std::pair<Dataset, Dataset>
+prom::data::calibrationPartition(const Dataset &Train, support::Rng &R,
+                                 double Ratio, size_t MaxCalibration) {
+  assert(Ratio > 0.0 && Ratio < 1.0 && "calibration ratio out of range");
+  std::vector<size_t> Perm = R.permutation(Train.size());
+  size_t NumCalib = static_cast<size_t>(
+      Ratio * static_cast<double>(Train.size()) + 0.5);
+  NumCalib = std::min(NumCalib, MaxCalibration);
+  NumCalib = std::min(NumCalib, Train.size());
+  std::vector<size_t> CalibIdx(Perm.begin(), Perm.begin() + NumCalib);
+  std::vector<size_t> TrainIdx(Perm.begin() + NumCalib, Perm.end());
+  return {Train.subset(TrainIdx), Train.subset(CalibIdx)};
+}

@@ -1,0 +1,65 @@
+//===- data/Split.h - Train/calibration/test splitting ----------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dataset partitioning: random and stratified holdouts, k-fold cross
+/// validation, leave-group-out drift splits, and PROM's calibration
+/// partition (paper Sec. 4.1.1: by default 10% of the training data, capped
+/// at 1,000 samples, is set aside for conformal calibration).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_DATA_SPLIT_H
+#define PROM_DATA_SPLIT_H
+
+#include "data/Dataset.h"
+
+#include <utility>
+#include <vector>
+
+namespace prom {
+namespace support {
+class Rng;
+} // namespace support
+
+namespace data {
+
+/// A train/test pair produced by a split policy.
+struct TrainTest {
+  Dataset Train;
+  Dataset Test;
+};
+
+/// Random holdout: \p TestFraction of samples go to Test.
+TrainTest randomSplit(const Dataset &Data, double TestFraction,
+                      support::Rng &R);
+
+/// Class-stratified holdout: each class contributes ~TestFraction of its
+/// samples to Test (classification datasets only).
+TrainTest stratifiedSplit(const Dataset &Data, double TestFraction,
+                          support::Rng &R);
+
+/// K-fold partitions: element i holds (train = all but fold i, test = fold
+/// i). Samples are shuffled once before folding.
+std::vector<TrainTest> kFold(const Dataset &Data, size_t K, support::Rng &R);
+
+/// Leave-group-out: one TrainTest per distinct Group id, testing on that
+/// group and training on the rest. This is how the paper stages data drift
+/// for the benchmark-suite tasks (train on N-1 suites, deploy on the held
+/// out suite).
+std::vector<TrainTest> leaveGroupOut(const Dataset &Data);
+
+/// PROM calibration partition: randomly holds out
+/// min(Ratio * |Train|, MaxCalibration) samples for conformal calibration.
+/// First = remaining training data, Second = calibration set.
+std::pair<Dataset, Dataset>
+calibrationPartition(const Dataset &Train, support::Rng &R,
+                     double Ratio = 0.1, size_t MaxCalibration = 1000);
+
+} // namespace data
+} // namespace prom
+
+#endif // PROM_DATA_SPLIT_H

@@ -1,0 +1,131 @@
+//===- eval/ModelZoo.cpp - The paper's 13 underlying models ------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/ModelZoo.h"
+#include "ml/AttentionPool.h"
+#include "ml/Gcn.h"
+#include "ml/GradientBoosting.h"
+#include "ml/Linear.h"
+#include "ml/Lstm.h"
+#include "ml/Mlp.h"
+
+#include <cassert>
+
+using namespace prom;
+using namespace prom::eval;
+
+std::vector<std::string> prom::eval::classifierNamesFor(TaskId Task) {
+  switch (Task) {
+  case TaskId::ThreadCoarsening:
+    return {"Magni", "DeepTune", "IR2Vec"};
+  case TaskId::LoopVectorization:
+    return {"K.Stock", "DeepTune", "Magni"};
+  case TaskId::HeterogeneousMapping:
+    return {"DeepTune", "ProGraML", "IR2Vec"};
+  case TaskId::VulnerabilityDetection:
+    return {"Vulde", "CodeXGLUE", "LineVul"};
+  case TaskId::DnnCodeGeneration:
+    return {}; // Regression task; see makeTlpRegressor().
+  }
+  return {};
+}
+
+std::string prom::eval::taskDisplayName(TaskId Task) {
+  switch (Task) {
+  case TaskId::ThreadCoarsening:
+    return "C1: thread coarsening";
+  case TaskId::LoopVectorization:
+    return "C2: loop vectorization";
+  case TaskId::HeterogeneousMapping:
+    return "C3: heterogeneous mapping";
+  case TaskId::VulnerabilityDetection:
+    return "C4: vulnerability detection";
+  case TaskId::DnnCodeGeneration:
+    return "C5: DNN code generation";
+  }
+  return "?";
+}
+
+/// MLP sized for the task's feature dimensionality and label count.
+static std::unique_ptr<ml::Classifier> makeMlp(TaskId Task) {
+  ml::MlpConfig Cfg;
+  if (Task == TaskId::LoopVectorization) {
+    Cfg.HiddenSizes = {48, 24};
+    Cfg.Epochs = 60;
+  } else {
+    Cfg.HiddenSizes = {32, 16};
+    Cfg.Epochs = 150;
+  }
+  return std::make_unique<ml::MlpClassifier>(Cfg);
+}
+
+static std::unique_ptr<ml::Classifier> makeLstm(TaskId Task,
+                                                bool Bidirectional) {
+  ml::LstmConfig Cfg;
+  Cfg.Bidirectional = Bidirectional;
+  Cfg.EmbedDim = 16;
+  Cfg.HiddenDim = 16;
+  switch (Task) {
+  case TaskId::ThreadCoarsening:
+    Cfg.Epochs = 40; // Tiny corpus: more passes.
+    break;
+  case TaskId::LoopVectorization:
+    Cfg.Epochs = 10;
+    break;
+  default:
+    Cfg.Epochs = 12;
+    break;
+  }
+  return std::make_unique<ml::LstmClassifier>(Cfg);
+}
+
+static std::unique_ptr<ml::Classifier> makeGbc(TaskId Task) {
+  ml::BoostConfig Cfg;
+  if (Task == TaskId::LoopVectorization)
+    Cfg.Rounds = 30; // 35 classes: keep the tree count in check.
+  else
+    Cfg.Rounds = 60;
+  return std::make_unique<ml::GradientBoostingClassifier>(Cfg);
+}
+
+static std::unique_ptr<ml::Classifier> makeAttention(const std::string &Name,
+                                                     bool Larger) {
+  ml::AttentionConfig Cfg;
+  if (Larger) {
+    Cfg.AttnDim = 24;
+    Cfg.HiddenDim = 32;
+    Cfg.Epochs = 24;
+  }
+  return std::make_unique<ml::AttentionClassifier>(Cfg, Name);
+}
+
+std::unique_ptr<ml::Classifier>
+prom::eval::makeClassifier(TaskId Task, const std::string &Name) {
+  if (Name == "Magni")
+    return makeMlp(Task);
+  if (Name == "DeepTune")
+    return makeLstm(Task, /*Bidirectional=*/false);
+  if (Name == "Vulde")
+    return makeLstm(Task, /*Bidirectional=*/true);
+  if (Name == "IR2Vec")
+    return makeGbc(Task);
+  if (Name == "K.Stock")
+    return std::make_unique<ml::LinearSvm>();
+  if (Name == "ProGraML")
+    return std::make_unique<ml::GcnClassifier>();
+  if (Name == "CodeXGLUE")
+    return makeAttention(Name, /*Larger=*/false);
+  if (Name == "LineVul")
+    return makeAttention(Name, /*Larger=*/true);
+  assert(false && "unknown model name");
+  return nullptr;
+}
+
+std::unique_ptr<ml::Regressor> prom::eval::makeTlpRegressor() {
+  ml::AttentionConfig Cfg;
+  Cfg.Epochs = 30;
+  return std::make_unique<ml::AttentionRegressor>(Cfg, "TLP");
+}

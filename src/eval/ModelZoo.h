@@ -1,0 +1,61 @@
+//===- eval/ModelZoo.h - The paper's 13 underlying models ---------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factories for the underlying models of Table 1, keyed by the names the
+/// paper uses. Each case study gets its published model line-up:
+///
+///   C1 thread coarsening:      Magni (MLP), DeepTune (LSTM), IR2Vec (GBC)
+///   C2 loop vectorization:     K.Stock (SVM), DeepTune (LSTM), Magni (MLP)
+///   C3 heterogeneous mapping:  DeepTune (LSTM), ProGraML (GCN), IR2Vec (GBC)
+///   C4 vulnerability detection: Vulde (BiLSTM), CodeXGLUE (Attn),
+///                               LineVul (Attn)
+///   C5 DNN code generation:    TLP (attention regressor)
+///
+/// Hyperparameters are tuned per task size so full bench sweeps stay
+/// tractable on a laptop-class machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_EVAL_MODELZOO_H
+#define PROM_EVAL_MODELZOO_H
+
+#include "ml/Model.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace prom {
+namespace eval {
+
+/// Case-study identifiers used across the bench harness.
+enum class TaskId {
+  ThreadCoarsening = 1,
+  LoopVectorization = 2,
+  HeterogeneousMapping = 3,
+  VulnerabilityDetection = 4,
+  DnnCodeGeneration = 5,
+};
+
+/// Paper model names evaluated on a classification task.
+std::vector<std::string> classifierNamesFor(TaskId Task);
+
+/// Builds the named underlying classifier with task-appropriate
+/// hyperparameters. Asserts on unknown names.
+std::unique_ptr<ml::Classifier> makeClassifier(TaskId Task,
+                                               const std::string &Name);
+
+/// Builds the TLP-style cost-model regressor for case study 5.
+std::unique_ptr<ml::Regressor> makeTlpRegressor();
+
+/// Short display string of a case study ("C1: thread coarsening", ...).
+std::string taskDisplayName(TaskId Task);
+
+} // namespace eval
+} // namespace prom
+
+#endif // PROM_EVAL_MODELZOO_H

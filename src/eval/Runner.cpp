@@ -1,0 +1,136 @@
+//===- eval/Runner.cpp - Shared experiment drivers ---------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Runner.h"
+#include "data/Split.h"
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace prom;
+using namespace prom::eval;
+
+PreparedSplit prom::eval::prepare(const tasks::TaskSplit &Split,
+                                  support::Rng &R, double CalibRatio,
+                                  size_t MaxCalibration) {
+  assert(!Split.Train.empty() && !Split.Test.empty() && "empty split");
+
+  data::StandardScaler Scaler;
+  Scaler.fit(Split.Train);
+
+  data::Dataset Train = Split.Train;
+  data::Dataset Test = Split.Test;
+  Scaler.transformInPlace(Train);
+  Scaler.transformInPlace(Test);
+
+  PreparedSplit Out;
+  auto [Remaining, Calib] =
+      data::calibrationPartition(Train, R, CalibRatio, MaxCalibration);
+  Out.Train = std::move(Remaining);
+  Out.Calib = std::move(Calib);
+  Out.Test = std::move(Test);
+  return Out;
+}
+
+double prom::eval::macroF1(const std::vector<int> &Truth,
+                           const std::vector<int> &Pred, int NumClasses) {
+  assert(Truth.size() == Pred.size() && "length mismatch");
+  double F1Sum = 0.0;
+  int ClassesSeen = 0;
+  for (int C = 0; C < NumClasses; ++C) {
+    size_t Tp = 0, Fp = 0, Fn = 0;
+    for (size_t I = 0; I < Truth.size(); ++I) {
+      bool IsC = Truth[I] == C, PredC = Pred[I] == C;
+      if (IsC && PredC)
+        ++Tp;
+      else if (!IsC && PredC)
+        ++Fp;
+      else if (IsC && !PredC)
+        ++Fn;
+    }
+    if (Tp + Fn == 0)
+      continue; // Class absent from the test set.
+    ++ClassesSeen;
+    double Precision = Tp + Fp == 0 ? 0.0
+                                    : static_cast<double>(Tp) /
+                                          static_cast<double>(Tp + Fp);
+    double Recall =
+        static_cast<double>(Tp) / static_cast<double>(Tp + Fn);
+    if (Precision + Recall > 0.0)
+      F1Sum += 2.0 * Precision * Recall / (Precision + Recall);
+  }
+  return ClassesSeen == 0 ? 0.0 : F1Sum / static_cast<double>(ClassesSeen);
+}
+
+NativeReport prom::eval::evaluateNative(const ml::Classifier &Model,
+                                        const data::Dataset &Test) {
+  NativeReport Report;
+  std::vector<int> Truth, Pred;
+  size_t Correct = 0;
+  bool HasCosts = !Test.empty() && !Test[0].OptionCosts.empty();
+  for (const data::Sample &S : Test.samples()) {
+    int P = Model.predict(S);
+    Truth.push_back(S.Label);
+    Pred.push_back(P);
+    if (P == S.Label)
+      ++Correct;
+    if (HasCosts)
+      Report.PerfSamples.push_back(S.perfToOracle(P));
+  }
+  Report.Accuracy =
+      Test.empty() ? 0.0
+                   : static_cast<double>(Correct) /
+                         static_cast<double>(Test.size());
+  Report.MacroF1 = macroF1(Truth, Pred, Test.numClasses());
+  return Report;
+}
+
+MispredicateFn prom::eval::mispredicateFor(bool HasOptionCosts) {
+  return HasOptionCosts ? perfToOracleMispredicate(0.2)
+                        : labelMispredicate();
+}
+
+DeploymentRow prom::eval::runDeployment(TaskId Task,
+                                        const std::string &ModelName,
+                                        const tasks::TaskSplit &DesignSplit,
+                                        const tasks::TaskSplit &DriftSplit,
+                                        const PromConfig &Cfg,
+                                        const IncrementalConfig &IlCfg,
+                                        uint64_t Seed) {
+  DeploymentRow Row;
+  Row.SplitName = DriftSplit.Name;
+  Row.ModelName = ModelName;
+  support::Rng R(Seed);
+
+  // Design-time reading: train and test inside the same distribution.
+  {
+    PreparedSplit Prep = prepare(DesignSplit, R);
+    std::unique_ptr<ml::Classifier> Model = makeClassifier(Task, ModelName);
+    Model->fit(Prep.Train, R);
+    Row.Design = evaluateNative(*Model, Prep.Test);
+  }
+
+  // Deployment: train on the drift split's sources, deploy on the target,
+  // then run the PROM detection + incremental-learning round. Rejection
+  // thresholds are tuned by the paper's grid-search parameter selection on
+  // the calibration set (Sec. 5.2) before deployment.
+  {
+    PreparedSplit Prep = prepare(DriftSplit, R);
+    std::unique_ptr<ml::Classifier> Model = makeClassifier(Task, ModelName);
+    Model->fit(Prep.Train, R);
+    Row.Deployment = evaluateNative(*Model, Prep.Test);
+
+    bool HasCosts = !Prep.Test[0].OptionCosts.empty();
+    MispredicateFn Wrong = mispredicateFor(HasCosts);
+    GridSearchResult Tuned = gridSearch(*Model, Prep.Calib,
+                                        GridSearchSpace(), Cfg, R,
+                                        /*Repeats=*/1, Wrong);
+    Row.Prom = runIncrementalLearning(*Model, Prep.Train, Prep.Calib,
+                                      Prep.Test, Tuned.Best, IlCfg, Wrong,
+                                      R);
+  }
+  return Row;
+}

@@ -1,0 +1,85 @@
+//===- eval/Runner.h - Shared experiment drivers ------------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment plumbing every bench binary shares: feature scaling +
+/// calibration partitioning of a task split, native model evaluation
+/// (accuracy / macro-F1 / per-sample performance-to-oracle), and the full
+/// PROM deployment round (detection + incremental learning) built on the
+/// core library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_EVAL_RUNNER_H
+#define PROM_EVAL_RUNNER_H
+
+#include "core/Prom.h"
+#include "data/Scaler.h"
+#include "eval/ModelZoo.h"
+#include "tasks/CaseStudy.h"
+
+#include <string>
+#include <vector>
+
+namespace prom {
+namespace eval {
+
+/// A task split after feature scaling and calibration partitioning.
+struct PreparedSplit {
+  data::Dataset Train; ///< Scaled training data minus the calibration part.
+  data::Dataset Calib; ///< PROM calibration set (10%, capped at 1,000).
+  data::Dataset Test;  ///< Scaled deployment set.
+};
+
+/// Standardizes features on the training side and carves out the paper's
+/// default calibration partition.
+PreparedSplit prepare(const tasks::TaskSplit &Split, support::Rng &R,
+                      double CalibRatio = 0.1, size_t MaxCalibration = 1000);
+
+/// Plain model quality on a test set.
+struct NativeReport {
+  double Accuracy = 0.0;
+  double MacroF1 = 0.0;
+  /// Per-sample performance-to-oracle (empty without option costs).
+  std::vector<double> PerfSamples;
+};
+
+/// Evaluates \p Model on \p Test without PROM in the loop.
+NativeReport evaluateNative(const ml::Classifier &Model,
+                            const data::Dataset &Test);
+
+/// Macro-averaged F1 over true/predicted label pairs.
+double macroF1(const std::vector<int> &Truth, const std::vector<int> &Pred,
+               int NumClasses);
+
+/// The task-appropriate misprediction predicate (paper Sec. 6.6): label
+/// mismatch when the task has no option costs, else >= 20% below oracle.
+MispredicateFn mispredicateFor(bool HasOptionCosts);
+
+/// One full deployment round of one (task split, model) pair.
+struct DeploymentRow {
+  std::string SplitName;
+  std::string ModelName;
+  NativeReport Design;     ///< Design-time (in-distribution) quality.
+  NativeReport Deployment; ///< Deployment-time quality before PROM.
+  IncrementalOutcome Prom; ///< Detection + incremental-learning outcome.
+};
+
+/// Trains the model on the drift split, records design/deployment quality
+/// and runs the PROM detection + incremental-learning round.
+///
+/// \param DesignSplit in-distribution split used for the design-time
+///        reading (trained independently from the drift model).
+DeploymentRow runDeployment(TaskId Task, const std::string &ModelName,
+                            const tasks::TaskSplit &DesignSplit,
+                            const tasks::TaskSplit &DriftSplit,
+                            const PromConfig &Cfg,
+                            const IncrementalConfig &IlCfg, uint64_t Seed);
+
+} // namespace eval
+} // namespace prom
+
+#endif // PROM_EVAL_RUNNER_H

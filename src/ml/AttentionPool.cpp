@@ -1,0 +1,312 @@
+//===- ml/AttentionPool.cpp - Attention-pooling network ---------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/AttentionPool.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace prom;
+using namespace prom::ml;
+using support::Matrix;
+
+void AttentionCore::init(int VocabSize, size_t OutputDim,
+                         const AttentionConfig &CfgIn, support::Rng &R) {
+  Cfg = CfgIn;
+  Vocab = VocabSize;
+  OutDim = OutputDim;
+
+  EmbedW = Matrix(static_cast<size_t>(Vocab), Cfg.EmbedDim);
+  EmbedW.fillGaussian(R, 0.1);
+  Wk = Matrix(Cfg.EmbedDim, Cfg.AttnDim);
+  Wk.fillGaussian(R, 1.0 / std::sqrt(static_cast<double>(Cfg.EmbedDim)));
+  Bk.assign(Cfg.AttnDim, 0.0);
+  Query.assign(Cfg.AttnDim, 0.0);
+  for (double &Q : Query)
+    Q = R.gaussian(0.0, 0.5);
+  Wv = Matrix(Cfg.EmbedDim, Cfg.AttnDim);
+  Wv.fillGaussian(R, 1.0 / std::sqrt(static_cast<double>(Cfg.EmbedDim)));
+  Bv.assign(Cfg.AttnDim, 0.0);
+  W1 = Matrix(Cfg.AttnDim, Cfg.HiddenDim);
+  W1.fillGaussian(R, std::sqrt(2.0 / static_cast<double>(Cfg.AttnDim)));
+  B1.assign(Cfg.HiddenDim, 0.0);
+  W2 = Matrix(Cfg.HiddenDim, OutDim);
+  W2.fillGaussian(R, 1.0 / std::sqrt(static_cast<double>(Cfg.HiddenDim)));
+  B2.assign(OutDim, 0.0);
+
+  EmbedOpt = AdamState();
+  WkOpt = BkOpt = QueryOpt = WvOpt = BvOpt = AdamState();
+  W1Opt = B1Opt = W2Opt = B2Opt = AdamState();
+}
+
+/// out = in * W + b for a row vector.
+static std::vector<double> affine(const std::vector<double> &In,
+                                  const Matrix &W,
+                                  const std::vector<double> &B) {
+  std::vector<double> Out = B;
+  for (size_t I = 0; I < W.rows(); ++I) {
+    double XI = In[I];
+    if (XI == 0.0)
+      continue;
+    const double *Row = W.rowPtr(I);
+    for (size_t J = 0; J < W.cols(); ++J)
+      Out[J] += XI * Row[J];
+  }
+  return Out;
+}
+
+void AttentionCore::forward(const std::vector<int> &Tokens, Trace &T) const {
+  assert(!Tokens.empty() && "attention over empty sequence");
+  size_t Len = std::min(Tokens.size(), Cfg.MaxSeqLen);
+  T.Tokens.assign(Tokens.begin(), Tokens.begin() + Len);
+  T.X.resize(Len);
+  T.Keys.resize(Len);
+
+  std::vector<double> Scores(Len);
+  for (size_t P = 0; P < Len; ++P) {
+    assert(T.Tokens[P] >= 0 && T.Tokens[P] < Vocab && "token out of vocab");
+    T.X[P] = EmbedW.row(static_cast<size_t>(T.Tokens[P]));
+    T.Keys[P] = affine(T.X[P], Wk, Bk);
+    for (double &K : T.Keys[P])
+      K = std::tanh(K);
+    Scores[P] = support::dot(T.Keys[P], Query);
+  }
+  support::softmaxInPlace(Scores);
+  T.Alpha = Scores;
+
+  T.Pooled.assign(Cfg.AttnDim, 0.0);
+  for (size_t P = 0; P < Len; ++P) {
+    std::vector<double> V = affine(T.X[P], Wv, Bv);
+    support::axpy(T.Pooled, V, T.Alpha[P]);
+  }
+
+  T.Hidden = affine(T.Pooled, W1, B1);
+  for (double &H : T.Hidden)
+    H = H > 0.0 ? H : 0.0;
+  T.Out = affine(T.Hidden, W2, B2);
+}
+
+void AttentionCore::backwardAndStep(const Trace &T,
+                                    const std::vector<double> &DOut,
+                                    const AdamConfig &Adam) {
+  size_t Len = T.Tokens.size();
+
+  // Head layer 2.
+  Matrix GradW2(W2.rows(), W2.cols());
+  std::vector<double> DHidden(Cfg.HiddenDim, 0.0);
+  for (size_t I = 0; I < Cfg.HiddenDim; ++I) {
+    double HI = T.Hidden[I];
+    double *GRow = GradW2.rowPtr(I);
+    const double *Row = W2.rowPtr(I);
+    double Sum = 0.0;
+    for (size_t J = 0; J < OutDim; ++J) {
+      GRow[J] = HI * DOut[J];
+      Sum += Row[J] * DOut[J];
+    }
+    DHidden[I] = T.Hidden[I] > 0.0 ? Sum : 0.0; // ReLU mask.
+  }
+
+  // Head layer 1.
+  Matrix GradW1(W1.rows(), W1.cols());
+  std::vector<double> DPooled(Cfg.AttnDim, 0.0);
+  for (size_t I = 0; I < Cfg.AttnDim; ++I) {
+    double PI = T.Pooled[I];
+    double *GRow = GradW1.rowPtr(I);
+    const double *Row = W1.rowPtr(I);
+    double Sum = 0.0;
+    for (size_t J = 0; J < Cfg.HiddenDim; ++J) {
+      GRow[J] = PI * DHidden[J];
+      Sum += Row[J] * DHidden[J];
+    }
+    DPooled[I] = Sum;
+  }
+
+  // Attention pooling: pooled = sum_p alpha_p * v_p.
+  Matrix GradEmbed(EmbedW.rows(), EmbedW.cols());
+  Matrix GradWk(Wk.rows(), Wk.cols());
+  std::vector<double> GradBk(Cfg.AttnDim, 0.0);
+  std::vector<double> GradQ(Cfg.AttnDim, 0.0);
+  Matrix GradWv(Wv.rows(), Wv.cols());
+  std::vector<double> GradBv(Cfg.AttnDim, 0.0);
+
+  // d(alpha_p) = v_p . dPooled; softmax jacobian gives the score grads.
+  std::vector<double> DAlpha(Len), Values(Cfg.AttnDim);
+  std::vector<std::vector<double>> VCache(Len);
+  for (size_t P = 0; P < Len; ++P) {
+    VCache[P] = affine(T.X[P], Wv, Bv);
+    DAlpha[P] = support::dot(VCache[P], DPooled);
+  }
+  double AlphaDot = 0.0;
+  for (size_t P = 0; P < Len; ++P)
+    AlphaDot += T.Alpha[P] * DAlpha[P];
+
+  for (size_t P = 0; P < Len; ++P) {
+    double DScore = T.Alpha[P] * (DAlpha[P] - AlphaDot);
+
+    // Key path: score = tanh(x Wk + bk) . q.
+    std::vector<double> DKeyPre(Cfg.AttnDim);
+    for (size_t J = 0; J < Cfg.AttnDim; ++J) {
+      double K = T.Keys[P][J];
+      GradQ[J] += DScore * K;
+      DKeyPre[J] = DScore * Query[J] * (1.0 - K * K);
+      GradBk[J] += DKeyPre[J];
+    }
+
+    // Value path: dV = alpha_p * dPooled.
+    std::vector<double> DV(Cfg.AttnDim);
+    for (size_t J = 0; J < Cfg.AttnDim; ++J) {
+      DV[J] = T.Alpha[P] * DPooled[J];
+      GradBv[J] += DV[J];
+    }
+
+    // Parameter and embedding gradients for this position.
+    double *EmbRow = GradEmbed.rowPtr(static_cast<size_t>(T.Tokens[P]));
+    for (size_t I = 0; I < Cfg.EmbedDim; ++I) {
+      double XI = T.X[P][I];
+      double *KRow = GradWk.rowPtr(I);
+      double *VRow = GradWv.rowPtr(I);
+      const double *WkRow = Wk.rowPtr(I);
+      const double *WvRow = Wv.rowPtr(I);
+      double DXi = 0.0;
+      for (size_t J = 0; J < Cfg.AttnDim; ++J) {
+        KRow[J] += XI * DKeyPre[J];
+        VRow[J] += XI * DV[J];
+        DXi += WkRow[J] * DKeyPre[J] + WvRow[J] * DV[J];
+      }
+      EmbRow[I] += DXi;
+    }
+  }
+
+  adamStep(W2, GradW2, W2Opt, Adam);
+  adamStep(B2, DOut, B2Opt, Adam);
+  adamStep(W1, GradW1, W1Opt, Adam);
+  adamStep(B1, DHidden, B1Opt, Adam);
+  adamStep(Wk, GradWk, WkOpt, Adam);
+  adamStep(Bk, GradBk, BkOpt, Adam);
+  adamStep(Query, GradQ, QueryOpt, Adam);
+  adamStep(Wv, GradWv, WvOpt, Adam);
+  adamStep(Bv, GradBv, BvOpt, Adam);
+  adamStep(EmbedW, GradEmbed, EmbedOpt, Adam);
+}
+
+//===----------------------------------------------------------------------===//
+// AttentionClassifier
+//===----------------------------------------------------------------------===//
+
+AttentionClassifier::AttentionClassifier(AttentionConfig CfgIn,
+                                         std::string DisplayNameIn)
+    : Cfg(CfgIn), DisplayName(std::move(DisplayNameIn)) {}
+
+void AttentionClassifier::trainEpochs(const data::Dataset &Data,
+                                      support::Rng &R, size_t Epochs,
+                                      double LearningRate) {
+  AdamConfig Adam;
+  Adam.LearningRate = LearningRate;
+  Adam.WeightDecay = Cfg.WeightDecay;
+
+  for (size_t Epoch = 0; Epoch < Epochs; ++Epoch) {
+    std::vector<size_t> Order = R.permutation(Data.size());
+    for (size_t I : Order) {
+      const data::Sample &S = Data[I];
+      AttentionCore::Trace T;
+      Core.forward(S.Tokens, T);
+      std::vector<double> DOut = T.Out;
+      support::softmaxInPlace(DOut);
+      DOut[static_cast<size_t>(S.Label)] -= 1.0;
+      Core.backwardAndStep(T, DOut, Adam);
+    }
+  }
+}
+
+void AttentionClassifier::fit(const data::Dataset &Train, support::Rng &R) {
+  assert(!Train.empty() && Train.numClasses() > 1 && "bad training set");
+  assert(Train.vocabSize() > 0 && "attention model needs a vocabulary");
+  Classes = Train.numClasses();
+  Core.init(Train.vocabSize(), static_cast<size_t>(Classes), Cfg, R);
+  trainEpochs(Train, R, Cfg.Epochs, Cfg.LearningRate);
+}
+
+void AttentionClassifier::update(const data::Dataset &Merged,
+                                 support::Rng &R) {
+  if (!Core.initialized() || Merged.numClasses() != Classes ||
+      Merged.vocabSize() != Core.vocab()) {
+    fit(Merged, R);
+    return;
+  }
+  trainEpochs(Merged, R, Cfg.FineTuneEpochs, Cfg.LearningRate * 0.3);
+}
+
+std::vector<double>
+AttentionClassifier::predictProba(const data::Sample &S) const {
+  AttentionCore::Trace T;
+  Core.forward(S.Tokens, T);
+  std::vector<double> P = T.Out;
+  support::softmaxInPlace(P);
+  return P;
+}
+
+std::vector<double> AttentionClassifier::embed(const data::Sample &S) const {
+  AttentionCore::Trace T;
+  Core.forward(S.Tokens, T);
+  return T.Hidden;
+}
+
+//===----------------------------------------------------------------------===//
+// AttentionRegressor
+//===----------------------------------------------------------------------===//
+
+AttentionRegressor::AttentionRegressor(AttentionConfig CfgIn,
+                                       std::string DisplayNameIn)
+    : Cfg(CfgIn), DisplayName(std::move(DisplayNameIn)) {}
+
+void AttentionRegressor::trainEpochs(const data::Dataset &Data,
+                                     support::Rng &R, size_t Epochs,
+                                     double LearningRate) {
+  AdamConfig Adam;
+  Adam.LearningRate = LearningRate;
+  Adam.WeightDecay = Cfg.WeightDecay;
+
+  for (size_t Epoch = 0; Epoch < Epochs; ++Epoch) {
+    std::vector<size_t> Order = R.permutation(Data.size());
+    for (size_t I : Order) {
+      const data::Sample &S = Data[I];
+      AttentionCore::Trace T;
+      Core.forward(S.Tokens, T);
+      std::vector<double> DOut = {T.Out[0] - S.Target};
+      Core.backwardAndStep(T, DOut, Adam);
+    }
+  }
+}
+
+void AttentionRegressor::fit(const data::Dataset &Train, support::Rng &R) {
+  assert(!Train.empty() && "bad training set");
+  assert(Train.vocabSize() > 0 && "attention model needs a vocabulary");
+  Core.init(Train.vocabSize(), 1, Cfg, R);
+  trainEpochs(Train, R, Cfg.Epochs, Cfg.LearningRate);
+}
+
+void AttentionRegressor::update(const data::Dataset &Merged,
+                                support::Rng &R) {
+  if (!Core.initialized() || Merged.vocabSize() != Core.vocab()) {
+    fit(Merged, R);
+    return;
+  }
+  trainEpochs(Merged, R, Cfg.FineTuneEpochs, Cfg.LearningRate * 0.3);
+}
+
+double AttentionRegressor::predict(const data::Sample &S) const {
+  AttentionCore::Trace T;
+  Core.forward(S.Tokens, T);
+  return T.Out[0];
+}
+
+std::vector<double> AttentionRegressor::embed(const data::Sample &S) const {
+  AttentionCore::Trace T;
+  Core.forward(S.Tokens, T);
+  return T.Hidden;
+}

@@ -1,0 +1,280 @@
+//===- ml/DecisionTree.cpp - CART trees -------------------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/DecisionTree.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace prom;
+using namespace prom::ml;
+
+/// Picks the candidate feature set for one split: all features, or a random
+/// subset of the requested size.
+static std::vector<size_t> candidateFeatures(size_t NumFeatures,
+                                             size_t Subset,
+                                             support::Rng &R) {
+  std::vector<size_t> Features(NumFeatures);
+  for (size_t F = 0; F < NumFeatures; ++F)
+    Features[F] = F;
+  if (Subset == 0 || Subset >= NumFeatures)
+    return Features;
+  R.shuffle(Features);
+  Features.resize(Subset);
+  return Features;
+}
+
+namespace {
+
+/// Result of a best-split search on one node.
+struct SplitChoice {
+  int Feature = -1;
+  double Threshold = 0.0;
+  double Score = std::numeric_limits<double>::max();
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// RegressionTree
+//===----------------------------------------------------------------------===//
+
+/// Finds the variance-minimizing split of \p Idx on the candidate features.
+static SplitChoice bestRegressionSplit(
+    const std::vector<std::vector<double>> &X, const std::vector<double> &Y,
+    const std::vector<size_t> &Idx, const std::vector<size_t> &Features,
+    size_t MinLeaf) {
+  SplitChoice Best;
+  size_t N = Idx.size();
+  std::vector<size_t> Sorted(Idx);
+
+  for (size_t F : Features) {
+    std::sort(Sorted.begin(), Sorted.end(), [&X, F](size_t A, size_t B) {
+      return X[A][F] < X[B][F];
+    });
+
+    // Prefix sums of y and y^2 allow O(1) variance for any split point.
+    double SumLeft = 0.0, SqLeft = 0.0;
+    double SumTotal = 0.0, SqTotal = 0.0;
+    for (size_t I : Sorted) {
+      SumTotal += Y[I];
+      SqTotal += Y[I] * Y[I];
+    }
+    for (size_t Pos = 0; Pos + 1 < N; ++Pos) {
+      double YV = Y[Sorted[Pos]];
+      SumLeft += YV;
+      SqLeft += YV * YV;
+      size_t NL = Pos + 1, NR = N - NL;
+      if (NL < MinLeaf || NR < MinLeaf)
+        continue;
+      double XHere = X[Sorted[Pos]][F];
+      double XNext = X[Sorted[Pos + 1]][F];
+      if (XHere == XNext)
+        continue; // Cannot split between equal values.
+      double SumRight = SumTotal - SumLeft;
+      double SqRight = SqTotal - SqLeft;
+      double SseLeft = SqLeft - SumLeft * SumLeft / double(NL);
+      double SseRight = SqRight - SumRight * SumRight / double(NR);
+      double Score = SseLeft + SseRight;
+      if (Score < Best.Score) {
+        Best.Score = Score;
+        Best.Feature = static_cast<int>(F);
+        Best.Threshold = 0.5 * (XHere + XNext);
+      }
+    }
+  }
+  return Best;
+}
+
+int RegressionTree::build(const std::vector<std::vector<double>> &X,
+                          const std::vector<double> &Y,
+                          std::vector<size_t> &Idx, size_t Depth,
+                          const TreeConfig &Cfg, support::Rng &R) {
+  Node N;
+  double Sum = 0.0;
+  for (size_t I : Idx)
+    Sum += Y[I];
+  N.Value = Sum / static_cast<double>(Idx.size());
+
+  if (Depth < Cfg.MaxDepth && Idx.size() >= 2 * Cfg.MinSamplesLeaf) {
+    std::vector<size_t> Features =
+        candidateFeatures(X.front().size(), Cfg.FeatureSubset, R);
+    SplitChoice Split =
+        bestRegressionSplit(X, Y, Idx, Features, Cfg.MinSamplesLeaf);
+    if (Split.Feature >= 0) {
+      std::vector<size_t> LeftIdx, RightIdx;
+      for (size_t I : Idx) {
+        if (X[I][static_cast<size_t>(Split.Feature)] <= Split.Threshold)
+          LeftIdx.push_back(I);
+        else
+          RightIdx.push_back(I);
+      }
+      N.Feature = Split.Feature;
+      N.Threshold = Split.Threshold;
+      int Self = static_cast<int>(Nodes.size());
+      Nodes.push_back(N);
+      Nodes[static_cast<size_t>(Self)].Left =
+          build(X, Y, LeftIdx, Depth + 1, Cfg, R);
+      Nodes[static_cast<size_t>(Self)].Right =
+          build(X, Y, RightIdx, Depth + 1, Cfg, R);
+      return Self;
+    }
+  }
+
+  int Self = static_cast<int>(Nodes.size());
+  Nodes.push_back(N);
+  return Self;
+}
+
+void RegressionTree::fit(const std::vector<std::vector<double>> &X,
+                         const std::vector<double> &Y,
+                         const std::vector<size_t> &Idx,
+                         const TreeConfig &Cfg, support::Rng &R) {
+  assert(!Idx.empty() && "empty fit index set");
+  Nodes.clear();
+  std::vector<size_t> Work(Idx);
+  build(X, Y, Work, 0, Cfg, R);
+}
+
+double RegressionTree::predict(const std::vector<double> &X) const {
+  assert(!Nodes.empty() && "tree not fitted");
+  int Cur = 0;
+  for (;;) {
+    const Node &N = Nodes[static_cast<size_t>(Cur)];
+    if (N.Feature < 0)
+      return N.Value;
+    Cur = X[static_cast<size_t>(N.Feature)] <= N.Threshold ? N.Left : N.Right;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ClassificationTree
+//===----------------------------------------------------------------------===//
+
+/// Gini impurity of class counts over \p Total samples.
+static double gini(const std::vector<double> &Counts, double Total) {
+  if (Total <= 0.0)
+    return 0.0;
+  double Sum = 0.0;
+  for (double C : Counts) {
+    double P = C / Total;
+    Sum += P * P;
+  }
+  return 1.0 - Sum;
+}
+
+/// Finds the Gini-minimizing split of \p Idx on the candidate features.
+static SplitChoice bestClassificationSplit(
+    const std::vector<std::vector<double>> &X, const std::vector<int> &Y,
+    int NumClasses, const std::vector<size_t> &Idx,
+    const std::vector<size_t> &Features, size_t MinLeaf) {
+  SplitChoice Best;
+  size_t N = Idx.size();
+  std::vector<size_t> Sorted(Idx);
+
+  std::vector<double> TotalCounts(static_cast<size_t>(NumClasses), 0.0);
+  for (size_t I : Idx)
+    TotalCounts[static_cast<size_t>(Y[I])] += 1.0;
+
+  for (size_t F : Features) {
+    std::sort(Sorted.begin(), Sorted.end(), [&X, F](size_t A, size_t B) {
+      return X[A][F] < X[B][F];
+    });
+
+    std::vector<double> LeftCounts(static_cast<size_t>(NumClasses), 0.0);
+    for (size_t Pos = 0; Pos + 1 < N; ++Pos) {
+      LeftCounts[static_cast<size_t>(Y[Sorted[Pos]])] += 1.0;
+      size_t NL = Pos + 1, NR = N - NL;
+      if (NL < MinLeaf || NR < MinLeaf)
+        continue;
+      double XHere = X[Sorted[Pos]][F];
+      double XNext = X[Sorted[Pos + 1]][F];
+      if (XHere == XNext)
+        continue;
+      std::vector<double> RightCounts(TotalCounts);
+      for (size_t C = 0; C < RightCounts.size(); ++C)
+        RightCounts[C] -= LeftCounts[C];
+      double Score = double(NL) * gini(LeftCounts, double(NL)) +
+                     double(NR) * gini(RightCounts, double(NR));
+      if (Score < Best.Score) {
+        Best.Score = Score;
+        Best.Feature = static_cast<int>(F);
+        Best.Threshold = 0.5 * (XHere + XNext);
+      }
+    }
+  }
+  return Best;
+}
+
+int ClassificationTree::build(const std::vector<std::vector<double>> &X,
+                              const std::vector<int> &Y, int NumClasses,
+                              std::vector<size_t> &Idx, size_t Depth,
+                              const TreeConfig &Cfg, support::Rng &R) {
+  Node N;
+  N.Proba.assign(static_cast<size_t>(NumClasses), 0.0);
+  for (size_t I : Idx)
+    N.Proba[static_cast<size_t>(Y[I])] += 1.0;
+  for (double &P : N.Proba)
+    P /= static_cast<double>(Idx.size());
+
+  bool Pure = false;
+  for (double P : N.Proba)
+    if (P == 1.0)
+      Pure = true;
+
+  if (!Pure && Depth < Cfg.MaxDepth && Idx.size() >= 2 * Cfg.MinSamplesLeaf) {
+    std::vector<size_t> Features =
+        candidateFeatures(X.front().size(), Cfg.FeatureSubset, R);
+    SplitChoice Split = bestClassificationSplit(X, Y, NumClasses, Idx,
+                                                Features, Cfg.MinSamplesLeaf);
+    if (Split.Feature >= 0) {
+      std::vector<size_t> LeftIdx, RightIdx;
+      for (size_t I : Idx) {
+        if (X[I][static_cast<size_t>(Split.Feature)] <= Split.Threshold)
+          LeftIdx.push_back(I);
+        else
+          RightIdx.push_back(I);
+      }
+      N.Feature = Split.Feature;
+      N.Threshold = Split.Threshold;
+      int Self = static_cast<int>(Nodes.size());
+      Nodes.push_back(N);
+      Nodes[static_cast<size_t>(Self)].Left =
+          build(X, Y, NumClasses, LeftIdx, Depth + 1, Cfg, R);
+      Nodes[static_cast<size_t>(Self)].Right =
+          build(X, Y, NumClasses, RightIdx, Depth + 1, Cfg, R);
+      return Self;
+    }
+  }
+
+  int Self = static_cast<int>(Nodes.size());
+  Nodes.push_back(N);
+  return Self;
+}
+
+void ClassificationTree::fit(const std::vector<std::vector<double>> &X,
+                             const std::vector<int> &Y, int NumClasses,
+                             const std::vector<size_t> &Idx,
+                             const TreeConfig &Cfg, support::Rng &R) {
+  assert(!Idx.empty() && "empty fit index set");
+  Nodes.clear();
+  std::vector<size_t> Work(Idx);
+  build(X, Y, NumClasses, Work, 0, Cfg, R);
+}
+
+const std::vector<double> &
+ClassificationTree::predictProba(const std::vector<double> &X) const {
+  assert(!Nodes.empty() && "tree not fitted");
+  int Cur = 0;
+  for (;;) {
+    const Node &N = Nodes[static_cast<size_t>(Cur)];
+    if (N.Feature < 0)
+      return N.Proba;
+    Cur = X[static_cast<size_t>(N.Feature)] <= N.Threshold ? N.Left : N.Right;
+  }
+}

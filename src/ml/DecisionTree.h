@@ -1,0 +1,97 @@
+//===- ml/DecisionTree.h - CART trees ----------------------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CART-style decision trees: a variance-reduction regression tree (the
+/// weak learner inside gradient boosting) and a Gini classification tree
+/// (the weak learner inside the random forest). Both support per-split
+/// feature subsampling so ensembles can decorrelate their members.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_ML_DECISIONTREE_H
+#define PROM_ML_DECISIONTREE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace prom {
+namespace support {
+class Rng;
+} // namespace support
+
+namespace ml {
+
+/// Growth limits shared by both tree kinds.
+struct TreeConfig {
+  size_t MaxDepth = 4;
+  size_t MinSamplesLeaf = 2;
+  /// Features tried per split; 0 means all features.
+  size_t FeatureSubset = 0;
+};
+
+/// Regression tree minimizing within-node variance.
+class RegressionTree {
+public:
+  /// Fits on rows \p X with targets \p Y (row indices in \p Idx).
+  void fit(const std::vector<std::vector<double>> &X,
+           const std::vector<double> &Y, const std::vector<size_t> &Idx,
+           const TreeConfig &Cfg, support::Rng &R);
+
+  double predict(const std::vector<double> &X) const;
+
+  bool empty() const { return Nodes.empty(); }
+
+private:
+  struct Node {
+    int Feature = -1;  ///< -1 marks a leaf.
+    double Threshold = 0.0;
+    double Value = 0.0; ///< Leaf prediction.
+    int Left = -1;
+    int Right = -1;
+  };
+
+  int build(const std::vector<std::vector<double>> &X,
+            const std::vector<double> &Y, std::vector<size_t> &Idx,
+            size_t Depth, const TreeConfig &Cfg, support::Rng &R);
+
+  std::vector<Node> Nodes;
+};
+
+/// Classification tree minimizing Gini impurity; leaves store class
+/// probability vectors.
+class ClassificationTree {
+public:
+  void fit(const std::vector<std::vector<double>> &X,
+           const std::vector<int> &Y, int NumClasses,
+           const std::vector<size_t> &Idx, const TreeConfig &Cfg,
+           support::Rng &R);
+
+  const std::vector<double> &predictProba(const std::vector<double> &X) const;
+
+  bool empty() const { return Nodes.empty(); }
+
+private:
+  struct Node {
+    int Feature = -1;
+    double Threshold = 0.0;
+    std::vector<double> Proba; ///< Leaf class distribution.
+    int Left = -1;
+    int Right = -1;
+  };
+
+  int build(const std::vector<std::vector<double>> &X,
+            const std::vector<int> &Y, int NumClasses,
+            std::vector<size_t> &Idx, size_t Depth, const TreeConfig &Cfg,
+            support::Rng &R);
+
+  std::vector<Node> Nodes;
+};
+
+} // namespace ml
+} // namespace prom
+
+#endif // PROM_ML_DECISIONTREE_H

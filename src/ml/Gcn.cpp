@@ -1,0 +1,219 @@
+//===- ml/Gcn.cpp - Graph convolutional classifier ---------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Gcn.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace prom;
+using namespace prom::ml;
+using support::Matrix;
+
+/// Mean aggregation over self + in-neighbours: Out[v] = (X[v] +
+/// sum_{(u,v) in E} X[u]) / (1 + indeg(v)).
+static Matrix aggregate(const data::Graph &G, const Matrix &X) {
+  Matrix Out(X.rows(), X.cols());
+  std::vector<double> Deg(X.rows(), 1.0);
+  for (const auto &[Src, Dst] : G.Edges) {
+    (void)Src;
+    Deg[static_cast<size_t>(Dst)] += 1.0;
+  }
+  for (size_t V = 0; V < X.rows(); ++V) {
+    const double *Row = X.rowPtr(V);
+    double *ORow = Out.rowPtr(V);
+    for (size_t D = 0; D < X.cols(); ++D)
+      ORow[D] = Row[D];
+  }
+  for (const auto &[Src, Dst] : G.Edges) {
+    const double *SRow = X.rowPtr(static_cast<size_t>(Src));
+    double *DRow = Out.rowPtr(static_cast<size_t>(Dst));
+    for (size_t D = 0; D < X.cols(); ++D)
+      DRow[D] += SRow[D];
+  }
+  for (size_t V = 0; V < Out.rows(); ++V) {
+    double *Row = Out.rowPtr(V);
+    for (size_t D = 0; D < Out.cols(); ++D)
+      Row[D] /= Deg[V];
+  }
+  return Out;
+}
+
+/// Adjoint of aggregate(): routes d(aggregated) back to d(input).
+static Matrix aggregateBackward(const data::Graph &G, const Matrix &DAgg) {
+  Matrix Out(DAgg.rows(), DAgg.cols());
+  std::vector<double> Deg(DAgg.rows(), 1.0);
+  for (const auto &[Src, Dst] : G.Edges) {
+    (void)Src;
+    Deg[static_cast<size_t>(Dst)] += 1.0;
+  }
+  // Self term: X[v] contributes to Out[v] with weight 1/deg(v).
+  for (size_t V = 0; V < DAgg.rows(); ++V) {
+    const double *Row = DAgg.rowPtr(V);
+    double *ORow = Out.rowPtr(V);
+    for (size_t D = 0; D < DAgg.cols(); ++D)
+      ORow[D] = Row[D] / Deg[V];
+  }
+  // Edge term: X[src] contributes to Out[dst] with weight 1/deg(dst).
+  for (const auto &[Src, Dst] : G.Edges) {
+    const double *DRow = DAgg.rowPtr(static_cast<size_t>(Dst));
+    double *SRow = Out.rowPtr(static_cast<size_t>(Src));
+    for (size_t D = 0; D < DAgg.cols(); ++D)
+      SRow[D] += DRow[D] / Deg[static_cast<size_t>(Dst)];
+  }
+  return Out;
+}
+
+GcnClassifier::GcnClassifier(GcnConfig CfgIn) : Cfg(CfgIn) {}
+
+void GcnClassifier::forward(const data::Graph &G, Trace &T) const {
+  assert(G.NumNodes > 0 && "GCN needs a non-empty graph");
+  assert(static_cast<size_t>(G.FeatDim) == InDim && "node feature mismatch");
+  Matrix X(static_cast<size_t>(G.NumNodes), InDim, G.NodeFeats);
+
+  T.A1 = aggregate(G, X);
+  T.H1 = T.A1.matmul(W1);
+  T.H1.addRowBroadcast(B1);
+  for (double &V : T.H1.data())
+    V = V > 0.0 ? V : 0.0;
+
+  T.A2 = aggregate(G, T.H1);
+  T.H2 = T.A2.matmul(W2);
+  T.H2.addRowBroadcast(B2);
+  for (double &V : T.H2.data())
+    V = V > 0.0 ? V : 0.0;
+
+  T.Pooled = T.H2.columnSums();
+  for (double &V : T.Pooled)
+    V /= static_cast<double>(G.NumNodes);
+
+  T.Logits = HeadB;
+  for (size_t I = 0; I < Cfg.HiddenDim; ++I) {
+    double PI = T.Pooled[I];
+    if (PI == 0.0)
+      continue;
+    const double *Row = HeadW.rowPtr(I);
+    for (size_t J = 0; J < T.Logits.size(); ++J)
+      T.Logits[J] += PI * Row[J];
+  }
+}
+
+void GcnClassifier::backwardAndStep(const data::Graph &G, const Trace &T,
+                                    const std::vector<double> &DLogits,
+                                    const AdamConfig &Adam) {
+  size_t N = static_cast<size_t>(G.NumNodes);
+
+  // Head.
+  Matrix GradHead(HeadW.rows(), HeadW.cols());
+  std::vector<double> DPooled(Cfg.HiddenDim, 0.0);
+  for (size_t I = 0; I < Cfg.HiddenDim; ++I) {
+    double PI = T.Pooled[I];
+    double *GRow = GradHead.rowPtr(I);
+    const double *Row = HeadW.rowPtr(I);
+    double Sum = 0.0;
+    for (size_t J = 0; J < DLogits.size(); ++J) {
+      GRow[J] = PI * DLogits[J];
+      Sum += Row[J] * DLogits[J];
+    }
+    DPooled[I] = Sum;
+  }
+
+  // Mean pool adjoint + layer-2 ReLU mask.
+  Matrix DPre2(N, Cfg.HiddenDim);
+  for (size_t V = 0; V < N; ++V) {
+    double *Row = DPre2.rowPtr(V);
+    const double *H2Row = T.H2.rowPtr(V);
+    for (size_t D = 0; D < Cfg.HiddenDim; ++D)
+      Row[D] = H2Row[D] > 0.0 ? DPooled[D] / static_cast<double>(N) : 0.0;
+  }
+
+  Matrix GradW2 = T.A2.transposedMatmul(DPre2);
+  std::vector<double> GradB2 = DPre2.columnSums();
+  Matrix DA2 = DPre2.matmulTransposed(W2);
+  Matrix DH1 = aggregateBackward(G, DA2);
+
+  // Layer-1 ReLU mask.
+  for (size_t V = 0; V < N; ++V) {
+    double *Row = DH1.rowPtr(V);
+    const double *H1Row = T.H1.rowPtr(V);
+    for (size_t D = 0; D < Cfg.HiddenDim; ++D)
+      if (H1Row[D] <= 0.0)
+        Row[D] = 0.0;
+  }
+
+  Matrix GradW1 = T.A1.transposedMatmul(DH1);
+  std::vector<double> GradB1 = DH1.columnSums();
+
+  adamStep(HeadW, GradHead, HeadWOpt, Adam);
+  adamStep(HeadB, DLogits, HeadBOpt, Adam);
+  adamStep(W2, GradW2, W2Opt, Adam);
+  adamStep(B2, GradB2, B2Opt, Adam);
+  adamStep(W1, GradW1, W1Opt, Adam);
+  adamStep(B1, GradB1, B1Opt, Adam);
+}
+
+void GcnClassifier::trainEpochs(const data::Dataset &Data, support::Rng &R,
+                                size_t Epochs, double LearningRate) {
+  AdamConfig Adam;
+  Adam.LearningRate = LearningRate;
+  Adam.WeightDecay = Cfg.WeightDecay;
+
+  for (size_t Epoch = 0; Epoch < Epochs; ++Epoch) {
+    std::vector<size_t> Order = R.permutation(Data.size());
+    for (size_t I : Order) {
+      const data::Sample &S = Data[I];
+      Trace T;
+      forward(S.ProgramGraph, T);
+      std::vector<double> DLogits = T.Logits;
+      support::softmaxInPlace(DLogits);
+      DLogits[static_cast<size_t>(S.Label)] -= 1.0;
+      backwardAndStep(S.ProgramGraph, T, DLogits, Adam);
+    }
+  }
+}
+
+void GcnClassifier::fit(const data::Dataset &Train, support::Rng &R) {
+  assert(!Train.empty() && Train.numClasses() > 1 && "bad training set");
+  assert(Train[0].ProgramGraph.NumNodes > 0 && "GCN needs program graphs");
+  Classes = Train.numClasses();
+  InDim = static_cast<size_t>(Train[0].ProgramGraph.FeatDim);
+
+  W1 = Matrix(InDim, Cfg.HiddenDim);
+  W1.fillGaussian(R, std::sqrt(2.0 / static_cast<double>(InDim)));
+  B1.assign(Cfg.HiddenDim, 0.0);
+  W2 = Matrix(Cfg.HiddenDim, Cfg.HiddenDim);
+  W2.fillGaussian(R, std::sqrt(2.0 / static_cast<double>(Cfg.HiddenDim)));
+  B2.assign(Cfg.HiddenDim, 0.0);
+  HeadW = Matrix(Cfg.HiddenDim, static_cast<size_t>(Classes));
+  HeadW.fillGaussian(R, 1.0 / std::sqrt(static_cast<double>(Cfg.HiddenDim)));
+  HeadB.assign(static_cast<size_t>(Classes), 0.0);
+  W1Opt = B1Opt = W2Opt = B2Opt = HeadWOpt = HeadBOpt = AdamState();
+
+  trainEpochs(Train, R, Cfg.Epochs, Cfg.LearningRate);
+}
+
+void GcnClassifier::update(const data::Dataset &Merged, support::Rng &R) {
+  if (W1.empty() || Merged.numClasses() != Classes) {
+    fit(Merged, R);
+    return;
+  }
+  trainEpochs(Merged, R, Cfg.FineTuneEpochs, Cfg.LearningRate * 0.3);
+}
+
+std::vector<double> GcnClassifier::predictProba(const data::Sample &S) const {
+  Trace T;
+  forward(S.ProgramGraph, T);
+  std::vector<double> P = T.Logits;
+  support::softmaxInPlace(P);
+  return P;
+}
+
+std::vector<double> GcnClassifier::embed(const data::Sample &S) const {
+  Trace T;
+  forward(S.ProgramGraph, T);
+  return T.Pooled;
+}

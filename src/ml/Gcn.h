@@ -1,0 +1,80 @@
+//===- ml/Gcn.h - Graph convolutional classifier -----------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two-layer graph convolutional network over program graphs: the stand-in
+/// for ProGraML in the heterogeneous-mapping case study. Each layer mean-
+/// aggregates a node with its in-neighbours and applies a ReLU linear
+/// transform; a global mean-pool feeds a softmax head. embed() returns the
+/// pooled graph representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_ML_GCN_H
+#define PROM_ML_GCN_H
+
+#include "ml/Model.h"
+#include "ml/Optim.h"
+#include "support/Matrix.h"
+
+namespace prom {
+namespace ml {
+
+/// GCN hyperparameters.
+struct GcnConfig {
+  size_t HiddenDim = 16;
+  size_t Epochs = 60;
+  double LearningRate = 5e-3;
+  double WeightDecay = 1e-5;
+  size_t FineTuneEpochs = 20;
+};
+
+/// Two-layer mean-aggregation GCN classifier over Sample::ProgramGraph.
+class GcnClassifier : public Classifier {
+public:
+  explicit GcnClassifier(GcnConfig Cfg = GcnConfig());
+
+  void fit(const data::Dataset &Train, support::Rng &R) override;
+  void update(const data::Dataset &Merged, support::Rng &R) override;
+  std::vector<double> predictProba(const data::Sample &S) const override;
+  std::vector<double> embed(const data::Sample &S) const override;
+  int numClasses() const override { return Classes; }
+  std::string name() const override { return "GCN"; }
+
+private:
+  struct Trace {
+    support::Matrix A1;     ///< Aggregated input features.
+    support::Matrix H1;     ///< Post-ReLU layer 1.
+    support::Matrix A2;     ///< Aggregated H1.
+    support::Matrix H2;     ///< Post-ReLU layer 2.
+    std::vector<double> Pooled;
+    std::vector<double> Logits;
+  };
+
+  void forward(const data::Graph &G, Trace &T) const;
+  void backwardAndStep(const data::Graph &G, const Trace &T,
+                       const std::vector<double> &DLogits,
+                       const AdamConfig &Adam);
+  void trainEpochs(const data::Dataset &Data, support::Rng &R,
+                   size_t Epochs, double LearningRate);
+
+  GcnConfig Cfg;
+  int Classes = 0;
+  size_t InDim = 0;
+
+  support::Matrix W1; ///< InDim x HiddenDim.
+  std::vector<double> B1;
+  support::Matrix W2; ///< HiddenDim x HiddenDim.
+  std::vector<double> B2;
+  support::Matrix HeadW; ///< HiddenDim x Classes.
+  std::vector<double> HeadB;
+  AdamState W1Opt, B1Opt, W2Opt, B2Opt, HeadWOpt, HeadBOpt;
+};
+
+} // namespace ml
+} // namespace prom
+
+#endif // PROM_ML_GCN_H

@@ -1,0 +1,155 @@
+//===- ml/GradientBoosting.cpp - Gradient-boosted trees ---------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/GradientBoosting.h"
+#include "support/Matrix.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace prom;
+using namespace prom::ml;
+
+//===----------------------------------------------------------------------===//
+// GradientBoostingClassifier
+//===----------------------------------------------------------------------===//
+
+GradientBoostingClassifier::GradientBoostingClassifier(BoostConfig CfgIn)
+    : Cfg(CfgIn) {}
+
+std::vector<double>
+GradientBoostingClassifier::rawScores(const std::vector<double> &X) const {
+  std::vector<double> Scores = BasePrior;
+  for (const auto &Round : Stages)
+    for (size_t C = 0; C < Round.size(); ++C)
+      Scores[C] += Cfg.LearningRate * Round[C].predict(X);
+  return Scores;
+}
+
+void GradientBoostingClassifier::boostRounds(const data::Dataset &Data,
+                                             support::Rng &R, size_t Rounds) {
+  std::vector<std::vector<double>> X = Data.featureRows();
+  std::vector<size_t> AllIdx(Data.size());
+  for (size_t I = 0; I < AllIdx.size(); ++I)
+    AllIdx[I] = I;
+
+  // Maintain the raw score matrix incrementally across rounds.
+  std::vector<std::vector<double>> Scores(Data.size());
+  for (size_t I = 0; I < Data.size(); ++I)
+    Scores[I] = rawScores(X[I]);
+
+  std::vector<double> Residual(Data.size());
+  for (size_t Round = 0; Round < Rounds; ++Round) {
+    std::vector<RegressionTree> RoundTrees(
+        static_cast<size_t>(Classes));
+    for (int C = 0; C < Classes; ++C) {
+      for (size_t I = 0; I < Data.size(); ++I) {
+        std::vector<double> P = Scores[I];
+        support::softmaxInPlace(P);
+        double Target = Data[I].Label == C ? 1.0 : 0.0;
+        Residual[I] = Target - P[static_cast<size_t>(C)];
+      }
+      RoundTrees[static_cast<size_t>(C)].fit(X, Residual, AllIdx, Cfg.Tree,
+                                             R);
+      for (size_t I = 0; I < Data.size(); ++I)
+        Scores[I][static_cast<size_t>(C)] +=
+            Cfg.LearningRate *
+            RoundTrees[static_cast<size_t>(C)].predict(X[I]);
+    }
+    Stages.push_back(std::move(RoundTrees));
+  }
+}
+
+void GradientBoostingClassifier::fit(const data::Dataset &Train,
+                                     support::Rng &R) {
+  assert(!Train.empty() && Train.numClasses() > 1 && "bad training set");
+  Classes = Train.numClasses();
+  Stages.clear();
+
+  // Initial scores: log class priors (with add-one smoothing).
+  std::vector<size_t> Counts = Train.classCounts();
+  BasePrior.assign(static_cast<size_t>(Classes), 0.0);
+  for (int C = 0; C < Classes; ++C)
+    BasePrior[static_cast<size_t>(C)] =
+        std::log((static_cast<double>(Counts[static_cast<size_t>(C)]) + 1.0) /
+                 (static_cast<double>(Train.size()) + Classes));
+
+  boostRounds(Train, R, Cfg.Rounds);
+}
+
+void GradientBoostingClassifier::update(const data::Dataset &Merged,
+                                        support::Rng &R) {
+  if (Stages.empty() || Merged.numClasses() != Classes) {
+    fit(Merged, R);
+    return;
+  }
+  boostRounds(Merged, R, Cfg.FineTuneRounds);
+}
+
+std::vector<double>
+GradientBoostingClassifier::predictProba(const data::Sample &S) const {
+  std::vector<double> Scores = rawScores(S.Features);
+  support::softmaxInPlace(Scores);
+  return Scores;
+}
+
+//===----------------------------------------------------------------------===//
+// GradientBoostingRegressor
+//===----------------------------------------------------------------------===//
+
+GradientBoostingRegressor::GradientBoostingRegressor(BoostConfig CfgIn)
+    : Cfg(CfgIn) {}
+
+void GradientBoostingRegressor::boostRounds(const data::Dataset &Data,
+                                            support::Rng &R, size_t Rounds) {
+  std::vector<std::vector<double>> X = Data.featureRows();
+  std::vector<size_t> AllIdx(Data.size());
+  for (size_t I = 0; I < AllIdx.size(); ++I)
+    AllIdx[I] = I;
+
+  std::vector<double> Pred(Data.size());
+  for (size_t I = 0; I < Data.size(); ++I)
+    Pred[I] = predict(Data[I]);
+
+  std::vector<double> Residual(Data.size());
+  for (size_t Round = 0; Round < Rounds; ++Round) {
+    for (size_t I = 0; I < Data.size(); ++I)
+      Residual[I] = Data[I].Target - Pred[I];
+    RegressionTree Tree;
+    Tree.fit(X, Residual, AllIdx, Cfg.Tree, R);
+    for (size_t I = 0; I < Data.size(); ++I)
+      Pred[I] += Cfg.LearningRate * Tree.predict(X[I]);
+    Stages.push_back(std::move(Tree));
+  }
+}
+
+void GradientBoostingRegressor::fit(const data::Dataset &Train,
+                                    support::Rng &R) {
+  assert(!Train.empty() && "bad training set");
+  Stages.clear();
+  double Sum = 0.0;
+  for (const data::Sample &S : Train.samples())
+    Sum += S.Target;
+  BaseValue = Sum / static_cast<double>(Train.size());
+  boostRounds(Train, R, Cfg.Rounds);
+}
+
+void GradientBoostingRegressor::update(const data::Dataset &Merged,
+                                       support::Rng &R) {
+  if (Stages.empty()) {
+    fit(Merged, R);
+    return;
+  }
+  boostRounds(Merged, R, Cfg.FineTuneRounds);
+}
+
+double GradientBoostingRegressor::predict(const data::Sample &S) const {
+  double Out = BaseValue;
+  for (const RegressionTree &Tree : Stages)
+    Out += Cfg.LearningRate * Tree.predict(S.Features);
+  return Out;
+}

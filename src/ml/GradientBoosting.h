@@ -1,0 +1,80 @@
+//===- ml/GradientBoosting.h - Gradient-boosted trees -----------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Gradient-boosted decision trees: the multiclass classifier is the
+/// stand-in for the IR2Vec gradient-boosting models (case studies 1 and 3),
+/// and the least-squares regressor serves as an alternative cost model in
+/// the DNN code-generation study. Boosting state is kept so update() can
+/// continue adding trees for incremental learning instead of refitting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_ML_GRADIENTBOOSTING_H
+#define PROM_ML_GRADIENTBOOSTING_H
+
+#include "ml/DecisionTree.h"
+#include "ml/Model.h"
+
+namespace prom {
+namespace ml {
+
+/// Boosting hyperparameters.
+struct BoostConfig {
+  size_t Rounds = 60;
+  double LearningRate = 0.2;
+  TreeConfig Tree;
+  /// Rounds added by update() during incremental learning.
+  size_t FineTuneRounds = 20;
+};
+
+/// Multiclass gradient boosting with softmax link (one regression tree per
+/// class per round, fitted to the negative log-loss gradient).
+class GradientBoostingClassifier : public Classifier {
+public:
+  explicit GradientBoostingClassifier(BoostConfig Cfg = BoostConfig());
+
+  void fit(const data::Dataset &Train, support::Rng &R) override;
+  void update(const data::Dataset &Merged, support::Rng &R) override;
+  std::vector<double> predictProba(const data::Sample &S) const override;
+  int numClasses() const override { return Classes; }
+  std::string name() const override { return "GBC"; }
+
+private:
+  void boostRounds(const data::Dataset &Data, support::Rng &R,
+                   size_t Rounds);
+  std::vector<double> rawScores(const std::vector<double> &X) const;
+
+  BoostConfig Cfg;
+  int Classes = 0;
+  std::vector<double> BasePrior; ///< Log-prior initial scores.
+  /// Stages[r][c] is the round-r tree for class c.
+  std::vector<std::vector<RegressionTree>> Stages;
+};
+
+/// Least-squares gradient boosting regressor.
+class GradientBoostingRegressor : public Regressor {
+public:
+  explicit GradientBoostingRegressor(BoostConfig Cfg = BoostConfig());
+
+  void fit(const data::Dataset &Train, support::Rng &R) override;
+  void update(const data::Dataset &Merged, support::Rng &R) override;
+  double predict(const data::Sample &S) const override;
+  std::string name() const override { return "GBR"; }
+
+private:
+  void boostRounds(const data::Dataset &Data, support::Rng &R,
+                   size_t Rounds);
+
+  BoostConfig Cfg;
+  double BaseValue = 0.0;
+  std::vector<RegressionTree> Stages;
+};
+
+} // namespace ml
+} // namespace prom
+
+#endif // PROM_ML_GRADIENTBOOSTING_H

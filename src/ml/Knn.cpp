@@ -1,0 +1,60 @@
+//===- ml/Knn.cpp - k-nearest-neighbour models ------------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Knn.h"
+#include "support/Distance.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace prom;
+using namespace prom::ml;
+
+void KnnClassifier::fit(const data::Dataset &Train, support::Rng &) {
+  assert(!Train.empty() && Train.numClasses() > 1 && "bad training set");
+  Classes = Train.numClasses();
+  Points = Train.featureRows();
+  Labels.clear();
+  Labels.reserve(Train.size());
+  for (const data::Sample &S : Train.samples())
+    Labels.push_back(S.Label);
+}
+
+std::vector<double> KnnClassifier::predictProba(const data::Sample &S) const {
+  assert(!Points.empty() && "classifier not fitted");
+  std::vector<size_t> Near = support::kNearest(Points, S.Features, K);
+  std::vector<double> Votes(static_cast<size_t>(Classes), 0.0);
+  for (size_t Idx : Near) {
+    double D = support::euclidean(Points[Idx], S.Features);
+    Votes[static_cast<size_t>(Labels[Idx])] += 1.0 / (1.0 + D);
+  }
+  double Total = 0.0;
+  for (double V : Votes)
+    Total += V;
+  if (Total <= 0.0)
+    return std::vector<double>(Votes.size(), 1.0 / Votes.size());
+  for (double &V : Votes)
+    V /= Total;
+  return Votes;
+}
+
+void KnnRegressor::fit(const data::Dataset &Train, support::Rng &) {
+  assert(!Train.empty() && "bad training set");
+  Points = Train.featureRows();
+  Targets.clear();
+  Targets.reserve(Train.size());
+  for (const data::Sample &S : Train.samples())
+    Targets.push_back(S.Target);
+}
+
+double KnnRegressor::predict(const data::Sample &S) const {
+  assert(!Points.empty() && "regressor not fitted");
+  std::vector<size_t> Near = support::kNearest(Points, S.Features, K);
+  double Sum = 0.0;
+  for (size_t Idx : Near)
+    Sum += Targets[Idx];
+  return Sum / static_cast<double>(Near.size());
+}

@@ -1,0 +1,58 @@
+//===- ml/Knn.h - k-nearest-neighbour models ---------------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instance-based k-NN classifier and regressor. Besides serving as simple
+/// underlying models in tests and examples, the regressor mirrors the k-NN
+/// ground-truth approximation PROM uses for regression nonconformity
+/// (paper Sec. 5.1.1, k = 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_ML_KNN_H
+#define PROM_ML_KNN_H
+
+#include "ml/Model.h"
+
+namespace prom {
+namespace ml {
+
+/// Distance-weighted k-NN classifier.
+class KnnClassifier : public Classifier {
+public:
+  explicit KnnClassifier(size_t K = 5) : K(K) {}
+
+  void fit(const data::Dataset &Train, support::Rng &R) override;
+  std::vector<double> predictProba(const data::Sample &S) const override;
+  int numClasses() const override { return Classes; }
+  std::string name() const override { return "kNN"; }
+
+private:
+  size_t K;
+  int Classes = 0;
+  std::vector<std::vector<double>> Points;
+  std::vector<int> Labels;
+};
+
+/// Mean-of-neighbours k-NN regressor.
+class KnnRegressor : public Regressor {
+public:
+  explicit KnnRegressor(size_t K = 3) : K(K) {}
+
+  void fit(const data::Dataset &Train, support::Rng &R) override;
+  double predict(const data::Sample &S) const override;
+  std::string name() const override { return "kNN-Reg"; }
+
+private:
+  size_t K;
+  std::vector<std::vector<double>> Points;
+  std::vector<double> Targets;
+};
+
+} // namespace ml
+} // namespace prom
+
+#endif // PROM_ML_KNN_H

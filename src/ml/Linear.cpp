@@ -1,0 +1,199 @@
+//===- ml/Linear.cpp - Logistic regression and linear SVM ------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Linear.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace prom;
+using namespace prom::ml;
+using support::Matrix;
+
+//===----------------------------------------------------------------------===//
+// LogisticRegression
+//===----------------------------------------------------------------------===//
+
+LogisticRegression::LogisticRegression(LinearConfig CfgIn)
+    : Cfg(CfgIn) {}
+
+std::vector<double>
+LogisticRegression::logits(const std::vector<double> &X) const {
+  std::vector<double> Out = Bias;
+  for (size_t I = 0; I < W.rows(); ++I) {
+    double XI = X[I];
+    if (XI == 0.0)
+      continue;
+    const double *Row = W.rowPtr(I);
+    for (size_t J = 0; J < W.cols(); ++J)
+      Out[J] += XI * Row[J];
+  }
+  return Out;
+}
+
+void LogisticRegression::trainEpochs(const data::Dataset &Data,
+                                     support::Rng &R, size_t Epochs,
+                                     double LearningRate) {
+  AdamConfig Adam;
+  Adam.LearningRate = LearningRate;
+  Adam.WeightDecay = Cfg.WeightDecay;
+
+  for (size_t Epoch = 0; Epoch < Epochs; ++Epoch) {
+    std::vector<size_t> Order = R.permutation(Data.size());
+    for (size_t I : Order) {
+      const data::Sample &S = Data[I];
+      std::vector<double> P = logits(S.Features);
+      support::softmaxInPlace(P);
+      P[static_cast<size_t>(S.Label)] -= 1.0;
+
+      Matrix GradW(W.rows(), W.cols());
+      for (size_t F = 0; F < W.rows(); ++F) {
+        double XF = S.Features[F];
+        if (XF == 0.0)
+          continue;
+        double *Row = GradW.rowPtr(F);
+        for (size_t C = 0; C < W.cols(); ++C)
+          Row[C] = XF * P[C];
+      }
+      adamStep(W, GradW, WOpt, Adam);
+      adamStep(Bias, P, BOpt, Adam);
+    }
+  }
+}
+
+void LogisticRegression::fit(const data::Dataset &Train, support::Rng &R) {
+  assert(!Train.empty() && Train.numClasses() > 1 && "bad training set");
+  Classes = Train.numClasses();
+  W = Matrix(Train.featureDim(), static_cast<size_t>(Classes));
+  W.fillGaussian(R, 0.01);
+  Bias.assign(static_cast<size_t>(Classes), 0.0);
+  WOpt = AdamState();
+  BOpt = AdamState();
+  trainEpochs(Train, R, Cfg.Epochs, Cfg.LearningRate);
+}
+
+void LogisticRegression::update(const data::Dataset &Merged,
+                                support::Rng &R) {
+  if (W.empty() || Merged.numClasses() != Classes) {
+    fit(Merged, R);
+    return;
+  }
+  trainEpochs(Merged, R, Cfg.FineTuneEpochs, Cfg.LearningRate * 0.3);
+}
+
+std::vector<double>
+LogisticRegression::predictProba(const data::Sample &S) const {
+  std::vector<double> P = logits(S.Features);
+  support::softmaxInPlace(P);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// LinearSvm
+//===----------------------------------------------------------------------===//
+
+LinearSvm::LinearSvm(LinearConfig CfgIn) : Cfg(CfgIn) {}
+
+std::vector<double> LinearSvm::margins(const std::vector<double> &X) const {
+  std::vector<double> Out = Bias;
+  for (size_t I = 0; I < W.rows(); ++I) {
+    double XI = X[I];
+    if (XI == 0.0)
+      continue;
+    const double *Row = W.rowPtr(I);
+    for (size_t J = 0; J < W.cols(); ++J)
+      Out[J] += XI * Row[J];
+  }
+  return Out;
+}
+
+void LinearSvm::trainEpochs(const data::Dataset &Data, support::Rng &R,
+                            size_t Epochs, double LearningRate) {
+  AdamConfig Adam;
+  Adam.LearningRate = LearningRate;
+  Adam.WeightDecay = Cfg.WeightDecay;
+
+  for (size_t Epoch = 0; Epoch < Epochs; ++Epoch) {
+    std::vector<size_t> Order = R.permutation(Data.size());
+    for (size_t I : Order) {
+      const data::Sample &S = Data[I];
+      std::vector<double> M = margins(S.Features);
+
+      // One-vs-rest hinge: for class c, target t = +1 iff y == c; loss is
+      // max(0, 1 - t * m_c); gradient wrt m_c is -t on the active side.
+      std::vector<double> DMargin(M.size(), 0.0);
+      for (size_t C = 0; C < M.size(); ++C) {
+        double T = (static_cast<int>(C) == S.Label) ? 1.0 : -1.0;
+        if (1.0 - T * M[C] > 0.0)
+          DMargin[C] = -T;
+      }
+
+      Matrix GradW(W.rows(), W.cols());
+      for (size_t F = 0; F < W.rows(); ++F) {
+        double XF = S.Features[F];
+        if (XF == 0.0)
+          continue;
+        double *Row = GradW.rowPtr(F);
+        for (size_t C = 0; C < W.cols(); ++C)
+          Row[C] = XF * DMargin[C];
+      }
+      adamStep(W, GradW, WOpt, Adam);
+      adamStep(Bias, DMargin, BOpt, Adam);
+    }
+  }
+}
+
+void LinearSvm::calibrateTemperature(const data::Dataset &Data) {
+  // Pick the softmax temperature minimizing training NLL over a small grid;
+  // this is the cheap stand-in for Platt scaling and keeps the probability
+  // vector informative for PROM's nonconformity functions.
+  static const double Grid[] = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  double BestNll = 1e300;
+  for (double T : Grid) {
+    double Nll = 0.0;
+    for (const data::Sample &S : Data.samples()) {
+      std::vector<double> M = margins(S.Features);
+      for (double &V : M)
+        V *= T;
+      support::softmaxInPlace(M);
+      Nll -= std::log(std::max(M[static_cast<size_t>(S.Label)], 1e-12));
+    }
+    if (Nll < BestNll) {
+      BestNll = Nll;
+      Temperature = T;
+    }
+  }
+}
+
+void LinearSvm::fit(const data::Dataset &Train, support::Rng &R) {
+  assert(!Train.empty() && Train.numClasses() > 1 && "bad training set");
+  Classes = Train.numClasses();
+  W = Matrix(Train.featureDim(), static_cast<size_t>(Classes));
+  W.fillGaussian(R, 0.01);
+  Bias.assign(static_cast<size_t>(Classes), 0.0);
+  WOpt = AdamState();
+  BOpt = AdamState();
+  trainEpochs(Train, R, Cfg.Epochs, Cfg.LearningRate);
+  calibrateTemperature(Train);
+}
+
+void LinearSvm::update(const data::Dataset &Merged, support::Rng &R) {
+  if (W.empty() || Merged.numClasses() != Classes) {
+    fit(Merged, R);
+    return;
+  }
+  trainEpochs(Merged, R, Cfg.FineTuneEpochs, Cfg.LearningRate * 0.3);
+  calibrateTemperature(Merged);
+}
+
+std::vector<double> LinearSvm::predictProba(const data::Sample &S) const {
+  std::vector<double> M = margins(S.Features);
+  for (double &V : M)
+    V *= Temperature;
+  support::softmaxInPlace(M);
+  return M;
+}

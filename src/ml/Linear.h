@@ -1,0 +1,88 @@
+//===- ml/Linear.h - Logistic regression and linear SVM ---------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear classifiers over numeric features: multinomial logistic
+/// regression and a one-vs-rest linear SVM (the stand-in for the K. Stock
+/// et al. loop-vectorization model). The SVM exposes probabilities by
+/// softmax over margins with a temperature calibrated on the training set,
+/// since PROM's nonconformity functions consume probability vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_ML_LINEAR_H
+#define PROM_ML_LINEAR_H
+
+#include "ml/Model.h"
+#include "ml/Optim.h"
+#include "support/Matrix.h"
+
+namespace prom {
+namespace ml {
+
+/// Training hyperparameters for the linear models.
+struct LinearConfig {
+  size_t Epochs = 200;
+  double LearningRate = 5e-2;
+  double WeightDecay = 1e-4;
+  size_t FineTuneEpochs = 60;
+};
+
+/// Multinomial logistic regression trained with Adam.
+class LogisticRegression : public Classifier {
+public:
+  explicit LogisticRegression(LinearConfig Cfg = LinearConfig());
+
+  void fit(const data::Dataset &Train, support::Rng &R) override;
+  void update(const data::Dataset &Merged, support::Rng &R) override;
+  std::vector<double> predictProba(const data::Sample &S) const override;
+  int numClasses() const override { return Classes; }
+  std::string name() const override { return "LogReg"; }
+
+private:
+  void trainEpochs(const data::Dataset &Data, support::Rng &R, size_t Epochs,
+                   double LearningRate);
+  std::vector<double> logits(const std::vector<double> &X) const;
+
+  LinearConfig Cfg;
+  support::Matrix W; ///< FeatureDim x Classes.
+  std::vector<double> Bias;
+  AdamState WOpt, BOpt;
+  int Classes = 0;
+};
+
+/// One-vs-rest linear SVM with hinge loss; probabilities via temperature-
+/// calibrated softmax over the per-class margins.
+class LinearSvm : public Classifier {
+public:
+  explicit LinearSvm(LinearConfig Cfg = LinearConfig());
+
+  void fit(const data::Dataset &Train, support::Rng &R) override;
+  void update(const data::Dataset &Merged, support::Rng &R) override;
+  std::vector<double> predictProba(const data::Sample &S) const override;
+  int numClasses() const override { return Classes; }
+  std::string name() const override { return "SVM"; }
+
+  /// Raw per-class margins (used by tests and the RISE baseline).
+  std::vector<double> margins(const std::vector<double> &X) const;
+
+private:
+  void trainEpochs(const data::Dataset &Data, support::Rng &R, size_t Epochs,
+                   double LearningRate);
+  void calibrateTemperature(const data::Dataset &Data);
+
+  LinearConfig Cfg;
+  support::Matrix W; ///< FeatureDim x Classes.
+  std::vector<double> Bias;
+  AdamState WOpt, BOpt;
+  double Temperature = 1.0;
+  int Classes = 0;
+};
+
+} // namespace ml
+} // namespace prom
+
+#endif // PROM_ML_LINEAR_H

@@ -1,0 +1,330 @@
+//===- ml/Lstm.cpp - LSTM sequence classifier --------------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Lstm.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace prom;
+using namespace prom::ml;
+using support::Matrix;
+
+static double sigmoid(double X) { return 1.0 / (1.0 + std::exp(-X)); }
+
+void LstmCell::init(size_t EmbedDim, size_t HiddenDim, support::Rng &R) {
+  Wx = Matrix(EmbedDim, 4 * HiddenDim);
+  Wh = Matrix(HiddenDim, 4 * HiddenDim);
+  Wx.fillGaussian(R, 1.0 / std::sqrt(static_cast<double>(EmbedDim)));
+  Wh.fillGaussian(R, 1.0 / std::sqrt(static_cast<double>(HiddenDim)));
+  Bias.assign(4 * HiddenDim, 0.0);
+  // Forget-gate bias of 1 stabilizes early training.
+  for (size_t J = HiddenDim; J < 2 * HiddenDim; ++J)
+    Bias[J] = 1.0;
+  WxOpt = AdamState();
+  WhOpt = AdamState();
+  BiasOpt = AdamState();
+}
+
+LstmClassifier::LstmClassifier(LstmConfig CfgIn) : Cfg(CfgIn) {}
+
+std::vector<int> LstmClassifier::clampTokens(const data::Sample &S) const {
+  assert(!S.Tokens.empty() && "LSTM needs a token sequence");
+  size_t Len = std::min(S.Tokens.size(), Cfg.MaxSeqLen);
+  std::vector<int> Tokens(S.Tokens.begin(), S.Tokens.begin() + Len);
+  for (int T : Tokens) {
+    (void)T;
+    assert(T >= 0 && T < Vocab && "token id out of vocabulary");
+  }
+  return Tokens;
+}
+
+void LstmClassifier::runDirection(const LstmCell &Cell,
+                                  const std::vector<int> &Tokens,
+                                  DirectionTrace &Trace) const {
+  size_t H = Cfg.HiddenDim;
+  size_t T = Tokens.size();
+  Trace.TokenIds = Tokens;
+  Trace.X.assign(T, {});
+  Trace.Gates.assign(T, std::vector<double>(4 * H));
+  Trace.C.assign(T, std::vector<double>(H));
+  Trace.H.assign(T, std::vector<double>(H));
+  Trace.Pooled.assign(H, 0.0);
+
+  std::vector<double> HPrev(H, 0.0), CPrev(H, 0.0);
+  for (size_t Step = 0; Step < T; ++Step) {
+    Trace.X[Step] = Embed.row(static_cast<size_t>(Tokens[Step]));
+    const std::vector<double> &X = Trace.X[Step];
+
+    // z = x * Wx + h_prev * Wh + bias, gate layout [i f g o].
+    std::vector<double> Z = Cell.Bias;
+    for (size_t I = 0; I < Cfg.EmbedDim; ++I) {
+      double XI = X[I];
+      if (XI == 0.0)
+        continue;
+      const double *Row = Cell.Wx.rowPtr(I);
+      for (size_t J = 0; J < 4 * H; ++J)
+        Z[J] += XI * Row[J];
+    }
+    for (size_t I = 0; I < H; ++I) {
+      double HI = HPrev[I];
+      if (HI == 0.0)
+        continue;
+      const double *Row = Cell.Wh.rowPtr(I);
+      for (size_t J = 0; J < 4 * H; ++J)
+        Z[J] += HI * Row[J];
+    }
+
+    std::vector<double> &G = Trace.Gates[Step];
+    for (size_t J = 0; J < H; ++J) {
+      double IG = sigmoid(Z[J]);
+      double FG = sigmoid(Z[H + J]);
+      double GG = std::tanh(Z[2 * H + J]);
+      double OG = sigmoid(Z[3 * H + J]);
+      G[J] = IG;
+      G[H + J] = FG;
+      G[2 * H + J] = GG;
+      G[3 * H + J] = OG;
+      double CNew = FG * CPrev[J] + IG * GG;
+      Trace.C[Step][J] = CNew;
+      Trace.H[Step][J] = OG * std::tanh(CNew);
+    }
+    HPrev = Trace.H[Step];
+    CPrev = Trace.C[Step];
+    for (size_t J = 0; J < H; ++J)
+      Trace.Pooled[J] += Trace.H[Step][J];
+  }
+  for (double &V : Trace.Pooled)
+    V /= static_cast<double>(T);
+}
+
+void LstmClassifier::backwardDirection(LstmCell &Cell,
+                                       const DirectionTrace &Trace,
+                                       const std::vector<double> &DPooled,
+                                       Matrix &GradEmbed,
+                                       const AdamConfig &Adam) {
+  size_t H = Cfg.HiddenDim;
+  size_t T = Trace.H.size();
+  double InvT = 1.0 / static_cast<double>(T);
+
+  Matrix GradWx(Cell.Wx.rows(), Cell.Wx.cols());
+  Matrix GradWh(Cell.Wh.rows(), Cell.Wh.cols());
+  std::vector<double> GradB(4 * H, 0.0);
+
+  std::vector<double> DH(H, 0.0); // Recurrent dL/dh carried backwards.
+  std::vector<double> DC(H, 0.0); // Recurrent dL/dc carried backwards.
+  std::vector<double> DZ(4 * H);
+
+  for (size_t Step = T; Step-- > 0;) {
+    const std::vector<double> &G = Trace.Gates[Step];
+    const std::vector<double> &C = Trace.C[Step];
+    const std::vector<double> *CPrev = Step > 0 ? &Trace.C[Step - 1] : nullptr;
+    const std::vector<double> *HPrev = Step > 0 ? &Trace.H[Step - 1] : nullptr;
+
+    for (size_t J = 0; J < H; ++J) {
+      double DHj = DH[J] + DPooled[J] * InvT;
+      double IG = G[J], FG = G[H + J], GG = G[2 * H + J], OG = G[3 * H + J];
+      double TanhC = std::tanh(C[J]);
+      double DOg = DHj * TanhC;
+      double DCj = DC[J] + DHj * OG * (1.0 - TanhC * TanhC);
+      double CPrevJ = CPrev ? (*CPrev)[J] : 0.0;
+      double DIg = DCj * GG;
+      double DFg = DCj * CPrevJ;
+      double DGg = DCj * IG;
+      DZ[J] = DIg * IG * (1.0 - IG);
+      DZ[H + J] = DFg * FG * (1.0 - FG);
+      DZ[2 * H + J] = DGg * (1.0 - GG * GG);
+      DZ[3 * H + J] = DOg * OG * (1.0 - OG);
+      DC[J] = DCj * FG; // Becomes dc_prev for the next (earlier) step.
+    }
+
+    // Parameter gradients: GWx += outer(x, dz); GWh += outer(h_prev, dz).
+    const std::vector<double> &X = Trace.X[Step];
+    for (size_t I = 0; I < Cfg.EmbedDim; ++I) {
+      double XI = X[I];
+      if (XI == 0.0)
+        continue;
+      double *Row = GradWx.rowPtr(I);
+      for (size_t J = 0; J < 4 * H; ++J)
+        Row[J] += XI * DZ[J];
+    }
+    if (HPrev) {
+      for (size_t I = 0; I < H; ++I) {
+        double HI = (*HPrev)[I];
+        if (HI == 0.0)
+          continue;
+        double *Row = GradWh.rowPtr(I);
+        for (size_t J = 0; J < 4 * H; ++J)
+          Row[J] += HI * DZ[J];
+      }
+    }
+    for (size_t J = 0; J < 4 * H; ++J)
+      GradB[J] += DZ[J];
+
+    // Input gradient -> embedding row for this token.
+    double *EmbRow =
+        GradEmbed.rowPtr(static_cast<size_t>(Trace.TokenIds[Step]));
+    for (size_t I = 0; I < Cfg.EmbedDim; ++I) {
+      const double *Row = Cell.Wx.rowPtr(I);
+      double Sum = 0.0;
+      for (size_t J = 0; J < 4 * H; ++J)
+        Sum += Row[J] * DZ[J];
+      EmbRow[I] += Sum;
+    }
+
+    // Recurrent hidden gradient for the earlier step.
+    std::fill(DH.begin(), DH.end(), 0.0);
+    if (HPrev) {
+      for (size_t I = 0; I < H; ++I) {
+        const double *Row = Cell.Wh.rowPtr(I);
+        double Sum = 0.0;
+        for (size_t J = 0; J < 4 * H; ++J)
+          Sum += Row[J] * DZ[J];
+        DH[I] = Sum;
+      }
+    }
+  }
+
+  adamStep(Cell.Wx, GradWx, Cell.WxOpt, Adam);
+  adamStep(Cell.Wh, GradWh, Cell.WhOpt, Adam);
+  adamStep(Cell.Bias, GradB, Cell.BiasOpt, Adam);
+}
+
+std::vector<double>
+LstmClassifier::pooledState(const data::Sample &S) const {
+  std::vector<int> Tokens = clampTokens(S);
+  DirectionTrace Fwd;
+  runDirection(Forward, Tokens, Fwd);
+  if (!Cfg.Bidirectional)
+    return Fwd.Pooled;
+
+  std::vector<int> Rev(Tokens.rbegin(), Tokens.rend());
+  DirectionTrace Bwd;
+  runDirection(Backwardc, Rev, Bwd);
+  std::vector<double> Pooled = Fwd.Pooled;
+  Pooled.insert(Pooled.end(), Bwd.Pooled.begin(), Bwd.Pooled.end());
+  return Pooled;
+}
+
+void LstmClassifier::trainEpochs(const data::Dataset &Data, support::Rng &R,
+                                 size_t Epochs, double LearningRate) {
+  AdamConfig Adam;
+  Adam.LearningRate = LearningRate;
+  Adam.WeightDecay = Cfg.WeightDecay;
+  size_t PooledDim = Cfg.HiddenDim * (Cfg.Bidirectional ? 2 : 1);
+
+  for (size_t Epoch = 0; Epoch < Epochs; ++Epoch) {
+    std::vector<size_t> Order = R.permutation(Data.size());
+    for (size_t Index : Order) {
+      const data::Sample &S = Data[Index];
+      std::vector<int> Tokens = clampTokens(S);
+
+      DirectionTrace Fwd, Bwd;
+      runDirection(Forward, Tokens, Fwd);
+      std::vector<double> Pooled = Fwd.Pooled;
+      std::vector<int> Rev;
+      if (Cfg.Bidirectional) {
+        Rev.assign(Tokens.rbegin(), Tokens.rend());
+        runDirection(Backwardc, Rev, Bwd);
+        Pooled.insert(Pooled.end(), Bwd.Pooled.begin(), Bwd.Pooled.end());
+      }
+
+      // Head forward + cross-entropy gradient.
+      std::vector<double> Logits = HeadB;
+      for (size_t I = 0; I < PooledDim; ++I) {
+        double PI = Pooled[I];
+        if (PI == 0.0)
+          continue;
+        const double *Row = HeadW.rowPtr(I);
+        for (size_t J = 0; J < Logits.size(); ++J)
+          Logits[J] += PI * Row[J];
+      }
+      support::softmaxInPlace(Logits);
+      Logits[static_cast<size_t>(S.Label)] -= 1.0;
+
+      Matrix GradHead(HeadW.rows(), HeadW.cols());
+      std::vector<double> DPooled(PooledDim, 0.0);
+      for (size_t I = 0; I < PooledDim; ++I) {
+        double PI = Pooled[I];
+        double *GRow = GradHead.rowPtr(I);
+        const double *Row = HeadW.rowPtr(I);
+        double Sum = 0.0;
+        for (size_t J = 0; J < Logits.size(); ++J) {
+          GRow[J] = PI * Logits[J];
+          Sum += Row[J] * Logits[J];
+        }
+        DPooled[I] = Sum;
+      }
+      adamStep(HeadW, GradHead, HeadWOpt, Adam);
+      adamStep(HeadB, Logits, HeadBOpt, Adam);
+
+      Matrix GradEmbed(Embed.rows(), Embed.cols());
+      std::vector<double> DPooledFwd(DPooled.begin(),
+                                     DPooled.begin() + Cfg.HiddenDim);
+      backwardDirection(Forward, Fwd, DPooledFwd, GradEmbed, Adam);
+      if (Cfg.Bidirectional) {
+        std::vector<double> DPooledBwd(DPooled.begin() + Cfg.HiddenDim,
+                                       DPooled.end());
+        backwardDirection(Backwardc, Bwd, DPooledBwd, GradEmbed, Adam);
+      }
+      adamStep(Embed, GradEmbed, EmbedOpt, Adam);
+    }
+  }
+}
+
+void LstmClassifier::fit(const data::Dataset &Train, support::Rng &R) {
+  assert(!Train.empty() && Train.numClasses() > 1 && "bad training set");
+  assert(Train.vocabSize() > 0 && "LSTM needs a token vocabulary");
+  Classes = Train.numClasses();
+  Vocab = Train.vocabSize();
+
+  Embed = Matrix(static_cast<size_t>(Vocab), Cfg.EmbedDim);
+  Embed.fillGaussian(R, 0.1);
+  EmbedOpt = AdamState();
+  Forward.init(Cfg.EmbedDim, Cfg.HiddenDim, R);
+  if (Cfg.Bidirectional)
+    Backwardc.init(Cfg.EmbedDim, Cfg.HiddenDim, R);
+
+  size_t PooledDim = Cfg.HiddenDim * (Cfg.Bidirectional ? 2 : 1);
+  HeadW = Matrix(PooledDim, static_cast<size_t>(Classes));
+  HeadW.fillGaussian(R, 1.0 / std::sqrt(static_cast<double>(PooledDim)));
+  HeadB.assign(static_cast<size_t>(Classes), 0.0);
+  HeadWOpt = AdamState();
+  HeadBOpt = AdamState();
+
+  trainEpochs(Train, R, Cfg.Epochs, Cfg.LearningRate);
+}
+
+void LstmClassifier::update(const data::Dataset &Merged, support::Rng &R) {
+  if (Embed.empty() || Merged.numClasses() != Classes ||
+      Merged.vocabSize() != Vocab) {
+    fit(Merged, R);
+    return;
+  }
+  trainEpochs(Merged, R, Cfg.FineTuneEpochs, Cfg.LearningRate * 0.3);
+}
+
+std::vector<double>
+LstmClassifier::predictProba(const data::Sample &S) const {
+  std::vector<double> Pooled = pooledState(S);
+  std::vector<double> Logits = HeadB;
+  for (size_t I = 0; I < Pooled.size(); ++I) {
+    double PI = Pooled[I];
+    if (PI == 0.0)
+      continue;
+    const double *Row = HeadW.rowPtr(I);
+    for (size_t J = 0; J < Logits.size(); ++J)
+      Logits[J] += PI * Row[J];
+  }
+  support::softmaxInPlace(Logits);
+  return Logits;
+}
+
+std::vector<double> LstmClassifier::embed(const data::Sample &S) const {
+  return pooledState(S);
+}

@@ -1,0 +1,106 @@
+//===- ml/Lstm.h - LSTM sequence classifier ----------------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token-sequence LSTM classifier: the stand-in for DeepTune (single
+/// direction) and VulDeePecker (bidirectional). A learned token embedding
+/// feeds one LSTM cell per direction; hidden states are mean-pooled and a
+/// linear softmax head classifies. Training is truncated-free full BPTT
+/// with Adam. embed() returns the pooled hidden state, which is the feature
+/// space PROM measures calibration distances in for sequence models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_ML_LSTM_H
+#define PROM_ML_LSTM_H
+
+#include "ml/Model.h"
+#include "ml/Optim.h"
+#include "support/Matrix.h"
+
+namespace prom {
+namespace ml {
+
+/// LSTM hyperparameters.
+struct LstmConfig {
+  size_t EmbedDim = 16;
+  size_t HiddenDim = 16;
+  bool Bidirectional = false;
+  size_t MaxSeqLen = 48;
+  size_t Epochs = 12;
+  double LearningRate = 5e-3;
+  double WeightDecay = 1e-5;
+  size_t FineTuneEpochs = 4;
+};
+
+/// One direction's parameters and Adam state.
+struct LstmCell {
+  support::Matrix Wx; ///< EmbedDim x 4*HiddenDim, gate order [i f g o].
+  support::Matrix Wh; ///< HiddenDim x 4*HiddenDim.
+  std::vector<double> Bias;
+  AdamState WxOpt, WhOpt, BiasOpt;
+
+  void init(size_t EmbedDim, size_t HiddenDim, support::Rng &R);
+};
+
+/// LSTM classifier over Sample::Tokens.
+class LstmClassifier : public Classifier {
+public:
+  explicit LstmClassifier(LstmConfig Cfg = LstmConfig());
+
+  void fit(const data::Dataset &Train, support::Rng &R) override;
+  void update(const data::Dataset &Merged, support::Rng &R) override;
+  std::vector<double> predictProba(const data::Sample &S) const override;
+
+  /// Pooled hidden state (both directions concatenated when bidirectional).
+  std::vector<double> embed(const data::Sample &S) const override;
+
+  int numClasses() const override { return Classes; }
+  std::string name() const override {
+    return Cfg.Bidirectional ? "BiLSTM" : "LSTM";
+  }
+
+private:
+  /// Per-timestep forward caches of one direction.
+  struct DirectionTrace {
+    std::vector<std::vector<double>> X;    ///< Embedded inputs.
+    std::vector<std::vector<double>> Gates; ///< [i f g o] per step (4H).
+    std::vector<std::vector<double>> C;    ///< Cell states.
+    std::vector<std::vector<double>> H;    ///< Hidden states.
+    std::vector<int> TokenIds;
+    std::vector<double> Pooled;
+  };
+
+  std::vector<int> clampTokens(const data::Sample &S) const;
+  void runDirection(const LstmCell &Cell, const std::vector<int> &Tokens,
+                    DirectionTrace &Trace) const;
+  /// BPTT through one direction given d(pooled); accumulates the embedding
+  /// gradient into \p GradEmbed and applies Adam to the cell.
+  void backwardDirection(LstmCell &Cell, const DirectionTrace &Trace,
+                         const std::vector<double> &DPooled,
+                         support::Matrix &GradEmbed,
+                         const AdamConfig &Adam);
+  std::vector<double> pooledState(const data::Sample &S) const;
+  void trainEpochs(const data::Dataset &Data, support::Rng &R,
+                   size_t Epochs, double LearningRate);
+
+  LstmConfig Cfg;
+  int Classes = 0;
+  int Vocab = 0;
+
+  support::Matrix Embed; ///< Vocab x EmbedDim.
+  AdamState EmbedOpt;
+  LstmCell Forward;
+  LstmCell Backwardc; ///< Only used when bidirectional.
+  support::Matrix HeadW; ///< PooledDim x Classes.
+  std::vector<double> HeadB;
+  AdamState HeadWOpt, HeadBOpt;
+};
+
+} // namespace ml
+} // namespace prom
+
+#endif // PROM_ML_LSTM_H

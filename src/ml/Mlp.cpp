@@ -1,0 +1,214 @@
+//===- ml/Mlp.cpp - Multilayer perceptron ----------------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Mlp.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace prom;
+using namespace prom::ml;
+using support::Matrix;
+
+void MlpCore::init(size_t InputDim, size_t OutputDim, const MlpConfig &Cfg,
+                   support::Rng &R) {
+  InDim = InputDim;
+  OutDim = OutputDim;
+  Weights.clear();
+  Biases.clear();
+
+  std::vector<size_t> Widths;
+  Widths.push_back(InputDim);
+  for (size_t H : Cfg.HiddenSizes)
+    Widths.push_back(H);
+  Widths.push_back(OutputDim);
+
+  for (size_t L = 0; L + 1 < Widths.size(); ++L) {
+    Matrix W(Widths[L], Widths[L + 1]);
+    // He initialization for the ReLU layers.
+    W.fillGaussian(R, std::sqrt(2.0 / static_cast<double>(Widths[L])));
+    Weights.push_back(std::move(W));
+    Biases.emplace_back(Widths[L + 1], 0.0);
+  }
+  WeightOpt.assign(Weights.size(), AdamState());
+  BiasOpt.assign(Biases.size(), AdamState());
+}
+
+std::vector<double>
+MlpCore::forward(const std::vector<double> &X,
+                 std::vector<std::vector<double>> &Hidden) const {
+  assert(X.size() == InDim && "input dim mismatch");
+  Hidden.clear();
+  std::vector<double> Act = X;
+  for (size_t L = 0; L < Weights.size(); ++L) {
+    const Matrix &W = Weights[L];
+    std::vector<double> Next = Biases[L];
+    for (size_t I = 0; I < W.rows(); ++I) {
+      double AI = Act[I];
+      if (AI == 0.0)
+        continue;
+      const double *Row = W.rowPtr(I);
+      for (size_t J = 0; J < W.cols(); ++J)
+        Next[J] += AI * Row[J];
+    }
+    bool IsOutput = (L + 1 == Weights.size());
+    if (!IsOutput) {
+      for (double &V : Next)
+        V = V > 0.0 ? V : 0.0; // ReLU
+      Hidden.push_back(Next);
+    }
+    Act = std::move(Next);
+  }
+  return Act;
+}
+
+void MlpCore::backwardAndStep(const std::vector<double> &X,
+                              const std::vector<std::vector<double>> &Hidden,
+                              const std::vector<double> &DLogits,
+                              const AdamConfig &Adam) {
+  // Walk layers from the head back to the input, computing the gradient of
+  // each weight as outer(activation_in, delta) and propagating delta through
+  // the ReLU mask of the previous hidden layer.
+  std::vector<double> Delta = DLogits;
+  for (size_t L = Weights.size(); L-- > 0;) {
+    const std::vector<double> &In = (L == 0) ? X : Hidden[L - 1];
+    Matrix &W = Weights[L];
+
+    Matrix GradW(W.rows(), W.cols());
+    for (size_t I = 0; I < W.rows(); ++I) {
+      double AI = In[I];
+      if (AI == 0.0)
+        continue;
+      double *GRow = GradW.rowPtr(I);
+      for (size_t J = 0; J < W.cols(); ++J)
+        GRow[J] = AI * Delta[J];
+    }
+
+    std::vector<double> PrevDelta;
+    if (L > 0) {
+      PrevDelta.assign(W.rows(), 0.0);
+      for (size_t I = 0; I < W.rows(); ++I) {
+        if (In[I] <= 0.0)
+          continue; // ReLU gradient mask.
+        const double *Row = W.rowPtr(I);
+        double Sum = 0.0;
+        for (size_t J = 0; J < W.cols(); ++J)
+          Sum += Row[J] * Delta[J];
+        PrevDelta[I] = Sum;
+      }
+    }
+
+    adamStep(W, GradW, WeightOpt[L], Adam);
+    adamStep(Biases[L], Delta, BiasOpt[L], Adam);
+    Delta = std::move(PrevDelta);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// MlpClassifier
+//===----------------------------------------------------------------------===//
+
+MlpClassifier::MlpClassifier(MlpConfig CfgIn) : Cfg(std::move(CfgIn)) {}
+
+void MlpClassifier::trainEpochs(const data::Dataset &Data, support::Rng &R,
+                                size_t Epochs, double LearningRate) {
+  AdamConfig Adam;
+  Adam.LearningRate = LearningRate;
+  Adam.WeightDecay = Cfg.WeightDecay;
+
+  for (size_t Epoch = 0; Epoch < Epochs; ++Epoch) {
+    std::vector<size_t> Order = R.permutation(Data.size());
+    for (size_t I : Order) {
+      const data::Sample &S = Data[I];
+      std::vector<std::vector<double>> Hidden;
+      std::vector<double> Logits = Core.forward(S.Features, Hidden);
+      support::softmaxInPlace(Logits);
+      // d(cross-entropy)/d(logits) = p - onehot(y).
+      Logits[static_cast<size_t>(S.Label)] -= 1.0;
+      Core.backwardAndStep(S.Features, Hidden, Logits, Adam);
+    }
+  }
+}
+
+void MlpClassifier::fit(const data::Dataset &Train, support::Rng &R) {
+  assert(!Train.empty() && Train.numClasses() > 1 && "bad training set");
+  Classes = Train.numClasses();
+  Core.init(Train.featureDim(), static_cast<size_t>(Classes), Cfg, R);
+  trainEpochs(Train, R, Cfg.Epochs, Cfg.LearningRate);
+}
+
+void MlpClassifier::update(const data::Dataset &Merged, support::Rng &R) {
+  if (!Core.initialized() || Merged.numClasses() != Classes) {
+    fit(Merged, R);
+    return;
+  }
+  // Warm start: shorter fine-tune at a reduced learning rate.
+  trainEpochs(Merged, R, Cfg.FineTuneEpochs, Cfg.LearningRate * 0.3);
+}
+
+std::vector<double> MlpClassifier::predictProba(const data::Sample &S) const {
+  std::vector<std::vector<double>> Hidden;
+  std::vector<double> Logits = Core.forward(S.Features, Hidden);
+  support::softmaxInPlace(Logits);
+  return Logits;
+}
+
+std::vector<double> MlpClassifier::embed(const data::Sample &S) const {
+  std::vector<std::vector<double>> Hidden;
+  (void)Core.forward(S.Features, Hidden);
+  return Hidden.empty() ? S.Features : Hidden.back();
+}
+
+//===----------------------------------------------------------------------===//
+// MlpRegressor
+//===----------------------------------------------------------------------===//
+
+MlpRegressor::MlpRegressor(MlpConfig CfgIn) : Cfg(std::move(CfgIn)) {}
+
+void MlpRegressor::trainEpochs(const data::Dataset &Data, support::Rng &R,
+                               size_t Epochs, double LearningRate) {
+  AdamConfig Adam;
+  Adam.LearningRate = LearningRate;
+  Adam.WeightDecay = Cfg.WeightDecay;
+
+  for (size_t Epoch = 0; Epoch < Epochs; ++Epoch) {
+    std::vector<size_t> Order = R.permutation(Data.size());
+    for (size_t I : Order) {
+      const data::Sample &S = Data[I];
+      std::vector<std::vector<double>> Hidden;
+      std::vector<double> Out = Core.forward(S.Features, Hidden);
+      // d(0.5 * (pred - y)^2)/d(pred) = pred - y.
+      std::vector<double> DOut = {Out[0] - S.Target};
+      Core.backwardAndStep(S.Features, Hidden, DOut, Adam);
+    }
+  }
+}
+
+void MlpRegressor::fit(const data::Dataset &Train, support::Rng &R) {
+  assert(!Train.empty() && "bad training set");
+  Core.init(Train.featureDim(), 1, Cfg, R);
+  trainEpochs(Train, R, Cfg.Epochs, Cfg.LearningRate);
+}
+
+void MlpRegressor::update(const data::Dataset &Merged, support::Rng &R) {
+  if (!Core.initialized()) {
+    fit(Merged, R);
+    return;
+  }
+  trainEpochs(Merged, R, Cfg.FineTuneEpochs, Cfg.LearningRate * 0.3);
+}
+
+double MlpRegressor::predict(const data::Sample &S) const {
+  std::vector<std::vector<double>> Hidden;
+  return Core.forward(S.Features, Hidden)[0];
+}
+
+std::vector<double> MlpRegressor::embed(const data::Sample &S) const {
+  std::vector<std::vector<double>> Hidden;
+  (void)Core.forward(S.Features, Hidden);
+  return Hidden.empty() ? S.Features : Hidden.back();
+}

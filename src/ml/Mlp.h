@@ -1,0 +1,113 @@
+//===- ml/Mlp.h - Multilayer perceptron --------------------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multilayer perceptron over numeric features; the stand-in for the Magni
+/// et al. thread-coarsening / loop-vectorization networks. Classification
+/// uses a softmax head trained with cross-entropy; regression a linear head
+/// with squared error. embed() exposes the last hidden activations, which is
+/// the feature space PROM measures nonconformity distances in for this
+/// model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_ML_MLP_H
+#define PROM_ML_MLP_H
+
+#include "ml/Model.h"
+#include "ml/Optim.h"
+#include "support/Matrix.h"
+
+namespace prom {
+namespace ml {
+
+/// Training hyperparameters for the MLP family.
+struct MlpConfig {
+  std::vector<size_t> HiddenSizes = {32, 16};
+  size_t Epochs = 150;
+  size_t BatchSize = 32;
+  double LearningRate = 5e-3;
+  double WeightDecay = 1e-4;
+  /// Epochs used by update() for warm-start incremental learning.
+  size_t FineTuneEpochs = 40;
+};
+
+/// Shared dense network core used by both MLP heads.
+class MlpCore {
+public:
+  /// (Re)initializes a network with the given layer widths.
+  void init(size_t InputDim, size_t OutputDim, const MlpConfig &Cfg,
+            support::Rng &R);
+
+  bool initialized() const { return !Weights.empty(); }
+  size_t inputDim() const { return InDim; }
+  size_t outputDim() const { return OutDim; }
+
+  /// Forward pass; returns the output logits and fills \p Hidden with every
+  /// post-activation layer (Hidden.back() is the embedding layer).
+  std::vector<double> forward(const std::vector<double> &X,
+                              std::vector<std::vector<double>> &Hidden) const;
+
+  /// Backpropagates \p DLogits for input \p X with cached \p Hidden, then
+  /// applies one Adam step per parameter.
+  void backwardAndStep(const std::vector<double> &X,
+                       const std::vector<std::vector<double>> &Hidden,
+                       const std::vector<double> &DLogits,
+                       const AdamConfig &Adam);
+
+private:
+  size_t InDim = 0;
+  size_t OutDim = 0;
+  std::vector<support::Matrix> Weights; ///< Layer L: fan-in x fan-out.
+  std::vector<std::vector<double>> Biases;
+  std::vector<AdamState> WeightOpt;
+  std::vector<AdamState> BiasOpt;
+};
+
+/// Softmax-head MLP classifier.
+class MlpClassifier : public Classifier {
+public:
+  explicit MlpClassifier(MlpConfig Cfg = MlpConfig());
+
+  void fit(const data::Dataset &Train, support::Rng &R) override;
+  void update(const data::Dataset &Merged, support::Rng &R) override;
+  std::vector<double> predictProba(const data::Sample &S) const override;
+  std::vector<double> embed(const data::Sample &S) const override;
+  int numClasses() const override { return Classes; }
+  std::string name() const override { return "MLP"; }
+
+private:
+  void trainEpochs(const data::Dataset &Data, support::Rng &R,
+                   size_t Epochs, double LearningRate);
+
+  MlpConfig Cfg;
+  MlpCore Core;
+  int Classes = 0;
+};
+
+/// Linear-head MLP regressor.
+class MlpRegressor : public Regressor {
+public:
+  explicit MlpRegressor(MlpConfig Cfg = MlpConfig());
+
+  void fit(const data::Dataset &Train, support::Rng &R) override;
+  void update(const data::Dataset &Merged, support::Rng &R) override;
+  double predict(const data::Sample &S) const override;
+  std::vector<double> embed(const data::Sample &S) const override;
+  std::string name() const override { return "MLP-Reg"; }
+
+private:
+  void trainEpochs(const data::Dataset &Data, support::Rng &R,
+                   size_t Epochs, double LearningRate);
+
+  MlpConfig Cfg;
+  MlpCore Core;
+};
+
+} // namespace ml
+} // namespace prom
+
+#endif // PROM_ML_MLP_H

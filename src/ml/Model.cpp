@@ -1,0 +1,34 @@
+//===- ml/Model.cpp - Classifier and regressor interfaces -----------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Model.h"
+#include "support/Matrix.h"
+#include "support/Rng.h"
+
+using namespace prom::ml;
+
+Classifier::~Classifier() = default;
+Regressor::~Regressor() = default;
+
+void Classifier::update(const data::Dataset &Merged, support::Rng &R) {
+  fit(Merged, R);
+}
+
+std::vector<double> Classifier::embed(const data::Sample &S) const {
+  return S.Features;
+}
+
+int Classifier::predict(const data::Sample &S) const {
+  return static_cast<int>(support::argmax(predictProba(S)));
+}
+
+void Regressor::update(const data::Dataset &Merged, support::Rng &R) {
+  fit(Merged, R);
+}
+
+std::vector<double> Regressor::embed(const data::Sample &S) const {
+  return S.Features;
+}

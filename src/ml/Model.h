@@ -1,0 +1,84 @@
+//===- ml/Model.h - Classifier and regressor interfaces ---------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "underlying model" abstraction PROM wraps (paper Sec. 4).
+///
+/// PROM requires exactly three things from a user model: a prediction
+/// function that also exposes a probability vector, a feature-extraction
+/// function mapping the input to a numeric vector (the space calibration
+/// distances are measured in), and a training entry point for incremental
+/// learning. Classifier and Regressor capture those requirements; every
+/// substrate model in src/ml implements one of them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_ML_MODEL_H
+#define PROM_ML_MODEL_H
+
+#include "data/Dataset.h"
+
+#include <string>
+#include <vector>
+
+namespace prom {
+namespace support {
+class Rng;
+} // namespace support
+
+namespace ml {
+
+/// Probabilistic multi-class classifier.
+class Classifier {
+public:
+  virtual ~Classifier();
+
+  /// Trains from scratch on \p Train.
+  virtual void fit(const data::Dataset &Train, support::Rng &R) = 0;
+
+  /// Incremental-learning entry point: refines the already-trained model on
+  /// \p Merged (original training data plus relabeled drifting samples).
+  /// The default performs a full refit; gradient-based models override this
+  /// with a shorter warm-start fine-tune.
+  virtual void update(const data::Dataset &Merged, support::Rng &R);
+
+  /// Class-probability vector for \p S (sums to 1, length numClasses()).
+  virtual std::vector<double> predictProba(const data::Sample &S) const = 0;
+
+  /// Feature embedding of \p S used by PROM for calibration distances.
+  /// Neural models return an internal representation; the default returns
+  /// the raw numeric features.
+  virtual std::vector<double> embed(const data::Sample &S) const;
+
+  virtual int numClasses() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Argmax of predictProba.
+  int predict(const data::Sample &S) const;
+};
+
+/// Scalar regressor (PROM supports regression via clustering, Sec. 5.1.2).
+class Regressor {
+public:
+  virtual ~Regressor();
+
+  virtual void fit(const data::Dataset &Train, support::Rng &R) = 0;
+
+  /// Incremental-learning entry point; see Classifier::update.
+  virtual void update(const data::Dataset &Merged, support::Rng &R);
+
+  virtual double predict(const data::Sample &S) const = 0;
+
+  /// Feature embedding of \p S; defaults to the raw numeric features.
+  virtual std::vector<double> embed(const data::Sample &S) const;
+
+  virtual std::string name() const = 0;
+};
+
+} // namespace ml
+} // namespace prom
+
+#endif // PROM_ML_MODEL_H

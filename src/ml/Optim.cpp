@@ -1,0 +1,53 @@
+//===- ml/Optim.cpp - Adam optimizer over Matrix parameters ---------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Optim.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace prom::ml;
+using prom::support::Matrix;
+
+void AdamState::ensureSize(size_t NumParams) {
+  if (M.size() == NumParams)
+    return;
+  M.assign(NumParams, 0.0);
+  V.assign(NumParams, 0.0);
+  Step = 0;
+}
+
+static void adamStepRaw(double *Params, const double *Grads, size_t N,
+                        AdamState &State, const AdamConfig &Cfg) {
+  State.ensureSize(N);
+  ++State.Step;
+  double Bias1 = 1.0 - std::pow(Cfg.Beta1, static_cast<double>(State.Step));
+  double Bias2 = 1.0 - std::pow(Cfg.Beta2, static_cast<double>(State.Step));
+  for (size_t I = 0; I < N; ++I) {
+    State.M[I] = Cfg.Beta1 * State.M[I] + (1.0 - Cfg.Beta1) * Grads[I];
+    State.V[I] =
+        Cfg.Beta2 * State.V[I] + (1.0 - Cfg.Beta2) * Grads[I] * Grads[I];
+    double MHat = State.M[I] / Bias1;
+    double VHat = State.V[I] / Bias2;
+    Params[I] -= Cfg.LearningRate *
+                 (MHat / (std::sqrt(VHat) + Cfg.Epsilon) +
+                  Cfg.WeightDecay * Params[I]);
+  }
+}
+
+void prom::ml::adamStep(Matrix &Params, const Matrix &Grads, AdamState &State,
+                        const AdamConfig &Cfg) {
+  assert(Params.size() == Grads.size() && "gradient shape mismatch");
+  adamStepRaw(Params.data().data(), Grads.data().data(), Params.size(),
+              State, Cfg);
+}
+
+void prom::ml::adamStep(std::vector<double> &Params,
+                        const std::vector<double> &Grads, AdamState &State,
+                        const AdamConfig &Cfg) {
+  assert(Params.size() == Grads.size() && "gradient shape mismatch");
+  adamStepRaw(Params.data(), Grads.data(), Params.size(), State, Cfg);
+}

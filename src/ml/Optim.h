@@ -1,0 +1,54 @@
+//===- ml/Optim.h - Adam optimizer over Matrix parameters -------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal Adam optimizer operating on support::Matrix parameters. Each
+/// trainable matrix owns an AdamState holding its first/second moment
+/// estimates; adamStep applies one decoupled-weight-decay Adam update.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_ML_OPTIM_H
+#define PROM_ML_OPTIM_H
+
+#include "support/Matrix.h"
+
+#include <vector>
+
+namespace prom {
+namespace ml {
+
+/// Hyperparameters shared by all Adam updates of one model.
+struct AdamConfig {
+  double LearningRate = 1e-2;
+  double Beta1 = 0.9;
+  double Beta2 = 0.999;
+  double Epsilon = 1e-8;
+  double WeightDecay = 0.0; ///< Decoupled (AdamW-style) weight decay.
+};
+
+/// Per-parameter Adam moment estimates.
+struct AdamState {
+  std::vector<double> M;
+  std::vector<double> V;
+  long Step = 0;
+
+  /// Lazily sizes the moments to match \p NumParams.
+  void ensureSize(size_t NumParams);
+};
+
+/// Applies one Adam update to \p Params given \p Grads.
+void adamStep(support::Matrix &Params, const support::Matrix &Grads,
+              AdamState &State, const AdamConfig &Cfg);
+
+/// Vector overload for bias parameters.
+void adamStep(std::vector<double> &Params, const std::vector<double> &Grads,
+              AdamState &State, const AdamConfig &Cfg);
+
+} // namespace ml
+} // namespace prom
+
+#endif // PROM_ML_OPTIM_H

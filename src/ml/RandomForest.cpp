@@ -1,0 +1,58 @@
+//===- ml/RandomForest.cpp - Bagged classification trees --------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/RandomForest.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace prom;
+using namespace prom::ml;
+
+RandomForestClassifier::RandomForestClassifier(ForestConfig CfgIn)
+    : Cfg(CfgIn) {}
+
+void RandomForestClassifier::fit(const data::Dataset &Train,
+                                 support::Rng &R) {
+  assert(!Train.empty() && Train.numClasses() > 1 && "bad training set");
+  Classes = Train.numClasses();
+  Trees.clear();
+  Trees.resize(Cfg.NumTrees);
+
+  std::vector<std::vector<double>> X = Train.featureRows();
+  std::vector<int> Y(Train.size());
+  for (size_t I = 0; I < Train.size(); ++I)
+    Y[I] = Train[I].Label;
+
+  TreeConfig TreeCfg = Cfg.Tree;
+  if (TreeCfg.FeatureSubset == 0) {
+    // Default to the classic sqrt(d) mtry.
+    TreeCfg.FeatureSubset = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(Train.featureDim()))));
+  }
+
+  for (ClassificationTree &Tree : Trees) {
+    std::vector<size_t> Boot(Train.size());
+    for (size_t &I : Boot)
+      I = R.bounded(Train.size());
+    Tree.fit(X, Y, Classes, Boot, TreeCfg, R);
+  }
+}
+
+std::vector<double>
+RandomForestClassifier::predictProba(const data::Sample &S) const {
+  assert(!Trees.empty() && "forest not fitted");
+  std::vector<double> Sum(static_cast<size_t>(Classes), 0.0);
+  for (const ClassificationTree &Tree : Trees) {
+    const std::vector<double> &P = Tree.predictProba(S.Features);
+    for (size_t C = 0; C < Sum.size(); ++C)
+      Sum[C] += P[C];
+  }
+  for (double &V : Sum)
+    V /= static_cast<double>(Trees.size());
+  return Sum;
+}

@@ -1,0 +1,49 @@
+//===- ml/RandomForest.h - Bagged classification trees ----------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Random forest classifier (bootstrap-bagged Gini trees with per-split
+/// feature subsampling). Probabilities are the average of per-tree leaf
+/// distributions, giving PROM a smooth probability vector to score.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_ML_RANDOMFOREST_H
+#define PROM_ML_RANDOMFOREST_H
+
+#include "ml/DecisionTree.h"
+#include "ml/Model.h"
+
+namespace prom {
+namespace ml {
+
+/// Forest hyperparameters.
+struct ForestConfig {
+  size_t NumTrees = 40;
+  TreeConfig Tree = {/*MaxDepth=*/8, /*MinSamplesLeaf=*/2,
+                     /*FeatureSubset=*/0};
+};
+
+/// Bagged Gini-tree classifier.
+class RandomForestClassifier : public Classifier {
+public:
+  explicit RandomForestClassifier(ForestConfig Cfg = ForestConfig());
+
+  void fit(const data::Dataset &Train, support::Rng &R) override;
+  std::vector<double> predictProba(const data::Sample &S) const override;
+  int numClasses() const override { return Classes; }
+  std::string name() const override { return "RF"; }
+
+private:
+  ForestConfig Cfg;
+  int Classes = 0;
+  std::vector<ClassificationTree> Trees;
+};
+
+} // namespace ml
+} // namespace prom
+
+#endif // PROM_ML_RANDOMFOREST_H

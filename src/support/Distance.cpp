@@ -1,0 +1,63 @@
+//===- support/Distance.cpp - Vector distances ---------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Distance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace prom::support;
+
+double prom::support::squaredEuclidean(const std::vector<double> &A,
+                                       const std::vector<double> &B) {
+  assert(A.size() == B.size() && "distance length mismatch");
+  double Sum = 0.0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    double D = A[I] - B[I];
+    Sum += D * D;
+  }
+  return Sum;
+}
+
+double prom::support::euclidean(const std::vector<double> &A,
+                                const std::vector<double> &B) {
+  return std::sqrt(squaredEuclidean(A, B));
+}
+
+double prom::support::cosineDistance(const std::vector<double> &A,
+                                     const std::vector<double> &B) {
+  assert(A.size() == B.size() && "distance length mismatch");
+  double Dot = 0.0, NormA = 0.0, NormB = 0.0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    Dot += A[I] * B[I];
+    NormA += A[I] * A[I];
+    NormB += B[I] * B[I];
+  }
+  if (NormA == 0.0 || NormB == 0.0)
+    return 1.0;
+  return 1.0 - Dot / (std::sqrt(NormA) * std::sqrt(NormB));
+}
+
+std::vector<size_t>
+prom::support::kNearest(const std::vector<std::vector<double>> &Points,
+                        const std::vector<double> &Query, size_t K) {
+  std::vector<size_t> Order(Points.size());
+  std::iota(Order.begin(), Order.end(), size_t(0));
+  std::vector<double> Dist(Points.size());
+  for (size_t I = 0; I < Points.size(); ++I)
+    Dist[I] = squaredEuclidean(Points[I], Query);
+  size_t Keep = std::min(K, Points.size());
+  std::partial_sort(Order.begin(), Order.begin() + Keep, Order.end(),
+                    [&Dist](size_t L, size_t R) {
+                      if (Dist[L] != Dist[R])
+                        return Dist[L] < Dist[R];
+                      return L < R;
+                    });
+  Order.resize(Keep);
+  return Order;
+}

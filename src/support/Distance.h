@@ -1,0 +1,42 @@
+//===- support/Distance.h - Vector distances --------------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Feature-space distances. PROM's adaptive calibration selection (paper
+/// Sec. 5.1.2) and the regression k-NN ground-truth approximation (Sec.
+/// 5.1.1) both measure Euclidean distance between model feature vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_SUPPORT_DISTANCE_H
+#define PROM_SUPPORT_DISTANCE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace prom {
+namespace support {
+
+/// Squared Euclidean distance between equal-length vectors.
+double squaredEuclidean(const std::vector<double> &A,
+                        const std::vector<double> &B);
+
+/// Euclidean (l2) distance between equal-length vectors.
+double euclidean(const std::vector<double> &A, const std::vector<double> &B);
+
+/// Cosine distance (1 - cosine similarity); 1 when either vector is zero.
+double cosineDistance(const std::vector<double> &A,
+                      const std::vector<double> &B);
+
+/// Indices of the \p K nearest rows of \p Points to \p Query under Euclidean
+/// distance, ordered closest first. Returns fewer when Points has < K rows.
+std::vector<size_t> kNearest(const std::vector<std::vector<double>> &Points,
+                             const std::vector<double> &Query, size_t K);
+
+} // namespace support
+} // namespace prom
+
+#endif // PROM_SUPPORT_DISTANCE_H

@@ -1,0 +1,61 @@
+//===- support/KMeans.h - K-means++ and the gap statistic ------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// K-means++ clustering and the Tibshirani gap statistic.
+///
+/// PROM extends conformal p-values to regression by clustering the
+/// calibration set into pseudo-labels (paper Sec. 5.1.2); the cluster count
+/// K is chosen by the gap statistic over K in [2, 20].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_SUPPORT_KMEANS_H
+#define PROM_SUPPORT_KMEANS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace prom {
+namespace support {
+
+class Rng;
+
+/// Result of a k-means run: per-point assignments plus centroids.
+struct KMeansResult {
+  std::vector<int> Assignments;              ///< Cluster id per input point.
+  std::vector<std::vector<double>> Centroids; ///< K centroid vectors.
+  double Inertia = 0.0; ///< Within-cluster sum of squared distances.
+};
+
+/// Runs k-means++ with Lloyd iterations on \p Points.
+///
+/// \param Points row vectors to cluster (all the same length).
+/// \param K desired cluster count; clamped to Points.size().
+/// \param R randomness for seeding.
+/// \param MaxIters Lloyd iteration cap.
+KMeansResult kMeans(const std::vector<std::vector<double>> &Points, size_t K,
+                    Rng &R, size_t MaxIters = 50);
+
+/// Chooses a cluster count via the gap statistic (Tibshirani et al. 2001).
+///
+/// Compares log within-cluster dispersion on \p Points against the expected
+/// dispersion under \p NumRefs uniform reference datasets drawn over the
+/// bounding box of the data, for K in [MinK, MaxK]. Returns the first K
+/// satisfying the standard "Gap(K) >= Gap(K+1) - s(K+1)" rule, falling back
+/// to the K with the largest gap.
+size_t gapStatisticK(const std::vector<std::vector<double>> &Points,
+                     Rng &R, size_t MinK = 2, size_t MaxK = 20,
+                     size_t NumRefs = 5);
+
+/// Nearest centroid index for \p Point; asserts non-empty centroids.
+size_t nearestCentroid(const std::vector<std::vector<double>> &Centroids,
+                       const std::vector<double> &Point);
+
+} // namespace support
+} // namespace prom
+
+#endif // PROM_SUPPORT_KMEANS_H

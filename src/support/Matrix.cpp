@@ -1,0 +1,172 @@
+//===- support/Matrix.cpp - Dense row-major matrix math ------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Matrix.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+using namespace prom::support;
+
+Matrix::Matrix(size_t Rows, size_t Cols, double Fill)
+    : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, Fill) {}
+
+Matrix::Matrix(size_t Rows, size_t Cols, std::vector<double> Values)
+    : NumRows(Rows), NumCols(Cols), Data(std::move(Values)) {
+  assert(Data.size() == Rows * Cols && "value count does not match shape");
+}
+
+std::vector<double> Matrix::row(size_t R) const {
+  assert(R < NumRows && "row out of range");
+  return std::vector<double>(rowPtr(R), rowPtr(R) + NumCols);
+}
+
+void Matrix::fill(double Value) {
+  std::fill(Data.begin(), Data.end(), Value);
+}
+
+void Matrix::fillGaussian(Rng &R, double Stddev) {
+  for (double &V : Data)
+    V = R.gaussian(0.0, Stddev);
+}
+
+Matrix Matrix::matmul(const Matrix &B) const {
+  assert(NumCols == B.NumRows && "matmul shape mismatch");
+  Matrix Out(NumRows, B.NumCols);
+  for (size_t I = 0; I < NumRows; ++I) {
+    const double *ARow = rowPtr(I);
+    double *ORow = Out.rowPtr(I);
+    for (size_t K = 0; K < NumCols; ++K) {
+      double AIK = ARow[K];
+      if (AIK == 0.0)
+        continue;
+      const double *BRow = B.rowPtr(K);
+      for (size_t J = 0; J < B.NumCols; ++J)
+        ORow[J] += AIK * BRow[J];
+    }
+  }
+  return Out;
+}
+
+Matrix Matrix::transposedMatmul(const Matrix &B) const {
+  assert(NumRows == B.NumRows && "transposedMatmul shape mismatch");
+  Matrix Out(NumCols, B.NumCols);
+  for (size_t I = 0; I < NumRows; ++I) {
+    const double *ARow = rowPtr(I);
+    const double *BRow = B.rowPtr(I);
+    for (size_t K = 0; K < NumCols; ++K) {
+      double AIK = ARow[K];
+      if (AIK == 0.0)
+        continue;
+      double *ORow = Out.rowPtr(K);
+      for (size_t J = 0; J < B.NumCols; ++J)
+        ORow[J] += AIK * BRow[J];
+    }
+  }
+  return Out;
+}
+
+Matrix Matrix::matmulTransposed(const Matrix &B) const {
+  assert(NumCols == B.NumCols && "matmulTransposed shape mismatch");
+  Matrix Out(NumRows, B.NumRows);
+  for (size_t I = 0; I < NumRows; ++I) {
+    const double *ARow = rowPtr(I);
+    double *ORow = Out.rowPtr(I);
+    for (size_t J = 0; J < B.NumRows; ++J) {
+      const double *BRow = B.rowPtr(J);
+      double Sum = 0.0;
+      for (size_t K = 0; K < NumCols; ++K)
+        Sum += ARow[K] * BRow[K];
+      ORow[J] = Sum;
+    }
+  }
+  return Out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix Out(NumCols, NumRows);
+  for (size_t I = 0; I < NumRows; ++I)
+    for (size_t J = 0; J < NumCols; ++J)
+      Out.at(J, I) = at(I, J);
+  return Out;
+}
+
+void Matrix::addScaled(const Matrix &B, double Alpha) {
+  assert(NumRows == B.NumRows && NumCols == B.NumCols &&
+         "addScaled shape mismatch");
+  for (size_t I = 0; I < Data.size(); ++I)
+    Data[I] += Alpha * B.Data[I];
+}
+
+void Matrix::addRowBroadcast(const std::vector<double> &RowVec) {
+  assert(RowVec.size() == NumCols && "broadcast width mismatch");
+  for (size_t I = 0; I < NumRows; ++I) {
+    double *Row = rowPtr(I);
+    for (size_t J = 0; J < NumCols; ++J)
+      Row[J] += RowVec[J];
+  }
+}
+
+void Matrix::scale(double Alpha) {
+  for (double &V : Data)
+    V *= Alpha;
+}
+
+void Matrix::hadamard(const Matrix &B) {
+  assert(NumRows == B.NumRows && NumCols == B.NumCols &&
+         "hadamard shape mismatch");
+  for (size_t I = 0; I < Data.size(); ++I)
+    Data[I] *= B.Data[I];
+}
+
+std::vector<double> Matrix::columnSums() const {
+  std::vector<double> Sums(NumCols, 0.0);
+  for (size_t I = 0; I < NumRows; ++I) {
+    const double *Row = rowPtr(I);
+    for (size_t J = 0; J < NumCols; ++J)
+      Sums[J] += Row[J];
+  }
+  return Sums;
+}
+
+double prom::support::dot(const std::vector<double> &A,
+                          const std::vector<double> &B) {
+  assert(A.size() == B.size() && "dot length mismatch");
+  double Sum = 0.0;
+  for (size_t I = 0; I < A.size(); ++I)
+    Sum += A[I] * B[I];
+  return Sum;
+}
+
+void prom::support::axpy(std::vector<double> &A, const std::vector<double> &B,
+                         double Alpha) {
+  assert(A.size() == B.size() && "axpy length mismatch");
+  for (size_t I = 0; I < A.size(); ++I)
+    A[I] += Alpha * B[I];
+}
+
+void prom::support::softmaxInPlace(std::vector<double> &Logits) {
+  assert(!Logits.empty() && "softmax of empty vector");
+  double MaxLogit = *std::max_element(Logits.begin(), Logits.end());
+  double Sum = 0.0;
+  for (double &V : Logits) {
+    V = std::exp(V - MaxLogit);
+    Sum += V;
+  }
+  for (double &V : Logits)
+    V /= Sum;
+}
+
+size_t prom::support::argmax(const std::vector<double> &Values) {
+  assert(!Values.empty() && "argmax of empty vector");
+  size_t Best = 0;
+  for (size_t I = 1; I < Values.size(); ++I)
+    if (Values[I] > Values[Best])
+      Best = I;
+  return Best;
+}

@@ -1,0 +1,122 @@
+//===- support/Matrix.h - Dense row-major matrix math -----------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal dense linear algebra used by the ML substrate.
+///
+/// The matrix is row-major double storage; the operation set is exactly
+/// what the from-scratch models need (matmul, transposed matmul variants,
+/// elementwise maps, row reductions). No BLAS dependency by design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_SUPPORT_MATRIX_H
+#define PROM_SUPPORT_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace prom {
+namespace support {
+
+class Rng;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+public:
+  Matrix() = default;
+
+  /// Creates a Rows x Cols matrix filled with \p Fill.
+  Matrix(size_t Rows, size_t Cols, double Fill = 0.0);
+
+  /// Creates a matrix from row-major \p Values (size must be Rows*Cols).
+  Matrix(size_t Rows, size_t Cols, std::vector<double> Values);
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+  size_t size() const { return Data.size(); }
+  bool empty() const { return Data.empty(); }
+
+  double &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  double at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  double *rowPtr(size_t R) {
+    assert(R < NumRows && "row out of range");
+    return Data.data() + R * NumCols;
+  }
+  const double *rowPtr(size_t R) const {
+    assert(R < NumRows && "row out of range");
+    return Data.data() + R * NumCols;
+  }
+
+  /// Copies row \p R into a new vector.
+  std::vector<double> row(size_t R) const;
+
+  std::vector<double> &data() { return Data; }
+  const std::vector<double> &data() const { return Data; }
+
+  /// Fills every entry with \p Value.
+  void fill(double Value);
+
+  /// Fills with N(0, Stddev) draws; used for weight initialization.
+  void fillGaussian(Rng &R, double Stddev);
+
+  /// Returns this * B. Columns of this must equal rows of \p B.
+  Matrix matmul(const Matrix &B) const;
+
+  /// Returns transpose(this) * B.
+  Matrix transposedMatmul(const Matrix &B) const;
+
+  /// Returns this * transpose(B).
+  Matrix matmulTransposed(const Matrix &B) const;
+
+  /// Returns the transpose.
+  Matrix transposed() const;
+
+  /// this += Alpha * B (shapes must match).
+  void addScaled(const Matrix &B, double Alpha);
+
+  /// Adds \p RowVec (length cols()) to every row; the bias broadcast.
+  void addRowBroadcast(const std::vector<double> &RowVec);
+
+  /// Multiplies every entry by \p Alpha.
+  void scale(double Alpha);
+
+  /// Elementwise Hadamard product with \p B (shapes must match).
+  void hadamard(const Matrix &B);
+
+  /// Sums entries over rows, producing a length-cols() vector.
+  std::vector<double> columnSums() const;
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<double> Data;
+};
+
+/// Dot product of equal-length vectors.
+double dot(const std::vector<double> &A, const std::vector<double> &B);
+
+/// A += Alpha * B for equal-length vectors.
+void axpy(std::vector<double> &A, const std::vector<double> &B, double Alpha);
+
+/// In-place numerically stable softmax.
+void softmaxInPlace(std::vector<double> &Logits);
+
+/// Returns the index of the maximum element (first on ties).
+size_t argmax(const std::vector<double> &Values);
+
+} // namespace support
+} // namespace prom
+
+#endif // PROM_SUPPORT_MATRIX_H

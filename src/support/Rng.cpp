@@ -1,0 +1,119 @@
+//===- support/Rng.cpp - Deterministic random number generation ----------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace prom::support;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+Rng::Rng(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[0] + State[3], 23) + State[0];
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double Rng::uniform() {
+  // 53 high bits give a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "empty uniform range");
+  return Lo + (Hi - Lo) * uniform();
+}
+
+uint64_t Rng::bounded(uint64_t N) {
+  assert(N > 0 && "bounded(0) is ill-defined");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = (0 - N) % N;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % N;
+  }
+}
+
+int Rng::intIn(int Lo, int Hi) {
+  assert(Lo <= Hi && "empty integer range");
+  return Lo + static_cast<int>(bounded(static_cast<uint64_t>(Hi - Lo) + 1));
+}
+
+double Rng::gaussian() {
+  if (HasSpare) {
+    HasSpare = false;
+    return Spare;
+  }
+  double U, V, S;
+  do {
+    U = uniform(-1.0, 1.0);
+    V = uniform(-1.0, 1.0);
+    S = U * U + V * V;
+  } while (S >= 1.0 || S == 0.0);
+  double Scale = std::sqrt(-2.0 * std::log(S) / S);
+  Spare = V * Scale;
+  HasSpare = true;
+  return U * Scale;
+}
+
+double Rng::gaussian(double Mean, double Stddev) {
+  return Mean + Stddev * gaussian();
+}
+
+bool Rng::bernoulli(double P) { return uniform() < P; }
+
+size_t Rng::weightedIndex(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "weightedIndex on empty weights");
+  double Total = 0.0;
+  for (double W : Weights) {
+    assert(W >= 0.0 && "negative weight");
+    Total += W;
+  }
+  if (Total <= 0.0)
+    return bounded(Weights.size());
+  double Pick = uniform() * Total;
+  double Acc = 0.0;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Acc += Weights[I];
+    if (Pick < Acc)
+      return I;
+  }
+  return Weights.size() - 1;
+}
+
+std::vector<size_t> Rng::permutation(size_t N) {
+  std::vector<size_t> Perm(N);
+  for (size_t I = 0; I < N; ++I)
+    Perm[I] = I;
+  shuffle(Perm);
+  return Perm;
+}
+
+Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ull); }

@@ -1,0 +1,88 @@
+//===- support/Stats.cpp - Descriptive statistics ------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace prom::support;
+
+double prom::support::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double prom::support::variance(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += (V - M) * (V - M);
+  return Sum / static_cast<double>(Values.size());
+}
+
+double prom::support::stddev(const std::vector<double> &Values) {
+  return std::sqrt(variance(Values));
+}
+
+double prom::support::quantile(std::vector<double> Values, double Q) {
+  assert(!Values.empty() && "quantile of empty sample");
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile level out of range");
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values.front();
+  double Pos = Q * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Pos);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Pos - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
+double prom::support::median(std::vector<double> Values) {
+  return quantile(std::move(Values), 0.5);
+}
+
+double prom::support::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double prom::support::minOf(const std::vector<double> &Values) {
+  assert(!Values.empty() && "min of empty sample");
+  return *std::min_element(Values.begin(), Values.end());
+}
+
+double prom::support::maxOf(const std::vector<double> &Values) {
+  assert(!Values.empty() && "max of empty sample");
+  return *std::max_element(Values.begin(), Values.end());
+}
+
+Summary prom::support::summarize(const std::vector<double> &Values) {
+  Summary S;
+  if (Values.empty())
+    return S;
+  S.Count = Values.size();
+  S.Min = minOf(Values);
+  S.Max = maxOf(Values);
+  S.Q25 = quantile(Values, 0.25);
+  S.Median = quantile(Values, 0.5);
+  S.Q75 = quantile(Values, 0.75);
+  S.Mean = mean(Values);
+  return S;
+}

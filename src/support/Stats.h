@@ -1,0 +1,66 @@
+//===- support/Stats.h - Descriptive statistics -----------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptive statistics shared by the evaluation harness and the CP core:
+/// moments, quantiles, geometric means, and the five-number summaries used
+/// to print the paper's violin plots as text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_SUPPORT_STATS_H
+#define PROM_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace prom {
+namespace support {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double> &Values);
+
+/// Population variance; 0 for fewer than two values.
+double variance(const std::vector<double> &Values);
+
+/// Population standard deviation.
+double stddev(const std::vector<double> &Values);
+
+/// Linear-interpolation quantile for Q in [0, 1]; asserts non-empty input.
+double quantile(std::vector<double> Values, double Q);
+
+/// Median (quantile 0.5).
+double median(std::vector<double> Values);
+
+/// Geometric mean; values must be positive. 0 for empty input.
+double geomean(const std::vector<double> &Values);
+
+/// Minimum; asserts non-empty input.
+double minOf(const std::vector<double> &Values);
+
+/// Maximum; asserts non-empty input.
+double maxOf(const std::vector<double> &Values);
+
+/// Five-number summary of a sample distribution. This is the textual stand-in
+/// for the paper's violin plots (Figures 7 and 9): min / q25 / median / q75 /
+/// max plus the mean, which together convey the violin's mass and median.
+struct Summary {
+  size_t Count = 0;
+  double Min = 0.0;
+  double Q25 = 0.0;
+  double Median = 0.0;
+  double Q75 = 0.0;
+  double Max = 0.0;
+  double Mean = 0.0;
+};
+
+/// Computes the five-number summary of \p Values (empty input gives zeros).
+Summary summarize(const std::vector<double> &Values);
+
+} // namespace support
+} // namespace prom
+
+#endif // PROM_SUPPORT_STATS_H

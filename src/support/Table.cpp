@@ -1,0 +1,76 @@
+//===- support/Table.cpp - Console tables and CSV output -----------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <utility>
+
+using namespace prom::support;
+
+Table::Table(std::vector<std::string> HeaderIn) : Header(std::move(HeaderIn)) {
+  assert(!Header.empty() && "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+std::string Table::num(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string Table::percent(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Precision, Value * 100.0);
+  return Buf;
+}
+
+void Table::print(const std::string &Title) const {
+  std::vector<size_t> Width(Header.size());
+  for (size_t C = 0; C < Header.size(); ++C)
+    Width[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Width[C] = std::max(Width[C], Row[C].size());
+
+  std::printf("\n== %s ==\n", Title.c_str());
+  auto PrintRow = [&Width](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C < Row.size(); ++C)
+      std::printf("%c %-*s", C == 0 ? '|' : ' ',
+                  static_cast<int>(Width[C]) + 1, Row[C].c_str());
+    std::printf("|\n");
+  };
+  PrintRow(Header);
+  size_t Total = 0;
+  for (size_t W : Width)
+    Total += W + 3;
+  std::string Rule(Total + 1, '-');
+  std::printf("%s\n", Rule.c_str());
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+  std::fflush(stdout);
+}
+
+bool Table::writeCsv(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  auto WriteRow = [F](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C < Row.size(); ++C)
+      std::fprintf(F, "%s%s", C == 0 ? "" : ",", Row[C].c_str());
+    std::fprintf(F, "\n");
+  };
+  WriteRow(Header);
+  for (const auto &Row : Rows)
+    WriteRow(Row);
+  std::fclose(F);
+  return true;
+}

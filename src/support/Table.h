@@ -1,0 +1,52 @@
+//===- support/Table.h - Console tables and CSV output ----------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain-text table rendering and CSV export for the bench harness. Each
+/// bench binary prints the rows of the corresponding paper table/figure and
+/// mirrors them to a CSV file for post-processing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_SUPPORT_TABLE_H
+#define PROM_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace prom {
+namespace support {
+
+/// Column-aligned console table with a header row.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Convenience: formats doubles with \p Precision decimals.
+  static std::string num(double Value, int Precision = 3);
+
+  /// Convenience: formats a ratio as a percentage string.
+  static std::string percent(double Value, int Precision = 1);
+
+  /// Renders to stdout with a title line.
+  void print(const std::string &Title) const;
+
+  /// Writes the header and rows as CSV to \p Path. Returns false on I/O
+  /// failure.
+  bool writeCsv(const std::string &Path) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace support
+} // namespace prom
+
+#endif // PROM_SUPPORT_TABLE_H

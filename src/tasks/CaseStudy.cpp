@@ -1,0 +1,11 @@
+//===- tasks/CaseStudy.cpp - Case-study interface ------------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tasks/CaseStudy.h"
+
+using namespace prom::tasks;
+
+CaseStudy::~CaseStudy() = default;

@@ -1,0 +1,64 @@
+//===- tasks/CaseStudy.h - Case-study interface -------------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common shape of the five case studies (paper Sec. 6). Each task owns a
+/// deterministic workload generator and a mechanistic performance simulator
+/// (its "oracle"), and produces two kinds of train/test splits: design-time
+/// splits (train and test drawn from the same distribution) and drift
+/// splits staging the paper's deployment scenario (held-out benchmark
+/// suites / newer collection years / unseen network variants).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_TASKS_CASESTUDY_H
+#define PROM_TASKS_CASESTUDY_H
+
+#include "data/Dataset.h"
+
+#include <string>
+#include <vector>
+
+namespace prom {
+namespace support {
+class Rng;
+} // namespace support
+
+namespace tasks {
+
+/// One named train/test split.
+struct TaskSplit {
+  std::string Name;
+  data::Dataset Train;
+  data::Dataset Test;
+};
+
+/// Abstract case study.
+class CaseStudy {
+public:
+  virtual ~CaseStudy();
+
+  virtual std::string name() const = 0;
+
+  /// Generates the full corpus (deterministic under \p R's seed).
+  virtual data::Dataset generate(support::Rng &R) const = 0;
+
+  /// In-distribution (design-time) splits.
+  virtual std::vector<TaskSplit> designSplits(const data::Dataset &Data,
+                                              support::Rng &R) const = 0;
+
+  /// Drift-staged (deployment-time) splits.
+  virtual std::vector<TaskSplit> driftSplits(const data::Dataset &Data,
+                                             support::Rng &R) const = 0;
+
+  /// Whether samples carry per-option costs (performance-to-oracle tasks).
+  virtual bool hasOptionCosts() const { return true; }
+};
+
+} // namespace tasks
+} // namespace prom
+
+#endif // PROM_TASKS_CASESTUDY_H

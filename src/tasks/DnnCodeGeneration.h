@@ -1,0 +1,112 @@
+//===- tasks/DnnCodeGeneration.h - Case study 5 -------------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Case study 5 (paper Sec. 6.5): a regression cost model driving tensor-
+/// program schedule search (the TLP / TVM / TenSet setup).
+///
+/// The substrate is an analytical multicore-CPU model of a tiled GEMM
+/// schedule (tiling, unrolling, vectorization, parallelism) applied to the
+/// dominant matmul of four BERT-like network variants. The cost model is
+/// trained on BERT-base schedules and deployed on the other variants, whose
+/// shapes move the optimum — the paper's drift scenario. A guided-search
+/// harness mirrors the TVM loop: the model ranks candidates, a small
+/// measurement budget profiles the most promising ones, and the result is
+/// scored against the exhaustive oracle over the discrete schedule space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_TASKS_DNNCODEGENERATION_H
+#define PROM_TASKS_DNNCODEGENERATION_H
+
+#include "ml/Model.h"
+#include "tasks/CaseStudy.h"
+
+namespace prom {
+namespace tasks {
+
+/// One tensor-program schedule for the tiled GEMM.
+struct Schedule {
+  int TileM = 8;
+  int TileN = 8;
+  int TileK = 8;
+  int Unroll = 1;   ///< {1, 2, 4, 8}.
+  int Vectorize = 0; ///< 8-wide vector lanes on the N loop when 1.
+  int Parallel = 1; ///< Worker threads {1, 2, 4, 8, 12, 16}.
+};
+
+/// A BERT-like network variant: the dominant GEMM shape it schedules.
+struct BertVariant {
+  const char *Name;
+  int M; ///< Sequence-projected rows.
+  int N; ///< Hidden width.
+  int K; ///< Reduction depth.
+};
+
+/// DNN code-generation case study (regression; Target = normalized
+/// throughput of the schedule on its network).
+class DnnCodeGeneration : public CaseStudy {
+public:
+  explicit DnnCodeGeneration(size_t SamplesPerNetwork = 500);
+
+  std::string name() const override { return "C5-DnnCodeGeneration"; }
+  data::Dataset generate(support::Rng &R) const override;
+
+  /// Design split: BERT-base only, 80/20 (Sec. 6.5).
+  std::vector<TaskSplit> designSplits(const data::Dataset &Data,
+                                      support::Rng &R) const override;
+
+  /// Drift splits: train on BERT-base, deploy on each other variant.
+  std::vector<TaskSplit> driftSplits(const data::Dataset &Data,
+                                     support::Rng &R) const override;
+  bool hasOptionCosts() const override { return false; }
+
+  /// The four network variants; index = Sample::Group.
+  static const std::vector<BertVariant> &variants();
+
+  /// Normalized throughput (fraction of machine peak, higher better).
+  static double simulateThroughput(const Schedule &S, const BertVariant &V);
+
+  /// Draws a random schedule from the discrete space.
+  static Schedule sampleSchedule(support::Rng &R);
+
+  /// Mutates one schedule dimension (search neighbourhood).
+  static Schedule mutate(const Schedule &S, support::Rng &R);
+
+  /// Builds the dataset sample of (\p S, variant \p NetworkIdx).
+  static data::Sample makeSample(const Schedule &S, int NetworkIdx,
+                                 uint64_t Id);
+
+  /// Exhaustive best throughput over the whole discrete space.
+  static double oracleBest(int NetworkIdx);
+
+  /// Result of one guided search run.
+  struct SearchResult {
+    double BestFound = 0.0;    ///< Best measured throughput.
+    double OracleBest = 0.0;   ///< Exhaustive optimum.
+    double PerfToOracle = 0.0; ///< BestFound / OracleBest.
+    size_t Measurements = 0;   ///< Simulator invocations spent.
+  };
+
+  /// TVM-style guided search: each round, \p CandidatesPerRound random or
+  /// mutated schedules are ranked by \p CostModel and the top
+  /// \p MeasuresPerRound are profiled on the simulator.
+  static SearchResult guidedSearch(const ml::Regressor &CostModel,
+                                   int NetworkIdx, support::Rng &R,
+                                   size_t Rounds = 6,
+                                   size_t CandidatesPerRound = 64,
+                                   size_t MeasuresPerRound = 1);
+
+  static int vocabSize();
+
+private:
+  size_t SamplesPerNetwork;
+};
+
+} // namespace tasks
+} // namespace prom
+
+#endif // PROM_TASKS_DNNCODEGENERATION_H

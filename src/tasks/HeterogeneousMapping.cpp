@@ -1,0 +1,272 @@
+//===- tasks/HeterogeneousMapping.cpp - Case study 3 --------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tasks/HeterogeneousMapping.h"
+#include "data/Split.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace prom;
+using namespace prom::tasks;
+
+namespace {
+
+/// Token ids of the kernel streams.
+enum MapToken {
+  TokKernelDecl = 0,
+  TokCompute,
+  TokLoadGlobal,
+  TokStoreGlobal,
+  TokBranchTok,
+  TokAtomic,
+  TokBarrier,
+  TokTransferIn,
+  TokTransferOut,
+  TokWideLoop,
+  TokNarrowLoop,
+  TokSuiteBase, // + suite id (7 suites).
+  NumBaseMapTokens = TokSuiteBase + 7
+};
+
+/// Program-graph node types.
+enum NodeKind {
+  NodeEntry = 0,
+  NodeCompute,
+  NodeLoad,
+  NodeStore,
+  NodeBranch,
+  NodeTransfer,
+  NumNodeKinds
+};
+
+} // namespace
+
+HeterogeneousMapping::HeterogeneousMapping(size_t KernelsPerSuiteIn,
+                                           size_t NumSuitesIn)
+    : KernelsPerSuite(KernelsPerSuiteIn), NumSuites(NumSuitesIn) {
+  assert(NumSuites >= 2 && NumSuites <= 7 && "supported suite range");
+}
+
+int HeterogeneousMapping::vocabSize() { return NumBaseMapTokens; }
+
+int HeterogeneousMapping::graphFeatDim() { return NumNodeKinds + 1; }
+
+MappingProfile HeterogeneousMapping::sampleKernel(int Suite,
+                                                  support::Rng &R) {
+  MappingProfile K;
+  // Seven suites sweep the CPU/GPU trade-off space: transfer-dominated,
+  // tiny-parallelism, compute-heavy, memory-streaming, divergent,
+  // atomic-heavy, and balanced mixes.
+  switch (Suite % 7) {
+  case 0: // Transfer-dominated (small kernels on big data).
+    K.ComputeOps = std::max(0.5, R.gaussian(4.0, 1.5));
+    K.MemOps = std::max(0.5, R.gaussian(6.0, 2.0));
+    K.TransferBytes = std::max(8.0, R.gaussian(220.0, 60.0));
+    K.Parallelism = std::exp(R.uniform(std::log(1e4), std::log(1e6)));
+    K.Divergence = std::clamp(R.gaussian(0.08, 0.04), 0.0, 1.0);
+    break;
+  case 1: // Tiny parallelism (serial-ish control kernels).
+    K.ComputeOps = std::max(0.5, R.gaussian(10.0, 3.0));
+    K.MemOps = std::max(0.5, R.gaussian(5.0, 1.5));
+    K.TransferBytes = std::max(1.0, R.gaussian(12.0, 5.0));
+    K.Parallelism = std::exp(R.uniform(std::log(8.0), std::log(512.0)));
+    K.Divergence = std::clamp(R.gaussian(0.20, 0.08), 0.0, 1.0);
+    break;
+  case 2: // Compute-heavy, massively parallel (GPU heaven).
+    K.ComputeOps = std::max(5.0, R.gaussian(320.0, 90.0));
+    K.MemOps = std::max(1.0, R.gaussian(30.0, 10.0));
+    K.TransferBytes = std::max(4.0, R.gaussian(60.0, 20.0));
+    K.Parallelism = std::exp(R.uniform(std::log(1e5), std::log(1e7)));
+    K.Divergence = std::clamp(R.gaussian(0.05, 0.03), 0.0, 1.0);
+    break;
+  case 3: // Memory streaming.
+    K.ComputeOps = std::max(1.0, R.gaussian(25.0, 8.0));
+    K.MemOps = std::max(10.0, R.gaussian(160.0, 40.0));
+    K.TransferBytes = std::max(8.0, R.gaussian(90.0, 30.0));
+    K.Parallelism = std::exp(R.uniform(std::log(1e4), std::log(3e6)));
+    K.Divergence = std::clamp(R.gaussian(0.06, 0.03), 0.0, 1.0);
+    break;
+  case 4: // Divergent irregular.
+    K.ComputeOps = std::max(2.0, R.gaussian(70.0, 25.0));
+    K.MemOps = std::max(2.0, R.gaussian(40.0, 15.0));
+    K.TransferBytes = std::max(4.0, R.gaussian(40.0, 15.0));
+    K.Parallelism = std::exp(R.uniform(std::log(3e3), std::log(1e6)));
+    K.Divergence = std::clamp(R.gaussian(0.55, 0.12), 0.0, 1.0);
+    break;
+  case 5: // Atomic-heavy (histogram flavour).
+    K.ComputeOps = std::max(2.0, R.gaussian(40.0, 12.0));
+    K.MemOps = std::max(5.0, R.gaussian(60.0, 20.0));
+    K.TransferBytes = std::max(4.0, R.gaussian(50.0, 15.0));
+    K.Parallelism = std::exp(R.uniform(std::log(1e4), std::log(2e6)));
+    K.Divergence = std::clamp(R.gaussian(0.15, 0.06), 0.0, 1.0);
+    K.AtomicRate = std::clamp(R.gaussian(0.30, 0.10), 0.0, 1.0);
+    break;
+  default: // Balanced mixes.
+    K.ComputeOps = std::max(1.0, R.gaussian(90.0, 40.0));
+    K.MemOps = std::max(1.0, R.gaussian(50.0, 25.0));
+    K.TransferBytes = std::max(2.0, R.gaussian(70.0, 35.0));
+    K.Parallelism = std::exp(R.uniform(std::log(1e3), std::log(5e6)));
+    K.Divergence = std::clamp(R.gaussian(0.18, 0.10), 0.0, 1.0);
+    K.AtomicRate = R.bernoulli(0.2) ? 0.1 : 0.0;
+    break;
+  }
+  return K;
+}
+
+double HeterogeneousMapping::cpuRuntime(const MappingProfile &K) {
+  // A 16-core CPU: modest parallel throughput, no transfer, strong caches,
+  // divergence-insensitive.
+  const double Cores = 16.0, OpsPerCorePerUnit = 4.0, MemBw = 40.0;
+  double UsableCores = std::min(Cores, K.Parallelism);
+  double ComputeTime = K.ComputeOps / (OpsPerCorePerUnit * UsableCores);
+  double MemTime = K.MemOps / MemBw;
+  return std::max(ComputeTime, MemTime) + 0.05;
+}
+
+double HeterogeneousMapping::gpuRuntime(const MappingProfile &K) {
+  // A discrete GPU behind PCIe: huge throughput if parallel, transfer
+  // up-front, divergence and atomics hurt.
+  const double PeakOps = 400.0, MemBw = 300.0, PcieBw = 12.0;
+  const double SaturatingThreads = 5e4;
+
+  double Transfer = K.TransferBytes / (PcieBw * 1000.0) * 40.0;
+  double Utilization = std::min(1.0, K.Parallelism / SaturatingThreads);
+  double DivergencePenalty = 1.0 + 2.5 * K.Divergence;
+  double AtomicPenalty = 1.0 + 6.0 * K.AtomicRate;
+  double ComputeTime = K.ComputeOps * DivergencePenalty * AtomicPenalty /
+                       (PeakOps * std::max(Utilization, 0.01));
+  double MemTime = K.MemOps / MemBw;
+  return Transfer + std::max(ComputeTime, MemTime) + 0.15;
+}
+
+/// Builds the kernel token stream.
+static std::vector<int> mappingTokens(const MappingProfile &K, int Suite,
+                                      support::Rng &R) {
+  std::vector<int> Tokens;
+  Tokens.push_back(TokKernelDecl);
+  Tokens.push_back(TokSuiteBase + Suite);
+  Tokens.push_back(K.Parallelism > 1e5 ? TokWideLoop : TokNarrowLoop);
+  int Computes = std::clamp(static_cast<int>(K.ComputeOps / 40.0), 1, 8);
+  for (int I = 0; I < Computes; ++I)
+    Tokens.push_back(TokCompute);
+  int Loads = std::clamp(static_cast<int>(K.MemOps / 30.0), 1, 6);
+  for (int I = 0; I < Loads; ++I)
+    Tokens.push_back(R.bernoulli(0.7) ? TokLoadGlobal : TokStoreGlobal);
+  if (K.Divergence > 0.25)
+    Tokens.push_back(TokBranchTok);
+  if (K.AtomicRate > 0.05)
+    Tokens.push_back(TokAtomic);
+  if (K.TransferBytes > 100.0) {
+    Tokens.push_back(TokTransferIn);
+    Tokens.push_back(TokTransferOut);
+  }
+  if (R.bernoulli(0.4))
+    Tokens.push_back(TokBarrier);
+  Tokens.push_back(TokSuiteBase + Suite);
+  return Tokens;
+}
+
+/// Builds a small ProGraML-style program graph: a control-flow spine of
+/// typed operation nodes plus data-dependence edges.
+static data::Graph mappingGraph(const MappingProfile &K, support::Rng &R) {
+  data::Graph G;
+  G.FeatDim = HeterogeneousMapping::graphFeatDim();
+
+  std::vector<int> Kinds;
+  Kinds.push_back(NodeEntry);
+  int Computes = std::clamp(static_cast<int>(K.ComputeOps / 40.0), 1, 8);
+  int Mems = std::clamp(static_cast<int>(K.MemOps / 30.0), 1, 6);
+  if (K.TransferBytes > 100.0)
+    Kinds.push_back(NodeTransfer);
+  for (int I = 0; I < Computes; ++I)
+    Kinds.push_back(NodeCompute);
+  for (int I = 0; I < Mems; ++I)
+    Kinds.push_back(R.bernoulli(0.7) ? NodeLoad : NodeStore);
+  if (K.Divergence > 0.25)
+    Kinds.push_back(NodeBranch);
+
+  G.NumNodes = static_cast<int>(Kinds.size());
+  G.NodeFeats.assign(static_cast<size_t>(G.NumNodes) * G.FeatDim, 0.0);
+  for (int V = 0; V < G.NumNodes; ++V) {
+    G.NodeFeats[static_cast<size_t>(V) * G.FeatDim + Kinds[V]] = 1.0;
+    // A scalar magnitude channel keyed off the kernel profile.
+    double Mag = Kinds[V] == NodeCompute ? K.ComputeOps / 100.0
+                 : Kinds[V] == NodeLoad || Kinds[V] == NodeStore
+                     ? K.MemOps / 100.0
+                 : Kinds[V] == NodeTransfer ? K.TransferBytes / 100.0
+                                            : std::log10(K.Parallelism) / 4.0;
+    G.NodeFeats[static_cast<size_t>(V) * G.FeatDim + NumNodeKinds] = Mag;
+  }
+
+  // Control-flow spine.
+  for (int V = 0; V + 1 < G.NumNodes; ++V)
+    G.Edges.push_back({V, V + 1});
+  // Sparse data-dependence edges.
+  for (int V = 2; V < G.NumNodes; ++V)
+    if (R.bernoulli(0.35))
+      G.Edges.push_back({R.intIn(1, V - 1), V});
+  return G;
+}
+
+data::Dataset HeterogeneousMapping::generate(support::Rng &R) const {
+  data::Dataset Data("heterogeneous-mapping", /*NumClasses=*/2,
+                     vocabSize());
+  uint64_t NextId = 0;
+
+  for (size_t Suite = 0; Suite < NumSuites; ++Suite) {
+    for (size_t KernelIdx = 0; KernelIdx < KernelsPerSuite; ++KernelIdx) {
+      MappingProfile K = sampleKernel(static_cast<int>(Suite), R);
+      // Measured device timings carry profiling noise; near-tie kernels
+      // get effectively noisy labels, like real CPU-vs-GPU measurements.
+      double CpuTime = cpuRuntime(K) * std::exp(R.gaussian(0.0, 0.12));
+      double GpuTime = gpuRuntime(K) * std::exp(R.gaussian(0.0, 0.12));
+
+      data::Sample S;
+      S.Features = {std::log10(K.ComputeOps + 1.0) * 2.0,
+                    std::log10(K.MemOps + 1.0) * 2.0,
+                    std::log10(K.TransferBytes + 1.0) * 2.0,
+                    std::log10(K.Parallelism) ,
+                    K.Divergence * 10.0,
+                    K.AtomicRate * 10.0,
+                    std::log10(K.ComputeOps / (K.MemOps + 1e-9) + 1.0)};
+      S.Tokens = mappingTokens(K, static_cast<int>(Suite), R);
+      S.ProgramGraph = mappingGraph(K, R);
+      S.OptionCosts = {CpuTime, GpuTime};
+      S.Label = CpuTime <= GpuTime ? 0 : 1;
+      S.Group = static_cast<int>(Suite);
+      S.Id = NextId++;
+      Data.add(std::move(S));
+    }
+  }
+  return Data;
+}
+
+std::vector<TaskSplit>
+HeterogeneousMapping::designSplits(const data::Dataset &Data,
+                                   support::Rng &R) const {
+  // The paper's design-time protocol is 10-fold cross-validation; a single
+  // stratified holdout gives the same in-distribution reading per run.
+  data::TrainTest Split =
+      data::stratifiedSplit(Data, /*TestFraction=*/0.2, R);
+  return {{"design-holdout", std::move(Split.Train), std::move(Split.Test)}};
+}
+
+std::vector<TaskSplit>
+HeterogeneousMapping::driftSplits(const data::Dataset &Data,
+                                  support::Rng &) const {
+  // Train on all suites but one, deploy on the held-out suite; the bench
+  // sweeps every suite at least once (Sec. 6.3).
+  std::vector<TaskSplit> Splits;
+  for (data::TrainTest &Split : data::leaveGroupOut(Data)) {
+    std::string Name =
+        "deploy-suite-" + std::to_string(Split.Test[0].Group);
+    Splits.push_back({Name, std::move(Split.Train), std::move(Split.Test)});
+  }
+  return Splits;
+}

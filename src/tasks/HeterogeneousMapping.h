@@ -1,0 +1,71 @@
+//===- tasks/HeterogeneousMapping.h - Case study 3 ----------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Case study 3 (paper Sec. 6.3): binary CPU-vs-GPU device mapping for
+/// OpenCL kernels (the DeepTune / ProGraML / IR2Vec task).
+///
+/// The substrate generates kernels across 7 benchmark suites with distinct
+/// characteristic mixes and computes analytical CPU and GPU runtimes
+/// (including PCIe transfer on the GPU path). Every sample carries numeric
+/// features, a token stream and a small program graph so all three model
+/// families of the paper can be evaluated. Drift: leave-suites-out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_TASKS_HETEROGENEOUSMAPPING_H
+#define PROM_TASKS_HETEROGENEOUSMAPPING_H
+
+#include "tasks/CaseStudy.h"
+
+namespace prom {
+namespace tasks {
+
+/// Kernel characteristics driving the CPU/GPU runtime models.
+struct MappingProfile {
+  double ComputeOps = 0.0;    ///< Total arithmetic operations (millions).
+  double MemOps = 0.0;        ///< Total memory operations (millions).
+  double TransferBytes = 0.0; ///< Host<->device transfer volume (MB).
+  double Parallelism = 0.0;   ///< Exploitable data parallelism (threads).
+  double Divergence = 0.0;    ///< Branch divergence [0, 1].
+  double AtomicRate = 0.0;    ///< Atomic-op fraction [0, 1].
+};
+
+/// CPU-vs-GPU mapping case study (label 0 = CPU, 1 = GPU).
+class HeterogeneousMapping : public CaseStudy {
+public:
+  /// The paper's corpus has 680 labeled instances over 7 suites.
+  explicit HeterogeneousMapping(size_t KernelsPerSuite = 97,
+                                size_t NumSuites = 7);
+
+  std::string name() const override { return "C3-HeterogeneousMapping"; }
+  data::Dataset generate(support::Rng &R) const override;
+  std::vector<TaskSplit> designSplits(const data::Dataset &Data,
+                                      support::Rng &R) const override;
+  std::vector<TaskSplit> driftSplits(const data::Dataset &Data,
+                                     support::Rng &R) const override;
+
+  /// Analytical runtimes (time units, lower better).
+  static double cpuRuntime(const MappingProfile &K);
+  static double gpuRuntime(const MappingProfile &K);
+
+  /// Draws a kernel from suite \p Suite's characteristic mix.
+  static MappingProfile sampleKernel(int Suite, support::Rng &R);
+
+  static int vocabSize();
+
+  /// Node-feature dimensionality of the generated program graphs.
+  static int graphFeatDim();
+
+private:
+  size_t KernelsPerSuite;
+  size_t NumSuites;
+};
+
+} // namespace tasks
+} // namespace prom
+
+#endif // PROM_TASKS_HETEROGENEOUSMAPPING_H

@@ -1,0 +1,82 @@
+//===- tasks/LoopVectorization.h - Case study 2 -------------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Case study 2 (paper Sec. 6.2): predicting the optimal (vectorization
+/// factor, interleaving factor) pair per loop — 35 classes, VF in
+/// {1,2,4,8,16,32,64} x IF in {1,2,4,8,16}.
+///
+/// The substrate mirrors the NeuroVectorizer corpus structure: 18 benchmark
+/// families, each a distinct loop-characteristic distribution (the paper's
+/// corpus was synthesized from 18 LLVM test-suite benchmarks by renaming
+/// parameters, so families differ both in characteristics and in identifier
+/// tokens). An analytical SIMD cost model produces a runtime per (VF, IF)
+/// pair; drift is staged by training on 14 families and deploying on the
+/// remaining 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_TASKS_LOOPVECTORIZATION_H
+#define PROM_TASKS_LOOPVECTORIZATION_H
+
+#include "tasks/CaseStudy.h"
+
+namespace prom {
+namespace tasks {
+
+/// Loop characteristics driving the SIMD cost model.
+struct LoopProfile {
+  double TripCount = 0.0;       ///< Iterations.
+  double Stride = 1.0;          ///< Dominant access stride.
+  double ArithIntensity = 0.0;  ///< Ops per loaded byte.
+  double DependenceDistance = 0.0; ///< 0 = none; else loop-carried distance.
+  double MemStreams = 0.0;      ///< Concurrent memory streams.
+  double BranchInLoop = 0.0;    ///< Fraction of iterations branching.
+  double Reduction = 0.0;       ///< 1 when the loop reduces into a scalar.
+};
+
+/// Loop-vectorization case study.
+class LoopVectorization : public CaseStudy {
+public:
+  /// \p LoopsPerFamily: the paper's corpus has ~330 loops per family
+  /// (6,000 total); the default is scaled down for bench runtime.
+  explicit LoopVectorization(size_t LoopsPerFamily = 130,
+                             size_t NumFamilies = 18);
+
+  std::string name() const override { return "C2-LoopVectorization"; }
+  data::Dataset generate(support::Rng &R) const override;
+  std::vector<TaskSplit> designSplits(const data::Dataset &Data,
+                                      support::Rng &R) const override;
+  std::vector<TaskSplit> driftSplits(const data::Dataset &Data,
+                                     support::Rng &R) const override;
+
+  static const std::vector<int> &vectorFactors();     ///< {1..64}.
+  static const std::vector<int> &interleaveFactors(); ///< {1..16}.
+
+  /// Class label of the (VF, IF) pair.
+  static int classOf(size_t VfIdx, size_t IfIdx);
+
+  /// Number of (VF, IF) classes (35).
+  static int numClasses();
+
+  /// Analytical loop runtime under the given factors (lower is better).
+  static double simulateRuntime(const LoopProfile &Loop, int Vf, int If);
+
+  /// Draws a loop from family \p Family's distribution.
+  static LoopProfile sampleLoop(int Family, support::Rng &R);
+
+  /// Token vocabulary (shared grammar + per-family identifier tokens).
+  static int vocabSize(size_t NumFamilies);
+
+private:
+  size_t LoopsPerFamily;
+  size_t NumFamilies;
+};
+
+} // namespace tasks
+} // namespace prom
+
+#endif // PROM_TASKS_LOOPVECTORIZATION_H

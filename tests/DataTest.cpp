@@ -1,0 +1,252 @@
+//===- tests/DataTest.cpp - data layer tests ----------------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Dataset.h"
+#include "data/Scaler.h"
+#include "data/Split.h"
+#include "support/Rng.h"
+#include "tests/TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace prom;
+using namespace prom::data;
+
+namespace {
+
+Dataset groupedDataset() {
+  Dataset Data("grouped", 2);
+  for (int G = 0; G < 4; ++G)
+    for (int I = 0; I < 10; ++I) {
+      Sample S;
+      S.Features = {static_cast<double>(G), static_cast<double>(I)};
+      S.Label = I % 2;
+      S.Group = G;
+      S.Year = 2012 + G;
+      S.Id = static_cast<uint64_t>(G * 10 + I);
+      Data.add(std::move(S));
+    }
+  return Data;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Sample
+//===----------------------------------------------------------------------===//
+
+TEST(SampleTest, PerfToOracleBestOptionIsOne) {
+  Sample S;
+  S.OptionCosts = {4.0, 2.0, 8.0};
+  EXPECT_DOUBLE_EQ(S.perfToOracle(1), 1.0);
+  EXPECT_DOUBLE_EQ(S.perfToOracle(0), 0.5);
+  EXPECT_DOUBLE_EQ(S.perfToOracle(2), 0.25);
+}
+
+TEST(SampleTest, PerfToOracleBounded) {
+  Sample S;
+  S.OptionCosts = {1.0, 3.0, 9.0};
+  for (int C = 0; C < 3; ++C) {
+    EXPECT_GT(S.perfToOracle(C), 0.0);
+    EXPECT_LE(S.perfToOracle(C), 1.0);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dataset
+//===----------------------------------------------------------------------===//
+
+TEST(DatasetTest, MetadataAndSize) {
+  Dataset Data = groupedDataset();
+  EXPECT_EQ(Data.size(), 40u);
+  EXPECT_EQ(Data.numClasses(), 2);
+  EXPECT_EQ(Data.featureDim(), 2u);
+}
+
+TEST(DatasetTest, SubsetPreservesSamplesAndMetadata) {
+  Dataset Data = groupedDataset();
+  Dataset Sub = Data.subset({0, 5, 39});
+  EXPECT_EQ(Sub.size(), 3u);
+  EXPECT_EQ(Sub.numClasses(), 2);
+  EXPECT_EQ(Sub[2].Id, 39u);
+}
+
+TEST(DatasetTest, ByGroupsAndExcluding) {
+  Dataset Data = groupedDataset();
+  Dataset G1 = Data.byGroups({1});
+  EXPECT_EQ(G1.size(), 10u);
+  for (const Sample &S : G1.samples())
+    EXPECT_EQ(S.Group, 1);
+  Dataset Rest = Data.excludingGroups({1});
+  EXPECT_EQ(Rest.size(), 30u);
+  for (const Sample &S : Rest.samples())
+    EXPECT_NE(S.Group, 1);
+}
+
+TEST(DatasetTest, ByYearRangeInclusive) {
+  Dataset Data = groupedDataset();
+  Dataset Y = Data.byYearRange(2013, 2014);
+  EXPECT_EQ(Y.size(), 20u);
+  for (const Sample &S : Y.samples()) {
+    EXPECT_GE(S.Year, 2013);
+    EXPECT_LE(S.Year, 2014);
+  }
+}
+
+TEST(DatasetTest, GroupIdsSortedUnique) {
+  Dataset Data = groupedDataset();
+  std::vector<int> Ids = Data.groupIds();
+  ASSERT_EQ(Ids.size(), 4u);
+  EXPECT_EQ(Ids.front(), 0);
+  EXPECT_EQ(Ids.back(), 3);
+}
+
+TEST(DatasetTest, ClassCounts) {
+  Dataset Data = groupedDataset();
+  std::vector<size_t> Counts = Data.classCounts();
+  ASSERT_EQ(Counts.size(), 2u);
+  EXPECT_EQ(Counts[0], 20u);
+  EXPECT_EQ(Counts[1], 20u);
+}
+
+TEST(DatasetTest, AppendGrows) {
+  Dataset Data = groupedDataset();
+  Dataset Other = Data.byGroups({0});
+  size_t Before = Data.size();
+  Data.append(Other);
+  EXPECT_EQ(Data.size(), Before + Other.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Splits
+//===----------------------------------------------------------------------===//
+
+TEST(SplitTest, RandomSplitSizesAndDisjointness) {
+  support::Rng R(1);
+  Dataset Data = groupedDataset();
+  TrainTest Split = randomSplit(Data, 0.25, R);
+  EXPECT_EQ(Split.Test.size(), 10u);
+  EXPECT_EQ(Split.Train.size(), 30u);
+  std::set<uint64_t> TrainIds, TestIds;
+  for (const Sample &S : Split.Train.samples())
+    TrainIds.insert(S.Id);
+  for (const Sample &S : Split.Test.samples())
+    TestIds.insert(S.Id);
+  for (uint64_t Id : TestIds)
+    EXPECT_EQ(TrainIds.count(Id), 0u);
+}
+
+TEST(SplitTest, StratifiedKeepsClassBalance) {
+  support::Rng R(2);
+  Dataset Data = prom::testing::gaussianBlobs(3, 60, 4.0, 0.5, R);
+  TrainTest Split = stratifiedSplit(Data, 0.25, R);
+  std::vector<size_t> Counts = Split.Test.classCounts();
+  for (size_t C : Counts)
+    EXPECT_EQ(C, 15u);
+}
+
+TEST(SplitTest, KFoldPartitionsAll) {
+  support::Rng R(3);
+  Dataset Data = groupedDataset();
+  std::vector<TrainTest> Folds = kFold(Data, 4, R);
+  ASSERT_EQ(Folds.size(), 4u);
+  size_t TotalTest = 0;
+  std::set<uint64_t> SeenTest;
+  for (const TrainTest &F : Folds) {
+    EXPECT_EQ(F.Train.size() + F.Test.size(), Data.size());
+    TotalTest += F.Test.size();
+    for (const Sample &S : F.Test.samples())
+      SeenTest.insert(S.Id);
+  }
+  EXPECT_EQ(TotalTest, Data.size());
+  EXPECT_EQ(SeenTest.size(), Data.size());
+}
+
+TEST(SplitTest, LeaveGroupOutOnePerGroup) {
+  Dataset Data = groupedDataset();
+  std::vector<TrainTest> Splits = leaveGroupOut(Data);
+  ASSERT_EQ(Splits.size(), 4u);
+  for (const TrainTest &S : Splits) {
+    EXPECT_EQ(S.Test.size(), 10u);
+    EXPECT_EQ(S.Train.size(), 30u);
+    int HeldGroup = S.Test[0].Group;
+    for (const Sample &Sm : S.Train.samples())
+      EXPECT_NE(Sm.Group, HeldGroup);
+  }
+}
+
+TEST(SplitTest, CalibrationPartitionDefaults) {
+  support::Rng R(4);
+  Dataset Data = prom::testing::gaussianBlobs(2, 300, 4.0, 0.5, R);
+  auto [Train, Calib] = calibrationPartition(Data, R);
+  EXPECT_EQ(Calib.size(), 60u); // 10% of 600.
+  EXPECT_EQ(Train.size(), 540u);
+}
+
+TEST(SplitTest, CalibrationPartitionCapped) {
+  support::Rng R(4);
+  Dataset Data = prom::testing::gaussianBlobs(2, 600, 4.0, 0.5, R);
+  auto [Train, Calib] = calibrationPartition(Data, R, 0.5, 100);
+  EXPECT_EQ(Calib.size(), 100u); // Capped below 50% of 1200.
+  EXPECT_EQ(Train.size(), 1100u);
+}
+
+//===----------------------------------------------------------------------===//
+// Scaler
+//===----------------------------------------------------------------------===//
+
+TEST(ScalerTest, StandardizesTrainingData) {
+  support::Rng R(5);
+  Dataset Data("scaled", 2);
+  for (int I = 0; I < 500; ++I) {
+    Sample S;
+    S.Features = {R.gaussian(100.0, 25.0), R.gaussian(-3.0, 0.1)};
+    S.Label = 0;
+    Data.add(std::move(S));
+  }
+  StandardScaler Scaler;
+  Scaler.fit(Data);
+  Scaler.transformInPlace(Data);
+
+  double Sum0 = 0.0, Sq0 = 0.0;
+  for (const Sample &S : Data.samples()) {
+    Sum0 += S.Features[0];
+    Sq0 += S.Features[0] * S.Features[0];
+  }
+  double N = static_cast<double>(Data.size());
+  EXPECT_NEAR(Sum0 / N, 0.0, 1e-9);
+  EXPECT_NEAR(Sq0 / N, 1.0, 1e-6);
+}
+
+TEST(ScalerTest, ConstantDimensionCentersOnly) {
+  Dataset Data("const", 2);
+  for (int I = 0; I < 10; ++I) {
+    Sample S;
+    S.Features = {7.0, static_cast<double>(I)};
+    S.Label = 0;
+    Data.add(std::move(S));
+  }
+  StandardScaler Scaler;
+  Scaler.fit(Data);
+  std::vector<double> T = Scaler.transform({7.0, 4.5});
+  EXPECT_DOUBLE_EQ(T[0], 0.0);
+}
+
+TEST(ScalerTest, TransformUsesTrainStatistics) {
+  Dataset Data("train", 2);
+  for (int I = 0; I < 4; ++I) {
+    Sample S;
+    S.Features = {static_cast<double>(I)}; // mean 1.5
+    S.Label = 0;
+    Data.add(std::move(S));
+  }
+  StandardScaler Scaler;
+  Scaler.fit(Data);
+  std::vector<double> T = Scaler.transform({1.5});
+  EXPECT_NEAR(T[0], 0.0, 1e-12);
+}

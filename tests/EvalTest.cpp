@@ -1,0 +1,123 @@
+//===- tests/EvalTest.cpp - evaluation harness tests ---------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/ModelZoo.h"
+#include "eval/Runner.h"
+#include "ml/Linear.h"
+#include "support/Rng.h"
+#include "tasks/HeterogeneousMapping.h"
+#include "tests/TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace prom;
+using namespace prom::eval;
+
+TEST(ModelZooTest, TaskLineupsMatchTable1) {
+  EXPECT_EQ(classifierNamesFor(TaskId::ThreadCoarsening).size(), 3u);
+  EXPECT_EQ(classifierNamesFor(TaskId::LoopVectorization).size(), 3u);
+  EXPECT_EQ(classifierNamesFor(TaskId::HeterogeneousMapping).size(), 3u);
+  EXPECT_EQ(classifierNamesFor(TaskId::VulnerabilityDetection).size(), 3u);
+  EXPECT_TRUE(classifierNamesFor(TaskId::DnnCodeGeneration).empty());
+}
+
+TEST(ModelZooTest, FactoriesProduceNamedModels) {
+  auto M = makeClassifier(TaskId::ThreadCoarsening, "Magni");
+  EXPECT_EQ(M->name(), "MLP");
+  auto L = makeClassifier(TaskId::HeterogeneousMapping, "DeepTune");
+  EXPECT_EQ(L->name(), "LSTM");
+  auto V = makeClassifier(TaskId::VulnerabilityDetection, "Vulde");
+  EXPECT_EQ(V->name(), "BiLSTM");
+  auto G = makeClassifier(TaskId::HeterogeneousMapping, "ProGraML");
+  EXPECT_EQ(G->name(), "GCN");
+  auto T = makeTlpRegressor();
+  EXPECT_EQ(T->name(), "TLP");
+}
+
+TEST(MacroF1Test, PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(macroF1({0, 1, 2}, {0, 1, 2}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(macroF1({0, 0, 0}, {1, 1, 1}, 2), 0.0);
+}
+
+TEST(MacroF1Test, IgnoresAbsentClasses) {
+  // Class 2 absent from truth: macro-F1 averages over classes 0 and 1.
+  double F1 = macroF1({0, 0, 1, 1}, {0, 0, 1, 0}, 3);
+  // Class 0: P=2/3, R=1 -> 0.8; class 1: P=1, R=0.5 -> 2/3.
+  EXPECT_NEAR(F1, (0.8 + 2.0 / 3.0) / 2.0, 1e-9);
+}
+
+TEST(RunnerTest, PrepareScalesAndPartitions) {
+  support::Rng R(1);
+  tasks::HeterogeneousMapping Task(40);
+  data::Dataset Data = Task.generate(R);
+  std::vector<tasks::TaskSplit> Splits = Task.designSplits(Data, R);
+  PreparedSplit Prep = prepare(Splits[0], R);
+  EXPECT_FALSE(Prep.Train.empty());
+  EXPECT_FALSE(Prep.Calib.empty());
+  EXPECT_FALSE(Prep.Test.empty());
+  // 10% calibration carved from the training side.
+  EXPECT_NEAR(static_cast<double>(Prep.Calib.size()) /
+                  static_cast<double>(Prep.Calib.size() + Prep.Train.size()),
+              0.1, 0.03);
+
+  // Scaled training features: near-zero mean per dimension.
+  for (size_t D = 0; D < Prep.Train.featureDim(); ++D) {
+    double Sum = 0.0;
+    for (const data::Sample &S : Prep.Train.samples())
+      Sum += S.Features[D];
+    EXPECT_NEAR(Sum / static_cast<double>(Prep.Train.size()), 0.0, 0.2);
+  }
+}
+
+TEST(RunnerTest, EvaluateNativeComputesPerf) {
+  support::Rng R(2);
+  tasks::HeterogeneousMapping Task(40);
+  data::Dataset Data = Task.generate(R);
+  auto Splits = Task.designSplits(Data, R);
+  PreparedSplit Prep = prepare(Splits[0], R);
+
+  ml::LogisticRegression Model;
+  Model.fit(Prep.Train, R);
+  NativeReport Report = evaluateNative(Model, Prep.Test);
+  EXPECT_GT(Report.Accuracy, 0.6);
+  EXPECT_EQ(Report.PerfSamples.size(), Prep.Test.size());
+  for (double P : Report.PerfSamples) {
+    EXPECT_GT(P, 0.0);
+    EXPECT_LE(P, 1.0);
+  }
+}
+
+TEST(RunnerTest, MispredicateSelection) {
+  data::Sample WithCosts;
+  WithCosts.OptionCosts = {1.0, 10.0};
+  WithCosts.Label = 0;
+  EXPECT_TRUE(mispredicateFor(true)(WithCosts, 1));
+  EXPECT_FALSE(mispredicateFor(true)(WithCosts, 0));
+
+  data::Sample NoCosts;
+  NoCosts.Label = 1;
+  EXPECT_TRUE(mispredicateFor(false)(NoCosts, 0));
+  EXPECT_FALSE(mispredicateFor(false)(NoCosts, 1));
+}
+
+TEST(RunnerTest, DeploymentRoundEndToEnd) {
+  // A miniature C3 deployment round through the full runner path.
+  support::Rng R(3);
+  tasks::HeterogeneousMapping Task(36, /*NumSuites=*/4);
+  data::Dataset Data = Task.generate(R);
+  auto Design = Task.designSplits(Data, R);
+  auto Drift = Task.driftSplits(Data, R);
+
+  PromConfig Cfg;
+  IncrementalConfig IlCfg;
+  DeploymentRow Row =
+      runDeployment(TaskId::HeterogeneousMapping, "IR2Vec", Design[0],
+                    Drift[0], Cfg, IlCfg, /*Seed=*/99);
+  EXPECT_EQ(Row.ModelName, "IR2Vec");
+  EXPECT_GT(Row.Design.Accuracy, 0.5);
+  EXPECT_EQ(Row.Prom.Detection.total(), Drift[0].Test.size());
+  EXPECT_GT(Row.Prom.NativeAccuracy, 0.0);
+}

@@ -1,0 +1,489 @@
+//===- tests/TasksTest.cpp - case-study substrate tests -----------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "tasks/DnnCodeGeneration.h"
+#include "tasks/HeterogeneousMapping.h"
+#include "tasks/LoopVectorization.h"
+#include "tasks/ThreadCoarsening.h"
+#include "tasks/VulnerabilityDetection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+using namespace prom;
+using namespace prom::tasks;
+
+//===----------------------------------------------------------------------===//
+// Generic generator properties, parameterized over the classification tasks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct TaskCase {
+  const char *Name;
+  std::function<std::unique_ptr<CaseStudy>()> Make;
+};
+
+class TaskGeneratorTest : public ::testing::TestWithParam<TaskCase> {};
+
+} // namespace
+
+TEST_P(TaskGeneratorTest, GeneratesConsistentCorpus) {
+  support::Rng R(11);
+  auto Task = GetParam().Make();
+  data::Dataset Data = Task->generate(R);
+  ASSERT_FALSE(Data.empty());
+  size_t Dim = Data.featureDim();
+  EXPECT_GT(Dim, 0u);
+  for (const data::Sample &S : Data.samples()) {
+    EXPECT_EQ(S.Features.size(), Dim);
+    if (Data.numClasses() > 0) {
+      EXPECT_GE(S.Label, 0);
+      EXPECT_LT(S.Label, Data.numClasses());
+    }
+    for (int Tok : S.Tokens) {
+      EXPECT_GE(Tok, 0);
+      EXPECT_LT(Tok, Data.vocabSize());
+    }
+  }
+}
+
+TEST_P(TaskGeneratorTest, DeterministicUnderSeed) {
+  auto Task = GetParam().Make();
+  support::Rng R1(77), R2(77);
+  data::Dataset A = Task->generate(R1);
+  data::Dataset B = Task->generate(R2);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); I += 13) {
+    EXPECT_EQ(A[I].Label, B[I].Label);
+    ASSERT_EQ(A[I].Features.size(), B[I].Features.size());
+    for (size_t D = 0; D < A[I].Features.size(); ++D)
+      EXPECT_DOUBLE_EQ(A[I].Features[D], B[I].Features[D]);
+  }
+}
+
+TEST_P(TaskGeneratorTest, OptionCostsConsistentWithLabels) {
+  support::Rng R(12);
+  auto Task = GetParam().Make();
+  if (!Task->hasOptionCosts())
+    GTEST_SKIP() << "task has no option costs";
+  data::Dataset Data = Task->generate(R);
+  for (const data::Sample &S : Data.samples()) {
+    ASSERT_FALSE(S.OptionCosts.empty());
+    // The label is the cost-minimizing option, so its perf ratio is 1.
+    EXPECT_DOUBLE_EQ(S.perfToOracle(S.Label), 1.0);
+    for (double C : S.OptionCosts)
+      EXPECT_GT(C, 0.0);
+  }
+}
+
+TEST_P(TaskGeneratorTest, DriftSplitsAreDisjointAndNonTrivial) {
+  support::Rng R(13);
+  auto Task = GetParam().Make();
+  data::Dataset Data = Task->generate(R);
+  std::vector<TaskSplit> Splits = Task->driftSplits(Data, R);
+  ASSERT_FALSE(Splits.empty());
+  for (const TaskSplit &Split : Splits) {
+    EXPECT_FALSE(Split.Train.empty());
+    EXPECT_FALSE(Split.Test.empty());
+    std::set<uint64_t> TrainIds;
+    for (const data::Sample &S : Split.Train.samples())
+      TrainIds.insert(S.Id);
+    for (const data::Sample &S : Split.Test.samples())
+      EXPECT_EQ(TrainIds.count(S.Id), 0u) << Split.Name;
+  }
+}
+
+TEST_P(TaskGeneratorTest, DesignSplitKeepsDistribution) {
+  support::Rng R(14);
+  auto Task = GetParam().Make();
+  data::Dataset Data = Task->generate(R);
+  std::vector<TaskSplit> Splits = Task->designSplits(Data, R);
+  ASSERT_EQ(Splits.size(), 1u);
+  // 80/20 within the split's own population (C5 restricts itself to the
+  // BERT-base subset, so normalize by train+test rather than the corpus).
+  double Denom = static_cast<double>(Splits[0].Train.size() +
+                                     Splits[0].Test.size());
+  EXPECT_NEAR(static_cast<double>(Splits[0].Test.size()) / Denom, 0.2,
+              0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CaseStudies, TaskGeneratorTest,
+    ::testing::Values(
+        TaskCase{"C1",
+                 [] {
+                   return std::make_unique<ThreadCoarsening>(
+                       /*KernelsPerSuite=*/6);
+                 }},
+        TaskCase{"C2",
+                 [] {
+                   return std::make_unique<LoopVectorization>(
+                       /*LoopsPerFamily=*/20);
+                 }},
+        TaskCase{"C3",
+                 [] {
+                   return std::make_unique<HeterogeneousMapping>(
+                       /*KernelsPerSuite=*/30);
+                 }},
+        TaskCase{"C4",
+                 [] {
+                   return std::make_unique<VulnerabilityDetection>(
+                       /*SamplesPerClass=*/36);
+                 }},
+        TaskCase{"C5",
+                 [] {
+                   return std::make_unique<DnnCodeGeneration>(
+                       /*SamplesPerNetwork=*/60);
+                 }}),
+    [](const ::testing::TestParamInfo<TaskCase> &Info) {
+      return Info.param.Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// C1: thread-coarsening simulator physics
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadCoarseningTest, SixFactorsFourPlatforms) {
+  EXPECT_EQ(ThreadCoarsening::coarseningFactors().size(), 6u);
+  EXPECT_EQ(ThreadCoarsening::platforms().size(), 4u);
+}
+
+TEST(ThreadCoarseningTest, RuntimePositive) {
+  support::Rng R(1);
+  for (int Suite = 0; Suite < 3; ++Suite) {
+    KernelProfile K = ThreadCoarsening::sampleKernel(Suite, R);
+    for (const GpuPlatform &P : ThreadCoarsening::platforms())
+      for (int Cf : ThreadCoarsening::coarseningFactors())
+        EXPECT_GT(ThreadCoarsening::simulateRuntime(K, P, Cf), 0.0);
+  }
+}
+
+TEST(ThreadCoarseningTest, HighReuseRewardsCoarsening) {
+  KernelProfile K;
+  K.ComputePerElem = 200.0;
+  K.MemPerElem = 4.0;
+  K.Divergence = 0.0;
+  K.Reuse = 0.9;
+  K.RegsPerThread = 12.0;
+  K.WorkSize = 1e6;
+  K.Stride = 1.0;
+  const GpuPlatform &P = ThreadCoarsening::platforms()[0];
+  EXPECT_LT(ThreadCoarsening::simulateRuntime(K, P, 4),
+            ThreadCoarsening::simulateRuntime(K, P, 1));
+}
+
+TEST(ThreadCoarseningTest, DivergencePunishesCoarsening) {
+  KernelProfile K;
+  K.ComputePerElem = 100.0;
+  K.MemPerElem = 4.0;
+  K.Divergence = 0.9;
+  K.Reuse = 0.0;
+  K.RegsPerThread = 40.0;
+  K.WorkSize = 1e5;
+  K.Stride = 4.0;
+  const GpuPlatform &P = ThreadCoarsening::platforms()[3];
+  EXPECT_GT(ThreadCoarsening::simulateRuntime(K, P, 32),
+            ThreadCoarsening::simulateRuntime(K, P, 1));
+}
+
+TEST(ThreadCoarseningTest, LabelsUseMultipleClasses) {
+  support::Rng R(2);
+  ThreadCoarsening Task(12);
+  data::Dataset Data = Task.generate(R);
+  std::set<int> Labels;
+  for (const data::Sample &S : Data.samples())
+    Labels.insert(S.Label);
+  EXPECT_GE(Labels.size(), 3u); // The optimum moves across kernels.
+}
+
+//===----------------------------------------------------------------------===//
+// C2: loop-vectorization simulator physics
+//===----------------------------------------------------------------------===//
+
+TEST(LoopVectorizationTest, ThirtyFiveClasses) {
+  EXPECT_EQ(LoopVectorization::numClasses(), 35);
+  EXPECT_EQ(LoopVectorization::classOf(0, 0), 0);
+  EXPECT_EQ(LoopVectorization::classOf(6, 4), 34);
+}
+
+TEST(LoopVectorizationTest, DependenceLimitsVectorization) {
+  LoopProfile L;
+  L.TripCount = 4096;
+  L.ArithIntensity = 2.0;
+  L.DependenceDistance = 4.0;
+  L.Stride = 1.0;
+  L.MemStreams = 1.0;
+  // VF beyond the dependence distance must not be profitable.
+  double AtLimit = LoopVectorization::simulateRuntime(L, 4, 1);
+  double Beyond = LoopVectorization::simulateRuntime(L, 64, 1);
+  EXPECT_LT(AtLimit, Beyond);
+}
+
+TEST(LoopVectorizationTest, CleanLoopLikesWideVectors) {
+  LoopProfile L;
+  L.TripCount = 65536;
+  L.ArithIntensity = 2.0;
+  L.DependenceDistance = 0.0;
+  L.Stride = 1.0;
+  L.MemStreams = 1.0;
+  EXPECT_LT(LoopVectorization::simulateRuntime(L, 16, 2),
+            LoopVectorization::simulateRuntime(L, 1, 1));
+}
+
+TEST(LoopVectorizationTest, RegisterPressureCapsCombinedFactors) {
+  LoopProfile L;
+  L.TripCount = 65536;
+  L.ArithIntensity = 2.0;
+  L.Stride = 1.0;
+  L.MemStreams = 4.0;
+  // VF*IF = 1024 with 4 streams must spill heavily.
+  EXPECT_GT(LoopVectorization::simulateRuntime(L, 64, 16),
+            LoopVectorization::simulateRuntime(L, 16, 2));
+}
+
+TEST(LoopVectorizationTest, FamiliesProvideGroupStructure) {
+  support::Rng R(3);
+  LoopVectorization Task(/*LoopsPerFamily=*/10, /*NumFamilies=*/18);
+  data::Dataset Data = Task.generate(R);
+  EXPECT_EQ(Data.groupIds().size(), 18u);
+  std::vector<TaskSplit> Drift = Task.driftSplits(Data, R);
+  ASSERT_EQ(Drift.size(), 1u);
+  // Two whole regimes (families % 6 in {1, 3}) are held out for drift.
+  EXPECT_EQ(Drift[0].Test.groupIds().size(), 6u);
+  for (int G : Drift[0].Test.groupIds())
+    EXPECT_TRUE(G % 6 == 1 || G % 6 == 3);
+}
+
+//===----------------------------------------------------------------------===//
+// C3: heterogeneous-mapping simulator physics
+//===----------------------------------------------------------------------===//
+
+TEST(HeterogeneousMappingTest, TransferBoundKernelsPreferCpu) {
+  MappingProfile K;
+  K.ComputeOps = 2.0;
+  K.MemOps = 2.0;
+  K.TransferBytes = 500.0;
+  K.Parallelism = 1e5;
+  EXPECT_LT(HeterogeneousMapping::cpuRuntime(K),
+            HeterogeneousMapping::gpuRuntime(K));
+}
+
+TEST(HeterogeneousMappingTest, ParallelComputePrefersGpu) {
+  MappingProfile K;
+  K.ComputeOps = 500.0;
+  K.MemOps = 10.0;
+  K.TransferBytes = 20.0;
+  K.Parallelism = 1e6;
+  K.Divergence = 0.05;
+  EXPECT_GT(HeterogeneousMapping::cpuRuntime(K),
+            HeterogeneousMapping::gpuRuntime(K));
+}
+
+TEST(HeterogeneousMappingTest, BothClassesPresent) {
+  support::Rng R(4);
+  HeterogeneousMapping Task(50);
+  data::Dataset Data = Task.generate(R);
+  std::vector<size_t> Counts = Data.classCounts();
+  EXPECT_GT(Counts[0], Data.size() / 10);
+  EXPECT_GT(Counts[1], Data.size() / 10);
+}
+
+TEST(HeterogeneousMappingTest, GraphsAreWellFormed) {
+  support::Rng R(5);
+  HeterogeneousMapping Task(20);
+  data::Dataset Data = Task.generate(R);
+  for (const data::Sample &S : Data.samples()) {
+    const data::Graph &G = S.ProgramGraph;
+    ASSERT_GT(G.NumNodes, 0);
+    EXPECT_EQ(G.FeatDim, HeterogeneousMapping::graphFeatDim());
+    EXPECT_EQ(G.NodeFeats.size(),
+              static_cast<size_t>(G.NumNodes) * G.FeatDim);
+    for (const auto &[Src, Dst] : G.Edges) {
+      EXPECT_GE(Src, 0);
+      EXPECT_LT(Src, G.NumNodes);
+      EXPECT_GE(Dst, 0);
+      EXPECT_LT(Dst, G.NumNodes);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// C4: vulnerability corpus temporal structure
+//===----------------------------------------------------------------------===//
+
+TEST(VulnerabilityTest, EraBoundaries) {
+  EXPECT_EQ(VulnerabilityDetection::eraOf(2012), 0);
+  EXPECT_EQ(VulnerabilityDetection::eraOf(2016), 0);
+  EXPECT_EQ(VulnerabilityDetection::eraOf(2017), 1);
+  EXPECT_EQ(VulnerabilityDetection::eraOf(2020), 1);
+  EXPECT_EQ(VulnerabilityDetection::eraOf(2021), 2);
+  EXPECT_EQ(VulnerabilityDetection::eraOf(2023), 2);
+}
+
+TEST(VulnerabilityTest, MotifsEvolveAcrossEras) {
+  support::Rng R(6);
+  // The same class must produce measurably different token distributions
+  // in era 0 vs era 2 (the Figure 1 motivation).
+  std::vector<double> Hist0(VulnerabilityDetection::vocabSize(), 0.0);
+  std::vector<double> Hist2(VulnerabilityDetection::vocabSize(), 0.0);
+  for (int I = 0; I < 100; ++I) {
+    data::Sample A =
+        VulnerabilityDetection::makeSample(CweKind::DoubleFree, 2013, R);
+    data::Sample B =
+        VulnerabilityDetection::makeSample(CweKind::DoubleFree, 2023, R);
+    for (int T : A.Tokens)
+      Hist0[static_cast<size_t>(T)] += 1.0;
+    for (int T : B.Tokens)
+      Hist2[static_cast<size_t>(T)] += 1.0;
+  }
+  double L1 = 0.0, Total = 0.0;
+  for (size_t T = 0; T < Hist0.size(); ++T) {
+    L1 += std::abs(Hist0[T] - Hist2[T]);
+    Total += Hist0[T] + Hist2[T];
+  }
+  EXPECT_GT(L1 / Total, 0.2); // At least 20% distribution mass moved.
+}
+
+TEST(VulnerabilityTest, FeaturesAreTokenHistogram) {
+  support::Rng R(7);
+  data::Sample S =
+      VulnerabilityDetection::makeSample(CweKind::FormatString, 2015, R);
+  double Sum = 0.0;
+  for (double F : S.Features)
+    Sum += F;
+  EXPECT_DOUBLE_EQ(Sum, static_cast<double>(S.Tokens.size()));
+}
+
+TEST(VulnerabilityTest, TemporalDriftSplitRespectsYears) {
+  support::Rng R(8);
+  VulnerabilityDetection Task(40);
+  data::Dataset Data = Task.generate(R);
+  std::vector<TaskSplit> Drift = Task.driftSplits(Data, R);
+  ASSERT_EQ(Drift.size(), 1u);
+  for (const data::Sample &S : Drift[0].Train.samples())
+    EXPECT_LE(S.Year, 2020);
+  for (const data::Sample &S : Drift[0].Test.samples())
+    EXPECT_GE(S.Year, 2021);
+}
+
+//===----------------------------------------------------------------------===//
+// C5: DNN code-generation simulator and search
+//===----------------------------------------------------------------------===//
+
+TEST(DnnCodeGenTest, ThroughputInUnitRange) {
+  support::Rng R(9);
+  for (int I = 0; I < 200; ++I) {
+    Schedule S = DnnCodeGeneration::sampleSchedule(R);
+    for (const BertVariant &V : DnnCodeGeneration::variants()) {
+      double T = DnnCodeGeneration::simulateThroughput(S, V);
+      EXPECT_GE(T, 0.0);
+      EXPECT_LE(T, 1.0);
+    }
+  }
+}
+
+TEST(DnnCodeGenTest, VectorizationHelpsAlignedTiles) {
+  Schedule S;
+  S.TileM = 16;
+  S.TileN = 16;
+  S.TileK = 16;
+  S.Unroll = 2;
+  S.Parallel = 8;
+  const BertVariant &V = DnnCodeGeneration::variants()[0];
+  S.Vectorize = 0;
+  double Scalar = DnnCodeGeneration::simulateThroughput(S, V);
+  S.Vectorize = 1;
+  double Vector = DnnCodeGeneration::simulateThroughput(S, V);
+  EXPECT_GT(Vector, Scalar);
+}
+
+TEST(DnnCodeGenTest, OptimaDifferAcrossVariants) {
+  // The drift premise: variants with different reduction depths prefer
+  // different tiles (the K-scaled working set). A schedule tuned for the
+  // shallow BERT-tiny must be suboptimal on the deep BERT-large: its wide
+  // tiles blow the cache once K grows.
+  double BestLarge = DnnCodeGeneration::oracleBest(3);
+  EXPECT_GT(BestLarge, 0.0);
+
+  support::Rng R(10);
+  Schedule TinyBest;
+  double Best = 0.0;
+  for (int I = 0; I < 4000; ++I) {
+    Schedule S = DnnCodeGeneration::sampleSchedule(R);
+    double T = DnnCodeGeneration::simulateThroughput(
+        S, DnnCodeGeneration::variants()[1]);
+    if (T > Best) {
+      Best = T;
+      TinyBest = S;
+    }
+  }
+  double OnLarge = DnnCodeGeneration::simulateThroughput(
+      TinyBest, DnnCodeGeneration::variants()[3]);
+  EXPECT_LT(OnLarge / BestLarge, 0.98);
+}
+
+TEST(DnnCodeGenTest, MutateChangesOneDimension) {
+  support::Rng R(11);
+  Schedule S = DnnCodeGeneration::sampleSchedule(R);
+  for (int I = 0; I < 50; ++I) {
+    Schedule M = DnnCodeGeneration::mutate(S, R);
+    int Diffs = (M.TileM != S.TileM) + (M.TileN != S.TileN) +
+                (M.TileK != S.TileK) + (M.Unroll != S.Unroll) +
+                (M.Vectorize != S.Vectorize) + (M.Parallel != S.Parallel);
+    EXPECT_LE(Diffs, 1);
+  }
+}
+
+TEST(DnnCodeGenTest, GuidedSearchWithOracleModelNearsOracle) {
+  // A cost model that IS the simulator should reach the oracle quickly.
+  class OracleModel : public ml::Regressor {
+  public:
+    void fit(const data::Dataset &, support::Rng &) override {}
+    double predict(const data::Sample &S) const override {
+      return S.Target; // makeSample stores the simulated throughput.
+    }
+    std::string name() const override { return "oracle"; }
+  };
+  OracleModel Model;
+  support::Rng R(12);
+  DnnCodeGeneration::SearchResult Res = DnnCodeGeneration::guidedSearch(
+      Model, /*NetworkIdx=*/0, R);
+  EXPECT_GT(Res.PerfToOracle, 0.9);
+  EXPECT_EQ(Res.Measurements, 6u);
+}
+
+TEST(DnnCodeGenTest, GuidedSearchWithRandomModelIsWorse) {
+  class RandomModel : public ml::Regressor {
+  public:
+    void fit(const data::Dataset &, support::Rng &) override {}
+    double predict(const data::Sample &S) const override {
+      // A deterministic but meaningless ranking.
+      return std::fmod(static_cast<double>(S.Tokens[0]) * 0.371 +
+                           S.Features[0] * 0.173,
+                       1.0);
+    }
+    std::string name() const override { return "random"; }
+  };
+  class OracleModel : public ml::Regressor {
+  public:
+    void fit(const data::Dataset &, support::Rng &) override {}
+    double predict(const data::Sample &S) const override { return S.Target; }
+    std::string name() const override { return "oracle"; }
+  };
+  support::Rng R1(13), R2(13);
+  RandomModel Bad;
+  OracleModel Good;
+  double BadPerf =
+      DnnCodeGeneration::guidedSearch(Bad, 0, R1).PerfToOracle;
+  double GoodPerf =
+      DnnCodeGeneration::guidedSearch(Good, 0, R2).PerfToOracle;
+  EXPECT_LE(BadPerf, GoodPerf + 1e-9);
+}

@@ -1,0 +1,81 @@
+//===- tests/TestHelpers.h - Shared test fixtures -----------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small dataset builders shared across the test suites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_TESTS_TESTHELPERS_H
+#define PROM_TESTS_TESTHELPERS_H
+
+#include "data/Dataset.h"
+#include "support/Rng.h"
+
+#include <cmath>
+
+namespace prom {
+namespace testing {
+
+/// Gaussian blobs: \p NumClasses clusters on a circle of radius
+/// \p Separation, \p PerClass samples each, noise \p Sigma.
+inline data::Dataset gaussianBlobs(int NumClasses, size_t PerClass,
+                                   double Separation, double Sigma,
+                                   support::Rng &R, double ShiftX = 0.0) {
+  data::Dataset Data("blobs", NumClasses);
+  for (int C = 0; C < NumClasses; ++C) {
+    double Angle = 2.0 * 3.14159265358979 * C / NumClasses;
+    double Cx = Separation * std::cos(Angle) + ShiftX;
+    double Cy = Separation * std::sin(Angle);
+    for (size_t I = 0; I < PerClass; ++I) {
+      data::Sample S;
+      S.Features = {Cx + R.gaussian(0.0, Sigma),
+                    Cy + R.gaussian(0.0, Sigma)};
+      S.Label = C;
+      S.Group = C;
+      Data.add(std::move(S));
+    }
+  }
+  return Data;
+}
+
+/// Token-sequence dataset: class c emits mostly token c plus noise; vocab
+/// = NumClasses + 2.
+inline data::Dataset tokenBlobs(int NumClasses, size_t PerClass, size_t Len,
+                                support::Rng &R) {
+  data::Dataset Data("tokens", NumClasses, NumClasses + 2);
+  for (int C = 0; C < NumClasses; ++C) {
+    for (size_t I = 0; I < PerClass; ++I) {
+      data::Sample S;
+      for (size_t T = 0; T < Len; ++T)
+        S.Tokens.push_back(R.bernoulli(0.7) ? C
+                                            : R.intIn(0, NumClasses + 1));
+      S.Features = {static_cast<double>(C), 1.0};
+      S.Label = C;
+      Data.add(std::move(S));
+    }
+  }
+  return Data;
+}
+
+/// Linear regression dataset: y = 2 x0 - x1 + noise.
+inline data::Dataset linearRegression(size_t N, double Noise,
+                                      support::Rng &R) {
+  data::Dataset Data("linreg", 0);
+  for (size_t I = 0; I < N; ++I) {
+    data::Sample S;
+    double X0 = R.uniform(-2.0, 2.0), X1 = R.uniform(-2.0, 2.0);
+    S.Features = {X0, X1};
+    S.Target = 2.0 * X0 - X1 + R.gaussian(0.0, Noise);
+    Data.add(std::move(S));
+  }
+  return Data;
+}
+
+} // namespace testing
+} // namespace prom
+
+#endif // PROM_TESTS_TESTHELPERS_H
