@@ -95,6 +95,15 @@ driftSplitsFor(tasks::CaseStudy &Task, const data::Dataset &Data,
   return Splits;
 }
 
+/// Emits one machine-readable result line (same schema as
+/// support::Table::writeJsonLines) for ad-hoc metrics that do not come out
+/// of a table, e.g. throughput numbers.
+inline void jsonResult(const std::string &Bench, const std::string &Metric,
+                       double Value) {
+  std::printf("{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %g}\n",
+              Bench.c_str(), Metric.c_str(), Value);
+}
+
 /// "min/q25/med/q75/max" violin summary string.
 inline std::string violin(const std::vector<double> &Values) {
   if (Values.empty())

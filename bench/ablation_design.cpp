@@ -127,6 +127,7 @@ int main() {
 
   T.print("Design-choice ablations (drift-split detection quality)");
   T.writeCsv("ablation_design.csv");
+  T.writeJsonLines("ablation_design");
   std::printf("\nReading guide: WeightedCount vs ScoreScaling isolates the "
               "Eq. (1) interpretation; selection ablates Sec. 5.1.2's "
               "nearest-50%% rule; the vote rows bound the committee "

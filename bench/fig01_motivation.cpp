@@ -63,6 +63,7 @@ int main() {
   }
   T.print("Figure 1(a): Vulde F1 decays on later time windows");
   T.writeCsv("fig01_motivation.csv");
+  T.writeJsonLines("fig01_motivation");
 
   std::printf("\nPaper shape: F1 > 0.8 in-window, dropping below ~0.3 on "
               "the latest windows.\n");

@@ -72,6 +72,7 @@ int main() {
 
   T.print("Figure 7: design-time vs deployment-time model quality");
   T.writeCsv("fig07_drift_impact.csv");
+  T.writeJsonLines("fig07_drift_impact");
   std::printf("\nPaper shape: every model loses quality at deployment; the "
               "violin mass shifts down (C4 accuracy drops hardest).\n");
   return 0;

@@ -99,6 +99,7 @@ int main() {
             support::Table::num(F1Sum / N), "-"});
   T.print("Figure 8: PROM drifting-sample detection per case study/model");
   T.writeCsv("fig08_detection.csv");
+  T.writeJsonLines("fig08_detection");
   std::printf("\nPaper shape: recall ~0.9-1.0 everywhere, precision ~0.7-1, "
               "binary C3 the weakest (less informative CP probabilities).\n");
   return 0;

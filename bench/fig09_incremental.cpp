@@ -60,6 +60,7 @@ int main() {
 
   T.print("Figure 9: deployment quality with PROM incremental learning");
   T.writeCsv("fig09_incremental.csv");
+  T.writeJsonLines("fig09_incremental");
   std::printf("\nPaper shape: PROM-updated models recover most of the "
               "design-time quality with <=5%% of samples relabeled.\n");
   return 0;

@@ -84,6 +84,7 @@ int main() {
   T.print("Figure 11: individual nonconformity functions vs the PROM "
           "committee");
   T.writeCsv("fig11_nonconformity.csv");
+  T.writeJsonLines("fig11_nonconformity");
   std::printf("\nPaper shape: no single function dominates across tasks; "
               "the committee is at or near the best on each.\n");
   return 0;

@@ -87,6 +87,7 @@ int main() {
 
   T.print("Figure 12: initial training vs incremental-learning overhead");
   T.writeCsv("fig12_overhead.csv");
+  T.writeJsonLines("fig12_overhead");
   std::printf("\nPaper shape: incremental learning is a small fraction of "
               "initial training (hours -> <1h there; same ratio here).\n");
   return 0;

@@ -54,6 +54,7 @@ static void sweepSignificance() {
   }
   T.print("Figure 13(a): significance-threshold sweep (C2, K.Stock)");
   T.writeCsv("fig13a_significance.csv");
+  T.writeJsonLines("fig13a_significance");
 }
 
 /// (b) Cluster-count sweep on the C5 regression detector.
@@ -85,6 +86,7 @@ static void sweepClusters() {
   }
   T.print("Figure 13(b): cluster-count sweep (C5 regression)");
   T.writeCsv("fig13b_clusters.csv");
+  T.writeJsonLines("fig13b_clusters");
 }
 
 /// (c) The Gaussian confidence curve (closed form).
@@ -98,6 +100,7 @@ static void confidenceCurve() {
   }
   T.print("Figure 13(c): confidence vs prediction-set size");
   T.writeCsv("fig13c_confidence.csv");
+  T.writeJsonLines("fig13c_confidence");
 }
 
 /// (d) Coverage deviation (Eq. 3) across the case studies.
@@ -119,6 +122,7 @@ static void coverageDeviations() {
   }
   T.print("Figure 13(d): coverage deviation per case study");
   T.writeCsv("fig13d_coverage.csv");
+  T.writeJsonLines("fig13d_coverage");
 }
 
 int main() {

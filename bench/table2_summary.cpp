@@ -74,6 +74,7 @@ int main() {
             support::Table::percent(F1Sum / ND)});
   T.print("Table 2: summary of the main evaluation (C1-C4 aggregate)");
   T.writeCsv("table2_summary.csv");
+  T.writeJsonLines("table2_summary");
   std::printf("\nPaper: 0.836 / 0.544 / 0.807 and 86.8%% / 86.0%% / 96.2%% "
               "/ 90.8%%.\n");
   return 0;

@@ -89,6 +89,7 @@ int main() {
 
   T.print("Table 3: C5 performance-to-oracle, native vs PROM-assisted");
   T.writeCsv("table3_dnn_codegen.csv");
+  T.writeJsonLines("table3_dnn_codegen");
   std::printf("\nPaper: native 0.845 (base) dropping to 0.224-0.703 on "
               "variants; PROM-assisted recovers to ~0.79-0.81.\n");
   return 0;

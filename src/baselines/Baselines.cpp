@@ -53,6 +53,16 @@ bool NaiveCpDetector::isDrifting(const data::Sample &S) const {
   return Impl->assess(S).Drifted;
 }
 
+std::vector<char>
+NaiveCpDetector::isDriftingBatch(const data::Dataset &Batch) const {
+  assert(Impl && "fit() not called");
+  std::vector<Verdict> Verdicts = Impl->assessBatch(Batch);
+  std::vector<char> Out(Verdicts.size(), 0);
+  for (size_t I = 0; I < Verdicts.size(); ++I)
+    Out[I] = Verdicts[I].Drifted ? 1 : 0;
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // RiseDetector
 //===----------------------------------------------------------------------===//

@@ -44,6 +44,8 @@ public:
   void fit(const ml::Classifier &Model, const data::Dataset &Calib,
            support::Rng &R) override;
   bool isDrifting(const data::Sample &S) const override;
+  std::vector<char>
+  isDriftingBatch(const data::Dataset &Batch) const override;
   std::string name() const override { return "NaiveCP"; }
 
 private:

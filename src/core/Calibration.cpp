@@ -9,12 +9,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <cmath>
 #include <numeric>
 
 using namespace prom;
 
 void CalibrationScores::finalize() {
+  buildBatchIndexes();
   if (Entries.size() < 2) {
     MedianNNDist = 1.0;
     return;
@@ -39,6 +41,45 @@ void CalibrationScores::finalize() {
   MedianNNDist = std::max(NNDist[NNDist.size() / 2], 1e-9);
 }
 
+/// How many of N entries the Sec. 5.1.2 policy keeps.
+static size_t keepCount(size_t N, const PromConfig &Cfg) {
+  if (N < Cfg.SelectAllBelow)
+    return N;
+  size_t Keep =
+      static_cast<size_t>(Cfg.SelectFraction * static_cast<double>(N) + 0.5);
+  return std::max<size_t>(1, std::min(Keep, N));
+}
+
+/// Effective Eq. (1) temperature under \p Cfg.
+static double effectiveTau(const PromConfig &Cfg, double MedianNNDist) {
+  if (Cfg.AutoTau && MedianNNDist > 0.0)
+    return Cfg.TauScale * MedianNNDist;
+  return Cfg.Tau;
+}
+
+/// The Eq. (1) weight of a selected entry at distance \p Dist.
+///
+/// WeightedCount emphasizes *locally relevant* calibration evidence, so
+/// distances are measured relative to the nearest selected sample (the
+/// \p Offset) — a far-away test input must not wash out every weight at
+/// once (that would leave the smoothing term dominating and report p ~ 1
+/// exactly when the input is most novel). ScoreScaling keeps absolute
+/// distances: its novelty mechanism is the global shrink itself.
+static double distanceWeight(double Dist, double Offset, double Tau,
+                             int NormPower) {
+  double D = std::max(0.0, Dist - Offset);
+  double Norm = NormPower == 2 ? D * D : D;
+  double Exponent = Norm / Tau;
+  // std::exp(-x) rounds to +0.0 for every x above 746 (the subnormal range
+  // ends at ln 2^-1075 ~ 745.13). Returning the 0.0 directly is therefore
+  // bit-identical, and it keeps far-away calibration samples from paying
+  // the libm underflow slow path — and from injecting subnormal weights
+  // into the p-value sums, where every add would hit a microcode assist.
+  if (Exponent > 746.0)
+    return 0.0;
+  return std::exp(-Exponent);
+}
+
 CalibrationSelection
 CalibrationScores::select(const std::vector<double> &TestEmbed,
                           const PromConfig &Cfg) const {
@@ -56,37 +97,151 @@ CalibrationScores::select(const std::vector<double> &TestEmbed,
     return A < B;
   });
 
-  size_t Keep = Entries.size();
-  if (Entries.size() >= Cfg.SelectAllBelow) {
-    Keep = static_cast<size_t>(Cfg.SelectFraction *
-                               static_cast<double>(Entries.size()) + 0.5);
-    Keep = std::max<size_t>(1, std::min(Keep, Entries.size()));
-  }
+  size_t Keep = keepCount(Entries.size(), Cfg);
   Order.resize(Keep);
 
   CalibrationSelection Sel;
   Sel.Indices = Order;
   Sel.Weights.resize(Keep, 1.0);
   if (Cfg.WeightMode != CalibrationWeightMode::None) {
-    double Tau = Cfg.Tau;
-    if (Cfg.AutoTau && MedianNNDist > 0.0)
-      Tau = Cfg.TauScale * MedianNNDist;
-    // WeightedCount emphasizes *locally relevant* calibration evidence, so
-    // distances are measured relative to the nearest selected sample — a
-    // far-away test input must not wash out every weight at once (that
-    // would leave the smoothing term dominating and report p ~ 1 exactly
-    // when the input is most novel). ScoreScaling keeps absolute
-    // distances: its novelty mechanism is the global shrink itself.
+    double Tau = effectiveTau(Cfg, MedianNNDist);
     double Offset = Cfg.WeightMode == CalibrationWeightMode::WeightedCount
                         ? Dist[Sel.Indices.front()]
                         : 0.0;
-    for (size_t I = 0; I < Keep; ++I) {
-      double D = std::max(0.0, Dist[Sel.Indices[I]] - Offset);
-      double Norm = Cfg.WeightNormPower == 2 ? D * D : D;
-      Sel.Weights[I] = std::exp(-Norm / Tau);
-    }
+    for (size_t I = 0; I < Keep; ++I)
+      Sel.Weights[I] = distanceWeight(Dist[Sel.Indices[I]], Offset, Tau,
+                                      Cfg.WeightNormPower);
   }
   return Sel;
+}
+
+/// Moves the \p Keep smallest (key, id) pairs — under the same
+/// lexicographic order std::nth_element would use — into the first Keep
+/// slots of \p Keyed, in O(N) plus a sort of the pivot-bucket entries.
+///
+/// Non-negative IEEE doubles order identically to their raw bit patterns,
+/// so a histogram over range-adapted bit buckets finds the pivot bucket in
+/// one pass; only its members (usually a handful) need comparison sorting.
+/// Equal keys share a bucket and are resolved by ascending id there, which
+/// reproduces nth_element's (key, id) total order exactly.
+static void partitionSmallestKeys(AssessmentScratch &S, size_t Keep) {
+  std::vector<std::pair<double, uint32_t>> &Keyed = S.Keyed;
+  size_t N = Keyed.size();
+  auto KeyBits = [](double Key) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &Key, sizeof(Bits));
+    return Bits;
+  };
+
+  uint64_t MinBits = ~uint64_t(0), MaxBits = 0;
+  for (const auto &P : Keyed) {
+    uint64_t Bits = KeyBits(P.first);
+    MinBits = std::min(MinBits, Bits);
+    MaxBits = std::max(MaxBits, Bits);
+  }
+  // All keys equal: Keyed was built with ascending ids, so the first Keep
+  // slots already hold the id-tie-broken selection.
+  if (MinBits == MaxBits)
+    return;
+
+  constexpr size_t NumBuckets = 2048;
+  int Shift = 0;
+  while (((MaxBits - MinBits) >> Shift) >= NumBuckets)
+    ++Shift;
+  uint32_t Histogram[NumBuckets] = {0};
+  for (const auto &P : Keyed)
+    ++Histogram[(KeyBits(P.first) - MinBits) >> Shift];
+
+  // The pivot bucket is the one where the cumulative count crosses Keep.
+  size_t Cum = 0, Pivot = 0;
+  while (Cum + Histogram[Pivot] < Keep)
+    Cum += Histogram[Pivot++];
+
+  // Entries below the pivot bucket are selected outright; pivot-bucket
+  // members compete by (key, id); the rest are rejected.
+  S.Boundary.clear();
+  S.Tail.clear();
+  size_t Write = 0;
+  for (size_t I = 0; I < N; ++I) {
+    uint64_t Bucket = (KeyBits(Keyed[I].first) - MinBits) >> Shift;
+    if (Bucket < Pivot)
+      Keyed[Write++] = Keyed[I];
+    else if (Bucket == Pivot)
+      S.Boundary.push_back(Keyed[I]);
+    else
+      S.Tail.push_back(Keyed[I]);
+  }
+  std::sort(S.Boundary.begin(), S.Boundary.end());
+  for (const auto &P : S.Boundary)
+    Keyed[Write++] = P;
+  for (const auto &P : S.Tail)
+    Keyed[Write++] = P;
+  assert(Write == N && "bucket partition lost entries");
+}
+
+void CalibrationScores::selectForAssessment(const double *TestEmbed,
+                                            const PromConfig &Cfg,
+                                            AssessmentScratch &S) const {
+  assert(!Entries.empty() && "empty calibration set");
+  size_t N = Entries.size();
+
+  // Squared distances over the contiguous embedding block, accumulated in
+  // the same dimension order as support::euclidean so the deferred sqrt
+  // reproduces its value bit-for-bit.
+  S.Keyed.resize(N);
+  for (size_t I = 0; I < N; ++I) {
+    const double *Row = FlatEmbeds.data() + I * Dim;
+    double Sum = 0.0;
+    for (size_t D = 0; D < Dim; ++D) {
+      double Diff = Row[D] - TestEmbed[D];
+      Sum += Diff * Diff;
+    }
+    S.Keyed[I] = {Sum, static_cast<uint32_t>(I)};
+  }
+
+  // Partition out the Keep nearest. std::pair's lexicographic < is the
+  // same (distance, index) total order as select()'s comparator, and
+  // ordering by squared distance is order-equivalent to ordering by
+  // distance — so the selected *set* is identical. No full sort: the
+  // engine consumes the selection as a set.
+  S.Keep = keepCount(N, Cfg);
+  S.SelectedAll = S.Keep == N;
+  if (!S.SelectedAll)
+    partitionSmallestKeys(S, S.Keep);
+
+  S.SelectedMask.assign(N, 0);
+  for (size_t Pos = 0; Pos < S.Keep; ++Pos)
+    S.SelectedMask[S.Keyed[Pos].second] = 1;
+
+  S.WeightByEntry.resize(N);
+  if (Cfg.WeightMode != CalibrationWeightMode::None) {
+    double Tau = effectiveTau(Cfg, MedianNNDist);
+    double Offset = 0.0;
+    if (Cfg.WeightMode == CalibrationWeightMode::WeightedCount) {
+      double MinSq = S.Keyed.front().first;
+      for (size_t Pos = 1; Pos < S.Keep; ++Pos)
+        MinSq = std::min(MinSq, S.Keyed[Pos].first);
+      Offset = std::sqrt(MinSq);
+    }
+    for (size_t Pos = 0; Pos < S.Keep; ++Pos)
+      S.WeightByEntry[S.Keyed[Pos].second] =
+          distanceWeight(std::sqrt(S.Keyed[Pos].first), Offset, Tau,
+                         Cfg.WeightNormPower);
+  } else {
+    for (size_t Pos = 0; Pos < S.Keep; ++Pos)
+      S.WeightByEntry[S.Keyed[Pos].second] = 1.0;
+  }
+}
+
+/// Resolves the effective weight mode of one expert: the paper's literal
+/// score scaling breaks tie-heavy discrete scores (any w < 1 flips every
+/// exact tie against the test sample), so those experts fall back to
+/// weighted counting.
+static CalibrationWeightMode resolveMode(const PromConfig &Cfg,
+                                         bool DiscreteScores) {
+  if (Cfg.WeightMode == CalibrationWeightMode::ScoreScaling && DiscreteScores)
+    return CalibrationWeightMode::WeightedCount;
+  return Cfg.WeightMode;
 }
 
 std::vector<double>
@@ -95,55 +250,204 @@ CalibrationScores::pValues(const CalibrationSelection &Sel, size_t Expert,
                            const PromConfig &Cfg,
                            bool DiscreteScores) const {
   assert(Expert < numExperts() && "expert index out of range");
+  assert(ScoreColumns.size() == numExperts() &&
+         "pValues requires the finalize()-built indexes");
   size_t NumLabels = TestScores.size();
   std::vector<double> GreaterEq(NumLabels, 0.0);
   std::vector<double> Total(NumLabels, 0.0);
+  std::vector<double> Counts(NumLabels, 0.0);
+  std::vector<double> P(NumLabels, 0.0);
 
-  CalibrationWeightMode Mode = Cfg.WeightMode;
-  if (Mode == CalibrationWeightMode::ScoreScaling && DiscreteScores)
-    Mode = CalibrationWeightMode::WeightedCount;
+  CalibrationWeightMode Mode = resolveMode(Cfg, DiscreteScores);
+  const std::vector<double> &Scores = ScoreColumns[Expert];
 
+  if (Mode == CalibrationWeightMode::None &&
+      Sel.Indices.size() == Entries.size()) {
+    // Unweighted full selection: per-label counts via the sorted index.
+    for (size_t L = 0; L < NumLabels; ++L) {
+      if (static_cast<int>(L) > MaxLabel)
+        continue; // No entries carry this label: Counts stays 0.
+      const std::vector<double> &LabelScores = SortedScores[Expert][L];
+      Counts[L] = static_cast<double>(LabelScores.size());
+      Total[L] = Counts[L];
+      if (!LabelScores.empty())
+        GreaterEq[L] = static_cast<double>(
+            LabelScores.end() - std::lower_bound(LabelScores.begin(),
+                                                 LabelScores.end(),
+                                                 TestScores[L]));
+    }
+    finishPValues(GreaterEq.data(), Total.data(), Counts.data(), NumLabels,
+                  Cfg, P.data());
+    return P;
+  }
+
+  // General path. Accumulation runs in ascending entry-index order — the
+  // canonical order shared with pValuesAllExperts() — so the floating-point
+  // sums do not depend on how the selection was ordered.
+  std::vector<uint8_t> Mask(Entries.size(), 0);
+  std::vector<double> WeightByEntry(Entries.size(), 0.0);
   for (size_t Pos = 0; Pos < Sel.Indices.size(); ++Pos) {
-    const CalibrationEntry &E = Entries[Sel.Indices[Pos]];
-    if (E.Label < 0 || static_cast<size_t>(E.Label) >= NumLabels)
+    Mask[Sel.Indices[Pos]] = 1;
+    WeightByEntry[Sel.Indices[Pos]] = Sel.Weights[Pos];
+  }
+
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    if (!Mask[I])
       continue;
-    size_t L = static_cast<size_t>(E.Label);
-    double W = Sel.Weights[Pos];
+    int Label = Labels[I];
+    if (Label < 0 || static_cast<size_t>(Label) >= NumLabels)
+      continue;
+    size_t L = static_cast<size_t>(Label);
+    Counts[L] += 1.0;
+    double W = WeightByEntry[I];
     switch (Mode) {
     case CalibrationWeightMode::WeightedCount:
       // Weighted conformal counting: each calibration sample contributes
       // its Eq. (1) weight to both counts.
       Total[L] += W;
-      if (E.Scores[Expert] >= TestScores[L])
+      if (Scores[I] >= TestScores[L])
         GreaterEq[L] += W;
       break;
     case CalibrationWeightMode::ScoreScaling:
       // The paper's literal adjustment a_i = w_i * a_i with unit counts.
       Total[L] += 1.0;
-      if (W * E.Scores[Expert] >= TestScores[L])
+      if (W * Scores[I] >= TestScores[L])
         GreaterEq[L] += 1.0;
       break;
     case CalibrationWeightMode::None:
       Total[L] += 1.0;
-      if (E.Scores[Expert] >= TestScores[L])
+      if (Scores[I] >= TestScores[L])
         GreaterEq[L] += 1.0;
       break;
     }
   }
 
-  // Per-label selected counts, for the weighted smoothing pseudo-count.
-  std::vector<double> Counts(NumLabels, 0.0);
-  for (size_t Pos = 0; Pos < Sel.Indices.size(); ++Pos) {
-    const CalibrationEntry &E = Entries[Sel.Indices[Pos]];
-    if (E.Label >= 0 && static_cast<size_t>(E.Label) < NumLabels)
-      Counts[static_cast<size_t>(E.Label)] += 1.0;
+  finishPValues(GreaterEq.data(), Total.data(), Counts.data(), NumLabels,
+                Cfg, P.data());
+  return P;
+}
+
+void CalibrationScores::pValuesAllExperts(AssessmentScratch &S,
+                                          const double *TestScores,
+                                          size_t NumLabels,
+                                          const PromConfig &Cfg,
+                                          const uint8_t *DiscreteFlags,
+                                          double *PValsOut) const {
+  size_t NumExp = numExperts();
+  size_t Cells = NumExp * NumLabels;
+  S.GreaterEq.assign(Cells, 0.0);
+  S.Total.assign(Cells, 0.0);
+  S.Counts.assign(NumLabels, 0.0);
+
+  bool AnyDiscrete = false;
+  if (DiscreteFlags)
+    for (size_t E = 0; E < NumExp; ++E)
+      AnyDiscrete |= DiscreteFlags[E] != 0;
+
+  if (Cfg.WeightMode == CalibrationWeightMode::None && S.SelectedAll) {
+    // Unweighted full selection (the configuration of the naive-CP
+    // baselines): every (expert, label) count is two binary searches over
+    // the sorted-score index, O(E * L * log N) instead of O(E * N).
+    for (size_t L = 0; L < NumLabels; ++L) {
+      size_t Have = 0;
+      if (static_cast<int>(L) <= MaxLabel)
+        Have = SortedScores.front()[L].size();
+      S.Counts[L] = static_cast<double>(Have);
+      for (size_t E = 0; E < NumExp; ++E) {
+        S.Total[E * NumLabels + L] = S.Counts[L];
+        if (Have == 0)
+          continue;
+        const std::vector<double> &LabelScores = SortedScores[E][L];
+        S.GreaterEq[E * NumLabels + L] = static_cast<double>(
+            LabelScores.end() - std::lower_bound(LabelScores.begin(),
+                                                 LabelScores.end(),
+                                                 TestScores[E * NumLabels +
+                                                            L]));
+      }
+    }
+  } else {
+    // Fused general path: one pass over the calibration entries (ascending
+    // index — the canonical accumulation order) scoring every expert,
+    // instead of numExperts() separate scans. Per-expert modes and score
+    // columns are resolved once, outside the entry loop.
+    S.Modes.resize(NumExp);
+    S.Columns.resize(NumExp);
+    CalibrationWeightMode *Modes = S.Modes.data();
+    const double **Columns = S.Columns.data();
+    bool Uniform = true;
+    for (size_t E = 0; E < NumExp; ++E) {
+      Modes[E] = AnyDiscrete ? resolveMode(Cfg, DiscreteFlags[E] != 0)
+                             : Cfg.WeightMode;
+      Uniform &= Modes[E] == Modes[0];
+      Columns[E] = ScoreColumns[E].data();
+    }
+
+    auto ForEachSelected = [&](auto &&Body) {
+      for (size_t I = 0; I < Entries.size(); ++I) {
+        if (!S.SelectedMask[I])
+          continue;
+        int Label = Labels[I];
+        if (Label < 0 || static_cast<size_t>(Label) >= NumLabels)
+          continue;
+        size_t L = static_cast<size_t>(Label);
+        S.Counts[L] += 1.0;
+        Body(I, L);
+      }
+    };
+
+    if (Uniform && Modes[0] == CalibrationWeightMode::WeightedCount) {
+      // The default configuration: branch-free weighted counting.
+      ForEachSelected([&](size_t I, size_t L) {
+        double W = S.WeightByEntry[I];
+        for (size_t E = 0; E < NumExp; ++E) {
+          size_t Cell = E * NumLabels + L;
+          S.Total[Cell] += W;
+          if (Columns[E][I] >= TestScores[Cell])
+            S.GreaterEq[Cell] += W;
+        }
+      });
+    } else {
+      ForEachSelected([&](size_t I, size_t L) {
+        double W = S.WeightByEntry[I];
+        for (size_t E = 0; E < NumExp; ++E) {
+          size_t Cell = E * NumLabels + L;
+          switch (Modes[E]) {
+          case CalibrationWeightMode::WeightedCount:
+            S.Total[Cell] += W;
+            if (Columns[E][I] >= TestScores[Cell])
+              S.GreaterEq[Cell] += W;
+            break;
+          case CalibrationWeightMode::ScoreScaling:
+            S.Total[Cell] += 1.0;
+            if (W * Columns[E][I] >= TestScores[Cell])
+              S.GreaterEq[Cell] += 1.0;
+            break;
+          case CalibrationWeightMode::None:
+            S.Total[Cell] += 1.0;
+            if (Columns[E][I] >= TestScores[Cell])
+              S.GreaterEq[Cell] += 1.0;
+            break;
+          }
+        }
+      });
+    }
   }
 
-  std::vector<double> P(NumLabels, 0.0);
+  for (size_t E = 0; E < NumExp; ++E)
+    finishPValues(S.GreaterEq.data() + E * NumLabels,
+                  S.Total.data() + E * NumLabels, S.Counts.data(), NumLabels,
+                  Cfg, PValsOut + E * NumLabels);
+}
+
+void CalibrationScores::finishPValues(const double *GreaterEq,
+                                      const double *Total,
+                                      const double *Counts, size_t NumLabels,
+                                      const PromConfig &Cfg,
+                                      double *POut) const {
   for (size_t L = 0; L < NumLabels; ++L) {
     if (Counts[L] <= 0.0) {
       // No conformity evidence for this label among the selected samples.
-      P[L] = 0.0;
+      POut[L] = 0.0;
       continue;
     }
     if (Cfg.SmoothedPValues) {
@@ -151,12 +455,47 @@ CalibrationScores::pValues(const CalibrationSelection &Sel, size_t Expert,
       // so the minimum p-value stays ~1/(n+1) regardless of how sharply
       // the weights localize.
       double MeanW = Total[L] / Counts[L];
-      P[L] = (GreaterEq[L] + MeanW) / (Total[L] + MeanW);
+      POut[L] = (GreaterEq[L] + MeanW) / (Total[L] + MeanW);
     } else {
-      P[L] = Total[L] > 0.0 ? GreaterEq[L] / Total[L] : 0.0;
+      POut[L] = Total[L] > 0.0 ? GreaterEq[L] / Total[L] : 0.0;
     }
   }
-  return P;
+}
+
+void CalibrationScores::buildBatchIndexes() {
+  size_t N = Entries.size();
+  Dim = N == 0 ? 0 : Entries.front().Embed.size();
+  size_t NumExp = numExperts();
+
+  FlatEmbeds.assign(N * Dim, 0.0);
+  Labels.resize(N);
+  MaxLabel = -1;
+  for (size_t I = 0; I < N; ++I) {
+    assert(Entries[I].Embed.size() == Dim && "ragged calibration embeds");
+    std::copy(Entries[I].Embed.begin(), Entries[I].Embed.end(),
+              FlatEmbeds.begin() + static_cast<long>(I * Dim));
+    Labels[I] = Entries[I].Label;
+    MaxLabel = std::max(MaxLabel, Entries[I].Label);
+  }
+
+  ScoreColumns.assign(NumExp, std::vector<double>(N, 0.0));
+  for (size_t I = 0; I < N; ++I) {
+    assert(Entries[I].Scores.size() == NumExp && "ragged expert scores");
+    for (size_t E = 0; E < NumExp; ++E)
+      ScoreColumns[E][I] = Entries[I].Scores[E];
+  }
+
+  size_t NumLabelBuckets = static_cast<size_t>(MaxLabel + 1);
+  SortedScores.assign(NumExp,
+                      std::vector<std::vector<double>>(NumLabelBuckets));
+  for (size_t E = 0; E < NumExp; ++E) {
+    for (size_t I = 0; I < N; ++I)
+      if (Labels[I] >= 0)
+        SortedScores[E][static_cast<size_t>(Labels[I])].push_back(
+            ScoreColumns[E][I]);
+    for (std::vector<double> &LabelScores : SortedScores[E])
+      std::sort(LabelScores.begin(), LabelScores.end());
+  }
 }
 
 double prom::confidenceFromSetSize(size_t Size, double C) {

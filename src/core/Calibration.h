@@ -24,6 +24,7 @@
 #include "core/PromConfig.h"
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace prom {
@@ -41,6 +42,29 @@ struct CalibrationSelection {
   std::vector<double> Weights;  ///< Eq. (1) weight per selected entry.
 };
 
+/// Reusable per-lane working state of the batched assessment engine: one
+/// instance per ThreadPool lane, recycled across the samples of a batch so
+/// the hot path performs no per-sample allocation.
+struct AssessmentScratch {
+  /// (squared distance, entry id) keys; after selection the first Keep
+  /// elements are the selected entries (unordered beyond the partition).
+  std::vector<std::pair<double, uint32_t>> Keyed;
+  size_t Keep = 0;                   ///< Number of selected entries.
+  bool SelectedAll = false;          ///< Selection covers every entry.
+  std::vector<uint8_t> SelectedMask; ///< 1 for selected entries.
+  std::vector<double> WeightByEntry; ///< Eq. (1) weight, by entry id.
+  /// Per-(expert, label) accumulators of the fused p-value pass.
+  std::vector<double> GreaterEq;
+  std::vector<double> Total;
+  std::vector<double> Counts; ///< Per-label selected counts.
+  /// Working buffers of the bucket-select partition.
+  std::vector<std::pair<double, uint32_t>> Boundary;
+  std::vector<std::pair<double, uint32_t>> Tail;
+  /// Per-expert resolved modes / score-column pointers of the fused pass.
+  std::vector<CalibrationWeightMode> Modes;
+  std::vector<const double *> Columns;
+};
+
 /// Precomputed calibration scores plus the adaptive selection machinery.
 /// Label-agnostic: classification uses true class labels, regression uses
 /// k-means pseudo-labels.
@@ -49,13 +73,23 @@ public:
   void clear() {
     Entries.clear();
     MedianNNDist = 0.0;
+    Dim = 0;
+    FlatEmbeds.clear();
+    Labels.clear();
+    ScoreColumns.clear();
+    MaxLabel = -1;
+    SortedScores.clear();
   }
   void reserve(size_t N) { Entries.reserve(N); }
   void add(CalibrationEntry Entry) { Entries.push_back(std::move(Entry)); }
 
   /// Computes the distance scale of the calibration set (median nearest-
-  /// neighbour distance over a bounded sample of entries). Called once
-  /// after all entries are added; required for PromConfig::AutoTau.
+  /// neighbour distance over a bounded sample of entries) and builds the
+  /// batch-engine indexes: a contiguous (N x dim) embedding block for
+  /// cache-friendly distance scans, per-expert contiguous score columns,
+  /// and a per-(expert, label) sorted-score index that turns unweighted
+  /// full-selection p-values into binary searches. Called once after all
+  /// entries are added; required for PromConfig::AutoTau.
   void finalize();
 
   /// Median nearest-neighbour distance (0 before finalize()).
@@ -96,9 +130,66 @@ public:
                               const PromConfig &Cfg,
                               bool DiscreteScores = false) const;
 
+  //===--------------------------------------------------------------------===//
+  // Batched assessment engine
+  //
+  // The engine-facing entry points below compute the same selection and
+  // Eq. (2) p-values as select()/pValues() — bit-identically — but without
+  // the closest-first ordering contract, which lets them replace the full
+  // distance sort with an O(N) partition, defer square roots to the
+  // selected subset, and score every expert in a single pass over the
+  // calibration entries. Both pValues() and pValuesAllExperts() accumulate
+  // in ascending entry-index order (the canonical order), so the result is
+  // independent of how the selection was produced.
+  //===--------------------------------------------------------------------===//
+
+  /// Embedding dimensionality of the calibration entries.
+  size_t embedDim() const { return Dim; }
+
+  /// Selection for one test embedding (length embedDim()): fills
+  /// \p Scratch with the selected-entry mask and Eq. (1) weights. The
+  /// selected set and every weight value are identical to select()'s.
+  void selectForAssessment(const double *TestEmbed, const PromConfig &Cfg,
+                           AssessmentScratch &Scratch) const;
+
+  /// Class-conditional p-values of every expert in one fused pass.
+  ///
+  /// \param Scratch selection state from selectForAssessment().
+  /// \param TestScores numExperts() x NumLabels row-major score block.
+  /// \param DiscreteFlags per-expert ClassificationScorer::isDiscrete()
+  ///        (may be null when no expert is discrete).
+  /// \param PValsOut numExperts() x NumLabels row-major output block.
+  ///
+  /// With unweighted counting (WeightMode::None) and a full selection, the
+  /// per-label counts come from binary searches over the sorted-score
+  /// index instead of the linear scan; counting with unit weights is exact
+  /// integer arithmetic in doubles, so the fast path is bit-identical.
+  void pValuesAllExperts(AssessmentScratch &Scratch, const double *TestScores,
+                         size_t NumLabels, const PromConfig &Cfg,
+                         const uint8_t *DiscreteFlags,
+                         double *PValsOut) const;
+
 private:
+  /// Rebuilds the contiguous/sorted batch-engine indexes from Entries.
+  void buildBatchIndexes();
+
+  /// Shared final step of Eq. (2): p-values from the accumulated counts.
+  void finishPValues(const double *GreaterEq, const double *Total,
+                     const double *Counts, size_t NumLabels,
+                     const PromConfig &Cfg, double *POut) const;
+
   std::vector<CalibrationEntry> Entries;
   double MedianNNDist = 0.0;
+
+  // Batch-engine indexes (rebuilt by finalize()).
+  size_t Dim = 0;
+  std::vector<double> FlatEmbeds;  ///< N x Dim row-major embedding block.
+  std::vector<int> Labels;         ///< Entry labels, contiguous.
+  /// ScoreColumns[E][I] = Entries[I].Scores[E] (contiguous per expert).
+  std::vector<std::vector<double>> ScoreColumns;
+  int MaxLabel = -1;
+  /// SortedScores[E][L] = ascending scores of the label-L entries.
+  std::vector<std::vector<std::vector<double>>> SortedScores;
 };
 
 /// Gaussian confidence of a prediction-set size (Sec. 5.3):

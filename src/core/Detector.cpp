@@ -11,13 +11,23 @@
 #include "support/Matrix.h"
 #include "support/Rng.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <cmath>
 
 using namespace prom;
+using support::Matrix;
 
 DriftDetector::~DriftDetector() = default;
+
+std::vector<char>
+DriftDetector::isDriftingBatch(const data::Dataset &Batch) const {
+  std::vector<char> Out(Batch.size(), 0);
+  for (size_t I = 0; I < Batch.size(); ++I)
+    Out[I] = isDrifting(Batch[I]) ? 1 : 0;
+  return Out;
+}
 
 double Verdict::meanCredibility() const {
   double Sum = 0.0;
@@ -129,6 +139,19 @@ std::vector<double> PromClassifier::softenedProbs(const data::Sample &S) const {
   return applyTemperature(Model.predictProba(S), Temperature);
 }
 
+/// Row-wise applyTemperature over a probability matrix; identical
+/// arithmetic to the per-sample version on each row.
+static void applyTemperatureRows(Matrix &Probs, double T) {
+  if (T == 1.0)
+    return;
+  for (size_t I = 0; I < Probs.rows(); ++I) {
+    double *Row = Probs.rowPtr(I);
+    for (size_t J = 0; J < Probs.cols(); ++J)
+      Row[J] = std::log(std::max(Row[J], 1e-12)) / T;
+    support::softmaxRowInPlace(Row, Probs.cols());
+  }
+}
+
 std::vector<double> PromClassifier::pValues(const data::Sample &S,
                                             size_t Expert) const {
   assert(isCalibrated() && "assess before calibrate");
@@ -141,12 +164,12 @@ std::vector<double> PromClassifier::pValues(const data::Sample &S,
                        Scorers[Expert]->isDiscrete());
 }
 
-ExpertOpinion PromClassifier::judge(const std::vector<double> &PVals,
+ExpertOpinion PromClassifier::judge(const double *PVals, size_t NumLabels,
                                     int Predicted) const {
   ExpertOpinion Op;
   Op.Credibility = PVals[static_cast<size_t>(Predicted)];
-  for (double P : PVals)
-    if (P > Cfg.Epsilon)
+  for (size_t L = 0; L < NumLabels; ++L)
+    if (PVals[L] > Cfg.Epsilon)
       ++Op.PredictionSetSize;
   Op.Confidence = confidenceFromSetSize(Op.PredictionSetSize,
                                         Cfg.ConfidenceC);
@@ -155,7 +178,7 @@ ExpertOpinion PromClassifier::judge(const std::vector<double> &PVals,
   return Op;
 }
 
-Verdict PromClassifier::assess(const data::Sample &S) const {
+Verdict PromClassifier::assessSerial(const data::Sample &S) const {
   assert(isCalibrated() && "assess before calibrate");
   Verdict V;
   V.Probabilities = softenedProbs(S);
@@ -171,10 +194,73 @@ Verdict PromClassifier::assess(const data::Sample &S) const {
           Scorers[E]->score(V.Probabilities, static_cast<int>(C));
     std::vector<double> PVals =
         Calib.pValues(Sel, E, TestScores, Cfg, Scorers[E]->isDiscrete());
-    V.Experts.push_back(judge(PVals, V.Predicted));
+    V.Experts.push_back(judge(PVals.data(), PVals.size(), V.Predicted));
   }
   V.Drifted = committeeFlags(V.Experts, Cfg, V.VotesToFlag);
   return V;
+}
+
+void PromClassifier::assessRange(const Matrix &Probs, const Matrix &Embeds,
+                                 size_t Begin, size_t End,
+                                 std::vector<Verdict> &Out) const {
+  size_t NumLabels = Probs.cols();
+  size_t NumExp = Scorers.size();
+
+  // Per-lane scratch, reused across every sample of the range.
+  AssessmentScratch Scratch;
+  std::vector<uint8_t> Discrete(NumExp);
+  for (size_t E = 0; E < NumExp; ++E)
+    Discrete[E] = Scorers[E]->isDiscrete() ? 1 : 0;
+  std::vector<double> TestScores(NumExp * NumLabels);
+  std::vector<double> PVals(NumExp * NumLabels);
+
+  for (size_t I = Begin; I < End; ++I) {
+    Verdict &V = Out[I];
+    V.Probabilities.assign(Probs.rowPtr(I), Probs.rowPtr(I) + NumLabels);
+    V.Predicted = static_cast<int>(support::argmaxRow(Probs, I));
+
+    Calib.selectForAssessment(Embeds.rowPtr(I), Cfg, Scratch);
+    for (size_t E = 0; E < NumExp; ++E)
+      Scorers[E]->scoreAll(V.Probabilities, TestScores.data() + E * NumLabels);
+    Calib.pValuesAllExperts(Scratch, TestScores.data(), NumLabels, Cfg,
+                            Discrete.data(), PVals.data());
+
+    V.Experts.clear();
+    V.Experts.reserve(NumExp);
+    for (size_t E = 0; E < NumExp; ++E)
+      V.Experts.push_back(
+          judge(PVals.data() + E * NumLabels, NumLabels, V.Predicted));
+    V.Drifted = committeeFlags(V.Experts, Cfg, V.VotesToFlag);
+  }
+}
+
+std::vector<Verdict>
+PromClassifier::assessBatch(const data::Dataset &Batch) const {
+  assert(isCalibrated() && "assess before calibrate");
+  std::vector<Verdict> Out(Batch.size());
+  if (Batch.empty())
+    return Out;
+
+  // One batched forward computes every probability vector and embedding.
+  Matrix Probs, Embeds;
+  Model.predictWithEmbedBatch(Batch, Probs, Embeds);
+  applyTemperatureRows(Probs, Temperature);
+  assert(Embeds.cols() == Calib.embedDim() &&
+         "embedding width does not match the calibration set");
+
+  support::ThreadPool::global().parallelFor(
+      Batch.size(), [&](size_t Begin, size_t End) {
+        assessRange(Probs, Embeds, Begin, End, Out);
+      });
+  return Out;
+}
+
+Verdict PromClassifier::assess(const data::Sample &S) const {
+  data::Dataset One;
+  One.reserve(1);
+  One.add(S);
+  std::vector<Verdict> Out = assessBatch(One);
+  return std::move(Out.front());
 }
 
 //===----------------------------------------------------------------------===//
@@ -195,6 +281,16 @@ void PromDriftDetector::fit(const ml::Classifier &Model,
 bool PromDriftDetector::isDrifting(const data::Sample &S) const {
   assert(Impl && "fit() not called");
   return Impl->assess(S).Drifted;
+}
+
+std::vector<char>
+PromDriftDetector::isDriftingBatch(const data::Dataset &Batch) const {
+  assert(Impl && "fit() not called");
+  std::vector<Verdict> Verdicts = Impl->assessBatch(Batch);
+  std::vector<char> Out(Verdicts.size(), 0);
+  for (size_t I = 0; I < Verdicts.size(); ++I)
+    Out[I] = Verdicts[I].Drifted ? 1 : 0;
+  return Out;
 }
 
 //===----------------------------------------------------------------------===//
@@ -301,7 +397,22 @@ void PromRegressor::calibrate(const data::Dataset &CalibSet,
   Calib.finalize();
 }
 
-RegressionVerdict PromRegressor::assess(const data::Sample &S) const {
+/// Shared regression judging rule: expert opinion from one expert's
+/// p-value row.
+static ExpertOpinion judgeRegression(const double *PVals, size_t NumLabels,
+                                     int Cluster, const PromConfig &Cfg) {
+  ExpertOpinion Op;
+  Op.Credibility = PVals[static_cast<size_t>(Cluster)];
+  for (size_t L = 0; L < NumLabels; ++L)
+    if (PVals[L] > Cfg.Epsilon)
+      ++Op.PredictionSetSize;
+  Op.Confidence = confidenceFromSetSize(Op.PredictionSetSize, Cfg.ConfidenceC);
+  Op.FlagDrift = Op.Credibility < Cfg.credThreshold() &&
+                 Op.Confidence < Cfg.ConfThreshold;
+  return Op;
+}
+
+RegressionVerdict PromRegressor::assessSerial(const data::Sample &S) const {
   assert(!Calib.empty() && "assess before calibrate");
   RegressionVerdict V;
   V.Predicted = Model.predict(S);
@@ -319,18 +430,74 @@ RegressionVerdict PromRegressor::assess(const data::Sample &S) const {
     // happens through which cluster's calibration scores it is compared to.
     std::vector<double> TestScores(Centroids.size(), TestScore);
     std::vector<double> PVals = Calib.pValues(Sel, E, TestScores, Cfg);
-
-    ExpertOpinion Op;
-    Op.Credibility = PVals[static_cast<size_t>(V.Cluster)];
-    for (double P : PVals)
-      if (P > Cfg.Epsilon)
-        ++Op.PredictionSetSize;
-    Op.Confidence =
-        confidenceFromSetSize(Op.PredictionSetSize, Cfg.ConfidenceC);
-    Op.FlagDrift = Op.Credibility < Cfg.credThreshold() &&
-                   Op.Confidence < Cfg.ConfThreshold;
-    V.Experts.push_back(Op);
+    V.Experts.push_back(
+        judgeRegression(PVals.data(), PVals.size(), V.Cluster, Cfg));
   }
   V.Drifted = committeeFlags(V.Experts, Cfg, V.VotesToFlag);
   return V;
+}
+
+void PromRegressor::assessRange(const std::vector<double> &Predictions,
+                                const Matrix &Embeds, size_t Begin,
+                                size_t End,
+                                std::vector<RegressionVerdict> &Out) const {
+  size_t NumLabels = Centroids.size();
+  size_t NumExp = Scorers.size();
+
+  AssessmentScratch Scratch;
+  std::vector<double> Embed(Embeds.cols());
+  std::vector<double> TestScores(NumExp * NumLabels);
+  std::vector<double> PVals(NumExp * NumLabels);
+
+  for (size_t I = Begin; I < End; ++I) {
+    RegressionVerdict &V = Out[I];
+    V.Predicted = Predictions[I];
+    Embed.assign(Embeds.rowPtr(I), Embeds.rowPtr(I) + Embeds.cols());
+    V.Cluster = static_cast<int>(support::nearestCentroid(Centroids, Embed));
+
+    RegressionScoreInput In = makeScoreInput(Embed, V.Predicted);
+    Calib.selectForAssessment(Embeds.rowPtr(I), Cfg, Scratch);
+    for (size_t E = 0; E < NumExp; ++E) {
+      double TestScore = Scorers[E]->score(In);
+      for (size_t L = 0; L < NumLabels; ++L)
+        TestScores[E * NumLabels + L] = TestScore;
+    }
+    Calib.pValuesAllExperts(Scratch, TestScores.data(), NumLabels, Cfg,
+                            /*DiscreteFlags=*/nullptr, PVals.data());
+
+    V.Experts.clear();
+    V.Experts.reserve(NumExp);
+    for (size_t E = 0; E < NumExp; ++E)
+      V.Experts.push_back(judgeRegression(PVals.data() + E * NumLabels,
+                                          NumLabels, V.Cluster, Cfg));
+    V.Drifted = committeeFlags(V.Experts, Cfg, V.VotesToFlag);
+  }
+}
+
+std::vector<RegressionVerdict>
+PromRegressor::assessBatch(const data::Dataset &Batch) const {
+  assert(!Calib.empty() && "assess before calibrate");
+  std::vector<RegressionVerdict> Out(Batch.size());
+  if (Batch.empty())
+    return Out;
+
+  std::vector<double> Predictions;
+  Matrix Embeds;
+  Model.predictWithEmbedBatch(Batch, Predictions, Embeds);
+  assert(Embeds.cols() == Calib.embedDim() &&
+         "embedding width does not match the calibration set");
+
+  support::ThreadPool::global().parallelFor(
+      Batch.size(), [&](size_t Begin, size_t End) {
+        assessRange(Predictions, Embeds, Begin, End, Out);
+      });
+  return Out;
+}
+
+RegressionVerdict PromRegressor::assess(const data::Sample &S) const {
+  data::Dataset One;
+  One.reserve(1);
+  One.add(S);
+  std::vector<RegressionVerdict> Out = assessBatch(One);
+  return std::move(Out.front());
 }

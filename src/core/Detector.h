@@ -75,6 +75,11 @@ public:
   /// True when the model's prediction for \p S should be rejected.
   virtual bool isDrifting(const data::Sample &S) const = 0;
 
+  /// Batched form of isDrifting(); element I equals isDrifting(Batch[I]).
+  /// The default loops per sample; detectors with a batch engine override
+  /// it (the evaluation harness always drives deployment through this).
+  virtual std::vector<char> isDriftingBatch(const data::Dataset &Batch) const;
+
   virtual std::string name() const = 0;
 };
 
@@ -103,8 +108,24 @@ public:
   /// The fitted softening temperature (1 = untouched).
   double temperature() const { return Temperature; }
 
-  /// Full committee assessment of one test input (Figure 5).
+  /// Full committee assessment of one test input (Figure 5). Delegates to
+  /// assessBatch() on a size-1 batch, so single-sample and batched
+  /// deployments produce bit-identical verdicts by construction.
   Verdict assess(const data::Sample &S) const;
+
+  /// Batched committee assessment: one batched model forward computes every
+  /// probability vector and embedding, then the per-sample committee work
+  /// (selection, fused all-expert p-values, vote) runs across the
+  /// ThreadPool with reusable per-lane scratch. Element I is bit-identical
+  /// to assessSerial(Batch[I]).
+  std::vector<Verdict> assessBatch(const data::Dataset &Batch) const;
+
+  /// Reference per-sample implementation (the pre-batching deployment
+  /// path): two per-sample model forwards, a sorted adaptive selection and
+  /// one p-value scan per expert. Retained as the independent oracle for
+  /// the batch/serial equivalence tests and as the serial baseline of the
+  /// overhead benches.
+  Verdict assessSerial(const data::Sample &S) const;
 
   /// Per-class p-values of \p S for expert \p Expert (used by the
   /// assessment and by tests of the CP validity property).
@@ -118,10 +139,17 @@ public:
   bool isCalibrated() const { return !Calib.empty(); }
 
 private:
-  ExpertOpinion judge(const std::vector<double> &PVals, int Predicted) const;
+  ExpertOpinion judge(const double *PVals, size_t NumLabels,
+                      int Predicted) const;
 
   /// Model probabilities softened by the fitted temperature.
   std::vector<double> softenedProbs(const data::Sample &S) const;
+
+  /// Committee assessment of rows [Begin, End) of a batch whose softened
+  /// probabilities and embeddings are already computed.
+  void assessRange(const support::Matrix &Probs,
+                   const support::Matrix &Embeds, size_t Begin, size_t End,
+                   std::vector<Verdict> &Out) const;
 
   const ml::Classifier &Model;
   PromConfig Cfg;
@@ -146,7 +174,13 @@ public:
   void fit(const ml::Classifier &Model, const data::Dataset &Calib,
            support::Rng &R) override;
   bool isDrifting(const data::Sample &S) const override;
+  std::vector<char>
+  isDriftingBatch(const data::Dataset &Batch) const override;
   std::string name() const override { return "PROM"; }
+
+  /// The wrapped engine (valid after fit()); exposed so harnesses can run
+  /// full batched assessments rather than bare accept/reject decisions.
+  const PromClassifier &engine() const { return *Impl; }
 
 private:
   PromConfig Cfg;
@@ -171,8 +205,18 @@ public:
   void calibrate(const data::Dataset &Calib, support::Rng &R);
 
   /// Committee assessment; the ground truth of \p S is approximated by its
-  /// k nearest calibration samples (Sec. 5.1.1).
+  /// k nearest calibration samples (Sec. 5.1.1). Delegates to assessBatch()
+  /// on a size-1 batch.
   RegressionVerdict assess(const data::Sample &S) const;
+
+  /// Batched committee assessment (see PromClassifier::assessBatch);
+  /// element I is bit-identical to assessSerial(Batch[I]).
+  std::vector<RegressionVerdict>
+  assessBatch(const data::Dataset &Batch) const;
+
+  /// Reference per-sample implementation retained for equivalence testing
+  /// and the serial bench baseline.
+  RegressionVerdict assessSerial(const data::Sample &S) const;
 
   const PromConfig &config() const { return Cfg; }
   PromConfig &config() { return Cfg; }
@@ -183,6 +227,12 @@ public:
 private:
   RegressionScoreInput
   makeScoreInput(const std::vector<double> &Embed, double Prediction) const;
+
+  /// Committee assessment of rows [Begin, End) of a batch with precomputed
+  /// predictions and embeddings.
+  void assessRange(const std::vector<double> &Predictions,
+                   const support::Matrix &Embeds, size_t Begin, size_t End,
+                   std::vector<RegressionVerdict> &Out) const;
 
   const ml::Regressor &Model;
   PromConfig Cfg;

@@ -62,8 +62,13 @@ GridSearchResult prom::gridSearch(const ml::Classifier &Model,
     for (size_t CandIdx = 0; CandIdx < Candidates.size(); ++CandIdx) {
       Prom.config() = Candidates[CandIdx];
       DetectionCounts Counts;
-      for (const data::Sample &S : Split.Test.samples()) {
-        Verdict V = Prom.assess(S);
+      // The whole validation half goes through the batched engine per
+      // candidate (the calibration scores are shared; only thresholds and
+      // weights change between candidates).
+      std::vector<Verdict> Verdicts = Prom.assessBatch(Split.Test);
+      for (size_t I = 0; I < Split.Test.size(); ++I) {
+        const data::Sample &S = Split.Test[I];
+        const Verdict &V = Verdicts[I];
         Counts.record(Wrong(S, V.Predicted), /*Rejected=*/V.Drifted);
       }
       F1Sum[CandIdx] += Counts.f1();

@@ -62,9 +62,12 @@ IncrementalOutcome prom::runIncrementalLearning(
   std::vector<double> Credibility(Test.size(), 0.0);
   size_t NativeCorrect = 0;
   bool HasCosts = !Test[0].OptionCosts.empty();
+  // The deployment set goes through the batched committee engine in one
+  // call instead of a per-sample assessment chain.
+  std::vector<Verdict> Verdicts = Prom.assessBatch(Test);
   for (size_t I = 0; I < Test.size(); ++I) {
     const data::Sample &S = Test[I];
-    Verdict V = Prom.assess(S);
+    const Verdict &V = Verdicts[I];
     Credibility[I] = V.meanCredibility();
     bool Wrong = Mispredicted(S, V.Predicted);
     Out.Detection.record(Wrong, V.Drifted);
@@ -112,11 +115,12 @@ IncrementalOutcome prom::runIncrementalLearning(
     Prom.calibrate(IlCfg.RefreshCalibration ? NewCalib : Calib);
   }
 
-  // Post-update deployment performance.
+  // Post-update deployment performance (batched forward, argmax per row).
   size_t UpdatedCorrect = 0;
+  support::Matrix Probs = Model.predictProbaBatch(Test);
   for (size_t I = 0; I < Test.size(); ++I) {
     const data::Sample &S = Test[I];
-    int Pred = Model.predict(S);
+    int Pred = static_cast<int>(support::argmaxRow(Probs, I));
     if (Pred == S.Label)
       ++UpdatedCorrect;
     if (HasCosts)
@@ -140,9 +144,10 @@ RegressionIncrementalOutcome prom::runIncrementalLearningRegression(
   std::vector<size_t> Flagged;
   std::vector<double> Credibility(Test.size(), 0.0);
   double NativeErrSum = 0.0;
+  std::vector<RegressionVerdict> Verdicts = Prom.assessBatch(Test);
   for (size_t I = 0; I < Test.size(); ++I) {
     const data::Sample &S = Test[I];
-    RegressionVerdict V = Prom.assess(S);
+    const RegressionVerdict &V = Verdicts[I];
     Credibility[I] = V.meanCredibility();
     bool Wrong = regressionMispredicted(V.Predicted, S.Target);
     Out.Detection.record(Wrong, V.Drifted);
@@ -172,9 +177,11 @@ RegressionIncrementalOutcome prom::runIncrementalLearningRegression(
   }
 
   double UpdatedErrSum = 0.0;
-  for (const data::Sample &S : Test.samples()) {
+  std::vector<double> UpdatedPreds = Model.predictBatch(Test);
+  for (size_t I = 0; I < Test.size(); ++I) {
+    const data::Sample &S = Test[I];
     double Scale = std::max(std::fabs(S.Target), 1e-9);
-    UpdatedErrSum += std::fabs(Model.predict(S) - S.Target) / Scale;
+    UpdatedErrSum += std::fabs(UpdatedPreds[I] - S.Target) / Scale;
   }
   Out.UpdatedError = UpdatedErrSum / static_cast<double>(Test.size());
   return Out;

@@ -16,6 +16,12 @@ using namespace prom;
 ClassificationScorer::~ClassificationScorer() = default;
 RegressionScorer::~RegressionScorer() = default;
 
+void ClassificationScorer::scoreAll(const std::vector<double> &Probs,
+                                    double *Out) const {
+  for (size_t C = 0; C < Probs.size(); ++C)
+    Out[C] = score(Probs, static_cast<int>(C));
+}
+
 double LacScorer::score(const std::vector<double> &Probs, int Label) const {
   assert(Label >= 0 && static_cast<size_t>(Label) < Probs.size());
   return 1.0 - Probs[static_cast<size_t>(Label)];
@@ -76,6 +82,43 @@ double RapsScorer::score(const std::vector<double> &Probs, int Label) const {
   double Soft = softRank(Probs, Label);
   double Penalty = Soft > KReg ? Lambda * (Soft - KReg) : 0.0;
   return apsMass(Probs, Label, labelRank(Probs, Label)) + Penalty;
+}
+
+/// Partial sums of the descending-sorted probabilities, accumulated in the
+/// same ascending order as apsMass(), so Prefix[Rank - 1] is bit-identical
+/// to apsMass()'s cumulative Sum for that rank.
+static std::vector<double> apsPrefixSums(const std::vector<double> &Probs) {
+  std::vector<double> Sorted(Probs);
+  std::sort(Sorted.begin(), Sorted.end(), std::greater<double>());
+  std::vector<double> Prefix(Sorted.size() + 1, 0.0);
+  double Sum = 0.0;
+  for (size_t I = 0; I < Sorted.size(); ++I) {
+    Prefix[I] = Sum;
+    Sum += Sorted[I];
+  }
+  Prefix[Sorted.size()] = Sum;
+  return Prefix;
+}
+
+void ApsScorer::scoreAll(const std::vector<double> &Probs,
+                         double *Out) const {
+  // One sort shared across the labels instead of one per score() call.
+  std::vector<double> Prefix = apsPrefixSums(Probs);
+  for (size_t C = 0; C < Probs.size(); ++C) {
+    size_t Rank = labelRank(Probs, static_cast<int>(C));
+    Out[C] = Prefix[Rank - 1] + 0.5 * Probs[C];
+  }
+}
+
+void RapsScorer::scoreAll(const std::vector<double> &Probs,
+                          double *Out) const {
+  std::vector<double> Prefix = apsPrefixSums(Probs);
+  for (size_t C = 0; C < Probs.size(); ++C) {
+    double Soft = softRank(Probs, static_cast<int>(C));
+    double Penalty = Soft > KReg ? Lambda * (Soft - KReg) : 0.0;
+    size_t Rank = labelRank(Probs, static_cast<int>(C));
+    Out[C] = Prefix[Rank - 1] + 0.5 * Probs[C] + Penalty;
+  }
 }
 
 std::vector<std::unique_ptr<ClassificationScorer>>

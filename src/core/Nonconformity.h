@@ -34,6 +34,13 @@ public:
   /// Nonconformity of label \p Label under probability vector \p Probs.
   virtual double score(const std::vector<double> &Probs, int Label) const = 0;
 
+  /// Scores every candidate label at once: Out[c] = score(Probs, c) for
+  /// each c in [0, Probs.size()), bit-for-bit. The default loops over
+  /// score(); scorers whose per-label work shares a common computation
+  /// (e.g. the APS/RAPS probability sort) override it so the batched
+  /// assessment engine pays that work once per sample.
+  virtual void scoreAll(const std::vector<double> &Probs, double *Out) const;
+
   /// True when scores are tie-heavy discrete values (e.g. ranks); the
   /// score-scaling weight mode falls back to weighted counting for these.
   virtual bool isDiscrete() const { return false; }
@@ -64,6 +71,8 @@ public:
 class ApsScorer : public ClassificationScorer {
 public:
   double score(const std::vector<double> &Probs, int Label) const override;
+  void scoreAll(const std::vector<double> &Probs,
+                double *Out) const override;
   std::string name() const override { return "APS"; }
 };
 
@@ -75,6 +84,8 @@ public:
   explicit RapsScorer(double Lambda = 0.25, double KReg = 1.5)
       : Lambda(Lambda), KReg(KReg) {}
   double score(const std::vector<double> &Probs, int Label) const override;
+  void scoreAll(const std::vector<double> &Probs,
+                double *Out) const override;
   std::string name() const override { return "RAPS"; }
 
 private:

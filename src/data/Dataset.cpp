@@ -89,6 +89,17 @@ std::vector<std::vector<double>> Dataset::featureRows() const {
   return Rows;
 }
 
+prom::support::Matrix Dataset::featureMatrix() const {
+  support::Matrix Out(Samples.size(), featureDim());
+  for (size_t I = 0; I < Samples.size(); ++I) {
+    const Sample &S = Samples[I];
+    assert(S.Features.size() == Out.cols() &&
+           "ragged feature rows cannot form a batch matrix");
+    std::copy(S.Features.begin(), S.Features.end(), Out.rowPtr(I));
+  }
+  return Out;
+}
+
 void Dataset::append(const Dataset &Other) {
   assert((NumClasses == 0 || Other.NumClasses == 0 ||
           NumClasses == Other.NumClasses) &&

@@ -15,6 +15,7 @@
 #define PROM_DATA_DATASET_H
 
 #include "data/Sample.h"
+#include "support/Matrix.h"
 
 #include <string>
 #include <vector>
@@ -71,6 +72,11 @@ public:
 
   /// Feature rows of all samples.
   std::vector<std::vector<double>> featureRows() const;
+
+  /// Feature rows packed as a size() x featureDim() matrix — the batch
+  /// substrate consumed by the batched model interfaces. Asserts that all
+  /// samples share the same feature dimensionality.
+  support::Matrix featureMatrix() const;
 
   /// Appends all samples of \p Other (metadata must be compatible).
   void append(const Dataset &Other);

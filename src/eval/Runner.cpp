@@ -68,11 +68,17 @@ double prom::eval::macroF1(const std::vector<int> &Truth,
 NativeReport prom::eval::evaluateNative(const ml::Classifier &Model,
                                         const data::Dataset &Test) {
   NativeReport Report;
+  if (Test.empty())
+    return Report;
   std::vector<int> Truth, Pred;
   size_t Correct = 0;
-  bool HasCosts = !Test.empty() && !Test[0].OptionCosts.empty();
-  for (const data::Sample &S : Test.samples()) {
-    int P = Model.predict(S);
+  bool HasCosts = !Test[0].OptionCosts.empty();
+  // One batched forward for the whole test set; argmax per row matches
+  // Model.predict() sample by sample.
+  support::Matrix Probs = Model.predictProbaBatch(Test);
+  for (size_t I = 0; I < Test.size(); ++I) {
+    const data::Sample &S = Test[I];
+    int P = static_cast<int>(support::argmaxRow(Probs, I));
     Truth.push_back(S.Label);
     Pred.push_back(P);
     if (P == S.Label)
@@ -80,10 +86,8 @@ NativeReport prom::eval::evaluateNative(const ml::Classifier &Model,
     if (HasCosts)
       Report.PerfSamples.push_back(S.perfToOracle(P));
   }
-  Report.Accuracy =
-      Test.empty() ? 0.0
-                   : static_cast<double>(Correct) /
-                         static_cast<double>(Test.size());
+  Report.Accuracy = static_cast<double>(Correct) /
+                    static_cast<double>(Test.size());
   Report.MacroF1 = macroF1(Truth, Pred, Test.numClasses());
   return Report;
 }

@@ -7,6 +7,7 @@
 #include "ml/Gcn.h"
 #include "support/Rng.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -202,6 +203,97 @@ void GcnClassifier::update(const data::Dataset &Merged, support::Rng &R) {
     return;
   }
   trainEpochs(Merged, R, Cfg.FineTuneEpochs, Cfg.LearningRate * 0.3);
+}
+
+void GcnClassifier::forwardBatchStacked(const data::Dataset &Batch,
+                                        Matrix *Probs,
+                                        Matrix *Pooled) const {
+  size_t N = Batch.size();
+  std::vector<size_t> Offsets(N + 1, 0);
+  for (size_t I = 0; I < N; ++I) {
+    const data::Graph &G = Batch[I].ProgramGraph;
+    assert(G.NumNodes > 0 && "GCN needs a non-empty graph");
+    assert(static_cast<size_t>(G.FeatDim) == InDim &&
+           "node feature mismatch");
+    Offsets[I + 1] = Offsets[I] + static_cast<size_t>(G.NumNodes);
+  }
+  size_t TotalNodes = Offsets[N];
+
+  auto CopyRows = [](const Matrix &Src, Matrix &Dst, size_t RowOffset) {
+    std::copy(Src.data().begin(), Src.data().end(),
+              Dst.data().begin() +
+                  static_cast<long>(RowOffset * Dst.cols()));
+  };
+  auto SliceRows = [](const Matrix &Src, size_t Begin, size_t Count) {
+    return Matrix(Count, Src.cols(),
+                  std::vector<double>(Src.rowPtr(Begin),
+                                      Src.rowPtr(Begin) + Count * Src.cols()));
+  };
+
+  // Layer 1: per-graph aggregation, one stacked matmul for the transform.
+  Matrix StackA1(TotalNodes, InDim);
+  for (size_t I = 0; I < N; ++I) {
+    const data::Graph &G = Batch[I].ProgramGraph;
+    Matrix X(static_cast<size_t>(G.NumNodes), InDim, G.NodeFeats);
+    CopyRows(aggregate(G, X), StackA1, Offsets[I]);
+  }
+  Matrix StackH1 = StackA1.matmul(W1);
+  StackH1.addRowBroadcast(B1);
+  for (double &V : StackH1.data())
+    V = V > 0.0 ? V : 0.0;
+
+  // Layer 2: aggregate each graph's slice, stack, transform once.
+  Matrix StackA2(TotalNodes, Cfg.HiddenDim);
+  for (size_t I = 0; I < N; ++I) {
+    const data::Graph &G = Batch[I].ProgramGraph;
+    Matrix H1 = SliceRows(StackH1, Offsets[I],
+                          static_cast<size_t>(G.NumNodes));
+    CopyRows(aggregate(G, H1), StackA2, Offsets[I]);
+  }
+  Matrix StackH2 = StackA2.matmul(W2);
+  StackH2.addRowBroadcast(B2);
+  for (double &V : StackH2.data())
+    V = V > 0.0 ? V : 0.0;
+
+  // Global mean pool per graph (rows summed in ascending order, exactly
+  // like Matrix::columnSums over the per-graph trace).
+  Matrix PooledRows(N, Cfg.HiddenDim);
+  for (size_t I = 0; I < N; ++I) {
+    size_t Nodes = Offsets[I + 1] - Offsets[I];
+    double *Out = PooledRows.rowPtr(I);
+    for (size_t V = 0; V < Nodes; ++V) {
+      const double *Row = StackH2.rowPtr(Offsets[I] + V);
+      for (size_t D = 0; D < Cfg.HiddenDim; ++D)
+        Out[D] += Row[D];
+    }
+    for (size_t D = 0; D < Cfg.HiddenDim; ++D)
+      Out[D] /= static_cast<double>(Nodes);
+  }
+
+  if (Probs) {
+    *Probs = PooledRows.affine(HeadW, HeadB);
+    support::softmaxRowsInPlace(*Probs);
+  }
+  if (Pooled)
+    *Pooled = std::move(PooledRows);
+}
+
+Matrix GcnClassifier::predictProbaBatch(const data::Dataset &Batch) const {
+  Matrix Probs;
+  forwardBatchStacked(Batch, &Probs, nullptr);
+  return Probs;
+}
+
+Matrix GcnClassifier::embedBatch(const data::Dataset &Batch) const {
+  Matrix Pooled;
+  forwardBatchStacked(Batch, nullptr, &Pooled);
+  return Pooled;
+}
+
+void GcnClassifier::predictWithEmbedBatch(const data::Dataset &Batch,
+                                          Matrix &Probs,
+                                          Matrix &Embeds) const {
+  forwardBatchStacked(Batch, &Probs, &Embeds);
 }
 
 std::vector<double> GcnClassifier::predictProba(const data::Sample &S) const {

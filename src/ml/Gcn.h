@@ -41,6 +41,12 @@ public:
   void update(const data::Dataset &Merged, support::Rng &R) override;
   std::vector<double> predictProba(const data::Sample &S) const override;
   std::vector<double> embed(const data::Sample &S) const override;
+  support::Matrix
+  predictProbaBatch(const data::Dataset &Batch) const override;
+  support::Matrix embedBatch(const data::Dataset &Batch) const override;
+  void predictWithEmbedBatch(const data::Dataset &Batch,
+                             support::Matrix &Probs,
+                             support::Matrix &Embeds) const override;
   int numClasses() const override { return Classes; }
   std::string name() const override { return "GCN"; }
 
@@ -55,6 +61,15 @@ private:
   };
 
   void forward(const data::Graph &G, Trace &T) const;
+
+  /// Batched forward over all graphs of \p Batch: the graphs' node matrices
+  /// are stacked into one block matrix per layer so the linear transforms
+  /// run as a single (sum-of-nodes x dim) matmul, with the (ragged) mean
+  /// aggregation applied per graph between layers. Row I of \p Probs /
+  /// \p Pooled is bit-identical to the per-sample forward of Batch[I].
+  void forwardBatchStacked(const data::Dataset &Batch, support::Matrix *Probs,
+                           support::Matrix *Pooled) const;
+
   void backwardAndStep(const data::Graph &G, const Trace &T,
                        const std::vector<double> &DLogits,
                        const AdamConfig &Adam);

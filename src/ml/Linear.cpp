@@ -92,6 +92,19 @@ LogisticRegression::predictProba(const data::Sample &S) const {
   return P;
 }
 
+Matrix LogisticRegression::predictProbaBatch(
+    const data::Dataset &Batch) const {
+  // One (N x D) * (D x C) affine product instead of N per-sample loops;
+  // row I matches predictProba(Batch[I]) bit-for-bit.
+  Matrix P = Batch.featureMatrix().affine(W, Bias);
+  support::softmaxRowsInPlace(P);
+  return P;
+}
+
+Matrix LogisticRegression::embedBatch(const data::Dataset &Batch) const {
+  return Batch.featureMatrix(); // Linear models embed raw features.
+}
+
 //===----------------------------------------------------------------------===//
 // LinearSvm
 //===----------------------------------------------------------------------===//
@@ -196,4 +209,16 @@ std::vector<double> LinearSvm::predictProba(const data::Sample &S) const {
     V *= Temperature;
   support::softmaxInPlace(M);
   return M;
+}
+
+Matrix LinearSvm::predictProbaBatch(const data::Dataset &Batch) const {
+  Matrix M = Batch.featureMatrix().affine(W, Bias);
+  for (double &V : M.data())
+    V *= Temperature;
+  support::softmaxRowsInPlace(M);
+  return M;
+}
+
+Matrix LinearSvm::embedBatch(const data::Dataset &Batch) const {
+  return Batch.featureMatrix();
 }

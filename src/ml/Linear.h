@@ -39,6 +39,9 @@ public:
   void fit(const data::Dataset &Train, support::Rng &R) override;
   void update(const data::Dataset &Merged, support::Rng &R) override;
   std::vector<double> predictProba(const data::Sample &S) const override;
+  support::Matrix
+  predictProbaBatch(const data::Dataset &Batch) const override;
+  support::Matrix embedBatch(const data::Dataset &Batch) const override;
   int numClasses() const override { return Classes; }
   std::string name() const override { return "LogReg"; }
 
@@ -63,6 +66,9 @@ public:
   void fit(const data::Dataset &Train, support::Rng &R) override;
   void update(const data::Dataset &Merged, support::Rng &R) override;
   std::vector<double> predictProba(const data::Sample &S) const override;
+  support::Matrix
+  predictProbaBatch(const data::Dataset &Batch) const override;
+  support::Matrix embedBatch(const data::Dataset &Batch) const override;
   int numClasses() const override { return Classes; }
   std::string name() const override { return "SVM"; }
 

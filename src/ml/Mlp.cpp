@@ -66,6 +66,24 @@ MlpCore::forward(const std::vector<double> &X,
   return Act;
 }
 
+Matrix MlpCore::forwardBatch(const Matrix &X, Matrix *EmbedOut) const {
+  assert(X.cols() == InDim && "input dim mismatch");
+  Matrix Act = X;
+  for (size_t L = 0; L < Weights.size(); ++L) {
+    bool IsOutput = (L + 1 == Weights.size());
+    // The embedding layer is the input to the output head: the last hidden
+    // activations, or the raw features for a degenerate no-hidden network.
+    if (IsOutput && EmbedOut)
+      *EmbedOut = Act;
+    Matrix Next = Act.affine(Weights[L], Biases[L]);
+    if (!IsOutput)
+      for (double &V : Next.data())
+        V = V > 0.0 ? V : 0.0; // ReLU
+    Act = std::move(Next);
+  }
+  return Act;
+}
+
 void MlpCore::backwardAndStep(const std::vector<double> &X,
                               const std::vector<std::vector<double>> &Hidden,
                               const std::vector<double> &DLogits,
@@ -163,6 +181,25 @@ std::vector<double> MlpClassifier::embed(const data::Sample &S) const {
   return Hidden.empty() ? S.Features : Hidden.back();
 }
 
+Matrix MlpClassifier::predictProbaBatch(const data::Dataset &Batch) const {
+  Matrix Logits = Core.forwardBatch(Batch.featureMatrix());
+  support::softmaxRowsInPlace(Logits);
+  return Logits;
+}
+
+Matrix MlpClassifier::embedBatch(const data::Dataset &Batch) const {
+  Matrix Embeds;
+  (void)Core.forwardBatch(Batch.featureMatrix(), &Embeds);
+  return Embeds;
+}
+
+void MlpClassifier::predictWithEmbedBatch(const data::Dataset &Batch,
+                                          Matrix &Probs,
+                                          Matrix &Embeds) const {
+  Probs = Core.forwardBatch(Batch.featureMatrix(), &Embeds);
+  support::softmaxRowsInPlace(Probs);
+}
+
 //===----------------------------------------------------------------------===//
 // MlpRegressor
 //===----------------------------------------------------------------------===//
@@ -211,4 +248,28 @@ std::vector<double> MlpRegressor::embed(const data::Sample &S) const {
   std::vector<std::vector<double>> Hidden;
   (void)Core.forward(S.Features, Hidden);
   return Hidden.empty() ? S.Features : Hidden.back();
+}
+
+std::vector<double>
+MlpRegressor::predictBatch(const data::Dataset &Batch) const {
+  Matrix Out = Core.forwardBatch(Batch.featureMatrix());
+  std::vector<double> Preds(Batch.size());
+  for (size_t I = 0; I < Batch.size(); ++I)
+    Preds[I] = Out.at(I, 0);
+  return Preds;
+}
+
+Matrix MlpRegressor::embedBatch(const data::Dataset &Batch) const {
+  Matrix Embeds;
+  (void)Core.forwardBatch(Batch.featureMatrix(), &Embeds);
+  return Embeds;
+}
+
+void MlpRegressor::predictWithEmbedBatch(const data::Dataset &Batch,
+                                         std::vector<double> &Predictions,
+                                         Matrix &Embeds) const {
+  Matrix Out = Core.forwardBatch(Batch.featureMatrix(), &Embeds);
+  Predictions.resize(Batch.size());
+  for (size_t I = 0; I < Batch.size(); ++I)
+    Predictions[I] = Out.at(I, 0);
 }

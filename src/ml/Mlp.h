@@ -51,6 +51,14 @@ public:
   std::vector<double> forward(const std::vector<double> &X,
                               std::vector<std::vector<double>> &Hidden) const;
 
+  /// Batched forward pass: one (N x fan-in) * (fan-in x fan-out) affine
+  /// product per layer instead of N per-sample loops. Row I of the result
+  /// (and of \p EmbedOut, when non-null — the last hidden activations, or
+  /// the input when the network has no hidden layers) is bit-identical to
+  /// forward() on row I alone.
+  support::Matrix forwardBatch(const support::Matrix &X,
+                               support::Matrix *EmbedOut = nullptr) const;
+
   /// Backpropagates \p DLogits for input \p X with cached \p Hidden, then
   /// applies one Adam step per parameter.
   void backwardAndStep(const std::vector<double> &X,
@@ -76,6 +84,12 @@ public:
   void update(const data::Dataset &Merged, support::Rng &R) override;
   std::vector<double> predictProba(const data::Sample &S) const override;
   std::vector<double> embed(const data::Sample &S) const override;
+  support::Matrix
+  predictProbaBatch(const data::Dataset &Batch) const override;
+  support::Matrix embedBatch(const data::Dataset &Batch) const override;
+  void predictWithEmbedBatch(const data::Dataset &Batch,
+                             support::Matrix &Probs,
+                             support::Matrix &Embeds) const override;
   int numClasses() const override { return Classes; }
   std::string name() const override { return "MLP"; }
 
@@ -97,6 +111,12 @@ public:
   void update(const data::Dataset &Merged, support::Rng &R) override;
   double predict(const data::Sample &S) const override;
   std::vector<double> embed(const data::Sample &S) const override;
+  std::vector<double>
+  predictBatch(const data::Dataset &Batch) const override;
+  support::Matrix embedBatch(const data::Dataset &Batch) const override;
+  void predictWithEmbedBatch(const data::Dataset &Batch,
+                             std::vector<double> &Predictions,
+                             support::Matrix &Embeds) const override;
   std::string name() const override { return "MLP-Reg"; }
 
 private:

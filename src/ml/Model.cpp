@@ -8,7 +8,10 @@
 #include "support/Matrix.h"
 #include "support/Rng.h"
 
+#include <cassert>
+
 using namespace prom::ml;
+using prom::support::Matrix;
 
 Classifier::~Classifier() = default;
 Regressor::~Regressor() = default;
@@ -25,10 +28,60 @@ int Classifier::predict(const data::Sample &S) const {
   return static_cast<int>(support::argmax(predictProba(S)));
 }
 
+/// Copies \p Row into row \p I of \p Out, sizing Out on the first row.
+static void packRow(Matrix &Out, size_t NumRows, size_t I,
+                    const std::vector<double> &Row) {
+  if (Out.empty())
+    Out = Matrix(NumRows, Row.size());
+  assert(Row.size() == Out.cols() && "ragged batch rows");
+  std::copy(Row.begin(), Row.end(), Out.rowPtr(I));
+}
+
+Matrix Classifier::predictProbaBatch(const data::Dataset &Batch) const {
+  Matrix Out;
+  for (size_t I = 0; I < Batch.size(); ++I)
+    packRow(Out, Batch.size(), I, predictProba(Batch[I]));
+  return Out;
+}
+
+Matrix Classifier::embedBatch(const data::Dataset &Batch) const {
+  Matrix Out;
+  for (size_t I = 0; I < Batch.size(); ++I)
+    packRow(Out, Batch.size(), I, embed(Batch[I]));
+  return Out;
+}
+
+void Classifier::predictWithEmbedBatch(const data::Dataset &Batch,
+                                       Matrix &Probs, Matrix &Embeds) const {
+  Probs = predictProbaBatch(Batch);
+  Embeds = embedBatch(Batch);
+}
+
 void Regressor::update(const data::Dataset &Merged, support::Rng &R) {
   fit(Merged, R);
 }
 
 std::vector<double> Regressor::embed(const data::Sample &S) const {
   return S.Features;
+}
+
+std::vector<double> Regressor::predictBatch(const data::Dataset &Batch) const {
+  std::vector<double> Out(Batch.size());
+  for (size_t I = 0; I < Batch.size(); ++I)
+    Out[I] = predict(Batch[I]);
+  return Out;
+}
+
+Matrix Regressor::embedBatch(const data::Dataset &Batch) const {
+  Matrix Out;
+  for (size_t I = 0; I < Batch.size(); ++I)
+    packRow(Out, Batch.size(), I, embed(Batch[I]));
+  return Out;
+}
+
+void Regressor::predictWithEmbedBatch(const data::Dataset &Batch,
+                                      std::vector<double> &Predictions,
+                                      Matrix &Embeds) const {
+  Predictions = predictBatch(Batch);
+  Embeds = embedBatch(Batch);
 }

@@ -20,6 +20,7 @@
 #define PROM_ML_MODEL_H
 
 #include "data/Dataset.h"
+#include "support/Matrix.h"
 
 #include <string>
 #include <vector>
@@ -53,6 +54,22 @@ public:
   /// the raw numeric features.
   virtual std::vector<double> embed(const data::Sample &S) const;
 
+  /// Class probabilities for a whole batch: row I equals predictProba of
+  /// Batch[I] bit-for-bit. The default is a per-sample loop; matrix-based
+  /// models override it with a single batched forward pass.
+  virtual support::Matrix predictProbaBatch(const data::Dataset &Batch) const;
+
+  /// Feature embeddings for a whole batch: row I equals embed(Batch[I])
+  /// bit-for-bit. Default is a per-sample loop.
+  virtual support::Matrix embedBatch(const data::Dataset &Batch) const;
+
+  /// Computes probabilities and embeddings together. The default issues the
+  /// two batched calls above; models whose embedding falls out of the same
+  /// forward pass override this to traverse the network once per batch.
+  virtual void predictWithEmbedBatch(const data::Dataset &Batch,
+                                     support::Matrix &Probs,
+                                     support::Matrix &Embeds) const;
+
   virtual int numClasses() const = 0;
   virtual std::string name() const = 0;
 
@@ -74,6 +91,19 @@ public:
 
   /// Feature embedding of \p S; defaults to the raw numeric features.
   virtual std::vector<double> embed(const data::Sample &S) const;
+
+  /// Predictions for a whole batch; element I equals predict(Batch[I])
+  /// bit-for-bit. Default is a per-sample loop.
+  virtual std::vector<double> predictBatch(const data::Dataset &Batch) const;
+
+  /// Embeddings for a whole batch; row I equals embed(Batch[I]).
+  virtual support::Matrix embedBatch(const data::Dataset &Batch) const;
+
+  /// Predictions and embeddings together; overridden by models that share
+  /// one forward pass between the two.
+  virtual void predictWithEmbedBatch(const data::Dataset &Batch,
+                                     std::vector<double> &Predictions,
+                                     support::Matrix &Embeds) const;
 
   virtual std::string name() const = 0;
 };

@@ -53,6 +53,27 @@ Matrix Matrix::matmul(const Matrix &B) const {
   return Out;
 }
 
+Matrix Matrix::affine(const Matrix &B, const std::vector<double> &Bias) const {
+  assert(NumCols == B.NumRows && "affine shape mismatch");
+  assert(Bias.size() == B.NumCols && "affine bias width mismatch");
+  Matrix Out(NumRows, B.NumCols);
+  for (size_t I = 0; I < NumRows; ++I) {
+    const double *ARow = rowPtr(I);
+    double *ORow = Out.rowPtr(I);
+    for (size_t J = 0; J < B.NumCols; ++J)
+      ORow[J] = Bias[J];
+    for (size_t K = 0; K < NumCols; ++K) {
+      double AIK = ARow[K];
+      if (AIK == 0.0)
+        continue;
+      const double *BRow = B.rowPtr(K);
+      for (size_t J = 0; J < B.NumCols; ++J)
+        ORow[J] += AIK * BRow[J];
+    }
+  }
+  return Out;
+}
+
 Matrix Matrix::transposedMatmul(const Matrix &B) const {
   assert(NumRows == B.NumRows && "transposedMatmul shape mismatch");
   Matrix Out(NumCols, B.NumCols);
@@ -167,6 +188,35 @@ size_t prom::support::argmax(const std::vector<double> &Values) {
   size_t Best = 0;
   for (size_t I = 1; I < Values.size(); ++I)
     if (Values[I] > Values[Best])
+      Best = I;
+  return Best;
+}
+
+void prom::support::softmaxRowInPlace(double *Row, size_t N) {
+  assert(N > 0 && "softmax of empty row");
+  double MaxLogit = Row[0];
+  for (size_t I = 1; I < N; ++I)
+    MaxLogit = std::max(MaxLogit, Row[I]);
+  double Sum = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    Row[I] = std::exp(Row[I] - MaxLogit);
+    Sum += Row[I];
+  }
+  for (size_t I = 0; I < N; ++I)
+    Row[I] /= Sum;
+}
+
+void prom::support::softmaxRowsInPlace(Matrix &M) {
+  for (size_t I = 0; I < M.rows(); ++I)
+    softmaxRowInPlace(M.rowPtr(I), M.cols());
+}
+
+size_t prom::support::argmaxRow(const Matrix &M, size_t Row) {
+  assert(M.cols() > 0 && "argmax of empty row");
+  const double *Ptr = M.rowPtr(Row);
+  size_t Best = 0;
+  for (size_t I = 1; I < M.cols(); ++I)
+    if (Ptr[I] > Ptr[Best])
       Best = I;
   return Best;
 }

@@ -74,6 +74,14 @@ public:
   /// Returns this * B. Columns of this must equal rows of \p B.
   Matrix matmul(const Matrix &B) const;
 
+  /// Returns this * B + broadcast(Bias), with each output row seeded from
+  /// \p Bias before the k-accumulation. This is the batched form of the
+  /// per-sample affine layers in the ML substrate (out = bias; out += x_k *
+  /// W[k]), and reproduces their floating-point accumulation order exactly:
+  /// row I of the result is bit-identical to running the per-sample loop on
+  /// row I alone.
+  Matrix affine(const Matrix &B, const std::vector<double> &Bias) const;
+
   /// Returns transpose(this) * B.
   Matrix transposedMatmul(const Matrix &B) const;
 
@@ -113,8 +121,19 @@ void axpy(std::vector<double> &A, const std::vector<double> &B, double Alpha);
 /// In-place numerically stable softmax.
 void softmaxInPlace(std::vector<double> &Logits);
 
+/// In-place softmax of one row of length \p N; identical arithmetic (and
+/// therefore identical bits) to softmaxInPlace on a copy of the row.
+void softmaxRowInPlace(double *Row, size_t N);
+
+/// Applies softmaxRowInPlace to every row of \p M.
+void softmaxRowsInPlace(Matrix &M);
+
 /// Returns the index of the maximum element (first on ties).
 size_t argmax(const std::vector<double> &Values);
+
+/// argmax over row \p Row of \p M (first on ties); matches argmax() on a
+/// copy of the row.
+size_t argmaxRow(const Matrix &M, size_t Row);
 
 } // namespace support
 } // namespace prom

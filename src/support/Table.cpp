@@ -8,6 +8,7 @@
 
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 using namespace prom::support;
@@ -56,6 +57,67 @@ void Table::print(const std::string &Title) const {
   std::printf("%s\n", Rule.c_str());
   for (const auto &Row : Rows)
     PrintRow(Row);
+  std::fflush(stdout);
+}
+
+/// Parses a cell as a plain number (optionally a "...%" percentage).
+/// Returns false for label cells.
+static bool parseNumericCell(const std::string &Cell, double &Value) {
+  if (Cell.empty())
+    return false;
+  const char *Begin = Cell.c_str();
+  char *End = nullptr;
+  Value = std::strtod(Begin, &End);
+  if (End == Begin)
+    return false;
+  if (*End == '%' && *(End + 1) == '\0') {
+    Value /= 100.0;
+    return true;
+  }
+  return *End == '\0';
+}
+
+/// Escapes the two JSON-significant characters label cells could contain.
+static std::string jsonEscape(const std::string &In) {
+  std::string Out;
+  Out.reserve(In.size());
+  for (char C : In) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+void Table::writeJsonLines(const std::string &Bench) const {
+  for (const auto &Row : Rows) {
+    std::string RowKey;
+    double Unused;
+    size_t FirstCol = 0;
+    for (size_t C = 0; C < Row.size(); ++C) {
+      if (parseNumericCell(Row[C], Unused))
+        continue;
+      if (!RowKey.empty())
+        RowKey += "/";
+      RowKey += Row[C];
+    }
+    if (RowKey.empty() && !Row.empty()) {
+      // All-numeric row (a parameter sweep): the first column is the swept
+      // parameter — fold it into the key so every line stays unique.
+      RowKey = Header[0] + "=" + Row[0];
+      FirstCol = 1;
+    }
+    for (size_t C = FirstCol; C < Row.size(); ++C) {
+      double Value;
+      if (!parseNumericCell(Row[C], Value))
+        continue;
+      std::string Metric = RowKey.empty() ? Header[C] : RowKey + "/" +
+                                                            Header[C];
+      std::printf("{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %g}\n",
+                  jsonEscape(Bench).c_str(), jsonEscape(Metric).c_str(),
+                  Value);
+    }
+  }
   std::fflush(stdout);
 }
 

@@ -41,6 +41,12 @@ public:
   /// failure.
   bool writeCsv(const std::string &Path) const;
 
+  /// Emits one machine-readable JSON line per numeric cell to stdout:
+  ///   {"bench": <Bench>, "metric": "<row key>/<column>", "value": <num>}
+  /// The row key concatenates the row's non-numeric label cells. This is
+  /// the format the perf-trajectory tooling scrapes from bench output.
+  void writeJsonLines(const std::string &Bench) const;
+
 private:
   std::vector<std::string> Header;
   std::vector<std::vector<std::string>> Rows;

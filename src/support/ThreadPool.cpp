@@ -1,0 +1,142 @@
+//===- support/ThreadPool.cpp - Reusable worker pool -------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace prom::support;
+
+namespace {
+
+/// Marks threads that belong to some pool so nested parallelFor calls run
+/// inline instead of deadlocking on the region lock.
+thread_local bool InsideWorker = false;
+
+/// Chunk boundaries depend only on (N, NumChunks): chunk C covers
+/// [C*N/NumChunks, (C+1)*N/NumChunks). The first N % NumChunks chunks are
+/// one element longer; boundaries are reproducible across runs.
+size_t chunkBound(size_t N, size_t NumChunks, size_t C) {
+  return (N / NumChunks) * C + std::min(C, N % NumChunks);
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(size_t NumThreads) {
+  if (NumThreads == 0) {
+    NumThreads = std::thread::hardware_concurrency();
+    if (NumThreads == 0)
+      NumThreads = 1;
+  }
+  // The calling thread is a lane too: spawn one fewer worker.
+  for (size_t I = 1; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  InsideWorker = true;
+  uint64_t SeenGeneration = 0;
+  while (true) {
+    const std::function<void(size_t, size_t)> *MyJob = nullptr;
+    size_t MyN = 0, MyChunks = 0;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorkers.wait(Lock, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+      MyJob = Job;
+      MyN = JobN;
+      MyChunks = NumChunks;
+    }
+    // Pull chunks until the region is drained. The generation re-check
+    // matters: after this worker banks its last chunk, the region can
+    // complete and a new region can begin before the worker re-enters the
+    // lock — without the check it would steal the new region's chunks and
+    // run them under the old (now-dangling) job pointer.
+    while (true) {
+      size_t C;
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        if (Generation != SeenGeneration || NextChunk >= MyChunks)
+          break;
+        C = NextChunk++;
+      }
+      (*MyJob)(chunkBound(MyN, MyChunks, C), chunkBound(MyN, MyChunks, C + 1));
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        if (++DoneChunks == MyChunks)
+          RegionDone.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t, size_t)> &Fn,
+                             size_t MinParallel) {
+  if (N == 0)
+    return;
+  size_t Lanes = numThreads();
+  if (Lanes <= 1 || N < MinParallel || InsideWorker) {
+    Fn(0, N);
+    return;
+  }
+
+  std::lock_guard<std::mutex> Region(RegionMutex);
+  // A few chunks per lane so one slow chunk does not serialize the tail,
+  // while boundaries stay a pure function of N and the chunk count.
+  size_t Chunks = std::min(N, Lanes * 4);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Job = &Fn;
+    JobN = N;
+    NumChunks = Chunks;
+    NextChunk = 0;
+    DoneChunks = 0;
+    ++Generation;
+  }
+  WakeWorkers.notify_all();
+
+  // The calling thread participates in the region.
+  while (true) {
+    size_t C;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (NextChunk >= Chunks)
+        break;
+      C = NextChunk++;
+    }
+    Fn(chunkBound(N, Chunks, C), chunkBound(N, Chunks, C + 1));
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (++DoneChunks == Chunks)
+        RegionDone.notify_all();
+    }
+  }
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  RegionDone.wait(Lock, [&] { return DoneChunks == Chunks; });
+  Job = nullptr;
+}
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool Pool;
+  return Pool;
+}

@@ -1,0 +1,83 @@
+//===- support/ThreadPool.h - Reusable worker pool ---------------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fork-join worker pool backing the batched assessment engine.
+///
+/// parallelFor(N, Fn) splits [0, N) into contiguous chunks with fixed,
+/// size-derived boundaries and runs Fn(Begin, End) on each. The
+/// partitioning is deterministic — the same N always produces the same
+/// chunks, and which worker executes a chunk never changes the data it
+/// touches — so batched results are reproducible regardless of thread
+/// count or scheduling. Workers are started once and reused across calls;
+/// on single-core machines (or N below the parallel threshold) the loop
+/// degrades to an inline serial run with no synchronization cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_SUPPORT_THREADPOOL_H
+#define PROM_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prom {
+namespace support {
+
+/// Persistent fork-join pool with deterministic range partitioning.
+class ThreadPool {
+public:
+  /// Starts \p NumThreads workers; 0 means one per hardware thread.
+  /// A pool of size 1 never spawns and always runs inline.
+  explicit ThreadPool(size_t NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total execution lanes (workers + the calling thread).
+  size_t numThreads() const { return Workers.size() + 1; }
+
+  /// Runs \p Fn(Begin, End) over deterministic contiguous chunks covering
+  /// [0, N). Blocks until every chunk has finished. \p Fn must be safe to
+  /// call concurrently on disjoint ranges. Calls from within a worker (or
+  /// with N below \p MinParallel) run inline on the calling thread.
+  void parallelFor(size_t N, const std::function<void(size_t, size_t)> &Fn,
+                   size_t MinParallel = 2);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool &global();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+
+  std::mutex Mutex;
+  std::condition_variable WakeWorkers;
+  std::condition_variable RegionDone;
+  /// Serializes parallel regions so nested/concurrent parallelFor calls
+  /// from user code cannot interleave chunk state.
+  std::mutex RegionMutex;
+
+  // State of the in-flight parallel region (guarded by Mutex).
+  const std::function<void(size_t, size_t)> *Job = nullptr;
+  size_t JobN = 0;
+  size_t NumChunks = 0;
+  size_t NextChunk = 0;
+  size_t DoneChunks = 0;
+  uint64_t Generation = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace support
+} // namespace prom
+
+#endif // PROM_SUPPORT_THREADPOOL_H

@@ -1,0 +1,364 @@
+//===- tests/BatchEquivalenceTest.cpp - batch/serial bit-equivalence ----------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The batched assessment engine must be a pure performance transformation:
+// assessBatch() over a whole deployment set, the delegating per-sample
+// assess(), and the retained assessSerial() reference implementation have
+// to produce bit-identical verdicts — predicted label, drift flag, vote
+// count, and every expert's credibility/confidence compared with exact
+// floating-point equality. The same contract covers the batched model
+// forwards (predictProbaBatch / embedBatch vs their per-sample forms).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Detector.h"
+#include "data/Split.h"
+#include "ml/Gcn.h"
+#include "ml/Knn.h"
+#include "ml/Linear.h"
+#include "ml/Mlp.h"
+#include "support/Rng.h"
+#include "tests/TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace prom;
+using prom::testing::gaussianBlobs;
+using prom::testing::linearRegression;
+
+namespace {
+
+/// Exact (bitwise) equality of two classification verdicts.
+void expectSameVerdict(const Verdict &A, const Verdict &B, size_t Index) {
+  SCOPED_TRACE("sample " + std::to_string(Index));
+  EXPECT_EQ(A.Predicted, B.Predicted);
+  EXPECT_EQ(A.Drifted, B.Drifted);
+  EXPECT_EQ(A.VotesToFlag, B.VotesToFlag);
+  ASSERT_EQ(A.Probabilities.size(), B.Probabilities.size());
+  for (size_t C = 0; C < A.Probabilities.size(); ++C)
+    EXPECT_EQ(A.Probabilities[C], B.Probabilities[C]);
+  ASSERT_EQ(A.Experts.size(), B.Experts.size());
+  for (size_t E = 0; E < A.Experts.size(); ++E) {
+    EXPECT_EQ(A.Experts[E].Credibility, B.Experts[E].Credibility);
+    EXPECT_EQ(A.Experts[E].Confidence, B.Experts[E].Confidence);
+    EXPECT_EQ(A.Experts[E].PredictionSetSize,
+              B.Experts[E].PredictionSetSize);
+    EXPECT_EQ(A.Experts[E].FlagDrift, B.Experts[E].FlagDrift);
+  }
+}
+
+void expectSameRegressionVerdict(const RegressionVerdict &A,
+                                 const RegressionVerdict &B, size_t Index) {
+  SCOPED_TRACE("sample " + std::to_string(Index));
+  EXPECT_EQ(A.Predicted, B.Predicted);
+  EXPECT_EQ(A.Cluster, B.Cluster);
+  EXPECT_EQ(A.Drifted, B.Drifted);
+  EXPECT_EQ(A.VotesToFlag, B.VotesToFlag);
+  ASSERT_EQ(A.Experts.size(), B.Experts.size());
+  for (size_t E = 0; E < A.Experts.size(); ++E) {
+    EXPECT_EQ(A.Experts[E].Credibility, B.Experts[E].Credibility);
+    EXPECT_EQ(A.Experts[E].Confidence, B.Experts[E].Confidence);
+    EXPECT_EQ(A.Experts[E].PredictionSetSize,
+              B.Experts[E].PredictionSetSize);
+    EXPECT_EQ(A.Experts[E].FlagDrift, B.Experts[E].FlagDrift);
+  }
+}
+
+/// Runs the full three-way equivalence check for one calibrated classifier
+/// over a test set that mixes in-distribution and novel samples.
+void checkClassifierEquivalence(const PromClassifier &Prom,
+                                const data::Dataset &Test) {
+  std::vector<Verdict> Batched = Prom.assessBatch(Test);
+  ASSERT_EQ(Batched.size(), Test.size());
+  for (size_t I = 0; I < Test.size(); ++I) {
+    Verdict Serial = Prom.assessSerial(Test[I]);
+    Verdict Single = Prom.assess(Test[I]);
+    expectSameVerdict(Serial, Batched[I], I);
+    expectSameVerdict(Single, Batched[I], I);
+  }
+}
+
+/// Blobs plus far-out novel points, so drift flags actually fire.
+data::Dataset mixedTestSet(size_t N, support::Rng &R) {
+  data::Dataset Test("mixed", 3);
+  for (size_t I = 0; I < N; ++I) {
+    if (I % 4 == 0) {
+      data::Sample Novel;
+      Novel.Features = {R.gaussian(0.0, 0.8), R.gaussian(0.0, 0.8)};
+      Novel.Label = 0;
+      Test.add(std::move(Novel));
+    } else {
+      Test.add(gaussianBlobs(3, 1, 4.0, 0.8, R)[0]);
+    }
+  }
+  return Test;
+}
+
+data::Dataset graphBlobs(size_t PerClass, support::Rng &R) {
+  data::Dataset Data("graphs", 2);
+  for (int C = 0; C < 2; ++C)
+    for (size_t I = 0; I < PerClass; ++I) {
+      data::Sample S;
+      data::Graph &G = S.ProgramGraph;
+      G.NumNodes = 6;
+      G.FeatDim = 3;
+      G.NodeFeats.assign(18, 0.0);
+      for (int V = 0; V < 6; ++V) {
+        int Kind = R.bernoulli(0.8) ? C : 1 - C;
+        G.NodeFeats[static_cast<size_t>(V) * 3 + Kind] = 1.0;
+        G.NodeFeats[static_cast<size_t>(V) * 3 + 2] = R.uniform();
+      }
+      for (int V = 0; V + 1 < 6; ++V)
+        G.Edges.push_back({V, V + 1});
+      S.Features = {static_cast<double>(C)};
+      S.Label = C;
+      Data.add(std::move(S));
+    }
+  return Data;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Batched model forwards vs per-sample forwards
+//===----------------------------------------------------------------------===//
+
+TEST(BatchForwardTest, MlpMatchesPerSample) {
+  support::Rng R(41);
+  data::Dataset Train = gaussianBlobs(3, 150, 4.0, 0.8, R);
+  ml::MlpClassifier Model;
+  Model.fit(Train, R);
+
+  data::Dataset Test = gaussianBlobs(3, 40, 4.0, 0.8, R);
+  support::Matrix Probs = Model.predictProbaBatch(Test);
+  support::Matrix Embeds = Model.embedBatch(Test);
+  support::Matrix Probs2, Embeds2;
+  Model.predictWithEmbedBatch(Test, Probs2, Embeds2);
+
+  for (size_t I = 0; I < Test.size(); ++I) {
+    std::vector<double> P = Model.predictProba(Test[I]);
+    std::vector<double> E = Model.embed(Test[I]);
+    ASSERT_EQ(P.size(), Probs.cols());
+    ASSERT_EQ(E.size(), Embeds.cols());
+    for (size_t C = 0; C < P.size(); ++C) {
+      EXPECT_EQ(P[C], Probs.at(I, C));
+      EXPECT_EQ(P[C], Probs2.at(I, C));
+    }
+    for (size_t D = 0; D < E.size(); ++D) {
+      EXPECT_EQ(E[D], Embeds.at(I, D));
+      EXPECT_EQ(E[D], Embeds2.at(I, D));
+    }
+  }
+}
+
+TEST(BatchForwardTest, LinearModelsMatchPerSample) {
+  support::Rng R(42);
+  data::Dataset Train = gaussianBlobs(3, 120, 4.0, 0.9, R);
+  ml::LogisticRegression LogReg;
+  LogReg.fit(Train, R);
+  ml::LinearSvm Svm;
+  Svm.fit(Train, R);
+
+  data::Dataset Test = gaussianBlobs(3, 30, 4.0, 0.9, R);
+  support::Matrix LogProbs = LogReg.predictProbaBatch(Test);
+  support::Matrix SvmProbs = Svm.predictProbaBatch(Test);
+  for (size_t I = 0; I < Test.size(); ++I) {
+    std::vector<double> PL = LogReg.predictProba(Test[I]);
+    std::vector<double> PS = Svm.predictProba(Test[I]);
+    for (size_t C = 0; C < PL.size(); ++C) {
+      EXPECT_EQ(PL[C], LogProbs.at(I, C));
+      EXPECT_EQ(PS[C], SvmProbs.at(I, C));
+    }
+  }
+}
+
+TEST(BatchForwardTest, GcnStackedForwardMatchesPerSample) {
+  support::Rng R(43);
+  data::Dataset Train = graphBlobs(60, R);
+  ml::GcnClassifier Model;
+  Model.fit(Train, R);
+
+  data::Dataset Test = graphBlobs(25, R);
+  support::Matrix Probs, Embeds;
+  Model.predictWithEmbedBatch(Test, Probs, Embeds);
+  for (size_t I = 0; I < Test.size(); ++I) {
+    std::vector<double> P = Model.predictProba(Test[I]);
+    std::vector<double> E = Model.embed(Test[I]);
+    for (size_t C = 0; C < P.size(); ++C)
+      EXPECT_EQ(P[C], Probs.at(I, C));
+    for (size_t D = 0; D < E.size(); ++D)
+      EXPECT_EQ(E[D], Embeds.at(I, D));
+  }
+}
+
+TEST(BatchForwardTest, DefaultBatchLoopMatchesPerSample) {
+  // A model without batch overrides goes through the default per-sample
+  // loop; the contract must hold there too.
+  support::Rng R(44);
+  data::Dataset Train = gaussianBlobs(2, 80, 4.0, 0.7, R);
+  ml::KnnClassifier Model(5);
+  Model.fit(Train, R);
+  data::Dataset Test = gaussianBlobs(2, 20, 4.0, 0.7, R);
+  support::Matrix Probs = Model.predictProbaBatch(Test);
+  for (size_t I = 0; I < Test.size(); ++I) {
+    std::vector<double> P = Model.predictProba(Test[I]);
+    for (size_t C = 0; C < P.size(); ++C)
+      EXPECT_EQ(P[C], Probs.at(I, C));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Classifier committee equivalence
+//===----------------------------------------------------------------------===//
+
+TEST(BatchEquivalenceTest, MlpClassifierBitIdentical) {
+  support::Rng R(45);
+  data::Dataset Full = gaussianBlobs(3, 300, 4.0, 0.8, R);
+  auto [Train, Calib] = data::calibrationPartition(Full, R, 0.3);
+  ml::MlpClassifier Model;
+  Model.fit(Train, R);
+
+  PromClassifier Prom(Model);
+  Prom.calibrate(Calib);
+  checkClassifierEquivalence(Prom, mixedTestSet(120, R));
+}
+
+TEST(BatchEquivalenceTest, SubsetSelectionRegimeBitIdentical) {
+  // > SelectAllBelow calibration samples: the nearest-50% partition (and
+  // the distance weights) are exercised, not the select-all shortcut.
+  support::Rng R(46);
+  data::Dataset Full = gaussianBlobs(3, 300, 4.0, 0.9, R);
+  auto [Train, Calib] = data::calibrationPartition(Full, R, 0.5);
+  ASSERT_GE(Calib.size(), 200u);
+  ml::LogisticRegression Model;
+  Model.fit(Train, R);
+
+  PromClassifier Prom(Model);
+  Prom.calibrate(Calib);
+  checkClassifierEquivalence(Prom, mixedTestSet(150, R));
+}
+
+TEST(BatchEquivalenceTest, EveryWeightModeBitIdentical) {
+  support::Rng R(47);
+  data::Dataset Full = gaussianBlobs(3, 250, 4.0, 0.8, R);
+  auto [Train, Calib] = data::calibrationPartition(Full, R, 0.4);
+  ml::LogisticRegression Model;
+  Model.fit(Train, R);
+
+  for (CalibrationWeightMode Mode :
+       {CalibrationWeightMode::WeightedCount,
+        CalibrationWeightMode::ScoreScaling, CalibrationWeightMode::None}) {
+    SCOPED_TRACE(static_cast<int>(Mode));
+    PromConfig Cfg;
+    Cfg.WeightMode = Mode;
+    PromClassifier Prom(Model, Cfg);
+    Prom.calibrate(Calib);
+    checkClassifierEquivalence(Prom, mixedTestSet(80, R));
+  }
+}
+
+TEST(BatchEquivalenceTest, UnsmoothedAndUnanimityConfigsBitIdentical) {
+  support::Rng R(48);
+  data::Dataset Full = gaussianBlobs(3, 220, 4.0, 0.8, R);
+  auto [Train, Calib] = data::calibrationPartition(Full, R, 0.3);
+  ml::LogisticRegression Model;
+  Model.fit(Train, R);
+
+  PromConfig Cfg;
+  Cfg.SmoothedPValues = false;
+  Cfg.MinVotesToFlag = 4;
+  Cfg.AutoTau = false;
+  Cfg.Tau = 100.0;
+  PromClassifier Prom(Model, Cfg);
+  Prom.calibrate(Calib);
+  checkClassifierEquivalence(Prom, mixedTestSet(80, R));
+}
+
+TEST(BatchEquivalenceTest, GcnClassifierBitIdentical) {
+  support::Rng R(49);
+  data::Dataset Full = graphBlobs(130, R);
+  auto [Train, Calib] = data::calibrationPartition(Full, R, 0.3);
+  ml::GcnClassifier Model;
+  Model.fit(Train, R);
+
+  PromClassifier Prom(Model);
+  Prom.calibrate(Calib);
+  data::Dataset Test = graphBlobs(40, R);
+  checkClassifierEquivalence(Prom, Test);
+}
+
+//===----------------------------------------------------------------------===//
+// Regressor committee equivalence
+//===----------------------------------------------------------------------===//
+
+TEST(BatchEquivalenceTest, MlpRegressorBitIdentical) {
+  support::Rng R(50);
+  data::Dataset Train = linearRegression(400, 0.1, R);
+  data::Dataset Calib = linearRegression(150, 0.1, R);
+  ml::MlpRegressor Model;
+  Model.fit(Train, R);
+
+  PromConfig Cfg;
+  Cfg.FixedClusters = 4;
+  PromRegressor Prom(Model, Cfg);
+  Prom.calibrate(Calib, R);
+
+  // Mix of in-distribution and shifted inputs.
+  data::Dataset Test("reg-mixed", 0);
+  for (int I = 0; I < 120; ++I) {
+    data::Sample S;
+    double Lo = I % 3 == 0 ? 5.0 : -2.0, Hi = I % 3 == 0 ? 9.0 : 2.0;
+    S.Features = {R.uniform(Lo, Hi), R.uniform(Lo, Hi)};
+    S.Target = 2.0 * S.Features[0] - S.Features[1];
+    Test.add(std::move(S));
+  }
+
+  std::vector<RegressionVerdict> Batched = Prom.assessBatch(Test);
+  ASSERT_EQ(Batched.size(), Test.size());
+  for (size_t I = 0; I < Test.size(); ++I) {
+    RegressionVerdict Serial = Prom.assessSerial(Test[I]);
+    RegressionVerdict Single = Prom.assess(Test[I]);
+    expectSameRegressionVerdict(Serial, Batched[I], I);
+    expectSameRegressionVerdict(Single, Batched[I], I);
+  }
+}
+
+TEST(BatchEquivalenceTest, KnnRegressorDefaultBatchPathBitIdentical) {
+  support::Rng R(51);
+  data::Dataset Train = linearRegression(300, 0.1, R);
+  data::Dataset Calib = linearRegression(120, 0.1, R);
+  ml::KnnRegressor Model(5);
+  Model.fit(Train, R);
+
+  PromRegressor Prom(Model);
+  Prom.calibrate(Calib, R);
+  data::Dataset Test = linearRegression(80, 0.1, R);
+
+  std::vector<RegressionVerdict> Batched = Prom.assessBatch(Test);
+  for (size_t I = 0; I < Test.size(); ++I)
+    expectSameRegressionVerdict(Prom.assessSerial(Test[I]), Batched[I], I);
+}
+
+//===----------------------------------------------------------------------===//
+// Detector adapters
+//===----------------------------------------------------------------------===//
+
+TEST(BatchEquivalenceTest, DriftDetectorBatchMatchesPerSample) {
+  support::Rng R(52);
+  data::Dataset Full = gaussianBlobs(3, 250, 4.0, 0.9, R);
+  auto [Train, Calib] = data::calibrationPartition(Full, R, 0.25);
+  ml::LogisticRegression Model;
+  Model.fit(Train, R);
+
+  PromDriftDetector Det(PromConfig(), /*AutoTune=*/false);
+  Det.fit(Model, Calib, R);
+  data::Dataset Test = mixedTestSet(100, R);
+
+  std::vector<char> Batched = Det.isDriftingBatch(Test);
+  ASSERT_EQ(Batched.size(), Test.size());
+  for (size_t I = 0; I < Test.size(); ++I)
+    EXPECT_EQ(Det.isDrifting(Test[I]), Batched[I] != 0) << "sample " << I;
+}
