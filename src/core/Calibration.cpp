@@ -179,17 +179,13 @@ static void partitionSmallestKeys(AssessmentScratch &S, size_t Keep) {
   assert(Write == N && "bucket partition lost entries");
 }
 
-void CalibrationScores::selectForAssessment(const double *TestEmbed,
-                                            const PromConfig &Cfg,
-                                            AssessmentScratch &S) const {
-  assert(!Entries.empty() && "empty calibration set");
-  size_t N = Entries.size();
-
+void CalibrationScores::computeDistanceKeys(const double *TestEmbed,
+                                            AssessmentScratch &S,
+                                            size_t Begin, size_t End) const {
   // Squared distances over the contiguous embedding block, accumulated in
   // the same dimension order as support::euclidean so the deferred sqrt
   // reproduces its value bit-for-bit.
-  S.Keyed.resize(N);
-  for (size_t I = 0; I < N; ++I) {
+  for (size_t I = Begin; I < End; ++I) {
     const double *Row = FlatEmbeds.data() + I * Dim;
     double Sum = 0.0;
     for (size_t D = 0; D < Dim; ++D) {
@@ -198,6 +194,20 @@ void CalibrationScores::selectForAssessment(const double *TestEmbed,
     }
     S.Keyed[I] = {Sum, static_cast<uint32_t>(I)};
   }
+}
+
+void CalibrationScores::selectForAssessment(const double *TestEmbed,
+                                            const PromConfig &Cfg,
+                                            AssessmentScratch &S) const {
+  assert(!Entries.empty() && "empty calibration set");
+  S.Keyed.resize(Entries.size());
+  computeDistanceKeys(TestEmbed, S, 0, Entries.size());
+  finishSelection(Cfg, S);
+}
+
+void CalibrationScores::finishSelection(const PromConfig &Cfg,
+                                        AssessmentScratch &S) const {
+  size_t N = Entries.size();
 
   // Partition out the Keep nearest. std::pair's lexicographic < is the
   // same (distance, index) total order as select()'s comparator, and
@@ -281,9 +291,11 @@ CalibrationScores::pValues(const CalibrationSelection &Sel, size_t Expert,
     return P;
   }
 
-  // General path. Accumulation runs in ascending entry-index order — the
-  // canonical order shared with pValuesAllExperts() — so the floating-point
-  // sums do not depend on how the selection was ordered.
+  // General path. Accumulation runs in ascending entry-index order inside
+  // each canonical block, and block partials fold in ascending block order
+  // — the exact scheme shared with pValuesAllExperts() and the sharded
+  // CalibrationStore — so the floating-point sums do not depend on how the
+  // selection was ordered or how the work was partitioned.
   std::vector<uint8_t> Mask(Entries.size(), 0);
   std::vector<double> WeightByEntry(Entries.size(), 0.0);
   for (size_t Pos = 0; Pos < Sel.Indices.size(); ++Pos) {
@@ -291,40 +303,134 @@ CalibrationScores::pValues(const CalibrationSelection &Sel, size_t Expert,
     WeightByEntry[Sel.Indices[Pos]] = Sel.Weights[Pos];
   }
 
-  for (size_t I = 0; I < Entries.size(); ++I) {
-    if (!Mask[I])
-      continue;
-    int Label = Labels[I];
-    if (Label < 0 || static_cast<size_t>(Label) >= NumLabels)
-      continue;
-    size_t L = static_cast<size_t>(Label);
-    Counts[L] += 1.0;
-    double W = WeightByEntry[I];
-    switch (Mode) {
-    case CalibrationWeightMode::WeightedCount:
-      // Weighted conformal counting: each calibration sample contributes
-      // its Eq. (1) weight to both counts.
-      Total[L] += W;
-      if (Scores[I] >= TestScores[L])
-        GreaterEq[L] += W;
-      break;
-    case CalibrationWeightMode::ScoreScaling:
-      // The paper's literal adjustment a_i = w_i * a_i with unit counts.
-      Total[L] += 1.0;
-      if (W * Scores[I] >= TestScores[L])
-        GreaterEq[L] += 1.0;
-      break;
-    case CalibrationWeightMode::None:
-      Total[L] += 1.0;
-      if (Scores[I] >= TestScores[L])
-        GreaterEq[L] += 1.0;
-      break;
+  std::vector<double> BlockGE(NumLabels), BlockTot(NumLabels),
+      BlockCnt(NumLabels);
+  for (size_t B0 = 0; B0 < Entries.size(); B0 += CalibrationAccumBlock) {
+    size_t B1 = std::min(Entries.size(), B0 + CalibrationAccumBlock);
+    std::fill(BlockGE.begin(), BlockGE.end(), 0.0);
+    std::fill(BlockTot.begin(), BlockTot.end(), 0.0);
+    std::fill(BlockCnt.begin(), BlockCnt.end(), 0.0);
+    for (size_t I = B0; I < B1; ++I) {
+      if (!Mask[I])
+        continue;
+      int Label = Labels[I];
+      if (Label < 0 || static_cast<size_t>(Label) >= NumLabels)
+        continue;
+      size_t L = static_cast<size_t>(Label);
+      BlockCnt[L] += 1.0;
+      double W = WeightByEntry[I];
+      switch (Mode) {
+      case CalibrationWeightMode::WeightedCount:
+        // Weighted conformal counting: each calibration sample contributes
+        // its Eq. (1) weight to both counts.
+        BlockTot[L] += W;
+        if (Scores[I] >= TestScores[L])
+          BlockGE[L] += W;
+        break;
+      case CalibrationWeightMode::ScoreScaling:
+        // The paper's literal adjustment a_i = w_i * a_i with unit counts.
+        BlockTot[L] += 1.0;
+        if (W * Scores[I] >= TestScores[L])
+          BlockGE[L] += 1.0;
+        break;
+      case CalibrationWeightMode::None:
+        BlockTot[L] += 1.0;
+        if (Scores[I] >= TestScores[L])
+          BlockGE[L] += 1.0;
+        break;
+      }
+    }
+    for (size_t L = 0; L < NumLabels; ++L) {
+      GreaterEq[L] += BlockGE[L];
+      Total[L] += BlockTot[L];
+      Counts[L] += BlockCnt[L];
     }
   }
 
   finishPValues(GreaterEq.data(), Total.data(), Counts.data(), NumLabels,
                 Cfg, P.data());
   return P;
+}
+
+void CalibrationScores::resolveExpertModes(const PromConfig &Cfg,
+                                           const uint8_t *DiscreteFlags,
+                                           AssessmentScratch &S) const {
+  size_t NumExp = numExperts();
+  bool AnyDiscrete = false;
+  if (DiscreteFlags)
+    for (size_t E = 0; E < NumExp; ++E)
+      AnyDiscrete |= DiscreteFlags[E] != 0;
+
+  S.Modes.resize(NumExp);
+  S.Columns.resize(NumExp);
+  S.UniformModes = true;
+  for (size_t E = 0; E < NumExp; ++E) {
+    S.Modes[E] = AnyDiscrete ? resolveMode(Cfg, DiscreteFlags[E] != 0)
+                             : Cfg.WeightMode;
+    S.UniformModes &= S.Modes[E] == S.Modes[0];
+    S.Columns[E] = ScoreColumns[E].data();
+  }
+}
+
+void CalibrationScores::accumulateGeneralBlock(const AssessmentScratch &S,
+                                               const double *TestScores,
+                                               size_t NumLabels, size_t Begin,
+                                               size_t End, double *GreaterEq,
+                                               double *Total,
+                                               double *Counts) const {
+  size_t NumExp = numExperts();
+  const CalibrationWeightMode *Modes = S.Modes.data();
+  const double *const *Columns = S.Columns.data();
+
+  auto ForEachSelected = [&](auto &&Body) {
+    for (size_t I = Begin; I < End; ++I) {
+      if (!S.SelectedMask[I])
+        continue;
+      int Label = Labels[I];
+      if (Label < 0 || static_cast<size_t>(Label) >= NumLabels)
+        continue;
+      size_t L = static_cast<size_t>(Label);
+      Counts[L] += 1.0;
+      Body(I, L);
+    }
+  };
+
+  if (S.UniformModes && Modes[0] == CalibrationWeightMode::WeightedCount) {
+    // The default configuration: branch-free weighted counting.
+    ForEachSelected([&](size_t I, size_t L) {
+      double W = S.WeightByEntry[I];
+      for (size_t E = 0; E < NumExp; ++E) {
+        size_t Cell = E * NumLabels + L;
+        Total[Cell] += W;
+        if (Columns[E][I] >= TestScores[Cell])
+          GreaterEq[Cell] += W;
+      }
+    });
+  } else {
+    ForEachSelected([&](size_t I, size_t L) {
+      double W = S.WeightByEntry[I];
+      for (size_t E = 0; E < NumExp; ++E) {
+        size_t Cell = E * NumLabels + L;
+        switch (Modes[E]) {
+        case CalibrationWeightMode::WeightedCount:
+          Total[Cell] += W;
+          if (Columns[E][I] >= TestScores[Cell])
+            GreaterEq[Cell] += W;
+          break;
+        case CalibrationWeightMode::ScoreScaling:
+          Total[Cell] += 1.0;
+          if (W * Columns[E][I] >= TestScores[Cell])
+            GreaterEq[Cell] += 1.0;
+          break;
+        case CalibrationWeightMode::None:
+          Total[Cell] += 1.0;
+          if (Columns[E][I] >= TestScores[Cell])
+            GreaterEq[Cell] += 1.0;
+          break;
+        }
+      }
+    });
+  }
 }
 
 void CalibrationScores::pValuesAllExperts(AssessmentScratch &S,
@@ -338,11 +444,6 @@ void CalibrationScores::pValuesAllExperts(AssessmentScratch &S,
   S.GreaterEq.assign(Cells, 0.0);
   S.Total.assign(Cells, 0.0);
   S.Counts.assign(NumLabels, 0.0);
-
-  bool AnyDiscrete = false;
-  if (DiscreteFlags)
-    for (size_t E = 0; E < NumExp; ++E)
-      AnyDiscrete |= DiscreteFlags[E] != 0;
 
   if (Cfg.WeightMode == CalibrationWeightMode::None && S.SelectedAll) {
     // Unweighted full selection (the configuration of the naive-CP
@@ -366,70 +467,29 @@ void CalibrationScores::pValuesAllExperts(AssessmentScratch &S,
       }
     }
   } else {
-    // Fused general path: one pass over the calibration entries (ascending
-    // index — the canonical accumulation order) scoring every expert,
-    // instead of numExperts() separate scans. Per-expert modes and score
-    // columns are resolved once, outside the entry loop.
-    S.Modes.resize(NumExp);
-    S.Columns.resize(NumExp);
-    CalibrationWeightMode *Modes = S.Modes.data();
-    const double **Columns = S.Columns.data();
-    bool Uniform = true;
-    for (size_t E = 0; E < NumExp; ++E) {
-      Modes[E] = AnyDiscrete ? resolveMode(Cfg, DiscreteFlags[E] != 0)
-                             : Cfg.WeightMode;
-      Uniform &= Modes[E] == Modes[0];
-      Columns[E] = ScoreColumns[E].data();
-    }
-
-    auto ForEachSelected = [&](auto &&Body) {
-      for (size_t I = 0; I < Entries.size(); ++I) {
-        if (!S.SelectedMask[I])
-          continue;
-        int Label = Labels[I];
-        if (Label < 0 || static_cast<size_t>(Label) >= NumLabels)
-          continue;
-        size_t L = static_cast<size_t>(Label);
-        S.Counts[L] += 1.0;
-        Body(I, L);
+    // Fused general path: one pass over the calibration entries scoring
+    // every expert, instead of numExperts() separate scans. The pass runs
+    // block by block (the canonical accumulation scheme, see
+    // CalibrationAccumBlock) so the result is bit-identical to the sharded
+    // store folding the same blocks from worker threads.
+    resolveExpertModes(Cfg, DiscreteFlags, S);
+    S.BlockGreaterEq.assign(Cells, 0.0);
+    S.BlockTotal.assign(Cells, 0.0);
+    S.BlockCounts.assign(NumLabels, 0.0);
+    for (size_t B0 = 0; B0 < Entries.size(); B0 += CalibrationAccumBlock) {
+      size_t B1 = std::min(Entries.size(), B0 + CalibrationAccumBlock);
+      std::fill(S.BlockGreaterEq.begin(), S.BlockGreaterEq.end(), 0.0);
+      std::fill(S.BlockTotal.begin(), S.BlockTotal.end(), 0.0);
+      std::fill(S.BlockCounts.begin(), S.BlockCounts.end(), 0.0);
+      accumulateGeneralBlock(S, TestScores, NumLabels, B0, B1,
+                             S.BlockGreaterEq.data(), S.BlockTotal.data(),
+                             S.BlockCounts.data());
+      for (size_t Cell = 0; Cell < Cells; ++Cell) {
+        S.GreaterEq[Cell] += S.BlockGreaterEq[Cell];
+        S.Total[Cell] += S.BlockTotal[Cell];
       }
-    };
-
-    if (Uniform && Modes[0] == CalibrationWeightMode::WeightedCount) {
-      // The default configuration: branch-free weighted counting.
-      ForEachSelected([&](size_t I, size_t L) {
-        double W = S.WeightByEntry[I];
-        for (size_t E = 0; E < NumExp; ++E) {
-          size_t Cell = E * NumLabels + L;
-          S.Total[Cell] += W;
-          if (Columns[E][I] >= TestScores[Cell])
-            S.GreaterEq[Cell] += W;
-        }
-      });
-    } else {
-      ForEachSelected([&](size_t I, size_t L) {
-        double W = S.WeightByEntry[I];
-        for (size_t E = 0; E < NumExp; ++E) {
-          size_t Cell = E * NumLabels + L;
-          switch (Modes[E]) {
-          case CalibrationWeightMode::WeightedCount:
-            S.Total[Cell] += W;
-            if (Columns[E][I] >= TestScores[Cell])
-              S.GreaterEq[Cell] += W;
-            break;
-          case CalibrationWeightMode::ScoreScaling:
-            S.Total[Cell] += 1.0;
-            if (W * Columns[E][I] >= TestScores[Cell])
-              S.GreaterEq[Cell] += 1.0;
-            break;
-          case CalibrationWeightMode::None:
-            S.Total[Cell] += 1.0;
-            if (Columns[E][I] >= TestScores[Cell])
-              S.GreaterEq[Cell] += 1.0;
-            break;
-          }
-        }
-      });
+      for (size_t L = 0; L < NumLabels; ++L)
+        S.Counts[L] += S.BlockCounts[L];
     }
   }
 

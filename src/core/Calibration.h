@@ -29,6 +29,19 @@
 
 namespace prom {
 
+/// Entries per canonical accumulation block of the Eq. (2) sums.
+///
+/// Every p-value path (the per-expert serial oracle, the fused batch
+/// engine, and the sharded CalibrationStore) accumulates the weighted
+/// counts per fixed-size block of calibration entries — sequential in
+/// ascending entry order inside a block — and folds the block partials in
+/// ascending block order. Block boundaries depend only on the calibration
+/// set size, never on the shard count or thread count, so the
+/// floating-point result is bit-identical no matter how the work is
+/// partitioned; sets smaller than one block reduce to the plain sequential
+/// sum.
+constexpr size_t CalibrationAccumBlock = 256;
+
 /// One calibration sample's precomputed state.
 struct CalibrationEntry {
   std::vector<double> Embed; ///< Model feature embedding.
@@ -63,6 +76,13 @@ struct AssessmentScratch {
   /// Per-expert resolved modes / score-column pointers of the fused pass.
   std::vector<CalibrationWeightMode> Modes;
   std::vector<const double *> Columns;
+  bool UniformModes = true; ///< Every expert resolved to the same mode.
+  /// Block-partial accumulators of the canonical block fold: one block's
+  /// worth when folding serially, one stripe per block when shards fill
+  /// them concurrently (CalibrationStore).
+  std::vector<double> BlockGreaterEq;
+  std::vector<double> BlockTotal;
+  std::vector<double> BlockCounts;
 };
 
 /// Precomputed calibration scores plus the adaptive selection machinery.
@@ -139,18 +159,69 @@ public:
   // distance sort with an O(N) partition, defer square roots to the
   // selected subset, and score every expert in a single pass over the
   // calibration entries. Both pValues() and pValuesAllExperts() accumulate
-  // in ascending entry-index order (the canonical order), so the result is
-  // independent of how the selection was produced.
+  // block by block in ascending entry-index order (the canonical scheme,
+  // see CalibrationAccumBlock), so the result is independent of how the
+  // selection was produced and of how a sharded store partitions the work.
   //===--------------------------------------------------------------------===//
 
   /// Embedding dimensionality of the calibration entries.
   size_t embedDim() const { return Dim; }
+
+  /// Number of canonical accumulation blocks covering the entries.
+  size_t numAccumBlocks() const {
+    return (Entries.size() + CalibrationAccumBlock - 1) /
+           CalibrationAccumBlock;
+  }
+
+  /// Label of entry \p I (contiguous index built by finalize()).
+  int label(size_t I) const { return Labels[I]; }
+
+  /// Largest label present (-1 when empty).
+  int maxLabel() const { return MaxLabel; }
+
+  /// Contiguous per-expert score column (length size()).
+  const std::vector<double> &scoreColumn(size_t Expert) const {
+    return ScoreColumns[Expert];
+  }
 
   /// Selection for one test embedding (length embedDim()): fills
   /// \p Scratch with the selected-entry mask and Eq. (1) weights. The
   /// selected set and every weight value are identical to select()'s.
   void selectForAssessment(const double *TestEmbed, const PromConfig &Cfg,
                            AssessmentScratch &Scratch) const;
+
+  /// Squared-distance keys of entries [Begin, End) against \p TestEmbed,
+  /// written into Scratch.Keyed (which must already have size() slots).
+  /// Per-entry independent, so disjoint ranges can be filled concurrently;
+  /// the values are identical regardless of the partitioning.
+  void computeDistanceKeys(const double *TestEmbed,
+                           AssessmentScratch &Scratch, size_t Begin,
+                           size_t End) const;
+
+  /// The partition + mask + Eq. (1) weight steps of selectForAssessment(),
+  /// run after Scratch.Keyed has been filled by computeDistanceKeys().
+  void finishSelection(const PromConfig &Cfg,
+                       AssessmentScratch &Scratch) const;
+
+  /// Resolves every expert's effective weight mode and score column into
+  /// \p Scratch (Modes / Columns / UniformModes).
+  void resolveExpertModes(const PromConfig &Cfg, const uint8_t *DiscreteFlags,
+                          AssessmentScratch &Scratch) const;
+
+  /// Accumulates the general-path Eq. (2) partial sums of entries
+  /// [Begin, End) into the caller-zeroed \p GreaterEq / \p Total (both
+  /// numExperts() x NumLabels) and \p Counts (NumLabels) buffers, using the
+  /// selection mask/weights and resolved modes in \p Scratch. This is the
+  /// canonical per-block accumulation every p-value path folds from.
+  void accumulateGeneralBlock(const AssessmentScratch &Scratch,
+                              const double *TestScores, size_t NumLabels,
+                              size_t Begin, size_t End, double *GreaterEq,
+                              double *Total, double *Counts) const;
+
+  /// Shared final step of Eq. (2): p-values from the accumulated counts.
+  void finishPValues(const double *GreaterEq, const double *Total,
+                     const double *Counts, size_t NumLabels,
+                     const PromConfig &Cfg, double *POut) const;
 
   /// Class-conditional p-values of every expert in one fused pass.
   ///
@@ -172,11 +243,6 @@ public:
 private:
   /// Rebuilds the contiguous/sorted batch-engine indexes from Entries.
   void buildBatchIndexes();
-
-  /// Shared final step of Eq. (2): p-values from the accumulated counts.
-  void finishPValues(const double *GreaterEq, const double *Total,
-                     const double *Counts, size_t NumLabels,
-                     const PromConfig &Cfg, double *POut) const;
 
   std::vector<CalibrationEntry> Entries;
   double MedianNNDist = 0.0;

@@ -1,0 +1,211 @@
+//===- core/CalibrationStore.cpp - Sharded calibration store ----------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CalibrationStore.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace prom;
+
+namespace {
+
+/// Below this many entries the shard fan-out costs more than the work; the
+/// threshold only gates parallelism, never the arithmetic.
+constexpr size_t MinEntriesForFanOut = 512;
+
+} // namespace
+
+void CalibrationStore::finalize(size_t NumShards) {
+  Flat.finalize();
+  buildShards(NumShards);
+}
+
+void CalibrationStore::reshard(size_t NumShards) {
+  // finalize() is what populates the flat indexes buildShards() reads;
+  // embedDim() stays 0 until it has run on a non-empty store.
+  assert((Flat.empty() || Flat.embedDim() > 0) && "reshard before finalize");
+  buildShards(NumShards);
+}
+
+void CalibrationStore::buildShards(size_t NumShards) {
+  Shards.clear();
+  size_t N = Flat.size();
+  size_t NumBlocks = Flat.numAccumBlocks();
+  if (NumBlocks == 0)
+    return;
+  if (NumShards == 0)
+    NumShards = 1;
+  // A shard owns whole accumulation blocks, so block partials never
+  // straddle shards and the general-path merge stays K-invariant.
+  NumShards = std::min(NumShards, NumBlocks);
+  size_t BlocksPerShard = (NumBlocks + NumShards - 1) / NumShards;
+
+  size_t NumExp = Flat.numExperts();
+  size_t LabelBuckets = static_cast<size_t>(Flat.maxLabel() + 1);
+  for (size_t S = 0; S < NumShards; ++S) {
+    size_t FirstBlock = S * BlocksPerShard;
+    if (FirstBlock >= NumBlocks)
+      break;
+    size_t LastBlock = std::min(NumBlocks, FirstBlock + BlocksPerShard);
+    Shard Sh;
+    Sh.Begin = FirstBlock * CalibrationAccumBlock;
+    Sh.End = std::min(N, LastBlock * CalibrationAccumBlock);
+
+    Sh.SortedScores.assign(
+        NumExp, std::vector<std::vector<double>>(LabelBuckets));
+    for (size_t E = 0; E < NumExp; ++E) {
+      const std::vector<double> &Column = Flat.scoreColumn(E);
+      for (size_t I = Sh.Begin; I < Sh.End; ++I)
+        if (Flat.label(I) >= 0)
+          Sh.SortedScores[E][static_cast<size_t>(Flat.label(I))].push_back(
+              Column[I]);
+      for (std::vector<double> &LabelScores : Sh.SortedScores[E])
+        std::sort(LabelScores.begin(), LabelScores.end());
+    }
+    Shards.push_back(std::move(Sh));
+  }
+}
+
+void CalibrationStore::selectForAssessment(const double *TestEmbed,
+                                           const PromConfig &Cfg,
+                                           AssessmentScratch &Scratch) const {
+  assert(!Flat.empty() && "empty calibration store");
+  size_t N = Flat.size();
+  Scratch.Keyed.resize(N);
+
+  if (Shards.size() > 1 && N >= MinEntriesForFanOut) {
+    // Each shard fills its own slice of the key array; per-entry
+    // independent, so the values are identical to the serial scan.
+    support::ThreadPool::global().parallelFor(
+        Shards.size(), [&](size_t Begin, size_t End) {
+          for (size_t S = Begin; S < End; ++S)
+            Flat.computeDistanceKeys(TestEmbed, Scratch, Shards[S].Begin,
+                                     Shards[S].End);
+        });
+  } else {
+    Flat.computeDistanceKeys(TestEmbed, Scratch, 0, N);
+  }
+  // Partition + Eq. (1) weights on the merged keys: O(N) with small
+  // constants next to the O(N x dim) scan above, and keeping it on one
+  // thread preserves select()'s arithmetic verbatim.
+  Flat.finishSelection(Cfg, Scratch);
+}
+
+void CalibrationStore::pValuesAllExperts(AssessmentScratch &S,
+                                         const double *TestScores,
+                                         size_t NumLabels,
+                                         const PromConfig &Cfg,
+                                         const uint8_t *DiscreteFlags,
+                                         double *PValsOut) const {
+  assert(!Shards.empty() && "pValuesAllExperts before finalize");
+  size_t NumExp = Flat.numExperts();
+  size_t Cells = NumExp * NumLabels;
+  size_t K = Shards.size();
+  bool FanOut = K > 1 && Flat.size() >= MinEntriesForFanOut;
+
+  S.GreaterEq.assign(Cells, 0.0);
+  S.Total.assign(Cells, 0.0);
+  S.Counts.assign(NumLabels, 0.0);
+
+  if (Cfg.WeightMode == CalibrationWeightMode::None && S.SelectedAll) {
+    // Unweighted full selection: per-shard binary-search counts. Counting
+    // with unit weights is exact integer arithmetic in doubles, so the
+    // per-shard counts sum to the flat path's global counts bit-exactly.
+    S.BlockGreaterEq.assign(K * Cells, 0.0);
+    S.BlockCounts.assign(K * NumLabels, 0.0);
+    auto CountShard = [&](size_t SI) {
+      const Shard &Sh = Shards[SI];
+      double *GE = S.BlockGreaterEq.data() + SI * Cells;
+      double *Cnt = S.BlockCounts.data() + SI * NumLabels;
+      for (size_t L = 0; L < NumLabels; ++L) {
+        if (static_cast<int>(L) > Flat.maxLabel())
+          continue;
+        const std::vector<double> &AnyExpert = Sh.SortedScores.front()[L];
+        Cnt[L] = static_cast<double>(AnyExpert.size());
+        if (AnyExpert.empty())
+          continue;
+        for (size_t E = 0; E < NumExp; ++E) {
+          const std::vector<double> &LabelScores = Sh.SortedScores[E][L];
+          GE[E * NumLabels + L] = static_cast<double>(
+              LabelScores.end() -
+              std::lower_bound(LabelScores.begin(), LabelScores.end(),
+                               TestScores[E * NumLabels + L]));
+        }
+      }
+    };
+    if (FanOut)
+      support::ThreadPool::global().parallelFor(
+          K, [&](size_t Begin, size_t End) {
+            for (size_t SI = Begin; SI < End; ++SI)
+              CountShard(SI);
+          });
+    else
+      for (size_t SI = 0; SI < K; ++SI)
+        CountShard(SI);
+
+    for (size_t SI = 0; SI < K; ++SI) {
+      const double *GE = S.BlockGreaterEq.data() + SI * Cells;
+      const double *Cnt = S.BlockCounts.data() + SI * NumLabels;
+      for (size_t L = 0; L < NumLabels; ++L)
+        S.Counts[L] += Cnt[L];
+      for (size_t Cell = 0; Cell < Cells; ++Cell)
+        S.GreaterEq[Cell] += GE[Cell];
+    }
+    for (size_t E = 0; E < NumExp; ++E)
+      for (size_t L = 0; L < NumLabels; ++L)
+        S.Total[E * NumLabels + L] = S.Counts[L];
+  } else {
+    // General weighted path: every shard folds its own canonical blocks
+    // into per-block partials; the merge walks the blocks in ascending
+    // order on this thread, reproducing the flat block fold exactly.
+    Flat.resolveExpertModes(Cfg, DiscreteFlags, S);
+    size_t NumBlocks = Flat.numAccumBlocks();
+    S.BlockGreaterEq.assign(NumBlocks * Cells, 0.0);
+    S.BlockTotal.assign(NumBlocks * Cells, 0.0);
+    S.BlockCounts.assign(NumBlocks * NumLabels, 0.0);
+
+    auto AccumulateShard = [&](size_t SI) {
+      const Shard &Sh = Shards[SI];
+      for (size_t B0 = Sh.Begin; B0 < Sh.End; B0 += CalibrationAccumBlock) {
+        size_t Block = B0 / CalibrationAccumBlock;
+        size_t B1 = std::min(Sh.End, B0 + CalibrationAccumBlock);
+        Flat.accumulateGeneralBlock(
+            S, TestScores, NumLabels, B0, B1,
+            S.BlockGreaterEq.data() + Block * Cells,
+            S.BlockTotal.data() + Block * Cells,
+            S.BlockCounts.data() + Block * NumLabels);
+      }
+    };
+    if (FanOut)
+      support::ThreadPool::global().parallelFor(
+          K, [&](size_t Begin, size_t End) {
+            for (size_t SI = Begin; SI < End; ++SI)
+              AccumulateShard(SI);
+          });
+    else
+      for (size_t SI = 0; SI < K; ++SI)
+        AccumulateShard(SI);
+
+    for (size_t Block = 0; Block < NumBlocks; ++Block) {
+      const double *GE = S.BlockGreaterEq.data() + Block * Cells;
+      const double *Tot = S.BlockTotal.data() + Block * Cells;
+      const double *Cnt = S.BlockCounts.data() + Block * NumLabels;
+      for (size_t Cell = 0; Cell < Cells; ++Cell) {
+        S.GreaterEq[Cell] += GE[Cell];
+        S.Total[Cell] += Tot[Cell];
+      }
+      for (size_t L = 0; L < NumLabels; ++L)
+        S.Counts[L] += Cnt[L];
+    }
+  }
+
+  for (size_t E = 0; E < NumExp; ++E)
+    Flat.finishPValues(S.GreaterEq.data() + E * NumLabels,
+                       S.Total.data() + E * NumLabels, S.Counts.data(),
+                       NumLabels, Cfg, PValsOut + E * NumLabels);
+}

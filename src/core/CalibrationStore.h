@@ -1,0 +1,107 @@
+//===- core/CalibrationStore.h - Sharded calibration store -------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shardable calibration store behind the PROM detectors.
+///
+/// A CalibrationStore owns the calibration entries (as a flat
+/// CalibrationScores, which remains the serial oracle) and partitions them
+/// into K contiguous, accumulation-block-aligned shards, each carrying its
+/// own per-(expert, label) sorted-score index. The engine-facing entry
+/// points mirror CalibrationScores exactly and fan the work out
+/// shard-parallel over support::ThreadPool:
+///
+///  * the squared-distance scan of selectForAssessment() fills disjoint
+///    slices of the key array per shard (per-entry independent, so the
+///    values cannot depend on the partitioning);
+///  * the unweighted full-selection p-value fast path sums per-shard
+///    binary-search counts (exact integer arithmetic in doubles);
+///  * the general weighted path has each shard fold its own canonical
+///    accumulation blocks (see CalibrationAccumBlock) into per-block
+///    partials that are merged in ascending block order on one thread.
+///
+/// All three merges reproduce the flat path's floating-point arithmetic
+/// bit for bit, so verdicts are identical for every shard count and every
+/// thread count — test-enforced like the batch/serial equivalence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_CORE_CALIBRATIONSTORE_H
+#define PROM_CORE_CALIBRATIONSTORE_H
+
+#include "core/Calibration.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace prom {
+
+/// Sharded calibration store; see the file comment for the exactness
+/// contract.
+class CalibrationStore {
+public:
+  void clear() {
+    Flat.clear();
+    Shards.clear();
+  }
+  void reserve(size_t N) { Flat.reserve(N); }
+  void add(CalibrationEntry Entry) { Flat.add(std::move(Entry)); }
+
+  /// Builds the flat indexes (CalibrationScores::finalize) and partitions
+  /// the entries into \p NumShards block-aligned shards. Sets with fewer
+  /// accumulation blocks than requested shards get one shard per block.
+  void finalize(size_t NumShards = 1);
+
+  /// Re-partitions an already-finalized store into \p NumShards shards
+  /// without touching the entries — verdicts are unchanged by contract, so
+  /// a serving process can re-shard to its core count at load time.
+  void reshard(size_t NumShards);
+
+  size_t numShards() const { return Shards.size(); }
+  size_t size() const { return Flat.size(); }
+  bool empty() const { return Flat.empty(); }
+  size_t numExperts() const { return Flat.numExperts(); }
+  size_t embedDim() const { return Flat.embedDim(); }
+  double medianNNDist() const { return Flat.medianNNDist(); }
+  const CalibrationEntry &entry(size_t I) const { return Flat.entry(I); }
+
+  /// The flat (unsharded) scores: the serial oracle select()/pValues()
+  /// paths and the snapshot writer iterate through this.
+  const CalibrationScores &flat() const { return Flat; }
+
+  /// Engine API; bit-identical to flat().selectForAssessment() for every
+  /// shard count. The distance scan fans out over the shards when the
+  /// store is sharded and the pool is not already saturated.
+  void selectForAssessment(const double *TestEmbed, const PromConfig &Cfg,
+                           AssessmentScratch &Scratch) const;
+
+  /// Engine API; bit-identical to flat().pValuesAllExperts() for every
+  /// shard count.
+  void pValuesAllExperts(AssessmentScratch &Scratch, const double *TestScores,
+                         size_t NumLabels, const PromConfig &Cfg,
+                         const uint8_t *DiscreteFlags,
+                         double *PValsOut) const;
+
+private:
+  /// One contiguous, block-aligned slice of the entries.
+  struct Shard {
+    size_t Begin = 0; ///< First entry (multiple of CalibrationAccumBlock).
+    size_t End = 0;   ///< One past the last entry.
+    /// SortedScores[E][L] = ascending scores of the label-L entries in
+    /// [Begin, End); the per-shard analogue of the flat sorted index.
+    std::vector<std::vector<std::vector<double>>> SortedScores;
+  };
+
+  void buildShards(size_t NumShards);
+
+  CalibrationScores Flat;
+  std::vector<Shard> Shards;
+};
+
+} // namespace prom
+
+#endif // PROM_CORE_CALIBRATIONSTORE_H

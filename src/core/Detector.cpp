@@ -6,10 +6,12 @@
 
 #include "core/Detector.h"
 #include "core/GridSearch.h"
+#include "data/Scaler.h"
 #include "support/Distance.h"
 #include "support/KMeans.h"
 #include "support/Matrix.h"
 #include "support/Rng.h"
+#include "support/Serialize.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 
@@ -93,14 +95,19 @@ static std::vector<double> applyTemperature(std::vector<double> Probs,
   return Probs;
 }
 
+/// Effective shard count of the calibration store under \p Cfg.
+static size_t effectiveShards(const PromConfig &Cfg) {
+  return Cfg.NumShards != 0 ? Cfg.NumShards
+                            : support::ThreadPool::global().numThreads();
+}
+
 void PromClassifier::calibrate(const data::Dataset &CalibSet) {
   assert(!CalibSet.empty() && "empty calibration set");
 
-  // First pass: raw model probabilities for every calibration sample.
-  std::vector<std::vector<double>> RawProbs;
-  RawProbs.reserve(CalibSet.size());
-  for (const data::Sample &S : CalibSet.samples())
-    RawProbs.push_back(Model.predictProba(S));
+  // One batched forward computes every raw probability vector and
+  // embedding (row I is bit-identical to the per-sample calls).
+  Matrix RawProbs, Embeds;
+  Model.predictWithEmbedBatch(CalibSet, RawProbs, Embeds);
 
   // Fit the softening temperature by true-label NLL on the calibration
   // set (standard post-hoc temperature scaling, argmax-invariant).
@@ -109,7 +116,7 @@ void PromClassifier::calibrate(const data::Dataset &CalibSet) {
   for (double T : Grid) {
     double Nll = 0.0;
     for (size_t I = 0; I < CalibSet.size(); ++I) {
-      std::vector<double> P = applyTemperature(RawProbs[I], T);
+      std::vector<double> P = applyTemperature(RawProbs.row(I), T);
       Nll -= std::log(
           std::max(P[static_cast<size_t>(CalibSet[I].Label)], 1e-12));
     }
@@ -124,15 +131,15 @@ void PromClassifier::calibrate(const data::Dataset &CalibSet) {
   for (size_t I = 0; I < CalibSet.size(); ++I) {
     const data::Sample &S = CalibSet[I];
     CalibrationEntry Entry;
-    Entry.Embed = Model.embed(S);
+    Entry.Embed = Embeds.row(I);
     Entry.Label = S.Label;
-    std::vector<double> Probs = applyTemperature(RawProbs[I], Temperature);
+    std::vector<double> Probs = applyTemperature(RawProbs.row(I), Temperature);
     Entry.Scores.reserve(Scorers.size());
     for (const auto &Scorer : Scorers)
       Entry.Scores.push_back(Scorer->score(Probs, S.Label));
     Calib.add(std::move(Entry));
   }
-  Calib.finalize();
+  Calib.finalize(effectiveShards(Cfg));
 }
 
 std::vector<double> PromClassifier::softenedProbs(const data::Sample &S) const {
@@ -156,12 +163,12 @@ std::vector<double> PromClassifier::pValues(const data::Sample &S,
                                             size_t Expert) const {
   assert(isCalibrated() && "assess before calibrate");
   std::vector<double> Probs = softenedProbs(S);
-  CalibrationSelection Sel = Calib.select(Model.embed(S), Cfg);
+  CalibrationSelection Sel = Calib.flat().select(Model.embed(S), Cfg);
   std::vector<double> TestScores(Probs.size());
   for (size_t C = 0; C < Probs.size(); ++C)
     TestScores[C] = Scorers[Expert]->score(Probs, static_cast<int>(C));
-  return Calib.pValues(Sel, Expert, TestScores, Cfg,
-                       Scorers[Expert]->isDiscrete());
+  return Calib.flat().pValues(Sel, Expert, TestScores, Cfg,
+                              Scorers[Expert]->isDiscrete());
 }
 
 ExpertOpinion PromClassifier::judge(const double *PVals, size_t NumLabels,
@@ -184,7 +191,7 @@ Verdict PromClassifier::assessSerial(const data::Sample &S) const {
   V.Probabilities = softenedProbs(S);
   V.Predicted = static_cast<int>(support::argmax(V.Probabilities));
 
-  CalibrationSelection Sel = Calib.select(Model.embed(S), Cfg);
+  CalibrationSelection Sel = Calib.flat().select(Model.embed(S), Cfg);
   size_t NumClasses = V.Probabilities.size();
   std::vector<double> TestScores(NumClasses);
   V.Experts.reserve(Scorers.size());
@@ -193,7 +200,7 @@ Verdict PromClassifier::assessSerial(const data::Sample &S) const {
       TestScores[C] =
           Scorers[E]->score(V.Probabilities, static_cast<int>(C));
     std::vector<double> PVals =
-        Calib.pValues(Sel, E, TestScores, Cfg, Scorers[E]->isDiscrete());
+        Calib.flat().pValues(Sel, E, TestScores, Cfg, Scorers[E]->isDiscrete());
     V.Experts.push_back(judge(PVals.data(), PVals.size(), V.Predicted));
   }
   V.Drifted = committeeFlags(V.Experts, Cfg, V.VotesToFlag);
@@ -237,19 +244,31 @@ void PromClassifier::assessRange(const Matrix &Probs, const Matrix &Embeds,
 std::vector<Verdict>
 PromClassifier::assessBatch(const data::Dataset &Batch) const {
   assert(isCalibrated() && "assess before calibrate");
-  std::vector<Verdict> Out(Batch.size());
   if (Batch.empty())
-    return Out;
+    return {};
 
   // One batched forward computes every probability vector and embedding.
   Matrix Probs, Embeds;
   Model.predictWithEmbedBatch(Batch, Probs, Embeds);
+  return assessBatchWithForwards(Probs, Embeds);
+}
+
+std::vector<Verdict>
+PromClassifier::assessBatchWithForwards(const Matrix &RawProbs,
+                                        const Matrix &Embeds) const {
+  assert(isCalibrated() && "assess before calibrate");
+  assert(RawProbs.rows() == Embeds.rows() && "forwards row mismatch");
+  std::vector<Verdict> Out(RawProbs.rows());
+  if (Out.empty())
+    return Out;
+
+  Matrix Probs = RawProbs;
   applyTemperatureRows(Probs, Temperature);
   assert(Embeds.cols() == Calib.embedDim() &&
          "embedding width does not match the calibration set");
 
   support::ThreadPool::global().parallelFor(
-      Batch.size(), [&](size_t Begin, size_t End) {
+      Out.size(), [&](size_t Begin, size_t End) {
         assessRange(Probs, Embeds, Begin, End, Out);
       });
   return Out;
@@ -261,6 +280,199 @@ Verdict PromClassifier::assess(const data::Sample &S) const {
   One.add(S);
   std::vector<Verdict> Out = assessBatch(One);
   return std::move(Out.front());
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshots
+//
+// Format version 1 (see support/Serialize.h for the envelope): a version
+// and kind tag, the full PromConfig, detector-specific fitted state, the
+// committee by scorer name, and the calibration entries. finalize()
+// rebuilds every derived index deterministically from the entries, so a
+// restored detector's verdicts are bit-identical to the saving one's.
+// loadSnapshot() stages everything locally and commits only after the
+// whole payload validated, so a failed load leaves the detector untouched.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint32_t SnapshotFormatVersion = 1;
+constexpr uint32_t SnapshotKindClassifier = 1;
+constexpr uint32_t SnapshotKindRegressor = 2;
+
+void writeConfig(support::ByteWriter &W, const PromConfig &Cfg) {
+  W.writeF64(Cfg.Epsilon);
+  W.writeF64(Cfg.CredThreshold);
+  W.writeF64(Cfg.ConfThreshold);
+  W.writeF64(Cfg.ConfidenceC);
+  W.writeF64(Cfg.Tau);
+  W.writeU8(Cfg.AutoTau ? 1 : 0);
+  W.writeF64(Cfg.TauScale);
+  W.writeI32(Cfg.WeightNormPower);
+  W.writeF64(Cfg.SelectFraction);
+  W.writeU64(Cfg.SelectAllBelow);
+  W.writeU32(static_cast<uint32_t>(Cfg.WeightMode));
+  W.writeU8(Cfg.SmoothedPValues ? 1 : 0);
+  W.writeU64(Cfg.MinVotesToFlag);
+  W.writeU64(Cfg.KnnK);
+  W.writeU64(Cfg.MinClusters);
+  W.writeU64(Cfg.MaxClusters);
+  W.writeU64(Cfg.FixedClusters);
+  W.writeU64(Cfg.NumShards);
+}
+
+bool readConfig(support::ByteReader &R, PromConfig &Cfg) {
+  Cfg.Epsilon = R.readF64();
+  Cfg.CredThreshold = R.readF64();
+  Cfg.ConfThreshold = R.readF64();
+  Cfg.ConfidenceC = R.readF64();
+  Cfg.Tau = R.readF64();
+  Cfg.AutoTau = R.readU8() != 0;
+  Cfg.TauScale = R.readF64();
+  Cfg.WeightNormPower = R.readI32();
+  Cfg.SelectFraction = R.readF64();
+  Cfg.SelectAllBelow = static_cast<size_t>(R.readU64());
+  uint32_t Mode = R.readU32();
+  if (Mode > static_cast<uint32_t>(CalibrationWeightMode::None))
+    return false;
+  Cfg.WeightMode = static_cast<CalibrationWeightMode>(Mode);
+  Cfg.SmoothedPValues = R.readU8() != 0;
+  Cfg.MinVotesToFlag = static_cast<size_t>(R.readU64());
+  Cfg.KnnK = static_cast<size_t>(R.readU64());
+  Cfg.MinClusters = static_cast<size_t>(R.readU64());
+  Cfg.MaxClusters = static_cast<size_t>(R.readU64());
+  Cfg.FixedClusters = static_cast<size_t>(R.readU64());
+  Cfg.NumShards = static_cast<size_t>(R.readU64());
+  return !R.failed();
+}
+
+void writeEntries(support::ByteWriter &W, const CalibrationStore &Store) {
+  W.writeU64(Store.size());
+  for (size_t I = 0; I < Store.size(); ++I) {
+    const CalibrationEntry &E = Store.entry(I);
+    W.writeDoubleVec(E.Embed);
+    W.writeI32(E.Label);
+    W.writeDoubleVec(E.Scores);
+  }
+}
+
+/// Reads the entry block into \p Store (not finalized). Validates shape
+/// consistency: every embed the same width, every entry one score per
+/// expert of the committee being restored.
+bool readEntries(support::ByteReader &R, size_t NumExperts,
+                 CalibrationStore &Store) {
+  uint64_t Count = R.readU64();
+  if (R.failed() || Count == 0)
+    return false;
+  size_t EmbedDim = 0;
+  for (uint64_t I = 0; I < Count; ++I) {
+    CalibrationEntry E;
+    E.Embed = R.readDoubleVec();
+    E.Label = R.readI32();
+    E.Scores = R.readDoubleVec();
+    if (R.failed() || E.Embed.empty() || E.Scores.size() != NumExperts)
+      return false;
+    if (I == 0)
+      EmbedDim = E.Embed.size();
+    else if (E.Embed.size() != EmbedDim)
+      return false;
+    Store.add(std::move(E));
+  }
+  return true;
+}
+
+void writeScaler(support::ByteWriter &W, const data::StandardScaler *Scaler) {
+  if (!Scaler || !Scaler->isFitted()) {
+    W.writeU8(0);
+    return;
+  }
+  W.writeU8(1);
+  W.writeDoubleVec(Scaler->means());
+  W.writeDoubleVec(Scaler->stddevs());
+}
+
+/// Parses the scaler block; restores into \p Scaler when the snapshot has
+/// one and the caller asked for it.
+bool readScaler(support::ByteReader &R, data::StandardScaler *Scaler) {
+  uint8_t Present = R.readU8();
+  if (R.failed() || Present > 1)
+    return false;
+  if (!Present)
+    return true;
+  std::vector<double> Means = R.readDoubleVec();
+  std::vector<double> Stddevs = R.readDoubleVec();
+  if (R.failed() || Means.size() != Stddevs.size() || Means.empty())
+    return false;
+  if (Scaler)
+    Scaler->restore(std::move(Means), std::move(Stddevs));
+  return true;
+}
+
+} // namespace
+
+bool PromClassifier::saveSnapshot(const std::string &Path,
+                                  const data::StandardScaler *Scaler) const {
+  if (!isCalibrated())
+    return false;
+  support::ByteWriter W;
+  W.writeU32(SnapshotFormatVersion);
+  W.writeU32(SnapshotKindClassifier);
+  writeConfig(W, Cfg);
+  W.writeF64(Temperature);
+  W.writeU32(static_cast<uint32_t>(Scorers.size()));
+  for (const auto &Scorer : Scorers)
+    W.writeString(Scorer->name());
+  writeEntries(W, Calib);
+  W.writeU64(numShards());
+  writeScaler(W, Scaler);
+  return W.writeFile(Path);
+}
+
+bool PromClassifier::loadSnapshot(const std::string &Path,
+                                  data::StandardScaler *Scaler) {
+  support::ByteReader R;
+  if (!R.loadFile(Path))
+    return false;
+  if (R.readU32() != SnapshotFormatVersion ||
+      R.readU32() != SnapshotKindClassifier)
+    return false;
+
+  PromConfig NewCfg;
+  if (!readConfig(R, NewCfg))
+    return false;
+  double NewTemperature = R.readF64();
+
+  uint32_t NumScorers = R.readU32();
+  if (R.failed() || NumScorers == 0)
+    return false;
+  std::vector<std::unique_ptr<ClassificationScorer>> NewScorers;
+  for (uint32_t I = 0; I < NumScorers; ++I) {
+    std::unique_ptr<ClassificationScorer> Scorer =
+        makeClassificationScorer(R.readString());
+    if (!Scorer)
+      return false;
+    NewScorers.push_back(std::move(Scorer));
+  }
+
+  CalibrationStore NewStore;
+  if (!readEntries(R, NewScorers.size(), NewStore))
+    return false;
+  size_t Shards = static_cast<size_t>(R.readU64());
+
+  data::StandardScaler StagedScaler;
+  if (!readScaler(R, &StagedScaler))
+    return false;
+  if (R.failed() || !R.atEnd())
+    return false;
+
+  Cfg = NewCfg;
+  Temperature = NewTemperature;
+  Scorers = std::move(NewScorers);
+  Calib = std::move(NewStore);
+  Calib.finalize(Shards);
+  if (Scaler && StagedScaler.isFitted())
+    *Scaler = std::move(StagedScaler);
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -348,16 +560,19 @@ void PromRegressor::calibrate(const data::Dataset &CalibSet,
                               support::Rng &R) {
   assert(CalibSet.size() > Cfg.KnnK && "calibration set too small");
 
+  // One batched forward for every prediction and embedding (row I is
+  // bit-identical to the per-sample calls).
+  std::vector<double> Predictions;
+  Matrix Embeds;
+  Model.predictWithEmbedBatch(CalibSet, Predictions, Embeds);
+
   CalibEmbeds.clear();
   CalibTargets.clear();
-  std::vector<double> Predictions;
   std::vector<double> Residuals;
-  for (const data::Sample &S : CalibSet.samples()) {
-    CalibEmbeds.push_back(Model.embed(S));
-    CalibTargets.push_back(S.Target);
-    double Pred = Model.predict(S);
-    Predictions.push_back(Pred);
-    Residuals.push_back(std::fabs(Pred - S.Target));
+  for (size_t I = 0; I < CalibSet.size(); ++I) {
+    CalibEmbeds.push_back(Embeds.row(I));
+    CalibTargets.push_back(CalibSet[I].Target);
+    Residuals.push_back(std::fabs(Predictions[I] - CalibSet[I].Target));
   }
   ResidualIqr = support::quantile(Residuals, 0.75) -
                 support::quantile(Residuals, 0.25);
@@ -394,7 +609,7 @@ void PromRegressor::calibrate(const data::Dataset &CalibSet,
       Entry.Scores.push_back(Scorer->score(In));
     Calib.add(std::move(Entry));
   }
-  Calib.finalize();
+  Calib.finalize(effectiveShards(Cfg));
 }
 
 /// Shared regression judging rule: expert opinion from one expert's
@@ -421,7 +636,7 @@ RegressionVerdict PromRegressor::assessSerial(const data::Sample &S) const {
   V.Cluster = static_cast<int>(support::nearestCentroid(Centroids, Embed));
 
   RegressionScoreInput In = makeScoreInput(Embed, V.Predicted);
-  CalibrationSelection Sel = Calib.select(Embed, Cfg);
+  CalibrationSelection Sel = Calib.flat().select(Embed, Cfg);
 
   V.Experts.reserve(Scorers.size());
   for (size_t E = 0; E < Scorers.size(); ++E) {
@@ -429,7 +644,7 @@ RegressionVerdict PromRegressor::assessSerial(const data::Sample &S) const {
     // The test score is label-independent for regression; the conditioning
     // happens through which cluster's calibration scores it is compared to.
     std::vector<double> TestScores(Centroids.size(), TestScore);
-    std::vector<double> PVals = Calib.pValues(Sel, E, TestScores, Cfg);
+    std::vector<double> PVals = Calib.flat().pValues(Sel, E, TestScores, Cfg);
     V.Experts.push_back(
         judgeRegression(PVals.data(), PVals.size(), V.Cluster, Cfg));
   }
@@ -500,4 +715,104 @@ RegressionVerdict PromRegressor::assess(const data::Sample &S) const {
   One.add(S);
   std::vector<RegressionVerdict> Out = assessBatch(One);
   return std::move(Out.front());
+}
+
+bool PromRegressor::saveSnapshot(const std::string &Path,
+                                 const data::StandardScaler *Scaler) const {
+  if (!isCalibrated())
+    return false;
+  support::ByteWriter W;
+  W.writeU32(SnapshotFormatVersion);
+  W.writeU32(SnapshotKindRegressor);
+  writeConfig(W, Cfg);
+  W.writeU32(static_cast<uint32_t>(Scorers.size()));
+  for (const auto &Scorer : Scorers)
+    W.writeString(Scorer->name());
+  writeEntries(W, Calib);
+  W.writeU64(CalibEmbeds.size());
+  for (const std::vector<double> &Embed : CalibEmbeds)
+    W.writeDoubleVec(Embed);
+  W.writeDoubleVec(CalibTargets);
+  W.writeU64(Centroids.size());
+  for (const std::vector<double> &Centroid : Centroids)
+    W.writeDoubleVec(Centroid);
+  W.writeF64(ResidualIqr);
+  W.writeU64(numShards());
+  writeScaler(W, Scaler);
+  return W.writeFile(Path);
+}
+
+bool PromRegressor::loadSnapshot(const std::string &Path,
+                                 data::StandardScaler *Scaler) {
+  support::ByteReader R;
+  if (!R.loadFile(Path))
+    return false;
+  if (R.readU32() != SnapshotFormatVersion ||
+      R.readU32() != SnapshotKindRegressor)
+    return false;
+
+  PromConfig NewCfg;
+  if (!readConfig(R, NewCfg))
+    return false;
+
+  uint32_t NumScorers = R.readU32();
+  if (R.failed() || NumScorers == 0)
+    return false;
+  std::vector<std::unique_ptr<RegressionScorer>> NewScorers;
+  for (uint32_t I = 0; I < NumScorers; ++I) {
+    std::unique_ptr<RegressionScorer> Scorer =
+        makeRegressionScorer(R.readString());
+    if (!Scorer)
+      return false;
+    NewScorers.push_back(std::move(Scorer));
+  }
+
+  CalibrationStore NewStore;
+  if (!readEntries(R, NewScorers.size(), NewStore))
+    return false;
+
+  uint64_t NumEmbeds = R.readU64();
+  if (R.failed() || NumEmbeds != NewStore.size())
+    return false;
+  std::vector<std::vector<double>> NewEmbeds;
+  NewEmbeds.reserve(static_cast<size_t>(NumEmbeds));
+  for (uint64_t I = 0; I < NumEmbeds; ++I) {
+    NewEmbeds.push_back(R.readDoubleVec());
+    if (R.failed() || NewEmbeds.back().empty())
+      return false;
+  }
+  std::vector<double> NewTargets = R.readDoubleVec();
+  if (R.failed() || NewTargets.size() != NewEmbeds.size())
+    return false;
+
+  uint64_t NumCentroids = R.readU64();
+  if (R.failed() || NumCentroids == 0 || NumCentroids > NewStore.size())
+    return false;
+  std::vector<std::vector<double>> NewCentroids;
+  NewCentroids.reserve(static_cast<size_t>(NumCentroids));
+  for (uint64_t I = 0; I < NumCentroids; ++I) {
+    NewCentroids.push_back(R.readDoubleVec());
+    if (R.failed() || NewCentroids.back().empty())
+      return false;
+  }
+  double NewResidualIqr = R.readF64();
+  size_t Shards = static_cast<size_t>(R.readU64());
+
+  data::StandardScaler StagedScaler;
+  if (!readScaler(R, &StagedScaler))
+    return false;
+  if (R.failed() || !R.atEnd())
+    return false;
+
+  Cfg = NewCfg;
+  Scorers = std::move(NewScorers);
+  Calib = std::move(NewStore);
+  Calib.finalize(Shards);
+  CalibEmbeds = std::move(NewEmbeds);
+  CalibTargets = std::move(NewTargets);
+  Centroids = std::move(NewCentroids);
+  ResidualIqr = NewResidualIqr;
+  if (Scaler && StagedScaler.isFitted())
+    *Scaler = std::move(StagedScaler);
+  return true;
 }

@@ -19,7 +19,7 @@
 #ifndef PROM_CORE_DETECTOR_H
 #define PROM_CORE_DETECTOR_H
 
-#include "core/Calibration.h"
+#include "core/CalibrationStore.h"
 #include "core/IncrementalLearner.h"
 #include "core/Nonconformity.h"
 #include "core/PromConfig.h"
@@ -31,6 +31,9 @@
 #include <vector>
 
 namespace prom {
+namespace data {
+class StandardScaler;
+} // namespace data
 
 /// One nonconformity function's judgement of a prediction (Sec. 5.3).
 struct ExpertOpinion {
@@ -120,6 +123,16 @@ public:
   /// to assessSerial(Batch[I]).
   std::vector<Verdict> assessBatch(const data::Dataset &Batch) const;
 
+  /// Committee assessment over precomputed *raw* model outputs: row I of
+  /// \p RawProbs / \p Embeds must be predictProba / embed of sample I
+  /// (temperature softening is applied here). Bit-identical to
+  /// assessBatch() on the corresponding Dataset; callers that sweep
+  /// configurations over a fixed sample set (grid search) reuse one model
+  /// forward across every candidate through this entry point.
+  std::vector<Verdict>
+  assessBatchWithForwards(const support::Matrix &RawProbs,
+                          const support::Matrix &Embeds) const;
+
   /// Reference per-sample implementation (the pre-batching deployment
   /// path): two per-sample model forwards, a sorted adaptive selection and
   /// one p-value scan per expert. Retained as the independent oracle for
@@ -138,6 +151,31 @@ public:
   const ml::Classifier &model() const { return Model; }
   bool isCalibrated() const { return !Calib.empty(); }
 
+  /// Shard count of the calibration store (1 before calibration).
+  size_t numShards() const {
+    return Calib.numShards() ? Calib.numShards() : 1;
+  }
+
+  /// Re-partitions the calibration store into \p NumShards shards without
+  /// recalibrating; verdicts are unchanged by contract.
+  void reshard(size_t NumShards) { Calib.reshard(NumShards); }
+
+  /// Writes a versioned binary snapshot of the calibrated detector state —
+  /// config, fitted temperature, committee (by scorer name), calibration
+  /// entries, and optionally the deployment feature \p Scaler — so a
+  /// restarted server can loadSnapshot() instead of recalibrating. Returns
+  /// false on I/O failure.
+  bool saveSnapshot(const std::string &Path,
+                    const data::StandardScaler *Scaler = nullptr) const;
+
+  /// Restores the state written by saveSnapshot(): verdicts after a load
+  /// are bit-identical to the ones the saving detector produced. The
+  /// committee is rebuilt by scorer name. Returns false (leaving the
+  /// detector untouched) on missing/truncated/corrupt files, a snapshot of
+  /// the wrong kind, or an unknown scorer name.
+  bool loadSnapshot(const std::string &Path,
+                    data::StandardScaler *Scaler = nullptr);
+
 private:
   ExpertOpinion judge(const double *PVals, size_t NumLabels,
                       int Predicted) const;
@@ -154,7 +192,7 @@ private:
   const ml::Classifier &Model;
   PromConfig Cfg;
   std::vector<std::unique_ptr<ClassificationScorer>> Scorers;
-  CalibrationScores Calib;
+  CalibrationStore Calib;
   double Temperature = 1.0;
 };
 
@@ -223,6 +261,23 @@ public:
   size_t numExperts() const { return Scorers.size(); }
   size_t numClusters() const { return Centroids.size(); }
   const ml::Regressor &model() const { return Model; }
+  bool isCalibrated() const { return !Calib.empty(); }
+
+  /// Shard count of the calibration store (1 before calibration).
+  size_t numShards() const {
+    return Calib.numShards() ? Calib.numShards() : 1;
+  }
+
+  /// See PromClassifier::reshard().
+  void reshard(size_t NumShards) { Calib.reshard(NumShards); }
+
+  /// Regression snapshot: config, committee names, calibration entries,
+  /// k-NN embeddings/targets, centroids, residual IQR, optional scaler.
+  /// Same format/guarantees as the classifier snapshot.
+  bool saveSnapshot(const std::string &Path,
+                    const data::StandardScaler *Scaler = nullptr) const;
+  bool loadSnapshot(const std::string &Path,
+                    data::StandardScaler *Scaler = nullptr);
 
 private:
   RegressionScoreInput
@@ -237,7 +292,7 @@ private:
   const ml::Regressor &Model;
   PromConfig Cfg;
   std::vector<std::unique_ptr<RegressionScorer>> Scorers;
-  CalibrationScores Calib;
+  CalibrationStore Calib;
   std::vector<std::vector<double>> CalibEmbeds; ///< For k-NN lookups.
   std::vector<double> CalibTargets;
   std::vector<std::vector<double>> Centroids;

@@ -58,14 +58,21 @@ GridSearchResult prom::gridSearch(const ml::Classifier &Model,
     PromClassifier Prom(Model, Base);
     Prom.calibrate(Split.Train);
 
+    // Neither do the model's outputs on the validation half: one batched
+    // forward here is reused by every candidate below, so the model runs
+    // once per fold instead of once per (fold, candidate).
+    support::Matrix RawProbs, Embeds;
+    Model.predictWithEmbedBatch(Split.Test, RawProbs, Embeds);
+
     bool FoldHasPositives = false;
     for (size_t CandIdx = 0; CandIdx < Candidates.size(); ++CandIdx) {
       Prom.config() = Candidates[CandIdx];
       DetectionCounts Counts;
       // The whole validation half goes through the batched engine per
-      // candidate (the calibration scores are shared; only thresholds and
-      // weights change between candidates).
-      std::vector<Verdict> Verdicts = Prom.assessBatch(Split.Test);
+      // candidate (the calibration scores and model forwards are shared;
+      // only thresholds and weights change between candidates).
+      std::vector<Verdict> Verdicts =
+          Prom.assessBatchWithForwards(RawProbs, Embeds);
       for (size_t I = 0; I < Split.Test.size(); ++I) {
         const data::Sample &S = Split.Test[I];
         const Verdict &V = Verdicts[I];

@@ -10,7 +10,9 @@
 /// calibration/validation splits: the objective is the F1 of detecting the
 /// underlying model's own mispredictions on the validation half, which
 /// needs no deployment data. Calibration scores are epsilon/tau-agnostic,
-/// so each split is calibrated once and every candidate reuses it.
+/// so each split is calibrated once and every candidate reuses it — as are
+/// the model's validation-half forwards, which are computed once per split
+/// and fed to every candidate through assessBatchWithForwards().
 ///
 //===----------------------------------------------------------------------===//
 

@@ -32,17 +32,26 @@ bool prom::regressionMispredicted(double Predicted, double Target,
   return std::fabs(Predicted - Target) / Scale > Slack;
 }
 
-/// Ranks the flagged indices by ascending mean credibility so the most
-/// out-of-distribution samples are relabeled first.
-static std::vector<size_t>
-rankFlagged(const std::vector<size_t> &Flagged,
-            const std::vector<double> &Credibility) {
+std::vector<size_t>
+prom::selectRelabelCandidates(const std::vector<size_t> &Flagged,
+                              const std::vector<double> &Credibility,
+                              size_t DeploymentSize, double RelabelBudget) {
+  if (RelabelBudget <= 0.0)
+    return {};
+  // Rank by ascending mean credibility so the most out-of-distribution
+  // samples are relabeled first.
   std::vector<size_t> Order(Flagged);
   std::sort(Order.begin(), Order.end(), [&Credibility](size_t A, size_t B) {
     if (Credibility[A] != Credibility[B])
       return Credibility[A] < Credibility[B];
     return A < B;
   });
+  size_t Budget = static_cast<size_t>(
+      RelabelBudget * static_cast<double>(DeploymentSize) + 0.5);
+  if (!Flagged.empty())
+    Budget = std::max<size_t>(Budget, 1);
+  if (Order.size() > Budget)
+    Order.resize(Budget);
   return Order;
 }
 
@@ -82,20 +91,12 @@ IncrementalOutcome prom::runIncrementalLearning(
       static_cast<double>(NativeCorrect) / static_cast<double>(Test.size());
   Out.NumFlagged = Flagged.size();
 
-  // Relabel the lowest-credibility flagged samples within the budget. A
-  // non-positive budget means detection-only (no model update); otherwise
-  // at least one flagged sample is relabeled (the paper's C1 case updates
-  // on a single sample).
-  size_t Budget = 0;
-  if (IlCfg.RelabelBudget > 0.0) {
-    Budget = static_cast<size_t>(IlCfg.RelabelBudget *
-                                 static_cast<double>(Test.size()) + 0.5);
-    if (!Flagged.empty())
-      Budget = std::max<size_t>(Budget, 1);
-  }
-  std::vector<size_t> Ranked = rankFlagged(Flagged, Credibility);
-  if (Ranked.size() > Budget)
-    Ranked.resize(Budget);
+  // Relabel the lowest-credibility flagged samples within the budget
+  // (shared policy; a non-positive budget means detection-only, otherwise
+  // at least one flagged sample is relabeled — the paper's C1 case
+  // updates on a single sample).
+  std::vector<size_t> Ranked = selectRelabelCandidates(
+      Flagged, Credibility, Test.size(), IlCfg.RelabelBudget);
   Out.NumRelabeled = Ranked.size();
   Out.RelabeledIndices = Ranked;
 
@@ -159,13 +160,8 @@ RegressionIncrementalOutcome prom::runIncrementalLearningRegression(
   Out.NativeError = NativeErrSum / static_cast<double>(Test.size());
   Out.NumFlagged = Flagged.size();
 
-  size_t Budget = static_cast<size_t>(
-      IlCfg.RelabelBudget * static_cast<double>(Test.size()) + 0.5);
-  if (!Flagged.empty())
-    Budget = std::max<size_t>(Budget, 1);
-  std::vector<size_t> Ranked = rankFlagged(Flagged, Credibility);
-  if (Ranked.size() > Budget)
-    Ranked.resize(Budget);
+  std::vector<size_t> Ranked = selectRelabelCandidates(
+      Flagged, Credibility, Test.size(), IlCfg.RelabelBudget);
   Out.NumRelabeled = Ranked.size();
 
   if (!Ranked.empty()) {

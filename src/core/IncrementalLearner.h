@@ -47,6 +47,17 @@ using MispredicateFn =
 /// Label-mismatch mispredicate (the classification default).
 MispredicateFn labelMispredicate();
 
+/// The Figure 3 relabel policy, shared by runIncrementalLearning and the
+/// serving examples: ranks the \p Flagged deployment indices by ascending
+/// \p Credibility (ties by index) and truncates to the budget
+/// RelabelBudget * DeploymentSize (rounded; floored at one sample when
+/// anything was flagged). A non-positive budget selects nothing
+/// (detection-only).
+std::vector<size_t>
+selectRelabelCandidates(const std::vector<size_t> &Flagged,
+                        const std::vector<double> &Credibility,
+                        size_t DeploymentSize, double RelabelBudget);
+
 /// Perf-to-oracle mispredicate: mispredicted when the chosen option's
 /// performance is more than \p Slack below the oracle (paper: Slack = 0.2).
 MispredicateFn perfToOracleMispredicate(double Slack = 0.2);

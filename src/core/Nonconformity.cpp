@@ -131,6 +131,19 @@ prom::defaultClassificationScorers() {
   return Scorers;
 }
 
+std::unique_ptr<ClassificationScorer>
+prom::makeClassificationScorer(const std::string &Name) {
+  if (Name == "LAC")
+    return std::make_unique<LacScorer>();
+  if (Name == "TopK")
+    return std::make_unique<TopKScorer>();
+  if (Name == "APS")
+    return std::make_unique<ApsScorer>();
+  if (Name == "RAPS")
+    return std::make_unique<RapsScorer>();
+  return nullptr;
+}
+
 double AbsoluteResidualScorer::score(const RegressionScoreInput &In) const {
   return std::fabs(In.Prediction - In.ApproxTarget);
 }
@@ -158,4 +171,17 @@ prom::defaultRegressionScorers() {
   Scorers.push_back(std::make_unique<IqrScaledResidualScorer>());
   Scorers.push_back(std::make_unique<FeatureDistanceScorer>());
   return Scorers;
+}
+
+std::unique_ptr<RegressionScorer>
+prom::makeRegressionScorer(const std::string &Name) {
+  if (Name == "AbsRes")
+    return std::make_unique<AbsoluteResidualScorer>();
+  if (Name == "KnnRes")
+    return std::make_unique<KnnNormalizedResidualScorer>();
+  if (Name == "IqrRes")
+    return std::make_unique<IqrScaledResidualScorer>();
+  if (Name == "FeatDist")
+    return std::make_unique<FeatureDistanceScorer>();
+  return nullptr;
 }

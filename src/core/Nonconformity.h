@@ -97,6 +97,11 @@ private:
 std::vector<std::unique_ptr<ClassificationScorer>>
 defaultClassificationScorers();
 
+/// Rebuilds one of the stock classification scorers from its name()
+/// (snapshot loading); nullptr for unknown names.
+std::unique_ptr<ClassificationScorer>
+makeClassificationScorer(const std::string &Name);
+
 /// Inputs to a regression nonconformity function (Sec. 5.1.1). For
 /// calibration samples ApproxTarget is the true target; for test samples it
 /// is the mean target of the k nearest calibration samples.
@@ -147,6 +152,11 @@ public:
 
 /// The default regression committee: {AbsRes, KnnRes, IqrRes, FeatDist}.
 std::vector<std::unique_ptr<RegressionScorer>> defaultRegressionScorers();
+
+/// Rebuilds one of the stock regression scorers from its name() (snapshot
+/// loading); nullptr for unknown names.
+std::unique_ptr<RegressionScorer>
+makeRegressionScorer(const std::string &Name);
 
 } // namespace prom
 

@@ -17,6 +17,7 @@
 
 #include "core/Assessment.h"
 #include "core/Calibration.h"
+#include "core/CalibrationStore.h"
 #include "core/Detector.h"
 #include "core/DriftMetrics.h"
 #include "core/GridSearch.h"

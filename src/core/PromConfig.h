@@ -100,6 +100,13 @@ struct PromConfig {
   /// Overrides the gap statistic with a fixed cluster count when non-zero.
   size_t FixedClusters = 0;
 
+  /// Shard count of the calibration store built by calibrate(): the
+  /// deployment-scaling knob of the serving runtime. Verdicts are
+  /// shard-count-invariant by contract (test-enforced), so this only
+  /// affects how assessment work is partitioned; 0 means one shard per
+  /// ThreadPool lane. Detectors can also reshard() after calibration.
+  size_t NumShards = 1;
+
   /// Effective credibility threshold.
   double credThreshold() const {
     return CredThreshold < 0.0 ? Epsilon : CredThreshold;

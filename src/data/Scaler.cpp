@@ -38,6 +38,13 @@ void StandardScaler::fit(const Dataset &Train) {
   }
 }
 
+void StandardScaler::restore(std::vector<double> Means,
+                             std::vector<double> Stddevs) {
+  assert(Means.size() == Stddevs.size() && "ragged scaler state");
+  Mean = std::move(Means);
+  Stddev = std::move(Stddevs);
+}
+
 std::vector<double>
 StandardScaler::transform(const std::vector<double> &Features) const {
   assert(isFitted() && "scaler not fitted");

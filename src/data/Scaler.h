@@ -40,6 +40,10 @@ public:
   const std::vector<double> &means() const { return Mean; }
   const std::vector<double> &stddevs() const { return Stddev; }
 
+  /// Restores a previously fitted state (snapshot loading); \p Means and
+  /// \p Stddevs must be equal length.
+  void restore(std::vector<double> Means, std::vector<double> Stddevs);
+
 private:
   std::vector<double> Mean;
   std::vector<double> Stddev;

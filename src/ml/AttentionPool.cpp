@@ -256,6 +256,50 @@ std::vector<double> AttentionClassifier::embed(const data::Sample &S) const {
   return T.Hidden;
 }
 
+void AttentionClassifier::forwardBatch(const data::Dataset &Batch,
+                                       Matrix *Probs, Matrix *Embeds) const {
+  size_t N = Batch.size();
+  size_t NumClasses = static_cast<size_t>(Classes);
+  if (Probs)
+    *Probs = Matrix(N, NumClasses);
+  if (Embeds)
+    *Embeds = Matrix(N, Cfg.HiddenDim);
+
+  // One trace recycled across the batch (forward() resizes it per
+  // sequence), so the batch pays no per-sample allocation beyond capacity
+  // growth.
+  AttentionCore::Trace T;
+  for (size_t I = 0; I < N; ++I) {
+    Core.forward(Batch[I].Tokens, T);
+    if (Embeds)
+      std::copy(T.Hidden.begin(), T.Hidden.end(), Embeds->rowPtr(I));
+    if (Probs) {
+      double *Row = Probs->rowPtr(I);
+      std::copy(T.Out.begin(), T.Out.end(), Row);
+      support::softmaxRowInPlace(Row, NumClasses);
+    }
+  }
+}
+
+Matrix
+AttentionClassifier::predictProbaBatch(const data::Dataset &Batch) const {
+  Matrix Probs;
+  forwardBatch(Batch, &Probs, nullptr);
+  return Probs;
+}
+
+Matrix AttentionClassifier::embedBatch(const data::Dataset &Batch) const {
+  Matrix Embeds;
+  forwardBatch(Batch, nullptr, &Embeds);
+  return Embeds;
+}
+
+void AttentionClassifier::predictWithEmbedBatch(const data::Dataset &Batch,
+                                                Matrix &Probs,
+                                                Matrix &Embeds) const {
+  forwardBatch(Batch, &Probs, &Embeds);
+}
+
 //===----------------------------------------------------------------------===//
 // AttentionRegressor
 //===----------------------------------------------------------------------===//
@@ -309,4 +353,42 @@ std::vector<double> AttentionRegressor::embed(const data::Sample &S) const {
   AttentionCore::Trace T;
   Core.forward(S.Tokens, T);
   return T.Hidden;
+}
+
+void AttentionRegressor::forwardBatch(const data::Dataset &Batch,
+                                      std::vector<double> *Predictions,
+                                      Matrix *Embeds) const {
+  size_t N = Batch.size();
+  if (Predictions)
+    Predictions->assign(N, 0.0);
+  if (Embeds)
+    *Embeds = Matrix(N, Cfg.HiddenDim);
+
+  AttentionCore::Trace T;
+  for (size_t I = 0; I < N; ++I) {
+    Core.forward(Batch[I].Tokens, T);
+    if (Predictions)
+      (*Predictions)[I] = T.Out[0];
+    if (Embeds)
+      std::copy(T.Hidden.begin(), T.Hidden.end(), Embeds->rowPtr(I));
+  }
+}
+
+std::vector<double>
+AttentionRegressor::predictBatch(const data::Dataset &Batch) const {
+  std::vector<double> Predictions;
+  forwardBatch(Batch, &Predictions, nullptr);
+  return Predictions;
+}
+
+Matrix AttentionRegressor::embedBatch(const data::Dataset &Batch) const {
+  Matrix Embeds;
+  forwardBatch(Batch, nullptr, &Embeds);
+  return Embeds;
+}
+
+void AttentionRegressor::predictWithEmbedBatch(
+    const data::Dataset &Batch, std::vector<double> &Predictions,
+    Matrix &Embeds) const {
+  forwardBatch(Batch, &Predictions, &Embeds);
 }

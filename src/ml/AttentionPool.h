@@ -94,12 +94,25 @@ public:
   void update(const data::Dataset &Merged, support::Rng &R) override;
   std::vector<double> predictProba(const data::Sample &S) const override;
   std::vector<double> embed(const data::Sample &S) const override;
+
+  /// Batched forwards sharing one attention traversal per sample between
+  /// probabilities and embedding (the inherited fallback runs two) with
+  /// the trace scratch recycled across samples. Rows are bit-identical to
+  /// the per-sample calls.
+  support::Matrix predictProbaBatch(const data::Dataset &Batch) const override;
+  support::Matrix embedBatch(const data::Dataset &Batch) const override;
+  void predictWithEmbedBatch(const data::Dataset &Batch,
+                             support::Matrix &Probs,
+                             support::Matrix &Embeds) const override;
+
   int numClasses() const override { return Classes; }
   std::string name() const override { return DisplayName; }
 
 private:
   void trainEpochs(const data::Dataset &Data, support::Rng &R,
                    size_t Epochs, double LearningRate);
+  void forwardBatch(const data::Dataset &Batch, support::Matrix *Probs,
+                    support::Matrix *Embeds) const;
 
   AttentionConfig Cfg;
   std::string DisplayName;
@@ -117,11 +130,24 @@ public:
   void update(const data::Dataset &Merged, support::Rng &R) override;
   double predict(const data::Sample &S) const override;
   std::vector<double> embed(const data::Sample &S) const override;
+
+  /// Batched forwards; see AttentionClassifier — one traversal per sample
+  /// serves both the prediction and the embedding.
+  std::vector<double>
+  predictBatch(const data::Dataset &Batch) const override;
+  support::Matrix embedBatch(const data::Dataset &Batch) const override;
+  void predictWithEmbedBatch(const data::Dataset &Batch,
+                             std::vector<double> &Predictions,
+                             support::Matrix &Embeds) const override;
+
   std::string name() const override { return DisplayName; }
 
 private:
   void trainEpochs(const data::Dataset &Data, support::Rng &R,
                    size_t Epochs, double LearningRate);
+  void forwardBatch(const data::Dataset &Batch,
+                    std::vector<double> *Predictions,
+                    support::Matrix *Embeds) const;
 
   AttentionConfig Cfg;
   std::string DisplayName;

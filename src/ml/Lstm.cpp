@@ -328,3 +328,70 @@ LstmClassifier::predictProba(const data::Sample &S) const {
 std::vector<double> LstmClassifier::embed(const data::Sample &S) const {
   return pooledState(S);
 }
+
+void LstmClassifier::forwardBatch(const data::Dataset &Batch, Matrix *Probs,
+                                  Matrix *Embeds) const {
+  size_t N = Batch.size();
+  size_t PooledDim = Cfg.HiddenDim * (Cfg.Bidirectional ? 2 : 1);
+  size_t NumClasses = static_cast<size_t>(Classes);
+  if (Probs)
+    *Probs = Matrix(N, NumClasses);
+  if (Embeds)
+    *Embeds = Matrix(N, PooledDim);
+
+  // Per-call scratch recycled across every sample of the batch; the
+  // trace vectors keep their capacity between samples.
+  DirectionTrace Fwd, Bwd;
+  std::vector<int> Rev;
+  std::vector<double> Pooled;
+
+  for (size_t I = 0; I < N; ++I) {
+    std::vector<int> Tokens = clampTokens(Batch[I]);
+    runDirection(Forward, Tokens, Fwd);
+    const double *P = Fwd.Pooled.data();
+    if (Cfg.Bidirectional) {
+      Rev.assign(Tokens.rbegin(), Tokens.rend());
+      runDirection(Backwardc, Rev, Bwd);
+      Pooled.assign(Fwd.Pooled.begin(), Fwd.Pooled.end());
+      Pooled.insert(Pooled.end(), Bwd.Pooled.begin(), Bwd.Pooled.end());
+      P = Pooled.data();
+    }
+
+    if (Embeds)
+      std::copy(P, P + PooledDim, Embeds->rowPtr(I));
+    if (Probs) {
+      // Same zero-skipping head accumulation as predictProba(), writing
+      // into the output row; softmaxRowInPlace matches softmaxInPlace
+      // bit-for-bit.
+      double *Row = Probs->rowPtr(I);
+      std::copy(HeadB.begin(), HeadB.end(), Row);
+      for (size_t D = 0; D < PooledDim; ++D) {
+        double PD = P[D];
+        if (PD == 0.0)
+          continue;
+        const double *W = HeadW.rowPtr(D);
+        for (size_t J = 0; J < NumClasses; ++J)
+          Row[J] += PD * W[J];
+      }
+      support::softmaxRowInPlace(Row, NumClasses);
+    }
+  }
+}
+
+Matrix LstmClassifier::predictProbaBatch(const data::Dataset &Batch) const {
+  Matrix Probs;
+  forwardBatch(Batch, &Probs, nullptr);
+  return Probs;
+}
+
+Matrix LstmClassifier::embedBatch(const data::Dataset &Batch) const {
+  Matrix Embeds;
+  forwardBatch(Batch, nullptr, &Embeds);
+  return Embeds;
+}
+
+void LstmClassifier::predictWithEmbedBatch(const data::Dataset &Batch,
+                                           Matrix &Probs,
+                                           Matrix &Embeds) const {
+  forwardBatch(Batch, &Probs, &Embeds);
+}

@@ -58,6 +58,18 @@ public:
   /// Pooled hidden state (both directions concatenated when bidirectional).
   std::vector<double> embed(const data::Sample &S) const override;
 
+  /// Batched forwards: the recurrence itself is inherently sequential per
+  /// sample, but the batch forms recycle the per-direction traces across
+  /// samples (no per-sample allocation beyond capacity growth) and
+  /// predictWithEmbedBatch() runs the LSTM once per sample for both
+  /// outputs, where the inherited fallback would run it twice. Rows are
+  /// bit-identical to the per-sample calls.
+  support::Matrix predictProbaBatch(const data::Dataset &Batch) const override;
+  support::Matrix embedBatch(const data::Dataset &Batch) const override;
+  void predictWithEmbedBatch(const data::Dataset &Batch,
+                             support::Matrix &Probs,
+                             support::Matrix &Embeds) const override;
+
   int numClasses() const override { return Classes; }
   std::string name() const override {
     return Cfg.Bidirectional ? "BiLSTM" : "LSTM";
@@ -84,6 +96,10 @@ private:
                          support::Matrix &GradEmbed,
                          const AdamConfig &Adam);
   std::vector<double> pooledState(const data::Sample &S) const;
+  /// Shared engine of the batch forwards: one LSTM traversal per sample
+  /// filling whichever of \p Probs / \p Embeds is non-null.
+  void forwardBatch(const data::Dataset &Batch, support::Matrix *Probs,
+                    support::Matrix *Embeds) const;
   void trainEpochs(const data::Dataset &Data, support::Rng &R,
                    size_t Epochs, double LearningRate);
 

@@ -1,0 +1,198 @@
+//===- serve/AssessmentService.cpp - Async assessment serving ---------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/AssessmentService.h"
+
+#include <cassert>
+#include <stdexcept>
+
+using namespace prom;
+using namespace prom::serve;
+
+AssessmentService::AssessmentService(const PromClassifier &Engine,
+                                     ServiceConfig CfgIn,
+                                     WindowedDriftMonitor *Monitor)
+    : Engine(Engine), Cfg(CfgIn), Monitor(Monitor) {
+  assert(Engine.isCalibrated() && "serve an uncalibrated detector");
+  assert(Cfg.QueueCapacity > 0 && Cfg.MaxBatch > 0 && "degenerate config");
+  if (Cfg.NumBatchers == 0)
+    Cfg.NumBatchers = 1;
+  Started = !Cfg.StartPaused;
+  // Batchers spawn up front either way; a paused service's batchers park
+  // on the Started flag, so start() is a flag flip, not thread creation.
+  Batchers.reserve(Cfg.NumBatchers);
+  for (size_t I = 0; I < Cfg.NumBatchers; ++I)
+    Batchers.emplace_back([this] { batcherLoop(); });
+}
+
+void AssessmentService::start() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Stopping || Started)
+      return;
+    Started = true;
+  }
+  NotEmpty.notify_all();
+}
+
+AssessmentService::~AssessmentService() { shutdown(); }
+
+std::future<Verdict> AssessmentService::submit(data::Sample S) {
+  Request Req;
+  Req.S = std::move(S);
+  std::future<Verdict> Fut = Req.P.get_future();
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (Stopping) {
+    Req.P.set_exception(std::make_exception_ptr(
+        std::runtime_error("AssessmentService is shut down")));
+    return Fut;
+  }
+  NotFull.wait(Lock,
+               [&] { return Stopping || Queue.size() < Cfg.QueueCapacity; });
+  if (Stopping) {
+    Req.P.set_exception(std::make_exception_ptr(
+        std::runtime_error("AssessmentService is shut down")));
+    return Fut;
+  }
+  Queue.push_back(std::move(Req));
+  ++Stats.Submitted;
+  Lock.unlock();
+  NotEmpty.notify_one();
+  return Fut;
+}
+
+bool AssessmentService::trySubmit(data::Sample S, std::future<Verdict> &Out) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (Stopping || Queue.size() >= Cfg.QueueCapacity)
+    return false;
+  Request Req;
+  Req.S = std::move(S);
+  Out = Req.P.get_future();
+  Queue.push_back(std::move(Req));
+  ++Stats.Submitted;
+  Lock.unlock();
+  NotEmpty.notify_one();
+  return true;
+}
+
+void AssessmentService::batcherLoop() {
+  std::vector<std::promise<Verdict>> Promises;
+  Promises.reserve(Cfg.MaxBatch);
+
+  while (true) {
+    Promises.clear();
+    data::Dataset Work;
+    Work.reserve(Cfg.MaxBatch);
+    bool ByDeadline = false;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      NotEmpty.wait(Lock,
+                    [&] { return Stopping || (Started && !Queue.empty()); });
+      if (Stopping && (Queue.empty() || !Started))
+        return; // Drained (or never started: shutdown() fails the queue).
+
+      // Requests move straight from the queue into the engine Dataset;
+      // only the promise is kept aside. The batch's flush deadline runs
+      // from its first (oldest) request.
+      auto TakeFront = [&] {
+        Work.add(std::move(Queue.front().S));
+        Promises.push_back(std::move(Queue.front().P));
+        Queue.pop_front();
+      };
+      TakeFront();
+      auto Deadline =
+          std::chrono::steady_clock::now() + Cfg.FlushDeadline;
+      while (Promises.size() < Cfg.MaxBatch) {
+        if (!Queue.empty()) {
+          TakeFront();
+          continue;
+        }
+        if (Stopping) {
+          ByDeadline = true; // Drain flush: take what we have, now.
+          break;
+        }
+        if (NotEmpty.wait_until(Lock, Deadline, [&] {
+              return Stopping || !Queue.empty();
+            }))
+          continue;
+        ByDeadline = true; // Deadline expired with a short batch.
+        break;
+      }
+      ++InFlight;
+      ++Stats.Batches;
+      if (ByDeadline)
+        ++Stats.DeadlineFlushes;
+      else
+        ++Stats.SizeFlushes;
+    }
+    NotFull.notify_all();
+
+    // Engine work outside the lock: other batchers keep collecting.
+    std::vector<Verdict> Verdicts = Engine.assessBatch(Work);
+    assert(Verdicts.size() == Promises.size() && "engine dropped verdicts");
+
+    size_t Rejected = 0;
+    for (size_t I = 0; I < Promises.size(); ++I) {
+      if (Verdicts[I].Drifted)
+        ++Rejected;
+      if (Monitor)
+        Monitor->record(Verdicts[I]);
+      Promises[I].set_value(std::move(Verdicts[I]));
+    }
+
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Stats.Completed += Promises.size();
+      Stats.Rejected += Rejected;
+      --InFlight;
+      if (Queue.empty() && InFlight == 0)
+        Idle.notify_all();
+    }
+  }
+}
+
+void AssessmentService::drain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Idle.wait(Lock, [&] { return Queue.empty() && InFlight == 0; });
+}
+
+void AssessmentService::shutdown() {
+  // Serializes concurrent shutdown() callers (e.g. an operator thread
+  // racing the destructor): the join/clear phase below runs outside
+  // Mutex, so without this two callers could join the same threads.
+  std::lock_guard<std::mutex> ShutdownLock(ShutdownMutex);
+  std::deque<Request> Orphans;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Stopping && Batchers.empty() && Queue.empty())
+      return;
+    Stopping = true;
+    // A StartPaused service that was never start()ed must not begin
+    // assessing during teardown; fail its pending requests instead.
+    if (!Started)
+      Orphans.swap(Queue);
+  }
+  NotEmpty.notify_all();
+  NotFull.notify_all();
+  for (std::thread &T : Batchers)
+    T.join();
+  Batchers.clear();
+  for (Request &Req : Orphans)
+    Req.P.set_exception(std::make_exception_ptr(
+        std::runtime_error("AssessmentService shut down before start")));
+  Idle.notify_all();
+}
+
+size_t AssessmentService::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Queue.size();
+}
+
+ServiceStats AssessmentService::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}

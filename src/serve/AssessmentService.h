@@ -1,0 +1,149 @@
+//===- serve/AssessmentService.h - Async assessment serving -----*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The async serving runtime over a calibrated PromClassifier.
+///
+/// Callers submit single samples and get std::future<Verdict> responses;
+/// a bounded MPMC request queue feeds batcher threads that micro-batch
+/// the stream — flushing when a batch reaches MaxBatch or when the oldest
+/// queued request has waited FlushDeadline — and drive the whole batch
+/// through the sharded batched assessment engine. Because the engine is a
+/// pure performance transformation, a verdict served this way is
+/// bit-identical to a direct assess() call for the same sample; the
+/// runtime only changes *when* work happens, never what it computes.
+///
+/// The queue bound applies backpressure: submit() blocks while the queue
+/// is full (trySubmit() refuses instead), so a burst degrades latency
+/// rather than memory. An optional WindowedDriftMonitor is folded on the
+/// batcher threads, putting the streaming recalibration alarm directly in
+/// the serving loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_SERVE_ASSESSMENTSERVICE_H
+#define PROM_SERVE_ASSESSMENTSERVICE_H
+
+#include "core/Detector.h"
+#include "serve/WindowedDriftMonitor.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prom {
+namespace serve {
+
+/// Serving-runtime knobs.
+struct ServiceConfig {
+  /// Bounded request-queue capacity (backpressure bound).
+  size_t QueueCapacity = 4096;
+  /// Flush a forming batch at this size.
+  size_t MaxBatch = 64;
+  /// Flush a forming batch once its oldest request has waited this long.
+  std::chrono::microseconds FlushDeadline{200};
+  /// Batcher threads. One saturates the pool through the batch engine;
+  /// a second lets queue pop + batch assembly + promise fulfillment of one
+  /// batch overlap the engine work of the previous one.
+  size_t NumBatchers = 1;
+  /// Construct without batchers; requests queue up (to the capacity
+  /// bound) until start(). Lets a server finish staged initialization —
+  /// snapshot load, warm-up, health checks — while the listener already
+  /// accepts work, and gives benchmarks a pre-staged closed system.
+  bool StartPaused = false;
+};
+
+/// Monotonic counters of a running service (consistent snapshot).
+struct ServiceStats {
+  uint64_t Submitted = 0;
+  uint64_t Completed = 0;
+  uint64_t Rejected = 0;        ///< Completed verdicts with Drifted set.
+  uint64_t Batches = 0;
+  uint64_t SizeFlushes = 0;     ///< Batches flushed by reaching MaxBatch.
+  uint64_t DeadlineFlushes = 0; ///< Batches flushed by deadline or drain.
+
+  double meanBatchSize() const {
+    return Batches == 0 ? 0.0
+                        : static_cast<double>(Completed) /
+                              static_cast<double>(Batches);
+  }
+};
+
+/// Async micro-batching front-end over a calibrated PromClassifier; see
+/// the file comment. The engine (and its underlying model) must outlive
+/// the service and stay unmodified while it runs.
+class AssessmentService {
+public:
+  explicit AssessmentService(const PromClassifier &Engine,
+                             ServiceConfig Cfg = ServiceConfig(),
+                             WindowedDriftMonitor *Monitor = nullptr);
+  ~AssessmentService(); ///< shutdown()s, completing every queued request.
+
+  AssessmentService(const AssessmentService &) = delete;
+  AssessmentService &operator=(const AssessmentService &) = delete;
+
+  /// Enqueues one sample; blocks while the queue is full. The future
+  /// resolves to the committee verdict — shutdown() drains, so requests
+  /// accepted before it still complete. Submitting to an already-shut-down
+  /// service resolves the future with std::runtime_error instead.
+  std::future<Verdict> submit(data::Sample S);
+
+  /// Non-blocking submit; returns false (leaving \p Out untouched) when
+  /// the queue is full or the service is shut down.
+  bool trySubmit(data::Sample S, std::future<Verdict> &Out);
+
+  /// Starts the batchers of a StartPaused service (no-op otherwise).
+  void start();
+
+  /// Blocks until every submitted request has been answered.
+  void drain();
+
+  /// Drains, then stops the batcher threads. Idempotent.
+  void shutdown();
+
+  /// Requests currently queued (not yet picked into a batch).
+  size_t queueDepth() const;
+
+  ServiceStats stats() const;
+  const ServiceConfig &config() const { return Cfg; }
+
+private:
+  struct Request {
+    data::Sample S;
+    std::promise<Verdict> P;
+  };
+
+  void batcherLoop();
+
+  const PromClassifier &Engine;
+  ServiceConfig Cfg;
+  WindowedDriftMonitor *Monitor;
+
+  mutable std::mutex Mutex;
+  /// Serializes shutdown() callers; held across the batcher join phase,
+  /// which runs outside Mutex.
+  std::mutex ShutdownMutex;
+  std::condition_variable NotEmpty;
+  std::condition_variable NotFull;
+  std::condition_variable Idle;
+  std::deque<Request> Queue;
+  size_t InFlight = 0; ///< Batches picked but not yet answered.
+  bool Started = true; ///< False while a StartPaused service is parked.
+  bool Stopping = false;
+  ServiceStats Stats;
+
+  std::vector<std::thread> Batchers;
+};
+
+} // namespace serve
+} // namespace prom
+
+#endif // PROM_SERVE_ASSESSMENTSERVICE_H

@@ -1,0 +1,112 @@
+//===- serve/WindowedDriftMonitor.cpp - Streaming drift windows -------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/WindowedDriftMonitor.h"
+
+#include <cassert>
+
+using namespace prom;
+using namespace prom::serve;
+
+WindowedDriftMonitor::WindowedDriftMonitor(DriftWindowConfig CfgIn)
+    : Cfg(CfgIn) {
+  assert(Cfg.WindowSize > 0 && "window must hold at least one verdict");
+  Ring.resize(Cfg.WindowSize);
+}
+
+void WindowedDriftMonitor::record(const Verdict &V) {
+  fold(V.Drifted, /*Mispredicted=*/-1);
+}
+
+void WindowedDriftMonitor::record(const RegressionVerdict &V) {
+  fold(V.Drifted, /*Mispredicted=*/-1);
+}
+
+void WindowedDriftMonitor::recordLabeled(const Verdict &V,
+                                         bool Mispredicted) {
+  fold(V.Drifted, Mispredicted ? 1 : 0);
+}
+
+void WindowedDriftMonitor::recordLabeled(const RegressionVerdict &V,
+                                         bool Mispredicted) {
+  fold(V.Drifted, Mispredicted ? 1 : 0);
+}
+
+void WindowedDriftMonitor::evict(const Slot &Old) {
+  --Fill;
+  if (Old.Rejected)
+    --WindowRejected;
+  if (Old.Mispredicted < 0)
+    return;
+  // Reverse the DetectionCounts fold of the evicted verdict.
+  bool Mis = Old.Mispredicted != 0;
+  bool Rej = Old.Rejected != 0;
+  if (Mis && Rej)
+    --Window.TruePositive;
+  else if (!Mis && Rej)
+    --Window.FalsePositive;
+  else if (Mis && !Rej)
+    --Window.FalseNegative;
+  else
+    --Window.TrueNegative;
+}
+
+void WindowedDriftMonitor::fold(bool Rejected, int8_t Mispredicted) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Fill == Ring.size())
+    evict(Ring[Next]);
+
+  Slot &S = Ring[Next];
+  S.Rejected = Rejected ? 1 : 0;
+  S.Mispredicted = Mispredicted;
+  Next = (Next + 1) % Ring.size();
+  ++Fill;
+  ++TotalSeen;
+  if (Rejected)
+    ++WindowRejected;
+  if (Mispredicted >= 0) {
+    Window.record(Mispredicted != 0, Rejected);
+    Lifetime.record(Mispredicted != 0, Rejected);
+  }
+
+  double Rate = Fill == 0
+                    ? 0.0
+                    : static_cast<double>(WindowRejected) /
+                          static_cast<double>(Fill);
+  bool Above = Fill >= Cfg.MinFill && Rate > Cfg.AlertRejectRate;
+  if (Above && !AlertActive)
+    ++AlertsRaised; // Rising edge: one "recalibrate" event per excursion.
+  AlertActive = Above;
+}
+
+DriftWindowSnapshot WindowedDriftMonitor::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  DriftWindowSnapshot S;
+  S.TotalSeen = TotalSeen;
+  S.WindowFill = Fill;
+  S.WindowRejected = WindowRejected;
+  S.RejectRate = Fill == 0 ? 0.0
+                           : static_cast<double>(WindowRejected) /
+                                 static_cast<double>(Fill);
+  S.AlertActive = AlertActive;
+  S.AlertsRaised = AlertsRaised;
+  S.Window = Window;
+  S.Lifetime = Lifetime;
+  return S;
+}
+
+void WindowedDriftMonitor::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Ring.assign(Cfg.WindowSize, Slot());
+  Next = 0;
+  Fill = 0;
+  TotalSeen = 0;
+  WindowRejected = 0;
+  Window = DetectionCounts();
+  Lifetime = DetectionCounts();
+  AlertActive = false;
+  AlertsRaised = 0;
+}

@@ -1,0 +1,125 @@
+//===- serve/WindowedDriftMonitor.h - Streaming drift windows ----*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming drift detection over a live deployment trace.
+///
+/// The per-figure benches fold DetectionCounts over a finished test set;
+/// a serving process instead sees an endless verdict stream and needs a
+/// *windowed* view: the committee's rejection rate over the last W
+/// verdicts is a label-free model-ageing signal (paper Sec. 5.4 — the
+/// rejection rate tracks the invisible accuracy drop). The monitor keeps a
+/// ring buffer of recent verdicts, maintains the window counters
+/// incrementally (O(1) per verdict), and raises a recalibration alert on
+/// the rising edge of the rejection rate crossing its threshold. When
+/// ground truth is available (labeled replay, delayed labels), the same
+/// fold also maintains windowed and lifetime DetectionCounts.
+///
+/// Thread-safe: AssessmentService batchers record from their own threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_SERVE_WINDOWEDDRIFTMONITOR_H
+#define PROM_SERVE_WINDOWEDDRIFTMONITOR_H
+
+#include "core/Detector.h"
+#include "core/DriftMetrics.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace prom {
+namespace serve {
+
+/// Windowing and alerting knobs.
+struct DriftWindowConfig {
+  /// Sliding-window length in verdicts.
+  size_t WindowSize = 256;
+  /// Rejection-rate threshold that raises the recalibration alert. The
+  /// natural setting is a small multiple of the detector's in-distribution
+  /// flag rate (~epsilon): rates well above it mean the calibration set no
+  /// longer represents the deployment distribution.
+  double AlertRejectRate = 0.25;
+  /// No alerts until the window holds at least this many verdicts, so a
+  /// couple of early rejections cannot trip the alarm.
+  size_t MinFill = 64;
+};
+
+/// Point-in-time view of the monitor (one lock, consistent fields).
+struct DriftWindowSnapshot {
+  size_t TotalSeen = 0;     ///< Verdicts ever recorded.
+  size_t WindowFill = 0;    ///< Verdicts currently in the window.
+  size_t WindowRejected = 0;
+  double RejectRate = 0.0;  ///< WindowRejected / WindowFill (0 when empty).
+  bool AlertActive = false;
+  size_t AlertsRaised = 0;  ///< Rising edges so far.
+  DetectionCounts Window;   ///< Labeled-verdict confusion in the window.
+  DetectionCounts Lifetime; ///< Labeled-verdict confusion since start/reset.
+};
+
+/// Sliding-window drift monitor; see file comment.
+class WindowedDriftMonitor {
+public:
+  explicit WindowedDriftMonitor(DriftWindowConfig Cfg = DriftWindowConfig());
+
+  /// Folds one deployment verdict (no ground truth).
+  void record(const Verdict &V);
+  void record(const RegressionVerdict &V);
+
+  /// Folds one verdict with ground truth: \p Mispredicted is the label of
+  /// the DetectionCounts fold ("the underlying model got this one wrong").
+  void recordLabeled(const Verdict &V, bool Mispredicted);
+  void recordLabeled(const RegressionVerdict &V, bool Mispredicted);
+
+  /// Consistent view of every statistic.
+  DriftWindowSnapshot snapshot() const;
+
+  /// Window rejection rate (0 while empty).
+  double rejectRate() const { return snapshot().RejectRate; }
+
+  /// True while the windowed rejection rate sits above the alert
+  /// threshold (with at least MinFill verdicts in the window).
+  bool alertActive() const { return snapshot().AlertActive; }
+
+  /// Rising-edge alert count — "recalibration recommended" events.
+  size_t alertsRaised() const { return snapshot().AlertsRaised; }
+
+  /// Empties the window and counters; call after recalibrating so the
+  /// refreshed detector starts from a clean signal.
+  void reset();
+
+  const DriftWindowConfig &config() const { return Cfg; }
+
+private:
+  /// One ring-buffer slot.
+  struct Slot {
+    uint8_t Rejected = 0;
+    int8_t Mispredicted = -1; ///< -1 unknown, else 0/1.
+  };
+
+  void fold(bool Rejected, int8_t Mispredicted);
+  void evict(const Slot &Old);
+
+  DriftWindowConfig Cfg;
+
+  mutable std::mutex Mutex;
+  std::vector<Slot> Ring;
+  size_t Next = 0;        ///< Ring write position.
+  size_t Fill = 0;        ///< Occupied slots.
+  size_t TotalSeen = 0;
+  size_t WindowRejected = 0;
+  DetectionCounts Window;
+  DetectionCounts Lifetime;
+  bool AlertActive = false;
+  size_t AlertsRaised = 0;
+};
+
+} // namespace serve
+} // namespace prom
+
+#endif // PROM_SERVE_WINDOWEDDRIFTMONITOR_H

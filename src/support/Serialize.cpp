@@ -1,0 +1,173 @@
+//===- support/Serialize.cpp - Versioned binary snapshot I/O ----------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Serialize.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace prom::support;
+
+namespace {
+
+constexpr char SnapshotMagic[8] = {'P', 'R', 'O', 'M', 'S', 'N', 'A', 'P'};
+
+} // namespace
+
+uint64_t prom::support::fnv1a(const uint8_t *Data, size_t N) {
+  uint64_t Hash = 1469598103934665603ull;
+  for (size_t I = 0; I < N; ++I) {
+    Hash ^= Data[I];
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+void ByteWriter::writeU32(uint32_t V) {
+  uint8_t Raw[sizeof(V)];
+  std::memcpy(Raw, &V, sizeof(V));
+  Bytes.insert(Bytes.end(), Raw, Raw + sizeof(V));
+}
+
+void ByteWriter::writeU64(uint64_t V) {
+  uint8_t Raw[sizeof(V)];
+  std::memcpy(Raw, &V, sizeof(V));
+  Bytes.insert(Bytes.end(), Raw, Raw + sizeof(V));
+}
+
+void ByteWriter::writeF64(double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  writeU64(Bits);
+}
+
+void ByteWriter::writeString(const std::string &S) {
+  writeU32(static_cast<uint32_t>(S.size()));
+  Bytes.insert(Bytes.end(), S.begin(), S.end());
+}
+
+void ByteWriter::writeDoubleVec(const std::vector<double> &V) {
+  writeU64(V.size());
+  for (double D : V)
+    writeF64(D);
+}
+
+bool ByteWriter::writeFile(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(SnapshotMagic, 1, sizeof(SnapshotMagic), F) ==
+            sizeof(SnapshotMagic);
+  if (Ok && !Bytes.empty())
+    Ok = std::fwrite(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  if (Ok) {
+    // The checksum covers magic + payload, so a corrupted header fails the
+    // same way a corrupted payload does.
+    std::vector<uint8_t> Checked(SnapshotMagic,
+                                 SnapshotMagic + sizeof(SnapshotMagic));
+    Checked.insert(Checked.end(), Bytes.begin(), Bytes.end());
+    uint64_t Sum = fnv1a(Checked.data(), Checked.size());
+    uint8_t Raw[sizeof(Sum)];
+    std::memcpy(Raw, &Sum, sizeof(Sum));
+    Ok = std::fwrite(Raw, 1, sizeof(Sum), F) == sizeof(Sum);
+  }
+  return std::fclose(F) == 0 && Ok;
+}
+
+bool ByteReader::loadFile(const std::string &Path) {
+  Failed = true;
+  Bytes.clear();
+  Cursor = 0;
+
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::vector<uint8_t> All;
+  uint8_t Buf[4096];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    All.insert(All.end(), Buf, Buf + Got);
+  bool ReadOk = std::ferror(F) == 0;
+  std::fclose(F);
+
+  constexpr size_t MagicLen = sizeof(SnapshotMagic);
+  constexpr size_t ChecksumLen = sizeof(uint64_t);
+  if (!ReadOk || All.size() < MagicLen + ChecksumLen)
+    return false;
+  if (std::memcmp(All.data(), SnapshotMagic, MagicLen) != 0)
+    return false;
+
+  uint64_t Stored;
+  std::memcpy(&Stored, All.data() + All.size() - ChecksumLen, ChecksumLen);
+  if (fnv1a(All.data(), All.size() - ChecksumLen) != Stored)
+    return false;
+
+  Bytes.assign(All.begin() + MagicLen, All.end() - ChecksumLen);
+  Failed = false;
+  return true;
+}
+
+bool ByteReader::take(size_t N, const uint8_t *&Out) {
+  if (Failed || Bytes.size() - Cursor < N) {
+    Failed = true;
+    return false;
+  }
+  Out = Bytes.data() + Cursor;
+  Cursor += N;
+  return true;
+}
+
+uint8_t ByteReader::readU8() {
+  const uint8_t *P;
+  return take(1, P) ? *P : 0;
+}
+
+uint32_t ByteReader::readU32() {
+  const uint8_t *P;
+  if (!take(sizeof(uint32_t), P))
+    return 0;
+  uint32_t V;
+  std::memcpy(&V, P, sizeof(V));
+  return V;
+}
+
+uint64_t ByteReader::readU64() {
+  const uint8_t *P;
+  if (!take(sizeof(uint64_t), P))
+    return 0;
+  uint64_t V;
+  std::memcpy(&V, P, sizeof(V));
+  return V;
+}
+
+double ByteReader::readF64() {
+  uint64_t Bits = readU64();
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return Failed ? 0.0 : V;
+}
+
+std::string ByteReader::readString() {
+  uint32_t Len = readU32();
+  const uint8_t *P;
+  if (!take(Len, P))
+    return std::string();
+  return std::string(reinterpret_cast<const char *>(P), Len);
+}
+
+std::vector<double> ByteReader::readDoubleVec() {
+  uint64_t Len = readU64();
+  // Validate the length against the remaining payload before allocating:
+  // a corrupt length field must fail, not OOM.
+  if (Failed || Len > (Bytes.size() - Cursor) / sizeof(double)) {
+    Failed = true;
+    return {};
+  }
+  std::vector<double> V(static_cast<size_t>(Len));
+  for (double &D : V)
+    D = readF64();
+  return V;
+}

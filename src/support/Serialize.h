@@ -1,0 +1,98 @@
+//===- support/Serialize.h - Versioned binary snapshot I/O -------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-level plumbing of the detector snapshot format.
+///
+/// A snapshot file is: the 8-byte magic "PROMSNAP", a host-endian
+/// payload written through ByteWriter, and a trailing FNV-1a checksum of
+/// everything before it. ByteReader memory-maps nothing and trusts
+/// nothing: every read is bounds-checked, vector lengths are validated
+/// against the remaining bytes before allocation, and the checksum is
+/// verified before any field is consumed — truncated, oversized, or
+/// bit-flipped files fail loading instead of producing a detector with
+/// silently wrong calibration state.
+///
+/// Doubles round-trip through their IEEE-754 bit patterns, so restored
+/// calibration scores are bit-identical to the saved ones (snapshots are
+/// restart artifacts for the serving runtime, not a cross-architecture
+/// interchange format: byte order is fixed to the host's, which the
+/// supported targets share).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_SUPPORT_SERIALIZE_H
+#define PROM_SUPPORT_SERIALIZE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prom {
+namespace support {
+
+/// FNV-1a over \p N bytes; the snapshot integrity checksum.
+uint64_t fnv1a(const uint8_t *Data, size_t N);
+
+/// Appends primitive values to a byte buffer and writes the final
+/// checksummed file.
+class ByteWriter {
+public:
+  void writeU8(uint8_t V) { Bytes.push_back(V); }
+  void writeU32(uint32_t V);
+  void writeU64(uint64_t V);
+  void writeI32(int32_t V) { writeU32(static_cast<uint32_t>(V)); }
+  void writeF64(double V);
+  /// Length-prefixed UTF-8 string.
+  void writeString(const std::string &S);
+  /// Length-prefixed vector of doubles.
+  void writeDoubleVec(const std::vector<double> &V);
+
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+
+  /// Writes magic + payload + FNV-1a checksum to \p Path. Returns false on
+  /// I/O failure.
+  bool writeFile(const std::string &Path) const;
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+/// Bounds-checked reader over a loaded snapshot payload. After any failed
+/// read, failed() is sticky and every subsequent read returns a default.
+class ByteReader {
+public:
+  /// Loads \p Path, verifies the magic and the trailing checksum, and
+  /// exposes the payload between them. Returns false (and leaves the
+  /// reader failed) for missing, short, or corrupt files.
+  bool loadFile(const std::string &Path);
+
+  bool failed() const { return Failed; }
+  /// True when the payload was consumed exactly.
+  bool atEnd() const { return !Failed && Cursor == Bytes.size(); }
+
+  uint8_t readU8();
+  uint32_t readU32();
+  uint64_t readU64();
+  int32_t readI32() { return static_cast<int32_t>(readU32()); }
+  double readF64();
+  std::string readString();
+  /// Reads a length-prefixed vector; the length is validated against the
+  /// remaining payload before anything is allocated.
+  std::vector<double> readDoubleVec();
+
+private:
+  bool take(size_t N, const uint8_t *&Out);
+
+  std::vector<uint8_t> Bytes;
+  size_t Cursor = 0;
+  bool Failed = true; ///< Until loadFile succeeds.
+};
+
+} // namespace support
+} // namespace prom
+
+#endif // PROM_SUPPORT_SERIALIZE_H

@@ -114,7 +114,16 @@ void ThreadPool::parallelFor(size_t N,
   }
   WakeWorkers.notify_all();
 
-  // The calling thread participates in the region.
+  // The calling thread participates in the region. While it does, it must
+  // count as a pool thread: a nested parallelFor issued from inside Fn
+  // would otherwise re-acquire RegionMutex on this same thread and
+  // deadlock. Marking it makes nested calls run inline, exactly like
+  // nested calls from the workers.
+  struct InlineNestedGuard {
+    InlineNestedGuard() { InsideWorker = true; }
+    ~InlineNestedGuard() { InsideWorker = false; }
+  } MarkInsideRegion;
+
   while (true) {
     size_t C;
     {

@@ -47,8 +47,10 @@ public:
 
   /// Runs \p Fn(Begin, End) over deterministic contiguous chunks covering
   /// [0, N). Blocks until every chunk has finished. \p Fn must be safe to
-  /// call concurrently on disjoint ranges. Calls from within a worker (or
-  /// with N below \p MinParallel) run inline on the calling thread.
+  /// call concurrently on disjoint ranges. Nested calls — from a worker or
+  /// from inside \p Fn on the calling thread — run inline, as do calls
+  /// with N below \p MinParallel; work nested under a saturated region
+  /// costs no extra synchronization.
   void parallelFor(size_t N, const std::function<void(size_t, size_t)> &Fn,
                    size_t MinParallel = 2);
 

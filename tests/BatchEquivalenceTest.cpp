@@ -16,9 +16,11 @@
 
 #include "core/Detector.h"
 #include "data/Split.h"
+#include "ml/AttentionPool.h"
 #include "ml/Gcn.h"
 #include "ml/Knn.h"
 #include "ml/Linear.h"
+#include "ml/Lstm.h"
 #include "ml/Mlp.h"
 #include "support/Rng.h"
 #include "tests/TestHelpers.h"
@@ -28,6 +30,7 @@
 using namespace prom;
 using prom::testing::gaussianBlobs;
 using prom::testing::linearRegression;
+using prom::testing::tokenBlobs;
 
 namespace {
 
@@ -192,6 +195,149 @@ TEST(BatchForwardTest, GcnStackedForwardMatchesPerSample) {
     for (size_t D = 0; D < E.size(); ++D)
       EXPECT_EQ(E[D], Embeds.at(I, D));
   }
+}
+
+TEST(BatchForwardTest, LstmBatchMatchesPerSample) {
+  // The sequence models carry real batch overrides (shared scratch, one
+  // traversal for probabilities + embedding) instead of the inherited
+  // per-sample fallback; the bit-exact contract is the same.
+  support::Rng R(61);
+  ml::LstmConfig Cfg;
+  Cfg.EmbedDim = 8;
+  Cfg.HiddenDim = 8;
+  Cfg.MaxSeqLen = 12;
+  Cfg.Epochs = 2;
+  ml::LstmClassifier Model(Cfg);
+  data::Dataset Train = tokenBlobs(3, 30, 10, R);
+  Model.fit(Train, R);
+
+  data::Dataset Test = tokenBlobs(3, 12, 10, R);
+  support::Matrix Probs = Model.predictProbaBatch(Test);
+  support::Matrix Embeds = Model.embedBatch(Test);
+  support::Matrix Probs2, Embeds2;
+  Model.predictWithEmbedBatch(Test, Probs2, Embeds2);
+
+  for (size_t I = 0; I < Test.size(); ++I) {
+    std::vector<double> P = Model.predictProba(Test[I]);
+    std::vector<double> E = Model.embed(Test[I]);
+    ASSERT_EQ(P.size(), Probs.cols());
+    ASSERT_EQ(E.size(), Embeds.cols());
+    for (size_t C = 0; C < P.size(); ++C) {
+      EXPECT_EQ(P[C], Probs.at(I, C));
+      EXPECT_EQ(P[C], Probs2.at(I, C));
+    }
+    for (size_t D = 0; D < E.size(); ++D) {
+      EXPECT_EQ(E[D], Embeds.at(I, D));
+      EXPECT_EQ(E[D], Embeds2.at(I, D));
+    }
+  }
+}
+
+TEST(BatchForwardTest, BiLstmBatchMatchesPerSample) {
+  support::Rng R(62);
+  ml::LstmConfig Cfg;
+  Cfg.EmbedDim = 6;
+  Cfg.HiddenDim = 6;
+  Cfg.MaxSeqLen = 10;
+  Cfg.Epochs = 2;
+  Cfg.Bidirectional = true;
+  ml::LstmClassifier Model(Cfg);
+  data::Dataset Train = tokenBlobs(2, 30, 9, R);
+  Model.fit(Train, R);
+
+  data::Dataset Test = tokenBlobs(2, 10, 9, R);
+  support::Matrix Probs, Embeds;
+  Model.predictWithEmbedBatch(Test, Probs, Embeds);
+  for (size_t I = 0; I < Test.size(); ++I) {
+    std::vector<double> P = Model.predictProba(Test[I]);
+    std::vector<double> E = Model.embed(Test[I]);
+    for (size_t C = 0; C < P.size(); ++C)
+      EXPECT_EQ(P[C], Probs.at(I, C));
+    for (size_t D = 0; D < E.size(); ++D)
+      EXPECT_EQ(E[D], Embeds.at(I, D));
+  }
+}
+
+TEST(BatchForwardTest, AttentionClassifierBatchMatchesPerSample) {
+  support::Rng R(63);
+  ml::AttentionConfig Cfg;
+  Cfg.EmbedDim = 8;
+  Cfg.AttnDim = 8;
+  Cfg.HiddenDim = 10;
+  Cfg.MaxSeqLen = 12;
+  Cfg.Epochs = 3;
+  ml::AttentionClassifier Model(Cfg);
+  data::Dataset Train = tokenBlobs(3, 30, 10, R);
+  Model.fit(Train, R);
+
+  data::Dataset Test = tokenBlobs(3, 12, 10, R);
+  support::Matrix Probs = Model.predictProbaBatch(Test);
+  support::Matrix Embeds = Model.embedBatch(Test);
+  support::Matrix Probs2, Embeds2;
+  Model.predictWithEmbedBatch(Test, Probs2, Embeds2);
+  for (size_t I = 0; I < Test.size(); ++I) {
+    std::vector<double> P = Model.predictProba(Test[I]);
+    std::vector<double> E = Model.embed(Test[I]);
+    for (size_t C = 0; C < P.size(); ++C) {
+      EXPECT_EQ(P[C], Probs.at(I, C));
+      EXPECT_EQ(P[C], Probs2.at(I, C));
+    }
+    for (size_t D = 0; D < E.size(); ++D) {
+      EXPECT_EQ(E[D], Embeds.at(I, D));
+      EXPECT_EQ(E[D], Embeds2.at(I, D));
+    }
+  }
+}
+
+TEST(BatchForwardTest, AttentionRegressorBatchMatchesPerSample) {
+  support::Rng R(64);
+  ml::AttentionConfig Cfg;
+  Cfg.EmbedDim = 8;
+  Cfg.AttnDim = 8;
+  Cfg.HiddenDim = 10;
+  Cfg.MaxSeqLen = 12;
+  Cfg.Epochs = 3;
+  ml::AttentionRegressor Model(Cfg);
+  data::Dataset Train = tokenBlobs(2, 30, 10, R);
+  for (auto &S : Train.samples())
+    S.Target = static_cast<double>(S.Label) + 0.25;
+  Model.fit(Train, R);
+
+  data::Dataset Test = tokenBlobs(2, 12, 10, R);
+  std::vector<double> Preds = Model.predictBatch(Test);
+  support::Matrix Embeds = Model.embedBatch(Test);
+  std::vector<double> Preds2;
+  support::Matrix Embeds2;
+  Model.predictWithEmbedBatch(Test, Preds2, Embeds2);
+  for (size_t I = 0; I < Test.size(); ++I) {
+    EXPECT_EQ(Model.predict(Test[I]), Preds[I]);
+    EXPECT_EQ(Preds[I], Preds2[I]);
+    std::vector<double> E = Model.embed(Test[I]);
+    for (size_t D = 0; D < E.size(); ++D) {
+      EXPECT_EQ(E[D], Embeds.at(I, D));
+      EXPECT_EQ(E[D], Embeds2.at(I, D));
+    }
+  }
+}
+
+TEST(BatchEquivalenceTest, LstmPromCommitteeBitIdentical) {
+  // The committee contract must hold end-to-end over a sequence model's
+  // batched forwards too.
+  support::Rng R(65);
+  ml::LstmConfig Cfg;
+  Cfg.EmbedDim = 8;
+  Cfg.HiddenDim = 8;
+  Cfg.MaxSeqLen = 12;
+  Cfg.Epochs = 2;
+  ml::LstmClassifier Model(Cfg);
+  data::Dataset Full = tokenBlobs(3, 60, 10, R);
+  auto [Train, Calib] = data::calibrationPartition(Full, R, 0.4);
+  Model.fit(Train, R);
+
+  PromClassifier Prom(Model);
+  Prom.calibrate(Calib);
+  data::Dataset Test = tokenBlobs(3, 15, 10, R);
+  checkClassifierEquivalence(Prom, Test);
 }
 
 TEST(BatchForwardTest, DefaultBatchLoopMatchesPerSample) {

@@ -1,0 +1,165 @@
+//===- tests/GridSearchCacheTest.cpp - grid-search forward reuse --------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Grid search sweeps dozens of candidate configurations over the same
+// internal validation half; the model's forwards do not depend on the
+// candidate, so they must be computed once per fold and reused — not once
+// per (fold, candidate). A counting mock model enforces the call budget.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Detector.h"
+#include "core/GridSearch.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace prom;
+
+namespace {
+
+/// Deterministic 2-class model that counts every forward entry point.
+class CountingModel : public ml::Classifier {
+public:
+  mutable size_t PerSampleProba = 0;
+  mutable size_t PerSampleEmbed = 0;
+  mutable size_t BatchProba = 0;
+  mutable size_t BatchEmbed = 0;
+  mutable size_t BatchCombined = 0;
+
+  void fit(const data::Dataset &, support::Rng &) override {}
+
+  /// Runs the default per-sample fallback without letting its internal
+  /// predictProba/embed calls inflate the per-sample counters. (Defined
+  /// before its uses so the auto return type deduces.)
+  template <typename FnT> auto countFree(FnT Fn) const {
+    size_t Proba = PerSampleProba, Embed = PerSampleEmbed;
+    auto Result = Fn();
+    PerSampleProba = Proba;
+    PerSampleEmbed = Embed;
+    return Result;
+  }
+
+  std::vector<double> predictProba(const data::Sample &S) const override {
+    ++PerSampleProba;
+    double P0 = 1.0 / (1.0 + std::exp(-S.Features[0]));
+    return {P0, 1.0 - P0};
+  }
+
+  std::vector<double> embed(const data::Sample &S) const override {
+    ++PerSampleEmbed;
+    return S.Features;
+  }
+
+  support::Matrix
+  predictProbaBatch(const data::Dataset &Batch) const override {
+    ++BatchProba;
+    return countFree([&] { return Classifier::predictProbaBatch(Batch); });
+  }
+
+  support::Matrix embedBatch(const data::Dataset &Batch) const override {
+    ++BatchEmbed;
+    return countFree([&] { return Classifier::embedBatch(Batch); });
+  }
+
+  void predictWithEmbedBatch(const data::Dataset &Batch,
+                             support::Matrix &Probs,
+                             support::Matrix &Embeds) const override {
+    ++BatchCombined;
+    countFree([&] {
+      Probs = Classifier::predictProbaBatch(Batch);
+      Embeds = Classifier::embedBatch(Batch);
+      return 0;
+    });
+  }
+
+  int numClasses() const override { return 2; }
+  std::string name() const override { return "CountingMock"; }
+};
+
+} // namespace
+
+TEST(GridSearchCacheTest, ModelForwardsDoNotScaleWithCandidates) {
+  support::Rng R(17);
+  data::Dataset Calib("mock", 2);
+  for (int I = 0; I < 120; ++I) {
+    data::Sample S;
+    S.Features = {R.gaussian(I % 2 == 0 ? -1.2 : 1.2, 1.0),
+                  R.gaussian(0.0, 1.0)};
+    S.Label = I % 2;
+    Calib.add(std::move(S));
+  }
+
+  CountingModel Model;
+  GridSearchSpace Space; // 6 x 3 x 3 = 54 candidates.
+  size_t NumCandidates = Space.Epsilons.size() *
+                         Space.ConfThresholds.size() * Space.Taus.size();
+  ASSERT_GT(NumCandidates, 10u);
+
+  const size_t Repeats = 2;
+  GridSearchResult Result =
+      gridSearch(Model, Calib, Space, PromConfig(), R, Repeats);
+  EXPECT_EQ(Result.NumEvaluated, NumCandidates);
+
+  // Per fold: one combined batch forward to calibrate, one to precompute
+  // the validation-half forwards shared by all candidates.
+  EXPECT_EQ(Model.BatchCombined, 2 * Repeats);
+  EXPECT_EQ(Model.BatchProba, 0u);
+  EXPECT_EQ(Model.BatchEmbed, 0u);
+
+  // The per-sample entry points must not have been hit per candidate:
+  // anything proportional to NumCandidates x validation size (24 x 54
+  // > 1000 here) means the cache is gone.
+  EXPECT_EQ(Model.PerSampleProba, 0u);
+  EXPECT_EQ(Model.PerSampleEmbed, 0u);
+}
+
+TEST(GridSearchCacheTest, CachedForwardsMatchUncachedVerdicts) {
+  // Equivalence guard: assessBatchWithForwards over precomputed forwards
+  // must equal assessBatch on the dataset, bit for bit.
+  support::Rng R(18);
+  data::Dataset Data("mock", 2);
+  for (int I = 0; I < 200; ++I) {
+    data::Sample S;
+    S.Features = {R.gaussian(I % 2 == 0 ? -1.0 : 1.0, 1.0),
+                  R.gaussian(0.0, 1.0)};
+    S.Label = I % 2;
+    Data.add(std::move(S));
+  }
+  CountingModel Model;
+  PromClassifier Prom(Model);
+  Prom.calibrate(Data);
+
+  data::Dataset Probe("mock", 2);
+  for (int I = 0; I < 40; ++I) {
+    data::Sample S;
+    S.Features = {R.gaussian(0.0, 2.0), R.gaussian(0.0, 2.0)};
+    S.Label = 0;
+    Probe.add(std::move(S));
+  }
+
+  std::vector<Verdict> ViaDataset = Prom.assessBatch(Probe);
+  support::Matrix RawProbs, Embeds;
+  Model.predictWithEmbedBatch(Probe, RawProbs, Embeds);
+  std::vector<Verdict> ViaForwards =
+      Prom.assessBatchWithForwards(RawProbs, Embeds);
+
+  ASSERT_EQ(ViaDataset.size(), ViaForwards.size());
+  for (size_t I = 0; I < ViaDataset.size(); ++I) {
+    SCOPED_TRACE("sample " + std::to_string(I));
+    EXPECT_EQ(ViaDataset[I].Predicted, ViaForwards[I].Predicted);
+    EXPECT_EQ(ViaDataset[I].Drifted, ViaForwards[I].Drifted);
+    ASSERT_EQ(ViaDataset[I].Experts.size(), ViaForwards[I].Experts.size());
+    for (size_t E = 0; E < ViaDataset[I].Experts.size(); ++E) {
+      EXPECT_EQ(ViaDataset[I].Experts[E].Credibility,
+                ViaForwards[I].Experts[E].Credibility);
+      EXPECT_EQ(ViaDataset[I].Experts[E].Confidence,
+                ViaForwards[I].Experts[E].Confidence);
+    }
+  }
+}

@@ -1,0 +1,285 @@
+//===- tests/ServeTest.cpp - async serving runtime ----------------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The AssessmentService must be a scheduling layer, nothing more: a
+// verdict served through the queue + micro-batcher is bit-identical to a
+// direct assessBatch() verdict for the same sample. Also covers deadline
+// flushes of short batches, concurrent submitters, drain/shutdown
+// semantics, and the WindowedDriftMonitor's sliding-window counters and
+// rising-edge recalibration alerts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Split.h"
+#include "ml/Linear.h"
+#include "serve/AssessmentService.h"
+#include "serve/WindowedDriftMonitor.h"
+#include "tests/TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace prom;
+using namespace prom::serve;
+using prom::testing::gaussianBlobs;
+
+namespace {
+
+void expectSameVerdict(const Verdict &A, const Verdict &B, size_t Index) {
+  SCOPED_TRACE("sample " + std::to_string(Index));
+  EXPECT_EQ(A.Predicted, B.Predicted);
+  EXPECT_EQ(A.Drifted, B.Drifted);
+  EXPECT_EQ(A.VotesToFlag, B.VotesToFlag);
+  ASSERT_EQ(A.Experts.size(), B.Experts.size());
+  for (size_t E = 0; E < A.Experts.size(); ++E) {
+    EXPECT_EQ(A.Experts[E].Credibility, B.Experts[E].Credibility);
+    EXPECT_EQ(A.Experts[E].Confidence, B.Experts[E].Confidence);
+  }
+}
+
+/// Shared calibrated engine.
+struct EngineFixture {
+  support::Rng R{63};
+  data::Dataset Train, Calib, Test;
+  ml::LogisticRegression Model;
+  std::unique_ptr<PromClassifier> Prom;
+
+  EngineFixture() {
+    data::Dataset Full = gaussianBlobs(3, 220, 4.0, 0.8, R);
+    auto Split = data::calibrationPartition(Full, R, 0.35);
+    Train = std::move(Split.first);
+    Calib = std::move(Split.second);
+    Model.fit(Train, R);
+    PromConfig Cfg;
+    Cfg.NumShards = 4;
+    Prom = std::make_unique<PromClassifier>(Model, Cfg);
+    Prom->calibrate(Calib);
+
+    Test = gaussianBlobs(3, 30, 4.0, 0.8, R);
+    for (int I = 0; I < 30; ++I) {
+      data::Sample Novel;
+      Novel.Features = {R.gaussian(0.0, 0.7), R.gaussian(0.0, 0.7)};
+      Novel.Label = 0;
+      Test.add(std::move(Novel));
+    }
+  }
+};
+
+EngineFixture &fixture() {
+  static EngineFixture F;
+  return F;
+}
+
+Verdict fakeVerdict(bool Drifted) {
+  Verdict V;
+  V.Predicted = 0;
+  V.Drifted = Drifted;
+  return V;
+}
+
+} // namespace
+
+TEST(ServeTest, ServedVerdictsMatchDirectBitIdentical) {
+  EngineFixture &F = fixture();
+  std::vector<Verdict> Direct = F.Prom->assessBatch(F.Test);
+
+  ServiceConfig Cfg;
+  Cfg.MaxBatch = 16;
+  Cfg.FlushDeadline = std::chrono::microseconds(500);
+  Cfg.NumBatchers = 2;
+  AssessmentService Svc(*F.Prom, Cfg);
+
+  std::vector<std::future<Verdict>> Futures;
+  for (const data::Sample &S : F.Test.samples())
+    Futures.push_back(Svc.submit(S));
+  for (size_t I = 0; I < Futures.size(); ++I)
+    expectSameVerdict(Direct[I], Futures[I].get(), I);
+
+  // Promises resolve before the batcher banks its stats; drain() waits
+  // for the full batch epilogue.
+  Svc.drain();
+  ServiceStats Stats = Svc.stats();
+  EXPECT_EQ(Stats.Submitted, F.Test.size());
+  EXPECT_EQ(Stats.Completed, F.Test.size());
+  EXPECT_GE(Stats.Batches, 1u);
+  EXPECT_GE(Stats.meanBatchSize(), 1.0);
+}
+
+TEST(ServeTest, DeadlineFlushesShortBatches) {
+  EngineFixture &F = fixture();
+
+  ServiceConfig Cfg;
+  Cfg.MaxBatch = 64; // Far larger than what we submit.
+  Cfg.FlushDeadline = std::chrono::microseconds(200);
+  AssessmentService Svc(*F.Prom, Cfg);
+
+  std::vector<std::future<Verdict>> Futures;
+  for (size_t I = 0; I < 3; ++I)
+    Futures.push_back(Svc.submit(F.Test[I]));
+  for (auto &Fut : Futures)
+    Fut.get(); // Must resolve without 61 more requests arriving.
+  EXPECT_GE(Svc.stats().DeadlineFlushes, 1u);
+}
+
+TEST(ServeTest, ConcurrentSubmittersAllServed) {
+  EngineFixture &F = fixture();
+
+  ServiceConfig Cfg;
+  Cfg.MaxBatch = 8;
+  Cfg.NumBatchers = 2;
+  AssessmentService Svc(*F.Prom, Cfg);
+
+  constexpr size_t Clients = 4, PerClient = 40;
+  std::atomic<size_t> Resolved{0};
+  std::vector<std::thread> Threads;
+  for (size_t C = 0; C < Clients; ++C)
+    Threads.emplace_back([&, C] {
+      for (size_t I = 0; I < PerClient; ++I) {
+        size_t Idx = (C * PerClient + I) % F.Test.size();
+        std::future<Verdict> Fut = Svc.submit(F.Test[Idx]);
+        Verdict V = Fut.get();
+        if (V.Experts.size() == F.Prom->numExperts())
+          ++Resolved;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Resolved.load(), Clients * PerClient);
+
+  Svc.drain();
+  ServiceStats Stats = Svc.stats();
+  EXPECT_EQ(Stats.Submitted, Clients * PerClient);
+  EXPECT_EQ(Stats.Completed, Clients * PerClient);
+}
+
+TEST(ServeTest, ShutdownDrainsAndRejectsLateSubmits) {
+  EngineFixture &F = fixture();
+
+  auto Svc = std::make_unique<AssessmentService>(*F.Prom);
+  std::vector<std::future<Verdict>> Futures;
+  for (size_t I = 0; I < 10; ++I)
+    Futures.push_back(Svc->submit(F.Test[I]));
+  Svc->shutdown();
+  for (auto &Fut : Futures)
+    EXPECT_NO_THROW(Fut.get()); // Accepted before shutdown => answered.
+
+  std::future<Verdict> Late = Svc->submit(F.Test[0]);
+  EXPECT_THROW(Late.get(), std::runtime_error);
+
+  std::future<Verdict> TryLate;
+  EXPECT_FALSE(Svc->trySubmit(F.Test[0], TryLate));
+}
+
+TEST(ServeTest, ServiceFoldsVerdictsIntoMonitor) {
+  EngineFixture &F = fixture();
+
+  WindowedDriftMonitor Monitor(DriftWindowConfig{64, 0.9, 8});
+  ServiceConfig Cfg;
+  Cfg.MaxBatch = 16;
+  AssessmentService Svc(*F.Prom, Cfg, &Monitor);
+
+  std::vector<std::future<Verdict>> Futures;
+  for (const data::Sample &S : F.Test.samples())
+    Futures.push_back(Svc.submit(S));
+  size_t Rejected = 0;
+  for (auto &Fut : Futures)
+    Rejected += Fut.get().Drifted ? 1 : 0;
+  Svc.drain();
+
+  DriftWindowSnapshot Snap = Monitor.snapshot();
+  EXPECT_EQ(Snap.TotalSeen, F.Test.size());
+  EXPECT_EQ(Snap.WindowFill, std::min<size_t>(F.Test.size(), 64));
+  EXPECT_EQ(Svc.stats().Rejected, Rejected);
+}
+
+//===----------------------------------------------------------------------===//
+// WindowedDriftMonitor unit behavior
+//===----------------------------------------------------------------------===//
+
+TEST(ServeTest, MonitorRaisesAlertOnRisingEdgeOnly) {
+  DriftWindowConfig Cfg;
+  Cfg.WindowSize = 20;
+  Cfg.AlertRejectRate = 0.5;
+  Cfg.MinFill = 10;
+  WindowedDriftMonitor Monitor(Cfg);
+
+  // Below MinFill: no alert even at 100% rejection.
+  for (int I = 0; I < 9; ++I)
+    Monitor.record(fakeVerdict(true));
+  EXPECT_FALSE(Monitor.alertActive());
+  EXPECT_EQ(Monitor.alertsRaised(), 0u);
+
+  // Crossing MinFill with a high rate: one rising edge.
+  Monitor.record(fakeVerdict(true));
+  EXPECT_TRUE(Monitor.alertActive());
+  EXPECT_EQ(Monitor.alertsRaised(), 1u);
+
+  // Staying above threshold does not re-raise.
+  for (int I = 0; I < 5; ++I)
+    Monitor.record(fakeVerdict(true));
+  EXPECT_EQ(Monitor.alertsRaised(), 1u);
+
+  // A clean stretch slides the rejections out of the window.
+  for (int I = 0; I < 25; ++I)
+    Monitor.record(fakeVerdict(false));
+  EXPECT_FALSE(Monitor.alertActive());
+  EXPECT_EQ(Monitor.rejectRate(), 0.0);
+
+  // A second excursion is a second alert.
+  for (int I = 0; I < 20; ++I)
+    Monitor.record(fakeVerdict(true));
+  EXPECT_TRUE(Monitor.alertActive());
+  EXPECT_EQ(Monitor.alertsRaised(), 2u);
+}
+
+TEST(ServeTest, MonitorWindowEvictionIsExact) {
+  DriftWindowConfig Cfg;
+  Cfg.WindowSize = 4;
+  Cfg.AlertRejectRate = 2.0; // Never alerts; this test is about counting.
+  Cfg.MinFill = 1;
+  WindowedDriftMonitor Monitor(Cfg);
+
+  // Pattern R A R A R: window of 4 ends with A R A R -> 2 rejected.
+  bool Pattern[] = {true, false, true, false, true};
+  for (bool Rej : Pattern)
+    Monitor.record(fakeVerdict(Rej));
+  DriftWindowSnapshot Snap = Monitor.snapshot();
+  EXPECT_EQ(Snap.TotalSeen, 5u);
+  EXPECT_EQ(Snap.WindowFill, 4u);
+  EXPECT_EQ(Snap.WindowRejected, 2u);
+  EXPECT_DOUBLE_EQ(Snap.RejectRate, 0.5);
+}
+
+TEST(ServeTest, MonitorLabeledCountsWindowAndLifetime) {
+  DriftWindowConfig Cfg;
+  Cfg.WindowSize = 3;
+  Cfg.MinFill = 1;
+  WindowedDriftMonitor Monitor(Cfg);
+
+  Monitor.recordLabeled(fakeVerdict(true), /*Mispredicted=*/true);   // TP
+  Monitor.recordLabeled(fakeVerdict(true), /*Mispredicted=*/false);  // FP
+  Monitor.recordLabeled(fakeVerdict(false), /*Mispredicted=*/true);  // FN
+  Monitor.recordLabeled(fakeVerdict(false), /*Mispredicted=*/false); // TN
+
+  DriftWindowSnapshot Snap = Monitor.snapshot();
+  // Lifetime saw all four; the window evicted the TP.
+  EXPECT_EQ(Snap.Lifetime.TruePositive, 1u);
+  EXPECT_EQ(Snap.Lifetime.FalsePositive, 1u);
+  EXPECT_EQ(Snap.Lifetime.FalseNegative, 1u);
+  EXPECT_EQ(Snap.Lifetime.TrueNegative, 1u);
+  EXPECT_EQ(Snap.Window.TruePositive, 0u);
+  EXPECT_EQ(Snap.Window.FalsePositive, 1u);
+  EXPECT_EQ(Snap.Window.FalseNegative, 1u);
+  EXPECT_EQ(Snap.Window.TrueNegative, 1u);
+
+  Monitor.reset();
+  Snap = Monitor.snapshot();
+  EXPECT_EQ(Snap.TotalSeen, 0u);
+  EXPECT_EQ(Snap.WindowFill, 0u);
+  EXPECT_EQ(Snap.Lifetime.total(), 0u);
+}
