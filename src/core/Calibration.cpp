@@ -6,6 +6,7 @@
 
 #include "core/Calibration.h"
 #include "support/Distance.h"
+#include "support/Kernels.h"
 
 #include <algorithm>
 #include <cassert>
@@ -182,18 +183,17 @@ static void partitionSmallestKeys(AssessmentScratch &S, size_t Keep) {
 void CalibrationScores::computeDistanceKeys(const double *TestEmbed,
                                             AssessmentScratch &S,
                                             size_t Begin, size_t End) const {
-  // Squared distances over the contiguous embedding block, accumulated in
-  // the same dimension order as support::euclidean so the deferred sqrt
-  // reproduces its value bit-for-bit.
-  for (size_t I = Begin; I < End; ++I) {
-    const double *Row = FlatEmbeds.data() + I * Dim;
-    double Sum = 0.0;
-    for (size_t D = 0; D < Dim; ++D) {
-      double Diff = Row[D] - TestEmbed[D];
-      Sum += Diff * Diff;
-    }
-    S.Keyed[I] = {Sum, static_cast<uint32_t>(I)};
-  }
+  // One batched kernel scan over the contiguous embedding block. The
+  // kernel is the same lane-folded l2Sq behind support::euclidean, so the
+  // deferred sqrt reproduces select()'s per-entry distance bit-for-bit.
+  // Dists/Keyed are sized by the caller: sharded stores fill disjoint
+  // slices of both from worker threads, so no resizing may happen here.
+  assert(S.Dists.size() == Entries.size() && "caller must size the scratch");
+  support::kernels::l2Sq1xN(TestEmbed, Embeds.rowPtr(Begin), End - Begin,
+                            Embeds.dim(), Embeds.stride(),
+                            S.Dists.data() + Begin);
+  for (size_t I = Begin; I < End; ++I)
+    S.Keyed[I] = {S.Dists[I], static_cast<uint32_t>(I)};
 }
 
 void CalibrationScores::selectForAssessment(const double *TestEmbed,
@@ -201,6 +201,7 @@ void CalibrationScores::selectForAssessment(const double *TestEmbed,
                                             AssessmentScratch &S) const {
   assert(!Entries.empty() && "empty calibration set");
   S.Keyed.resize(Entries.size());
+  S.Dists.resize(Entries.size());
   computeDistanceKeys(TestEmbed, S, 0, Entries.size());
   finishSelection(Cfg, S);
 }
@@ -524,16 +525,15 @@ void CalibrationScores::finishPValues(const double *GreaterEq,
 
 void CalibrationScores::buildBatchIndexes() {
   size_t N = Entries.size();
-  Dim = N == 0 ? 0 : Entries.front().Embed.size();
+  size_t Dim = N == 0 ? 0 : Entries.front().Embed.size();
   size_t NumExp = numExperts();
 
-  FlatEmbeds.assign(N * Dim, 0.0);
+  Embeds.reset(N, Dim);
   Labels.resize(N);
   MaxLabel = -1;
   for (size_t I = 0; I < N; ++I) {
     assert(Entries[I].Embed.size() == Dim && "ragged calibration embeds");
-    std::copy(Entries[I].Embed.begin(), Entries[I].Embed.end(),
-              FlatEmbeds.begin() + static_cast<long>(I * Dim));
+    Embeds.setRow(I, Entries[I].Embed.data());
     Labels[I] = Entries[I].Label;
     MaxLabel = std::max(MaxLabel, Entries[I].Label);
   }

@@ -22,6 +22,7 @@
 #define PROM_CORE_CALIBRATION_H
 
 #include "core/PromConfig.h"
+#include "support/FeatureMatrix.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -62,6 +63,9 @@ struct AssessmentScratch {
   /// (squared distance, entry id) keys; after selection the first Keep
   /// elements are the selected entries (unordered beyond the partition).
   std::vector<std::pair<double, uint32_t>> Keyed;
+  /// Raw squared distances of the batched kernel scan, packed into Keyed
+  /// by computeDistanceKeys.
+  std::vector<double> Dists;
   size_t Keep = 0;                   ///< Number of selected entries.
   bool SelectedAll = false;          ///< Selection covers every entry.
   std::vector<uint8_t> SelectedMask; ///< 1 for selected entries.
@@ -93,8 +97,7 @@ public:
   void clear() {
     Entries.clear();
     MedianNNDist = 0.0;
-    Dim = 0;
-    FlatEmbeds.clear();
+    Embeds.clear();
     Labels.clear();
     ScoreColumns.clear();
     MaxLabel = -1;
@@ -165,7 +168,11 @@ public:
   //===--------------------------------------------------------------------===//
 
   /// Embedding dimensionality of the calibration entries.
-  size_t embedDim() const { return Dim; }
+  size_t embedDim() const { return Embeds.dim(); }
+
+  /// The contiguous row-major embedding block the distance scans stream
+  /// (built by finalize()); exposed for the benches and property tests.
+  const support::FeatureMatrix &embedMatrix() const { return Embeds; }
 
   /// Number of canonical accumulation blocks covering the entries.
   size_t numAccumBlocks() const {
@@ -248,8 +255,8 @@ private:
   double MedianNNDist = 0.0;
 
   // Batch-engine indexes (rebuilt by finalize()).
-  size_t Dim = 0;
-  std::vector<double> FlatEmbeds;  ///< N x Dim row-major embedding block.
+  /// N x Dim flat embedding block (padded stride) the kernel scans stream.
+  support::FeatureMatrix Embeds;
   std::vector<int> Labels;         ///< Entry labels, contiguous.
   /// ScoreColumns[E][I] = Entries[I].Scores[E] (contiguous per expert).
   std::vector<std::vector<double>> ScoreColumns;

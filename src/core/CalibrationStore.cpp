@@ -77,6 +77,7 @@ void CalibrationStore::selectForAssessment(const double *TestEmbed,
   assert(!Flat.empty() && "empty calibration store");
   size_t N = Flat.size();
   Scratch.Keyed.resize(N);
+  Scratch.Dists.resize(N);
 
   if (Shards.size() > 1 && N >= MinEntriesForFanOut) {
     // Each shard fills its own slice of the key array; per-entry

@@ -520,13 +520,13 @@ PromRegressor::PromRegressor(
   assert(!Scorers.empty() && "committee needs at least one expert");
 }
 
-/// k-NN statistics of \p Embed against the calibration embeddings,
-/// excluding an optional \p SelfIndex.
-static void knnStats(const std::vector<std::vector<double>> &Embeds,
-                     const std::vector<double> &Targets,
-                     const std::vector<double> &Embed, size_t K,
-                     long SelfIndex, double &MeanTarget, double &Spread,
-                     double &MeanDist) {
+/// k-NN statistics of \p Embed (length Embeds.dim()) against the flat
+/// calibration embedding block, excluding an optional \p SelfIndex. The
+/// neighbour search is one batched kernel scan over the block.
+static void knnStats(const support::FeatureMatrix &Embeds,
+                     const std::vector<double> &Targets, const double *Embed,
+                     size_t K, long SelfIndex, double &MeanTarget,
+                     double &Spread, double &MeanDist) {
   std::vector<size_t> Near =
       support::kNearest(Embeds, Embed, K + (SelfIndex >= 0 ? 1 : 0));
   std::vector<double> NearTargets;
@@ -537,7 +537,8 @@ static void knnStats(const std::vector<std::vector<double>> &Embeds,
     if (NearTargets.size() == K)
       break;
     NearTargets.push_back(Targets[Idx]);
-    Dists.push_back(support::euclidean(Embeds[Idx], Embed));
+    Dists.push_back(
+        support::euclidean(Embeds.rowPtr(Idx), Embed, Embeds.dim()));
   }
   assert(!NearTargets.empty() && "calibration set too small for k-NN");
   MeanTarget = support::mean(NearTargets);
@@ -545,9 +546,8 @@ static void knnStats(const std::vector<std::vector<double>> &Embeds,
   MeanDist = support::mean(Dists);
 }
 
-RegressionScoreInput
-PromRegressor::makeScoreInput(const std::vector<double> &Embed,
-                              double Prediction) const {
+RegressionScoreInput PromRegressor::makeScoreInput(const double *Embed,
+                                                   double Prediction) const {
   RegressionScoreInput In;
   In.Prediction = Prediction;
   In.ResidualIqr = ResidualIqr;
@@ -566,31 +566,35 @@ void PromRegressor::calibrate(const data::Dataset &CalibSet,
   Matrix Embeds;
   Model.predictWithEmbedBatch(CalibSet, Predictions, Embeds);
 
-  CalibEmbeds.clear();
+  // Row-vector copies for the (calibration-time) clustering; the flat
+  // CalibEmbeds block is what the deployment-time k-NN scans stream.
+  std::vector<std::vector<double>> EmbedRows;
+  EmbedRows.reserve(CalibSet.size());
   CalibTargets.clear();
   std::vector<double> Residuals;
   for (size_t I = 0; I < CalibSet.size(); ++I) {
-    CalibEmbeds.push_back(Embeds.row(I));
+    EmbedRows.push_back(Embeds.row(I));
     CalibTargets.push_back(CalibSet[I].Target);
     Residuals.push_back(std::fabs(Predictions[I] - CalibSet[I].Target));
   }
+  CalibEmbeds = support::FeatureMatrix::fromRows(EmbedRows);
   ResidualIqr = support::quantile(Residuals, 0.75) -
                 support::quantile(Residuals, 0.25);
 
   // Pseudo-labels from k-means over the embedding space (Sec. 5.1.2).
   size_t K = Cfg.FixedClusters;
   if (K == 0)
-    K = support::gapStatisticK(CalibEmbeds, R, Cfg.MinClusters,
+    K = support::gapStatisticK(EmbedRows, R, Cfg.MinClusters,
                                std::min(Cfg.MaxClusters,
                                         CalibSet.size() / 2));
-  support::KMeansResult Clusters = support::kMeans(CalibEmbeds, K, R);
+  support::KMeansResult Clusters = support::kMeans(EmbedRows, K, R);
   Centroids = Clusters.Centroids;
 
   Calib.clear();
   Calib.reserve(CalibSet.size());
   for (size_t I = 0; I < CalibSet.size(); ++I) {
     CalibrationEntry Entry;
-    Entry.Embed = CalibEmbeds[I];
+    Entry.Embed = EmbedRows[I];
     Entry.Label = Clusters.Assignments[I];
 
     // Calibration samples use their true targets but the same local
@@ -599,7 +603,7 @@ void PromRegressor::calibrate(const data::Dataset &CalibSet,
     In.Prediction = Predictions[I];
     In.ResidualIqr = ResidualIqr;
     double ApproxUnused;
-    knnStats(CalibEmbeds, CalibTargets, CalibEmbeds[I], Cfg.KnnK,
+    knnStats(CalibEmbeds, CalibTargets, CalibEmbeds.rowPtr(I), Cfg.KnnK,
              static_cast<long>(I), ApproxUnused, In.KnnTargetSpread,
              In.KnnMeanDistance);
     In.ApproxTarget = CalibTargets[I];
@@ -635,7 +639,7 @@ RegressionVerdict PromRegressor::assessSerial(const data::Sample &S) const {
   std::vector<double> Embed = Model.embed(S);
   V.Cluster = static_cast<int>(support::nearestCentroid(Centroids, Embed));
 
-  RegressionScoreInput In = makeScoreInput(Embed, V.Predicted);
+  RegressionScoreInput In = makeScoreInput(Embed.data(), V.Predicted);
   CalibrationSelection Sel = Calib.flat().select(Embed, Cfg);
 
   V.Experts.reserve(Scorers.size());
@@ -670,7 +674,7 @@ void PromRegressor::assessRange(const std::vector<double> &Predictions,
     Embed.assign(Embeds.rowPtr(I), Embeds.rowPtr(I) + Embeds.cols());
     V.Cluster = static_cast<int>(support::nearestCentroid(Centroids, Embed));
 
-    RegressionScoreInput In = makeScoreInput(Embed, V.Predicted);
+    RegressionScoreInput In = makeScoreInput(Embeds.rowPtr(I), V.Predicted);
     Calib.selectForAssessment(Embeds.rowPtr(I), Cfg, Scratch);
     for (size_t E = 0; E < NumExp; ++E) {
       double TestScore = Scorers[E]->score(In);
@@ -729,9 +733,9 @@ bool PromRegressor::saveSnapshot(const std::string &Path,
   for (const auto &Scorer : Scorers)
     W.writeString(Scorer->name());
   writeEntries(W, Calib);
-  W.writeU64(CalibEmbeds.size());
-  for (const std::vector<double> &Embed : CalibEmbeds)
-    W.writeDoubleVec(Embed);
+  W.writeU64(CalibEmbeds.rows());
+  for (size_t I = 0; I < CalibEmbeds.rows(); ++I)
+    W.writeDoubleVec(CalibEmbeds.row(I));
   W.writeDoubleVec(CalibTargets);
   W.writeU64(Centroids.size());
   for (const std::vector<double> &Centroid : Centroids)
@@ -778,7 +782,8 @@ bool PromRegressor::loadSnapshot(const std::string &Path,
   NewEmbeds.reserve(static_cast<size_t>(NumEmbeds));
   for (uint64_t I = 0; I < NumEmbeds; ++I) {
     NewEmbeds.push_back(R.readDoubleVec());
-    if (R.failed() || NewEmbeds.back().empty())
+    if (R.failed() || NewEmbeds.back().empty() ||
+        NewEmbeds.back().size() != NewEmbeds.front().size())
       return false;
   }
   std::vector<double> NewTargets = R.readDoubleVec();
@@ -808,7 +813,7 @@ bool PromRegressor::loadSnapshot(const std::string &Path,
   Scorers = std::move(NewScorers);
   Calib = std::move(NewStore);
   Calib.finalize(Shards);
-  CalibEmbeds = std::move(NewEmbeds);
+  CalibEmbeds = support::FeatureMatrix::fromRows(NewEmbeds);
   CalibTargets = std::move(NewTargets);
   Centroids = std::move(NewCentroids);
   ResidualIqr = NewResidualIqr;

@@ -25,6 +25,7 @@
 #include "core/PromConfig.h"
 #include "data/Dataset.h"
 #include "ml/Model.h"
+#include "support/FeatureMatrix.h"
 
 #include <memory>
 #include <string>
@@ -280,8 +281,10 @@ public:
                     data::StandardScaler *Scaler = nullptr);
 
 private:
-  RegressionScoreInput
-  makeScoreInput(const std::vector<double> &Embed, double Prediction) const;
+  /// \p Embed must point at embedDim() values (a row of the calibration
+  /// embedding block or a freshly computed test embedding).
+  RegressionScoreInput makeScoreInput(const double *Embed,
+                                      double Prediction) const;
 
   /// Committee assessment of rows [Begin, End) of a batch with precomputed
   /// predictions and embeddings.
@@ -293,7 +296,9 @@ private:
   PromConfig Cfg;
   std::vector<std::unique_ptr<RegressionScorer>> Scorers;
   CalibrationStore Calib;
-  std::vector<std::vector<double>> CalibEmbeds; ///< For k-NN lookups.
+  /// Calibration embeddings as one flat block: the k-NN ground-truth
+  /// lookups run the batched kernel scan over it (Sec. 5.1.1).
+  support::FeatureMatrix CalibEmbeds;
   std::vector<double> CalibTargets;
   std::vector<std::vector<double>> Centroids;
   double ResidualIqr = 0.0;

@@ -100,24 +100,47 @@ static std::vector<double> apsPrefixSums(const std::vector<double> &Probs) {
   return Prefix;
 }
 
+/// Every label's 1-based descending rank from one shared argsort, instead
+/// of one O(C) labelRank() scan per label. Sorting label indices by
+/// (probability desc, index asc) puts exactly the labels that labelRank()
+/// counts — higher probability, or equal probability with a smaller index
+/// — ahead of each label, so Rank[label] = position + 1 reproduces the
+/// per-label scan's deterministic tie-break verbatim.
+static std::vector<size_t> allLabelRanks(const std::vector<double> &Probs) {
+  std::vector<size_t> Order(Probs.size());
+  std::iota(Order.begin(), Order.end(), size_t(0));
+  std::sort(Order.begin(), Order.end(), [&Probs](size_t A, size_t B) {
+    if (Probs[A] != Probs[B])
+      return Probs[A] > Probs[B];
+    return A < B;
+  });
+  std::vector<size_t> Rank(Probs.size());
+  for (size_t Pos = 0; Pos < Order.size(); ++Pos)
+    Rank[Order[Pos]] = Pos + 1;
+  return Rank;
+}
+
 void ApsScorer::scoreAll(const std::vector<double> &Probs,
                          double *Out) const {
-  // One sort shared across the labels instead of one per score() call.
+  // One sort shared across the labels instead of one per score() call,
+  // and one more for every rank: O(C log C) total instead of O(C^2).
   std::vector<double> Prefix = apsPrefixSums(Probs);
-  for (size_t C = 0; C < Probs.size(); ++C) {
-    size_t Rank = labelRank(Probs, static_cast<int>(C));
-    Out[C] = Prefix[Rank - 1] + 0.5 * Probs[C];
-  }
+  std::vector<size_t> Rank = allLabelRanks(Probs);
+  for (size_t C = 0; C < Probs.size(); ++C)
+    Out[C] = Prefix[Rank[C] - 1] + 0.5 * Probs[C];
 }
 
 void RapsScorer::scoreAll(const std::vector<double> &Probs,
                           double *Out) const {
   std::vector<double> Prefix = apsPrefixSums(Probs);
+  std::vector<size_t> Rank = allLabelRanks(Probs);
   for (size_t C = 0; C < Probs.size(); ++C) {
+    // softRank() stays a per-label O(C) pass: its sum runs in original
+    // index order, and restructuring it around the shared sort would
+    // reassociate the additions and break bit-identity with score().
     double Soft = softRank(Probs, static_cast<int>(C));
     double Penalty = Soft > KReg ? Lambda * (Soft - KReg) : 0.0;
-    size_t Rank = labelRank(Probs, static_cast<int>(C));
-    Out[C] = Prefix[Rank - 1] + 0.5 * Probs[C] + Penalty;
+    Out[C] = Prefix[Rank[C] - 1] + 0.5 * Probs[C] + Penalty;
   }
 }
 

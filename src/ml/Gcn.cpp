@@ -230,7 +230,8 @@ void GcnClassifier::forwardBatchStacked(const data::Dataset &Batch,
                                       Src.rowPtr(Begin) + Count * Src.cols()));
   };
 
-  // Layer 1: per-graph aggregation, one stacked matmul for the transform.
+  // Layer 1: per-graph aggregation, one stacked matmul (the blocked
+  // support/Kernels routine) for the transform.
   Matrix StackA1(TotalNodes, InDim);
   for (size_t I = 0; I < N; ++I) {
     const data::Graph &G = Batch[I].ProgramGraph;

@@ -16,7 +16,7 @@ using namespace prom::ml;
 void KnnClassifier::fit(const data::Dataset &Train, support::Rng &) {
   assert(!Train.empty() && Train.numClasses() > 1 && "bad training set");
   Classes = Train.numClasses();
-  Points = Train.featureRows();
+  Points = support::FeatureMatrix::fromRows(Train.featureRows());
   Labels.clear();
   Labels.reserve(Train.size());
   for (const data::Sample &S : Train.samples())
@@ -25,10 +25,11 @@ void KnnClassifier::fit(const data::Dataset &Train, support::Rng &) {
 
 std::vector<double> KnnClassifier::predictProba(const data::Sample &S) const {
   assert(!Points.empty() && "classifier not fitted");
-  std::vector<size_t> Near = support::kNearest(Points, S.Features, K);
+  std::vector<size_t> Near = support::kNearest(Points, S.Features.data(), K);
   std::vector<double> Votes(static_cast<size_t>(Classes), 0.0);
   for (size_t Idx : Near) {
-    double D = support::euclidean(Points[Idx], S.Features);
+    double D =
+        support::euclidean(Points.rowPtr(Idx), S.Features.data(), Points.dim());
     Votes[static_cast<size_t>(Labels[Idx])] += 1.0 / (1.0 + D);
   }
   double Total = 0.0;
@@ -43,7 +44,7 @@ std::vector<double> KnnClassifier::predictProba(const data::Sample &S) const {
 
 void KnnRegressor::fit(const data::Dataset &Train, support::Rng &) {
   assert(!Train.empty() && "bad training set");
-  Points = Train.featureRows();
+  Points = support::FeatureMatrix::fromRows(Train.featureRows());
   Targets.clear();
   Targets.reserve(Train.size());
   for (const data::Sample &S : Train.samples())
@@ -52,7 +53,7 @@ void KnnRegressor::fit(const data::Dataset &Train, support::Rng &) {
 
 double KnnRegressor::predict(const data::Sample &S) const {
   assert(!Points.empty() && "regressor not fitted");
-  std::vector<size_t> Near = support::kNearest(Points, S.Features, K);
+  std::vector<size_t> Near = support::kNearest(Points, S.Features.data(), K);
   double Sum = 0.0;
   for (size_t Idx : Near)
     Sum += Targets[Idx];

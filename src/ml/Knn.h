@@ -16,11 +16,13 @@
 #define PROM_ML_KNN_H
 
 #include "ml/Model.h"
+#include "support/FeatureMatrix.h"
 
 namespace prom {
 namespace ml {
 
-/// Distance-weighted k-NN classifier.
+/// Distance-weighted k-NN classifier. Training points live in one flat
+/// FeatureMatrix so every prediction is a single batched kernel scan.
 class KnnClassifier : public Classifier {
 public:
   explicit KnnClassifier(size_t K = 5) : K(K) {}
@@ -33,11 +35,11 @@ public:
 private:
   size_t K;
   int Classes = 0;
-  std::vector<std::vector<double>> Points;
+  support::FeatureMatrix Points;
   std::vector<int> Labels;
 };
 
-/// Mean-of-neighbours k-NN regressor.
+/// Mean-of-neighbours k-NN regressor (flat-block scan like the classifier).
 class KnnRegressor : public Regressor {
 public:
   explicit KnnRegressor(size_t K = 3) : K(K) {}
@@ -48,7 +50,7 @@ public:
 
 private:
   size_t K;
-  std::vector<std::vector<double>> Points;
+  support::FeatureMatrix Points;
   std::vector<double> Targets;
 };
 

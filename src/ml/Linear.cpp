@@ -94,8 +94,9 @@ LogisticRegression::predictProba(const data::Sample &S) const {
 
 Matrix LogisticRegression::predictProbaBatch(
     const data::Dataset &Batch) const {
-  // One (N x D) * (D x C) affine product instead of N per-sample loops;
-  // row I matches predictProba(Batch[I]) bit-for-bit.
+  // One (N x D) * (D x C) affine product (the blocked support/Kernels
+  // matmul) instead of N per-sample loops; row I matches
+  // predictProba(Batch[I]) bit-for-bit.
   Matrix P = Batch.featureMatrix().affine(W, Bias);
   support::softmaxRowsInPlace(P);
   return P;

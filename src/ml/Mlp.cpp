@@ -75,6 +75,8 @@ Matrix MlpCore::forwardBatch(const Matrix &X, Matrix *EmbedOut) const {
     // activations, or the raw features for a degenerate no-hidden network.
     if (IsOutput && EmbedOut)
       *EmbedOut = Act;
+    // affine() dispatches to the blocked support/Kernels matmul; each row
+    // stays bit-identical to the per-sample forward() loop above.
     Matrix Next = Act.affine(Weights[L], Biases[L]);
     if (!IsOutput)
       for (double &V : Next.data())

@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Distance.h"
+#include "support/FeatureMatrix.h"
+#include "support/Kernels.h"
 
 #include <algorithm>
 #include <cassert>
@@ -13,15 +15,19 @@
 
 using namespace prom::support;
 
+double prom::support::squaredEuclidean(const double *A, const double *B,
+                                       size_t N) {
+  return kernels::l2Sq(A, B, N);
+}
+
 double prom::support::squaredEuclidean(const std::vector<double> &A,
                                        const std::vector<double> &B) {
   assert(A.size() == B.size() && "distance length mismatch");
-  double Sum = 0.0;
-  for (size_t I = 0; I < A.size(); ++I) {
-    double D = A[I] - B[I];
-    Sum += D * D;
-  }
-  return Sum;
+  return kernels::l2Sq(A.data(), B.data(), A.size());
+}
+
+double prom::support::euclidean(const double *A, const double *B, size_t N) {
+  return std::sqrt(kernels::l2Sq(A, B, N));
 }
 
 double prom::support::euclidean(const std::vector<double> &A,
@@ -32,32 +38,60 @@ double prom::support::euclidean(const std::vector<double> &A,
 double prom::support::cosineDistance(const std::vector<double> &A,
                                      const std::vector<double> &B) {
   assert(A.size() == B.size() && "distance length mismatch");
-  double Dot = 0.0, NormA = 0.0, NormB = 0.0;
-  for (size_t I = 0; I < A.size(); ++I) {
-    Dot += A[I] * B[I];
-    NormA += A[I] * A[I];
-    NormB += B[I] * B[I];
-  }
+  double Dot = kernels::dot(A.data(), B.data(), A.size());
+  double NormA = kernels::dot(A.data(), A.data(), A.size());
+  double NormB = kernels::dot(B.data(), B.data(), B.size());
   if (NormA == 0.0 || NormB == 0.0)
     return 1.0;
   return 1.0 - Dot / (std::sqrt(NormA) * std::sqrt(NormB));
 }
 
+namespace {
+
+/// Shared selection step of the kNearest overloads: the indices of the K
+/// smallest distances, closest first, ties by ascending index.
+/// nth_element under the lexicographic (distance, index) order finds the
+/// same kept *set* a full sort would, and sorting only the kept prefix
+/// restores the closest-first contract.
+std::vector<size_t> selectNearest(const std::vector<double> &Dist, size_t K) {
+  size_t N = Dist.size();
+  size_t Keep = std::min(K, N);
+  if (Keep == 0)
+    return {};
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), size_t(0));
+  auto Cmp = [&Dist](size_t L, size_t R) {
+    if (Dist[L] != Dist[R])
+      return Dist[L] < Dist[R];
+    return L < R;
+  };
+  if (Keep < N)
+    std::nth_element(Order.begin(), Order.begin() + (Keep - 1), Order.end(),
+                     Cmp);
+  std::sort(Order.begin(), Order.begin() + Keep, Cmp);
+  Order.resize(Keep);
+  return Order;
+}
+
+} // namespace
+
 std::vector<size_t>
 prom::support::kNearest(const std::vector<std::vector<double>> &Points,
                         const std::vector<double> &Query, size_t K) {
-  std::vector<size_t> Order(Points.size());
-  std::iota(Order.begin(), Order.end(), size_t(0));
+  if (Points.empty())
+    return {};
   std::vector<double> Dist(Points.size());
   for (size_t I = 0; I < Points.size(); ++I)
-    Dist[I] = squaredEuclidean(Points[I], Query);
-  size_t Keep = std::min(K, Points.size());
-  std::partial_sort(Order.begin(), Order.begin() + Keep, Order.end(),
-                    [&Dist](size_t L, size_t R) {
-                      if (Dist[L] != Dist[R])
-                        return Dist[L] < Dist[R];
-                      return L < R;
-                    });
-  Order.resize(Keep);
-  return Order;
+    Dist[I] = kernels::l2Sq(Points[I].data(), Query.data(), Query.size());
+  return selectNearest(Dist, K);
+}
+
+std::vector<size_t> prom::support::kNearest(const FeatureMatrix &Points,
+                                            const double *Query, size_t K) {
+  if (Points.empty())
+    return {};
+  std::vector<double> Dist(Points.rows());
+  kernels::l2Sq1xN(Query, Points.data(), Points.rows(), Points.dim(),
+                   Points.stride(), Dist.data());
+  return selectNearest(Dist, K);
 }

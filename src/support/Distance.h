@@ -9,6 +9,11 @@
 /// Sec. 5.1.2) and the regression k-NN ground-truth approximation (Sec.
 /// 5.1.1) both measure Euclidean distance between model feature vectors.
 ///
+/// These are thin wrappers over support/Kernels: every distance is
+/// computed by the same lane-folded kernel the batched scans dispatch to,
+/// so a per-vector call and a FeatureMatrix block scan produce the same
+/// bits for the same data on every ISA.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PROM_SUPPORT_DISTANCE_H
@@ -20,21 +25,39 @@
 namespace prom {
 namespace support {
 
+class FeatureMatrix;
+
 /// Squared Euclidean distance between equal-length vectors.
 double squaredEuclidean(const std::vector<double> &A,
                         const std::vector<double> &B);
 
+/// Pointer form of squaredEuclidean (length \p N).
+double squaredEuclidean(const double *A, const double *B, size_t N);
+
 /// Euclidean (l2) distance between equal-length vectors.
 double euclidean(const std::vector<double> &A, const std::vector<double> &B);
+
+/// Pointer form of euclidean (length \p N).
+double euclidean(const double *A, const double *B, size_t N);
 
 /// Cosine distance (1 - cosine similarity); 1 when either vector is zero.
 double cosineDistance(const std::vector<double> &A,
                       const std::vector<double> &B);
 
-/// Indices of the \p K nearest rows of \p Points to \p Query under Euclidean
-/// distance, ordered closest first. Returns fewer when Points has < K rows.
+/// Indices of the \p K nearest rows of \p Points to \p Query under
+/// Euclidean distance, ordered closest first; ties broken by ascending
+/// index. Returns fewer when Points has < K rows. Selection is
+/// nth_element + a sort of the kept prefix — O(N + K log K) instead of a
+/// partial sort's O(N log K) — under the same (distance, index)
+/// lexicographic order, so the result is unchanged.
 std::vector<size_t> kNearest(const std::vector<std::vector<double>> &Points,
                              const std::vector<double> &Query, size_t K);
+
+/// FeatureMatrix overload: one batched l2Sq1xN kernel scan over the
+/// contiguous block instead of a per-row pointer chase. Same selection
+/// contract (and the same bits) as the row-vector overload.
+std::vector<size_t> kNearest(const FeatureMatrix &Points, const double *Query,
+                             size_t K);
 
 } // namespace support
 } // namespace prom

@@ -1,0 +1,172 @@
+//===- support/Kernels.cpp - Scalar kernels + runtime dispatch -------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+// This translation unit must be compiled with FP contraction disabled
+// (-ffp-contract=off, set by the build): a compiler-fused mul+add here
+// would round differently from the explicit mul/add intrinsics of the
+// AVX2 variant and break the cross-ISA bit-identity contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Kernels.h"
+#include "support/KernelsIsa.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+using namespace prom::support;
+
+//===----------------------------------------------------------------------===//
+// Scalar reference implementations
+//===----------------------------------------------------------------------===//
+
+double kernels::scalar::l2Sq(const double *A, const double *B, size_t N) {
+  // Canonical lane fold: element I accumulates into lane I mod KernelLanes,
+  // exactly like the SIMD register lanes of the AVX2 variant.
+  double Acc[KernelLanes] = {0.0, 0.0, 0.0, 0.0};
+  size_t Full = N & ~(KernelLanes - 1);
+  for (size_t I = 0; I < Full; I += KernelLanes)
+    for (size_t L = 0; L < KernelLanes; ++L) {
+      double D = A[I + L] - B[I + L];
+      Acc[L] += D * D;
+    }
+  for (size_t I = Full; I < N; ++I) {
+    double D = A[I] - B[I];
+    Acc[I & (KernelLanes - 1)] += D * D;
+  }
+  return ((Acc[0] + Acc[1]) + Acc[2]) + Acc[3];
+}
+
+void kernels::scalar::l2Sq1xN(const double *Query, const double *Rows,
+                              size_t NumRows, size_t Dim, size_t RowStride,
+                              double *Out) {
+  for (size_t R = 0; R < NumRows; ++R)
+    Out[R] = kernels::scalar::l2Sq(Query, Rows + R * RowStride, Dim);
+}
+
+double kernels::scalar::dot(const double *A, const double *B, size_t N) {
+  double Acc[KernelLanes] = {0.0, 0.0, 0.0, 0.0};
+  size_t Full = N & ~(KernelLanes - 1);
+  for (size_t I = 0; I < Full; I += KernelLanes)
+    for (size_t L = 0; L < KernelLanes; ++L)
+      Acc[L] += A[I + L] * B[I + L];
+  for (size_t I = Full; I < N; ++I)
+    Acc[I & (KernelLanes - 1)] += A[I] * B[I];
+  return ((Acc[0] + Acc[1]) + Acc[2]) + Acc[3];
+}
+
+void kernels::scalar::axpy(double *A, const double *B, double Alpha,
+                           size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    A[I] += Alpha * B[I];
+}
+
+namespace {
+
+/// K-tile height of the blocked matmul: one tile of B (KTile x M doubles)
+/// stays cache-hot across all N output rows. Tiling walks k in ascending
+/// order inside and across tiles, so it never reorders any element's sum.
+constexpr size_t KTile = 256;
+
+} // namespace
+
+void kernels::scalar::matmul(const double *A, size_t N, size_t K,
+                             const double *B, size_t M, const double *Bias,
+                             double *Out) {
+  for (size_t I = 0; I < N; ++I) {
+    double *ORow = Out + I * M;
+    if (Bias)
+      std::memcpy(ORow, Bias, M * sizeof(double));
+    else
+      std::fill(ORow, ORow + M, 0.0);
+  }
+  for (size_t K0 = 0; K0 < K; K0 += KTile) {
+    size_t K1 = std::min(K, K0 + KTile);
+    for (size_t I = 0; I < N; ++I) {
+      const double *ARow = A + I * K;
+      double *ORow = Out + I * M;
+      for (size_t KK = K0; KK < K1; ++KK) {
+        double AIK = ARow[KK];
+        if (AIK == 0.0)
+          continue; // Sparse-activation fast path (see header).
+        const double *BRow = B + KK * M;
+        for (size_t J = 0; J < M; ++J)
+          ORow[J] += AIK * BRow[J];
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime dispatch
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct DispatchTable {
+  double (*L2Sq)(const double *, const double *, size_t) =
+      kernels::scalar::l2Sq;
+  void (*L2Sq1xN)(const double *, const double *, size_t, size_t, size_t,
+                  double *) = kernels::scalar::l2Sq1xN;
+  double (*Dot)(const double *, const double *, size_t) =
+      kernels::scalar::dot;
+  void (*Axpy)(double *, const double *, double, size_t) =
+      kernels::scalar::axpy;
+  void (*Matmul)(const double *, size_t, size_t, const double *, size_t,
+                 const double *, double *) = kernels::scalar::matmul;
+  bool Avx2 = false;
+
+  DispatchTable() {
+#ifdef PROM_HAVE_AVX2
+    // PROM_KERNELS=scalar pins the reference path (bench baselines,
+    // debugging); anything else defers to the CPU feature check.
+    const char *Env = std::getenv("PROM_KERNELS");
+    bool ForceScalar = Env && std::strcmp(Env, "scalar") == 0;
+    if (!ForceScalar && __builtin_cpu_supports("avx2")) {
+      L2Sq = kernels::avx2::l2Sq;
+      L2Sq1xN = kernels::avx2::l2Sq1xN;
+      Dot = kernels::avx2::dot;
+      Axpy = kernels::avx2::axpy;
+      Matmul = kernels::avx2::matmul;
+      Avx2 = true;
+    }
+#endif
+  }
+};
+
+const DispatchTable &table() {
+  static const DispatchTable T;
+  return T;
+}
+
+} // namespace
+
+bool kernels::avx2Active() { return table().Avx2; }
+
+const char *kernels::activeIsaName() {
+  return table().Avx2 ? "avx2" : "scalar";
+}
+
+double kernels::l2Sq(const double *A, const double *B, size_t N) {
+  return table().L2Sq(A, B, N);
+}
+
+void kernels::l2Sq1xN(const double *Query, const double *Rows, size_t NumRows,
+                      size_t Dim, size_t RowStride, double *Out) {
+  table().L2Sq1xN(Query, Rows, NumRows, Dim, RowStride, Out);
+}
+
+double kernels::dot(const double *A, const double *B, size_t N) {
+  return table().Dot(A, B, N);
+}
+
+void kernels::axpy(double *A, const double *B, double Alpha, size_t N) {
+  table().Axpy(A, B, Alpha, N);
+}
+
+void kernels::matmul(const double *A, size_t N, size_t K, const double *B,
+                     size_t M, const double *Bias, double *Out) {
+  table().Matmul(A, N, K, B, M, Bias, Out);
+}

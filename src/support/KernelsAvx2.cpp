@@ -1,0 +1,176 @@
+//===- support/KernelsAvx2.cpp - AVX2 kernel variants ----------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+// Compiled with -mavx2 -mfma -ffp-contract=off only when the build enables
+// PROM_ENABLE_AVX2; Kernels.cpp selects these at runtime behind a cpuid
+// check. Every loop mirrors the scalar reference's arithmetic exactly:
+//
+//  * reductions keep one accumulator per register lane (the canonical
+//    lane fold — lane L sums elements I with I mod 4 == L) and fold the
+//    lanes in the same fixed scalar order;
+//  * the matmul broadcasts A[i][k] and streams mul+add across independent
+//    output columns, preserving each element's ascending-k sum;
+//  * explicit _mm256_mul_pd/_mm256_add_pd (never FMA intrinsics) match the
+//    contraction-disabled scalar mul+add rounding step for step.
+//
+// Hence the bit-identity contract of Kernels.h holds by construction, and
+// KernelTest checks it on every run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Kernels.h"
+#include "support/KernelsIsa.h"
+
+#ifdef PROM_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+using namespace prom::support;
+
+namespace {
+
+/// Folds the four register lanes in the canonical fixed order
+/// ((l0 + l1) + l2) + l3 — identical to the scalar reference's fold.
+inline double foldLanes(__m256d Acc) {
+  alignas(32) double Lanes[kernels::KernelLanes];
+  _mm256_store_pd(Lanes, Acc);
+  return ((Lanes[0] + Lanes[1]) + Lanes[2]) + Lanes[3];
+}
+
+/// Tail handling shared by the reductions: element I of the remainder
+/// belongs to lane I mod 4, so the tail folds into the extracted lane
+/// accumulators before the final fold — bit-identical to the scalar loop.
+inline double foldLanesWithTail(__m256d Acc, const double *A, const double *B,
+                                size_t Full, size_t N, bool Squared) {
+  alignas(32) double Lanes[kernels::KernelLanes];
+  _mm256_store_pd(Lanes, Acc);
+  for (size_t I = Full; I < N; ++I) {
+    double V = Squared ? (A[I] - B[I]) * (A[I] - B[I]) : A[I] * B[I];
+    Lanes[I & (kernels::KernelLanes - 1)] += V;
+  }
+  return ((Lanes[0] + Lanes[1]) + Lanes[2]) + Lanes[3];
+}
+
+constexpr size_t KTile = 256; // Must match the scalar kernel's tile.
+
+} // namespace
+
+double kernels::avx2::l2Sq(const double *A, const double *B, size_t N) {
+  __m256d Acc = _mm256_setzero_pd();
+  size_t Full = N & ~(KernelLanes - 1);
+  for (size_t I = 0; I < Full; I += KernelLanes) {
+    __m256d D = _mm256_sub_pd(_mm256_loadu_pd(A + I), _mm256_loadu_pd(B + I));
+    Acc = _mm256_add_pd(Acc, _mm256_mul_pd(D, D));
+  }
+  return foldLanesWithTail(Acc, A, B, Full, N, /*Squared=*/true);
+}
+
+void kernels::avx2::l2Sq1xN(const double *Query, const double *Rows,
+                            size_t NumRows, size_t Dim, size_t RowStride,
+                            double *Out) {
+  // Four rows per iteration: the query loads amortize across the block
+  // and four independent accumulator chains hide the FP-add latency.
+  // Each row still owns its single 4-lane accumulator, so per-row
+  // arithmetic — and therefore every output bit — is untouched.
+  size_t Full = Dim & ~(KernelLanes - 1);
+  size_t R = 0;
+  for (; R + 4 <= NumRows; R += 4) {
+    const double *Row0 = Rows + R * RowStride;
+    const double *Row1 = Row0 + RowStride;
+    const double *Row2 = Row1 + RowStride;
+    const double *Row3 = Row2 + RowStride;
+    __m256d Acc0 = _mm256_setzero_pd();
+    __m256d Acc1 = _mm256_setzero_pd();
+    __m256d Acc2 = _mm256_setzero_pd();
+    __m256d Acc3 = _mm256_setzero_pd();
+    if (R + 8 <= NumRows) {
+      // Pull the next row group toward L1 while this one computes; hints
+      // never affect results.
+      _mm_prefetch(reinterpret_cast<const char *>(Row3 + RowStride),
+                   _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char *>(Row3 + 2 * RowStride),
+                   _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char *>(Row3 + 3 * RowStride),
+                   _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char *>(Row3 + 4 * RowStride),
+                   _MM_HINT_T0);
+    }
+    for (size_t I = 0; I < Full; I += KernelLanes) {
+      __m256d Q = _mm256_loadu_pd(Query + I);
+      __m256d D0 = _mm256_sub_pd(Q, _mm256_loadu_pd(Row0 + I));
+      __m256d D1 = _mm256_sub_pd(Q, _mm256_loadu_pd(Row1 + I));
+      __m256d D2 = _mm256_sub_pd(Q, _mm256_loadu_pd(Row2 + I));
+      __m256d D3 = _mm256_sub_pd(Q, _mm256_loadu_pd(Row3 + I));
+      Acc0 = _mm256_add_pd(Acc0, _mm256_mul_pd(D0, D0));
+      Acc1 = _mm256_add_pd(Acc1, _mm256_mul_pd(D1, D1));
+      Acc2 = _mm256_add_pd(Acc2, _mm256_mul_pd(D2, D2));
+      Acc3 = _mm256_add_pd(Acc3, _mm256_mul_pd(D3, D3));
+    }
+    Out[R] = foldLanesWithTail(Acc0, Query, Row0, Full, Dim, true);
+    Out[R + 1] = foldLanesWithTail(Acc1, Query, Row1, Full, Dim, true);
+    Out[R + 2] = foldLanesWithTail(Acc2, Query, Row2, Full, Dim, true);
+    Out[R + 3] = foldLanesWithTail(Acc3, Query, Row3, Full, Dim, true);
+  }
+  for (; R < NumRows; ++R)
+    Out[R] = kernels::avx2::l2Sq(Query, Rows + R * RowStride, Dim);
+}
+
+double kernels::avx2::dot(const double *A, const double *B, size_t N) {
+  __m256d Acc = _mm256_setzero_pd();
+  size_t Full = N & ~(KernelLanes - 1);
+  for (size_t I = 0; I < Full; I += KernelLanes)
+    Acc = _mm256_add_pd(
+        Acc, _mm256_mul_pd(_mm256_loadu_pd(A + I), _mm256_loadu_pd(B + I)));
+  return foldLanesWithTail(Acc, A, B, Full, N, /*Squared=*/false);
+}
+
+void kernels::avx2::axpy(double *A, const double *B, double Alpha, size_t N) {
+  __m256d VA = _mm256_set1_pd(Alpha);
+  size_t Full = N & ~(KernelLanes - 1);
+  for (size_t I = 0; I < Full; I += KernelLanes)
+    _mm256_storeu_pd(
+        A + I, _mm256_add_pd(_mm256_loadu_pd(A + I),
+                             _mm256_mul_pd(VA, _mm256_loadu_pd(B + I))));
+  for (size_t I = Full; I < N; ++I)
+    A[I] += Alpha * B[I];
+}
+
+void kernels::avx2::matmul(const double *A, size_t N, size_t K,
+                           const double *B, size_t M, const double *Bias,
+                           double *Out) {
+  for (size_t I = 0; I < N; ++I) {
+    double *ORow = Out + I * M;
+    if (Bias)
+      std::memcpy(ORow, Bias, M * sizeof(double));
+    else
+      std::fill(ORow, ORow + M, 0.0);
+  }
+  size_t MFull = M & ~(KernelLanes - 1);
+  for (size_t K0 = 0; K0 < K; K0 += KTile) {
+    size_t K1 = std::min(K, K0 + KTile);
+    for (size_t I = 0; I < N; ++I) {
+      const double *ARow = A + I * K;
+      double *ORow = Out + I * M;
+      for (size_t KK = K0; KK < K1; ++KK) {
+        double AIK = ARow[KK];
+        if (AIK == 0.0)
+          continue; // Same sparse-activation skip as the scalar kernel.
+        const double *BRow = B + KK * M;
+        __m256d VA = _mm256_set1_pd(AIK);
+        for (size_t J = 0; J < MFull; J += KernelLanes)
+          _mm256_storeu_pd(
+              ORow + J,
+              _mm256_add_pd(_mm256_loadu_pd(ORow + J),
+                            _mm256_mul_pd(VA, _mm256_loadu_pd(BRow + J))));
+        for (size_t J = MFull; J < M; ++J)
+          ORow[J] += AIK * BRow[J];
+      }
+    }
+  }
+}
+
+#endif // PROM_HAVE_AVX2

@@ -1,0 +1,40 @@
+//===- support/KernelsIsa.h - ISA-variant kernel declarations ----*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal declarations shared between Kernels.cpp (the dispatcher) and
+/// the ISA-specific translation units. Not part of the public API: the
+/// AVX2 symbols exist only when the build defines PROM_HAVE_AVX2, so
+/// nothing outside the kernel TUs may reference them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_SUPPORT_KERNELSISA_H
+#define PROM_SUPPORT_KERNELSISA_H
+
+#include <cstddef>
+
+namespace prom {
+namespace support {
+namespace kernels {
+namespace avx2 {
+
+#ifdef PROM_HAVE_AVX2
+double l2Sq(const double *A, const double *B, size_t N);
+void l2Sq1xN(const double *Query, const double *Rows, size_t NumRows,
+             size_t Dim, size_t RowStride, double *Out);
+double dot(const double *A, const double *B, size_t N);
+void axpy(double *A, const double *B, double Alpha, size_t N);
+void matmul(const double *A, size_t N, size_t K, const double *B, size_t M,
+            const double *Bias, double *Out);
+#endif
+
+} // namespace avx2
+} // namespace kernels
+} // namespace support
+} // namespace prom
+
+#endif // PROM_SUPPORT_KERNELSISA_H

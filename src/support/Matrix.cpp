@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Matrix.h"
+#include "support/Kernels.h"
 #include "support/Rng.h"
 
 #include <algorithm>
@@ -38,18 +39,8 @@ void Matrix::fillGaussian(Rng &R, double Stddev) {
 Matrix Matrix::matmul(const Matrix &B) const {
   assert(NumCols == B.NumRows && "matmul shape mismatch");
   Matrix Out(NumRows, B.NumCols);
-  for (size_t I = 0; I < NumRows; ++I) {
-    const double *ARow = rowPtr(I);
-    double *ORow = Out.rowPtr(I);
-    for (size_t K = 0; K < NumCols; ++K) {
-      double AIK = ARow[K];
-      if (AIK == 0.0)
-        continue;
-      const double *BRow = B.rowPtr(K);
-      for (size_t J = 0; J < B.NumCols; ++J)
-        ORow[J] += AIK * BRow[J];
-    }
-  }
+  kernels::matmul(Data.data(), NumRows, NumCols, B.Data.data(), B.NumCols,
+                  /*Bias=*/nullptr, Out.Data.data());
   return Out;
 }
 
@@ -57,20 +48,8 @@ Matrix Matrix::affine(const Matrix &B, const std::vector<double> &Bias) const {
   assert(NumCols == B.NumRows && "affine shape mismatch");
   assert(Bias.size() == B.NumCols && "affine bias width mismatch");
   Matrix Out(NumRows, B.NumCols);
-  for (size_t I = 0; I < NumRows; ++I) {
-    const double *ARow = rowPtr(I);
-    double *ORow = Out.rowPtr(I);
-    for (size_t J = 0; J < B.NumCols; ++J)
-      ORow[J] = Bias[J];
-    for (size_t K = 0; K < NumCols; ++K) {
-      double AIK = ARow[K];
-      if (AIK == 0.0)
-        continue;
-      const double *BRow = B.rowPtr(K);
-      for (size_t J = 0; J < B.NumCols; ++J)
-        ORow[J] += AIK * BRow[J];
-    }
-  }
+  kernels::matmul(Data.data(), NumRows, NumCols, B.Data.data(), B.NumCols,
+                  Bias.data(), Out.Data.data());
   return Out;
 }
 
@@ -158,17 +137,13 @@ std::vector<double> Matrix::columnSums() const {
 double prom::support::dot(const std::vector<double> &A,
                           const std::vector<double> &B) {
   assert(A.size() == B.size() && "dot length mismatch");
-  double Sum = 0.0;
-  for (size_t I = 0; I < A.size(); ++I)
-    Sum += A[I] * B[I];
-  return Sum;
+  return kernels::dot(A.data(), B.data(), A.size());
 }
 
 void prom::support::axpy(std::vector<double> &A, const std::vector<double> &B,
                          double Alpha) {
   assert(A.size() == B.size() && "axpy length mismatch");
-  for (size_t I = 0; I < A.size(); ++I)
-    A[I] += Alpha * B[I];
+  kernels::axpy(A.data(), B.data(), Alpha, A.size());
 }
 
 void prom::support::softmaxInPlace(std::vector<double> &Logits) {

@@ -9,7 +9,10 @@
 ///
 /// The matrix is row-major double storage; the operation set is exactly
 /// what the from-scratch models need (matmul, transposed matmul variants,
-/// elementwise maps, row reductions). No BLAS dependency by design.
+/// elementwise maps, row reductions). No BLAS dependency by design:
+/// matmul/affine (the batched model forwards) and dot/axpy dispatch to the
+/// blocked kernels in support/Kernels, which carry the cross-ISA
+/// bit-identity contract.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,220 @@
+//===- tests/KernelTest.cpp - kernel bit-identity and semantics -------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The determinism contract of support/Kernels: the dispatched variant
+// (AVX2 when the build + CPU provide it, otherwise the scalar reference
+// itself) must be bit-identical to the scalar reference on every input —
+// odd lengths, tail remainders, zero length, NaN propagation, zero-heavy
+// matmul operands. CI runs this suite in both the scalar-only and the
+// AVX2 build configuration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Distance.h"
+#include "support/FeatureMatrix.h"
+#include "support/Kernels.h"
+#include "support/Matrix.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+using namespace prom;
+using namespace prom::support;
+
+namespace {
+
+/// Exact bit comparison (EXPECT_EQ treats -0.0 == +0.0 and NaN != NaN;
+/// the kernel contract is stronger than numeric equality).
+void expectSameBits(double A, double B, const char *What) {
+  uint64_t BitsA, BitsB;
+  std::memcpy(&BitsA, &A, sizeof(BitsA));
+  std::memcpy(&BitsB, &B, sizeof(BitsB));
+  EXPECT_EQ(BitsA, BitsB) << What << ": " << A << " vs " << B;
+}
+
+std::vector<double> randomVec(size_t N, Rng &R) {
+  std::vector<double> V(N);
+  for (double &X : V)
+    X = R.gaussian(0.0, 3.0);
+  return V;
+}
+
+} // namespace
+
+TEST(KernelTest, ReportsActiveIsa) {
+  // Smoke: the dispatcher settled on one of the two variants.
+  const char *Name = kernels::activeIsaName();
+  EXPECT_TRUE(std::strcmp(Name, "avx2") == 0 ||
+              std::strcmp(Name, "scalar") == 0);
+  EXPECT_EQ(kernels::avx2Active(), std::strcmp(Name, "avx2") == 0);
+}
+
+TEST(KernelTest, L2SqMatchesScalarOnEveryLengthClass) {
+  Rng R(11);
+  // 0 (empty), 1..2*lanes (every tail shape), odd primes, and lengths
+  // around typical embedding widths.
+  for (size_t N : {0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 13u, 31u, 64u, 67u,
+                   127u, 500u}) {
+    std::vector<double> A = randomVec(N, R), B = randomVec(N, R);
+    expectSameBits(kernels::l2Sq(A.data(), B.data(), N),
+                   kernels::scalar::l2Sq(A.data(), B.data(), N), "l2Sq");
+  }
+  EXPECT_EQ(kernels::l2Sq(nullptr, nullptr, 0), 0.0);
+}
+
+TEST(KernelTest, DotMatchesScalarOnEveryLengthClass) {
+  Rng R(12);
+  for (size_t N : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 9u, 33u, 64u, 101u}) {
+    std::vector<double> A = randomVec(N, R), B = randomVec(N, R);
+    expectSameBits(kernels::dot(A.data(), B.data(), N),
+                   kernels::scalar::dot(A.data(), B.data(), N), "dot");
+  }
+}
+
+TEST(KernelTest, AxpyMatchesScalar) {
+  Rng R(13);
+  for (size_t N : {0u, 1u, 5u, 8u, 31u, 64u}) {
+    std::vector<double> A = randomVec(N, R), B = randomVec(N, R);
+    std::vector<double> ADispatch = A, AScalar = A;
+    kernels::axpy(ADispatch.data(), B.data(), 1.7, N);
+    kernels::scalar::axpy(AScalar.data(), B.data(), 1.7, N);
+    for (size_t I = 0; I < N; ++I)
+      expectSameBits(ADispatch[I], AScalar[I], "axpy");
+  }
+}
+
+TEST(KernelTest, NaNPropagatesIdentically) {
+  Rng R(14);
+  for (size_t Pos : {0u, 3u, 6u}) { // Vector body and tail lanes.
+    std::vector<double> A = randomVec(7, R), B = randomVec(7, R);
+    A[Pos] = std::numeric_limits<double>::quiet_NaN();
+    double D = kernels::l2Sq(A.data(), B.data(), A.size());
+    double S = kernels::scalar::l2Sq(A.data(), B.data(), A.size());
+    EXPECT_TRUE(std::isnan(D));
+    EXPECT_TRUE(std::isnan(S));
+    expectSameBits(D, S, "l2Sq NaN");
+    expectSameBits(kernels::dot(A.data(), B.data(), A.size()),
+                   kernels::scalar::dot(A.data(), B.data(), A.size()),
+                   "dot NaN");
+  }
+}
+
+TEST(KernelTest, BatchedScanMatchesSingleRowCalls) {
+  Rng R(15);
+  for (size_t Dim : {1u, 4u, 7u, 32u, 65u}) {
+    FeatureMatrix M(37, Dim); // Odd row count exercises the 2-row unroll tail.
+    for (size_t I = 0; I < M.rows(); ++I) {
+      std::vector<double> Row = randomVec(Dim, R);
+      M.setRow(I, Row.data());
+    }
+    std::vector<double> Q = randomVec(Dim, R);
+    std::vector<double> Out(M.rows());
+    kernels::l2Sq1xN(Q.data(), M.data(), M.rows(), M.dim(), M.stride(),
+                     Out.data());
+    for (size_t I = 0; I < M.rows(); ++I) {
+      expectSameBits(Out[I], kernels::l2Sq(Q.data(), M.rowPtr(I), Dim),
+                     "l2Sq1xN vs l2Sq");
+      expectSameBits(Out[I],
+                     kernels::scalar::l2Sq(Q.data(), M.rowPtr(I), Dim),
+                     "l2Sq1xN vs scalar");
+    }
+  }
+}
+
+TEST(KernelTest, MatmulMatchesScalarIncludingZeroSkip) {
+  Rng R(16);
+  // Shapes straddling the lane width and the K tile, with ~40% exact
+  // zeros in A to exercise the sparse-activation skip identically.
+  struct Shape {
+    size_t N, K, M;
+  };
+  for (Shape S : {Shape{3, 5, 7}, Shape{8, 16, 4}, Shape{5, 300, 9},
+                  Shape{17, 64, 33}}) {
+    std::vector<double> A = randomVec(S.N * S.K, R);
+    for (double &V : A)
+      if (R.uniform(0.0, 1.0) < 0.4)
+        V = 0.0;
+    std::vector<double> B = randomVec(S.K * S.M, R);
+    std::vector<double> Bias = randomVec(S.M, R);
+    for (const double *BiasPtr :
+         {static_cast<const double *>(Bias.data()),
+          static_cast<const double *>(nullptr)}) {
+      std::vector<double> OutD(S.N * S.M), OutS(S.N * S.M);
+      kernels::matmul(A.data(), S.N, S.K, B.data(), S.M, BiasPtr,
+                      OutD.data());
+      kernels::scalar::matmul(A.data(), S.N, S.K, B.data(), S.M, BiasPtr,
+                              OutS.data());
+      for (size_t I = 0; I < OutD.size(); ++I)
+        expectSameBits(OutD[I], OutS[I], "matmul");
+    }
+  }
+}
+
+TEST(KernelTest, MatmulMatchesPerSampleAffineLoop) {
+  // The batched model forwards rely on row I of the kernel matmul being
+  // bit-identical to the historic per-sample loop (out = bias; for k:
+  // out += a_k * B[k], skipping zero activations).
+  Rng R(17);
+  size_t N = 6, K = 19, M = 5;
+  std::vector<double> A = randomVec(N * K, R);
+  for (double &V : A)
+    if (R.uniform(0.0, 1.0) < 0.3)
+      V = 0.0;
+  std::vector<double> B = randomVec(K * M, R);
+  std::vector<double> Bias = randomVec(M, R);
+  std::vector<double> Out(N * M);
+  kernels::matmul(A.data(), N, K, B.data(), M, Bias.data(), Out.data());
+  for (size_t I = 0; I < N; ++I) {
+    std::vector<double> Ref = Bias;
+    for (size_t KK = 0; KK < K; ++KK) {
+      double AIK = A[I * K + KK];
+      if (AIK == 0.0)
+        continue;
+      for (size_t J = 0; J < M; ++J)
+        Ref[J] += AIK * B[KK * M + J];
+    }
+    for (size_t J = 0; J < M; ++J)
+      expectSameBits(Out[I * M + J], Ref[J], "matmul vs per-sample");
+  }
+}
+
+TEST(KernelTest, FeatureMatrixPadsRowsToLaneMultiples) {
+  FeatureMatrix M(3, 5);
+  EXPECT_EQ(M.rows(), 3u);
+  EXPECT_EQ(M.dim(), 5u);
+  EXPECT_EQ(M.stride() % kernels::KernelLanes, 0u);
+  EXPECT_GE(M.stride(), M.dim());
+
+  std::vector<double> Row = {1, 2, 3, 4, 5};
+  M.setRow(1, Row.data());
+  EXPECT_EQ(M.row(1), Row);
+  // Padding stays zero and is never part of a row() copy.
+  EXPECT_EQ(M.rowPtr(1)[5], 0.0);
+
+  FeatureMatrix F = FeatureMatrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(F.rows(), 3u);
+  EXPECT_EQ(F.dim(), 2u);
+  EXPECT_EQ(F.row(2), (std::vector<double>{5, 6}));
+  EXPECT_TRUE(FeatureMatrix::fromRows({}).empty());
+}
+
+TEST(KernelTest, DistanceWrappersUseTheKernels) {
+  Rng R(18);
+  std::vector<double> A = randomVec(11, R), B = randomVec(11, R);
+  expectSameBits(squaredEuclidean(A, B),
+                 kernels::l2Sq(A.data(), B.data(), A.size()),
+                 "squaredEuclidean wrapper");
+  expectSameBits(euclidean(A, B),
+                 std::sqrt(kernels::l2Sq(A.data(), B.data(), A.size())),
+                 "euclidean wrapper");
+  expectSameBits(dot(A, B), kernels::dot(A.data(), B.data(), A.size()),
+                 "dot wrapper");
+}

@@ -81,6 +81,44 @@ TEST(RapsTest, PenaltyAboveApsForUncertainLabels) {
   EXPECT_NEAR(Raps.score(Sharp, 0), Aps.score(Sharp, 0), 1e-6);
 }
 
+TEST(ApsRapsTest, ScoreAllMatchesPerLabelScoreOnTieHeavyVectors) {
+  // The rank-from-one-sort scoreAll() must reproduce labelRank()'s
+  // deterministic index tie-break bit for bit — stress it with repeated
+  // probabilities and random vectors of several widths.
+  ApsScorer Aps;
+  RapsScorer Raps;
+  support::Rng R(4242);
+  std::vector<std::vector<double>> Cases = {
+      {0.25, 0.25, 0.25, 0.25},
+      {0.4, 0.2, 0.2, 0.2},
+      {0.2, 0.2, 0.4, 0.2},
+      {0.5, 0.5},
+      {1.0},
+  };
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    size_t C = 2 + static_cast<size_t>(Trial % 7);
+    std::vector<double> P(C);
+    double Sum = 0.0;
+    for (double &V : P) {
+      // Quantized draws make exact ties likely.
+      V = std::floor(R.uniform(0.0, 5.0)) + 0.5;
+      Sum += V;
+    }
+    for (double &V : P)
+      V /= Sum;
+    Cases.push_back(P);
+  }
+  for (const std::vector<double> &P : Cases) {
+    std::vector<double> AllAps(P.size()), AllRaps(P.size());
+    Aps.scoreAll(P, AllAps.data());
+    Raps.scoreAll(P, AllRaps.data());
+    for (size_t L = 0; L < P.size(); ++L) {
+      EXPECT_DOUBLE_EQ(AllAps[L], Aps.score(P, static_cast<int>(L)));
+      EXPECT_DOUBLE_EQ(AllRaps[L], Raps.score(P, static_cast<int>(L)));
+    }
+  }
+}
+
 TEST(DefaultScorersTest, FourExpertsWithExpectedNames) {
   auto Scorers = defaultClassificationScorers();
   ASSERT_EQ(Scorers.size(), 4u);

@@ -17,12 +17,14 @@
 #include "data/Split.h"
 #include "ml/Linear.h"
 #include "ml/Mlp.h"
+#include "support/Kernels.h"
 #include "support/ThreadPool.h"
 #include "tests/TestHelpers.h"
 
 #include <gtest/gtest.h>
 
 #include <cassert>
+#include <cstring>
 
 using namespace prom;
 using prom::testing::gaussianBlobs;
@@ -167,6 +169,55 @@ TEST(ShardedStoreTest, AutoShardCountUsesPoolLanes) {
   // NumShards differs between the configs, but it is the only difference
   // and must not affect a single bit of the verdicts.
   expectSameVerdicts(Ref.assessBatch(F.Test), Prom.assessBatch(F.Test));
+}
+
+TEST(ShardedStoreTest, FeatureMatrixScanMatchesPerRowVectorScan) {
+  // Property check of the flat-storage refactor: the distance keys the
+  // FeatureMatrix-backed store streams out of its contiguous block must
+  // be bit-identical to scanning the original per-row entry vectors (the
+  // pre-refactor vector<vector<double>> path) with the same kernel — so
+  // moving the storage cannot change a single verdict.
+  support::Rng R(99);
+  CalibrationScores Scores;
+  size_t Dim = 7; // Odd width: every row exercises the kernel tail.
+  for (size_t I = 0; I < 700; ++I) {
+    CalibrationEntry E;
+    for (size_t D = 0; D < Dim; ++D)
+      E.Embed.push_back(R.gaussian(0.0, 2.0));
+    E.Label = static_cast<int>(I % 3);
+    E.Scores = {R.uniform(0.0, 1.0)};
+    Scores.add(std::move(E));
+  }
+  Scores.finalize();
+
+  PromConfig Cfg;
+  AssessmentScratch S;
+  for (int Q = 0; Q < 5; ++Q) {
+    std::vector<double> Query;
+    for (size_t D = 0; D < Dim; ++D)
+      Query.push_back(R.gaussian(0.0, 2.0));
+
+    S.Keyed.resize(Scores.size());
+    S.Dists.resize(Scores.size());
+    Scores.computeDistanceKeys(Query.data(), S, 0, Scores.size());
+    for (size_t I = 0; I < Scores.size(); ++I) {
+      double PerRow = support::kernels::l2Sq(
+          Scores.entry(I).Embed.data(), Query.data(), Dim);
+      uint64_t GotBits, RefBits;
+      std::memcpy(&GotBits, &S.Keyed[I].first, sizeof(GotBits));
+      std::memcpy(&RefBits, &PerRow, sizeof(RefBits));
+      ASSERT_EQ(GotBits, RefBits) << "entry " << I;
+    }
+    // And the full selection built on those keys matches the serial
+    // oracle's select() set and weights exactly.
+    Scores.finishSelection(Cfg, S);
+    CalibrationSelection Sel = Scores.select(Query, Cfg);
+    ASSERT_EQ(Sel.Indices.size(), S.Keep);
+    for (size_t Pos = 0; Pos < Sel.Indices.size(); ++Pos) {
+      EXPECT_EQ(S.SelectedMask[Sel.Indices[Pos]], 1);
+      EXPECT_EQ(S.WeightByEntry[Sel.Indices[Pos]], Sel.Weights[Pos]);
+    }
+  }
 }
 
 TEST(ShardedStoreTest, RegressorShardCountInvariant) {

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Distance.h"
+#include "support/FeatureMatrix.h"
 #include "support/KMeans.h"
 #include "support/Matrix.h"
 #include "support/Rng.h"
@@ -330,6 +331,33 @@ TEST(DistanceTest, KNearestOrdersByDistance) {
 TEST(DistanceTest, KNearestClampsK) {
   std::vector<std::vector<double>> Points = {{0, 0}, {1, 1}};
   EXPECT_EQ(kNearest(Points, {0, 0}, 10).size(), 2u);
+}
+
+TEST(DistanceTest, KNearestBreaksDistanceTiesByAscendingIndex) {
+  // Regression test for the nth_element + prefix-sort rewrite: many rows
+  // at exactly the same distance must come back in ascending-index order,
+  // and the kept set must cut ties at the boundary by index too.
+  std::vector<std::vector<double>> Points;
+  for (int I = 0; I < 8; ++I)
+    Points.push_back({1.0, 0.0}); // All at distance 1 from the origin.
+  Points.push_back({0.5, 0.0});   // Index 8: strictly closer.
+  std::vector<size_t> Near = kNearest(Points, {0.0, 0.0}, 4);
+  ASSERT_EQ(Near.size(), 4u);
+  EXPECT_EQ(Near[0], 8u); // Closest first.
+  EXPECT_EQ(Near[1], 0u); // Then tied rows by ascending index.
+  EXPECT_EQ(Near[2], 1u);
+  EXPECT_EQ(Near[3], 2u);
+
+  // The FeatureMatrix overload makes the same selection from the flat
+  // block scan.
+  FeatureMatrix Flat = FeatureMatrix::fromRows(Points);
+  std::vector<double> Query = {0.0, 0.0};
+  EXPECT_EQ(kNearest(Flat, Query.data(), 4), Near);
+  EXPECT_EQ(kNearest(Flat, Query.data(), Points.size() + 3).size(),
+            Points.size());
+  // K = 0 on a non-empty set is well-defined: empty selection.
+  EXPECT_TRUE(kNearest(Points, {0.0, 0.0}, 0).empty());
+  EXPECT_TRUE(kNearest(Flat, Query.data(), 0).empty());
 }
 
 //===----------------------------------------------------------------------===//
