@@ -16,15 +16,24 @@
 
 using namespace prom;
 
+/// Entries the median-NN-distance measurement samples (the first
+/// MedianNNSample entries; bounded so finalize stays O(min(n,256)^2)).
+static constexpr size_t MedianNNSample = 256;
+
 void CalibrationScores::finalize() {
   buildBatchIndexes();
+  IndexedCount = Entries.size();
+  computeMedianNNDist();
+}
+
+void CalibrationScores::computeMedianNNDist() {
   if (Entries.size() < 2) {
     MedianNNDist = 1.0;
     return;
   }
   // Median nearest-neighbour distance over a bounded subsample keeps this
   // O(min(n,256)^2) even for large calibration sets.
-  size_t N = std::min<size_t>(Entries.size(), 256);
+  size_t N = std::min<size_t>(Entries.size(), MedianNNSample);
   std::vector<double> NNDist;
   NNDist.reserve(N);
   for (size_t I = 0; I < N; ++I) {
@@ -40,6 +49,143 @@ void CalibrationScores::finalize() {
   }
   std::sort(NNDist.begin(), NNDist.end());
   MedianNNDist = std::max(NNDist[NNDist.size() / 2], 1e-9);
+}
+
+void CalibrationScores::dropOldest(size_t Count) {
+  assert(Count <= Entries.size() && "dropOldest past the end");
+  Entries.erase(Entries.begin(), Entries.begin() + static_cast<long>(Count));
+  // Indexes are now stale; the caller re-runs finalize().
+  IndexedCount = 0;
+}
+
+bool CalibrationScores::refinalize(size_t Evict) {
+  assert(Evict <= Entries.size() && "evicting more entries than exist");
+  size_t OldIndexed = IndexedCount;
+
+  // Degenerate refresh: the eviction swallows the whole indexed prefix
+  // (a refresh batch larger than the store bound, or a store that was
+  // never finalized). Nothing is reusable — rebuild from scratch.
+  if (OldIndexed == 0 || (Evict > 0 && Evict >= OldIndexed)) {
+    Entries.erase(Entries.begin(), Entries.begin() + static_cast<long>(Evict));
+    finalize();
+    return false;
+  }
+
+  if (Evict > 0)
+    evictFromIndexes(Evict);
+  appendToIndexes(IndexedCount);
+
+  // The distance-scale sample window is the first min(N, 256) entries:
+  // unchanged by a pure append onto a store that already indexed 256, so
+  // the recompute (and its O(256^2) distance scans) is skipped exactly
+  // when a from-scratch finalize would measure the same window.
+  if (Evict > 0 || OldIndexed < MedianNNSample)
+    computeMedianNNDist();
+
+  IndexedCount = Entries.size();
+  return true;
+}
+
+void CalibrationScores::evictFromIndexes(size_t Evict) {
+  size_t NumExp = numExperts();
+  size_t LabelBuckets = static_cast<size_t>(MaxLabel + 1);
+
+  // Capture the evicted scores per (expert, label) before the positional
+  // arrays shift, then subtract them from the sorted indexes as sorted
+  // multisets — one linear pass per column instead of per-value erases.
+  std::vector<std::vector<std::vector<double>>> Gone(
+      NumExp, std::vector<std::vector<double>>(LabelBuckets));
+  for (size_t I = 0; I < Evict; ++I) {
+    if (Labels[I] < 0)
+      continue;
+    size_t L = static_cast<size_t>(Labels[I]);
+    for (size_t E = 0; E < NumExp; ++E)
+      Gone[E][L].push_back(ScoreColumns[E][I]);
+  }
+
+  Entries.erase(Entries.begin(), Entries.begin() + static_cast<long>(Evict));
+  Labels.erase(Labels.begin(), Labels.begin() + static_cast<long>(Evict));
+  for (std::vector<double> &Column : ScoreColumns)
+    Column.erase(Column.begin(), Column.begin() + static_cast<long>(Evict));
+  Embeds.eraseFrontRows(Evict);
+
+  for (size_t E = 0; E < NumExp; ++E) {
+    for (size_t L = 0; L < LabelBuckets; ++L) {
+      std::vector<double> &Removed = Gone[E][L];
+      if (Removed.empty())
+        continue;
+      std::sort(Removed.begin(), Removed.end());
+      std::vector<double> &Col = SortedScores[E][L];
+      std::vector<double> Kept;
+      Kept.reserve(Col.size() - Removed.size());
+      size_t G = 0;
+      for (double V : Col) {
+        if (G < Removed.size() && V == Removed[G]) {
+          ++G;
+          continue;
+        }
+        Kept.push_back(V);
+      }
+      assert(G == Removed.size() && "evicted score missing from the index");
+      Col = std::move(Kept);
+    }
+  }
+
+  // Eviction can retire the largest label entirely; a fresh finalize would
+  // size its buckets to the surviving maximum, so mirror that here.
+  MaxLabel = -1;
+  for (int Label : Labels)
+    MaxLabel = std::max(MaxLabel, Label);
+  for (size_t E = 0; E < NumExp; ++E)
+    SortedScores[E].resize(static_cast<size_t>(MaxLabel + 1));
+
+  IndexedCount -= Evict;
+}
+
+void CalibrationScores::appendToIndexes(size_t From) {
+  size_t N = Entries.size();
+  if (From == N)
+    return;
+  size_t NumExp = numExperts();
+  size_t Dim = Embeds.dim();
+
+  for (size_t I = From; I < N; ++I) {
+    assert(Entries[I].Embed.size() == Dim && "ragged calibration embeds");
+    assert(Entries[I].Scores.size() == NumExp && "ragged expert scores");
+    (void)Dim;
+    Embeds.appendRow(Entries[I].Embed.data());
+    Labels.push_back(Entries[I].Label);
+    MaxLabel = std::max(MaxLabel, Entries[I].Label);
+    for (size_t E = 0; E < NumExp; ++E)
+      ScoreColumns[E].push_back(Entries[I].Scores[E]);
+  }
+
+  size_t LabelBuckets = static_cast<size_t>(MaxLabel + 1);
+  for (size_t E = 0; E < NumExp; ++E) {
+    SortedScores[E].resize(LabelBuckets);
+    mergeScoresIntoIndex(E, From, N, SortedScores[E]);
+  }
+}
+
+void CalibrationScores::mergeScoresIntoIndex(
+    size_t Expert, size_t Begin, size_t End,
+    std::vector<std::vector<double>> &SortedScores) const {
+  std::vector<std::vector<double>> NewByLabel(SortedScores.size());
+  for (size_t I = Begin; I < End; ++I)
+    if (Labels[I] >= 0)
+      NewByLabel[static_cast<size_t>(Labels[I])].push_back(
+          ScoreColumns[Expert][I]);
+  for (size_t L = 0; L < NewByLabel.size(); ++L) {
+    std::vector<double> &Fresh = NewByLabel[L];
+    if (Fresh.empty())
+      continue;
+    std::sort(Fresh.begin(), Fresh.end());
+    std::vector<double> &Col = SortedScores[L];
+    size_t Mid = Col.size();
+    Col.insert(Col.end(), Fresh.begin(), Fresh.end());
+    std::inplace_merge(Col.begin(), Col.begin() + static_cast<long>(Mid),
+                       Col.end());
+  }
 }
 
 /// How many of N entries the Sec. 5.1.2 policy keeps.
@@ -200,6 +346,8 @@ void CalibrationScores::selectForAssessment(const double *TestEmbed,
                                             const PromConfig &Cfg,
                                             AssessmentScratch &S) const {
   assert(!Entries.empty() && "empty calibration set");
+  assert(IndexedCount == Entries.size() &&
+         "assessing a store with staged (unfinalized) entries");
   S.Keyed.resize(Entries.size());
   S.Dists.resize(Entries.size());
   computeDistanceKeys(TestEmbed, S, 0, Entries.size());

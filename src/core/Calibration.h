@@ -102,6 +102,7 @@ public:
     ScoreColumns.clear();
     MaxLabel = -1;
     SortedScores.clear();
+    IndexedCount = 0;
   }
   void reserve(size_t N) { Entries.reserve(N); }
   void add(CalibrationEntry Entry) { Entries.push_back(std::move(Entry)); }
@@ -114,6 +115,44 @@ public:
   /// full-selection p-values into binary searches. Called once after all
   /// entries are added; required for PromConfig::AutoTau.
   void finalize();
+
+  /// Entries covered by the finalize()/refinalize()-built indexes.
+  /// Entries add()ed beyond this count are *staged*: invisible to the
+  /// engine entry points until the next refinalize().
+  size_t indexedCount() const { return IndexedCount; }
+
+  /// Incremental finalize for the online-refresh path: evicts the
+  /// \p Evict oldest entries, then folds every staged appended entry into
+  /// the existing indexes — appended embedding rows / labels / score
+  /// columns, sort + in-place merge of the new scores into the sorted
+  /// per-(expert, label) indexes, and a median-NN-distance recompute only
+  /// when the bounded sample window finalize() measures actually changed
+  /// (eviction shifted it, or fewer than its 256 entries were indexed).
+  ///
+  /// Post-state contract: bit-identical to clearing and re-running
+  /// finalize() on the surviving entries in order — every index value,
+  /// the distance scale, and therefore every verdict (test-enforced by
+  /// RefreshTest). Returns false when a degenerate eviction (>= the
+  /// indexed prefix) forced that full rebuild instead of the incremental
+  /// patch.
+  bool refinalize(size_t Evict);
+
+  /// Erases the \p Count oldest entries *without* touching the indexes —
+  /// the staging step of the from-scratch reference rebuild, which calls
+  /// finalize() right after. (refinalize() is the index-preserving path.)
+  void dropOldest(size_t Count);
+
+  /// Folds the scores of entries [\p Begin, \p End) of expert \p Expert
+  /// into the ascending per-label index \p SortedScores (one bucket per
+  /// label, already sized to cover every label in the range): sort the
+  /// new scores per label, then merge each run in place. The resulting
+  /// ascending multiset is exactly what a full re-sort of the union
+  /// produces — this is the single insert step both the flat refresh
+  /// path and the sharded store's block-aligned shard extension use, so
+  /// the two cannot drift apart.
+  void mergeScoresIntoIndex(size_t Expert, size_t Begin, size_t End,
+                            std::vector<std::vector<double>> &SortedScores)
+      const;
 
   /// Median nearest-neighbour distance (0 before finalize()).
   double medianNNDist() const { return MedianNNDist; }
@@ -251,8 +290,22 @@ private:
   /// Rebuilds the contiguous/sorted batch-engine indexes from Entries.
   void buildBatchIndexes();
 
+  /// The finalize() distance-scale measurement (median nearest-neighbour
+  /// distance over the first min(N, 256) entries), shared verbatim with
+  /// refinalize() so both paths land on identical bits.
+  void computeMedianNNDist();
+
+  /// Removes the first \p Evict entries from every index in place:
+  /// prefix erase of the positional arrays, multiset subtraction from the
+  /// sorted per-(expert, label) scores, MaxLabel recompute.
+  void evictFromIndexes(size_t Evict);
+
+  /// Folds entries [\p From, size()) into the indexes (append + merge).
+  void appendToIndexes(size_t From);
+
   std::vector<CalibrationEntry> Entries;
   double MedianNNDist = 0.0;
+  size_t IndexedCount = 0; ///< Entries covered by the indexes below.
 
   // Batch-engine indexes (rebuilt by finalize()).
   /// N x Dim flat embedding block (padded stride) the kernel scans stream.

@@ -21,6 +21,7 @@ constexpr size_t MinEntriesForFanOut = 512;
 } // namespace
 
 void CalibrationStore::finalize(size_t NumShards) {
+  TargetShards = NumShards == 0 ? 1 : NumShards;
   Flat.finalize();
   buildShards(NumShards);
 }
@@ -29,7 +30,86 @@ void CalibrationStore::reshard(size_t NumShards) {
   // finalize() is what populates the flat indexes buildShards() reads;
   // embedDim() stays 0 until it has run on a non-empty store.
   assert((Flat.empty() || Flat.embedDim() > 0) && "reshard before finalize");
+  TargetShards = NumShards == 0 ? 1 : NumShards;
   buildShards(NumShards);
+}
+
+void CalibrationStore::appendEntries(std::vector<CalibrationEntry> NewEntries) {
+  assert((Flat.empty() || NewEntries.empty() ||
+          (NewEntries.front().Embed.size() == Flat.embedDim() &&
+           NewEntries.front().Scores.size() == Flat.numExperts())) &&
+         "appended entries must match the store shape");
+  for (CalibrationEntry &Entry : NewEntries)
+    Flat.add(std::move(Entry));
+}
+
+void CalibrationStore::refinalize() {
+  size_t Evict =
+      MaxEntries != 0 && Flat.size() > MaxEntries ? Flat.size() - MaxEntries
+                                                  : 0;
+  size_t Staged = stagedEntries();
+  size_t OldIndexed = Flat.indexedCount();
+
+  bool Incremental = Flat.refinalize(Evict);
+  if (!Incremental || Evict > 0) {
+    // Eviction re-blocks every surviving entry (block membership is
+    // positional), so the per-shard indexes are stale wholesale.
+    buildShards(TargetShards);
+    return;
+  }
+  if (Staged == 0)
+    return;
+  assert(!Shards.empty() && "finalized non-empty store without shards");
+
+  // Append-only refresh: the new entries extend the last shard (filling
+  // its trailing partial block first — the block-aligned insert). Once
+  // that shard drifts past twice the even share, rebalance to the
+  // requested partition; any block-aligned contiguous layout yields
+  // bit-identical verdicts, so the rebalance point is pure load-balancing.
+  size_t NumBlocks = Flat.numAccumBlocks();
+  size_t Ideal = std::min(TargetShards, NumBlocks);
+  size_t IdealBlocksPerShard = (NumBlocks + Ideal - 1) / Ideal;
+  size_t LastShardBlocks =
+      NumBlocks - Shards.back().Begin / CalibrationAccumBlock;
+  if (LastShardBlocks > 2 * IdealBlocksPerShard) {
+    buildShards(TargetShards);
+    return;
+  }
+  extendLastShard(OldIndexed);
+}
+
+void CalibrationStore::refinalizeFull() {
+  size_t Evict =
+      MaxEntries != 0 && Flat.size() > MaxEntries ? Flat.size() - MaxEntries
+                                                  : 0;
+  Flat.dropOldest(Evict);
+  Flat.finalize();
+  buildShards(TargetShards);
+}
+
+void CalibrationStore::extendLastShard(size_t OldEnd) {
+  size_t NewEnd = Flat.size();
+  size_t NumExp = Flat.numExperts();
+  size_t LabelBuckets = static_cast<size_t>(Flat.maxLabel() + 1);
+
+  // The refresh may have introduced a new largest label; every shard's
+  // bucket array must cover it (empty buckets never change a count).
+  for (Shard &Sh : Shards)
+    for (size_t E = 0; E < NumExp; ++E)
+      Sh.SortedScores[E].resize(LabelBuckets);
+
+  Shard &Last = Shards.back();
+  assert(Last.End == OldEnd && "extending past staged entries");
+  // Per-expert sorted inserts are independent; the fan-out runs inline
+  // when nested under another pool region (a service worker triggering a
+  // synchronous refresh) — the nested-parallelFor contract. The insert
+  // itself is the same sort + in-place merge the flat index uses.
+  support::ThreadPool::global().parallelFor(
+      NumExp, [&](size_t Begin, size_t End) {
+        for (size_t E = Begin; E < End; ++E)
+          Flat.mergeScoresIntoIndex(E, OldEnd, NewEnd, Last.SortedScores[E]);
+      });
+  Last.End = NewEnd;
 }
 
 void CalibrationStore::buildShards(size_t NumShards) {
@@ -55,20 +135,29 @@ void CalibrationStore::buildShards(size_t NumShards) {
     Shard Sh;
     Sh.Begin = FirstBlock * CalibrationAccumBlock;
     Sh.End = std::min(N, LastBlock * CalibrationAccumBlock);
-
-    Sh.SortedScores.assign(
-        NumExp, std::vector<std::vector<double>>(LabelBuckets));
-    for (size_t E = 0; E < NumExp; ++E) {
-      const std::vector<double> &Column = Flat.scoreColumn(E);
-      for (size_t I = Sh.Begin; I < Sh.End; ++I)
-        if (Flat.label(I) >= 0)
-          Sh.SortedScores[E][static_cast<size_t>(Flat.label(I))].push_back(
-              Column[I]);
-      for (std::vector<double> &LabelScores : Sh.SortedScores[E])
-        std::sort(LabelScores.begin(), LabelScores.end());
-    }
     Shards.push_back(std::move(Sh));
   }
+
+  // Per-shard index builds touch disjoint state, so they fan out over the
+  // pool; each shard's sort depends only on its own entry range, never on
+  // which lane ran it. Runs inline when nested under an active region.
+  support::ThreadPool::global().parallelFor(
+      Shards.size(), [&](size_t Begin, size_t End) {
+        for (size_t S = Begin; S < End; ++S) {
+          Shard &Sh = Shards[S];
+          Sh.SortedScores.assign(
+              NumExp, std::vector<std::vector<double>>(LabelBuckets));
+          for (size_t E = 0; E < NumExp; ++E) {
+            const std::vector<double> &Column = Flat.scoreColumn(E);
+            for (size_t I = Sh.Begin; I < Sh.End; ++I)
+              if (Flat.label(I) >= 0)
+                Sh.SortedScores[E][static_cast<size_t>(Flat.label(I))]
+                    .push_back(Column[I]);
+            for (std::vector<double> &LabelScores : Sh.SortedScores[E])
+              std::sort(LabelScores.begin(), LabelScores.end());
+          }
+        }
+      });
 }
 
 void CalibrationStore::selectForAssessment(const double *TestEmbed,

@@ -27,6 +27,14 @@
 /// bit for bit, so verdicts are identical for every shard count and every
 /// thread count — test-enforced like the batch/serial equivalence.
 ///
+/// The store also supports *online refresh*: appendEntries() stages
+/// freshly relabeled deployment samples, refinalize() folds them into the
+/// existing indexes (and evicts oldest-first beyond maxEntries()) without
+/// a from-scratch rebuild. Verdicts after append + refinalize are
+/// bit-identical to finalizing a new store on the surviving union of
+/// entries — the lifecycle the self-recalibrating server relies on
+/// (test-enforced by RefreshTest; see docs/ARCHITECTURE.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PROM_CORE_CALIBRATIONSTORE_H
@@ -44,11 +52,14 @@ namespace prom {
 /// contract.
 class CalibrationStore {
 public:
+  /// Drops every entry and shard.
   void clear() {
     Flat.clear();
     Shards.clear();
   }
+  /// Reserves room for \p N entries.
   void reserve(size_t N) { Flat.reserve(N); }
+  /// Adds one calibration entry (before finalize()).
   void add(CalibrationEntry Entry) { Flat.add(std::move(Entry)); }
 
   /// Builds the flat indexes (CalibrationScores::finalize) and partitions
@@ -61,12 +72,60 @@ public:
   /// a serving process can re-shard to its core count at load time.
   void reshard(size_t NumShards);
 
-  size_t numShards() const { return Shards.size(); }
-  size_t size() const { return Flat.size(); }
-  bool empty() const { return Flat.empty(); }
+  //===--------------------------------------------------------------------===//
+  // Online refresh (see the file comment for the exactness contract)
+  //===--------------------------------------------------------------------===//
+
+  /// Stages relabeled entries for the next refinalize(). Staged entries
+  /// are invisible to the engine entry points until then, so a clone can
+  /// be staged and refreshed while the original keeps serving.
+  void appendEntries(std::vector<CalibrationEntry> NewEntries);
+
+  /// Upper bound on live entries under continuous refresh; refinalize()
+  /// evicts oldest-first beyond it. 0 (the default) means unbounded.
+  void setMaxEntries(size_t N) { MaxEntries = N; }
+  /// The live-entry bound (0 = unbounded).
+  size_t maxEntries() const { return MaxEntries; }
+
+  /// Entries staged by appendEntries() but not yet folded in.
+  size_t stagedEntries() const { return Flat.size() - Flat.indexedCount(); }
+
+  /// Folds the staged entries into the live indexes incrementally:
+  /// oldest-first eviction down to maxEntries(), appended embedding rows /
+  /// score columns, sort + merge inserts into the flat and per-shard
+  /// sorted-score indexes (the last shard absorbs the new accumulation
+  /// blocks; the partition rebalances when it drifts past 2x the even
+  /// share). Costs O(new + affected indexes) instead of the full
+  /// O(N log N + N x dim) rebuild — and none of the model forwards a
+  /// detector-level recalibration would redo.
+  ///
+  /// Verdicts afterwards are bit-identical to refinalizeFull() — and to a
+  /// brand-new store finalized on the surviving entries — for every shard
+  /// and thread count.
+  void refinalize();
+
+  /// Reference path for the same staged entries and eviction policy: a
+  /// from-scratch finalize() on the surviving union. Used by the
+  /// bit-identity tests and the refresh benchmark as the full-rebuild
+  /// baseline.
+  void refinalizeFull();
+
+  size_t numShards() const { return Shards.size(); } ///< Built shards.
+  /// Shard count requested by the last finalize()/reshard() — what
+  /// refinalize() rebalances toward as the store grows. numShards()
+  /// reports the built partition, which clamps to the accumulation-block
+  /// count; snapshots persist this value so a restored small store still
+  /// scales back out under online refresh.
+  size_t targetShards() const { return TargetShards; }
+  size_t size() const { return Flat.size(); }        ///< Total entries.
+  bool empty() const { return Flat.empty(); }        ///< No entries yet.
+  /// Experts scored per entry (0 when empty).
   size_t numExperts() const { return Flat.numExperts(); }
+  /// Embedding dimensionality (0 before finalize()).
   size_t embedDim() const { return Flat.embedDim(); }
+  /// Distance scale of the set (see CalibrationScores::medianNNDist()).
   double medianNNDist() const { return Flat.medianNNDist(); }
+  /// Entry \p I (snapshot writer / reference-rebuild access).
   const CalibrationEntry &entry(size_t I) const { return Flat.entry(I); }
 
   /// The flat (unsharded) scores: the serial oracle select()/pValues()
@@ -98,8 +157,16 @@ private:
 
   void buildShards(size_t NumShards);
 
+  /// Extends the last shard over entries [\p OldEnd, size()) — the
+  /// block-aligned insert of the incremental refresh path.
+  void extendLastShard(size_t OldEnd);
+
   CalibrationScores Flat;
   std::vector<Shard> Shards;
+  /// Shard count requested by the last finalize()/reshard(); refinalize()
+  /// rebalances toward it.
+  size_t TargetShards = 1;
+  size_t MaxEntries = 0; ///< Live-entry bound (0 = unbounded).
 };
 
 } // namespace prom

@@ -17,6 +17,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <memory>
 
 using namespace prom;
 using support::Matrix;
@@ -101,6 +102,40 @@ static size_t effectiveShards(const PromConfig &Cfg) {
                             : support::ThreadPool::global().numThreads();
 }
 
+std::shared_ptr<const CalibrationStore> PromClassifier::store() const {
+  return std::atomic_load(&Calib);
+}
+
+void PromClassifier::installStore(
+    std::shared_ptr<const CalibrationStore> NewStore) {
+  std::atomic_store(&Calib, std::move(NewStore));
+}
+
+bool PromClassifier::isCalibrated() const {
+  std::shared_ptr<const CalibrationStore> S = store();
+  return S && !S->empty();
+}
+
+size_t PromClassifier::calibrationSize() const {
+  std::shared_ptr<const CalibrationStore> S = store();
+  return S ? S->size() : 0;
+}
+
+size_t PromClassifier::numShards() const {
+  std::shared_ptr<const CalibrationStore> S = store();
+  return S && S->numShards() ? S->numShards() : 1;
+}
+
+void PromClassifier::reshard(size_t NumShards) {
+  std::shared_ptr<const CalibrationStore> Old = store();
+  assert(Old && "reshard before calibrate");
+  // Copy-modify-publish: in-flight batches keep reading the store they
+  // pinned; new batches see the re-partitioned copy.
+  auto Fresh = std::make_shared<CalibrationStore>(*Old);
+  Fresh->reshard(NumShards);
+  installStore(std::move(Fresh));
+}
+
 void PromClassifier::calibrate(const data::Dataset &CalibSet) {
   assert(!CalibSet.empty() && "empty calibration set");
 
@@ -126,8 +161,8 @@ void PromClassifier::calibrate(const data::Dataset &CalibSet) {
     }
   }
 
-  Calib.clear();
-  Calib.reserve(CalibSet.size());
+  auto Fresh = std::make_shared<CalibrationStore>();
+  Fresh->reserve(CalibSet.size());
   for (size_t I = 0; I < CalibSet.size(); ++I) {
     const data::Sample &S = CalibSet[I];
     CalibrationEntry Entry;
@@ -137,9 +172,54 @@ void PromClassifier::calibrate(const data::Dataset &CalibSet) {
     Entry.Scores.reserve(Scorers.size());
     for (const auto &Scorer : Scorers)
       Entry.Scores.push_back(Scorer->score(Probs, S.Label));
-    Calib.add(std::move(Entry));
+    Fresh->add(std::move(Entry));
   }
-  Calib.finalize(effectiveShards(Cfg));
+  Fresh->setMaxEntries(Cfg.MaxCalibEntries);
+  Fresh->finalize(effectiveShards(Cfg));
+  installStore(std::move(Fresh));
+}
+
+size_t PromClassifier::refreshCalibration(const data::Dataset &NewlyLabeled,
+                                          bool Incremental) {
+  std::shared_ptr<const CalibrationStore> Old = store();
+  assert(Old && !Old->empty() && "refresh before calibrate");
+  if (NewlyLabeled.empty())
+    return Old->size();
+
+  // Score the relabeled samples exactly like calibrate() does, but with
+  // the already-fitted temperature: refreshed entries must be
+  // exchangeable with the retained ones.
+  Matrix RawProbs, Embeds;
+  Model.predictWithEmbedBatch(NewlyLabeled, RawProbs, Embeds);
+  assert(Embeds.cols() == Old->embedDim() &&
+         "refresh embedding width does not match the calibration set");
+
+  std::vector<CalibrationEntry> NewEntries;
+  NewEntries.reserve(NewlyLabeled.size());
+  for (size_t I = 0; I < NewlyLabeled.size(); ++I) {
+    CalibrationEntry Entry;
+    Entry.Embed = Embeds.row(I);
+    Entry.Label = NewlyLabeled[I].Label;
+    std::vector<double> Probs =
+        applyTemperature(RawProbs.row(I), Temperature);
+    Entry.Scores.reserve(Scorers.size());
+    for (const auto &Scorer : Scorers)
+      Entry.Scores.push_back(Scorer->score(Probs, NewlyLabeled[I].Label));
+    NewEntries.push_back(std::move(Entry));
+  }
+
+  // Stage + refresh on a private copy, then publish: readers pinned to
+  // the old store are never disturbed.
+  auto Fresh = std::make_shared<CalibrationStore>(*Old);
+  Fresh->setMaxEntries(Cfg.MaxCalibEntries);
+  Fresh->appendEntries(std::move(NewEntries));
+  if (Incremental)
+    Fresh->refinalize();
+  else
+    Fresh->refinalizeFull();
+  size_t NewSize = Fresh->size();
+  installStore(std::move(Fresh));
+  return NewSize;
 }
 
 std::vector<double> PromClassifier::softenedProbs(const data::Sample &S) const {
@@ -161,14 +241,15 @@ static void applyTemperatureRows(Matrix &Probs, double T) {
 
 std::vector<double> PromClassifier::pValues(const data::Sample &S,
                                             size_t Expert) const {
-  assert(isCalibrated() && "assess before calibrate");
+  std::shared_ptr<const CalibrationStore> Store = store();
+  assert(Store && !Store->empty() && "assess before calibrate");
   std::vector<double> Probs = softenedProbs(S);
-  CalibrationSelection Sel = Calib.flat().select(Model.embed(S), Cfg);
+  CalibrationSelection Sel = Store->flat().select(Model.embed(S), Cfg);
   std::vector<double> TestScores(Probs.size());
   for (size_t C = 0; C < Probs.size(); ++C)
     TestScores[C] = Scorers[Expert]->score(Probs, static_cast<int>(C));
-  return Calib.flat().pValues(Sel, Expert, TestScores, Cfg,
-                              Scorers[Expert]->isDiscrete());
+  return Store->flat().pValues(Sel, Expert, TestScores, Cfg,
+                               Scorers[Expert]->isDiscrete());
 }
 
 ExpertOpinion PromClassifier::judge(const double *PVals, size_t NumLabels,
@@ -186,12 +267,13 @@ ExpertOpinion PromClassifier::judge(const double *PVals, size_t NumLabels,
 }
 
 Verdict PromClassifier::assessSerial(const data::Sample &S) const {
-  assert(isCalibrated() && "assess before calibrate");
+  std::shared_ptr<const CalibrationStore> Store = store();
+  assert(Store && !Store->empty() && "assess before calibrate");
   Verdict V;
   V.Probabilities = softenedProbs(S);
   V.Predicted = static_cast<int>(support::argmax(V.Probabilities));
 
-  CalibrationSelection Sel = Calib.flat().select(Model.embed(S), Cfg);
+  CalibrationSelection Sel = Store->flat().select(Model.embed(S), Cfg);
   size_t NumClasses = V.Probabilities.size();
   std::vector<double> TestScores(NumClasses);
   V.Experts.reserve(Scorers.size());
@@ -199,15 +281,16 @@ Verdict PromClassifier::assessSerial(const data::Sample &S) const {
     for (size_t C = 0; C < NumClasses; ++C)
       TestScores[C] =
           Scorers[E]->score(V.Probabilities, static_cast<int>(C));
-    std::vector<double> PVals =
-        Calib.flat().pValues(Sel, E, TestScores, Cfg, Scorers[E]->isDiscrete());
+    std::vector<double> PVals = Store->flat().pValues(
+        Sel, E, TestScores, Cfg, Scorers[E]->isDiscrete());
     V.Experts.push_back(judge(PVals.data(), PVals.size(), V.Predicted));
   }
   V.Drifted = committeeFlags(V.Experts, Cfg, V.VotesToFlag);
   return V;
 }
 
-void PromClassifier::assessRange(const Matrix &Probs, const Matrix &Embeds,
+void PromClassifier::assessRange(const CalibrationStore &Store,
+                                 const Matrix &Probs, const Matrix &Embeds,
                                  size_t Begin, size_t End,
                                  std::vector<Verdict> &Out) const {
   size_t NumLabels = Probs.cols();
@@ -226,10 +309,10 @@ void PromClassifier::assessRange(const Matrix &Probs, const Matrix &Embeds,
     V.Probabilities.assign(Probs.rowPtr(I), Probs.rowPtr(I) + NumLabels);
     V.Predicted = static_cast<int>(support::argmaxRow(Probs, I));
 
-    Calib.selectForAssessment(Embeds.rowPtr(I), Cfg, Scratch);
+    Store.selectForAssessment(Embeds.rowPtr(I), Cfg, Scratch);
     for (size_t E = 0; E < NumExp; ++E)
       Scorers[E]->scoreAll(V.Probabilities, TestScores.data() + E * NumLabels);
-    Calib.pValuesAllExperts(Scratch, TestScores.data(), NumLabels, Cfg,
+    Store.pValuesAllExperts(Scratch, TestScores.data(), NumLabels, Cfg,
                             Discrete.data(), PVals.data());
 
     V.Experts.clear();
@@ -256,7 +339,10 @@ PromClassifier::assessBatch(const data::Dataset &Batch) const {
 std::vector<Verdict>
 PromClassifier::assessBatchWithForwards(const Matrix &RawProbs,
                                         const Matrix &Embeds) const {
-  assert(isCalibrated() && "assess before calibrate");
+  // One pinned store per batch: a concurrent refresh swap cannot split
+  // the batch across calibration generations.
+  std::shared_ptr<const CalibrationStore> Store = store();
+  assert(Store && !Store->empty() && "assess before calibrate");
   assert(RawProbs.rows() == Embeds.rows() && "forwards row mismatch");
   std::vector<Verdict> Out(RawProbs.rows());
   if (Out.empty())
@@ -264,12 +350,12 @@ PromClassifier::assessBatchWithForwards(const Matrix &RawProbs,
 
   Matrix Probs = RawProbs;
   applyTemperatureRows(Probs, Temperature);
-  assert(Embeds.cols() == Calib.embedDim() &&
+  assert(Embeds.cols() == Store->embedDim() &&
          "embedding width does not match the calibration set");
 
   support::ThreadPool::global().parallelFor(
       Out.size(), [&](size_t Begin, size_t End) {
-        assessRange(Probs, Embeds, Begin, End, Out);
+        assessRange(*Store, Probs, Embeds, Begin, End, Out);
       });
   return Out;
 }
@@ -285,18 +371,24 @@ Verdict PromClassifier::assess(const data::Sample &S) const {
 //===----------------------------------------------------------------------===//
 // Snapshots
 //
-// Format version 1 (see support/Serialize.h for the envelope): a version
-// and kind tag, the full PromConfig, detector-specific fitted state, the
-// committee by scorer name, and the calibration entries. finalize()
-// rebuilds every derived index deterministically from the entries, so a
-// restored detector's verdicts are bit-identical to the saving one's.
+// Format version 2 (see support/Serialize.h for the envelope and
+// docs/SNAPSHOT_FORMAT.md for the full layout): a version and kind tag,
+// the full PromConfig, detector-specific fitted state, the committee by
+// scorer name, and the calibration entries. finalize() rebuilds every
+// derived index deterministically from the entries, so a restored
+// detector's verdicts are bit-identical to the saving one's.
 // loadSnapshot() stages everything locally and commits only after the
 // whole payload validated, so a failed load leaves the detector untouched.
+//
+// Version history: v2 appended PromConfig::MaxCalibEntries to the config
+// block (the online-refresh store bound). Loaders accept exactly the
+// current version — snapshots are restart artifacts, not archives; the
+// self-healing server simply writes a fresh generation after an upgrade.
 //===----------------------------------------------------------------------===//
 
 namespace {
 
-constexpr uint32_t SnapshotFormatVersion = 1;
+constexpr uint32_t SnapshotFormatVersion = 2;
 constexpr uint32_t SnapshotKindClassifier = 1;
 constexpr uint32_t SnapshotKindRegressor = 2;
 
@@ -319,6 +411,7 @@ void writeConfig(support::ByteWriter &W, const PromConfig &Cfg) {
   W.writeU64(Cfg.MaxClusters);
   W.writeU64(Cfg.FixedClusters);
   W.writeU64(Cfg.NumShards);
+  W.writeU64(Cfg.MaxCalibEntries); // Appended in format version 2.
 }
 
 bool readConfig(support::ByteReader &R, PromConfig &Cfg) {
@@ -343,6 +436,7 @@ bool readConfig(support::ByteReader &R, PromConfig &Cfg) {
   Cfg.MaxClusters = static_cast<size_t>(R.readU64());
   Cfg.FixedClusters = static_cast<size_t>(R.readU64());
   Cfg.NumShards = static_cast<size_t>(R.readU64());
+  Cfg.MaxCalibEntries = static_cast<size_t>(R.readU64());
   return !R.failed();
 }
 
@@ -412,7 +506,8 @@ bool readScaler(support::ByteReader &R, data::StandardScaler *Scaler) {
 
 bool PromClassifier::saveSnapshot(const std::string &Path,
                                   const data::StandardScaler *Scaler) const {
-  if (!isCalibrated())
+  std::shared_ptr<const CalibrationStore> Store = store();
+  if (!Store || Store->empty())
     return false;
   support::ByteWriter W;
   W.writeU32(SnapshotFormatVersion);
@@ -422,8 +517,11 @@ bool PromClassifier::saveSnapshot(const std::string &Path,
   W.writeU32(static_cast<uint32_t>(Scorers.size()));
   for (const auto &Scorer : Scorers)
     W.writeString(Scorer->name());
-  writeEntries(W, Calib);
-  W.writeU64(numShards());
+  writeEntries(W, *Store);
+  // The *requested* shard count, not the built (block-clamped) one: a
+  // restored store must keep rebalancing toward the configured
+  // parallelism as online refreshes grow it past the clamp.
+  W.writeU64(Store->targetShards());
   writeScaler(W, Scaler);
   return W.writeFile(Path);
 }
@@ -454,8 +552,8 @@ bool PromClassifier::loadSnapshot(const std::string &Path,
     NewScorers.push_back(std::move(Scorer));
   }
 
-  CalibrationStore NewStore;
-  if (!readEntries(R, NewScorers.size(), NewStore))
+  auto NewStore = std::make_shared<CalibrationStore>();
+  if (!readEntries(R, NewScorers.size(), *NewStore))
     return false;
   size_t Shards = static_cast<size_t>(R.readU64());
 
@@ -468,8 +566,9 @@ bool PromClassifier::loadSnapshot(const std::string &Path,
   Cfg = NewCfg;
   Temperature = NewTemperature;
   Scorers = std::move(NewScorers);
-  Calib = std::move(NewStore);
-  Calib.finalize(Shards);
+  NewStore->setMaxEntries(Cfg.MaxCalibEntries);
+  NewStore->finalize(Shards);
+  installStore(std::move(NewStore));
   if (Scaler && StagedScaler.isFitted())
     *Scaler = std::move(StagedScaler);
   return true;
@@ -741,7 +840,7 @@ bool PromRegressor::saveSnapshot(const std::string &Path,
   for (const std::vector<double> &Centroid : Centroids)
     W.writeDoubleVec(Centroid);
   W.writeF64(ResidualIqr);
-  W.writeU64(numShards());
+  W.writeU64(Calib.targetShards()); // Requested, not block-clamped.
   writeScaler(W, Scaler);
   return W.writeFile(Path);
 }

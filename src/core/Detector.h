@@ -31,6 +31,12 @@
 #include <string>
 #include <vector>
 
+/// \namespace prom
+/// Root namespace of the PROM reproduction.
+
+/// \namespace prom::data
+/// Datasets, samples, feature scaling, and split utilities.
+
 namespace prom {
 namespace data {
 class StandardScaler;
@@ -40,37 +46,40 @@ class StandardScaler;
 struct ExpertOpinion {
   double Credibility = 0.0;   ///< P-value of the predicted label/cluster.
   double Confidence = 0.0;    ///< Gaussian of the prediction-set size.
-  size_t PredictionSetSize = 0;
+  size_t PredictionSetSize = 0; ///< Labels with p-value above epsilon.
   bool FlagDrift = false;     ///< Both scores below their thresholds.
 };
 
 /// Committee verdict for a classification prediction.
 struct Verdict {
-  int Predicted = -1;
-  std::vector<double> Probabilities;
-  bool Drifted = false;
-  size_t VotesToFlag = 0;     ///< Experts that voted "drift".
-  std::vector<ExpertOpinion> Experts;
+  int Predicted = -1;                ///< Argmax class of the model.
+  std::vector<double> Probabilities; ///< Temperature-softened class probs.
+  bool Drifted = false;              ///< Committee flagged this input.
+  size_t VotesToFlag = 0;            ///< Experts that voted "drift".
+  std::vector<ExpertOpinion> Experts; ///< One opinion per committee expert.
 
+  /// Mean expert credibility (0 with an empty committee).
   double meanCredibility() const;
+  /// Mean expert confidence (0 with an empty committee).
   double meanConfidence() const;
 };
 
 /// Committee verdict for a regression prediction.
 struct RegressionVerdict {
-  double Predicted = 0.0;
+  double Predicted = 0.0;     ///< The model's point prediction.
   int Cluster = -1;           ///< Pseudo-label assigned to the input.
-  bool Drifted = false;
-  size_t VotesToFlag = 0;
-  std::vector<ExpertOpinion> Experts;
+  bool Drifted = false;       ///< Committee flagged this input.
+  size_t VotesToFlag = 0;     ///< Experts that voted "drift".
+  std::vector<ExpertOpinion> Experts; ///< One opinion per committee expert.
 
+  /// Mean expert credibility (0 with an empty committee).
   double meanCredibility() const;
 };
 
 /// Uniform accept/reject interface shared with the baselines.
 class DriftDetector {
 public:
-  virtual ~DriftDetector();
+  virtual ~DriftDetector(); ///< Virtual: deleted through the base.
 
   /// Prepares the detector from the trained \p Model and \p Calib set.
   virtual void fit(const ml::Classifier &Model, const data::Dataset &Calib,
@@ -84,6 +93,7 @@ public:
   /// it (the evaluation harness always drives deployment through this).
   virtual std::vector<char> isDriftingBatch(const data::Dataset &Batch) const;
 
+  /// Short display name used by the evaluation tables.
   virtual std::string name() const = 0;
 };
 
@@ -108,6 +118,36 @@ public:
   /// without touching the model or its argmax. Re-callable after
   /// incremental learning updates the model.
   void calibrate(const data::Dataset &Calib);
+
+  /// Online calibration refresh (the deployment loop's "relabel a small
+  /// sample and fold it back"): scores \p NewlyLabeled with the current
+  /// committee and temperature, folds the entries into a copy of the live
+  /// calibration store via the incremental CalibrationStore::refinalize()
+  /// (evicting oldest-first beyond PromConfig::MaxCalibEntries), and
+  /// atomically publishes the refreshed store. Concurrent assessments are
+  /// unaffected: every batch pins the store it started with (RCU-style
+  /// snapshot), so in-flight verdicts stay internally consistent and the
+  /// swap never blocks the serving path.
+  ///
+  /// With \p Incremental false the refreshed store is rebuilt from
+  /// scratch on the same union of entries — the reference path; verdicts
+  /// are bit-identical either way (RefreshTest), it is only slower.
+  ///
+  /// Unlike calibrate(), the fitted temperature is kept: refreshed
+  /// entries must be exchangeable with the retained ones, and re-fitting
+  /// the temperature would silently rescore every retained entry.
+  ///
+  /// Thread-safe against concurrent assessments; concurrent *writers*
+  /// (calibrate/refresh/reshard/loadSnapshot) must be serialized by the
+  /// caller — the serve::RecalibrationController runs all refreshes on
+  /// one background thread.
+  ///
+  /// Returns the live store size after the refresh.
+  size_t refreshCalibration(const data::Dataset &NewlyLabeled,
+                            bool Incremental = true);
+
+  /// Live calibration entries (0 before calibrate()).
+  size_t calibrationSize() const;
 
   /// The fitted softening temperature (1 = untouched).
   double temperature() const { return Temperature; }
@@ -145,21 +185,23 @@ public:
   /// assessment and by tests of the CP validity property).
   std::vector<double> pValues(const data::Sample &S, size_t Expert) const;
 
-  const PromConfig &config() const { return Cfg; }
-  PromConfig &config() { return Cfg; }
-  size_t numExperts() const { return Scorers.size(); }
+  const PromConfig &config() const { return Cfg; }   ///< Current knobs.
+  PromConfig &config() { return Cfg; }               ///< Mutable knobs.
+  size_t numExperts() const { return Scorers.size(); } ///< Committee size.
+  /// Committee expert \p I.
   const ClassificationScorer &scorer(size_t I) const { return *Scorers[I]; }
-  const ml::Classifier &model() const { return Model; }
-  bool isCalibrated() const { return !Calib.empty(); }
+  const ml::Classifier &model() const { return Model; } ///< Wrapped model.
+  /// True once calibrate() (or a snapshot load) has run.
+  bool isCalibrated() const;
 
   /// Shard count of the calibration store (1 before calibration).
-  size_t numShards() const {
-    return Calib.numShards() ? Calib.numShards() : 1;
-  }
+  size_t numShards() const;
 
   /// Re-partitions the calibration store into \p NumShards shards without
-  /// recalibrating; verdicts are unchanged by contract.
-  void reshard(size_t NumShards) { Calib.reshard(NumShards); }
+  /// recalibrating; verdicts are unchanged by contract. Publishes the
+  /// re-partitioned store with the same atomic swap as
+  /// refreshCalibration(), so it is safe against concurrent assessments.
+  void reshard(size_t NumShards);
 
   /// Writes a versioned binary snapshot of the calibrated detector state —
   /// config, fitted temperature, committee (by scorer name), calibration
@@ -185,15 +227,28 @@ private:
   std::vector<double> softenedProbs(const data::Sample &S) const;
 
   /// Committee assessment of rows [Begin, End) of a batch whose softened
-  /// probabilities and embeddings are already computed.
-  void assessRange(const support::Matrix &Probs,
+  /// probabilities and embeddings are already computed, against the
+  /// pinned \p Store.
+  void assessRange(const CalibrationStore &Store,
+                   const support::Matrix &Probs,
                    const support::Matrix &Embeds, size_t Begin, size_t End,
                    std::vector<Verdict> &Out) const;
+
+  /// Pins the live store (atomic load). Every public entry point takes
+  /// one snapshot up front and uses it throughout, so a concurrent
+  /// refreshCalibration()/reshard() swap never splits a batch across two
+  /// stores; the shared_ptr keeps the old generation alive until its last
+  /// in-flight batch retires (RCU-style reclamation).
+  std::shared_ptr<const CalibrationStore> store() const;
+
+  /// Publishes \p NewStore (atomic swap).
+  void installStore(std::shared_ptr<const CalibrationStore> NewStore);
 
   const ml::Classifier &Model;
   PromConfig Cfg;
   std::vector<std::unique_ptr<ClassificationScorer>> Scorers;
-  CalibrationStore Calib;
+  /// Live calibration store; access only through store()/installStore().
+  std::shared_ptr<const CalibrationStore> Calib;
   double Temperature = 1.0;
 };
 
@@ -204,17 +259,24 @@ private:
 /// for tasks whose mispredictions are performance-defined.
 class PromDriftDetector : public DriftDetector {
 public:
+  /// \p Cfg seeds the grid search (or is used verbatim when \p AutoTune
+  /// is false); \p Mispredicted overrides the tuning objective.
   explicit PromDriftDetector(PromConfig Cfg = PromConfig(),
                              bool AutoTune = true,
                              MispredicateFn Mispredicted = nullptr)
       : Cfg(Cfg), AutoTune(AutoTune),
         Mispredicted(std::move(Mispredicted)) {}
 
+  /// Grid-searches thresholds (unless AutoTune is off), then builds and
+  /// calibrates the wrapped PromClassifier.
   void fit(const ml::Classifier &Model, const data::Dataset &Calib,
            support::Rng &R) override;
+  /// Committee verdict for one sample (accept/reject only).
   bool isDrifting(const data::Sample &S) const override;
+  /// Batched committee verdicts (accept/reject only).
   std::vector<char>
   isDriftingBatch(const data::Dataset &Batch) const override;
+  /// Always "PROM".
   std::string name() const override { return "PROM"; }
 
   /// The wrapped engine (valid after fit()); exposed so harnesses can run
@@ -231,9 +293,11 @@ private:
 /// PROM wrapper around a trained regressor (Sec. 5.1.2 regression scheme).
 class PromRegressor {
 public:
+  /// Uses the default regression committee.
   explicit PromRegressor(const ml::Regressor &Model,
                          PromConfig Cfg = PromConfig());
 
+  /// Uses a custom committee (must be non-empty).
   PromRegressor(const ml::Regressor &Model,
                 std::vector<std::unique_ptr<RegressionScorer>> Scorers,
                 PromConfig Cfg);
@@ -257,11 +321,12 @@ public:
   /// and the serial bench baseline.
   RegressionVerdict assessSerial(const data::Sample &S) const;
 
-  const PromConfig &config() const { return Cfg; }
-  PromConfig &config() { return Cfg; }
-  size_t numExperts() const { return Scorers.size(); }
-  size_t numClusters() const { return Centroids.size(); }
-  const ml::Regressor &model() const { return Model; }
+  const PromConfig &config() const { return Cfg; }   ///< Current knobs.
+  PromConfig &config() { return Cfg; }               ///< Mutable knobs.
+  size_t numExperts() const { return Scorers.size(); } ///< Committee size.
+  size_t numClusters() const { return Centroids.size(); } ///< Pseudo-labels.
+  const ml::Regressor &model() const { return Model; } ///< Wrapped model.
+  /// True once calibrate() (or a snapshot load) has run.
   bool isCalibrated() const { return !Calib.empty(); }
 
   /// Shard count of the calibration store (1 before calibration).
@@ -277,6 +342,8 @@ public:
   /// Same format/guarantees as the classifier snapshot.
   bool saveSnapshot(const std::string &Path,
                     const data::StandardScaler *Scaler = nullptr) const;
+  /// Restores a regressor snapshot; see PromClassifier::loadSnapshot()
+  /// for the validation and failure guarantees.
   bool loadSnapshot(const std::string &Path,
                     data::StandardScaler *Scaler = nullptr);
 

@@ -107,6 +107,13 @@ struct PromConfig {
   /// ThreadPool lane. Detectors can also reshard() after calibration.
   size_t NumShards = 1;
 
+  /// Upper bound on live calibration entries under online refresh
+  /// (refreshCalibration() folds relabeled deployment samples into the
+  /// store and evicts oldest-first beyond this bound, keeping a
+  /// continuously refreshed server's memory flat). 0 = unbounded.
+  /// calibrate() itself never evicts — the bound governs refresh only.
+  size_t MaxCalibEntries = 0;
+
   /// Effective credibility threshold.
   double credThreshold() const {
     return CredThreshold < 0.0 ? Epsilon : CredThreshold;

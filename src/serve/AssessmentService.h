@@ -39,6 +39,11 @@
 #include <thread>
 #include <vector>
 
+/// \namespace prom::serve
+/// The asynchronous serving runtime: AssessmentService (queue +
+/// micro-batcher), WindowedDriftMonitor (streaming recalibration alarm),
+/// and RecalibrationController (drift-triggered self-recalibration).
+
 namespace prom {
 namespace serve {
 
@@ -63,13 +68,14 @@ struct ServiceConfig {
 
 /// Monotonic counters of a running service (consistent snapshot).
 struct ServiceStats {
-  uint64_t Submitted = 0;
-  uint64_t Completed = 0;
+  uint64_t Submitted = 0;       ///< Requests accepted into the queue.
+  uint64_t Completed = 0;       ///< Requests answered with a verdict.
   uint64_t Rejected = 0;        ///< Completed verdicts with Drifted set.
-  uint64_t Batches = 0;
+  uint64_t Batches = 0;         ///< Micro-batches driven through the engine.
   uint64_t SizeFlushes = 0;     ///< Batches flushed by reaching MaxBatch.
   uint64_t DeadlineFlushes = 0; ///< Batches flushed by deadline or drain.
 
+  /// Completed requests per batch (0 before the first batch).
   double meanBatchSize() const {
     return Batches == 0 ? 0.0
                         : static_cast<double>(Completed) /
@@ -82,12 +88,15 @@ struct ServiceStats {
 /// the service and stay unmodified while it runs.
 class AssessmentService {
 public:
+  /// Spawns the batcher threads over \p Engine; \p Monitor, when given,
+  /// is folded on the batcher threads (may be null).
   explicit AssessmentService(const PromClassifier &Engine,
                              ServiceConfig Cfg = ServiceConfig(),
                              WindowedDriftMonitor *Monitor = nullptr);
   ~AssessmentService(); ///< shutdown()s, completing every queued request.
 
-  AssessmentService(const AssessmentService &) = delete;
+  AssessmentService(const AssessmentService &) = delete; ///< Owns threads.
+  /// Non-copyable: owns threads and pending promises.
   AssessmentService &operator=(const AssessmentService &) = delete;
 
   /// Enqueues one sample; blocks while the queue is full. The future
@@ -112,8 +121,8 @@ public:
   /// Requests currently queued (not yet picked into a batch).
   size_t queueDepth() const;
 
-  ServiceStats stats() const;
-  const ServiceConfig &config() const { return Cfg; }
+  ServiceStats stats() const; ///< Consistent counter snapshot.
+  const ServiceConfig &config() const { return Cfg; } ///< The knobs.
 
 private:
   struct Request {

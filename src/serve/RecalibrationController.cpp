@@ -1,0 +1,182 @@
+//===- serve/RecalibrationController.cpp - Drift-triggered refresh ----------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/RecalibrationController.h"
+
+#include "data/Scaler.h"
+#include "support/Serialize.h"
+
+#include <cassert>
+
+using namespace prom;
+using namespace prom::serve;
+
+RecalibrationController::RecalibrationController(PromClassifier &Engine,
+                                                 WindowedDriftMonitor &Monitor,
+                                                 RecalibrationConfig CfgIn)
+    : Engine(Engine), Monitor(Monitor), Cfg(CfgIn) {
+  assert(Engine.isCalibrated() && "controller over an uncalibrated engine");
+  if (Cfg.MinRefreshSamples == 0)
+    Cfg.MinRefreshSamples = 1;
+  if (Cfg.KeepGenerations == 0)
+    Cfg.KeepGenerations = 1;
+
+  // Resume the generation sequence of an existing rotation directory so a
+  // restarted server keeps numbering monotonically instead of overwriting
+  // the generations it just restored from.
+  if (!Cfg.SnapshotDir.empty()) {
+    std::vector<uint64_t> Gens =
+        support::listSnapshotGenerations(Cfg.SnapshotDir);
+    if (!Gens.empty())
+      Stats.LastGeneration = Gens.back();
+  }
+
+  Worker = std::thread([this] { workerLoop(); });
+  // The callback only signals; the refresh itself runs on Worker so the
+  // recording batcher thread returns to serving immediately.
+  Monitor.setAlertCallback([this](const DriftWindowSnapshot &) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.AlertsSeen;
+    RefreshRequested = true;
+    WakeWorker.notify_one();
+  });
+}
+
+RecalibrationController::~RecalibrationController() { shutdown(); }
+
+void RecalibrationController::submitLabeled(data::Sample S) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Stopping)
+    return;
+  if (Cfg.MaxBufferedSamples != 0 &&
+      Pending.size() >= Cfg.MaxBufferedSamples)
+    Pending.pop_front(); // Oldest out: freshest labels win.
+  Pending.push_back(std::move(S));
+}
+
+size_t RecalibrationController::pendingLabeled() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Pending.size();
+}
+
+void RecalibrationController::setScaler(const data::StandardScaler *S) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Scaler = S;
+}
+
+void RecalibrationController::triggerRefresh() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Stopping)
+    return;
+  RefreshRequested = true;
+  WakeWorker.notify_one();
+}
+
+bool RecalibrationController::waitForRefreshes(
+    size_t N, std::chrono::milliseconds Timeout) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return RefreshDone.wait_for(Lock, Timeout, [&] {
+    return Stats.RefreshesCompleted >= N || Stopping;
+  }) && Stats.RefreshesCompleted >= N;
+}
+
+RecalibrationStats RecalibrationController::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  RecalibrationStats Out = Stats;
+  Out.PendingSamples = Pending.size();
+  return Out;
+}
+
+void RecalibrationController::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Stopping && !Worker.joinable())
+      return;
+    Stopping = true;
+  }
+  // Unsubscribe first: after shutdown() returns, no batcher thread may
+  // touch this controller through the monitor hook.
+  Monitor.setAlertCallback(nullptr);
+  WakeWorker.notify_all();
+  RefreshDone.notify_all();
+  if (Worker.joinable())
+    Worker.join();
+}
+
+void RecalibrationController::workerLoop() {
+  while (true) {
+    std::deque<data::Sample> Batch;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorker.wait(Lock, [&] { return Stopping || RefreshRequested; });
+      if (Stopping)
+        return;
+      RefreshRequested = false;
+      if (Pending.size() < Cfg.MinRefreshSamples) {
+        // Not enough fresh labels to make the fold worthwhile; keep them
+        // buffered and re-arm for the next alert.
+        ++Stats.RefreshesDeferred;
+        continue;
+      }
+      Batch.swap(Pending);
+    }
+    runRefresh(std::move(Batch));
+  }
+}
+
+void RecalibrationController::runRefresh(std::deque<data::Sample> Batch) {
+  // The engine refresh: incremental store fold + atomic swap. Serving
+  // continues on the previous store generation throughout.
+  data::Dataset Refresh;
+  Refresh.reserve(Batch.size());
+  for (data::Sample &S : Batch)
+    Refresh.add(std::move(S));
+  size_t StoreSize = Engine.refreshCalibration(Refresh);
+
+  // Snapshot rotation: write the new generation fully, commit the
+  // `latest` pointer atomically, then prune old generations. A crash
+  // between any two steps leaves a loadable committed state behind
+  // (support::resolveLatestSnapshot falls back over invalid files).
+  uint64_t Generation = 0;
+  bool Rotated = false;
+  const data::StandardScaler *SnapScaler = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Cfg.SnapshotScaler)
+      SnapScaler = Scaler;
+    Generation = Stats.LastGeneration + 1;
+  }
+  if (!Cfg.SnapshotDir.empty() &&
+      support::ensureDirectory(Cfg.SnapshotDir)) {
+    std::string Path = Cfg.SnapshotDir + "/" +
+                       support::snapshotGenerationFile(Generation);
+    if (Engine.saveSnapshot(Path, SnapScaler) &&
+        support::commitLatestPointer(Cfg.SnapshotDir, Generation)) {
+      support::pruneSnapshotGenerations(Cfg.SnapshotDir,
+                                        Cfg.KeepGenerations);
+      Rotated = true;
+    }
+  }
+
+  if (Cfg.ResetMonitorAfterRefresh)
+    Monitor.reset();
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.RefreshesCompleted;
+    Stats.SamplesFolded += Refresh.size();
+    Stats.StoreSize = StoreSize;
+    if (Rotated) {
+      ++Stats.SnapshotsRotated;
+      Stats.LastGeneration = Generation;
+    } else if (!Cfg.SnapshotDir.empty()) {
+      // Rotation was configured but did not commit: the refresh is live
+      // in memory yet a restart would lose it. Surface it.
+      ++Stats.SnapshotFailures;
+    }
+  }
+  RefreshDone.notify_all();
+}

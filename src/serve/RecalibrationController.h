@@ -1,0 +1,180 @@
+//===- serve/RecalibrationController.h - Drift-triggered refresh -*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The self-recalibration loop of the serving runtime.
+///
+/// The paper's deployment story is continual: when the detector reports
+/// drift, a small sample of deployment inputs is relabeled and folded
+/// back into calibration, so the detector stays trustworthy without
+/// retraining the underlying model. This controller closes that loop
+/// in-process:
+///
+///  1. operators (or a labeling pipeline) stream relabeled samples into
+///     submitLabeled(), which buffers them;
+///  2. the WindowedDriftMonitor's rising-edge alert — subscribed via its
+///     callback hook — wakes the controller's background thread;
+///  3. the thread drains the buffer and runs
+///     PromClassifier::refreshCalibration(), the incremental
+///     CalibrationStore refresh, while the AssessmentService keeps
+///     serving from the previous store generation;
+///  4. the engine atomically swaps in the refreshed store (RCU-style
+///     shared_ptr publication — in-flight batches finish on the store
+///     they pinned, with zero dropped or failed requests);
+///  5. a snapshot generation is rotated to disk (snapshot.N.bin plus the
+///     `latest` pointer, old generations pruned) so a restart resumes
+///     from the refreshed state, and the monitor window is reset so the
+///     alarm re-arms against the new calibration.
+///
+/// Everything heavy happens on the controller's own thread; the alert
+/// callback only signals it, so the serving path never blocks on a
+/// refresh.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_SERVE_RECALIBRATIONCONTROLLER_H
+#define PROM_SERVE_RECALIBRATIONCONTROLLER_H
+
+#include "core/Detector.h"
+#include "serve/WindowedDriftMonitor.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace prom {
+namespace serve {
+
+/// Refresh-loop knobs.
+struct RecalibrationConfig {
+  /// A refresh needs at least this many buffered relabeled samples; an
+  /// alert arriving with fewer is deferred (the buffer keeps filling and
+  /// the refresh runs on the next alert or triggerRefresh()).
+  size_t MinRefreshSamples = 32;
+
+  /// Bound on the pending relabel buffer; the oldest samples are dropped
+  /// beyond it (the freshest labels are the ones worth folding in).
+  size_t MaxBufferedSamples = 4096;
+
+  /// Directory for rotated snapshot generations; empty disables rotation.
+  /// Created on demand.
+  std::string SnapshotDir;
+
+  /// Snapshot generations kept on disk after pruning (the generation the
+  /// `latest` pointer names always survives).
+  size_t KeepGenerations = 3;
+
+  /// Reset the drift monitor's window after a successful refresh so the
+  /// alarm measures the refreshed detector, not the drift that triggered
+  /// it.
+  bool ResetMonitorAfterRefresh = true;
+
+  /// Save the deployment feature scaler into rotated snapshots when the
+  /// server registered one (see RecalibrationController::setScaler()).
+  bool SnapshotScaler = true;
+};
+
+/// Monotonic counters of the refresh loop (consistent snapshot).
+struct RecalibrationStats {
+  uint64_t AlertsSeen = 0;         ///< Rising-edge alerts delivered.
+  uint64_t RefreshesCompleted = 0; ///< Store swaps published.
+  uint64_t RefreshesDeferred = 0;  ///< Alerts parked below MinRefreshSamples.
+  uint64_t SamplesFolded = 0;      ///< Relabeled samples folded in, total.
+  uint64_t SnapshotsRotated = 0;   ///< Generations written + committed.
+  /// Rotation attempts that failed (unusable SnapshotDir, save error, or
+  /// pointer-commit error). The refresh itself still succeeded — only
+  /// its durability is missing; monitor this alongside SnapshotsRotated,
+  /// because a permanently failing rotation means a restart falls back
+  /// to the last committed (possibly pre-drift) generation.
+  uint64_t SnapshotFailures = 0;
+  uint64_t LastGeneration = 0;     ///< Newest committed generation (0 = none).
+  size_t PendingSamples = 0;       ///< Relabeled samples waiting in buffer.
+  size_t StoreSize = 0;            ///< Live calibration entries after last swap.
+};
+
+/// Drift-triggered background recalibrator; see the file comment. The
+/// engine and monitor must outlive the controller, and the controller
+/// must be the only writer of the engine's calibration state while it
+/// runs (assessments may continue concurrently — that is the point).
+class RecalibrationController {
+public:
+  /// Subscribes to \p Monitor's rising-edge alerts and starts the
+  /// background refresh thread. \p Engine must already be calibrated.
+  RecalibrationController(PromClassifier &Engine,
+                          WindowedDriftMonitor &Monitor,
+                          RecalibrationConfig Cfg = RecalibrationConfig());
+
+  ~RecalibrationController(); ///< shutdown()s.
+
+  RecalibrationController(const RecalibrationController &) = delete; ///< Owns a thread.
+  /// Non-copyable: owns a thread and a monitor subscription.
+  RecalibrationController &operator=(const RecalibrationController &) = delete;
+
+  /// Buffers one relabeled deployment sample (its Label field carries the
+  /// fresh ground truth) for the next refresh. Thread-safe; drops the
+  /// oldest buffered sample beyond MaxBufferedSamples.
+  void submitLabeled(data::Sample S);
+
+  /// Relabeled samples currently buffered.
+  size_t pendingLabeled() const;
+
+  /// Registers the deployment feature scaler to embed in rotated
+  /// snapshots (optional; pass nullptr to clear). The scaler must outlive
+  /// the controller.
+  void setScaler(const data::StandardScaler *Scaler);
+
+  /// Manually requests a refresh (the same path an alert takes) — e.g.
+  /// for an operator-initiated recalibration or a scheduled one. Returns
+  /// immediately; the refresh runs on the background thread when at least
+  /// MinRefreshSamples are buffered.
+  void triggerRefresh();
+
+  /// Blocks until at least \p N refreshes have completed since
+  /// construction, or \p Timeout elapses. Returns whether the count was
+  /// reached.
+  bool waitForRefreshes(size_t N, std::chrono::milliseconds Timeout);
+
+  /// Consistent view of the refresh-loop counters.
+  RecalibrationStats stats() const;
+
+  /// Unsubscribes from the monitor, stops the background thread, and
+  /// joins it. Buffered samples are dropped. Idempotent.
+  void shutdown();
+
+  const RecalibrationConfig &config() const { return Cfg; } ///< The knobs.
+
+private:
+  void workerLoop();
+
+  /// One refresh pass: drain buffer, refresh engine, rotate snapshot,
+  /// reset monitor. Runs on the worker thread only.
+  void runRefresh(std::deque<data::Sample> Batch);
+
+  PromClassifier &Engine;
+  WindowedDriftMonitor &Monitor;
+  RecalibrationConfig Cfg;
+  const data::StandardScaler *Scaler = nullptr;
+
+  mutable std::mutex Mutex;
+  std::condition_variable WakeWorker;
+  std::condition_variable RefreshDone;
+  /// Relabel buffer; deque so the oldest-out drop at the bound is O(1).
+  std::deque<data::Sample> Pending;
+  bool RefreshRequested = false;
+  bool Stopping = false;
+  RecalibrationStats Stats;
+
+  std::thread Worker;
+};
+
+} // namespace serve
+} // namespace prom
+
+#endif // PROM_SERVE_RECALIBRATIONCONTROLLER_H

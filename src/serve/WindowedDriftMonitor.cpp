@@ -55,35 +55,65 @@ void WindowedDriftMonitor::evict(const Slot &Old) {
 }
 
 void WindowedDriftMonitor::fold(bool Rejected, int8_t Mispredicted) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  if (Fill == Ring.size())
-    evict(Ring[Next]);
+  bool MaybeNotify = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Fill == Ring.size())
+      evict(Ring[Next]);
 
-  Slot &S = Ring[Next];
-  S.Rejected = Rejected ? 1 : 0;
-  S.Mispredicted = Mispredicted;
-  Next = (Next + 1) % Ring.size();
-  ++Fill;
-  ++TotalSeen;
-  if (Rejected)
-    ++WindowRejected;
-  if (Mispredicted >= 0) {
-    Window.record(Mispredicted != 0, Rejected);
-    Lifetime.record(Mispredicted != 0, Rejected);
+    Slot &S = Ring[Next];
+    S.Rejected = Rejected ? 1 : 0;
+    S.Mispredicted = Mispredicted;
+    Next = (Next + 1) % Ring.size();
+    ++Fill;
+    ++TotalSeen;
+    if (Rejected)
+      ++WindowRejected;
+    if (Mispredicted >= 0) {
+      Window.record(Mispredicted != 0, Rejected);
+      Lifetime.record(Mispredicted != 0, Rejected);
+    }
+
+    double Rate = Fill == 0
+                      ? 0.0
+                      : static_cast<double>(WindowRejected) /
+                            static_cast<double>(Fill);
+    bool Above = Fill >= Cfg.MinFill && Rate > Cfg.AlertRejectRate;
+    bool RisingEdge = Above && !AlertActive;
+    AlertActive = Above;
+    if (RisingEdge) {
+      ++AlertsRaised; // Rising edge: one "recalibrate" event per excursion.
+      MaybeNotify = static_cast<bool>(OnAlert);
+    }
   }
+  if (!MaybeNotify)
+    return; // The hot path never touches CallbackMutex.
 
-  double Rate = Fill == 0
-                    ? 0.0
-                    : static_cast<double>(WindowRejected) /
-                          static_cast<double>(Fill);
-  bool Above = Fill >= Cfg.MinFill && Rate > Cfg.AlertRejectRate;
-  if (Above && !AlertActive)
-    ++AlertsRaised; // Rising edge: one "recalibrate" event per excursion.
-  AlertActive = Above;
+  // Rare rising-edge path. CallbackMutex brackets the notification so
+  // setAlertCallback(nullptr) returning guarantees no invocation of the
+  // old subscriber is still in flight (its owner may be tearing down);
+  // the subscriber is re-read underneath it so an unsubscribe that won
+  // the race suppresses the call. Recursive, so the callback itself may
+  // setAlertCallback() (one-shot self-unsubscribe) without deadlocking.
+  std::lock_guard<std::recursive_mutex> CallbackLock(CallbackMutex);
+  AlertCallback Notify;
+  DriftWindowSnapshot AtCrossing;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Notify = OnAlert;
+    AtCrossing = snapshotLocked();
+  }
+  if (Notify)
+    Notify(AtCrossing);
 }
 
-DriftWindowSnapshot WindowedDriftMonitor::snapshot() const {
+void WindowedDriftMonitor::setAlertCallback(AlertCallback Fn) {
+  std::lock_guard<std::recursive_mutex> CallbackLock(CallbackMutex);
   std::lock_guard<std::mutex> Lock(Mutex);
+  OnAlert = std::move(Fn);
+}
+
+DriftWindowSnapshot WindowedDriftMonitor::snapshotLocked() const {
   DriftWindowSnapshot S;
   S.TotalSeen = TotalSeen;
   S.WindowFill = Fill;
@@ -96,6 +126,11 @@ DriftWindowSnapshot WindowedDriftMonitor::snapshot() const {
   S.Window = Window;
   S.Lifetime = Lifetime;
   return S;
+}
+
+DriftWindowSnapshot WindowedDriftMonitor::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return snapshotLocked();
 }
 
 void WindowedDriftMonitor::reset() {

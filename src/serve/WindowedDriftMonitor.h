@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -54,9 +55,9 @@ struct DriftWindowConfig {
 struct DriftWindowSnapshot {
   size_t TotalSeen = 0;     ///< Verdicts ever recorded.
   size_t WindowFill = 0;    ///< Verdicts currently in the window.
-  size_t WindowRejected = 0;
+  size_t WindowRejected = 0; ///< Rejected verdicts in the window.
   double RejectRate = 0.0;  ///< WindowRejected / WindowFill (0 when empty).
-  bool AlertActive = false;
+  bool AlertActive = false; ///< Rate currently above the alert threshold.
   size_t AlertsRaised = 0;  ///< Rising edges so far.
   DetectionCounts Window;   ///< Labeled-verdict confusion in the window.
   DetectionCounts Lifetime; ///< Labeled-verdict confusion since start/reset.
@@ -65,15 +66,22 @@ struct DriftWindowSnapshot {
 /// Sliding-window drift monitor; see file comment.
 class WindowedDriftMonitor {
 public:
+  /// Hook invoked on every rising-edge alert; receives the window
+  /// snapshot taken at the crossing.
+  using AlertCallback = std::function<void(const DriftWindowSnapshot &)>;
+
+  /// Constructs an empty window under \p Cfg.
   explicit WindowedDriftMonitor(DriftWindowConfig Cfg = DriftWindowConfig());
 
   /// Folds one deployment verdict (no ground truth).
   void record(const Verdict &V);
+  /// Folds one regression verdict (no ground truth).
   void record(const RegressionVerdict &V);
 
   /// Folds one verdict with ground truth: \p Mispredicted is the label of
   /// the DetectionCounts fold ("the underlying model got this one wrong").
   void recordLabeled(const Verdict &V, bool Mispredicted);
+  /// Labeled fold of a regression verdict; see the classifier overload.
   void recordLabeled(const RegressionVerdict &V, bool Mispredicted);
 
   /// Consistent view of every statistic.
@@ -93,7 +101,20 @@ public:
   /// refreshed detector starts from a clean signal.
   void reset();
 
-  const DriftWindowConfig &config() const { return Cfg; }
+  /// Subscribes \p Fn to rising-edge alerts (replaces any previous
+  /// subscriber; pass nullptr to unsubscribe). The callback runs with the
+  /// state lock released, on whichever thread recorded the crossing
+  /// verdict — typically an AssessmentService batcher — so it must be
+  /// cheap and must not block on assessment work: signal a worker (the
+  /// RecalibrationController pattern), never recalibrate inline. It may
+  /// call snapshot()/reset() and setAlertCallback() (self-unsubscribe)
+  /// on this monitor; its snapshot argument reflects the window at (or
+  /// just after) the crossing. Unsubscribing synchronizes with in-flight
+  /// notifications: once setAlertCallback(nullptr) returns from another
+  /// thread, the previous subscriber is guaranteed not to be running.
+  void setAlertCallback(AlertCallback Fn);
+
+  const DriftWindowConfig &config() const { return Cfg; } ///< The knobs.
 
 private:
   /// One ring-buffer slot.
@@ -104,8 +125,18 @@ private:
 
   void fold(bool Rejected, int8_t Mispredicted);
   void evict(const Slot &Old);
+  /// Locked part of snapshot(); callers hold Mutex.
+  DriftWindowSnapshot snapshotLocked() const;
 
   DriftWindowConfig Cfg;
+  AlertCallback OnAlert; ///< Rising-edge subscriber (may be empty).
+  /// Serializes callback invocation against setAlertCallback(), so
+  /// unsubscribing synchronizes with any in-flight notification. Taken
+  /// only on the rare rising-edge path (the per-verdict fold never
+  /// touches it) and ordered before Mutex; recursive so the callback
+  /// may self-unsubscribe. Never taken by snapshot()/reset(), which the
+  /// callback is allowed to call.
+  std::recursive_mutex CallbackMutex;
 
   mutable std::mutex Mutex;
   std::vector<Slot> Ring;

@@ -68,6 +68,26 @@ public:
     std::copy(Src, Src + FeatDim, rowPtr(R));
   }
 
+  /// Appends one row (dim() values from \p Src; padding zero-filled). The
+  /// matrix must already have a dimensionality (reset() ran), so appended
+  /// rows share the established stride — the incremental-refresh path of
+  /// the calibration store grows the block without re-copying it.
+  void appendRow(const double *Src) {
+    assert(FeatDim > 0 && "appendRow on a shapeless matrix");
+    Data.resize((NumRows + 1) * RowStride, 0.0);
+    ++NumRows;
+    setRow(NumRows - 1, Src);
+  }
+
+  /// Erases the first \p K rows in place (one contiguous tail move); the
+  /// oldest-first eviction of the calibration store's refresh path.
+  void eraseFrontRows(size_t K) {
+    assert(K <= NumRows && "eraseFrontRows past the end");
+    Data.erase(Data.begin(),
+               Data.begin() + static_cast<long>(K * RowStride));
+    NumRows -= K;
+  }
+
   /// Copies row \p R into a fresh (unpadded) vector.
   std::vector<double> row(size_t R) const {
     return std::vector<double>(rowPtr(R), rowPtr(R) + FeatDim);

@@ -6,8 +6,13 @@
 
 #include "support/Serialize.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
 
 using namespace prom::support;
 
@@ -170,4 +175,144 @@ std::vector<double> ByteReader::readDoubleVec() {
   for (double &D : V)
     D = readF64();
   return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot rotation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr const char *LatestPointerName = "latest";
+
+std::string joinPath(const std::string &Dir, const std::string &Name) {
+  if (Dir.empty() || Dir.back() == '/')
+    return Dir + Name;
+  return Dir + "/" + Name;
+}
+
+/// Parses "snapshot.<N>.bin" into N; false for anything else.
+bool parseGenerationName(const char *Name, uint64_t &Gen) {
+  unsigned long long Parsed = 0;
+  int Consumed = 0;
+  if (std::sscanf(Name, "snapshot.%llu.bin%n", &Parsed, &Consumed) != 1)
+    return false;
+  if (Name[Consumed] != '\0' || Parsed == 0)
+    return false;
+  Gen = Parsed;
+  return true;
+}
+
+/// A generation is loadable when its file passes the full checksummed
+/// load; mid-write or bit-flipped files fail exactly like corrupt
+/// snapshots do.
+bool generationLoads(const std::string &Dir, uint64_t Gen) {
+  prom::support::ByteReader R;
+  return R.loadFile(joinPath(Dir, prom::support::snapshotGenerationFile(Gen)));
+}
+
+} // namespace
+
+std::string prom::support::snapshotGenerationFile(uint64_t Gen) {
+  return "snapshot." + std::to_string(Gen) + ".bin";
+}
+
+bool prom::support::ensureDirectory(const std::string &Dir) {
+  struct stat St;
+  if (::stat(Dir.c_str(), &St) == 0)
+    return S_ISDIR(St.st_mode);
+  return ::mkdir(Dir.c_str(), 0755) == 0;
+}
+
+std::vector<uint64_t>
+prom::support::listSnapshotGenerations(const std::string &Dir) {
+  std::vector<uint64_t> Gens;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return Gens;
+  while (struct dirent *Entry = ::readdir(D)) {
+    uint64_t Gen;
+    if (parseGenerationName(Entry->d_name, Gen))
+      Gens.push_back(Gen);
+  }
+  ::closedir(D);
+  std::sort(Gens.begin(), Gens.end());
+  return Gens;
+}
+
+bool prom::support::commitLatestPointer(const std::string &Dir,
+                                        uint64_t Gen) {
+  std::string Tmp = joinPath(Dir, std::string(LatestPointerName) + ".tmp");
+  std::string Final = joinPath(Dir, LatestPointerName);
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return false;
+  std::string Content = snapshotGenerationFile(Gen);
+  bool Ok = std::fwrite(Content.data(), 1, Content.size(), F) ==
+            Content.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  // rename(2) replaces the old pointer atomically: a concurrent reader
+  // sees either the previous committed generation or this one, never a
+  // partial write.
+  if (std::rename(Tmp.c_str(), Final.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+uint64_t prom::support::latestPointerGeneration(const std::string &Dir) {
+  std::FILE *F = std::fopen(joinPath(Dir, LatestPointerName).c_str(), "rb");
+  if (!F)
+    return 0;
+  char Buf[128] = {0};
+  size_t Got = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  Buf[Got] = '\0';
+  // Trim a trailing newline so hand-edited pointers still parse.
+  if (Got > 0 && Buf[Got - 1] == '\n')
+    Buf[Got - 1] = '\0';
+  uint64_t Gen;
+  return parseGenerationName(Buf, Gen) ? Gen : 0;
+}
+
+std::string prom::support::resolveLatestSnapshot(const std::string &Dir) {
+  uint64_t Pointed = latestPointerGeneration(Dir);
+  if (Pointed != 0 && generationLoads(Dir, Pointed))
+    return joinPath(Dir, snapshotGenerationFile(Pointed));
+
+  // Stale or missing pointer: newest generation that actually loads. An
+  // uncommitted newer file is only ever used when the committed one is
+  // gone — the pointer, when valid, always wins above.
+  std::vector<uint64_t> Gens = listSnapshotGenerations(Dir);
+  for (auto It = Gens.rbegin(); It != Gens.rend(); ++It)
+    if (generationLoads(Dir, *It))
+      return joinPath(Dir, snapshotGenerationFile(*It));
+  return std::string();
+}
+
+size_t prom::support::pruneSnapshotGenerations(const std::string &Dir,
+                                               size_t KeepCount) {
+  std::vector<uint64_t> Gens = listSnapshotGenerations(Dir);
+  if (KeepCount == 0)
+    KeepCount = 1;
+  if (Gens.size() <= KeepCount)
+    return 0;
+  uint64_t Pointed = latestPointerGeneration(Dir);
+  size_t Removed = 0;
+  // Gens is ascending: everything before the newest KeepCount is stale —
+  // except the generation the pointer still names, which must survive
+  // until a newer generation is committed over it.
+  for (size_t I = 0; I + KeepCount < Gens.size(); ++I) {
+    if (Gens[I] == Pointed)
+      continue;
+    if (std::remove(
+            joinPath(Dir, snapshotGenerationFile(Gens[I])).c_str()) == 0)
+      ++Removed;
+  }
+  return Removed;
 }

@@ -22,6 +22,13 @@
 /// interchange format: byte order is fixed to the host's, which the
 /// supported targets share).
 ///
+/// The rotation helpers at the bottom manage a *directory* of snapshots
+/// for the self-recalibrating server: generation-numbered files
+/// (snapshot.N.bin) plus a `latest` pointer committed by atomic rename,
+/// so a crash between writing a generation and committing the pointer
+/// never leaves a reader pointing at a partial file. The byte-level
+/// layout of each generation file is documented in docs/SNAPSHOT_FORMAT.md.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PROM_SUPPORT_SERIALIZE_H
@@ -91,6 +98,49 @@ private:
   size_t Cursor = 0;
   bool Failed = true; ///< Until loadFile succeeds.
 };
+
+//===----------------------------------------------------------------------===//
+// Snapshot rotation
+//
+// A rotation directory holds generation-numbered snapshot files
+// ("snapshot.N.bin", N strictly increasing) and a `latest` pointer file
+// whose content is the file name of the committed generation. Writers
+// write the new generation fully, then commit the pointer via temp-file +
+// rename (atomic on POSIX). Readers trust the pointer only if the file it
+// names passes the checksummed load; otherwise they fall back to the
+// newest generation that does — so a crash at any point leaves a loadable
+// state behind.
+//===----------------------------------------------------------------------===//
+
+/// File name of generation \p Gen ("snapshot.<Gen>.bin").
+std::string snapshotGenerationFile(uint64_t Gen);
+
+/// Creates \p Dir if it does not exist (single level). Returns false when
+/// the path cannot be used as a directory.
+bool ensureDirectory(const std::string &Dir);
+
+/// Generation numbers of every "snapshot.N.bin" in \p Dir, ascending.
+std::vector<uint64_t> listSnapshotGenerations(const std::string &Dir);
+
+/// Atomically points \p Dir/latest at generation \p Gen (temp file +
+/// rename). Call only after the generation file is fully written.
+bool commitLatestPointer(const std::string &Dir, uint64_t Gen);
+
+/// Generation the `latest` pointer names, or 0 when the pointer is
+/// missing/unparseable (generations start at 1).
+uint64_t latestPointerGeneration(const std::string &Dir);
+
+/// Resolves the snapshot a restarting server should load: the pointed-to
+/// generation when its file passes the checksummed load, else the newest
+/// generation whose file does (a stale pointer — e.g. a crash after a
+/// prune, or a corrupted generation — falls back instead of failing).
+/// Returns the full path, or "" when no valid snapshot exists.
+std::string resolveLatestSnapshot(const std::string &Dir);
+
+/// Deletes old generations, keeping the newest \p KeepCount and — always —
+/// the generation the `latest` pointer names. Returns how many files were
+/// removed.
+size_t pruneSnapshotGenerations(const std::string &Dir, size_t KeepCount);
 
 } // namespace support
 } // namespace prom

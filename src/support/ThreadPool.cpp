@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 using namespace prom::support;
 
@@ -145,7 +146,26 @@ void ThreadPool::parallelFor(size_t N,
   Job = nullptr;
 }
 
+namespace {
+
+/// Lane count of the global pool: PROM_THREADS from the environment when
+/// set to a positive integer, else one lane per hardware thread. The knob
+/// exists for deployments that co-locate several processes on one box —
+/// and for the test harness, which runs the refresh bit-identity suite at
+/// several lane counts to exercise the determinism contract.
+size_t globalPoolThreads() {
+  if (const char *Env = std::getenv("PROM_THREADS")) {
+    char *End = nullptr;
+    long V = std::strtol(Env, &End, 10);
+    if (End != Env && *End == '\0' && V > 0)
+      return static_cast<size_t>(V);
+  }
+  return 0; // One lane per hardware thread.
+}
+
+} // namespace
+
 ThreadPool &ThreadPool::global() {
-  static ThreadPool Pool;
+  static ThreadPool Pool(globalPoolThreads());
   return Pool;
 }

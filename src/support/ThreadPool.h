@@ -54,7 +54,9 @@ public:
   void parallelFor(size_t N, const std::function<void(size_t, size_t)> &Fn,
                    size_t MinParallel = 2);
 
-  /// Process-wide shared pool (lazily constructed).
+  /// Process-wide shared pool (lazily constructed). Sized to one lane per
+  /// hardware thread, or to the PROM_THREADS environment variable when it
+  /// is set to a positive integer.
   static ThreadPool &global();
 
 private:

@@ -1,0 +1,335 @@
+//===- tests/RefreshTest.cpp - online calibration refresh ---------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The online-refresh contract: after appendEntries() + refinalize() —
+// with or without oldest-first eviction — a CalibrationStore behaves
+// bit-identically to a brand-new store finalized on the surviving union
+// of entries, for every shard count, on both the general weighted path
+// and the unweighted sorted-index fast path. At the detector level,
+// refreshCalibration(Incremental=true) must produce verdicts bit-equal
+// to the full-rebuild reference path. CMake registers this suite at
+// PROM_THREADS=1 and PROM_THREADS=4, so the contract is enforced across
+// thread counts as well.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Detector.h"
+#include "data/Split.h"
+#include "ml/Linear.h"
+#include "tests/TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace prom;
+using prom::testing::bits;
+using prom::testing::expectSameVerdict;
+using prom::testing::gaussianBlobs;
+
+namespace {
+
+/// Random calibration entries; labels cycle over [0, NumLabels).
+std::vector<CalibrationEntry> makeEntries(size_t N, size_t Dim,
+                                          int NumLabels, size_t NumExp,
+                                          support::Rng &R) {
+  std::vector<CalibrationEntry> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    CalibrationEntry E;
+    for (size_t D = 0; D < Dim; ++D)
+      E.Embed.push_back(R.gaussian(0.0, 2.0));
+    E.Label = static_cast<int>(I % static_cast<size_t>(NumLabels));
+    for (size_t X = 0; X < NumExp; ++X)
+      E.Scores.push_back(R.uniform(0.0, 1.0));
+    Out.push_back(std::move(E));
+  }
+  return Out;
+}
+
+/// A fresh store finalized from scratch on \p Entries — the reference a
+/// refreshed store must match bit for bit.
+CalibrationStore referenceStore(const std::vector<CalibrationEntry> &Entries,
+                                size_t K) {
+  CalibrationStore Ref;
+  Ref.reserve(Entries.size());
+  for (const CalibrationEntry &E : Entries)
+    Ref.add(E);
+  Ref.finalize(K);
+  return Ref;
+}
+
+/// Drives both stores through the exact engine entry points the batched
+/// assessment uses (selection + fused all-expert p-values) and demands
+/// bit-equality on everything a verdict is computed from.
+void expectStoresBitIdentical(const CalibrationStore &Live,
+                              const CalibrationStore &Ref,
+                              const PromConfig &Cfg, support::Rng &R,
+                              const char *Tag) {
+  SCOPED_TRACE(Tag);
+  ASSERT_EQ(Live.size(), Ref.size());
+  ASSERT_EQ(Live.embedDim(), Ref.embedDim());
+  EXPECT_EQ(bits(Live.medianNNDist()), bits(Ref.medianNNDist()));
+
+  size_t NumExp = Ref.numExperts();
+  size_t NumLabels = static_cast<size_t>(Ref.flat().maxLabel() + 1);
+  ASSERT_EQ(static_cast<size_t>(Live.flat().maxLabel() + 1), NumLabels);
+  size_t Cells = NumExp * NumLabels;
+
+  AssessmentScratch SLive, SRef;
+  std::vector<double> TestScores(Cells), PLive(Cells), PRef(Cells);
+  for (int Q = 0; Q < 6; ++Q) {
+    SCOPED_TRACE("query " + std::to_string(Q));
+    std::vector<double> Query;
+    for (size_t D = 0; D < Ref.embedDim(); ++D)
+      Query.push_back(R.gaussian(0.0, 2.0));
+    for (double &S : TestScores)
+      S = R.uniform(0.0, 1.0);
+
+    Live.selectForAssessment(Query.data(), Cfg, SLive);
+    Ref.selectForAssessment(Query.data(), Cfg, SRef);
+    ASSERT_EQ(SLive.Keep, SRef.Keep);
+    ASSERT_EQ(SLive.SelectedAll, SRef.SelectedAll);
+    for (size_t I = 0; I < Ref.size(); ++I) {
+      ASSERT_EQ(SLive.SelectedMask[I], SRef.SelectedMask[I]) << "entry " << I;
+      if (SRef.SelectedMask[I]) {
+        ASSERT_EQ(bits(SLive.WeightByEntry[I]), bits(SRef.WeightByEntry[I]))
+            << "entry " << I;
+      }
+    }
+
+    Live.pValuesAllExperts(SLive, TestScores.data(), NumLabels, Cfg,
+                           /*DiscreteFlags=*/nullptr, PLive.data());
+    Ref.pValuesAllExperts(SRef, TestScores.data(), NumLabels, Cfg,
+                          /*DiscreteFlags=*/nullptr, PRef.data());
+    for (size_t C = 0; C < Cells; ++C)
+      ASSERT_EQ(bits(PLive[C]), bits(PRef[C])) << "cell " << C;
+  }
+}
+
+/// Runs the comparison under both p-value regimes: the general weighted
+/// path (canonical block fold) and the unweighted full-selection fast
+/// path (per-shard sorted-index counts).
+void expectBothRegimesMatch(const CalibrationStore &Live,
+                            const CalibrationStore &Ref, uint64_t Seed,
+                            const char *Tag) {
+  PromConfig Weighted; // Default: WeightedCount, partial selection.
+  support::Rng R1(Seed);
+  expectStoresBitIdentical(Live, Ref, Weighted, R1,
+                           (std::string(Tag) + "/weighted").c_str());
+
+  PromConfig Unweighted;
+  Unweighted.WeightMode = CalibrationWeightMode::None;
+  Unweighted.SelectAllBelow = 1u << 20; // Full selection: fast path.
+  support::Rng R2(Seed);
+  expectStoresBitIdentical(Live, Ref, Unweighted, R2,
+                           (std::string(Tag) + "/unweighted-fast").c_str());
+}
+
+} // namespace
+
+TEST(RefreshTest, AppendOnlyRefreshMatchesFromScratch) {
+  // Three staggered refreshes — a single entry, a batch that introduces a
+  // brand-new label (bucket growth on every shard), and a multi-block
+  // batch — each compared against a from-scratch finalize of the union.
+  for (size_t K : {size_t(1), size_t(8)}) {
+    SCOPED_TRACE("K=" + std::to_string(K));
+    support::Rng R(1234);
+    std::vector<CalibrationEntry> All = makeEntries(1500, 7, 3, 2, R);
+
+    CalibrationStore Live;
+    for (const CalibrationEntry &E : All)
+      Live.add(E);
+    Live.finalize(K);
+
+    size_t Step = 0;
+    for (size_t BatchSize : {size_t(1), size_t(200), size_t(300)}) {
+      std::vector<CalibrationEntry> Fresh =
+          makeEntries(BatchSize, 7, Step == 1 ? 4 : 3, 2, R);
+      All.insert(All.end(), Fresh.begin(), Fresh.end());
+      Live.appendEntries(std::move(Fresh));
+      Live.refinalize();
+      CalibrationStore Ref = referenceStore(All, K);
+      expectBothRegimesMatch(Live, Ref, 77 + Step,
+                             ("refresh " + std::to_string(Step)).c_str());
+      ++Step;
+    }
+  }
+}
+
+TEST(RefreshTest, BoundedStoreEvictsOldestAndMatchesFromScratch) {
+  for (size_t K : {size_t(1), size_t(8)}) {
+    SCOPED_TRACE("K=" + std::to_string(K));
+    support::Rng R(555);
+    std::vector<CalibrationEntry> All = makeEntries(1500, 5, 3, 2, R);
+
+    CalibrationStore Live;
+    for (const CalibrationEntry &E : All)
+      Live.add(E);
+    Live.finalize(K);
+    Live.setMaxEntries(1600);
+
+    std::vector<CalibrationEntry> Fresh = makeEntries(400, 5, 3, 2, R);
+    All.insert(All.end(), Fresh.begin(), Fresh.end());
+    Live.appendEntries(std::move(Fresh));
+    Live.refinalize();
+    EXPECT_EQ(Live.size(), 1600u);
+
+    // Oldest-first: the survivors are the union minus its 300-entry prefix.
+    std::vector<CalibrationEntry> Survivors(All.begin() + 300, All.end());
+    CalibrationStore Ref = referenceStore(Survivors, K);
+    expectBothRegimesMatch(Live, Ref, 91, "evicted");
+
+    // A second bounded refresh on the already-evicted store.
+    Fresh = makeEntries(256, 5, 3, 2, R);
+    Survivors.insert(Survivors.end(), Fresh.begin(), Fresh.end());
+    Live.appendEntries(std::move(Fresh));
+    Live.refinalize();
+    Survivors.erase(Survivors.begin(), Survivors.begin() + 256);
+    CalibrationStore Ref2 = referenceStore(Survivors, K);
+    expectBothRegimesMatch(Live, Ref2, 92, "evicted-again");
+  }
+}
+
+TEST(RefreshTest, SmallStoreRefreshRecomputesDistanceScale) {
+  // Below the 256-entry median-NN sample window, an append changes the
+  // window — the refreshed distance scale must match a fresh finalize.
+  support::Rng R(31);
+  std::vector<CalibrationEntry> All = makeEntries(100, 4, 2, 2, R);
+  CalibrationStore Live;
+  for (const CalibrationEntry &E : All)
+    Live.add(E);
+  Live.finalize(1);
+
+  std::vector<CalibrationEntry> Fresh = makeEntries(80, 4, 2, 2, R);
+  All.insert(All.end(), Fresh.begin(), Fresh.end());
+  Live.appendEntries(std::move(Fresh));
+  Live.refinalize();
+
+  CalibrationStore Ref = referenceStore(All, 1);
+  expectBothRegimesMatch(Live, Ref, 13, "small-store");
+}
+
+TEST(RefreshTest, RefreshLargerThanBoundFallsBackToRebuild) {
+  // The staged batch alone exceeds the bound: eviction swallows the whole
+  // indexed prefix and refinalize() must take the full-rebuild fallback —
+  // still landing bit-identical to the from-scratch reference.
+  support::Rng R(417);
+  std::vector<CalibrationEntry> All = makeEntries(150, 4, 3, 2, R);
+  CalibrationStore Live;
+  for (const CalibrationEntry &E : All)
+    Live.add(E);
+  Live.finalize(4);
+  Live.setMaxEntries(100);
+
+  std::vector<CalibrationEntry> Fresh = makeEntries(200, 4, 3, 2, R);
+  All.insert(All.end(), Fresh.begin(), Fresh.end());
+  Live.appendEntries(std::move(Fresh));
+  Live.refinalize();
+  EXPECT_EQ(Live.size(), 100u);
+
+  std::vector<CalibrationEntry> Survivors(All.begin() + 250, All.end());
+  CalibrationStore Ref = referenceStore(Survivors, 4);
+  expectBothRegimesMatch(Live, Ref, 29, "degenerate-eviction");
+}
+
+TEST(RefreshTest, ManySmallRefreshesStayExactAcrossRebalances) {
+  // Ten block-sized refreshes against an 8-shard store: the last shard
+  // absorbs new blocks and periodically rebalances; every intermediate
+  // state must match a from-scratch build (layout independence).
+  support::Rng R(808);
+  std::vector<CalibrationEntry> All = makeEntries(2560, 6, 3, 2, R);
+  CalibrationStore Live;
+  for (const CalibrationEntry &E : All)
+    Live.add(E);
+  Live.finalize(8);
+  ASSERT_GE(Live.numShards(), 2u);
+
+  for (int Round = 0; Round < 10; ++Round) {
+    std::vector<CalibrationEntry> Fresh = makeEntries(256, 6, 3, 2, R);
+    All.insert(All.end(), Fresh.begin(), Fresh.end());
+    Live.appendEntries(std::move(Fresh));
+    Live.refinalize();
+    if (Round % 3 == 2) { // Full compare every few rounds (cost).
+      CalibrationStore Ref = referenceStore(All, 8);
+      expectBothRegimesMatch(Live, Ref, 300 + Round,
+                             ("round " + std::to_string(Round)).c_str());
+    }
+  }
+  // The partition must have rebalanced rather than degenerating into one
+  // ever-growing tail shard.
+  EXPECT_GE(Live.numShards(), 4u);
+}
+
+TEST(RefreshTest, DetectorRefreshMatchesFullRebuildReference) {
+  support::Rng R(63);
+  data::Dataset Full = gaussianBlobs(3, 400, 4.0, 0.8, R);
+  auto Split = data::calibrationPartition(Full, R, 0.6);
+  data::Dataset Train = std::move(Split.first);
+  data::Dataset Calib = std::move(Split.second);
+  ml::LogisticRegression Model;
+  Model.fit(Train, R);
+
+  PromConfig Cfg;
+  Cfg.NumShards = 4;
+  Cfg.MaxCalibEntries = Calib.size() + 40; // The second refresh evicts.
+  PromClassifier Incremental(Model, Cfg);
+  PromClassifier Reference(Model, Cfg);
+  Incremental.calibrate(Calib);
+  Reference.calibrate(Calib);
+
+  data::Dataset Probes = gaussianBlobs(3, 60, 4.0, 0.8, R);
+  std::vector<Verdict> Before = Incremental.assessBatch(Probes);
+
+  // Two refresh rounds: append-only, then one that trips the bound.
+  for (int Round = 0; Round < 2; ++Round) {
+    SCOPED_TRACE("round " + std::to_string(Round));
+    data::Dataset Relabeled = gaussianBlobs(3, 30, 4.0, 0.8, R);
+    size_t SizeInc = Incremental.refreshCalibration(Relabeled,
+                                                    /*Incremental=*/true);
+    size_t SizeRef = Reference.refreshCalibration(Relabeled,
+                                                  /*Incremental=*/false);
+    EXPECT_EQ(SizeInc, SizeRef);
+    EXPECT_LE(SizeInc, Cfg.MaxCalibEntries);
+
+    std::vector<Verdict> VInc = Incremental.assessBatch(Probes);
+    std::vector<Verdict> VRef = Reference.assessBatch(Probes);
+    ASSERT_EQ(VInc.size(), VRef.size());
+    for (size_t I = 0; I < VInc.size(); ++I)
+      expectSameVerdict(VInc[I], VRef[I], I);
+    // The refreshed store must also agree with the per-sample serial
+    // oracle (flat select + per-expert p-value scans).
+    for (size_t I = 0; I < Probes.size(); I += 11)
+      expectSameVerdict(Incremental.assessSerial(Probes[I]), VInc[I], I);
+  }
+
+  // Sanity: the refresh actually changed the calibration evidence.
+  EXPECT_EQ(Incremental.calibrationSize(), Calib.size() + 40);
+  std::vector<Verdict> After = Incremental.assessBatch(Probes);
+  bool AnyChanged = false;
+  for (size_t I = 0; I < Probes.size() && !AnyChanged; ++I)
+    for (size_t E = 0; E < After[I].Experts.size() && !AnyChanged; ++E)
+      AnyChanged = After[I].Experts[E].Credibility !=
+                   Before[I].Experts[E].Credibility;
+  EXPECT_TRUE(AnyChanged);
+}
+
+TEST(RefreshTest, EmptyRefreshIsANoop) {
+  support::Rng R(7);
+  data::Dataset Full = gaussianBlobs(2, 120, 4.0, 0.8, R);
+  auto Split = data::calibrationPartition(Full, R, 0.5);
+  ml::LogisticRegression Model;
+  Model.fit(Split.first, R);
+  PromClassifier Prom(Model);
+  Prom.calibrate(Split.second);
+
+  data::Dataset Probes = gaussianBlobs(2, 20, 4.0, 0.8, R);
+  std::vector<Verdict> Before = Prom.assessBatch(Probes);
+  EXPECT_EQ(Prom.refreshCalibration(data::Dataset()), Split.second.size());
+  std::vector<Verdict> After = Prom.assessBatch(Probes);
+  for (size_t I = 0; I < Probes.size(); ++I)
+    expectSameVerdict(Before[I], After[I], I);
+}

@@ -16,7 +16,9 @@
 #include "data/Split.h"
 #include "ml/Linear.h"
 #include "serve/AssessmentService.h"
+#include "serve/RecalibrationController.h"
 #include "serve/WindowedDriftMonitor.h"
+#include "support/Serialize.h"
 #include "tests/TestHelpers.h"
 
 #include <gtest/gtest.h>
@@ -26,21 +28,10 @@
 
 using namespace prom;
 using namespace prom::serve;
+using prom::testing::expectSameVerdict;
 using prom::testing::gaussianBlobs;
 
 namespace {
-
-void expectSameVerdict(const Verdict &A, const Verdict &B, size_t Index) {
-  SCOPED_TRACE("sample " + std::to_string(Index));
-  EXPECT_EQ(A.Predicted, B.Predicted);
-  EXPECT_EQ(A.Drifted, B.Drifted);
-  EXPECT_EQ(A.VotesToFlag, B.VotesToFlag);
-  ASSERT_EQ(A.Experts.size(), B.Experts.size());
-  for (size_t E = 0; E < A.Experts.size(); ++E) {
-    EXPECT_EQ(A.Experts[E].Credibility, B.Experts[E].Credibility);
-    EXPECT_EQ(A.Experts[E].Confidence, B.Experts[E].Confidence);
-  }
-}
 
 /// Shared calibrated engine.
 struct EngineFixture {
@@ -195,6 +186,96 @@ TEST(ServeTest, ServiceFoldsVerdictsIntoMonitor) {
   EXPECT_EQ(Snap.TotalSeen, F.Test.size());
   EXPECT_EQ(Snap.WindowFill, std::min<size_t>(F.Test.size(), 64));
   EXPECT_EQ(Svc.stats().Rejected, Rejected);
+}
+
+//===----------------------------------------------------------------------===//
+// Automatic recalibration (RecalibrationController)
+//===----------------------------------------------------------------------===//
+
+TEST(ServeTest, AutomaticRecalibrationSwapServesEveryRequest) {
+  // A drifting stream must trip the monitor, trigger a background
+  // incremental refresh + atomic store swap + snapshot rotation — and not
+  // a single request may fail or be dropped across the swap.
+  support::Rng R(171);
+  data::Dataset Full = gaussianBlobs(3, 220, 4.0, 0.8, R);
+  auto Split = data::calibrationPartition(Full, R, 0.35);
+  ml::LogisticRegression Model;
+  Model.fit(Split.first, R);
+  PromConfig Cfg;
+  Cfg.NumShards = 4;
+  PromClassifier Prom(Model, Cfg);
+  Prom.calibrate(Split.second);
+  size_t SizeBefore = Prom.calibrationSize();
+
+  auto NovelSample = [&R] {
+    data::Sample S;
+    S.Features = {R.gaussian(0.0, 0.5), R.gaussian(0.0, 0.5)};
+    S.Label = 0;
+    return S;
+  };
+
+  WindowedDriftMonitor Monitor(DriftWindowConfig{64, 0.3, 32});
+  RecalibrationConfig RCfg;
+  RCfg.MinRefreshSamples = 16;
+  RCfg.SnapshotDir = ::testing::TempDir() + "/serve_rotation";
+  RCfg.KeepGenerations = 2;
+  RecalibrationController Controller(Prom, Monitor, RCfg);
+
+  // The relabeling pipeline has already queued fresh ground truth for the
+  // drifting inputs when the alarm goes off.
+  for (int I = 0; I < 64; ++I)
+    Controller.submitLabeled(NovelSample());
+
+  ServiceConfig SvcCfg;
+  SvcCfg.MaxBatch = 16;
+  SvcCfg.NumBatchers = 2;
+  AssessmentService Svc(Prom, SvcCfg, &Monitor);
+
+  // A drifting stream: far off the calibrated blobs, so the windowed
+  // rejection rate crosses the alert threshold mid-stream.
+  std::vector<std::future<Verdict>> Futures;
+  for (int I = 0; I < 256; ++I)
+    Futures.push_back(Svc.submit(NovelSample()));
+
+  size_t Served = 0;
+  for (auto &Fut : Futures) {
+    Verdict V;
+    ASSERT_NO_THROW(V = Fut.get());
+    ASSERT_EQ(V.Experts.size(), Prom.numExperts());
+    ++Served;
+  }
+  EXPECT_EQ(Served, Futures.size());
+
+  ASSERT_TRUE(Controller.waitForRefreshes(1, std::chrono::milliseconds(10000)));
+  RecalibrationStats Stats = Controller.stats();
+  EXPECT_GE(Stats.AlertsSeen, 1u);
+  EXPECT_GE(Stats.RefreshesCompleted, 1u);
+  EXPECT_EQ(Stats.SamplesFolded, 64u);
+  EXPECT_EQ(Prom.calibrationSize(), SizeBefore + 64);
+  EXPECT_GE(Stats.SnapshotsRotated, 1u);
+  EXPECT_EQ(Stats.SnapshotFailures, 0u);
+
+  // The rotated snapshot must resolve and load.
+  std::string Latest = support::resolveLatestSnapshot(RCfg.SnapshotDir);
+  ASSERT_FALSE(Latest.empty());
+  PromClassifier Restored(Model);
+  EXPECT_TRUE(Restored.loadSnapshot(Latest));
+  EXPECT_EQ(Restored.calibrationSize(), Prom.calibrationSize());
+
+  // Post-swap serving must agree with direct calls on the refreshed
+  // store, bit for bit (no pending labels remain, so the store is stable).
+  Svc.drain();
+  data::Dataset Probe = gaussianBlobs(3, 24, 4.0, 0.8, R);
+  std::vector<Verdict> Direct = Prom.assessBatch(Probe);
+  std::vector<std::future<Verdict>> ProbeFutures;
+  for (const data::Sample &S : Probe.samples())
+    ProbeFutures.push_back(Svc.submit(S));
+  for (size_t I = 0; I < ProbeFutures.size(); ++I)
+    expectSameVerdict(Direct[I], ProbeFutures[I].get(), I);
+
+  Svc.shutdown();
+  ServiceStats SvcStats = Svc.stats();
+  EXPECT_EQ(SvcStats.Submitted, SvcStats.Completed); // Zero dropped.
 }
 
 //===----------------------------------------------------------------------===//

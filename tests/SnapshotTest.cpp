@@ -18,6 +18,7 @@
 #include "data/Split.h"
 #include "ml/Linear.h"
 #include "ml/Mlp.h"
+#include "support/Serialize.h"
 #include "tests/TestHelpers.h"
 
 #include <gtest/gtest.h>
@@ -246,6 +247,104 @@ TEST(SnapshotTest, RejectsMissingShortCorruptAndWrongKind) {
 
   std::remove(Path.c_str());
   std::remove(Mangled.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot rotation (generation files + `latest` pointer)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A fresh rotation directory under the test tmpdir.
+std::string rotationDir(const std::string &Name) {
+  std::string Dir = tempPath(Name);
+  // Clear any leftovers from a previous run of the same test binary.
+  for (uint64_t Gen : support::listSnapshotGenerations(Dir))
+    std::remove((Dir + "/" + support::snapshotGenerationFile(Gen)).c_str());
+  std::remove((Dir + "/latest").c_str());
+  EXPECT_TRUE(support::ensureDirectory(Dir));
+  return Dir;
+}
+
+/// Writes a minimal valid (checksummed) generation file.
+void writeGeneration(const std::string &Dir, uint64_t Gen) {
+  support::ByteWriter W;
+  W.writeU64(Gen); // Payload content is irrelevant to rotation.
+  ASSERT_TRUE(
+      W.writeFile(Dir + "/" + support::snapshotGenerationFile(Gen)));
+}
+
+} // namespace
+
+TEST(SnapshotTest, RotationCrashBeforePointerCommitServesOldGeneration) {
+  ClassifierFixture &F = classifierFixture();
+  std::string Dir = rotationDir("rotation_crash");
+
+  PromClassifier Saved(F.Model);
+  Saved.calibrate(F.Calib);
+
+  // Generation 1 fully committed.
+  ASSERT_TRUE(Saved.saveSnapshot(
+      Dir + "/" + support::snapshotGenerationFile(1)));
+  ASSERT_TRUE(support::commitLatestPointer(Dir, 1));
+  EXPECT_EQ(support::latestPointerGeneration(Dir), 1u);
+
+  // Generation 2 written but the process "crashed" before the pointer
+  // update: the committed generation 1 must still be served.
+  ASSERT_TRUE(Saved.saveSnapshot(
+      Dir + "/" + support::snapshotGenerationFile(2)));
+  EXPECT_EQ(support::resolveLatestSnapshot(Dir),
+            Dir + "/" + support::snapshotGenerationFile(1));
+
+  // Pointer gone stale (its generation corrupted on disk): resolution
+  // falls back to the newest generation that still loads — generation 2.
+  {
+    std::string Gen1 = Dir + "/" + support::snapshotGenerationFile(1);
+    std::vector<char> Bytes = slurp(Gen1);
+    ASSERT_GT(Bytes.size(), 16u);
+    Bytes[Bytes.size() / 2] ^= 0x5a;
+    spit(Gen1, Bytes);
+  }
+  std::string Resolved = support::resolveLatestSnapshot(Dir);
+  EXPECT_EQ(Resolved, Dir + "/" + support::snapshotGenerationFile(2));
+
+  // And the fallback is actually loadable into a serving detector.
+  PromClassifier Restored(F.Model);
+  EXPECT_TRUE(Restored.loadSnapshot(Resolved));
+  EXPECT_EQ(Restored.calibrationSize(), Saved.calibrationSize());
+
+  // Nothing valid left at all: resolution reports none rather than
+  // handing a corrupt path to the loader.
+  std::remove(Resolved.c_str());
+  EXPECT_EQ(support::resolveLatestSnapshot(Dir), "");
+}
+
+TEST(SnapshotTest, RotationPruneNeverDeletesPointedGeneration) {
+  std::string Dir = rotationDir("rotation_prune");
+
+  for (uint64_t Gen = 1; Gen <= 5; ++Gen)
+    writeGeneration(Dir, Gen);
+  // The pointer still names an old generation (e.g. the newer writes were
+  // never committed); pruning must keep it alive alongside the newest.
+  ASSERT_TRUE(support::commitLatestPointer(Dir, 2));
+
+  size_t Removed = support::pruneSnapshotGenerations(Dir, /*KeepCount=*/2);
+  EXPECT_EQ(Removed, 2u); // 1 and 3 go; 2 (pointed), 4, 5 stay.
+  std::vector<uint64_t> Left = support::listSnapshotGenerations(Dir);
+  ASSERT_EQ(Left.size(), 3u);
+  EXPECT_EQ(Left[0], 2u);
+  EXPECT_EQ(Left[1], 4u);
+  EXPECT_EQ(Left[2], 5u);
+  EXPECT_EQ(support::resolveLatestSnapshot(Dir),
+            Dir + "/" + support::snapshotGenerationFile(2));
+
+  // Once a newer generation is committed, the old one becomes prunable.
+  ASSERT_TRUE(support::commitLatestPointer(Dir, 5));
+  Removed = support::pruneSnapshotGenerations(Dir, /*KeepCount=*/1);
+  EXPECT_EQ(Removed, 2u); // 2 and 4 go.
+  Left = support::listSnapshotGenerations(Dir);
+  ASSERT_EQ(Left.size(), 1u);
+  EXPECT_EQ(Left[0], 5u);
 }
 
 TEST(SnapshotTest, WrongKindRejected) {

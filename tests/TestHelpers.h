@@ -12,13 +12,46 @@
 #ifndef PROM_TESTS_TESTHELPERS_H
 #define PROM_TESTS_TESTHELPERS_H
 
+#include "core/Detector.h"
 #include "data/Dataset.h"
 #include "support/Rng.h"
 
+#include <gtest/gtest.h>
+
 #include <cmath>
+#include <cstring>
 
 namespace prom {
 namespace testing {
+
+/// IEEE-754 bit pattern of \p V, for exact floating-point comparisons
+/// (distinguishes ±0.0 and compares NaNs by payload, unlike ==).
+inline uint64_t bits(double V) {
+  uint64_t B;
+  std::memcpy(&B, &V, sizeof(B));
+  return B;
+}
+
+/// The shared verdict-equality oracle of the bit-identity suites: every
+/// field of the committee verdict, with expert scores compared by bit
+/// pattern. Extend HERE when Verdict grows a field, so no suite silently
+/// compares less than the whole verdict.
+inline void expectSameVerdict(const Verdict &A, const Verdict &B,
+                              size_t Index) {
+  SCOPED_TRACE("sample " + std::to_string(Index));
+  EXPECT_EQ(A.Predicted, B.Predicted);
+  EXPECT_EQ(A.Drifted, B.Drifted);
+  EXPECT_EQ(A.VotesToFlag, B.VotesToFlag);
+  ASSERT_EQ(A.Experts.size(), B.Experts.size());
+  for (size_t E = 0; E < A.Experts.size(); ++E) {
+    EXPECT_EQ(bits(A.Experts[E].Credibility),
+              bits(B.Experts[E].Credibility));
+    EXPECT_EQ(bits(A.Experts[E].Confidence), bits(B.Experts[E].Confidence));
+    EXPECT_EQ(A.Experts[E].PredictionSetSize,
+              B.Experts[E].PredictionSetSize);
+    EXPECT_EQ(A.Experts[E].FlagDrift, B.Experts[E].FlagDrift);
+  }
+}
 
 /// Gaussian blobs: \p NumClasses clusters on a circle of radius
 /// \p Separation, \p PerClass samples each, noise \p Sigma.

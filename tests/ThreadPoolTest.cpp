@@ -109,3 +109,47 @@ TEST(NestedParallelForTest, RunsInlineInsteadOfDeadlocking) {
   });
   EXPECT_EQ(Inner.load(), 32);
 }
+
+TEST(NestedParallelForTest, SamePoolNestingRunsInline) {
+  // The refinalize() fan-out nests directly on the same pool when a
+  // refresh is driven from inside an assessment region (a service worker
+  // calling back into the store); both the worker lanes and the
+  // participating caller lane must degrade to inline execution.
+  ThreadPool Pool(4);
+  std::atomic<int> Inner{0};
+  Pool.parallelFor(8, [&](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I)
+      Pool.parallelFor(4, [&](size_t B, size_t E) {
+        Inner.fetch_add(static_cast<int>(E - B));
+      });
+  });
+  EXPECT_EQ(Inner.load(), 32);
+}
+
+TEST(NestedParallelForTest, ExternalThreadsContendingForThePoolStaySafe) {
+  // The self-recalibrating server's steady state: service batcher threads
+  // drive assessment fan-outs while the RecalibrationController thread
+  // drives refinalize() fan-outs on the same global pool. Regions must
+  // serialize without deadlock and every region must stay exact.
+  ThreadPool Pool(4);
+  constexpr size_t Callers = 3, Rounds = 40, N = 257;
+  std::atomic<size_t> Failures{0};
+  std::vector<std::thread> Threads;
+  for (size_t C = 0; C < Callers; ++C)
+    Threads.emplace_back([&, C] {
+      std::vector<int> Out(N);
+      for (size_t Round = 0; Round < Rounds; ++Round) {
+        std::fill(Out.begin(), Out.end(), 0);
+        Pool.parallelFor(N, [&](size_t Begin, size_t End) {
+          for (size_t I = Begin; I < End; ++I)
+            Out[I] += static_cast<int>(C + 1);
+        });
+        for (size_t I = 0; I < N; ++I)
+          if (Out[I] != static_cast<int>(C + 1))
+            Failures.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+}
