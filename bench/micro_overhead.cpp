@@ -21,15 +21,37 @@
 // forward, O(N) selection instead of a full distance sort, fused
 // all-expert p-values, reusable scratch.
 //
-// Part 2 (google-benchmark): the paper's original microbenchmarks —
+// Part 2 (custom timing, JSON): the tree-ensemble / k-NN expert study.
+// For each of kNN, RandomForest, and GradientBoosting — the committee
+// experts that historically inherited the per-sample fallback — a
+// calibrated PromClassifier runs a 256-sample deployment batch three
+// ways: assessBatch() with the model's native batched forwards, the
+// retained assessSerial() per-sample reference path (the headline
+// baseline: per-sample forwards AND per-sample committee work), and
+// assessBatch() through a shim that re-creates the pre-tentpole state by
+// inheriting the Model.h per-sample fallback loops (isolating the
+// forward-path change alone). All three are verified bit-identical before
+// timing. Note the forward-isolation number is modest by construction for
+// the compute-bound experts — a k-NN scan performs the same flops per
+// sample batched or not — while the end-to-end batch-vs-reference number
+// is what deployment actually sees.
+//
+// Part 3 (google-benchmark): the paper's original microbenchmarks —
 // committee assessment at increasing calibration sizes, bare model
 // inference, single-expert p-values, offline calibration.
+//
+// The whole binary pins PROM_THREADS=1 (unless the caller overrides it),
+// so every reported number is single-core engine efficiency, not
+// parallel fan-out.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
 #include "data/Split.h"
+#include "ml/GradientBoosting.h"
+#include "ml/Knn.h"
 #include "ml/Mlp.h"
+#include "ml/RandomForest.h"
 
 #include <benchmark/benchmark.h>
 
@@ -37,7 +59,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <map>
+#include <memory>
 
 using namespace prom;
 using namespace prom::bench;
@@ -170,6 +194,157 @@ void runThroughputStudy() {
              AssessSec / BatchSec);
 }
 
+//===----------------------------------------------------------------------===//
+// Tree-ensemble / k-NN expert study
+//===----------------------------------------------------------------------===//
+
+/// Re-creates the pre-batching behaviour of an expert: forwards the
+/// per-sample virtuals to the wrapped (already fitted) model and inherits
+/// the Model.h per-sample fallback loops for every batched entry point.
+class PerSampleFallback : public ml::Classifier {
+public:
+  explicit PerSampleFallback(const ml::Classifier &Inner) : Inner(Inner) {}
+  void fit(const data::Dataset &, support::Rng &) override {}
+  std::vector<double> predictProba(const data::Sample &S) const override {
+    return Inner.predictProba(S);
+  }
+  std::vector<double> embed(const data::Sample &S) const override {
+    return Inner.embed(S);
+  }
+  int numClasses() const override { return Inner.numClasses(); }
+  std::string name() const override { return Inner.name() + "-fallback"; }
+
+private:
+  const ml::Classifier &Inner;
+};
+
+/// 16-d, 6-class blobs sized for one expert study.
+data::Dataset expertBlobs(size_t N, size_t Dim, support::Rng &R) {
+  data::Dataset Data("expert", 6);
+  for (size_t I = 0; I < N; ++I) {
+    int Label = static_cast<int>(I % 6);
+    data::Sample S;
+    for (size_t D = 0; D < Dim; ++D)
+      S.Features.push_back(R.gaussian(Label * 0.7, 1.0));
+    S.Label = Label;
+    Data.add(std::move(S));
+  }
+  return Data;
+}
+
+/// Times assessBatch() on \p Prom over \p Test, best of \p Reps.
+double timeAssessBatch(const PromClassifier &Prom, const data::Dataset &Test,
+                       int Reps) {
+  double Best = 1e300;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    auto T0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(Prom.assessBatch(Test));
+    Best = std::min(Best, secondsSince(T0));
+  }
+  return Best;
+}
+
+/// One expert's three-way comparison at batch 256; emits JSON result
+/// lines tagged \p Tag.
+void runExpertStudy(const char *Tag, const ml::Classifier &Model,
+                    const data::Dataset &Calib, const data::Dataset &Test) {
+  PromClassifier Native(Model);
+  Native.calibrate(Calib);
+
+  PerSampleFallback Shim(Model);
+  PromClassifier Fallback(Shim);
+  Fallback.calibrate(Calib);
+
+  // Correctness first: all three paths must agree bit for bit.
+  std::vector<Verdict> VN = Native.assessBatch(Test);
+  std::vector<Verdict> VF = Fallback.assessBatch(Test);
+  for (size_t I = 0; I < Test.size(); ++I) {
+    if (!sameVerdict(VN[I], VF[I]) ||
+        !sameVerdict(VN[I], Native.assessSerial(Test[I]))) {
+      std::fprintf(stderr,
+                   "FATAL: %s batch/reference verdict divergence at %zu\n",
+                   Tag, I);
+      std::exit(1);
+    }
+  }
+
+  double NativeSec = timeAssessBatch(Native, Test, 3);
+  double FallbackSec = timeAssessBatch(Fallback, Test, 3);
+  double SerialSec = 1e300;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto T0 = std::chrono::steady_clock::now();
+    for (size_t I = 0; I < Test.size(); ++I)
+      benchmark::DoNotOptimize(Native.assessSerial(Test[I]));
+    SerialSec = std::min(SerialSec, secondsSince(T0));
+  }
+
+  double N = static_cast<double>(Test.size());
+  std::printf("%-4s batch %zu : batch %8.1f/s, per-sample reference "
+              "%8.1f/s (speedup %.2fx), forward-fallback batch %8.1f/s "
+              "(speedup %.2fx)\n",
+              Tag, Test.size(), N / NativeSec, N / SerialSec,
+              SerialSec / NativeSec, N / FallbackSec,
+              FallbackSec / NativeSec);
+  std::string Prefix = std::string(Tag) + "_batch256_";
+  jsonResult("micro_overhead", Prefix + "samples_per_sec", N / NativeSec);
+  jsonResult("micro_overhead",
+             std::string(Tag) + "_serial_reference_samples_per_sec",
+             N / SerialSec);
+  jsonResult("micro_overhead", Prefix + "speedup_vs_per_sample_reference",
+             SerialSec / NativeSec);
+  jsonResult("micro_overhead", Prefix + "speedup_vs_forward_fallback",
+             FallbackSec / NativeSec);
+}
+
+/// Batched forwards for the committee experts that used to inherit the
+/// per-sample fallback: kNN, RandomForest, GradientBoosting.
+void runTreeKnnExpertStudy() {
+  const size_t BatchSize = 256;
+  std::printf("\n== micro_overhead: tree/kNN experts, batch vs per-sample "
+              "reference vs forward-fallback (batch=%zu, single-core) ==\n",
+              BatchSize);
+
+  {
+    // Instance-based expert over a 4096 x 32 training block.
+    support::Rng R(BenchSeed);
+    data::Dataset Train = expertBlobs(4096, 32, R);
+    data::Dataset Calib = expertBlobs(1000, 32, R);
+    data::Dataset Test = expertBlobs(BatchSize, 32, R);
+    ml::KnnClassifier Model(5);
+    Model.fit(Train, R);
+    runExpertStudy("knn", Model, Calib, Test);
+  }
+  {
+    // Production-sized forest: 100 trees x depth 12 put the node arrays
+    // past L2, so the per-sample descent chases cold pointers while the
+    // level-by-level path keeps one tree hot across the whole batch.
+    support::Rng R(BenchSeed + 1);
+    data::Dataset Train = expertBlobs(3000, 16, R);
+    data::Dataset Calib = expertBlobs(1000, 16, R);
+    data::Dataset Test = expertBlobs(BatchSize, 16, R);
+    ml::ForestConfig Cfg;
+    Cfg.NumTrees = 100;
+    Cfg.Tree.MaxDepth = 12;
+    ml::RandomForestClassifier Model(Cfg);
+    Model.fit(Train, R);
+    runExpertStudy("rf", Model, Calib, Test);
+  }
+  {
+    // Boosted committee member: 60 rounds x 6 classes = 360 stage trees
+    // per forward.
+    support::Rng R(BenchSeed + 2);
+    data::Dataset Train = expertBlobs(800, 16, R);
+    data::Dataset Calib = expertBlobs(1000, 16, R);
+    data::Dataset Test = expertBlobs(BatchSize, 16, R);
+    ml::BoostConfig Cfg;
+    Cfg.Rounds = 60;
+    Cfg.Tree.MaxDepth = 6;
+    ml::GradientBoostingClassifier Model(Cfg);
+    Model.fit(Train, R);
+    runExpertStudy("gbc", Model, Calib, Test);
+  }
+}
+
 } // namespace
 
 /// Full deployment-time assessment: 4 experts' scores + committee vote.
@@ -211,7 +386,13 @@ static void BM_Calibrate(benchmark::State &BState) {
 BENCHMARK(BM_Calibrate);
 
 int main(int argc, char **argv) {
+  // Single-core by default (the callers' PROM_THREADS still wins): the
+  // reported speedups are engine efficiency, not parallel fan-out, and
+  // must not depend on the runner's core count. Set before the first
+  // ThreadPool::global() use, which sizes the pool once.
+  setenv("PROM_THREADS", "1", /*overwrite=*/0);
   runThroughputStudy();
+  runTreeKnnExpertStudy();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

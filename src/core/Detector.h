@@ -158,7 +158,10 @@ public:
   Verdict assess(const data::Sample &S) const;
 
   /// Batched committee assessment: one batched model forward computes every
-  /// probability vector and embedding, then the per-sample committee work
+  /// probability vector and embedding — every model in the zoo has a
+  /// native batch path (matmul batching, one-scan k-NN, level-by-level
+  /// tree ensembles; see ml/Model.h), so no expert falls back to a
+  /// per-sample forward loop — then the per-sample committee work
   /// (selection, fused all-expert p-values, vote) runs across the
   /// ThreadPool with reusable per-lane scratch. Element I is bit-identical
   /// to assessSerial(Batch[I]).

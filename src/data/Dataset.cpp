@@ -100,6 +100,20 @@ prom::support::Matrix Dataset::featureMatrix() const {
   return Out;
 }
 
+prom::support::FeatureMatrix Dataset::featureBlock() const {
+  support::FeatureMatrix Out;
+  if (Samples.empty())
+    return Out;
+  Out.reset(Samples.size(), featureDim());
+  for (size_t I = 0; I < Samples.size(); ++I) {
+    const Sample &S = Samples[I];
+    assert(S.Features.size() == Out.dim() &&
+           "ragged feature rows cannot form a batch block");
+    Out.setRow(I, S.Features.data());
+  }
+  return Out;
+}
+
 void Dataset::append(const Dataset &Other) {
   assert((NumClasses == 0 || Other.NumClasses == 0 ||
           NumClasses == Other.NumClasses) &&

@@ -15,6 +15,7 @@
 #define PROM_DATA_DATASET_H
 
 #include "data/Sample.h"
+#include "support/FeatureMatrix.h"
 #include "support/Matrix.h"
 
 #include <string>
@@ -77,6 +78,13 @@ public:
   /// substrate consumed by the batched model interfaces. Asserts that all
   /// samples share the same feature dimensionality.
   support::Matrix featureMatrix() const;
+
+  /// Feature rows packed as a lane-padded flat FeatureMatrix — the query
+  /// block the kernel-driven batched forwards (k-NN scans, level-by-level
+  /// tree traversals) stream. Same ragged-row assertion as
+  /// featureMatrix(); values are exact copies, so any path reading them is
+  /// bit-identical to reading Sample::Features.
+  support::FeatureMatrix featureBlock() const;
 
   /// Appends all samples of \p Other (metadata must be compatible).
   void append(const Dataset &Other);

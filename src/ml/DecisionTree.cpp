@@ -6,10 +6,12 @@
 
 #include "ml/DecisionTree.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <numeric>
 
 using namespace prom;
 using namespace prom::ml;
@@ -38,7 +40,50 @@ struct SplitChoice {
   double Score = std::numeric_limits<double>::max();
 };
 
+/// Prepares \p Scratch for a fresh root-down descent of \p N samples.
+static void resetScratch(TreeBatchScratch &Scratch, size_t N) {
+  Scratch.NodeIdx.assign(N, 0);
+  Scratch.Active.resize(N);
+  std::iota(Scratch.Active.begin(), Scratch.Active.end(), size_t(0));
+}
+
 } // namespace
+
+void prom::ml::forEachTreeOrdered(
+    size_t NumTrees, size_t BufLen,
+    const std::function<void(size_t, double *, TreeBatchScratch &)> &Predict,
+    const std::function<void(size_t, const double *)> &Merge) {
+  if (NumTrees == 0 || BufLen == 0)
+    return;
+
+  support::ThreadPool &Pool = support::ThreadPool::global();
+  if (Pool.numThreads() == 1) {
+    // Single lane: predict-then-merge tree by tree with one reused
+    // buffer — the conceptual loop, verbatim.
+    TreeBatchScratch Scratch;
+    std::vector<double> Buf(BufLen);
+    for (size_t T = 0; T < NumTrees; ++T) {
+      std::fill(Buf.begin(), Buf.end(), 0.0);
+      Predict(T, Buf.data(), Scratch);
+      Merge(T, Buf.data());
+    }
+    return;
+  }
+
+  // Parallel: fan the predictions out into per-tree buffers (disjoint
+  // writes), then merge in canonical ascending-tree order on this
+  // thread. Identical merge sequence to the single-lane loop.
+  std::vector<std::vector<double>> Bufs(NumTrees);
+  Pool.parallelFor(NumTrees, [&](size_t Begin, size_t End) {
+    TreeBatchScratch Scratch;
+    for (size_t T = Begin; T < End; ++T) {
+      Bufs[T].assign(BufLen, 0.0);
+      Predict(T, Bufs[T].data(), Scratch);
+    }
+  });
+  for (size_t T = 0; T < NumTrees; ++T)
+    Merge(T, Bufs[T].data());
+}
 
 //===----------------------------------------------------------------------===//
 // RegressionTree
@@ -149,6 +194,29 @@ double RegressionTree::predict(const std::vector<double> &X) const {
     if (N.Feature < 0)
       return N.Value;
     Cur = X[static_cast<size_t>(N.Feature)] <= N.Threshold ? N.Left : N.Right;
+  }
+}
+
+void RegressionTree::predictBatch(const support::FeatureMatrix &X,
+                                  double *Out,
+                                  TreeBatchScratch &Scratch) const {
+  assert(!Nodes.empty() && "tree not fitted");
+  resetScratch(Scratch, X.rows());
+  while (!Scratch.Active.empty()) {
+    size_t Keep = 0;
+    for (size_t I : Scratch.Active) {
+      const Node &N = Nodes[static_cast<size_t>(Scratch.NodeIdx[I])];
+      if (N.Feature < 0) {
+        Out[I] = N.Value;
+        continue;
+      }
+      Scratch.NodeIdx[I] =
+          X.rowPtr(I)[static_cast<size_t>(N.Feature)] <= N.Threshold
+              ? N.Left
+              : N.Right;
+      Scratch.Active[Keep++] = I;
+    }
+    Scratch.Active.resize(Keep);
   }
 }
 
@@ -276,5 +344,31 @@ ClassificationTree::predictProba(const std::vector<double> &X) const {
     if (N.Feature < 0)
       return N.Proba;
     Cur = X[static_cast<size_t>(N.Feature)] <= N.Threshold ? N.Left : N.Right;
+  }
+}
+
+void ClassificationTree::addProbaBatch(const support::FeatureMatrix &X,
+                                       double *Accum, size_t Stride,
+                                       TreeBatchScratch &Scratch) const {
+  assert(!Nodes.empty() && "tree not fitted");
+  resetScratch(Scratch, X.rows());
+  while (!Scratch.Active.empty()) {
+    size_t Keep = 0;
+    for (size_t I : Scratch.Active) {
+      const Node &N = Nodes[static_cast<size_t>(Scratch.NodeIdx[I])];
+      if (N.Feature < 0) {
+        assert(N.Proba.size() <= Stride && "accumulator stride too small");
+        double *Row = Accum + I * Stride;
+        for (size_t C = 0; C < N.Proba.size(); ++C)
+          Row[C] += N.Proba[C];
+        continue;
+      }
+      Scratch.NodeIdx[I] =
+          X.rowPtr(I)[static_cast<size_t>(N.Feature)] <= N.Threshold
+              ? N.Left
+              : N.Right;
+      Scratch.Active[Keep++] = I;
+    }
+    Scratch.Active.resize(Keep);
   }
 }

@@ -15,7 +15,10 @@
 #ifndef PROM_ML_DECISIONTREE_H
 #define PROM_ML_DECISIONTREE_H
 
+#include "support/FeatureMatrix.h"
+
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 namespace prom {
@@ -33,6 +36,32 @@ struct TreeConfig {
   size_t FeatureSubset = 0;
 };
 
+/// Reusable scratch of the level-by-level batched tree traversals: the
+/// contiguous per-batch node-index vector and the still-descending sample
+/// list. One instance serves every tree of an ensemble in turn, so a
+/// batched forest/boosting forward allocates per worker, not per tree.
+struct TreeBatchScratch {
+  std::vector<int> NodeIdx;   ///< Current node of each batch sample.
+  std::vector<size_t> Active; ///< Samples that have not reached a leaf.
+};
+
+/// THE fan-out/merge skeleton of every batched ensemble forward (random
+/// forest votes, boosting stage sums — classifier and regressor). For
+/// each tree T in [0, NumTrees), conceptually: \p Predict(T, Buf,
+/// Scratch) fills a zero-initialized BufLen-double buffer, then \p
+/// Merge(T, Buf) folds it into the caller's accumulator — with Merge
+/// ALWAYS invoked in ascending tree order on the calling thread, which
+/// is what makes the batched ensemble bit-identical to the serial
+/// per-sample accumulation at every thread count. Predict calls may run
+/// concurrently on the ThreadPool (disjoint buffers, a scratch per
+/// worker); on a single-lane pool the loop runs inline with one reused
+/// buffer and no partial traffic. Centralizing the idiom here means the
+/// determinism contract has exactly one implementation to audit.
+void forEachTreeOrdered(
+    size_t NumTrees, size_t BufLen,
+    const std::function<void(size_t, double *, TreeBatchScratch &)> &Predict,
+    const std::function<void(size_t, const double *)> &Merge);
+
 /// Regression tree minimizing within-node variance.
 class RegressionTree {
 public:
@@ -42,6 +71,14 @@ public:
            const TreeConfig &Cfg, support::Rng &R);
 
   double predict(const std::vector<double> &X) const;
+
+  /// Batched form: Out[I] = predict(row I of X) bit for bit (a traversal
+  /// copies leaf values, so there is no arithmetic to reorder). The whole
+  /// batch descends level by level — every active sample advances one node
+  /// per pass — so the node array streams once per level instead of once
+  /// per sample.
+  void predictBatch(const support::FeatureMatrix &X, double *Out,
+                    TreeBatchScratch &Scratch) const;
 
   bool empty() const { return Nodes.empty(); }
 
@@ -71,6 +108,15 @@ public:
            support::Rng &R);
 
   const std::vector<double> &predictProba(const std::vector<double> &X) const;
+
+  /// Batched form of predictProba that *adds* each sample's leaf class
+  /// distribution into its row of \p Accum (row stride \p Stride >= the
+  /// class count): Accum[I * Stride + C] += predictProba(row I)[C], one
+  /// exact add per cell. Ensemble callers accumulate tree after tree into
+  /// per-tree partials and merge them in canonical ascending-tree order,
+  /// which reproduces the serial per-sample sum bit for bit.
+  void addProbaBatch(const support::FeatureMatrix &X, double *Accum,
+                     size_t Stride, TreeBatchScratch &Scratch) const;
 
   bool empty() const { return Nodes.empty(); }
 

@@ -8,6 +8,7 @@
 #include "support/Matrix.h"
 #include "support/Rng.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -33,15 +34,24 @@ GradientBoostingClassifier::rawScores(const std::vector<double> &X) const {
 void GradientBoostingClassifier::boostRounds(const data::Dataset &Data,
                                              support::Rng &R, size_t Rounds) {
   std::vector<std::vector<double>> X = Data.featureRows();
+  support::FeatureMatrix XBlock = support::FeatureMatrix::fromRows(X);
   std::vector<size_t> AllIdx(Data.size());
   for (size_t I = 0; I < AllIdx.size(); ++I)
     AllIdx[I] = I;
 
-  // Maintain the raw score matrix incrementally across rounds.
+  // Maintain the raw score matrix incrementally across rounds, seeded by
+  // one batched forward (bit-identical to per-sample rawScores calls).
   std::vector<std::vector<double>> Scores(Data.size());
-  for (size_t I = 0; I < Data.size(); ++I)
-    Scores[I] = rawScores(X[I]);
+  {
+    support::Matrix Seed;
+    rawScoresBatch(XBlock, Seed);
+    for (size_t I = 0; I < Data.size(); ++I)
+      Scores[I].assign(Seed.rowPtr(I),
+                       Seed.rowPtr(I) + static_cast<size_t>(Classes));
+  }
 
+  TreeBatchScratch Scratch;
+  std::vector<double> Pred(Data.size());
   std::vector<double> Residual(Data.size());
   for (size_t Round = 0; Round < Rounds; ++Round) {
     std::vector<RegressionTree> RoundTrees(
@@ -55,10 +65,13 @@ void GradientBoostingClassifier::boostRounds(const data::Dataset &Data,
       }
       RoundTrees[static_cast<size_t>(C)].fit(X, Residual, AllIdx, Cfg.Tree,
                                              R);
+      // One level-by-level traversal of the whole training set replaces
+      // the per-sample descent; a traversal copies leaf values, so the
+      // maintained scores are unchanged bit for bit.
+      RoundTrees[static_cast<size_t>(C)].predictBatch(XBlock, Pred.data(),
+                                                      Scratch);
       for (size_t I = 0; I < Data.size(); ++I)
-        Scores[I][static_cast<size_t>(C)] +=
-            Cfg.LearningRate *
-            RoundTrees[static_cast<size_t>(C)].predict(X[I]);
+        Scores[I][static_cast<size_t>(C)] += Cfg.LearningRate * Pred[I];
     }
     Stages.push_back(std::move(RoundTrees));
   }
@@ -97,6 +110,46 @@ GradientBoostingClassifier::predictProba(const data::Sample &S) const {
   return Scores;
 }
 
+void GradientBoostingClassifier::rawScoresBatch(
+    const support::FeatureMatrix &X, support::Matrix &Scores) const {
+  size_t N = X.rows();
+  size_t C = static_cast<size_t>(Classes);
+  Scores = support::Matrix(N, C);
+  for (size_t I = 0; I < N; ++I)
+    std::copy(BasePrior.begin(), BasePrior.end(), Scores.rowPtr(I));
+  if (Stages.empty() || N == 0)
+    return;
+
+  // Ascending tree index == ascending round, class within round — the
+  // serial rawScores accumulation order, which the shared skeleton's
+  // ordered merge preserves at every thread count.
+  forEachTreeOrdered(
+      Stages.size() * C, N,
+      [&](size_t T, double *Buf, TreeBatchScratch &Scratch) {
+        Stages[T / C][T % C].predictBatch(X, Buf, Scratch);
+      },
+      [&](size_t T, const double *Buf) {
+        size_t Cl = T % C;
+        for (size_t I = 0; I < N; ++I)
+          Scores.at(I, Cl) += Cfg.LearningRate * Buf[I];
+      });
+}
+
+support::Matrix
+GradientBoostingClassifier::predictProbaBatch(const data::Dataset &Batch) const {
+  assert(Classes > 0 && "classifier not fitted");
+  support::Matrix Scores;
+  rawScoresBatch(Batch.featureBlock(), Scores);
+  if (!Scores.empty())
+    support::softmaxRowsInPlace(Scores);
+  return Scores;
+}
+
+support::Matrix
+GradientBoostingClassifier::embedBatch(const data::Dataset &Batch) const {
+  return Batch.featureMatrix();
+}
+
 //===----------------------------------------------------------------------===//
 // GradientBoostingRegressor
 //===----------------------------------------------------------------------===//
@@ -107,22 +160,25 @@ GradientBoostingRegressor::GradientBoostingRegressor(BoostConfig CfgIn)
 void GradientBoostingRegressor::boostRounds(const data::Dataset &Data,
                                             support::Rng &R, size_t Rounds) {
   std::vector<std::vector<double>> X = Data.featureRows();
+  support::FeatureMatrix XBlock = support::FeatureMatrix::fromRows(X);
   std::vector<size_t> AllIdx(Data.size());
   for (size_t I = 0; I < AllIdx.size(); ++I)
     AllIdx[I] = I;
 
   std::vector<double> Pred(Data.size());
-  for (size_t I = 0; I < Data.size(); ++I)
-    Pred[I] = predict(Data[I]);
+  predictRawBatch(XBlock, Pred.data());
 
+  TreeBatchScratch Scratch;
+  std::vector<double> RoundPred(Data.size());
   std::vector<double> Residual(Data.size());
   for (size_t Round = 0; Round < Rounds; ++Round) {
     for (size_t I = 0; I < Data.size(); ++I)
       Residual[I] = Data[I].Target - Pred[I];
     RegressionTree Tree;
     Tree.fit(X, Residual, AllIdx, Cfg.Tree, R);
+    Tree.predictBatch(XBlock, RoundPred.data(), Scratch);
     for (size_t I = 0; I < Data.size(); ++I)
-      Pred[I] += Cfg.LearningRate * Tree.predict(X[I]);
+      Pred[I] += Cfg.LearningRate * RoundPred[I];
     Stages.push_back(std::move(Tree));
   }
 }
@@ -152,4 +208,37 @@ double GradientBoostingRegressor::predict(const data::Sample &S) const {
   for (const RegressionTree &Tree : Stages)
     Out += Cfg.LearningRate * Tree.predict(S.Features);
   return Out;
+}
+
+void GradientBoostingRegressor::predictRawBatch(
+    const support::FeatureMatrix &X, double *Out) const {
+  size_t N = X.rows();
+  std::fill(Out, Out + N, BaseValue);
+  if (Stages.empty() || N == 0)
+    return;
+
+  // Canonical ascending-stage merge — the serial predict() sum.
+  forEachTreeOrdered(
+      Stages.size(), N,
+      [&](size_t T, double *Buf, TreeBatchScratch &Scratch) {
+        Stages[T].predictBatch(X, Buf, Scratch);
+      },
+      [&](size_t, const double *Buf) {
+        for (size_t I = 0; I < N; ++I)
+          Out[I] += Cfg.LearningRate * Buf[I];
+      });
+}
+
+std::vector<double>
+GradientBoostingRegressor::predictBatch(const data::Dataset &Batch) const {
+  std::vector<double> Out(Batch.size());
+  if (Batch.empty())
+    return Out;
+  predictRawBatch(Batch.featureBlock(), Out.data());
+  return Out;
+}
+
+support::Matrix
+GradientBoostingRegressor::embedBatch(const data::Dataset &Batch) const {
+  return Batch.featureMatrix();
 }

@@ -40,6 +40,14 @@ public:
   void fit(const data::Dataset &Train, support::Rng &R) override;
   void update(const data::Dataset &Merged, support::Rng &R) override;
   std::vector<double> predictProba(const data::Sample &S) const override;
+  /// Batched forward: every stage tree traverses the whole batch level by
+  /// level (ThreadPool fan-out across trees into per-tree prediction
+  /// buffers), then the stage contributions merge in canonical ascending-
+  /// round order — the serial rawScores accumulation — so row I equals
+  /// predictProba(Batch[I]) bit for bit at every thread count.
+  support::Matrix predictProbaBatch(const data::Dataset &Batch) const override;
+  /// Raw-feature embedding packed in one pass.
+  support::Matrix embedBatch(const data::Dataset &Batch) const override;
   int numClasses() const override { return Classes; }
   std::string name() const override { return "GBC"; }
 
@@ -47,6 +55,10 @@ private:
   void boostRounds(const data::Dataset &Data, support::Rng &R,
                    size_t Rounds);
   std::vector<double> rawScores(const std::vector<double> &X) const;
+  /// Batched rawScores: row I of \p Scores = BasePrior + the ascending-
+  /// round stage sums for batch row I (see predictProbaBatch).
+  void rawScoresBatch(const support::FeatureMatrix &X,
+                      support::Matrix &Scores) const;
 
   BoostConfig Cfg;
   int Classes = 0;
@@ -63,11 +75,19 @@ public:
   void fit(const data::Dataset &Train, support::Rng &R) override;
   void update(const data::Dataset &Merged, support::Rng &R) override;
   double predict(const data::Sample &S) const override;
+  /// Batched forward with the same canonical ascending-stage merge as the
+  /// classifier; element I equals predict(Batch[I]) bit for bit.
+  std::vector<double> predictBatch(const data::Dataset &Batch) const override;
+  /// Raw-feature embedding packed in one pass.
+  support::Matrix embedBatch(const data::Dataset &Batch) const override;
   std::string name() const override { return "GBR"; }
 
 private:
   void boostRounds(const data::Dataset &Data, support::Rng &R,
                    size_t Rounds);
+  /// Batched predict over a packed feature block (shared by predictBatch
+  /// and the training-time score maintenance).
+  void predictRawBatch(const support::FeatureMatrix &X, double *Out) const;
 
   BoostConfig Cfg;
   double BaseValue = 0.0;

@@ -6,7 +6,9 @@
 
 #include "ml/Knn.h"
 #include "support/Distance.h"
+#include "support/Kernels.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -23,23 +25,53 @@ void KnnClassifier::fit(const data::Dataset &Train, support::Rng &) {
     Labels.push_back(S.Label);
 }
 
-std::vector<double> KnnClassifier::predictProba(const data::Sample &S) const {
-  assert(!Points.empty() && "classifier not fitted");
-  std::vector<size_t> Near = support::kNearest(Points, S.Features.data(), K);
-  std::vector<double> Votes(static_cast<size_t>(Classes), 0.0);
+void KnnClassifier::voteFromScan(const double *DistSq, double *Out) const {
+  std::vector<size_t> Near =
+      support::selectNearest(DistSq, Points.rows(), K);
+  std::fill(Out, Out + static_cast<size_t>(Classes), 0.0);
   for (size_t Idx : Near) {
-    double D =
-        support::euclidean(Points.rowPtr(Idx), S.Features.data(), Points.dim());
-    Votes[static_cast<size_t>(Labels[Idx])] += 1.0 / (1.0 + D);
+    // sqrt of the scanned squared distance == support::euclidean on the
+    // same pair: one kernel fold feeds both the selection and the weight.
+    double D = std::sqrt(DistSq[Idx]);
+    Out[static_cast<size_t>(Labels[Idx])] += 1.0 / (1.0 + D);
   }
   double Total = 0.0;
-  for (double V : Votes)
-    Total += V;
-  if (Total <= 0.0)
-    return std::vector<double>(Votes.size(), 1.0 / Votes.size());
-  for (double &V : Votes)
-    V /= Total;
+  for (int C = 0; C < Classes; ++C)
+    Total += Out[C];
+  if (Total <= 0.0) {
+    std::fill(Out, Out + static_cast<size_t>(Classes),
+              1.0 / static_cast<double>(Classes));
+    return;
+  }
+  for (int C = 0; C < Classes; ++C)
+    Out[C] /= Total;
+}
+
+std::vector<double> KnnClassifier::predictProba(const data::Sample &S) const {
+  assert(!Points.empty() && "classifier not fitted");
+  std::vector<double> DistSq(Points.rows());
+  support::kernels::l2Sq1xN(S.Features.data(), Points.data(), Points.rows(),
+                            Points.dim(), Points.stride(), DistSq.data());
+  std::vector<double> Votes(static_cast<size_t>(Classes), 0.0);
+  voteFromScan(DistSq.data(), Votes.data());
   return Votes;
+}
+
+support::Matrix
+KnnClassifier::predictProbaBatch(const data::Dataset &Batch) const {
+  assert(!Points.empty() && "classifier not fitted");
+  support::Matrix Out(Batch.size(), static_cast<size_t>(Classes));
+  if (Batch.empty())
+    return Out;
+  support::forEachQueryScan(Points, Batch.featureBlock(),
+                            [&](size_t Q, const double *DistSq) {
+                              voteFromScan(DistSq, Out.rowPtr(Q));
+                            });
+  return Out;
+}
+
+support::Matrix KnnClassifier::embedBatch(const data::Dataset &Batch) const {
+  return Batch.featureMatrix();
 }
 
 void KnnRegressor::fit(const data::Dataset &Train, support::Rng &) {
@@ -58,4 +90,25 @@ double KnnRegressor::predict(const data::Sample &S) const {
   for (size_t Idx : Near)
     Sum += Targets[Idx];
   return Sum / static_cast<double>(Near.size());
+}
+
+std::vector<double>
+KnnRegressor::predictBatch(const data::Dataset &Batch) const {
+  assert(!Points.empty() && "regressor not fitted");
+  std::vector<double> Out(Batch.size());
+  if (Batch.empty())
+    return Out;
+  std::vector<std::vector<size_t>> Near =
+      support::kNearestBatch(Points, Batch.featureBlock(), K);
+  for (size_t I = 0; I < Batch.size(); ++I) {
+    double Sum = 0.0;
+    for (size_t Idx : Near[I])
+      Sum += Targets[Idx];
+    Out[I] = Sum / static_cast<double>(Near[I].size());
+  }
+  return Out;
+}
+
+support::Matrix KnnRegressor::embedBatch(const data::Dataset &Batch) const {
+  return Batch.featureMatrix();
 }

@@ -10,6 +10,13 @@
 /// ground-truth approximation PROM uses for regression nonconformity
 /// (paper Sec. 5.1.1, k = 3).
 ///
+/// Both models carry real batch overrides: the whole query batch is
+/// scanned against the training block with one kernels::l2SqMxN call, and
+/// every neighbour selection goes through support::selectNearest — the
+/// single (distance, ascending index) tie-break rule the per-sample
+/// kNearest path uses — so batched and serial predictions are
+/// bit-identical by construction.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PROM_ML_KNN_H
@@ -29,10 +36,23 @@ public:
 
   void fit(const data::Dataset &Train, support::Rng &R) override;
   std::vector<double> predictProba(const data::Sample &S) const override;
+  /// One l2SqMxN kernel scan of the query batch against the training
+  /// block, then a per-query selectNearest + distance-weighted vote fanned
+  /// out over the ThreadPool. Row I equals predictProba(Batch[I]) bit for
+  /// bit (per-query work is independent; the vote helper is shared).
+  support::Matrix predictProbaBatch(const data::Dataset &Batch) const override;
+  /// The embedding is the raw feature vector; the batched form packs the
+  /// rows directly instead of looping per sample.
+  support::Matrix embedBatch(const data::Dataset &Batch) const override;
   int numClasses() const override { return Classes; }
   std::string name() const override { return "kNN"; }
 
 private:
+  /// Neighbour selection + distance-weighted vote over one query's
+  /// squared-distance scan (writes numClasses() values to \p Out). The
+  /// single scoring path of the serial and batched forwards.
+  void voteFromScan(const double *DistSq, double *Out) const;
+
   size_t K;
   int Classes = 0;
   support::FeatureMatrix Points;
@@ -46,6 +66,11 @@ public:
 
   void fit(const data::Dataset &Train, support::Rng &R) override;
   double predict(const data::Sample &S) const override;
+  /// Batched form over one kNearestBatch scan; element I equals
+  /// predict(Batch[I]) bit for bit.
+  std::vector<double> predictBatch(const data::Dataset &Batch) const override;
+  /// Raw-feature embedding packed in one pass (see KnnClassifier).
+  support::Matrix embedBatch(const data::Dataset &Batch) const override;
   std::string name() const override { return "kNN-Reg"; }
 
 private:

@@ -14,6 +14,16 @@
 /// learning. Classifier and Regressor capture those requirements; every
 /// substrate model in src/ml implements one of them.
 ///
+/// Batch contract: the batched entry points (predictProbaBatch /
+/// predictBatch / embedBatch / predictWithEmbedBatch) must be bit-identical
+/// to their per-sample forms, row for row — the committee's batch/serial
+/// equivalence rests on it. The base-class defaults loop per sample, so
+/// the contract holds trivially for models that don't override; every
+/// shipped model carries a native batch override (matmul batching for the
+/// dense/sequence models, one-kernel-scan k-NN, level-by-level tree
+/// ensembles with a canonical ascending-tree merge), and the parameterized
+/// BatchEquivalenceTest harness enforces the contract for each one.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PROM_ML_MODEL_H

@@ -56,3 +56,38 @@ RandomForestClassifier::predictProba(const data::Sample &S) const {
     V /= static_cast<double>(Trees.size());
   return Sum;
 }
+
+support::Matrix
+RandomForestClassifier::predictProbaBatch(const data::Dataset &Batch) const {
+  assert(!Trees.empty() && "forest not fitted");
+  size_t N = Batch.size();
+  size_t C = static_cast<size_t>(Classes);
+  support::Matrix Out(N, C);
+  if (N == 0)
+    return Out;
+  support::FeatureMatrix X = Batch.featureBlock();
+  double *O = Out.rowPtr(0);
+
+  // Each tree adds its leaf distributions into a zeroed partial (one
+  // exact add per cell); the shared skeleton merges the partials in
+  // ascending tree order — the per-sample path's vote accumulation, at
+  // every thread count.
+  forEachTreeOrdered(
+      Trees.size(), N * C,
+      [&](size_t T, double *Buf, TreeBatchScratch &Scratch) {
+        Trees[T].addProbaBatch(X, Buf, C, Scratch);
+      },
+      [&](size_t, const double *Buf) {
+        for (size_t I = 0; I < N * C; ++I)
+          O[I] += Buf[I];
+      });
+
+  for (size_t I = 0; I < N * C; ++I)
+    O[I] /= static_cast<double>(Trees.size());
+  return Out;
+}
+
+support::Matrix
+RandomForestClassifier::embedBatch(const data::Dataset &Batch) const {
+  return Batch.featureMatrix();
+}

@@ -34,6 +34,14 @@ public:
 
   void fit(const data::Dataset &Train, support::Rng &R) override;
   std::vector<double> predictProba(const data::Sample &S) const override;
+  /// Batched forward: every tree traverses the whole batch level by level
+  /// (ThreadPool fan-out across trees, each into its own partial vote
+  /// buffer), then the partials merge in canonical ascending-tree order on
+  /// one thread — the serial per-sample accumulation order — so row I
+  /// equals predictProba(Batch[I]) bit for bit at every thread count.
+  support::Matrix predictProbaBatch(const data::Dataset &Batch) const override;
+  /// Raw-feature embedding packed in one pass.
+  support::Matrix embedBatch(const data::Dataset &Batch) const override;
   int numClasses() const override { return Classes; }
   std::string name() const override { return "RF"; }
 

@@ -7,6 +7,7 @@
 #include "support/Distance.h"
 #include "support/FeatureMatrix.h"
 #include "support/Kernels.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -46,25 +47,43 @@ double prom::support::cosineDistance(const std::vector<double> &A,
   return 1.0 - Dot / (std::sqrt(NormA) * std::sqrt(NormB));
 }
 
-namespace {
-
-/// Shared selection step of the kNearest overloads: the indices of the K
-/// smallest distances, closest first, ties by ascending index.
-/// nth_element under the lexicographic (distance, index) order finds the
-/// same kept *set* a full sort would, and sorting only the kept prefix
-/// restores the closest-first contract.
-std::vector<size_t> selectNearest(const std::vector<double> &Dist, size_t K) {
-  size_t N = Dist.size();
+std::vector<size_t> prom::support::selectNearest(const double *Dist, size_t N,
+                                                 size_t K) {
   size_t Keep = std::min(K, N);
   if (Keep == 0)
     return {};
-  std::vector<size_t> Order(N);
-  std::iota(Order.begin(), Order.end(), size_t(0));
-  auto Cmp = [&Dist](size_t L, size_t R) {
+  auto Cmp = [Dist](size_t L, size_t R) {
     if (Dist[L] != Dist[R])
       return Dist[L] < Dist[R];
     return L < R;
   };
+
+  // The (distance, index) order is a strict total order (indices are
+  // unique), so the K smallest — and their ascending arrangement — are
+  // uniquely determined; any selection algorithm returns the same answer.
+  // Small K (every k-NN use in this codebase): one pass with a bounded
+  // sorted insertion buffer — O(N) compares against the current worst,
+  // no O(N) index array, no nth_element. Scanning in ascending index
+  // means an incoming equal distance can never displace a kept entry,
+  // which is exactly the ascending-index tie-break.
+  if (Keep <= 64) {
+    std::vector<size_t> Best;
+    Best.reserve(Keep);
+    for (size_t I = 0; I < N; ++I) {
+      if (Best.size() == Keep) {
+        if (!Cmp(I, Best.back()))
+          continue;
+        Best.pop_back();
+      }
+      Best.insert(std::upper_bound(Best.begin(), Best.end(), I, Cmp), I);
+    }
+    return Best;
+  }
+
+  // General path: nth_element under the same order + a sort of the kept
+  // prefix — O(N + K log K).
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), size_t(0));
   if (Keep < N)
     std::nth_element(Order.begin(), Order.begin() + (Keep - 1), Order.end(),
                      Cmp);
@@ -72,8 +91,6 @@ std::vector<size_t> selectNearest(const std::vector<double> &Dist, size_t K) {
   Order.resize(Keep);
   return Order;
 }
-
-} // namespace
 
 std::vector<size_t>
 prom::support::kNearest(const std::vector<std::vector<double>> &Points,
@@ -83,7 +100,7 @@ prom::support::kNearest(const std::vector<std::vector<double>> &Points,
   std::vector<double> Dist(Points.size());
   for (size_t I = 0; I < Points.size(); ++I)
     Dist[I] = kernels::l2Sq(Points[I].data(), Query.data(), Query.size());
-  return selectNearest(Dist, K);
+  return selectNearest(Dist.data(), Dist.size(), K);
 }
 
 std::vector<size_t> prom::support::kNearest(const FeatureMatrix &Points,
@@ -93,5 +110,35 @@ std::vector<size_t> prom::support::kNearest(const FeatureMatrix &Points,
   std::vector<double> Dist(Points.rows());
   kernels::l2Sq1xN(Query, Points.data(), Points.rows(), Points.dim(),
                    Points.stride(), Dist.data());
-  return selectNearest(Dist, K);
+  return selectNearest(Dist.data(), Dist.size(), K);
+}
+
+void prom::support::forEachQueryScan(
+    const FeatureMatrix &Points, const FeatureMatrix &Queries,
+    const std::function<void(size_t, const double *)> &Fn) {
+  if (Points.empty() || Queries.empty())
+    return;
+  assert(Queries.dim() == Points.dim() && "query/point dim mismatch");
+  std::vector<double> Dist(std::min(Queries.rows(), KnnQueryTile) *
+                           Points.rows());
+  for (size_t Q0 = 0; Q0 < Queries.rows(); Q0 += KnnQueryTile) {
+    size_t Tile = std::min(KnnQueryTile, Queries.rows() - Q0);
+    kernels::l2SqMxN(Queries.rowPtr(Q0), Tile, Queries.stride(),
+                     Points.data(), Points.rows(), Points.dim(),
+                     Points.stride(), Dist.data());
+    ThreadPool::global().parallelFor(Tile, [&](size_t Begin, size_t End) {
+      for (size_t Q = Begin; Q < End; ++Q)
+        Fn(Q0 + Q, Dist.data() + Q * Points.rows());
+    });
+  }
+}
+
+std::vector<std::vector<size_t>>
+prom::support::kNearestBatch(const FeatureMatrix &Points,
+                             const FeatureMatrix &Queries, size_t K) {
+  std::vector<std::vector<size_t>> Out(Queries.rows());
+  forEachQueryScan(Points, Queries, [&](size_t Q, const double *DistSq) {
+    Out[Q] = selectNearest(DistSq, Points.rows(), K);
+  });
+  return Out;
 }

@@ -20,6 +20,7 @@
 #define PROM_SUPPORT_DISTANCE_H
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 namespace prom {
@@ -44,12 +45,41 @@ double euclidean(const double *A, const double *B, size_t N);
 double cosineDistance(const std::vector<double> &A,
                       const std::vector<double> &B);
 
+/// The single k-NN tie-break rule: indices of the \p K smallest entries of
+/// \p Dist (length \p N), closest first, equal distances broken by
+/// ascending index. The lexicographic (distance, index) order is a strict
+/// total order, so the answer is unique whatever selection algorithm runs:
+/// small K (<= 64, every k-NN use in this codebase) takes one O(N) pass
+/// with a bounded sorted insertion buffer; larger K falls back to
+/// nth_element + a sort of the kept prefix. Every nearest-neighbour path
+/// (both kNearest overloads, kNearestBatch, and the serial and batched
+/// ml::Knn forwards) routes through this one function, so no two paths can
+/// ever disagree on how duplicate distances rank (regression-pinned by
+/// DistanceTest).
+std::vector<size_t> selectNearest(const double *Dist, size_t N, size_t K);
+
+/// Query-tile height of the batched k-NN scans: forEachQueryScan
+/// processes at most this many queries per l2SqMxN call, bounding the
+/// materialized distance block to KnnQueryTile x points regardless of
+/// deployment batch size. Per-query work is independent, so tiling
+/// cannot change any result.
+constexpr size_t KnnQueryTile = 256;
+
+/// The one batched k-NN scan skeleton: runs \p Fn(Q, DistSqRow) for every
+/// query row of \p Queries, where DistSqRow points at that query's
+/// squared distances to every row of \p Points. Distances come from
+/// query-tiled l2SqMxN kernel scans (see KnnQueryTile) and the per-query
+/// callbacks fan out over the global ThreadPool, so \p Fn must be safe to
+/// call concurrently for distinct queries (it is called exactly once per
+/// query). kNearestBatch and the batched ml::Knn forwards both run on
+/// this skeleton, so the tiling/scan layout cannot diverge between them.
+void forEachQueryScan(const FeatureMatrix &Points,
+                      const FeatureMatrix &Queries,
+                      const std::function<void(size_t, const double *)> &Fn);
+
 /// Indices of the \p K nearest rows of \p Points to \p Query under
-/// Euclidean distance, ordered closest first; ties broken by ascending
-/// index. Returns fewer when Points has < K rows. Selection is
-/// nth_element + a sort of the kept prefix — O(N + K log K) instead of a
-/// partial sort's O(N log K) — under the same (distance, index)
-/// lexicographic order, so the result is unchanged.
+/// Euclidean distance, ordered by the selectNearest() contract. Returns
+/// fewer when Points has < K rows.
 std::vector<size_t> kNearest(const std::vector<std::vector<double>> &Points,
                              const std::vector<double> &Query, size_t K);
 
@@ -58,6 +88,15 @@ std::vector<size_t> kNearest(const std::vector<std::vector<double>> &Points,
 /// contract (and the same bits) as the row-vector overload.
 std::vector<size_t> kNearest(const FeatureMatrix &Points, const double *Query,
                              size_t K);
+
+/// Batched form: element Q equals kNearest(Points, Queries.rowPtr(Q), K)
+/// bit for bit. The distances come from one l2SqMxN kernel scan per batch
+/// and the per-query selections fan out over the global ThreadPool
+/// (per-query work is independent, so the fan-out cannot change any
+/// result). Queries.dim() must equal Points.dim().
+std::vector<std::vector<size_t>>
+kNearestBatch(const FeatureMatrix &Points, const FeatureMatrix &Queries,
+              size_t K);
 
 } // namespace support
 } // namespace prom

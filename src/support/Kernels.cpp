@@ -46,6 +46,38 @@ void kernels::scalar::l2Sq1xN(const double *Query, const double *Rows,
     Out[R] = kernels::scalar::l2Sq(Query, Rows + R * RowStride, Dim);
 }
 
+namespace {
+
+/// Row-tile height of the MxN scan: one tile (RowTile x RowStride doubles)
+/// stays cache-hot across the whole query batch. 128 rows x 64 padded
+/// dims x 8 bytes = 64 KiB worst case for the dims used in this codebase —
+/// L2-resident everywhere we run.
+constexpr size_t ScanRowTile = 128;
+
+/// Shared tiling skeleton of the scalar and dispatched MxN scans; \p Scan
+/// is the 1xN variant to run per (query, tile) pair.
+template <typename ScanFn>
+void tiledMxN(ScanFn Scan, const double *Queries, size_t NumQueries,
+              size_t QueryStride, const double *Rows, size_t NumRows,
+              size_t Dim, size_t RowStride, double *Out) {
+  for (size_t R0 = 0; R0 < NumRows; R0 += ScanRowTile) {
+    size_t R1 = R0 + ScanRowTile < NumRows ? R0 + ScanRowTile : NumRows;
+    for (size_t Q = 0; Q < NumQueries; ++Q)
+      Scan(Queries + Q * QueryStride, Rows + R0 * RowStride, R1 - R0, Dim,
+           RowStride, Out + Q * NumRows + R0);
+  }
+}
+
+} // namespace
+
+void kernels::scalar::l2SqMxN(const double *Queries, size_t NumQueries,
+                              size_t QueryStride, const double *Rows,
+                              size_t NumRows, size_t Dim, size_t RowStride,
+                              double *Out) {
+  tiledMxN(kernels::scalar::l2Sq1xN, Queries, NumQueries, QueryStride, Rows,
+           NumRows, Dim, RowStride, Out);
+}
+
 double kernels::scalar::dot(const double *A, const double *B, size_t N) {
   double Acc[KernelLanes] = {0.0, 0.0, 0.0, 0.0};
   size_t Full = N & ~(KernelLanes - 1);
@@ -156,6 +188,16 @@ double kernels::l2Sq(const double *A, const double *B, size_t N) {
 void kernels::l2Sq1xN(const double *Query, const double *Rows, size_t NumRows,
                       size_t Dim, size_t RowStride, double *Out) {
   table().L2Sq1xN(Query, Rows, NumRows, Dim, RowStride, Out);
+}
+
+void kernels::l2SqMxN(const double *Queries, size_t NumQueries,
+                      size_t QueryStride, const double *Rows, size_t NumRows,
+                      size_t Dim, size_t RowStride, double *Out) {
+  // One dispatch lookup for the whole batch; every (query, tile) pair
+  // reuses the batched 1xN scan, so the per-row folds (and their bits)
+  // are shared with the per-query path by construction.
+  tiledMxN(table().L2Sq1xN, Queries, NumQueries, QueryStride, Rows, NumRows,
+           Dim, RowStride, Out);
 }
 
 double kernels::dot(const double *A, const double *B, size_t N) {

@@ -68,6 +68,20 @@ double l2Sq(const double *A, const double *B, size_t N);
 void l2Sq1xN(const double *Query, const double *Rows, size_t NumRows,
              size_t Dim, size_t RowStride, double *Out);
 
+/// Out[Q * NumRows + R] = l2Sq(Queries + Q * QueryStride,
+/// Rows + R * RowStride, Dim): a whole query batch against a contiguous
+/// block of rows in one call (the batched k-NN scan). The row block is
+/// tiled so one tile of rows stays cache-hot across the entire query
+/// batch — the point set streams from memory once per tile instead of
+/// once per query, which is where the batched k-NN speedup comes from
+/// when the training block outgrows the cache. Tiling only reorders
+/// *which* (query, row) pair is computed when; every pair's fold is
+/// independent, so row Q of Out is bit-identical to l2Sq1xN on query Q
+/// alone.
+void l2SqMxN(const double *Queries, size_t NumQueries, size_t QueryStride,
+             const double *Rows, size_t NumRows, size_t Dim,
+             size_t RowStride, double *Out);
+
 /// Dot product of A and B (length N), canonical lane fold.
 double dot(const double *A, const double *B, size_t N);
 
@@ -103,6 +117,9 @@ namespace scalar {
 double l2Sq(const double *A, const double *B, size_t N);
 void l2Sq1xN(const double *Query, const double *Rows, size_t NumRows,
              size_t Dim, size_t RowStride, double *Out);
+void l2SqMxN(const double *Queries, size_t NumQueries, size_t QueryStride,
+             const double *Rows, size_t NumRows, size_t Dim,
+             size_t RowStride, double *Out);
 double dot(const double *A, const double *B, size_t N);
 void axpy(double *A, const double *B, double Alpha, size_t N);
 void matmul(const double *A, size_t N, size_t K, const double *B, size_t M,

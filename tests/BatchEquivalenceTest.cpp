@@ -4,13 +4,24 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The batched assessment engine must be a pure performance transformation:
-// assessBatch() over a whole deployment set, the delegating per-sample
-// assess(), and the retained assessSerial() reference implementation have
-// to produce bit-identical verdicts — predicted label, drift flag, vote
-// count, and every expert's credibility/confidence compared with exact
-// floating-point equality. The same contract covers the batched model
-// forwards (predictProbaBatch / embedBatch vs their per-sample forms).
+// The batched engine must be a pure performance transformation, enforced at
+// two levels:
+//
+//  * Model level — a parameterized cross-model harness instantiates EVERY
+//    ml::Classifier and ml::Regressor subclass from a central registry and
+//    checks predictProbaBatch / predictBatch / embedBatch /
+//    predictWithEmbedBatch against the per-sample forms with exact
+//    floating-point equality, at batch size 1, odd-tail sizes, and the full
+//    pool. A new model cannot ship with a batch path that diverges from its
+//    per-sample path without extending the registry — and CMake runs this
+//    suite pinned to PROM_THREADS=1 and 4, so the contract holds at every
+//    thread count.
+//
+//  * Committee level — assessBatch() over a whole deployment set, the
+//    delegating per-sample assess(), and the retained assessSerial()
+//    reference implementation have to produce bit-identical verdicts,
+//    including over the tree-ensemble and k-NN experts that exercise the
+//    canonical ascending-tree merge and the shared k-NN tie-break rule.
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,57 +29,29 @@
 #include "data/Split.h"
 #include "ml/AttentionPool.h"
 #include "ml/Gcn.h"
+#include "ml/GradientBoosting.h"
 #include "ml/Knn.h"
 #include "ml/Linear.h"
 #include "ml/Lstm.h"
 #include "ml/Mlp.h"
+#include "ml/RandomForest.h"
 #include "support/Rng.h"
 #include "tests/TestHelpers.h"
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+
 using namespace prom;
+using prom::testing::bits;
+using prom::testing::expectSameRegressionVerdict;
+using prom::testing::expectSameVerdict;
 using prom::testing::gaussianBlobs;
 using prom::testing::linearRegression;
 using prom::testing::tokenBlobs;
 
 namespace {
-
-/// Exact (bitwise) equality of two classification verdicts.
-void expectSameVerdict(const Verdict &A, const Verdict &B, size_t Index) {
-  SCOPED_TRACE("sample " + std::to_string(Index));
-  EXPECT_EQ(A.Predicted, B.Predicted);
-  EXPECT_EQ(A.Drifted, B.Drifted);
-  EXPECT_EQ(A.VotesToFlag, B.VotesToFlag);
-  ASSERT_EQ(A.Probabilities.size(), B.Probabilities.size());
-  for (size_t C = 0; C < A.Probabilities.size(); ++C)
-    EXPECT_EQ(A.Probabilities[C], B.Probabilities[C]);
-  ASSERT_EQ(A.Experts.size(), B.Experts.size());
-  for (size_t E = 0; E < A.Experts.size(); ++E) {
-    EXPECT_EQ(A.Experts[E].Credibility, B.Experts[E].Credibility);
-    EXPECT_EQ(A.Experts[E].Confidence, B.Experts[E].Confidence);
-    EXPECT_EQ(A.Experts[E].PredictionSetSize,
-              B.Experts[E].PredictionSetSize);
-    EXPECT_EQ(A.Experts[E].FlagDrift, B.Experts[E].FlagDrift);
-  }
-}
-
-void expectSameRegressionVerdict(const RegressionVerdict &A,
-                                 const RegressionVerdict &B, size_t Index) {
-  SCOPED_TRACE("sample " + std::to_string(Index));
-  EXPECT_EQ(A.Predicted, B.Predicted);
-  EXPECT_EQ(A.Cluster, B.Cluster);
-  EXPECT_EQ(A.Drifted, B.Drifted);
-  EXPECT_EQ(A.VotesToFlag, B.VotesToFlag);
-  ASSERT_EQ(A.Experts.size(), B.Experts.size());
-  for (size_t E = 0; E < A.Experts.size(); ++E) {
-    EXPECT_EQ(A.Experts[E].Credibility, B.Experts[E].Credibility);
-    EXPECT_EQ(A.Experts[E].Confidence, B.Experts[E].Confidence);
-    EXPECT_EQ(A.Experts[E].PredictionSetSize,
-              B.Experts[E].PredictionSetSize);
-    EXPECT_EQ(A.Experts[E].FlagDrift, B.Experts[E].FlagDrift);
-  }
-}
 
 /// Runs the full three-way equivalence check for one calibrated classifier
 /// over a test set that mixes in-distribution and novel samples.
@@ -123,238 +106,311 @@ data::Dataset graphBlobs(size_t PerClass, support::Rng &R) {
   return Data;
 }
 
-} // namespace
-
 //===----------------------------------------------------------------------===//
-// Batched model forwards vs per-sample forwards
+// The cross-model registry
 //===----------------------------------------------------------------------===//
 
-TEST(BatchForwardTest, MlpMatchesPerSample) {
-  support::Rng R(41);
-  data::Dataset Train = gaussianBlobs(3, 150, 4.0, 0.8, R);
-  ml::MlpClassifier Model;
-  Model.fit(Train, R);
+/// Input modality a model consumes; decides which fixture datasets the
+/// harness builds for it.
+enum class DataKind { Tabular, Graph, Token };
 
-  data::Dataset Test = gaussianBlobs(3, 40, 4.0, 0.8, R);
-  support::Matrix Probs = Model.predictProbaBatch(Test);
-  support::Matrix Embeds = Model.embedBatch(Test);
-  support::Matrix Probs2, Embeds2;
-  Model.predictWithEmbedBatch(Test, Probs2, Embeds2);
-
-  for (size_t I = 0; I < Test.size(); ++I) {
-    std::vector<double> P = Model.predictProba(Test[I]);
-    std::vector<double> E = Model.embed(Test[I]);
-    ASSERT_EQ(P.size(), Probs.cols());
-    ASSERT_EQ(E.size(), Embeds.cols());
-    for (size_t C = 0; C < P.size(); ++C) {
-      EXPECT_EQ(P[C], Probs.at(I, C));
-      EXPECT_EQ(P[C], Probs2.at(I, C));
-    }
-    for (size_t D = 0; D < E.size(); ++D) {
-      EXPECT_EQ(E[D], Embeds.at(I, D));
-      EXPECT_EQ(E[D], Embeds2.at(I, D));
-    }
-  }
-}
-
-TEST(BatchForwardTest, LinearModelsMatchPerSample) {
-  support::Rng R(42);
-  data::Dataset Train = gaussianBlobs(3, 120, 4.0, 0.9, R);
-  ml::LogisticRegression LogReg;
-  LogReg.fit(Train, R);
-  ml::LinearSvm Svm;
-  Svm.fit(Train, R);
-
-  data::Dataset Test = gaussianBlobs(3, 30, 4.0, 0.9, R);
-  support::Matrix LogProbs = LogReg.predictProbaBatch(Test);
-  support::Matrix SvmProbs = Svm.predictProbaBatch(Test);
-  for (size_t I = 0; I < Test.size(); ++I) {
-    std::vector<double> PL = LogReg.predictProba(Test[I]);
-    std::vector<double> PS = Svm.predictProba(Test[I]);
-    for (size_t C = 0; C < PL.size(); ++C) {
-      EXPECT_EQ(PL[C], LogProbs.at(I, C));
-      EXPECT_EQ(PS[C], SvmProbs.at(I, C));
-    }
-  }
-}
-
-TEST(BatchForwardTest, GcnStackedForwardMatchesPerSample) {
-  support::Rng R(43);
-  data::Dataset Train = graphBlobs(60, R);
-  ml::GcnClassifier Model;
-  Model.fit(Train, R);
-
-  data::Dataset Test = graphBlobs(25, R);
-  support::Matrix Probs, Embeds;
-  Model.predictWithEmbedBatch(Test, Probs, Embeds);
-  for (size_t I = 0; I < Test.size(); ++I) {
-    std::vector<double> P = Model.predictProba(Test[I]);
-    std::vector<double> E = Model.embed(Test[I]);
-    for (size_t C = 0; C < P.size(); ++C)
-      EXPECT_EQ(P[C], Probs.at(I, C));
-    for (size_t D = 0; D < E.size(); ++D)
-      EXPECT_EQ(E[D], Embeds.at(I, D));
-  }
-}
-
-TEST(BatchForwardTest, LstmBatchMatchesPerSample) {
-  // The sequence models carry real batch overrides (shared scratch, one
-  // traversal for probabilities + embedding) instead of the inherited
-  // per-sample fallback; the bit-exact contract is the same.
-  support::Rng R(61);
-  ml::LstmConfig Cfg;
-  Cfg.EmbedDim = 8;
-  Cfg.HiddenDim = 8;
-  Cfg.MaxSeqLen = 12;
-  Cfg.Epochs = 2;
-  ml::LstmClassifier Model(Cfg);
-  data::Dataset Train = tokenBlobs(3, 30, 10, R);
-  Model.fit(Train, R);
-
-  data::Dataset Test = tokenBlobs(3, 12, 10, R);
-  support::Matrix Probs = Model.predictProbaBatch(Test);
-  support::Matrix Embeds = Model.embedBatch(Test);
-  support::Matrix Probs2, Embeds2;
-  Model.predictWithEmbedBatch(Test, Probs2, Embeds2);
-
-  for (size_t I = 0; I < Test.size(); ++I) {
-    std::vector<double> P = Model.predictProba(Test[I]);
-    std::vector<double> E = Model.embed(Test[I]);
-    ASSERT_EQ(P.size(), Probs.cols());
-    ASSERT_EQ(E.size(), Embeds.cols());
-    for (size_t C = 0; C < P.size(); ++C) {
-      EXPECT_EQ(P[C], Probs.at(I, C));
-      EXPECT_EQ(P[C], Probs2.at(I, C));
-    }
-    for (size_t D = 0; D < E.size(); ++D) {
-      EXPECT_EQ(E[D], Embeds.at(I, D));
-      EXPECT_EQ(E[D], Embeds2.at(I, D));
-    }
-  }
-}
-
-TEST(BatchForwardTest, BiLstmBatchMatchesPerSample) {
-  support::Rng R(62);
+/// Small training configs keep the sweep fast without changing what is
+/// being proven (the batch/serial contract is config-independent).
+ml::LstmConfig smallLstmConfig(bool Bidirectional) {
   ml::LstmConfig Cfg;
   Cfg.EmbedDim = 6;
   Cfg.HiddenDim = 6;
   Cfg.MaxSeqLen = 10;
   Cfg.Epochs = 2;
-  Cfg.Bidirectional = true;
-  ml::LstmClassifier Model(Cfg);
-  data::Dataset Train = tokenBlobs(2, 30, 9, R);
-  Model.fit(Train, R);
-
-  data::Dataset Test = tokenBlobs(2, 10, 9, R);
-  support::Matrix Probs, Embeds;
-  Model.predictWithEmbedBatch(Test, Probs, Embeds);
-  for (size_t I = 0; I < Test.size(); ++I) {
-    std::vector<double> P = Model.predictProba(Test[I]);
-    std::vector<double> E = Model.embed(Test[I]);
-    for (size_t C = 0; C < P.size(); ++C)
-      EXPECT_EQ(P[C], Probs.at(I, C));
-    for (size_t D = 0; D < E.size(); ++D)
-      EXPECT_EQ(E[D], Embeds.at(I, D));
-  }
+  Cfg.Bidirectional = Bidirectional;
+  return Cfg;
 }
 
-TEST(BatchForwardTest, AttentionClassifierBatchMatchesPerSample) {
-  support::Rng R(63);
+ml::AttentionConfig smallAttentionConfig() {
   ml::AttentionConfig Cfg;
   Cfg.EmbedDim = 8;
   Cfg.AttnDim = 8;
   Cfg.HiddenDim = 10;
-  Cfg.MaxSeqLen = 12;
-  Cfg.Epochs = 3;
-  ml::AttentionClassifier Model(Cfg);
-  data::Dataset Train = tokenBlobs(3, 30, 10, R);
-  Model.fit(Train, R);
-
-  data::Dataset Test = tokenBlobs(3, 12, 10, R);
-  support::Matrix Probs = Model.predictProbaBatch(Test);
-  support::Matrix Embeds = Model.embedBatch(Test);
-  support::Matrix Probs2, Embeds2;
-  Model.predictWithEmbedBatch(Test, Probs2, Embeds2);
-  for (size_t I = 0; I < Test.size(); ++I) {
-    std::vector<double> P = Model.predictProba(Test[I]);
-    std::vector<double> E = Model.embed(Test[I]);
-    for (size_t C = 0; C < P.size(); ++C) {
-      EXPECT_EQ(P[C], Probs.at(I, C));
-      EXPECT_EQ(P[C], Probs2.at(I, C));
-    }
-    for (size_t D = 0; D < E.size(); ++D) {
-      EXPECT_EQ(E[D], Embeds.at(I, D));
-      EXPECT_EQ(E[D], Embeds2.at(I, D));
-    }
-  }
-}
-
-TEST(BatchForwardTest, AttentionRegressorBatchMatchesPerSample) {
-  support::Rng R(64);
-  ml::AttentionConfig Cfg;
-  Cfg.EmbedDim = 8;
-  Cfg.AttnDim = 8;
-  Cfg.HiddenDim = 10;
-  Cfg.MaxSeqLen = 12;
-  Cfg.Epochs = 3;
-  ml::AttentionRegressor Model(Cfg);
-  data::Dataset Train = tokenBlobs(2, 30, 10, R);
-  for (auto &S : Train.samples())
-    S.Target = static_cast<double>(S.Label) + 0.25;
-  Model.fit(Train, R);
-
-  data::Dataset Test = tokenBlobs(2, 12, 10, R);
-  std::vector<double> Preds = Model.predictBatch(Test);
-  support::Matrix Embeds = Model.embedBatch(Test);
-  std::vector<double> Preds2;
-  support::Matrix Embeds2;
-  Model.predictWithEmbedBatch(Test, Preds2, Embeds2);
-  for (size_t I = 0; I < Test.size(); ++I) {
-    EXPECT_EQ(Model.predict(Test[I]), Preds[I]);
-    EXPECT_EQ(Preds[I], Preds2[I]);
-    std::vector<double> E = Model.embed(Test[I]);
-    for (size_t D = 0; D < E.size(); ++D) {
-      EXPECT_EQ(E[D], Embeds.at(I, D));
-      EXPECT_EQ(E[D], Embeds2.at(I, D));
-    }
-  }
-}
-
-TEST(BatchEquivalenceTest, LstmPromCommitteeBitIdentical) {
-  // The committee contract must hold end-to-end over a sequence model's
-  // batched forwards too.
-  support::Rng R(65);
-  ml::LstmConfig Cfg;
-  Cfg.EmbedDim = 8;
-  Cfg.HiddenDim = 8;
   Cfg.MaxSeqLen = 12;
   Cfg.Epochs = 2;
-  ml::LstmClassifier Model(Cfg);
-  data::Dataset Full = tokenBlobs(3, 60, 10, R);
-  auto [Train, Calib] = data::calibrationPartition(Full, R, 0.4);
-  Model.fit(Train, R);
-
-  PromClassifier Prom(Model);
-  Prom.calibrate(Calib);
-  data::Dataset Test = tokenBlobs(3, 15, 10, R);
-  checkClassifierEquivalence(Prom, Test);
+  return Cfg;
 }
 
-TEST(BatchForwardTest, DefaultBatchLoopMatchesPerSample) {
-  // A model without batch overrides goes through the default per-sample
-  // loop; the contract must hold there too.
-  support::Rng R(44);
-  data::Dataset Train = gaussianBlobs(2, 80, 4.0, 0.7, R);
-  ml::KnnClassifier Model(5);
-  Model.fit(Train, R);
-  data::Dataset Test = gaussianBlobs(2, 20, 4.0, 0.7, R);
-  support::Matrix Probs = Model.predictProbaBatch(Test);
-  for (size_t I = 0; I < Test.size(); ++I) {
-    std::vector<double> P = Model.predictProba(Test[I]);
-    for (size_t C = 0; C < P.size(); ++C)
-      EXPECT_EQ(P[C], Probs.at(I, C));
+ml::ForestConfig smallForestConfig() {
+  ml::ForestConfig Cfg;
+  Cfg.NumTrees = 15;
+  Cfg.Tree.MaxDepth = 6;
+  return Cfg;
+}
+
+ml::BoostConfig smallBoostConfig() {
+  ml::BoostConfig Cfg;
+  Cfg.Rounds = 12;
+  return Cfg;
+}
+
+/// A model with NO batch overrides: inherits every Model.h default
+/// per-sample loop (predictProbaBatch / embedBatch / the combined
+/// predictWithEmbedBatch). Registered in the harness so the documented
+/// fallback path of the batch contract keeps equivalence coverage even
+/// though every shipped model now overrides it.
+class FallbackOnlyClassifier : public ml::Classifier {
+public:
+  void fit(const data::Dataset &Train, support::Rng &R) override {
+    Inner.fit(Train, R);
+  }
+  std::vector<double> predictProba(const data::Sample &S) const override {
+    return Inner.predictProba(S);
+  }
+  int numClasses() const override { return Inner.numClasses(); }
+  std::string name() const override { return "fallback-probe"; }
+
+private:
+  ml::KnnClassifier Inner{3};
+};
+
+/// Regressor analogue of FallbackOnlyClassifier.
+class FallbackOnlyRegressor : public ml::Regressor {
+public:
+  void fit(const data::Dataset &Train, support::Rng &R) override {
+    Inner.fit(Train, R);
+  }
+  double predict(const data::Sample &S) const override {
+    return Inner.predict(S);
+  }
+  std::string name() const override { return "fallback-probe-reg"; }
+
+private:
+  ml::KnnRegressor Inner{3};
+};
+
+/// One classifier entry: display name, factory, input modality.
+///
+/// EVERY concrete ml::Classifier must appear here — this registry is what
+/// makes "no model ships without a batch-equivalence check" enforceable.
+struct ClassifierCase {
+  const char *Name;
+  std::function<std::unique_ptr<ml::Classifier>()> Make;
+  DataKind Kind;
+};
+
+const std::vector<ClassifierCase> &classifierCases() {
+  static const std::vector<ClassifierCase> Cases = {
+      {"Mlp", [] { return std::make_unique<ml::MlpClassifier>(); },
+       DataKind::Tabular},
+      {"LogisticRegression",
+       [] { return std::make_unique<ml::LogisticRegression>(); },
+       DataKind::Tabular},
+      {"LinearSvm", [] { return std::make_unique<ml::LinearSvm>(); },
+       DataKind::Tabular},
+      {"Knn", [] { return std::make_unique<ml::KnnClassifier>(5); },
+       DataKind::Tabular},
+      {"RandomForest",
+       [] {
+         return std::make_unique<ml::RandomForestClassifier>(
+             smallForestConfig());
+       },
+       DataKind::Tabular},
+      {"GradientBoosting",
+       [] {
+         return std::make_unique<ml::GradientBoostingClassifier>(
+             smallBoostConfig());
+       },
+       DataKind::Tabular},
+      {"Gcn", [] { return std::make_unique<ml::GcnClassifier>(); },
+       DataKind::Graph},
+      {"Lstm",
+       [] { return std::make_unique<ml::LstmClassifier>(smallLstmConfig(false)); },
+       DataKind::Token},
+      {"BiLstm",
+       [] { return std::make_unique<ml::LstmClassifier>(smallLstmConfig(true)); },
+       DataKind::Token},
+      {"Attention",
+       [] {
+         return std::make_unique<ml::AttentionClassifier>(
+             smallAttentionConfig());
+       },
+       DataKind::Token},
+      {"DefaultFallbackLoops",
+       [] { return std::make_unique<FallbackOnlyClassifier>(); },
+       DataKind::Tabular},
+  };
+  return Cases;
+}
+
+/// One regressor entry; same registry obligation as ClassifierCase.
+struct RegressorCase {
+  const char *Name;
+  std::function<std::unique_ptr<ml::Regressor>()> Make;
+  DataKind Kind;
+};
+
+const std::vector<RegressorCase> &regressorCases() {
+  static const std::vector<RegressorCase> Cases = {
+      {"MlpRegressor", [] { return std::make_unique<ml::MlpRegressor>(); },
+       DataKind::Tabular},
+      {"KnnRegressor", [] { return std::make_unique<ml::KnnRegressor>(5); },
+       DataKind::Tabular},
+      {"GradientBoostingRegressor",
+       [] {
+         return std::make_unique<ml::GradientBoostingRegressor>(
+             smallBoostConfig());
+       },
+       DataKind::Tabular},
+      {"AttentionRegressor",
+       [] {
+         return std::make_unique<ml::AttentionRegressor>(
+             smallAttentionConfig());
+       },
+       DataKind::Token},
+      {"DefaultFallbackLoops",
+       [] { return std::make_unique<FallbackOnlyRegressor>(); },
+       DataKind::Tabular},
+  };
+  return Cases;
+}
+
+/// Training set for one modality.
+data::Dataset makeTrainSet(DataKind Kind, bool ForRegression,
+                           support::Rng &R) {
+  switch (Kind) {
+  case DataKind::Tabular:
+    if (ForRegression)
+      return linearRegression(150, 0.1, R);
+    return gaussianBlobs(3, 60, 4.0, 0.8, R);
+  case DataKind::Graph:
+    return graphBlobs(50, R);
+  case DataKind::Token: {
+    data::Dataset Data = tokenBlobs(3, 25, 10, R);
+    if (ForRegression)
+      for (auto &S : Data.samples())
+        S.Target = static_cast<double>(S.Label) + 0.25;
+    return Data;
+  }
+  }
+  return data::Dataset();
+}
+
+/// Deployment pool for one modality. Deliberately 61 samples: prime, so
+/// every ThreadPool chunking of the full pool has odd tails.
+data::Dataset makeTestPool(DataKind Kind, bool ForRegression,
+                           support::Rng &R) {
+  const size_t PoolSize = 61;
+  data::Dataset Source = makeTrainSet(Kind, ForRegression, R);
+  data::Dataset Pool(Source.name(), Source.numClasses(),
+                     Source.vocabSize());
+  for (size_t I = 0; I < PoolSize; ++I)
+    Pool.add(Source[I % Source.size()]);
+  return Pool;
+}
+
+/// First \p N samples of \p Pool as a batch.
+data::Dataset takePrefix(const data::Dataset &Pool, size_t N) {
+  data::Dataset Out(Pool.name(), Pool.numClasses(), Pool.vocabSize());
+  for (size_t I = 0; I < N; ++I)
+    Out.add(Pool[I]);
+  return Out;
+}
+
+/// Batch sizes swept per model: a single sample, an odd tail smaller than
+/// any chunking threshold, and the full (prime-sized) pool.
+const size_t BatchSizes[] = {1, 7, 61};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Parameterized cross-model harness
+//===----------------------------------------------------------------------===//
+
+class ClassifierBatchEquivalence
+    : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ClassifierBatchEquivalence, BatchMatchesPerSample) {
+  const ClassifierCase &Case = classifierCases()[GetParam()];
+  support::Rng R(9000 + GetParam());
+  data::Dataset Train = makeTrainSet(Case.Kind, /*ForRegression=*/false, R);
+  std::unique_ptr<ml::Classifier> Model = Case.Make();
+  Model->fit(Train, R);
+
+  data::Dataset Pool = makeTestPool(Case.Kind, /*ForRegression=*/false, R);
+  for (size_t BatchSize : BatchSizes) {
+    SCOPED_TRACE("batch size " + std::to_string(BatchSize));
+    data::Dataset Batch = takePrefix(Pool, BatchSize);
+
+    support::Matrix Probs = Model->predictProbaBatch(Batch);
+    support::Matrix Embeds = Model->embedBatch(Batch);
+    support::Matrix Probs2, Embeds2;
+    Model->predictWithEmbedBatch(Batch, Probs2, Embeds2);
+
+    ASSERT_EQ(Probs.rows(), Batch.size());
+    ASSERT_EQ(Embeds.rows(), Batch.size());
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      SCOPED_TRACE("sample " + std::to_string(I));
+      std::vector<double> P = Model->predictProba(Batch[I]);
+      std::vector<double> E = Model->embed(Batch[I]);
+      ASSERT_EQ(P.size(), Probs.cols());
+      ASSERT_EQ(E.size(), Embeds.cols());
+      for (size_t C = 0; C < P.size(); ++C) {
+        EXPECT_EQ(bits(P[C]), bits(Probs.at(I, C)));
+        EXPECT_EQ(bits(P[C]), bits(Probs2.at(I, C)));
+      }
+      for (size_t D = 0; D < E.size(); ++D) {
+        EXPECT_EQ(bits(E[D]), bits(Embeds.at(I, D)));
+        EXPECT_EQ(bits(E[D]), bits(Embeds2.at(I, D)));
+      }
+    }
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ClassifierBatchEquivalence,
+    ::testing::Range(size_t(0), classifierCases().size()),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      return classifierCases()[Info.param].Name;
+    });
+
+class RegressorBatchEquivalence : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RegressorBatchEquivalence, BatchMatchesPerSample) {
+  const RegressorCase &Case = regressorCases()[GetParam()];
+  support::Rng R(9100 + GetParam());
+  data::Dataset Train = makeTrainSet(Case.Kind, /*ForRegression=*/true, R);
+  std::unique_ptr<ml::Regressor> Model = Case.Make();
+  Model->fit(Train, R);
+
+  data::Dataset Pool = makeTestPool(Case.Kind, /*ForRegression=*/true, R);
+  for (size_t BatchSize : BatchSizes) {
+    SCOPED_TRACE("batch size " + std::to_string(BatchSize));
+    data::Dataset Batch = takePrefix(Pool, BatchSize);
+
+    std::vector<double> Preds = Model->predictBatch(Batch);
+    support::Matrix Embeds = Model->embedBatch(Batch);
+    std::vector<double> Preds2;
+    support::Matrix Embeds2;
+    Model->predictWithEmbedBatch(Batch, Preds2, Embeds2);
+
+    ASSERT_EQ(Preds.size(), Batch.size());
+    ASSERT_EQ(Embeds.rows(), Batch.size());
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      SCOPED_TRACE("sample " + std::to_string(I));
+      EXPECT_EQ(bits(Model->predict(Batch[I])), bits(Preds[I]));
+      EXPECT_EQ(bits(Preds[I]), bits(Preds2[I]));
+      std::vector<double> E = Model->embed(Batch[I]);
+      ASSERT_EQ(E.size(), Embeds.cols());
+      for (size_t D = 0; D < E.size(); ++D) {
+        EXPECT_EQ(bits(E[D]), bits(Embeds.at(I, D)));
+        EXPECT_EQ(bits(E[D]), bits(Embeds2.at(I, D)));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, RegressorBatchEquivalence,
+    ::testing::Range(size_t(0), regressorCases().size()),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      return regressorCases()[Info.param].Name;
+    });
 
 //===----------------------------------------------------------------------===//
 // Classifier committee equivalence
@@ -370,6 +426,47 @@ TEST(BatchEquivalenceTest, MlpClassifierBitIdentical) {
   PromClassifier Prom(Model);
   Prom.calibrate(Calib);
   checkClassifierEquivalence(Prom, mixedTestSet(120, R));
+}
+
+TEST(BatchEquivalenceTest, KnnClassifierCommitteeBitIdentical) {
+  // The batched kNN forward (one l2SqMxN scan + shared tie-break) must
+  // stay bit-identical through the whole committee, drift flags included.
+  support::Rng R(53);
+  data::Dataset Full = gaussianBlobs(3, 260, 4.0, 0.8, R);
+  auto [Train, Calib] = data::calibrationPartition(Full, R, 0.4);
+  ml::KnnClassifier Model(5);
+  Model.fit(Train, R);
+
+  PromClassifier Prom(Model);
+  Prom.calibrate(Calib);
+  checkClassifierEquivalence(Prom, mixedTestSet(100, R));
+}
+
+TEST(BatchEquivalenceTest, RandomForestCommitteeBitIdentical) {
+  // Exercises the canonical ascending-tree vote merge under the
+  // ThreadPool fan-out across trees.
+  support::Rng R(54);
+  data::Dataset Full = gaussianBlobs(3, 260, 4.0, 0.8, R);
+  auto [Train, Calib] = data::calibrationPartition(Full, R, 0.4);
+  ml::RandomForestClassifier Model(smallForestConfig());
+  Model.fit(Train, R);
+
+  PromClassifier Prom(Model);
+  Prom.calibrate(Calib);
+  checkClassifierEquivalence(Prom, mixedTestSet(100, R));
+}
+
+TEST(BatchEquivalenceTest, GradientBoostingCommitteeBitIdentical) {
+  // Exercises the ascending-round stage merge of the boosted ensemble.
+  support::Rng R(55);
+  data::Dataset Full = gaussianBlobs(3, 260, 4.0, 0.8, R);
+  auto [Train, Calib] = data::calibrationPartition(Full, R, 0.4);
+  ml::GradientBoostingClassifier Model(smallBoostConfig());
+  Model.fit(Train, R);
+
+  PromClassifier Prom(Model);
+  Prom.calibrate(Calib);
+  checkClassifierEquivalence(Prom, mixedTestSet(100, R));
 }
 
 TEST(BatchEquivalenceTest, SubsetSelectionRegimeBitIdentical) {
@@ -436,6 +533,21 @@ TEST(BatchEquivalenceTest, GcnClassifierBitIdentical) {
   checkClassifierEquivalence(Prom, Test);
 }
 
+TEST(BatchEquivalenceTest, LstmPromCommitteeBitIdentical) {
+  // The committee contract must hold end-to-end over a sequence model's
+  // batched forwards too.
+  support::Rng R(65);
+  ml::LstmClassifier Model(smallLstmConfig(false));
+  data::Dataset Full = tokenBlobs(3, 60, 10, R);
+  auto [Train, Calib] = data::calibrationPartition(Full, R, 0.4);
+  Model.fit(Train, R);
+
+  PromClassifier Prom(Model);
+  Prom.calibrate(Calib);
+  data::Dataset Test = tokenBlobs(3, 15, 10, R);
+  checkClassifierEquivalence(Prom, Test);
+}
+
 //===----------------------------------------------------------------------===//
 // Regressor committee equivalence
 //===----------------------------------------------------------------------===//
@@ -472,11 +584,27 @@ TEST(BatchEquivalenceTest, MlpRegressorBitIdentical) {
   }
 }
 
-TEST(BatchEquivalenceTest, KnnRegressorDefaultBatchPathBitIdentical) {
+TEST(BatchEquivalenceTest, KnnRegressorBatchPathBitIdentical) {
   support::Rng R(51);
   data::Dataset Train = linearRegression(300, 0.1, R);
   data::Dataset Calib = linearRegression(120, 0.1, R);
   ml::KnnRegressor Model(5);
+  Model.fit(Train, R);
+
+  PromRegressor Prom(Model);
+  Prom.calibrate(Calib, R);
+  data::Dataset Test = linearRegression(80, 0.1, R);
+
+  std::vector<RegressionVerdict> Batched = Prom.assessBatch(Test);
+  for (size_t I = 0; I < Test.size(); ++I)
+    expectSameRegressionVerdict(Prom.assessSerial(Test[I]), Batched[I], I);
+}
+
+TEST(BatchEquivalenceTest, GbrRegressorCommitteeBitIdentical) {
+  support::Rng R(56);
+  data::Dataset Train = linearRegression(300, 0.1, R);
+  data::Dataset Calib = linearRegression(120, 0.1, R);
+  ml::GradientBoostingRegressor Model(smallBoostConfig());
   Model.fit(Train, R);
 
   PromRegressor Prom(Model);

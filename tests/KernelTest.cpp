@@ -129,6 +129,48 @@ TEST(KernelTest, BatchedScanMatchesSingleRowCalls) {
   }
 }
 
+TEST(KernelTest, BatchedMxNScanMatchesPerQueryScans) {
+  // The whole-batch scan behind the batched k-NN forwards: row Q of the
+  // output must be bit-identical to a 1xN scan of query Q alone (and to
+  // the scalar reference), for odd query counts and lengths.
+  Rng R(19);
+  for (size_t Dim : {1u, 4u, 7u, 33u}) {
+    FeatureMatrix Points(29, Dim);
+    for (size_t I = 0; I < Points.rows(); ++I) {
+      std::vector<double> Row = randomVec(Dim, R);
+      Points.setRow(I, Row.data());
+    }
+    FeatureMatrix Queries(11, Dim);
+    for (size_t Q = 0; Q < Queries.rows(); ++Q) {
+      std::vector<double> Row = randomVec(Dim, R);
+      Queries.setRow(Q, Row.data());
+    }
+
+    std::vector<double> Out(Queries.rows() * Points.rows());
+    kernels::l2SqMxN(Queries.data(), Queries.rows(), Queries.stride(),
+                     Points.data(), Points.rows(), Points.dim(),
+                     Points.stride(), Out.data());
+    std::vector<double> ScalarOut(Out.size());
+    kernels::scalar::l2SqMxN(Queries.data(), Queries.rows(),
+                             Queries.stride(), Points.data(), Points.rows(),
+                             Points.dim(), Points.stride(),
+                             ScalarOut.data());
+
+    std::vector<double> RowOut(Points.rows());
+    for (size_t Q = 0; Q < Queries.rows(); ++Q) {
+      kernels::l2Sq1xN(Queries.rowPtr(Q), Points.data(), Points.rows(),
+                       Points.dim(), Points.stride(), RowOut.data());
+      for (size_t I = 0; I < Points.rows(); ++I) {
+        expectSameBits(Out[Q * Points.rows() + I], RowOut[I],
+                       "l2SqMxN vs l2Sq1xN");
+        expectSameBits(Out[Q * Points.rows() + I],
+                       ScalarOut[Q * Points.rows() + I],
+                       "l2SqMxN vs scalar");
+      }
+    }
+  }
+}
+
 TEST(KernelTest, MatmulMatchesScalarIncludingZeroSkip) {
   Rng R(16);
   // Shapes straddling the lane width and the K tile, with ~40% exact

@@ -255,6 +255,90 @@ TEST(KnnTest, RegressorAveragesNeighbours) {
   EXPECT_NEAR(Model.predict(Probe), 5.0, 1.01);
 }
 
+TEST(KnnTest, DuplicateDistanceTieBreakSharedBySerialAndBatch) {
+  // Regression test for the one-tie-break-rule contract: with many
+  // training points at exactly the same distance from a query, the serial
+  // kNearest-backed forward and the batched l2SqMxN forward must pick the
+  // same neighbours (ascending index among ties) and hence emit
+  // bit-identical probabilities.
+  support::Rng R(71);
+  data::Dataset Train("ties", 2);
+  for (int I = 0; I < 12; ++I) {
+    data::Sample S;
+    // Six points at (1, 0), six at (-1, 0): every query on the y-axis is
+    // equidistant from all twelve.
+    S.Features = {I < 6 ? 1.0 : -1.0, 0.0};
+    S.Label = I % 2;
+    Train.add(std::move(S));
+  }
+  KnnClassifier Model(5);
+  Model.fit(Train, R);
+
+  data::Dataset Test("tie-queries", 2);
+  for (int I = 0; I < 4; ++I) {
+    data::Sample S;
+    S.Features = {0.0, static_cast<double>(I)};
+    S.Label = 0;
+    Test.add(std::move(S));
+  }
+  support::Matrix Batched = Model.predictProbaBatch(Test);
+  for (size_t I = 0; I < Test.size(); ++I) {
+    std::vector<double> Serial = Model.predictProba(Test[I]);
+    for (size_t C = 0; C < Serial.size(); ++C)
+      EXPECT_EQ(prom::testing::bits(Serial[C]),
+                prom::testing::bits(Batched.at(I, C)))
+          << "query " << I << " class " << C;
+  }
+  // The ascending-index rule makes the outcome fully deterministic: the 5
+  // nearest of 12 equidistant points are indices 0-4 (labels 0,1,0,1,0 at
+  // equal weights), so class 0 gets 3/5 of the vote.
+  EXPECT_DOUBLE_EQ(Batched.at(0, 0), 0.6);
+  EXPECT_DOUBLE_EQ(Batched.at(0, 1), 0.4);
+}
+
+TEST(TreeTest, BatchedTraversalMatchesPerSample) {
+  // The level-by-level batched descent must visit the same leaves as the
+  // per-sample descent for both tree kinds, including samples that sit
+  // exactly on split thresholds.
+  support::Rng R(72);
+  std::vector<std::vector<double>> X;
+  std::vector<double> YReg;
+  std::vector<int> YCls;
+  std::vector<size_t> Idx;
+  for (int I = 0; I < 120; ++I) {
+    X.push_back({R.uniform(0.0, 1.0), R.uniform(0.0, 1.0)});
+    YReg.push_back(X.back()[0] < 0.5 ? 1.0 : 5.0);
+    YCls.push_back(X.back()[1] < 0.5 ? 0 : 1);
+    Idx.push_back(static_cast<size_t>(I));
+  }
+  RegressionTree RTree;
+  RTree.fit(X, YReg, Idx, TreeConfig(), R);
+  ClassificationTree CTree;
+  CTree.fit(X, YCls, 2, Idx, TreeConfig(), R);
+
+  std::vector<std::vector<double>> Queries = X;
+  Queries.push_back({0.5, 0.5}); // On-threshold probes.
+  Queries.push_back({0.0, 1.0});
+  support::FeatureMatrix Block = support::FeatureMatrix::fromRows(Queries);
+
+  TreeBatchScratch Scratch;
+  std::vector<double> RegOut(Queries.size());
+  RTree.predictBatch(Block, RegOut.data(), Scratch);
+  std::vector<double> ClsAccum(Queries.size() * 2, 0.0);
+  CTree.addProbaBatch(Block, ClsAccum.data(), 2, Scratch);
+
+  for (size_t I = 0; I < Queries.size(); ++I) {
+    EXPECT_EQ(prom::testing::bits(RTree.predict(Queries[I])),
+              prom::testing::bits(RegOut[I]))
+        << "query " << I;
+    const std::vector<double> &P = CTree.predictProba(Queries[I]);
+    EXPECT_EQ(prom::testing::bits(P[0]),
+              prom::testing::bits(ClsAccum[I * 2 + 0]));
+    EXPECT_EQ(prom::testing::bits(P[1]),
+              prom::testing::bits(ClsAccum[I * 2 + 1]));
+  }
+}
+
 TEST(TreeTest, RegressionTreeFitsStep) {
   support::Rng R(5);
   std::vector<std::vector<double>> X;

@@ -358,6 +358,33 @@ TEST(DistanceTest, KNearestBreaksDistanceTiesByAscendingIndex) {
   // K = 0 on a non-empty set is well-defined: empty selection.
   EXPECT_TRUE(kNearest(Points, {0.0, 0.0}, 0).empty());
   EXPECT_TRUE(kNearest(Flat, Query.data(), 0).empty());
+
+  // The batched overload must make the SAME selection per query — the one
+  // tie-break rule (distance, then ascending index) is selectNearest(),
+  // shared by every path. Regression test: kNearest and the batched k-NN
+  // scan may never disagree on duplicate distances.
+  std::vector<std::vector<double>> QueryRows = {
+      {0.0, 0.0}, {0.0, 0.0}, {2.0, 0.0}};
+  FeatureMatrix Queries = FeatureMatrix::fromRows(QueryRows);
+  std::vector<std::vector<size_t>> Batched = kNearestBatch(Flat, Queries, 4);
+  ASSERT_EQ(Batched.size(), 3u);
+  EXPECT_EQ(Batched[0], Near);
+  EXPECT_EQ(Batched[1], Near);
+  EXPECT_EQ(Batched[2], kNearest(Flat, QueryRows[2].data(), 4));
+}
+
+TEST(DistanceTest, SelectNearestIsTheSharedTieBreakRule) {
+  // Pin the rule itself: equal values rank by ascending index, the kept
+  // prefix is sorted closest-first, and K clamps to N.
+  std::vector<double> Dist = {2.0, 1.0, 2.0, 1.0, 0.5};
+  std::vector<size_t> Sel = selectNearest(Dist.data(), Dist.size(), 4);
+  ASSERT_EQ(Sel.size(), 4u);
+  EXPECT_EQ(Sel[0], 4u); // 0.5
+  EXPECT_EQ(Sel[1], 1u); // 1.0, lower index first.
+  EXPECT_EQ(Sel[2], 3u); // 1.0
+  EXPECT_EQ(Sel[3], 0u); // 2.0, lower index wins the boundary tie.
+  EXPECT_EQ(selectNearest(Dist.data(), Dist.size(), 99).size(), 5u);
+  EXPECT_TRUE(selectNearest(Dist.data(), 0, 3).empty());
 }
 
 //===----------------------------------------------------------------------===//

@@ -42,6 +42,30 @@ inline void expectSameVerdict(const Verdict &A, const Verdict &B,
   EXPECT_EQ(A.Predicted, B.Predicted);
   EXPECT_EQ(A.Drifted, B.Drifted);
   EXPECT_EQ(A.VotesToFlag, B.VotesToFlag);
+  ASSERT_EQ(A.Probabilities.size(), B.Probabilities.size());
+  for (size_t C = 0; C < A.Probabilities.size(); ++C)
+    EXPECT_EQ(bits(A.Probabilities[C]), bits(B.Probabilities[C]));
+  ASSERT_EQ(A.Experts.size(), B.Experts.size());
+  for (size_t E = 0; E < A.Experts.size(); ++E) {
+    EXPECT_EQ(bits(A.Experts[E].Credibility),
+              bits(B.Experts[E].Credibility));
+    EXPECT_EQ(bits(A.Experts[E].Confidence), bits(B.Experts[E].Confidence));
+    EXPECT_EQ(A.Experts[E].PredictionSetSize,
+              B.Experts[E].PredictionSetSize);
+    EXPECT_EQ(A.Experts[E].FlagDrift, B.Experts[E].FlagDrift);
+  }
+}
+
+/// Regression-committee analogue of expectSameVerdict, shared for the
+/// same reason: extend HERE when RegressionVerdict grows a field.
+inline void expectSameRegressionVerdict(const RegressionVerdict &A,
+                                        const RegressionVerdict &B,
+                                        size_t Index) {
+  SCOPED_TRACE("sample " + std::to_string(Index));
+  EXPECT_EQ(bits(A.Predicted), bits(B.Predicted));
+  EXPECT_EQ(A.Cluster, B.Cluster);
+  EXPECT_EQ(A.Drifted, B.Drifted);
+  EXPECT_EQ(A.VotesToFlag, B.VotesToFlag);
   ASSERT_EQ(A.Experts.size(), B.Experts.size());
   for (size_t E = 0; E < A.Experts.size(); ++E) {
     EXPECT_EQ(bits(A.Experts[E].Credibility),
