@@ -13,7 +13,11 @@
 //    (b) the scalar lane-fold kernel on the flat FeatureMatrix block and
 //    (c) the dispatched (AVX2 when available) kernel on the same block;
 //  * the blocked matmul behind the batched model forwards, scalar kernel
-//    vs dispatched kernel.
+//    vs dispatched kernel;
+//  * the lossless cluster-pruned k-NN (support/ClusterIndex) against the
+//    exact flat scan at 10^5 and 10^6 rows, plus a sweep over smaller row
+//    counts that records the crossover point where pruning starts to win.
+//    Both paths are verified bit-identical before any timing.
 //
 // Emits human-readable rows plus one JSON result line per metric (same
 // schema as the other benches; CI greps '^{' into BENCH_kernel_bench.json).
@@ -21,14 +25,19 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/ClusterIndex.h"
+#include "support/Distance.h"
 #include "support/FeatureMatrix.h"
 #include "support/Kernels.h"
 #include "support/Rng.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 using namespace prom;
@@ -164,6 +173,176 @@ void matmulBench(size_t N, size_t K, size_t M, double MinMillis, Rng &R) {
   jsonResult(Tag + "_speedup", DispatchRate / ScalarRate);
 }
 
+//===----------------------------------------------------------------------===//
+// Cluster-pruned k-NN vs exact flat scan
+//===----------------------------------------------------------------------===//
+
+/// Blob-structured rows: \p NumBlobs Gaussian clusters with unit spread
+/// around centers drawn at scale 8 — the shape calibration embeddings take
+/// in practice (per-class clusters), and the regime the coarse quantizer
+/// is built for. Queries are drawn near the same centers.
+FeatureMatrix makeBlobRows(size_t N, size_t Dim, size_t NumBlobs, Rng &R) {
+  std::vector<double> Centers(NumBlobs * Dim);
+  for (double &V : Centers)
+    V = R.gaussian(0.0, 8.0);
+  FeatureMatrix Rows;
+  Rows.reset(N, Dim);
+  std::vector<double> Row(Dim);
+  for (size_t I = 0; I < N; ++I) {
+    const double *C = Centers.data() + (I % NumBlobs) * Dim;
+    for (size_t D = 0; D < Dim; ++D)
+      Row[D] = C[D] + R.gaussian(0.0, 1.0);
+    Rows.setRow(I, Row.data());
+  }
+  return Rows;
+}
+
+struct ClusterBenchResult {
+  double ExactUs = 0.0;       ///< Exact scan+select, us per query.
+  double PrunedUs = 0.0;      ///< nearestPruned(), us per query.
+  double BuildSec = 0.0;      ///< One-time index build.
+  double ListsFraction = 1.0; ///< Mean lists scanned / lists total.
+  double RowsFraction = 1.0;  ///< Mean rows scanned / rows total.
+};
+
+/// Times the exact flat scan (l2Sq1xN + selectNearest) against
+/// ClusterIndex::nearestPruned on the same blob-structured rows, after
+/// verifying the two return bit-identical (distSq, id) pairs per query.
+ClusterBenchResult clusterKnnBench(size_t N, size_t Dim, size_t Centroids,
+                                   size_t K, double MinMillis, Rng &R) {
+  const size_t NumBlobs = 64;
+  const size_t NumQueries = 8;
+  FeatureMatrix Rows = makeBlobRows(N, Dim, NumBlobs, R);
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point B0 = Clock::now();
+  ClusterIndex Index;
+  Index.build(Rows, 0, N, Centroids, /*Seed=*/20250301ull);
+  ClusterBenchResult Res;
+  Res.BuildSec =
+      std::chrono::duration<double>(Clock::now() - B0).count();
+
+  std::vector<std::vector<double>> Queries(NumQueries,
+                                           std::vector<double>(Dim));
+  for (auto &Q : Queries) {
+    const double *Base = Rows.rowPtr(R.bounded(N));
+    for (size_t D = 0; D < Dim; ++D)
+      Q[D] = Base[D] + R.gaussian(0.0, 0.5);
+  }
+
+  // Losslessness gate: timing a wrong answer would be meaningless.
+  std::vector<double> DistSq(N);
+  double ListsFrac = 0.0, RowsFrac = 0.0;
+  for (const std::vector<double> &Q : Queries) {
+    kernels::l2Sq1xN(Q.data(), Rows.data(), N, Dim, Rows.stride(),
+                     DistSq.data());
+    std::vector<size_t> Exact = selectNearest(DistSq.data(), N, K);
+    ClusterScanStats Stats;
+    std::vector<std::pair<double, uint32_t>> Pruned =
+        Index.nearestPruned(Q.data(), K, &Stats);
+    if (Pruned.size() != Exact.size()) {
+      std::fprintf(stderr, "FATAL: pruned k-NN size mismatch at N=%zu\n", N);
+      std::exit(1);
+    }
+    for (size_t I = 0; I < Exact.size(); ++I) {
+      if (Pruned[I].second != Exact[I] ||
+          Pruned[I].first != DistSq[Exact[I]]) {
+        std::fprintf(stderr,
+                     "FATAL: pruned k-NN diverges from the exact scan at "
+                     "N=%zu rank %zu\n",
+                     N, I);
+        std::exit(1);
+      }
+    }
+    ListsFrac += static_cast<double>(Stats.ListsScanned) /
+                 static_cast<double>(Stats.ListsTotal);
+    RowsFrac += static_cast<double>(Stats.RowsScanned) /
+                static_cast<double>(Stats.RowsTotal);
+  }
+  Res.ListsFraction = ListsFrac / static_cast<double>(NumQueries);
+  Res.RowsFraction = RowsFrac / static_cast<double>(NumQueries);
+
+  // Each body runs the whole query set; best-of per-query time over the
+  // MinMillis budget.
+  auto BestPerQueryUs = [&](auto &&Body) {
+    double Best = 1e300, SpentMs = 0.0;
+    do {
+      Clock::time_point T0 = Clock::now();
+      SinkAccum += Body();
+      double Ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - T0)
+              .count();
+      SpentMs += Ms;
+      Best = std::min(Best, Ms * 1e3 / static_cast<double>(NumQueries));
+    } while (SpentMs < MinMillis);
+    return Best;
+  };
+
+  Res.ExactUs = BestPerQueryUs([&] {
+    double Fold = 0.0;
+    for (const std::vector<double> &Q : Queries) {
+      kernels::l2Sq1xN(Q.data(), Rows.data(), N, Dim, Rows.stride(),
+                       DistSq.data());
+      Fold += DistSq[selectNearest(DistSq.data(), N, K).front()];
+    }
+    return Fold;
+  });
+  Res.PrunedUs = BestPerQueryUs([&] {
+    double Fold = 0.0;
+    for (const std::vector<double> &Q : Queries)
+      Fold += Index.nearestPruned(Q.data(), K).front().first;
+    return Fold;
+  });
+  return Res;
+}
+
+/// The two store-scale configurations (full JSON) plus the crossover sweep
+/// over smaller row counts (one summary metric).
+void clusterScanStudy(double MinMillis, Rng &R) {
+  const size_t Dim = 32; // Embedding-sized rows.
+  const size_t K = 16;
+
+  std::printf("\ncluster-pruned k-NN vs exact scan (dim=%zu, k=%zu, "
+              "blob-structured rows)\n",
+              Dim, K);
+  for (size_t N : {100000u, 1000000u}) {
+    // Auto centroid count (~sqrt N) except at 10^6, where 512 caps the
+    // one-time build cost while keeping lists far below the scan budget.
+    size_t Centroids = N >= 500000 ? 512 : 0;
+    ClusterBenchResult Res = clusterKnnBench(N, Dim, Centroids, K,
+                                             MinMillis, R);
+    std::printf("  N=%-8zu: exact %9.1f us/query | pruned %8.1f us/query | "
+                "speedup %5.2fx | lists scanned %4.1f%% | rows scanned "
+                "%4.1f%% | build %.2fs\n",
+                N, Res.ExactUs, Res.PrunedUs, Res.ExactUs / Res.PrunedUs,
+                100.0 * Res.ListsFraction, 100.0 * Res.RowsFraction,
+                Res.BuildSec);
+    std::string Tag = "cluster_scan_n" + std::to_string(N);
+    jsonResult(Tag + "_exact_us_per_query", Res.ExactUs);
+    jsonResult(Tag + "_pruned_us_per_query", Res.PrunedUs);
+    jsonResult(Tag + "_speedup", Res.ExactUs / Res.PrunedUs);
+    jsonResult(Tag + "_lists_scanned_fraction", Res.ListsFraction);
+    jsonResult(Tag + "_rows_scanned_fraction", Res.RowsFraction);
+    jsonResult(Tag + "_index_build_s", Res.BuildSec);
+  }
+
+  // Crossover sweep: the smallest row count where the pruned scan beats
+  // the exact one — the number ClusterIndexMinEntries should sit past.
+  size_t Crossover = 0;
+  for (size_t N : {1000u, 2000u, 4000u, 8000u, 16000u, 32000u, 64000u}) {
+    ClusterBenchResult Res =
+        clusterKnnBench(N, Dim, /*Centroids=*/0, K,
+                        std::min(MinMillis, 40.0), R);
+    std::printf("  N=%-8zu: exact %9.1f us/query | pruned %8.1f us/query | "
+                "speedup %5.2fx\n",
+                N, Res.ExactUs, Res.PrunedUs, Res.ExactUs / Res.PrunedUs);
+    if (Crossover == 0 && Res.PrunedUs < Res.ExactUs)
+      Crossover = N;
+  }
+  std::printf("  crossover (first pruned win): N=%zu\n", Crossover);
+  jsonResult("cluster_knn_crossover_n", static_cast<double>(Crossover));
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -185,6 +364,8 @@ int main(int argc, char **argv) {
   // forwards (batch x in x out).
   matmulBench(512, 64, 64, MinMillis, R);
   matmulBench(512, 64, 8, MinMillis, R);
+
+  clusterScanStudy(MinMillis, R);
 
   if (SinkAccum == 12345.6789) // Never true; keeps the sink observable.
     std::printf("sink %f\n", SinkAccum);

@@ -36,7 +36,15 @@
 // sample batched or not — while the end-to-end batch-vs-reference number
 // is what deployment actually sees.
 //
-// Part 3 (google-benchmark): the paper's original microbenchmarks —
+// Part 3 (custom timing, JSON): the large-store cluster-pruned scan study.
+// A CalibrationStore at 10^5 and 10^6 entries serves selectForAssessment()
+// both ways — the exact flat scan (index policy disabled) and the lossless
+// cluster-pruned scan (support/ClusterIndex) — across selection fractions
+// 50%/10%/2%. Selections are verified bit-identical (mask + weights) per
+// query before timing; the JSON rows record both latencies, the speedup,
+// the scanned-lists/rows fractions, and the one-time index build cost.
+//
+// Part 4 (google-benchmark): the paper's original microbenchmarks —
 // committee assessment at increasing calibration sizes, bare model
 // inference, single-expert p-values, offline calibration.
 //
@@ -47,6 +55,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
+#include "core/Calibration.h"
+#include "core/CalibrationStore.h"
+#include "core/PromConfig.h"
 #include "data/Split.h"
 #include "ml/GradientBoosting.h"
 #include "ml/Knn.h"
@@ -59,6 +70,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <memory>
@@ -345,6 +357,152 @@ void runTreeKnnExpertStudy() {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Large-store cluster-pruned scan study
+//===----------------------------------------------------------------------===//
+
+/// One exact selection's outputs, captured for the bit-identity check.
+struct SelectionSnapshot {
+  size_t Keep = 0;
+  bool SelectedAll = false;
+  std::vector<uint8_t> Mask;
+  std::vector<double> Weights;
+};
+
+/// Exact-vs-pruned selectForAssessment() on a store of \p N blob-structured
+/// entries, across selection fractions 50%/10%/2%. The pruned selections
+/// are verified bit-identical to the exact ones per query before timing.
+void runStoreScaleStudy(size_t N) {
+  const size_t Dim = 32;
+  const size_t NumBlobs = 64;
+  const size_t NumQueries = 16;
+  const double Fractions[] = {0.5, 0.1, 0.02};
+  support::Rng R(BenchSeed + 9);
+
+  std::vector<double> Centers(NumBlobs * Dim);
+  for (double &V : Centers)
+    V = R.gaussian(0.0, 8.0);
+
+  CalibrationStore Store;
+  Store.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    CalibrationEntry E;
+    E.Embed.resize(Dim);
+    const double *C = Centers.data() + (I % NumBlobs) * Dim;
+    for (size_t D = 0; D < Dim; ++D)
+      E.Embed[D] = C[D] + R.gaussian(0.0, 1.0);
+    E.Label = static_cast<int>(I % 6);
+    E.Scores = {R.uniform(0.0, 1.0), R.uniform(0.0, 1.0)};
+    Store.add(std::move(E));
+  }
+  Store.finalize(/*NumShards=*/1);
+
+  std::vector<std::vector<double>> Queries(NumQueries,
+                                           std::vector<double>(Dim));
+  for (auto &Q : Queries) {
+    const double *C = Centers.data() + R.bounded(NumBlobs) * Dim;
+    for (size_t D = 0; D < Dim; ++D)
+      Q[D] = C[D] + R.gaussian(0.0, 1.0);
+  }
+
+  auto Snapshot = [&](const PromConfig &Cfg, std::vector<SelectionSnapshot> &Out) {
+    AssessmentScratch S;
+    Out.clear();
+    for (const auto &Q : Queries) {
+      Store.selectForAssessment(Q.data(), Cfg, S);
+      Out.push_back({S.Keep, S.SelectedAll, S.SelectedMask, S.WeightByEntry});
+    }
+  };
+  auto TimePerQueryUs = [&](const PromConfig &Cfg) {
+    AssessmentScratch S;
+    double Best = 1e300;
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      auto T0 = std::chrono::steady_clock::now();
+      for (const auto &Q : Queries) {
+        Store.selectForAssessment(Q.data(), Cfg, S);
+        benchmark::DoNotOptimize(S.Keep);
+      }
+      Best = std::min(Best, secondsSince(T0));
+    }
+    return 1e6 * Best / static_cast<double>(NumQueries);
+  };
+
+  // Exact pass first: the store keeps the default (disabled) index policy
+  // until every fraction's reference selections and timings are in.
+  const size_t NumFractions = sizeof(Fractions) / sizeof(Fractions[0]);
+  std::vector<std::vector<SelectionSnapshot>> Reference(NumFractions);
+  std::vector<double> ExactUs(NumFractions);
+  for (size_t F = 0; F < NumFractions; ++F) {
+    PromConfig Cfg;
+    Cfg.SelectFraction = Fractions[F];
+    Snapshot(Cfg, Reference[F]);
+    ExactUs[F] = TimePerQueryUs(Cfg);
+  }
+
+  // Switch the same store to the cluster-pruned regime (one timed build).
+  ClusterIndexPolicy Policy;
+  Policy.Enabled = true;
+  Policy.NumCentroids = N >= 500000 ? 512 : 0; // Else auto (~sqrt N).
+  Policy.MinEntries = 1024;
+  // Measure every fraction on the pruned path, including the unfavourable
+  // 50% one — these numbers are what motivates the production
+  // MaxSelectFraction routing bound.
+  Policy.MaxSelectFraction = 1.0;
+  auto B0 = std::chrono::steady_clock::now();
+  Store.setIndexPolicy(Policy);
+  double BuildSec = secondsSince(B0);
+
+  std::printf("\n== micro_overhead: cluster-pruned vs exact calibration "
+              "scan (N=%zu, dim=%zu, single-core; index build %.2fs) ==\n",
+              N, Dim, BuildSec);
+  std::string NTag = "store_scan_n" + std::to_string(N);
+  jsonResult("micro_overhead", NTag + "_index_build_s", BuildSec);
+
+  for (size_t F = 0; F < NumFractions; ++F) {
+    PromConfig Cfg;
+    Cfg.SelectFraction = Fractions[F];
+
+    // Bit-identity gate plus the pruning counters of each query.
+    AssessmentScratch S;
+    double ListsFrac = 0.0, RowsFrac = 0.0;
+    for (size_t Q = 0; Q < NumQueries; ++Q) {
+      Store.selectForAssessment(Queries[Q].data(), Cfg, S);
+      const SelectionSnapshot &Ref = Reference[F][Q];
+      if (!S.Pruned.Used || S.Keep != Ref.Keep ||
+          S.SelectedAll != Ref.SelectedAll || S.SelectedMask != Ref.Mask ||
+          S.WeightByEntry.size() != Ref.Weights.size() ||
+          std::memcmp(S.WeightByEntry.data(), Ref.Weights.data(),
+                      Ref.Weights.size() * sizeof(double)) != 0) {
+        std::fprintf(stderr,
+                     "FATAL: pruned selection diverges from the exact scan "
+                     "(N=%zu, fraction %.2f, query %zu)\n",
+                     N, Fractions[F], Q);
+        std::exit(1);
+      }
+      ListsFrac += static_cast<double>(S.Pruned.ListsScanned) /
+                   static_cast<double>(S.Pruned.ListsTotal);
+      RowsFrac += static_cast<double>(S.Pruned.RowsScanned) /
+                  static_cast<double>(S.Pruned.RowsTotal);
+    }
+    ListsFrac /= static_cast<double>(NumQueries);
+    RowsFrac /= static_cast<double>(NumQueries);
+
+    double PrunedUs = TimePerQueryUs(Cfg);
+    int KeepPct = static_cast<int>(Fractions[F] * 100.0 + 0.5);
+    std::printf("select %2d%% : exact %9.1f us/query | pruned %8.1f "
+                "us/query | speedup %5.2fx | lists scanned %4.1f%% | rows "
+                "scanned %4.1f%%\n",
+                KeepPct, ExactUs[F], PrunedUs, ExactUs[F] / PrunedUs,
+                100.0 * ListsFrac, 100.0 * RowsFrac);
+    std::string Tag = NTag + "_keep" + std::to_string(KeepPct);
+    jsonResult("micro_overhead", Tag + "_exact_us_per_query", ExactUs[F]);
+    jsonResult("micro_overhead", Tag + "_pruned_us_per_query", PrunedUs);
+    jsonResult("micro_overhead", Tag + "_speedup", ExactUs[F] / PrunedUs);
+    jsonResult("micro_overhead", Tag + "_lists_scanned_fraction", ListsFrac);
+    jsonResult("micro_overhead", Tag + "_rows_scanned_fraction", RowsFrac);
+  }
+}
+
 } // namespace
 
 /// Full deployment-time assessment: 4 experts' scores + committee vote.
@@ -393,6 +551,8 @@ int main(int argc, char **argv) {
   setenv("PROM_THREADS", "1", /*overwrite=*/0);
   runThroughputStudy();
   runTreeKnnExpertStudy();
+  runStoreScaleStudy(100000);
+  runStoreScaleStudy(1000000);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

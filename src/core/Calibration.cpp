@@ -197,6 +197,10 @@ static size_t keepCount(size_t N, const PromConfig &Cfg) {
   return std::max<size_t>(1, std::min(Keep, N));
 }
 
+size_t prom::selectionKeepCount(size_t N, const PromConfig &Cfg) {
+  return keepCount(N, Cfg);
+}
+
 /// Effective Eq. (1) temperature under \p Cfg.
 static double effectiveTau(const PromConfig &Cfg, double MedianNNDist) {
   if (Cfg.AutoTau && MedianNNDist > 0.0)
@@ -286,10 +290,16 @@ static void partitionSmallestKeys(AssessmentScratch &S, size_t Keep) {
     MinBits = std::min(MinBits, Bits);
     MaxBits = std::max(MaxBits, Bits);
   }
-  // All keys equal: Keyed was built with ascending ids, so the first Keep
-  // slots already hold the id-tie-broken selection.
-  if (MinBits == MaxBits)
+  // All keys equal: the selection is decided purely by the id tie-break.
+  // Keyed is NOT guaranteed to be in ascending id order (the pruned scan
+  // appends candidates list by list), so partition explicitly — with equal
+  // keys the pair order degenerates to ascending id, and nth_element over
+  // it moves exactly the Keep smallest ids into the front slots.
+  if (MinBits == MaxBits) {
+    std::nth_element(Keyed.begin(), Keyed.begin() + static_cast<long>(Keep),
+                     Keyed.end());
     return;
+  }
 
   constexpr size_t NumBuckets = 2048;
   int Shift = 0;
@@ -367,7 +377,29 @@ void CalibrationScores::finishSelection(const PromConfig &Cfg,
   S.SelectedAll = S.Keep == N;
   if (!S.SelectedAll)
     partitionSmallestKeys(S, S.Keep);
+  applySelectionWeights(Cfg, S);
+}
 
+void CalibrationScores::finishSelectionPruned(const PromConfig &Cfg,
+                                              AssessmentScratch &S) const {
+  size_t N = Entries.size();
+  S.Keep = keepCount(N, Cfg);
+  // The pruned scan only runs when Keep < N (otherwise no list could ever
+  // be skipped), and its candidate list provably contains the Keep global
+  // nearest — so partitioning the candidates selects exactly the set the
+  // full-scan partition would.
+  assert(S.Keep < N && "pruned selection requires a proper subset");
+  assert(S.Keyed.size() >= S.Keep &&
+         "pruned candidates cannot cover the selection");
+  S.SelectedAll = false;
+  if (S.Keyed.size() > S.Keep)
+    partitionSmallestKeys(S, S.Keep);
+  applySelectionWeights(Cfg, S);
+}
+
+void CalibrationScores::applySelectionWeights(const PromConfig &Cfg,
+                                              AssessmentScratch &S) const {
+  size_t N = Entries.size();
   S.SelectedMask.assign(N, 0);
   for (size_t Pos = 0; Pos < S.Keep; ++Pos)
     S.SelectedMask[S.Keyed[Pos].second] = 1;

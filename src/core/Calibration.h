@@ -56,6 +56,16 @@ struct CalibrationSelection {
   std::vector<double> Weights;  ///< Eq. (1) weight per selected entry.
 };
 
+/// Counters of one cluster-pruned selection scan (the CalibrationStore
+/// pruned path; see support/ClusterIndex.h for the losslessness contract).
+struct PrunedScanStats {
+  bool Used = false;       ///< The pruned path served the last selection.
+  size_t ListsTotal = 0;   ///< Inverted lists across all shard indexes.
+  size_t ListsScanned = 0; ///< Lists that survived the bound test.
+  size_t RowsTotal = 0;    ///< Entries the selection ranged over (all).
+  size_t RowsScanned = 0;  ///< Entries actually distance-scanned.
+};
+
 /// Reusable per-lane working state of the batched assessment engine: one
 /// instance per ThreadPool lane, recycled across the samples of a batch so
 /// the hot path performs no per-sample allocation.
@@ -87,7 +97,23 @@ struct AssessmentScratch {
   std::vector<double> BlockGreaterEq;
   std::vector<double> BlockTotal;
   std::vector<double> BlockCounts;
+  /// Counters of the last cluster-pruned selection (Used == false whenever
+  /// the exact flat scan served it instead).
+  PrunedScanStats Pruned;
+  /// Working buffers of the pruned scan, recycled like the rest of the
+  /// scratch: the (query-centroid distSq, (shard << 32) | list) ranking
+  /// pairs, the concatenated query-centroid distances of every shard
+  /// index, and the per-list kernel output staging area.
+  std::vector<std::pair<double, uint64_t>> ListOrder;
+  std::vector<double> CentroidDists;
+  std::vector<double> RowScratch;
 };
+
+/// How many of \p N calibration entries the Sec. 5.1.2 policy selects
+/// (everything below Cfg.SelectAllBelow, else the SelectFraction rounded
+/// share, at least 1). Exposed so the sharded store's pruned scan can size
+/// its k-NN bound exactly like finishSelection() will.
+size_t selectionKeepCount(size_t N, const PromConfig &Cfg);
 
 /// Precomputed calibration scores plus the adaptive selection machinery.
 /// Label-agnostic: classification uses true class labels, regression uses
@@ -249,6 +275,16 @@ public:
   void finishSelection(const PromConfig &Cfg,
                        AssessmentScratch &Scratch) const;
 
+  /// finishSelection() for a cluster-pruned candidate list: Scratch.Keyed
+  /// holds M >= keep (squared distance, entry id) pairs that provably
+  /// contain the keep nearest entries (CalibrationStore's pruned scan, see
+  /// support/ClusterIndex.h). Partitions the candidates and applies the
+  /// identical mask + Eq. (1) weight steps, so the resulting selection
+  /// state is bit-identical to a full-scan finishSelection() — the pruned
+  /// candidates' k smallest pairs are the global k smallest.
+  void finishSelectionPruned(const PromConfig &Cfg,
+                             AssessmentScratch &Scratch) const;
+
   /// Resolves every expert's effective weight mode and score column into
   /// \p Scratch (Modes / Columns / UniformModes).
   void resolveExpertModes(const PromConfig &Cfg, const uint8_t *DiscreteFlags,
@@ -287,6 +323,13 @@ public:
                          double *PValsOut) const;
 
 private:
+  /// Shared tail of finishSelection()/finishSelectionPruned(): the
+  /// selected-entry mask and Eq. (1) weights from the first Scratch.Keep
+  /// slots of Scratch.Keyed. Every step is order-independent over those
+  /// slots, so both callers land on identical bits.
+  void applySelectionWeights(const PromConfig &Cfg,
+                             AssessmentScratch &Scratch) const;
+
   /// Rebuilds the contiguous/sorted batch-engine indexes from Entries.
   void buildBatchIndexes();
 

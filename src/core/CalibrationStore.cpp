@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/CalibrationStore.h"
+#include "support/Kernels.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -76,6 +77,10 @@ void CalibrationStore::refinalize() {
     return;
   }
   extendLastShard(OldIndexed);
+  // The extension left the last shard's index covering only a prefix; the
+  // staleness policy decides whether the exact tail scan is still cheap
+  // enough or the index re-clusters now.
+  updateShardIndexes(/*Force=*/false);
 }
 
 void CalibrationStore::refinalizeFull() {
@@ -158,6 +163,72 @@ void CalibrationStore::buildShards(size_t NumShards) {
           }
         }
       });
+
+  // Every rebuilt partition invalidates the cluster indexes wholesale
+  // (shard boundaries moved, entry positions may have shifted).
+  updateShardIndexes(/*Force=*/true);
+}
+
+void CalibrationStore::setIndexPolicy(const ClusterIndexPolicy &Policy) {
+  IndexPolicy = Policy;
+  updateShardIndexes(/*Force=*/true);
+}
+
+size_t CalibrationStore::indexedShards() const {
+  size_t Count = 0;
+  for (const support::ClusterIndex &Idx : ShardIndexes)
+    Count += Idx.valid() ? 1 : 0;
+  return Count;
+}
+
+size_t CalibrationStore::unindexedEntries() const {
+  size_t Count = 0;
+  for (size_t S = 0; S < Shards.size(); ++S) {
+    size_t Covered =
+        S < ShardIndexes.size() && ShardIndexes[S].valid()
+            ? ShardIndexes[S].endRow() - ShardIndexes[S].beginRow()
+            : 0;
+    Count += (Shards[S].End - Shards[S].Begin) - Covered;
+  }
+  return Count;
+}
+
+void CalibrationStore::updateShardIndexes(bool Force) {
+  ShardIndexes.resize(Shards.size());
+  if (Force)
+    for (support::ClusterIndex &Idx : ShardIndexes)
+      Idx.clear();
+  // Per-shard builds touch disjoint state and kMeansMatrix is thread-count
+  // deterministic, so the fan-out cannot change any index bit (and runs
+  // inline when nested under an active pool region).
+  support::ThreadPool::global().parallelFor(
+      Shards.size(), [&](size_t Begin, size_t End) {
+        for (size_t S = Begin; S < End; ++S)
+          updateShardIndex(S);
+      });
+}
+
+void CalibrationStore::updateShardIndex(size_t S) {
+  const Shard &Sh = Shards[S];
+  support::ClusterIndex &Idx = ShardIndexes[S];
+  size_t Size = Sh.End - Sh.Begin;
+  if (!IndexPolicy.Enabled || Size < IndexPolicy.MinEntries) {
+    Idx.clear();
+    return;
+  }
+  if (Idx.valid() && Idx.beginRow() == Sh.Begin && Idx.endRow() <= Sh.End) {
+    // Entries [endRow, Sh.End) were appended after the build; they are
+    // scanned exactly by the pruned path, so the index stays lossless —
+    // it just prunes less. Rebuild once the tail stops being cheap.
+    size_t Tail = Sh.End - Idx.endRow();
+    if (static_cast<double>(Tail) <=
+        IndexPolicy.MaxStaleFraction * static_cast<double>(Size))
+      return;
+  }
+  // Seed per shard position: deterministic across rebuilds and thread
+  // counts, decorrelated between shards.
+  Idx.build(Flat.embedMatrix(), Sh.Begin, Sh.End, IndexPolicy.NumCentroids,
+            IndexPolicy.Seed ^ (0x9E3779B97F4A7C15ull * (Sh.Begin + 1)));
 }
 
 void CalibrationStore::selectForAssessment(const double *TestEmbed,
@@ -165,6 +236,23 @@ void CalibrationStore::selectForAssessment(const double *TestEmbed,
                                            AssessmentScratch &Scratch) const {
   assert(!Flat.empty() && "empty calibration store");
   size_t N = Flat.size();
+  Scratch.Pruned = PrunedScanStats();
+
+  // The pruned scan pays off only when the selection is a proper subset
+  // (a full selection must touch every entry anyway) — and a small one:
+  // pruning can never skip the kept rows themselves, so large selections
+  // are served faster by the exact flat scan (MaxSelectFraction bounds
+  // the routing). Losslessness makes this purely a routing choice.
+  if (IndexPolicy.Enabled && indexedShards() > 0) {
+    size_t Keep = selectionKeepCount(N, Cfg);
+    if (Keep < N && static_cast<double>(Keep) <=
+                        IndexPolicy.MaxSelectFraction *
+                            static_cast<double>(N)) {
+      selectForAssessmentPruned(TestEmbed, Cfg, Keep, Scratch);
+      return;
+    }
+  }
+
   Scratch.Keyed.resize(N);
   Scratch.Dists.resize(N);
 
@@ -184,6 +272,108 @@ void CalibrationStore::selectForAssessment(const double *TestEmbed,
   // constants next to the O(N x dim) scan above, and keeping it on one
   // thread preserves select()'s arithmetic verbatim.
   Flat.finishSelection(Cfg, Scratch);
+}
+
+void CalibrationStore::selectForAssessmentPruned(const double *TestEmbed,
+                                                 const PromConfig &Cfg,
+                                                 size_t Keep,
+                                                 AssessmentScratch &S) const {
+  const support::FeatureMatrix &Embeds = Flat.embedMatrix();
+  S.Pruned.Used = true;
+  S.Pruned.RowsTotal = Flat.size();
+  S.Keyed.clear();
+
+  // Exact scan of one contiguous row range into the candidate list. Rows
+  // come straight out of the flat embedding block, so the kernel fold is
+  // the very one the unpruned path runs.
+  auto ScanRange = [&](size_t Begin, size_t End) {
+    if (Begin >= End)
+      return;
+    S.RowScratch.resize(End - Begin);
+    support::kernels::l2Sq1xN(TestEmbed, Embeds.rowPtr(Begin), End - Begin,
+                              Embeds.dim(), Embeds.stride(),
+                              S.RowScratch.data());
+    for (size_t I = Begin; I < End; ++I)
+      S.Keyed.push_back({S.RowScratch[I - Begin], static_cast<uint32_t>(I)});
+    S.Pruned.RowsScanned += End - Begin;
+  };
+
+  // Phase 1 — mandatory exact rows: unindexed shards and the stale tails
+  // appended after each index was built. Scanning them first also seeds
+  // the pruning bound before any list is visited.
+  for (size_t SI = 0; SI < Shards.size(); ++SI) {
+    const Shard &Sh = Shards[SI];
+    const support::ClusterIndex &Idx = ShardIndexes[SI];
+    if (Idx.valid())
+      ScanRange(Idx.endRow(), Sh.End);
+    else
+      ScanRange(Sh.Begin, Sh.End);
+  }
+
+  // Phase 2 — rank every live index's lists globally by query-centroid
+  // distance (the scan order only affects how fast the bound tightens,
+  // never the result).
+  S.CentroidDists.clear();
+  S.ListOrder.clear();
+  for (size_t SI = 0; SI < Shards.size(); ++SI) {
+    const support::ClusterIndex &Idx = ShardIndexes[SI];
+    if (!Idx.valid())
+      continue;
+    size_t Off = S.CentroidDists.size();
+    size_t NumLists = Idx.numLists();
+    S.CentroidDists.resize(Off + NumLists);
+    Idx.centroidDistances(TestEmbed, S.CentroidDists.data() + Off);
+    for (size_t L = 0; L < NumLists; ++L)
+      S.ListOrder.push_back({S.CentroidDists[Off + L],
+                             (static_cast<uint64_t>(SI) << 32) | L});
+  }
+  S.Pruned.ListsTotal = S.ListOrder.size();
+  std::sort(S.ListOrder.begin(), S.ListOrder.end());
+
+  // Phase 3/4 — walk the ranked lists under a lazily tightened k-th
+  // candidate bound. The bound is over *candidate* keys, hence >= the
+  // global k-th key; with the strict > comparison (and ClusterIndex's
+  // slackened lower bounds) a pruned member can never belong to the
+  // selection — see support/ClusterIndex.h for the full argument.
+  bool HaveBound = false;
+  double BoundKey = 0.0;
+  size_t LastTighten = 0;
+  auto Tighten = [&] {
+    if (S.Keyed.size() < Keep)
+      return;
+    std::nth_element(S.Keyed.begin(),
+                     S.Keyed.begin() + static_cast<long>(Keep - 1),
+                     S.Keyed.end());
+    BoundKey = S.Keyed[Keep - 1].first;
+    HaveBound = true;
+    LastTighten = S.Keyed.size();
+  };
+  Tighten();
+
+  for (const std::pair<double, uint64_t> &Ranked : S.ListOrder) {
+    size_t SI = static_cast<size_t>(Ranked.second >> 32);
+    size_t L = static_cast<size_t>(Ranked.second & 0xffffffffu);
+    const support::ClusterIndex &Idx = ShardIndexes[SI];
+    size_t LB = Idx.listBegin(L), LE = Idx.listEnd(L);
+    if (LB == LE)
+      continue;
+    if (HaveBound && Idx.listLowerBoundSq(Ranked.first, L) > BoundKey)
+      continue;
+    ++S.Pruned.ListsScanned;
+    S.Pruned.RowsScanned += LE - LB;
+    const support::FeatureMatrix &Rows = Idx.listRows();
+    S.RowScratch.resize(LE - LB);
+    support::kernels::l2Sq1xN(TestEmbed, Rows.rowPtr(LB), LE - LB,
+                              Rows.dim(), Rows.stride(), S.RowScratch.data());
+    for (size_t I = LB; I < LE; ++I)
+      S.Keyed.push_back({S.RowScratch[I - LB], Idx.rowId(I)});
+    if (!HaveBound || S.Keyed.size() >= 2 * LastTighten)
+      Tighten();
+  }
+
+  // Every entry is either a candidate or provably outside the selection,
+  // so the shared partition + weight steps land on the flat path's bits.
+  Flat.finishSelectionPruned(Cfg, S);
 }
 
 void CalibrationStore::pValuesAllExperts(AssessmentScratch &S,

@@ -41,12 +41,42 @@
 #define PROM_CORE_CALIBRATIONSTORE_H
 
 #include "core/Calibration.h"
+#include "support/ClusterIndex.h"
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace prom {
+
+/// Policy governing the per-shard cluster indexes of the pruned distance
+/// scan (derived from the PromConfig::ClusterIndex* knobs; see
+/// support/ClusterIndex.h for the losslessness contract). The store-level
+/// default is *disabled*, so a bare CalibrationStore behaves exactly as
+/// before — detectors install the config-derived policy at calibrate /
+/// snapshot-load time.
+struct ClusterIndexPolicy {
+  bool Enabled = false;        ///< Use the pruned scan at all.
+  size_t NumCentroids = 0;     ///< Per-shard lists; 0 = ~sqrt(shard rows).
+  size_t MinEntries = 8192;    ///< Smaller shards stay unindexed.
+  double MaxStaleFraction = 0.25; ///< Unindexed-tail share forcing rebuild.
+  /// Largest Keep/N the pruned scan serves; larger selections fall back to
+  /// the exact flat scan, which is faster there (the pruned path must
+  /// visit at least the kept rows anyway).
+  double MaxSelectFraction = 0.25;
+  uint64_t Seed = 0x5851F42D4C957F2Dull; ///< Clustering seed base.
+
+  /// The policy the PromConfig knobs describe.
+  static ClusterIndexPolicy fromConfig(const PromConfig &Cfg) {
+    ClusterIndexPolicy P;
+    P.Enabled = Cfg.ClusterIndex;
+    P.NumCentroids = Cfg.ClusterIndexCentroids;
+    P.MinEntries = Cfg.ClusterIndexMinEntries;
+    P.MaxStaleFraction = Cfg.ClusterIndexMaxStale;
+    P.MaxSelectFraction = Cfg.ClusterIndexMaxSelectFraction;
+    return P;
+  }
+};
 
 /// Sharded calibration store; see the file comment for the exactness
 /// contract.
@@ -56,6 +86,7 @@ public:
   void clear() {
     Flat.clear();
     Shards.clear();
+    ShardIndexes.clear();
   }
   /// Reserves room for \p N entries.
   void reserve(size_t N) { Flat.reserve(N); }
@@ -132,9 +163,32 @@ public:
   /// paths and the snapshot writer iterate through this.
   const CalibrationScores &flat() const { return Flat; }
 
+  //===--------------------------------------------------------------------===//
+  // Cluster-pruned distance scan (lossless; support/ClusterIndex.h)
+  //===--------------------------------------------------------------------===//
+
+  /// Installs \p Policy and immediately rebuilds or drops the per-shard
+  /// indexes to match. Indexes are *derived* state: snapshots never
+  /// persist them, loaders re-install the policy after finalize().
+  void setIndexPolicy(const ClusterIndexPolicy &Policy);
+
+  /// The per-shard cluster-index policy currently in force.
+  const ClusterIndexPolicy &indexPolicy() const { return IndexPolicy; }
+
+  /// Shards currently carrying a valid cluster index.
+  size_t indexedShards() const;
+
+  /// Entries not covered by any valid shard index — unindexed shards plus
+  /// the stale tails appended since each index was built. The pruned scan
+  /// always scans these exactly, which is what keeps staleness lossless.
+  size_t unindexedEntries() const;
+
   /// Engine API; bit-identical to flat().selectForAssessment() for every
   /// shard count. The distance scan fans out over the shards when the
-  /// store is sharded and the pool is not already saturated.
+  /// store is sharded and the pool is not already saturated — or, once the
+  /// index policy enabled cluster indexes and a proper-subset selection is
+  /// in force, runs the lossless pruned scan instead (Scratch.Pruned
+  /// reports which path served the call and its pruning counters).
   void selectForAssessment(const double *TestEmbed, const PromConfig &Cfg,
                            AssessmentScratch &Scratch) const;
 
@@ -161,8 +215,29 @@ private:
   /// block-aligned insert of the incremental refresh path.
   void extendLastShard(size_t OldEnd);
 
+  /// Reconciles every shard's cluster index with the policy and the
+  /// current partition: builds missing indexes on shards past MinEntries,
+  /// rebuilds indexes whose stale tail outgrew MaxStaleFraction, drops
+  /// the rest. \p Force clears first (partition changed wholesale).
+  void updateShardIndexes(bool Force);
+
+  /// The decide-and-build step of updateShardIndexes() for shard \p S.
+  void updateShardIndex(size_t S);
+
+  /// The cluster-pruned selection path: exact scan of every unindexed
+  /// row, bound-pruned scan of the indexed lists, then the shared
+  /// partition + weight steps. Bit-identical to the flat path.
+  void selectForAssessmentPruned(const double *TestEmbed,
+                                 const PromConfig &Cfg, size_t Keep,
+                                 AssessmentScratch &Scratch) const;
+
   CalibrationScores Flat;
   std::vector<Shard> Shards;
+  /// ShardIndexes[S] accelerates Shards[S]; invalid (cleared) when the
+  /// shard is too small or the policy is disabled.
+  std::vector<support::ClusterIndex> ShardIndexes;
+  /// Policy in force; see setIndexPolicy().
+  ClusterIndexPolicy IndexPolicy;
   /// Shard count requested by the last finalize()/reshard(); refinalize()
   /// rebalances toward it.
   size_t TargetShards = 1;

@@ -175,6 +175,7 @@ void PromClassifier::calibrate(const data::Dataset &CalibSet) {
     Fresh->add(std::move(Entry));
   }
   Fresh->setMaxEntries(Cfg.MaxCalibEntries);
+  Fresh->setIndexPolicy(ClusterIndexPolicy::fromConfig(Cfg));
   Fresh->finalize(effectiveShards(Cfg));
   installStore(std::move(Fresh));
 }
@@ -567,6 +568,7 @@ bool PromClassifier::loadSnapshot(const std::string &Path,
   Temperature = NewTemperature;
   Scorers = std::move(NewScorers);
   NewStore->setMaxEntries(Cfg.MaxCalibEntries);
+  NewStore->setIndexPolicy(ClusterIndexPolicy::fromConfig(Cfg));
   NewStore->finalize(Shards);
   installStore(std::move(NewStore));
   if (Scaler && StagedScaler.isFitted())
@@ -712,6 +714,7 @@ void PromRegressor::calibrate(const data::Dataset &CalibSet,
       Entry.Scores.push_back(Scorer->score(In));
     Calib.add(std::move(Entry));
   }
+  Calib.setIndexPolicy(ClusterIndexPolicy::fromConfig(Cfg));
   Calib.finalize(effectiveShards(Cfg));
 }
 
@@ -911,6 +914,7 @@ bool PromRegressor::loadSnapshot(const std::string &Path,
   Cfg = NewCfg;
   Scorers = std::move(NewScorers);
   Calib = std::move(NewStore);
+  Calib.setIndexPolicy(ClusterIndexPolicy::fromConfig(Cfg));
   Calib.finalize(Shards);
   CalibEmbeds = support::FeatureMatrix::fromRows(NewEmbeds);
   CalibTargets = std::move(NewTargets);

@@ -15,26 +15,28 @@
 using namespace prom;
 using namespace prom::ml;
 
+/// Seed of the optional training-block cluster indexes: fixed, so an
+/// indexed model is deterministic run to run (losslessness makes the
+/// value irrelevant to predictions — it only shapes the pruning).
+static constexpr uint64_t KnnIndexSeed = 0xA24BAED4963EE407ull;
+
 void KnnClassifier::fit(const data::Dataset &Train, support::Rng &) {
   assert(!Train.empty() && Train.numClasses() > 1 && "bad training set");
   Classes = Train.numClasses();
   Points = support::FeatureMatrix::fromRows(Train.featureRows());
+  Index.clear();
   Labels.clear();
   Labels.reserve(Train.size());
   for (const data::Sample &S : Train.samples())
     Labels.push_back(S.Label);
 }
 
-void KnnClassifier::voteFromScan(const double *DistSq, double *Out) const {
-  std::vector<size_t> Near =
-      support::selectNearest(DistSq, Points.rows(), K);
-  std::fill(Out, Out + static_cast<size_t>(Classes), 0.0);
-  for (size_t Idx : Near) {
-    // sqrt of the scanned squared distance == support::euclidean on the
-    // same pair: one kernel fold feeds both the selection and the weight.
-    double D = std::sqrt(DistSq[Idx]);
-    Out[static_cast<size_t>(Labels[Idx])] += 1.0 / (1.0 + D);
-  }
+void KnnClassifier::buildClusterIndex(size_t NumCentroids) {
+  assert(!Points.empty() && "indexing an unfitted classifier");
+  Index.build(Points, 0, Points.rows(), NumCentroids, KnnIndexSeed);
+}
+
+void KnnClassifier::finishVote(double *Out) const {
   double Total = 0.0;
   for (int C = 0; C < Classes; ++C)
     Total += Out[C];
@@ -47,12 +49,36 @@ void KnnClassifier::voteFromScan(const double *DistSq, double *Out) const {
     Out[C] /= Total;
 }
 
+void KnnClassifier::voteFromScan(const double *DistSq, double *Out) const {
+  std::vector<size_t> Near =
+      support::selectNearest(DistSq, Points.rows(), K);
+  std::fill(Out, Out + static_cast<size_t>(Classes), 0.0);
+  for (size_t Idx : Near) {
+    // sqrt of the scanned squared distance == support::euclidean on the
+    // same pair: one kernel fold feeds both the selection and the weight.
+    double D = std::sqrt(DistSq[Idx]);
+    Out[static_cast<size_t>(Labels[Idx])] += 1.0 / (1.0 + D);
+  }
+  finishVote(Out);
+}
+
 std::vector<double> KnnClassifier::predictProba(const data::Sample &S) const {
   assert(!Points.empty() && "classifier not fitted");
+  std::vector<double> Votes(static_cast<size_t>(Classes), 0.0);
+  if (Index.valid()) {
+    // nearestPruned returns the very (distSq, index) pairs selectNearest
+    // would, in the same ascending order — the vote fold is bit-identical.
+    std::vector<std::pair<double, uint32_t>> Near =
+        Index.nearestPruned(S.Features.data(), K);
+    for (const std::pair<double, uint32_t> &P : Near)
+      Votes[static_cast<size_t>(Labels[P.second])] +=
+          1.0 / (1.0 + std::sqrt(P.first));
+    finishVote(Votes.data());
+    return Votes;
+  }
   std::vector<double> DistSq(Points.rows());
   support::kernels::l2Sq1xN(S.Features.data(), Points.data(), Points.rows(),
                             Points.dim(), Points.stride(), DistSq.data());
-  std::vector<double> Votes(static_cast<size_t>(Classes), 0.0);
   voteFromScan(DistSq.data(), Votes.data());
   return Votes;
 }
@@ -77,14 +103,30 @@ support::Matrix KnnClassifier::embedBatch(const data::Dataset &Batch) const {
 void KnnRegressor::fit(const data::Dataset &Train, support::Rng &) {
   assert(!Train.empty() && "bad training set");
   Points = support::FeatureMatrix::fromRows(Train.featureRows());
+  Index.clear();
   Targets.clear();
   Targets.reserve(Train.size());
   for (const data::Sample &S : Train.samples())
     Targets.push_back(S.Target);
 }
 
+void KnnRegressor::buildClusterIndex(size_t NumCentroids) {
+  assert(!Points.empty() && "indexing an unfitted regressor");
+  Index.build(Points, 0, Points.rows(), NumCentroids, KnnIndexSeed);
+}
+
 double KnnRegressor::predict(const data::Sample &S) const {
   assert(!Points.empty() && "regressor not fitted");
+  if (Index.valid()) {
+    // Same neighbour ids in the same ascending (distSq, id) order as
+    // kNearest, so the mean folds identically.
+    std::vector<std::pair<double, uint32_t>> Near =
+        Index.nearestPruned(S.Features.data(), K);
+    double Sum = 0.0;
+    for (const std::pair<double, uint32_t> &P : Near)
+      Sum += Targets[P.second];
+    return Sum / static_cast<double>(Near.size());
+  }
   std::vector<size_t> Near = support::kNearest(Points, S.Features.data(), K);
   double Sum = 0.0;
   for (size_t Idx : Near)

@@ -17,12 +17,19 @@
 /// kNearest path uses — so batched and serial predictions are
 /// bit-identical by construction.
 ///
+/// Both models can additionally opt into a support::ClusterIndex over the
+/// training block (buildClusterIndex()): the serial predict paths then run
+/// the lossless cluster-pruned scan instead of the full one. Pruning is
+/// bit-identical to the exact scan by the ClusterIndex contract, so the
+/// serial/batch equivalence above survives unchanged.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PROM_ML_KNN_H
 #define PROM_ML_KNN_H
 
 #include "ml/Model.h"
+#include "support/ClusterIndex.h"
 #include "support/FeatureMatrix.h"
 
 namespace prom {
@@ -47,16 +54,28 @@ public:
   int numClasses() const override { return Classes; }
   std::string name() const override { return "kNN"; }
 
+  /// Builds a cluster-pruned index over the fitted training block; serial
+  /// predictProba() then scans sublinearly with bit-identical output (the
+  /// index is lossless). \p NumCentroids 0 picks ~sqrt(points). fit()
+  /// drops any previous index.
+  void buildClusterIndex(size_t NumCentroids = 0);
+
 private:
   /// Neighbour selection + distance-weighted vote over one query's
   /// squared-distance scan (writes numClasses() values to \p Out). The
   /// single scoring path of the serial and batched forwards.
   void voteFromScan(const double *DistSq, double *Out) const;
 
+  /// The shared vote tail: normalizes \p Out in place (uniform fallback
+  /// when every vote underflowed to zero).
+  void finishVote(double *Out) const;
+
   size_t K;
   int Classes = 0;
   support::FeatureMatrix Points;
   std::vector<int> Labels;
+  /// Optional lossless index over Points (see buildClusterIndex()).
+  support::ClusterIndex Index;
 };
 
 /// Mean-of-neighbours k-NN regressor (flat-block scan like the classifier).
@@ -73,10 +92,16 @@ public:
   support::Matrix embedBatch(const data::Dataset &Batch) const override;
   std::string name() const override { return "kNN-Reg"; }
 
+  /// Lossless cluster index over the fitted block for serial predict();
+  /// see KnnClassifier::buildClusterIndex().
+  void buildClusterIndex(size_t NumCentroids = 0);
+
 private:
   size_t K;
   support::FeatureMatrix Points;
   std::vector<double> Targets;
+  /// Optional lossless index over Points (see buildClusterIndex()).
+  support::ClusterIndex Index;
 };
 
 } // namespace ml

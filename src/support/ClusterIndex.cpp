@@ -1,0 +1,166 @@
+//===- support/ClusterIndex.cpp - Lossless cluster-pruned k-NN --------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ClusterIndex.h"
+#include "support/KMeans.h"
+#include "support/Kernels.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace prom::support;
+
+/// Default coarse cell count for \p N rows: ~sqrt(N) in [8, 4096] — the
+/// standard IVF balance point where centroid ranking and list scanning
+/// cost about the same.
+static size_t autoCentroids(size_t N) {
+  size_t K = static_cast<size_t>(std::sqrt(static_cast<double>(N)) + 0.5);
+  return std::max<size_t>(8, std::min<size_t>(K, 4096));
+}
+
+void ClusterIndex::clear() {
+  BeginRow = EndRow = 0;
+  Centroids.clear();
+  Rows.clear();
+  RowIds.clear();
+  ListOffsets.clear();
+  ListRMax.clear();
+}
+
+void ClusterIndex::build(const FeatureMatrix &Source, size_t Begin,
+                         size_t End, size_t NumCentroids, uint64_t Seed) {
+  clear();
+  assert(End <= Source.rows() && Begin <= End && "bad covered range");
+  if (Begin == End || Source.dim() == 0)
+    return;
+  size_t N = End - Begin;
+  size_t K = NumCentroids == 0 ? autoCentroids(N) : NumCentroids;
+  K = std::min(K, N);
+
+  Rng R(Seed);
+  KMeansMatrixResult Q = kMeansMatrix(Source, Begin, End, K, R);
+  K = Q.Centroids.rows();
+
+  BeginRow = Begin;
+  EndRow = End;
+  Centroids = std::move(Q.Centroids);
+
+  // Counting sort of the members into grouped lists, ascending row id
+  // inside each list (stable by construction).
+  std::vector<size_t> Counts(K, 0);
+  for (uint32_t A : Q.Assignments)
+    ++Counts[A];
+  ListOffsets.assign(K + 1, 0);
+  for (size_t C = 0; C < K; ++C)
+    ListOffsets[C + 1] = ListOffsets[C] + Counts[C];
+
+  Rows.reset(N, Source.dim());
+  RowIds.assign(N, 0);
+  ListRMax.assign(K, 0.0);
+  std::vector<size_t> Write(ListOffsets.begin(), ListOffsets.end() - 1);
+  std::vector<double> MaxDistSq(K, 0.0);
+  for (size_t I = 0; I < N; ++I) {
+    size_t C = Q.Assignments[I];
+    size_t Slot = Write[C]++;
+    // The copy preserves every row value and dim(), so a kernel fold over
+    // the grouped row produces the flat scan's bits exactly.
+    Rows.setRow(Slot, Source.rowPtr(Begin + I));
+    RowIds[Slot] = static_cast<uint32_t>(Begin + I);
+    MaxDistSq[C] = std::max(MaxDistSq[C], Q.AssignDistSq[I]);
+  }
+  for (size_t C = 0; C < K; ++C)
+    ListRMax[C] = std::sqrt(MaxDistSq[C]) * (1.0 + PruneSlack);
+}
+
+void ClusterIndex::centroidDistances(const double *Query,
+                                     double *OutDistSq) const {
+  assert(valid() && "querying an empty index");
+  kernels::l2Sq1xN(Query, Centroids.data(), Centroids.rows(),
+                   Centroids.dim(), Centroids.stride(), OutDistSq);
+}
+
+double ClusterIndex::listLowerBoundSq(double CentroidDistSq,
+                                      size_t L) const {
+  // Every quantity is slackened toward "do not prune": the query-centroid
+  // distance shrinks, the radius already grew at build time, and the final
+  // square shrinks once more. A non-positive gap yields 0.0, which the
+  // caller's strict > comparison never prunes on.
+  double Cd = std::sqrt(CentroidDistSq) * (1.0 - PruneSlack);
+  double Gap = Cd - ListRMax[L];
+  if (Gap <= 0.0)
+    return 0.0;
+  return Gap * Gap * (1.0 - PruneSlack);
+}
+
+std::vector<std::pair<double, uint32_t>>
+ClusterIndex::nearestPruned(const double *Query, size_t K,
+                            ClusterScanStats *Stats) const {
+  assert(valid() && "querying an empty index");
+  size_t NumLists = numLists();
+  size_t N = coveredRows();
+  K = std::min(K, N);
+  if (K == 0)
+    return {};
+
+  // Rank the lists by (query-centroid distance, list id) — the scan order
+  // only affects how fast the bound tightens, never the result.
+  std::vector<double> CentDistSq(NumLists);
+  centroidDistances(Query, CentDistSq.data());
+  std::vector<std::pair<double, uint32_t>> Order(NumLists);
+  for (size_t L = 0; L < NumLists; ++L)
+    Order[L] = {CentDistSq[L], static_cast<uint32_t>(L)};
+  std::sort(Order.begin(), Order.end());
+
+  std::vector<std::pair<double, uint32_t>> Cand;
+  Cand.reserve(2 * K + 64);
+  std::vector<double> DistBuf;
+  size_t LastTighten = 0;
+  bool HaveBound = false;
+  double BoundKey = 0.0;
+  auto Tighten = [&] {
+    if (Cand.size() < K)
+      return;
+    std::nth_element(Cand.begin(),
+                     Cand.begin() + static_cast<long>(K - 1), Cand.end());
+    BoundKey = Cand[K - 1].first;
+    HaveBound = true;
+    LastTighten = Cand.size();
+  };
+
+  ClusterScanStats S;
+  S.ListsTotal = NumLists;
+  S.RowsTotal = N;
+  for (const auto &Ranked : Order) {
+    size_t L = Ranked.second;
+    size_t LB = listBegin(L), LE = listEnd(L);
+    if (LB == LE)
+      continue;
+    // Strict >: a member at exactly the bound key could still carry a
+    // lower id than the current k-th pair, so ties are always scanned.
+    if (HaveBound && listLowerBoundSq(Ranked.first, L) > BoundKey)
+      continue;
+    ++S.ListsScanned;
+    S.RowsScanned += LE - LB;
+    DistBuf.resize(LE - LB);
+    kernels::l2Sq1xN(Query, Rows.rowPtr(LB), LE - LB, Rows.dim(),
+                     Rows.stride(), DistBuf.data());
+    for (size_t I = LB; I < LE; ++I)
+      Cand.push_back({DistBuf[I - LB], RowIds[I]});
+    if (!HaveBound || Cand.size() >= 2 * LastTighten)
+      Tighten();
+  }
+
+  // The candidates provably contain the K smallest (distSq, id) pairs of
+  // the covered range; partial-sort them into selectNearest()'s order.
+  std::partial_sort(Cand.begin(), Cand.begin() + static_cast<long>(K),
+                    Cand.end());
+  Cand.resize(K);
+  if (Stats)
+    *Stats = S;
+  return Cand;
+}

@@ -6,9 +6,11 @@
 
 #include "support/KMeans.h"
 #include "support/Distance.h"
+#include "support/Kernels.h"
 #include "support/Matrix.h"
 #include "support/Rng.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -56,7 +58,7 @@ KMeansResult prom::support::kMeans(
       }
     }
 
-    // Recompute centroids; empty clusters keep their previous position.
+    // Recompute centroids.
     size_t Dim = Points.front().size();
     std::vector<std::vector<double>> Sums(K, std::vector<double>(Dim, 0.0));
     std::vector<size_t> Counts(K, 0);
@@ -72,7 +74,37 @@ KMeansResult prom::support::kMeans(
         Sums[C][D] /= static_cast<double>(Counts[C]);
       Result.Centroids[C] = Sums[C];
     }
-    if (!Changed && Iter > 0)
+
+    // Reseed empty clusters to the farthest-from-its-centroid point (ties
+    // toward the lower index), each point claimed at most once — a dead
+    // centroid would otherwise keep its stale position forever and starve
+    // the quantizer of a cell.
+    bool Reseeded = false;
+    std::vector<uint8_t> Claimed(Points.size(), 0);
+    for (size_t C = 0; C < K; ++C) {
+      if (Counts[C] != 0)
+        continue;
+      size_t Farthest = Points.size();
+      double FarDist = -1.0;
+      for (size_t I = 0; I < Points.size(); ++I) {
+        if (Claimed[I] || Counts[static_cast<size_t>(
+                              Result.Assignments[I])] <= 1)
+          continue; // Do not orphan a singleton cluster.
+        double D = squaredEuclidean(
+            Points[I],
+            Result.Centroids[static_cast<size_t>(Result.Assignments[I])]);
+        if (D > FarDist) {
+          FarDist = D;
+          Farthest = I;
+        }
+      }
+      if (Farthest == Points.size())
+        continue; // Nothing claimable; keep the previous position.
+      Claimed[Farthest] = 1;
+      Result.Centroids[C] = Points[Farthest];
+      Reseeded = true;
+    }
+    if (!Changed && !Reseeded && Iter > 0)
       break;
   }
 
@@ -81,6 +113,150 @@ KMeansResult prom::support::kMeans(
     Result.Inertia += squaredEuclidean(
         Points[I],
         Result.Centroids[static_cast<size_t>(Result.Assignments[I])]);
+  return Result;
+}
+
+namespace {
+
+/// Index of the nearest centroid row of \p Cent to \p Row plus the kernel
+/// squared distance, ties toward the lower centroid index. \p DistBuf must
+/// have Cent.rows() slots.
+std::pair<size_t, double> nearestCentroidRow(const FeatureMatrix &Cent,
+                                             const double *Row,
+                                             double *DistBuf) {
+  kernels::l2Sq1xN(Row, Cent.data(), Cent.rows(), Cent.dim(), Cent.stride(),
+                   DistBuf);
+  size_t Best = 0;
+  for (size_t C = 1; C < Cent.rows(); ++C)
+    if (DistBuf[C] < DistBuf[Best])
+      Best = C;
+  return {Best, DistBuf[Best]};
+}
+
+} // namespace
+
+KMeansMatrixResult prom::support::kMeansMatrix(const FeatureMatrix &Rows,
+                                               size_t Begin, size_t End,
+                                               size_t K, Rng &R,
+                                               size_t MaxIters,
+                                               size_t SampleCap) {
+  assert(End > Begin && End <= Rows.rows() && "bad row range");
+  assert(Rows.dim() > 0 && "clustering a shapeless matrix");
+  size_t N = End - Begin;
+  size_t Dim = Rows.dim();
+  K = std::max<size_t>(1, std::min(K, N));
+
+  // Deterministic stride-sample: row I of the sample is Begin + I * N / S.
+  // The indices are strictly increasing (N >= SampleN), so the sample is a
+  // fixed function of (N, SampleCap) — no Rng draw, no thread dependence.
+  size_t SampleN = std::min(N, SampleCap);
+  std::vector<size_t> Sample(SampleN);
+  for (size_t I = 0; I < SampleN; ++I)
+    Sample[I] = Begin + I * N / SampleN;
+
+  KMeansMatrixResult Result;
+  Result.Centroids.reset(K, Dim);
+  FeatureMatrix &Cent = Result.Centroids;
+
+  // k-means++ D^2 seeding on the sample (serial; consumes R).
+  Cent.setRow(0, Rows.rowPtr(Sample[R.bounded(SampleN)]));
+  {
+    std::vector<double> MinDistSq(SampleN,
+                                  std::numeric_limits<double>::max());
+    for (size_t C = 1; C < K; ++C) {
+      const double *Last = Cent.rowPtr(C - 1);
+      for (size_t I = 0; I < SampleN; ++I)
+        MinDistSq[I] = std::min(
+            MinDistSq[I],
+            kernels::l2Sq(Rows.rowPtr(Sample[I]), Last, Dim));
+      Cent.setRow(C, Rows.rowPtr(Sample[R.weightedIndex(MinDistSq)]));
+    }
+  }
+
+  // Lloyd on the sample. The parallel assignment is per-row independent
+  // (identical bits to a serial scan); sums and reseeds run serially in
+  // ascending row order, so the centroids are thread-count-invariant.
+  std::vector<uint32_t> SampleAssign(SampleN, 0);
+  std::vector<double> SampleDistSq(SampleN, 0.0);
+  ThreadPool &Pool = ThreadPool::global();
+  for (size_t Iter = 0; Iter < MaxIters; ++Iter) {
+    bool Changed = false;
+    Pool.parallelFor(SampleN, [&](size_t B, size_t E) {
+      std::vector<double> DistBuf(K);
+      for (size_t I = B; I < E; ++I) {
+        std::pair<size_t, double> Best =
+            nearestCentroidRow(Cent, Rows.rowPtr(Sample[I]), DistBuf.data());
+        SampleDistSq[I] = Best.second;
+        if (SampleAssign[I] != Best.first) {
+          SampleAssign[I] = static_cast<uint32_t>(Best.first);
+          Changed = true;
+        }
+      }
+    });
+
+    std::vector<double> Sums(K * Dim, 0.0);
+    std::vector<size_t> Counts(K, 0);
+    for (size_t I = 0; I < SampleN; ++I) {
+      size_t C = SampleAssign[I];
+      const double *Row = Rows.rowPtr(Sample[I]);
+      double *Sum = Sums.data() + C * Dim;
+      for (size_t D = 0; D < Dim; ++D)
+        Sum[D] += Row[D];
+      ++Counts[C];
+    }
+    for (size_t C = 0; C < K; ++C) {
+      if (Counts[C] == 0)
+        continue;
+      double *Row = Cent.rowPtr(C);
+      const double *Sum = Sums.data() + C * Dim;
+      for (size_t D = 0; D < Dim; ++D)
+        Row[D] = Sum[D] / static_cast<double>(Counts[C]);
+    }
+
+    // Empty-cluster reseed: farthest unclaimed sample row (ties toward the
+    // lower row index), skipping singleton clusters.
+    bool Reseeded = false;
+    std::vector<uint8_t> Claimed(SampleN, 0);
+    for (size_t C = 0; C < K; ++C) {
+      if (Counts[C] != 0)
+        continue;
+      size_t Farthest = SampleN;
+      double FarDist = -1.0;
+      for (size_t I = 0; I < SampleN; ++I) {
+        if (Claimed[I] || Counts[SampleAssign[I]] <= 1)
+          continue;
+        if (SampleDistSq[I] > FarDist) {
+          FarDist = SampleDistSq[I];
+          Farthest = I;
+        }
+      }
+      if (Farthest == SampleN)
+        continue;
+      Claimed[Farthest] = 1;
+      Cent.setRow(C, Rows.rowPtr(Sample[Farthest]));
+      Reseeded = true;
+    }
+    if (!Changed && !Reseeded && Iter > 0)
+      break;
+  }
+
+  // One exact assignment pass over every row in the range. Per-row
+  // independent kernel folds, so the fan-out cannot change any value; the
+  // inertia folds serially in ascending row order afterwards.
+  Result.Assignments.assign(N, 0);
+  Result.AssignDistSq.assign(N, 0.0);
+  Pool.parallelFor(N, [&](size_t B, size_t E) {
+    std::vector<double> DistBuf(K);
+    for (size_t I = B; I < E; ++I) {
+      std::pair<size_t, double> Best =
+          nearestCentroidRow(Cent, Rows.rowPtr(Begin + I), DistBuf.data());
+      Result.Assignments[I] = static_cast<uint32_t>(Best.first);
+      Result.AssignDistSq[I] = Best.second;
+    }
+  });
+  Result.Inertia = 0.0;
+  for (size_t I = 0; I < N; ++I)
+    Result.Inertia += Result.AssignDistSq[I];
   return Result;
 }
 

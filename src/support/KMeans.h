@@ -16,7 +16,10 @@
 #ifndef PROM_SUPPORT_KMEANS_H
 #define PROM_SUPPORT_KMEANS_H
 
+#include "support/FeatureMatrix.h"
+
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace prom {
@@ -33,12 +36,56 @@ struct KMeansResult {
 
 /// Runs k-means++ with Lloyd iterations on \p Points.
 ///
+/// Fully deterministic given \p R's seed: the k-means++ picks consume \p R,
+/// every assignment breaks distance ties toward the lower centroid index,
+/// and clusters that empty out are reseeded to the farthest-from-its-
+/// centroid unclaimed point (ties toward the lower point index) instead of
+/// silently keeping a dead centroid.
+///
 /// \param Points row vectors to cluster (all the same length).
 /// \param K desired cluster count; clamped to Points.size().
 /// \param R randomness for seeding.
 /// \param MaxIters Lloyd iteration cap.
 KMeansResult kMeans(const std::vector<std::vector<double>> &Points, size_t K,
                     Rng &R, size_t MaxIters = 50);
+
+/// Result of a kMeansMatrix() run over FeatureMatrix rows.
+struct KMeansMatrixResult {
+  /// K x dim centroid block (kernel-scannable, padded stride).
+  FeatureMatrix Centroids;
+  /// Assignments[I] = centroid of input row Begin + I.
+  std::vector<uint32_t> Assignments;
+  /// AssignDistSq[I] = kernel squared distance of row Begin + I to its
+  /// centroid (the exact l2Sq1xN bits, reusable as list radii).
+  std::vector<double> AssignDistSq;
+  /// Sum of AssignDistSq in ascending row order.
+  double Inertia = 0.0;
+};
+
+/// Quantizer-duty k-means over rows [\p Begin, \p End) of \p Rows: k-means++
+/// seeding and Lloyd iterations on a deterministic stride-sample of at most
+/// \p SampleCap rows, then one exact assignment pass over every row.
+///
+/// Deterministic for a fixed \p R seed *across thread counts*: the
+/// assignment scans are per-row independent kernel folds (fanned out over
+/// the global ThreadPool), all reductions (centroid sums, inertia) run
+/// serially in ascending row order, every nearest-centroid tie breaks
+/// toward the lower centroid index, and empty clusters reseed to the
+/// farthest unclaimed sample row (ties toward the lower row index).
+/// ClusterIndex builds on this as its coarse quantizer, and the pinned
+/// regression test in ClusterIndexTest compares the parallel run against a
+/// serial in-test reference bit for bit.
+///
+/// \param Rows feature block to cluster (dim() > 0).
+/// \param Begin first row of the clustered range.
+/// \param End one past the last row; End - Begin >= 1.
+/// \param K desired centroid count; clamped to the row count.
+/// \param R randomness for the k-means++ seeding.
+/// \param MaxIters Lloyd iteration cap on the sample.
+/// \param SampleCap Lloyd runs on at most this many stride-sampled rows.
+KMeansMatrixResult kMeansMatrix(const FeatureMatrix &Rows, size_t Begin,
+                                size_t End, size_t K, Rng &R,
+                                size_t MaxIters = 8, size_t SampleCap = 16384);
 
 /// Chooses a cluster count via the gap statistic (Tibshirani et al. 2001).
 ///

@@ -296,6 +296,66 @@ TEST(KnnTest, DuplicateDistanceTieBreakSharedBySerialAndBatch) {
   EXPECT_DOUBLE_EQ(Batched.at(0, 1), 0.4);
 }
 
+TEST(KnnTest, ClusterIndexedPredictionsAreBitIdentical) {
+  // buildClusterIndex() reroutes the serial predicts through the lossless
+  // cluster-pruned scan; classifier probabilities and regressor outputs
+  // must not move by a single bit, including on tie-heavy data, and the
+  // indexed serial path must keep matching the (exact-scan) batch path.
+  support::Rng R(99);
+  data::Dataset Train = gaussianBlobs(3, 400, 6.0, 1.0, R);
+  data::Dataset Test = gaussianBlobs(3, 40, 6.0, 1.5, R);
+
+  KnnClassifier Plain(7), Indexed(7);
+  Plain.fit(Train, R);
+  support::Rng R2(99); // Same fit inputs; fit() ignores the Rng anyway.
+  Indexed.fit(Train, R2);
+  Indexed.buildClusterIndex();
+
+  support::Matrix Batched = Indexed.predictProbaBatch(Test);
+  for (size_t I = 0; I < Test.size(); ++I) {
+    std::vector<double> Exact = Plain.predictProba(Test[I]);
+    std::vector<double> Pruned = Indexed.predictProba(Test[I]);
+    ASSERT_EQ(Exact.size(), Pruned.size());
+    for (size_t C = 0; C < Exact.size(); ++C) {
+      EXPECT_EQ(prom::testing::bits(Pruned[C]),
+                prom::testing::bits(Exact[C]))
+          << "query " << I << " class " << C;
+      EXPECT_EQ(prom::testing::bits(Pruned[C]),
+                prom::testing::bits(Batched.at(I, C)))
+          << "query " << I << " class " << C;
+    }
+  }
+
+  // Regressor, including exact-duplicate targets and tied distances.
+  data::Dataset RegTrain("reg", 0);
+  for (int I = 0; I < 300; ++I) {
+    data::Sample S;
+    S.Features = {static_cast<double>(I % 10), static_cast<double>(I % 3)};
+    S.Target = static_cast<double>(I % 7);
+    RegTrain.add(std::move(S));
+  }
+  KnnRegressor RegPlain(5), RegIndexed(5);
+  RegPlain.fit(RegTrain, R);
+  RegIndexed.fit(RegTrain, R);
+  RegIndexed.buildClusterIndex(16);
+  for (int I = 0; I < 20; ++I) {
+    data::Sample Probe;
+    Probe.Features = {static_cast<double>(I % 11) * 0.9,
+                      static_cast<double>(I % 4) * 1.1};
+    EXPECT_EQ(prom::testing::bits(RegIndexed.predict(Probe)),
+              prom::testing::bits(RegPlain.predict(Probe)))
+        << "probe " << I;
+  }
+
+  // Refitting drops the index (stale training block must never leak).
+  Indexed.fit(Train, R);
+  std::vector<double> AfterRefit = Indexed.predictProba(Test[0]);
+  std::vector<double> ExactRefit = Plain.predictProba(Test[0]);
+  for (size_t C = 0; C < AfterRefit.size(); ++C)
+    EXPECT_EQ(prom::testing::bits(AfterRefit[C]),
+              prom::testing::bits(ExactRefit[C]));
+}
+
 TEST(TreeTest, BatchedTraversalMatchesPerSample) {
   // The level-by-level batched descent must visit the same leaves as the
   // per-sample descent for both tree kinds, including samples that sit

@@ -221,6 +221,90 @@ TEST(RefreshTest, DetectorRefreshMatchesFullRebuildReference) {
   EXPECT_TRUE(AnyChanged);
 }
 
+TEST(RefreshTest, ClusterIndexSurvivesRefreshLifecycle) {
+  // The per-shard cluster indexes are derived state riding along the
+  // refresh lifecycle: small appends leave a stale (exactly scanned)
+  // tail, a large enough tail triggers a per-shard rebuild, and
+  // eviction / rebalance / reshard invalidate the indexes wholesale.
+  // After every mutation the pruned store must still match a from-scratch
+  // exact-scan reference bit for bit.
+  for (size_t K : {size_t(1), size_t(4)}) {
+    SCOPED_TRACE("K=" + std::to_string(K));
+    support::Rng R(4321);
+    std::vector<CalibrationEntry> All = makeEntries(2000, 6, 3, 2, R);
+
+    CalibrationStore Live;
+    for (const CalibrationEntry &E : All)
+      Live.add(E);
+    ClusterIndexPolicy Policy;
+    Policy.Enabled = true;
+    Policy.MinEntries = 64;
+    Policy.MaxStaleFraction = 0.25;
+    Policy.MaxSelectFraction = 1.0; // Keep the 50% default-config
+                                    // selection on the pruned path.
+    Live.setIndexPolicy(Policy);
+    Live.finalize(K);
+    ASSERT_GT(Live.indexedShards(), 0u);
+    EXPECT_EQ(Live.unindexedEntries(), 0u);
+
+    // Small append: the tail stays under the staleness bound, so the
+    // last shard's index is kept and the new rows are scanned exactly.
+    std::vector<CalibrationEntry> Fresh = makeEntries(64, 6, 3, 2, R);
+    All.insert(All.end(), Fresh.begin(), Fresh.end());
+    Live.appendEntries(std::move(Fresh));
+    Live.refinalize();
+    EXPECT_GT(Live.unindexedEntries(), 0u);
+    expectBothRegimesMatch(Live, referenceStore(All, K), 301, "stale-tail");
+
+    // Pile on appends until the tail crosses MaxStaleFraction (or the
+    // partition rebalances): the affected index must rebuild — covered
+    // rows catch back up with the shard.
+    for (int Step = 0; Step < 6; ++Step) {
+      Fresh = makeEntries(256, 6, 3, 2, R);
+      All.insert(All.end(), Fresh.begin(), Fresh.end());
+      Live.appendEntries(std::move(Fresh));
+      Live.refinalize();
+    }
+    EXPECT_LE(static_cast<double>(Live.unindexedEntries()),
+              Policy.MaxStaleFraction * static_cast<double>(Live.size()));
+    expectBothRegimesMatch(Live, referenceStore(All, K), 302,
+                           "rebuilt-after-staleness");
+
+    // Eviction re-blocks every entry: indexes rebuild wholesale and the
+    // store still matches the reference on the survivors.
+    Live.setMaxEntries(2048);
+    Fresh = makeEntries(400, 6, 3, 2, R);
+    All.insert(All.end(), Fresh.begin(), Fresh.end());
+    Live.appendEntries(std::move(Fresh));
+    Live.refinalize();
+    All.erase(All.begin(),
+              All.begin() + static_cast<long>(All.size() - 2048));
+    ASSERT_EQ(Live.size(), 2048u);
+    EXPECT_GT(Live.indexedShards(), 0u);
+    expectBothRegimesMatch(Live, referenceStore(All, K), 303, "evicted");
+
+    // Reshard moves every boundary; indexes follow the new partition.
+    Live.reshard(K == 1 ? 4 : 1);
+    EXPECT_GT(Live.indexedShards(), 0u);
+    expectBothRegimesMatch(Live, referenceStore(All, K == 1 ? 4 : 1), 304,
+                           "resharded");
+
+    // Disabling the policy drops every index and falls back to the exact
+    // scan; re-enabling restores pruned serving. Bit-identical both ways.
+    ClusterIndexPolicy Off;
+    Live.setIndexPolicy(Off);
+    EXPECT_EQ(Live.indexedShards(), 0u);
+    EXPECT_EQ(Live.unindexedEntries(), Live.size());
+    expectBothRegimesMatch(Live, referenceStore(All, K == 1 ? 4 : 1), 305,
+                           "policy-off");
+    Live.setIndexPolicy(Policy);
+    EXPECT_GT(Live.indexedShards(), 0u);
+    EXPECT_EQ(Live.unindexedEntries(), 0u);
+    expectBothRegimesMatch(Live, referenceStore(All, K == 1 ? 4 : 1), 306,
+                           "policy-back-on");
+  }
+}
+
 TEST(RefreshTest, EmptyRefreshIsANoop) {
   support::Rng R(7);
   data::Dataset Full = gaussianBlobs(2, 120, 4.0, 0.8, R);

@@ -113,6 +113,136 @@ void runRandomProgram(uint64_t Seed) {
   }
 }
 
+/// Entries whose embeddings live on a tiny integer grid: exact duplicate
+/// embeddings and exact distance ties abound — the adversarial input for
+/// the pruned scan's tie-break safety.
+std::vector<CalibrationEntry> makeTieHeavyEntries(size_t N, size_t Dim,
+                                                  support::Rng &R) {
+  std::vector<CalibrationEntry> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    CalibrationEntry E;
+    for (size_t D = 0; D < Dim; ++D)
+      E.Embed.push_back(static_cast<double>(R.bounded(3)));
+    E.Label = static_cast<int>(I % static_cast<size_t>(NumLabels));
+    for (size_t X = 0; X < NumExperts; ++X)
+      E.Scores.push_back(R.uniform(0.0, 1.0));
+    Out.push_back(std::move(E));
+  }
+  return Out;
+}
+
+/// Random store program with the cluster-pruned scan forced on: the live
+/// store carries an aggressive index policy (every shard indexed, random
+/// centroid counts and staleness bounds) through a random lifecycle, while
+/// the reference store keeps the store-default policy (disabled, exact
+/// flat scan). The two must agree bit for bit on every selection and
+/// p-value — the losslessness property, randomized over dims, shard
+/// counts, duplicate/tie-heavy embeddings, and mutation interleavings.
+void runPrunedProgram(uint64_t Seed) {
+  SCOPED_TRACE("failure seed " + std::to_string(Seed) +
+               " (replay: PROM_STORE_PROP_SEED=" + std::to_string(Seed) +
+               ")");
+  support::Rng R(Seed);
+
+  size_t K = 1 + R.bounded(6);
+  size_t PDim = 3 + R.bounded(9);
+  bool TieHeavy = R.bounded(2) == 0;
+  auto Make = [&](size_t N) {
+    return TieHeavy ? makeTieHeavyEntries(N, PDim, R)
+                    : makeEntries(N, PDim, NumLabels, NumExperts, R);
+  };
+
+  std::vector<CalibrationEntry> Mirror = Make(300 + R.bounded(500));
+  CalibrationStore Live;
+  Live.reserve(Mirror.size());
+  for (const CalibrationEntry &E : Mirror)
+    Live.add(E);
+
+  ClusterIndexPolicy Policy;
+  Policy.Enabled = true;
+  Policy.MinEntries = 1 + R.bounded(256);
+  Policy.NumCentroids = R.bounded(2) == 0 ? 0 : 4 + R.bounded(28);
+  Policy.MaxStaleFraction = 0.05 + 0.2 * R.uniform();
+  // The default-config regime selects 50% — keep the pruned path routed
+  // (the production MaxSelectFraction bound is a perf heuristic, not a
+  // correctness one, and this test is about correctness).
+  Policy.MaxSelectFraction = 1.0;
+  Live.setIndexPolicy(Policy);
+  Live.finalize(K);
+  ASSERT_GT(Live.indexedShards(), 0u) << "policy did not index any shard";
+  size_t MaxEntries = 0;
+
+  const int NumOps = 10;
+  for (int Op = 0; Op < NumOps; ++Op) {
+    SCOPED_TRACE("op " + std::to_string(Op));
+    switch (R.bounded(6)) {
+    case 0:   // Incremental refresh: exercises stale-tail exact scans.
+    case 1: {
+      std::vector<CalibrationEntry> Fresh = Make(1 + R.bounded(300));
+      Mirror.insert(Mirror.end(), Fresh.begin(), Fresh.end());
+      Live.appendEntries(std::move(Fresh));
+      Live.refinalize();
+      applyEviction(Mirror, MaxEntries);
+      break;
+    }
+    case 2: { // Full rebuild (indexes rebuilt wholesale).
+      std::vector<CalibrationEntry> Fresh = Make(1 + R.bounded(128));
+      Mirror.insert(Mirror.end(), Fresh.begin(), Fresh.end());
+      Live.appendEntries(std::move(Fresh));
+      Live.refinalizeFull();
+      applyEviction(Mirror, MaxEntries);
+      break;
+    }
+    case 3: { // Re-partition: every shard index must follow the layout.
+      K = 1 + R.bounded(6);
+      Live.reshard(K);
+      break;
+    }
+    case 4: { // Eviction bound (kept >= 256 so selections stay proper).
+      MaxEntries = R.bounded(3) == 0 ? 0 : 256 + R.bounded(512);
+      Live.setMaxEntries(MaxEntries);
+      break;
+    }
+    case 5: { // Policy change mid-flight: re-index under new knobs.
+      Policy.MinEntries = 1 + R.bounded(256);
+      Policy.MaxStaleFraction = 0.05 + 0.2 * R.uniform();
+      Live.setIndexPolicy(Policy);
+      break;
+    }
+    }
+
+    if (Op % 3 == 2 || Op == NumOps - 1) {
+      CalibrationStore Ref = referenceStore(Mirror, K);
+      expectBothRegimesMatch(Live, Ref, Seed ^ static_cast<uint64_t>(Op),
+                             ("after op " + std::to_string(Op)).c_str());
+      if (::testing::Test::HasFailure()) {
+        ADD_FAILURE() << "pruned-store property violated; failure seed "
+                      << Seed << " — replay with PROM_STORE_PROP_SEED="
+                      << Seed;
+        return;
+      }
+    }
+  }
+
+  // The program must have ended with the pruned path actually serving
+  // (guards against silently falling back to the exact scan forever).
+  if (Live.indexedShards() > 0 &&
+      selectionKeepCount(Live.size(), PromConfig()) < Live.size()) {
+    AssessmentScratch S;
+    PromConfig Cfg;
+    std::vector<double> Query(Live.embedDim());
+    for (double &V : Query)
+      V = R.gaussian(0.0, 2.0);
+    Live.selectForAssessment(Query.data(), Cfg, S);
+    EXPECT_TRUE(S.Pruned.Used);
+    EXPECT_EQ(S.Pruned.RowsTotal, Live.size());
+    EXPECT_GT(S.Pruned.RowsScanned, 0u);
+    EXPECT_LE(S.Pruned.RowsScanned, S.Pruned.RowsTotal);
+    EXPECT_LE(S.Pruned.ListsScanned, S.Pruned.ListsTotal);
+  }
+}
+
 } // namespace
 
 TEST(StorePropertyTest, RandomLifecyclesMatchFromScratchRebuild) {
@@ -121,11 +251,19 @@ TEST(StorePropertyTest, RandomLifecyclesMatchFromScratchRebuild) {
     runRandomProgram(Seed);
 }
 
+TEST(StorePropertyTest, PrunedLifecyclesMatchExactScan) {
+  for (uint64_t Seed : {20260801ull, 20260802ull, 20260803ull, 20260804ull,
+                        20260805ull, 20260806ull, 20260807ull, 20260808ull})
+    runPrunedProgram(Seed);
+}
+
 TEST(StorePropertyTest, ReplaySeedFromEnvironment) {
   // Developer loop: PROM_STORE_PROP_SEED=<n> re-runs exactly the program a
   // failure named. A no-op when the variable is unset.
   const char *Env = std::getenv("PROM_STORE_PROP_SEED");
   if (!Env)
     GTEST_SKIP() << "PROM_STORE_PROP_SEED not set";
-  runRandomProgram(std::strtoull(Env, nullptr, 10));
+  uint64_t Seed = std::strtoull(Env, nullptr, 10);
+  runRandomProgram(Seed);
+  runPrunedProgram(Seed);
 }

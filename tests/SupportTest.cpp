@@ -427,6 +427,28 @@ TEST(KMeansTest, KClampedToPointCount) {
   EXPECT_LE(Res.Centroids.size(), 2u);
 }
 
+TEST(KMeansTest, EmptyClustersReseedToFarthestPoint) {
+  // Quantizer-duty hardening: clusters that empty out during Lloyd
+  // iterations must be reseeded (to the farthest unclaimed point) instead
+  // of silently keeping a dead centroid. With distinct points and K well
+  // below N, every cluster must end up non-empty for any seed.
+  for (uint64_t Seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    Rng R(Seed);
+    std::vector<std::vector<double>> Points;
+    for (int I = 0; I < 40; ++I)
+      Points.push_back({static_cast<double>(I) * 1.7,
+                        static_cast<double>(I % 5) * 3.1});
+    KMeansResult Res = kMeans(Points, 20, R);
+    ASSERT_EQ(Res.Centroids.size(), 20u);
+    std::vector<int> Counts(20, 0);
+    for (int A : Res.Assignments)
+      ++Counts[static_cast<size_t>(A)];
+    for (size_t C = 0; C < 20; ++C)
+      EXPECT_GT(Counts[C], 0) << "cluster " << C << " ended empty";
+  }
+}
+
 TEST(KMeansTest, NearestCentroidPicksClosest) {
   std::vector<std::vector<double>> Centroids = {{0, 0}, {10, 10}};
   EXPECT_EQ(nearestCentroid(Centroids, {1, 1}), 0u);
