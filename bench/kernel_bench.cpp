@@ -30,6 +30,7 @@
 #include "support/FeatureMatrix.h"
 #include "support/Kernels.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <chrono>
@@ -296,6 +297,89 @@ ClusterBenchResult clusterKnnBench(size_t N, size_t Dim, size_t Centroids,
   return Res;
 }
 
+/// Batched pruned scan (nearestPrunedBatch) against the per-query pruned
+/// loop on the same index: one shared MxN centroid block per query tile
+/// plus the ThreadPool fan-out over queries, verified bit-identical —
+/// pairs and stats — before timing. The speedup has two components: the
+/// amortized centroid block (visible even single-core) and the fan-out
+/// (scales with pool lanes, reported separately so artifacts from 1-core
+/// and 4-core runners stay comparable).
+void clusterBatchBench(size_t N, size_t Dim, size_t Centroids, size_t K,
+                       double MinMillis, Rng &R) {
+  const size_t NumBlobs = 64;
+  const size_t NumQueries = 64;
+  FeatureMatrix Rows = makeBlobRows(N, Dim, NumBlobs, R);
+  ClusterIndex Index;
+  Index.build(Rows, 0, N, Centroids, /*Seed=*/20250301ull);
+
+  FeatureMatrix Queries(NumQueries, Dim);
+  std::vector<double> Q(Dim);
+  for (size_t I = 0; I < NumQueries; ++I) {
+    const double *Base = Rows.rowPtr(R.bounded(N));
+    for (size_t D = 0; D < Dim; ++D)
+      Q[D] = Base[D] + R.gaussian(0.0, 0.5);
+    Queries.setRow(I, Q.data());
+  }
+
+  // Bit-identity gate: pairs AND pruning counters per query.
+  std::vector<ClusterScanStats> BatchStats;
+  std::vector<std::vector<std::pair<double, uint32_t>>> Batch =
+      Index.nearestPrunedBatch(Queries, K, &BatchStats);
+  for (size_t I = 0; I < NumQueries; ++I) {
+    ClusterScanStats Serial;
+    std::vector<std::pair<double, uint32_t>> Want =
+        Index.nearestPruned(Queries.rowPtr(I), K, &Serial);
+    bool Same = Batch[I].size() == Want.size() &&
+                BatchStats[I].ListsScanned == Serial.ListsScanned &&
+                BatchStats[I].RowsScanned == Serial.RowsScanned;
+    for (size_t J = 0; Same && J < Want.size(); ++J)
+      Same = Batch[I][J].first == Want[J].first &&
+             Batch[I][J].second == Want[J].second;
+    if (!Same) {
+      std::fprintf(stderr,
+                   "FATAL: nearestPrunedBatch diverges from nearestPruned "
+                   "at N=%zu query %zu\n",
+                   N, I);
+      std::exit(1);
+    }
+  }
+
+  using Clock = std::chrono::steady_clock;
+  auto BestPerQueryUs = [&](auto &&Body) {
+    double Best = 1e300, SpentMs = 0.0;
+    do {
+      Clock::time_point T0 = Clock::now();
+      SinkAccum += Body();
+      double Ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - T0)
+              .count();
+      SpentMs += Ms;
+      Best = std::min(Best, Ms * 1e3 / static_cast<double>(NumQueries));
+    } while (SpentMs < MinMillis);
+    return Best;
+  };
+
+  double PerQueryUs = BestPerQueryUs([&] {
+    double Fold = 0.0;
+    for (size_t I = 0; I < NumQueries; ++I)
+      Fold += Index.nearestPruned(Queries.rowPtr(I), K).front().first;
+    return Fold;
+  });
+  double BatchUs = BestPerQueryUs([&] {
+    return Index.nearestPrunedBatch(Queries, K).front().front().first;
+  });
+
+  size_t Lanes = ThreadPool::global().numThreads();
+  std::printf("  N=%-8zu: per-query pruned %8.1f us/query | batched pruned "
+              "%8.1f us/query | speedup %5.2fx | pool lanes %zu\n",
+              N, PerQueryUs, BatchUs, PerQueryUs / BatchUs, Lanes);
+  std::string Tag = "cluster_scan_batch_n" + std::to_string(N);
+  jsonResult(Tag + "_perquery_us", PerQueryUs);
+  jsonResult(Tag + "_batch_us_per_query", BatchUs);
+  jsonResult(Tag + "_speedup", PerQueryUs / BatchUs);
+  jsonResult(Tag + "_pool_lanes", static_cast<double>(Lanes));
+}
+
 /// The two store-scale configurations (full JSON) plus the crossover sweep
 /// over smaller row counts (one summary metric).
 void clusterScanStudy(double MinMillis, Rng &R) {
@@ -324,6 +408,14 @@ void clusterScanStudy(double MinMillis, Rng &R) {
     jsonResult(Tag + "_lists_scanned_fraction", Res.ListsFraction);
     jsonResult(Tag + "_rows_scanned_fraction", Res.RowsFraction);
     jsonResult(Tag + "_index_build_s", Res.BuildSec);
+  }
+
+  std::printf("\nbatched pruned scan vs per-query pruned loop (dim=%zu, "
+              "k=%zu, %zu-query batches)\n",
+              Dim, K, size_t(64));
+  for (size_t N : {100000u, 1000000u}) {
+    size_t Centroids = N >= 500000 ? 512 : 0;
+    clusterBatchBench(N, Dim, Centroids, K, MinMillis, R);
   }
 
   // Crossover sweep: the smallest row count where the pruned scan beats

@@ -64,6 +64,17 @@ struct PrunedScanStats {
   size_t ListsScanned = 0; ///< Lists that survived the bound test.
   size_t RowsTotal = 0;    ///< Entries the selection ranged over (all).
   size_t RowsScanned = 0;  ///< Entries actually distance-scanned.
+
+  /// Merges another query's counters in (integer sums; Used ORs), so
+  /// batch aggregates fold deterministically in ascending query order.
+  PrunedScanStats &operator+=(const PrunedScanStats &O) {
+    Used = Used || O.Used;
+    ListsTotal += O.ListsTotal;
+    ListsScanned += O.ListsScanned;
+    RowsTotal += O.RowsTotal;
+    RowsScanned += O.RowsScanned;
+    return *this;
+  }
 };
 
 /// Reusable per-lane working state of the batched assessment engine: one

@@ -231,26 +231,89 @@ void CalibrationStore::updateShardIndex(size_t S) {
             IndexPolicy.Seed ^ (0x9E3779B97F4A7C15ull * (Sh.Begin + 1)));
 }
 
-void CalibrationStore::selectForAssessment(const double *TestEmbed,
-                                           const PromConfig &Cfg,
-                                           AssessmentScratch &Scratch) const {
-  assert(!Flat.empty() && "empty calibration store");
-  size_t N = Flat.size();
-  Scratch.Pruned = PrunedScanStats();
+PrunedScanStats CalibrationStore::BatchPrunedScan::aggregated() const {
+  PrunedScanStats Agg;
+  for (const PrunedScanStats &S : PerQuery)
+    Agg += S;
+  return Agg;
+}
 
+bool CalibrationStore::prunedRouting(const PromConfig &Cfg,
+                                     size_t &Keep) const {
   // The pruned scan pays off only when the selection is a proper subset
   // (a full selection must touch every entry anyway) — and a small one:
   // pruning can never skip the kept rows themselves, so large selections
   // are served faster by the exact flat scan (MaxSelectFraction bounds
   // the routing). Losslessness makes this purely a routing choice.
-  if (IndexPolicy.Enabled && indexedShards() > 0) {
-    size_t Keep = selectionKeepCount(N, Cfg);
-    if (Keep < N && static_cast<double>(Keep) <=
-                        IndexPolicy.MaxSelectFraction *
-                            static_cast<double>(N)) {
-      selectForAssessmentPruned(TestEmbed, Cfg, Keep, Scratch);
-      return;
-    }
+  size_t N = Flat.size();
+  if (!IndexPolicy.Enabled || indexedShards() == 0)
+    return false;
+  Keep = selectionKeepCount(N, Cfg);
+  return Keep < N && static_cast<double>(Keep) <=
+                         IndexPolicy.MaxSelectFraction *
+                             static_cast<double>(N);
+}
+
+void CalibrationStore::prepareBatchPrunedScan(const double *Queries,
+                                              size_t NumQueries,
+                                              size_t QueryStride,
+                                              const PromConfig &Cfg,
+                                              BatchPrunedScan &Scan) const {
+  Scan.Active = false;
+  Scan.NumQueries = NumQueries;
+  Scan.Blocks.clear();
+  Scan.PerQuery.assign(NumQueries, PrunedScanStats());
+  size_t Keep = 0;
+  if (Flat.empty() || NumQueries == 0 || !prunedRouting(Cfg, Keep))
+    return;
+  Scan.Active = true;
+
+  for (size_t SI = 0; SI < Shards.size(); ++SI) {
+    const support::ClusterIndex &Idx = ShardIndexes[SI];
+    if (!Idx.valid())
+      continue;
+    BatchPrunedScan::ShardBlock B;
+    B.Shard = SI;
+    B.NumLists = Idx.numLists();
+    B.DistSq.resize(NumQueries * B.NumLists);
+    Scan.Blocks.push_back(std::move(B));
+  }
+  // One blocked MxN pass per (query chunk, indexed shard) fills the
+  // distance blocks: chunks are disjoint query rows and block row Q is
+  // bit-identical to centroidDistances(query Q), so neither the fan-out
+  // nor the batching can change a selection bit.
+  for (BatchPrunedScan::ShardBlock &B : Scan.Blocks) {
+    const support::ClusterIndex &Idx = ShardIndexes[B.Shard];
+    support::ThreadPool::global().parallelFor(
+        NumQueries, [&](size_t Begin, size_t End) {
+          if (Begin >= End)
+            return;
+          Idx.centroidDistancesBatch(Queries + Begin * QueryStride,
+                                     End - Begin, QueryStride,
+                                     B.DistSq.data() + Begin * B.NumLists);
+        });
+  }
+}
+
+void CalibrationStore::selectForAssessment(const double *TestEmbed,
+                                           const PromConfig &Cfg,
+                                           AssessmentScratch &Scratch,
+                                           BatchPrunedScan *Batch,
+                                           size_t QueryIndex) const {
+  assert(!Flat.empty() && "empty calibration store");
+  size_t N = Flat.size();
+  Scratch.Pruned = PrunedScanStats();
+
+  size_t Keep = 0;
+  if (prunedRouting(Cfg, Keep)) {
+    assert((!Batch || (Batch->Active && QueryIndex < Batch->NumQueries)) &&
+           "batch scan prepared under a different store or config");
+    selectForAssessmentPruned(TestEmbed, Cfg, Keep, Scratch,
+                              Batch && Batch->Active ? Batch : nullptr,
+                              QueryIndex);
+    if (Batch && Batch->Active)
+      Batch->PerQuery[QueryIndex] = Scratch.Pruned;
+    return;
   }
 
   Scratch.Keyed.resize(N);
@@ -274,10 +337,10 @@ void CalibrationStore::selectForAssessment(const double *TestEmbed,
   Flat.finishSelection(Cfg, Scratch);
 }
 
-void CalibrationStore::selectForAssessmentPruned(const double *TestEmbed,
-                                                 const PromConfig &Cfg,
-                                                 size_t Keep,
-                                                 AssessmentScratch &S) const {
+void CalibrationStore::selectForAssessmentPruned(
+    const double *TestEmbed, const PromConfig &Cfg, size_t Keep,
+    AssessmentScratch &S, const BatchPrunedScan *Batch,
+    size_t QueryIndex) const {
   const support::FeatureMatrix &Embeds = Flat.embedMatrix();
   S.Pruned.Used = true;
   S.Pruned.RowsTotal = Flat.size();
@@ -312,20 +375,36 @@ void CalibrationStore::selectForAssessmentPruned(const double *TestEmbed,
 
   // Phase 2 — rank every live index's lists globally by query-centroid
   // distance (the scan order only affects how fast the bound tightens,
-  // never the result).
-  S.CentroidDists.clear();
+  // never the result). With a prepared batch, this query's centroid
+  // distances come straight out of the per-shard blocks — the same bits
+  // the per-query kernel calls would produce, with the MxN pass already
+  // amortized across the whole batch.
   S.ListOrder.clear();
-  for (size_t SI = 0; SI < Shards.size(); ++SI) {
-    const support::ClusterIndex &Idx = ShardIndexes[SI];
-    if (!Idx.valid())
-      continue;
-    size_t Off = S.CentroidDists.size();
-    size_t NumLists = Idx.numLists();
-    S.CentroidDists.resize(Off + NumLists);
-    Idx.centroidDistances(TestEmbed, S.CentroidDists.data() + Off);
-    for (size_t L = 0; L < NumLists; ++L)
-      S.ListOrder.push_back({S.CentroidDists[Off + L],
-                             (static_cast<uint64_t>(SI) << 32) | L});
+  if (Batch) {
+    for (const BatchPrunedScan::ShardBlock &B : Batch->Blocks) {
+      assert(B.Shard < ShardIndexes.size() &&
+             ShardIndexes[B.Shard].valid() &&
+             B.NumLists == ShardIndexes[B.Shard].numLists() &&
+             "stale batch scan: the store changed after prepare");
+      const double *Row = B.DistSq.data() + QueryIndex * B.NumLists;
+      for (size_t L = 0; L < B.NumLists; ++L)
+        S.ListOrder.push_back(
+            {Row[L], (static_cast<uint64_t>(B.Shard) << 32) | L});
+    }
+  } else {
+    S.CentroidDists.clear();
+    for (size_t SI = 0; SI < Shards.size(); ++SI) {
+      const support::ClusterIndex &Idx = ShardIndexes[SI];
+      if (!Idx.valid())
+        continue;
+      size_t Off = S.CentroidDists.size();
+      size_t NumLists = Idx.numLists();
+      S.CentroidDists.resize(Off + NumLists);
+      Idx.centroidDistances(TestEmbed, S.CentroidDists.data() + Off);
+      for (size_t L = 0; L < NumLists; ++L)
+        S.ListOrder.push_back({S.CentroidDists[Off + L],
+                               (static_cast<uint64_t>(SI) << 32) | L});
+    }
   }
   S.Pruned.ListsTotal = S.ListOrder.size();
   std::sort(S.ListOrder.begin(), S.ListOrder.end());

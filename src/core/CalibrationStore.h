@@ -183,14 +183,68 @@ public:
   /// always scans these exactly, which is what keeps staleness lossless.
   size_t unindexedEntries() const;
 
+  /// Precomputed per-batch state of the cluster-pruned selection: one
+  /// query-to-centroid squared-distance block per indexed shard, computed
+  /// with blocked l2SqMxN passes over the whole query batch instead of one
+  /// l2Sq1xN per (query, shard) — the centroid-ranking cost the per-query
+  /// path repays on every call. Block row Q carries the bits
+  /// centroidDistances(query Q) would produce (the MxN kernel contract),
+  /// so selections served from the batch are bit-identical to the
+  /// per-query pruned path. Also collects each query's pruning counters
+  /// (every selection writes only its own PerQuery slot, so the aggregate
+  /// is deterministic at any thread count).
+  struct BatchPrunedScan {
+    /// Pruned routing holds for this (store, config) and the blocks below
+    /// are filled; when false, selectForAssessment() ignores the scan.
+    bool Active = false;
+    size_t NumQueries = 0; ///< Rows of the prepared query block.
+    /// The centroid-distance block of one indexed shard.
+    struct ShardBlock {
+      size_t Shard = 0;    ///< Index into the store's shard array.
+      size_t NumLists = 0; ///< Lists of that shard's cluster index.
+      /// NumQueries x NumLists squared distances, row-major by query.
+      std::vector<double> DistSq;
+    };
+    /// One block per indexed shard, ascending shard order (matching the
+    /// per-query path's shard walk).
+    std::vector<ShardBlock> Blocks;
+    /// Per-query counters of the selections served from this batch; slot
+    /// Q is written by the selection of query Q (default — Used == false —
+    /// when the exact path served it).
+    std::vector<PrunedScanStats> PerQuery;
+    /// Canonical ascending-query fold of PerQuery — the batch's aggregate
+    /// lists/rows-scanned counters, identical at any thread count.
+    PrunedScanStats aggregated() const;
+  };
+
+  /// Fills \p Scan for a batch of \p NumQueries query embeddings (rows of
+  /// stride \p QueryStride starting at \p Queries) under \p Cfg. When the
+  /// pruned routing would not fire (policy disabled, no indexed shards, or
+  /// the selection is not a small proper subset), Scan.Active stays false
+  /// and per-query selection proceeds exactly as without a batch. The
+  /// per-shard blocks fan out over the ThreadPool in deterministic
+  /// disjoint query chunks.
+  void prepareBatchPrunedScan(const double *Queries, size_t NumQueries,
+                              size_t QueryStride, const PromConfig &Cfg,
+                              BatchPrunedScan &Scan) const;
+
   /// Engine API; bit-identical to flat().selectForAssessment() for every
   /// shard count. The distance scan fans out over the shards when the
   /// store is sharded and the pool is not already saturated — or, once the
   /// index policy enabled cluster indexes and a proper-subset selection is
   /// in force, runs the lossless pruned scan instead (Scratch.Pruned
   /// reports which path served the call and its pruning counters).
+  ///
+  /// \p Batch, when non-null and Active, must have been prepared by
+  /// prepareBatchPrunedScan() on this store with the same config;
+  /// \p QueryIndex names this query's row of the prepared block, and the
+  /// pruned scan reads its centroid distances from the block instead of
+  /// recomputing them (same bits, so the selection is unchanged). The
+  /// query's pruning counters land in Batch->PerQuery[QueryIndex].
   void selectForAssessment(const double *TestEmbed, const PromConfig &Cfg,
-                           AssessmentScratch &Scratch) const;
+                           AssessmentScratch &Scratch,
+                           BatchPrunedScan *Batch = nullptr,
+                           size_t QueryIndex = 0) const;
 
   /// Engine API; bit-identical to flat().pValuesAllExperts() for every
   /// shard count.
@@ -224,12 +278,24 @@ private:
   /// The decide-and-build step of updateShardIndexes() for shard \p S.
   void updateShardIndex(size_t S);
 
+  /// The shared routing predicate of the pruned scan: true when the policy
+  /// is enabled, at least one shard is indexed, and the \p Cfg selection is
+  /// a small proper subset (MaxSelectFraction); \p Keep receives the
+  /// selection size. prepareBatchPrunedScan() and selectForAssessment()
+  /// both route through this, so a prepared batch can never disagree with
+  /// the per-query decision.
+  bool prunedRouting(const PromConfig &Cfg, size_t &Keep) const;
+
   /// The cluster-pruned selection path: exact scan of every unindexed
   /// row, bound-pruned scan of the indexed lists, then the shared
-  /// partition + weight steps. Bit-identical to the flat path.
+  /// partition + weight steps. Bit-identical to the flat path. \p Batch,
+  /// when non-null, supplies the precomputed centroid-distance rows of
+  /// query \p QueryIndex (see selectForAssessment()).
   void selectForAssessmentPruned(const double *TestEmbed,
                                  const PromConfig &Cfg, size_t Keep,
-                                 AssessmentScratch &Scratch) const;
+                                 AssessmentScratch &Scratch,
+                                 const BatchPrunedScan *Batch,
+                                 size_t QueryIndex) const;
 
   CalibrationScores Flat;
   std::vector<Shard> Shards;

@@ -293,7 +293,9 @@ Verdict PromClassifier::assessSerial(const data::Sample &S) const {
 void PromClassifier::assessRange(const CalibrationStore &Store,
                                  const Matrix &Probs, const Matrix &Embeds,
                                  size_t Begin, size_t End,
-                                 std::vector<Verdict> &Out) const {
+                                 std::vector<Verdict> &Out,
+                                 CalibrationStore::BatchPrunedScan &Scan)
+    const {
   size_t NumLabels = Probs.cols();
   size_t NumExp = Scorers.size();
 
@@ -310,7 +312,7 @@ void PromClassifier::assessRange(const CalibrationStore &Store,
     V.Probabilities.assign(Probs.rowPtr(I), Probs.rowPtr(I) + NumLabels);
     V.Predicted = static_cast<int>(support::argmaxRow(Probs, I));
 
-    Store.selectForAssessment(Embeds.rowPtr(I), Cfg, Scratch);
+    Store.selectForAssessment(Embeds.rowPtr(I), Cfg, Scratch, &Scan, I);
     for (size_t E = 0; E < NumExp; ++E)
       Scorers[E]->scoreAll(V.Probabilities, TestScores.data() + E * NumLabels);
     Store.pValuesAllExperts(Scratch, TestScores.data(), NumLabels, Cfg,
@@ -354,9 +356,16 @@ PromClassifier::assessBatchWithForwards(const Matrix &RawProbs,
   assert(Embeds.cols() == Store->embedDim() &&
          "embedding width does not match the calibration set");
 
+  // One batched centroid-distance pass for the whole batch (inactive when
+  // the pruned routing is not in force) — the per-query selections then
+  // read their own rows instead of re-ranking the lists from scratch.
+  CalibrationStore::BatchPrunedScan Scan;
+  Store->prepareBatchPrunedScan(Embeds.rowPtr(0), Embeds.rows(),
+                                Embeds.cols(), Cfg, Scan);
+
   support::ThreadPool::global().parallelFor(
       Out.size(), [&](size_t Begin, size_t End) {
-        assessRange(*Store, Probs, Embeds, Begin, End, Out);
+        assessRange(*Store, Probs, Embeds, Begin, End, Out, Scan);
       });
   return Out;
 }
@@ -623,23 +632,47 @@ PromRegressor::PromRegressor(
 
 /// k-NN statistics of \p Embed (length Embeds.dim()) against the flat
 /// calibration embedding block, excluding an optional \p SelfIndex. The
-/// neighbour search is one batched kernel scan over the block.
+/// neighbour search is one batched kernel scan over the block — or, with
+/// a valid \p Index over it, the lossless cluster-pruned scan (the same
+/// (distance, id) pairs in the same order, so the folds below are
+/// bit-identical; sqrt of the scanned squared distance equals the
+/// euclidean() recompute because the 1xN row fold matches the per-pair
+/// kernel). \p CentDistSq, when non-null, supplies the query's
+/// precomputed index-centroid distances (one row of a batch block).
 static void knnStats(const support::FeatureMatrix &Embeds,
                      const std::vector<double> &Targets, const double *Embed,
-                     size_t K, long SelfIndex, double &MeanTarget,
+                     size_t K, long SelfIndex,
+                     const support::ClusterIndex *Index,
+                     const double *CentDistSq, double &MeanTarget,
                      double &Spread, double &MeanDist) {
-  std::vector<size_t> Near =
-      support::kNearest(Embeds, Embed, K + (SelfIndex >= 0 ? 1 : 0));
+  size_t Want = K + (SelfIndex >= 0 ? 1 : 0);
   std::vector<double> NearTargets;
   std::vector<double> Dists;
-  for (size_t Idx : Near) {
+  // Shared harvest of one neighbour (ascending (distance, id) order):
+  // skips the excluded self row, stops once K neighbours are in.
+  auto Take = [&](size_t Idx, double Dist) {
     if (SelfIndex >= 0 && Idx == static_cast<size_t>(SelfIndex))
-      continue;
+      return true;
     if (NearTargets.size() == K)
-      break;
+      return false;
     NearTargets.push_back(Targets[Idx]);
-    Dists.push_back(
-        support::euclidean(Embeds.rowPtr(Idx), Embed, Embeds.dim()));
+    Dists.push_back(Dist);
+    return true;
+  };
+  if (Index && Index->valid()) {
+    std::vector<std::pair<double, uint32_t>> Near =
+        CentDistSq
+            ? Index->nearestPrunedFromCentroids(Embed, CentDistSq, Want)
+            : Index->nearestPruned(Embed, Want);
+    for (const std::pair<double, uint32_t> &P : Near)
+      if (!Take(P.second, std::sqrt(P.first)))
+        break;
+  } else {
+    std::vector<size_t> Near = support::kNearest(Embeds, Embed, Want);
+    for (size_t Idx : Near)
+      if (!Take(Idx,
+                support::euclidean(Embeds.rowPtr(Idx), Embed, Embeds.dim())))
+        break;
   }
   assert(!NearTargets.empty() && "calibration set too small for k-NN");
   MeanTarget = support::mean(NearTargets);
@@ -647,14 +680,30 @@ static void knnStats(const support::FeatureMatrix &Embeds,
   MeanDist = support::mean(Dists);
 }
 
-RegressionScoreInput PromRegressor::makeScoreInput(const double *Embed,
-                                                   double Prediction) const {
+RegressionScoreInput
+PromRegressor::makeScoreInput(const double *Embed, double Prediction,
+                              const double *KnnCentDists) const {
   RegressionScoreInput In;
   In.Prediction = Prediction;
   In.ResidualIqr = ResidualIqr;
   knnStats(CalibEmbeds, CalibTargets, Embed, Cfg.KnnK, /*SelfIndex=*/-1,
-           In.ApproxTarget, In.KnnTargetSpread, In.KnnMeanDistance);
+           &KnnIndex, KnnCentDists, In.ApproxTarget, In.KnnTargetSpread,
+           In.KnnMeanDistance);
   return In;
+}
+
+/// Seed of the regressor's k-NN ground-truth index: fixed, so calibrating
+/// twice on the same set yields the same index (losslessness makes the
+/// value irrelevant to verdicts — it only shapes the pruning).
+static constexpr uint64_t RegKnnIndexSeed = 0x8D2F4A6E1B97C35Dull;
+
+void PromRegressor::rebuildKnnIndex() {
+  KnnIndex.clear();
+  if (!Cfg.KnnClusterIndex ||
+      CalibEmbeds.rows() < Cfg.ClusterIndexMinEntries)
+    return;
+  KnnIndex.build(CalibEmbeds, 0, CalibEmbeds.rows(),
+                 Cfg.ClusterIndexCentroids, RegKnnIndexSeed);
 }
 
 void PromRegressor::calibrate(const data::Dataset &CalibSet,
@@ -679,6 +728,7 @@ void PromRegressor::calibrate(const data::Dataset &CalibSet,
     Residuals.push_back(std::fabs(Predictions[I] - CalibSet[I].Target));
   }
   CalibEmbeds = support::FeatureMatrix::fromRows(EmbedRows);
+  rebuildKnnIndex();
   ResidualIqr = support::quantile(Residuals, 0.75) -
                 support::quantile(Residuals, 0.25);
 
@@ -705,8 +755,8 @@ void PromRegressor::calibrate(const data::Dataset &CalibSet,
     In.ResidualIqr = ResidualIqr;
     double ApproxUnused;
     knnStats(CalibEmbeds, CalibTargets, CalibEmbeds.rowPtr(I), Cfg.KnnK,
-             static_cast<long>(I), ApproxUnused, In.KnnTargetSpread,
-             In.KnnMeanDistance);
+             static_cast<long>(I), &KnnIndex, /*CentDistSq=*/nullptr,
+             ApproxUnused, In.KnnTargetSpread, In.KnnMeanDistance);
     In.ApproxTarget = CalibTargets[I];
 
     Entry.Scores.reserve(Scorers.size());
@@ -761,7 +811,9 @@ RegressionVerdict PromRegressor::assessSerial(const data::Sample &S) const {
 void PromRegressor::assessRange(const std::vector<double> &Predictions,
                                 const Matrix &Embeds, size_t Begin,
                                 size_t End,
-                                std::vector<RegressionVerdict> &Out) const {
+                                std::vector<RegressionVerdict> &Out,
+                                CalibrationStore::BatchPrunedScan &Scan,
+                                const double *KnnCentBlock) const {
   size_t NumLabels = Centroids.size();
   size_t NumExp = Scorers.size();
 
@@ -776,8 +828,10 @@ void PromRegressor::assessRange(const std::vector<double> &Predictions,
     Embed.assign(Embeds.rowPtr(I), Embeds.rowPtr(I) + Embeds.cols());
     V.Cluster = static_cast<int>(support::nearestCentroid(Centroids, Embed));
 
-    RegressionScoreInput In = makeScoreInput(Embeds.rowPtr(I), V.Predicted);
-    Calib.selectForAssessment(Embeds.rowPtr(I), Cfg, Scratch);
+    RegressionScoreInput In = makeScoreInput(
+        Embeds.rowPtr(I), V.Predicted,
+        KnnCentBlock ? KnnCentBlock + I * KnnIndex.numLists() : nullptr);
+    Calib.selectForAssessment(Embeds.rowPtr(I), Cfg, Scratch, &Scan, I);
     for (size_t E = 0; E < NumExp; ++E) {
       double TestScore = Scorers[E]->score(In);
       for (size_t L = 0; L < NumLabels; ++L)
@@ -808,9 +862,32 @@ PromRegressor::assessBatch(const data::Dataset &Batch) const {
   assert(Embeds.cols() == Calib.embedDim() &&
          "embedding width does not match the calibration set");
 
+  // Batch-amortized centroid passes: one for the store's pruned selection
+  // (inactive when the routing is not in force) and one for the k-NN
+  // ground-truth index. Chunks are disjoint query rows and each block row
+  // is bit-identical to the per-query kernel call, so verdicts cannot
+  // change.
+  CalibrationStore::BatchPrunedScan Scan;
+  Calib.prepareBatchPrunedScan(Embeds.rowPtr(0), Embeds.rows(),
+                               Embeds.cols(), Cfg, Scan);
+  std::vector<double> KnnCentBlock;
+  if (KnnIndex.valid()) {
+    size_t NumLists = KnnIndex.numLists();
+    KnnCentBlock.resize(Batch.size() * NumLists);
+    support::ThreadPool::global().parallelFor(
+        Batch.size(), [&](size_t Begin, size_t End) {
+          if (Begin >= End)
+            return;
+          KnnIndex.centroidDistancesBatch(
+              Embeds.rowPtr(Begin), End - Begin, Embeds.cols(),
+              KnnCentBlock.data() + Begin * NumLists);
+        });
+  }
+
   support::ThreadPool::global().parallelFor(
       Batch.size(), [&](size_t Begin, size_t End) {
-        assessRange(Predictions, Embeds, Begin, End, Out);
+        assessRange(Predictions, Embeds, Begin, End, Out, Scan,
+                    KnnCentBlock.empty() ? nullptr : KnnCentBlock.data());
       });
   return Out;
 }
@@ -917,6 +994,7 @@ bool PromRegressor::loadSnapshot(const std::string &Path,
   Calib.setIndexPolicy(ClusterIndexPolicy::fromConfig(Cfg));
   Calib.finalize(Shards);
   CalibEmbeds = support::FeatureMatrix::fromRows(NewEmbeds);
+  rebuildKnnIndex();
   CalibTargets = std::move(NewTargets);
   Centroids = std::move(NewCentroids);
   ResidualIqr = NewResidualIqr;

@@ -231,11 +231,15 @@ private:
 
   /// Committee assessment of rows [Begin, End) of a batch whose softened
   /// probabilities and embeddings are already computed, against the
-  /// pinned \p Store.
+  /// pinned \p Store. \p Scan is the batch's prepared pruned-scan context
+  /// (inactive when the pruned routing is not in force); each query reads
+  /// its own precomputed centroid-distance row and writes its own stats
+  /// slot, so concurrent ranges never touch shared state.
   void assessRange(const CalibrationStore &Store,
                    const support::Matrix &Probs,
                    const support::Matrix &Embeds, size_t Begin, size_t End,
-                   std::vector<Verdict> &Out) const;
+                   std::vector<Verdict> &Out,
+                   CalibrationStore::BatchPrunedScan &Scan) const;
 
   /// Pins the live store (atomic load). Every public entry point takes
   /// one snapshot up front and uses it throughout, so a concurrent
@@ -353,14 +357,31 @@ public:
 private:
   /// \p Embed must point at embedDim() values (a row of the calibration
   /// embedding block or a freshly computed test embedding).
-  RegressionScoreInput makeScoreInput(const double *Embed,
-                                      double Prediction) const;
+  /// \p KnnCentDists, when non-null, supplies this query's precomputed
+  /// squared distances to the KnnIndex centroids (one row of the batch
+  /// block assessBatch() prepares) — same bits as recomputing them, so
+  /// the k-NN statistics are unchanged.
+  RegressionScoreInput makeScoreInput(const double *Embed, double Prediction,
+                                      const double *KnnCentDists =
+                                          nullptr) const;
+
+  /// Reconciles KnnIndex with the config and the current calibration
+  /// embedding block: built over the whole block when
+  /// PromConfig::KnnClusterIndex is set and the block has at least
+  /// ClusterIndexMinEntries rows, dropped otherwise. Called by
+  /// calibrate() and loadSnapshot().
+  void rebuildKnnIndex();
 
   /// Committee assessment of rows [Begin, End) of a batch with precomputed
-  /// predictions and embeddings.
+  /// predictions and embeddings. \p Scan is the store's prepared
+  /// pruned-scan context and \p KnnCentBlock the batch's precomputed
+  /// KnnIndex centroid distances (null when the index is not built); both
+  /// are per-query-sliced, so concurrent ranges never share state.
   void assessRange(const std::vector<double> &Predictions,
                    const support::Matrix &Embeds, size_t Begin, size_t End,
-                   std::vector<RegressionVerdict> &Out) const;
+                   std::vector<RegressionVerdict> &Out,
+                   CalibrationStore::BatchPrunedScan &Scan,
+                   const double *KnnCentBlock) const;
 
   const ml::Regressor &Model;
   PromConfig Cfg;
@@ -369,6 +390,10 @@ private:
   /// Calibration embeddings as one flat block: the k-NN ground-truth
   /// lookups run the batched kernel scan over it (Sec. 5.1.1).
   support::FeatureMatrix CalibEmbeds;
+  /// Lossless cluster index over CalibEmbeds (PromConfig::KnnClusterIndex):
+  /// the Sec. 5.1.1 k-NN ground-truth lookups run the pruned scan through
+  /// it, with the same bit-identity contract as the store indexes.
+  support::ClusterIndex KnnIndex;
   std::vector<double> CalibTargets;
   std::vector<std::vector<double>> Centroids;
   double ResidualIqr = 0.0;

@@ -141,6 +141,14 @@ struct PromConfig {
   /// while 10%/2% selections win 1.7x/6.5x at 10^6 entries).
   double ClusterIndexMaxSelectFraction = 0.25;
 
+  /// Also build a cluster index over the regression calibration embedding
+  /// block at calibrate()/snapshot-load time, so the k-NN ground-truth
+  /// lookups (Sec. 5.1.1) run the lossless pruned scan instead of the
+  /// exact one. Gated by ClusterIndexMinEntries and sized by
+  /// ClusterIndexCentroids like the per-shard store indexes; bit-identical
+  /// by the same contract, so purely a performance knob.
+  bool KnnClusterIndex = true;
+
   /// Effective credibility threshold.
   double credThreshold() const {
     return CredThreshold < 0.0 ? Epsilon : CredThreshold;

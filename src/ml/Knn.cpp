@@ -29,6 +29,8 @@ void KnnClassifier::fit(const data::Dataset &Train, support::Rng &) {
   Labels.reserve(Train.size());
   for (const data::Sample &S : Train.samples())
     Labels.push_back(S.Label);
+  if (AutoIndexMinPoints != 0 && Points.rows() >= AutoIndexMinPoints)
+    buildClusterIndex(AutoIndexCentroids);
 }
 
 void KnnClassifier::buildClusterIndex(size_t NumCentroids) {
@@ -62,18 +64,22 @@ void KnnClassifier::voteFromScan(const double *DistSq, double *Out) const {
   finishVote(Out);
 }
 
+void KnnClassifier::voteFromPairs(
+    const std::vector<std::pair<double, uint32_t>> &Near, double *Out) const {
+  // nearestPruned returns the very (distSq, index) pairs selectNearest
+  // would, in the same ascending order — the vote fold is bit-identical.
+  std::fill(Out, Out + static_cast<size_t>(Classes), 0.0);
+  for (const std::pair<double, uint32_t> &P : Near)
+    Out[static_cast<size_t>(Labels[P.second])] +=
+        1.0 / (1.0 + std::sqrt(P.first));
+  finishVote(Out);
+}
+
 std::vector<double> KnnClassifier::predictProba(const data::Sample &S) const {
   assert(!Points.empty() && "classifier not fitted");
   std::vector<double> Votes(static_cast<size_t>(Classes), 0.0);
   if (Index.valid()) {
-    // nearestPruned returns the very (distSq, index) pairs selectNearest
-    // would, in the same ascending order — the vote fold is bit-identical.
-    std::vector<std::pair<double, uint32_t>> Near =
-        Index.nearestPruned(S.Features.data(), K);
-    for (const std::pair<double, uint32_t> &P : Near)
-      Votes[static_cast<size_t>(Labels[P.second])] +=
-          1.0 / (1.0 + std::sqrt(P.first));
-    finishVote(Votes.data());
+    voteFromPairs(Index.nearestPruned(S.Features.data(), K), Votes.data());
     return Votes;
   }
   std::vector<double> DistSq(Points.rows());
@@ -89,6 +95,15 @@ KnnClassifier::predictProbaBatch(const data::Dataset &Batch) const {
   support::Matrix Out(Batch.size(), static_cast<size_t>(Classes));
   if (Batch.empty())
     return Out;
+  if (Index.valid()) {
+    // Batch-native pruned scan: the same pairs the serial indexed path
+    // gets per query, with the centroid ranking amortized over the batch.
+    std::vector<std::vector<std::pair<double, uint32_t>>> Near =
+        Index.nearestPrunedBatch(Batch.featureBlock(), K);
+    for (size_t Q = 0; Q < Near.size(); ++Q)
+      voteFromPairs(Near[Q], Out.rowPtr(Q));
+    return Out;
+  }
   support::forEachQueryScan(Points, Batch.featureBlock(),
                             [&](size_t Q, const double *DistSq) {
                               voteFromScan(DistSq, Out.rowPtr(Q));
@@ -108,6 +123,8 @@ void KnnRegressor::fit(const data::Dataset &Train, support::Rng &) {
   Targets.reserve(Train.size());
   for (const data::Sample &S : Train.samples())
     Targets.push_back(S.Target);
+  if (AutoIndexMinPoints != 0 && Points.rows() >= AutoIndexMinPoints)
+    buildClusterIndex(AutoIndexCentroids);
 }
 
 void KnnRegressor::buildClusterIndex(size_t NumCentroids) {
@@ -140,6 +157,19 @@ KnnRegressor::predictBatch(const data::Dataset &Batch) const {
   std::vector<double> Out(Batch.size());
   if (Batch.empty())
     return Out;
+  if (Index.valid()) {
+    // Same neighbour ids in the same ascending (distSq, id) order as
+    // kNearestBatch, so the means fold identically.
+    std::vector<std::vector<std::pair<double, uint32_t>>> Near =
+        Index.nearestPrunedBatch(Batch.featureBlock(), K);
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      double Sum = 0.0;
+      for (const std::pair<double, uint32_t> &P : Near[I])
+        Sum += Targets[P.second];
+      Out[I] = Sum / static_cast<double>(Near[I].size());
+    }
+    return Out;
+  }
   std::vector<std::vector<size_t>> Near =
       support::kNearestBatch(Points, Batch.featureBlock(), K);
   for (size_t I = 0; I < Batch.size(); ++I) {

@@ -18,8 +18,11 @@
 /// bit-identical by construction.
 ///
 /// Both models can additionally opt into a support::ClusterIndex over the
-/// training block (buildClusterIndex()): the serial predict paths then run
-/// the lossless cluster-pruned scan instead of the full one. Pruning is
+/// training block (buildClusterIndex(), or automatically at fit() time
+/// past the setAutoIndex() point threshold): the serial predict paths then
+/// run the lossless cluster-pruned scan and the batch paths its
+/// batch-native form (ClusterIndex::nearestPrunedBatch), which amortizes
+/// the centroid ranking across the whole query batch. Pruning is
 /// bit-identical to the exact scan by the ClusterIndex contract, so the
 /// serial/batch equivalence above survives unchanged.
 ///
@@ -35,6 +38,13 @@
 namespace prom {
 namespace ml {
 
+/// Default auto-index threshold of both k-NN models: fit() builds the
+/// lossless cluster index itself once the training block reaches this many
+/// rows (mirroring PromConfig::ClusterIndexMinEntries — below it the exact
+/// scan is already cheap and the build would dominate). setAutoIndex()
+/// overrides per model; 0 disables.
+constexpr size_t KnnAutoIndexMinPoints = 8192;
+
 /// Distance-weighted k-NN classifier. Training points live in one flat
 /// FeatureMatrix so every prediction is a single batched kernel scan.
 class KnnClassifier : public Classifier {
@@ -45,8 +55,10 @@ public:
   std::vector<double> predictProba(const data::Sample &S) const override;
   /// One l2SqMxN kernel scan of the query batch against the training
   /// block, then a per-query selectNearest + distance-weighted vote fanned
-  /// out over the ThreadPool. Row I equals predictProba(Batch[I]) bit for
-  /// bit (per-query work is independent; the vote helper is shared).
+  /// out over the ThreadPool — or, with a cluster index built, one
+  /// nearestPrunedBatch scan (lossless, so the outputs are the same bits).
+  /// Row I equals predictProba(Batch[I]) bit for bit (per-query work is
+  /// independent; the vote helper is shared).
   support::Matrix predictProbaBatch(const data::Dataset &Batch) const override;
   /// The embedding is the raw feature vector; the batched form packs the
   /// rows directly instead of looping per sample.
@@ -54,17 +66,37 @@ public:
   int numClasses() const override { return Classes; }
   std::string name() const override { return "kNN"; }
 
-  /// Builds a cluster-pruned index over the fitted training block; serial
-  /// predictProba() then scans sublinearly with bit-identical output (the
+  /// Builds a cluster-pruned index over the fitted training block; the
+  /// predict paths then scan sublinearly with bit-identical output (the
   /// index is lossless). \p NumCentroids 0 picks ~sqrt(points). fit()
-  /// drops any previous index.
+  /// drops any previous index (and rebuilds it when the auto-index
+  /// threshold is met; see setAutoIndex()).
   void buildClusterIndex(size_t NumCentroids = 0);
+
+  /// Auto-build policy: fit() calls buildClusterIndex(\p NumCentroids)
+  /// itself whenever the training block has at least \p MinPoints rows
+  /// (0 disables). Defaults to KnnAutoIndexMinPoints, so large fits get
+  /// the pruned scan without a manual buildClusterIndex() call —
+  /// losslessness makes this purely a speed knob.
+  void setAutoIndex(size_t MinPoints, size_t NumCentroids = 0) {
+    AutoIndexMinPoints = MinPoints;
+    AutoIndexCentroids = NumCentroids;
+  }
+
+  /// True when a cluster index currently accelerates the predict paths.
+  bool hasClusterIndex() const { return Index.valid(); }
 
 private:
   /// Neighbour selection + distance-weighted vote over one query's
   /// squared-distance scan (writes numClasses() values to \p Out). The
   /// single scoring path of the serial and batched forwards.
   void voteFromScan(const double *DistSq, double *Out) const;
+
+  /// The indexed twin of voteFromScan(): the same distance-weighted vote
+  /// folded over nearestPruned-style (distSq, id) pairs — which arrive in
+  /// exactly selectNearest()'s order, so the fold is bit-identical.
+  void voteFromPairs(const std::vector<std::pair<double, uint32_t>> &Near,
+                     double *Out) const;
 
   /// The shared vote tail: normalizes \p Out in place (uniform fallback
   /// when every vote underflowed to zero).
@@ -76,6 +108,9 @@ private:
   std::vector<int> Labels;
   /// Optional lossless index over Points (see buildClusterIndex()).
   support::ClusterIndex Index;
+  /// Auto-index policy (see setAutoIndex()).
+  size_t AutoIndexMinPoints = KnnAutoIndexMinPoints;
+  size_t AutoIndexCentroids = 0;
 };
 
 /// Mean-of-neighbours k-NN regressor (flat-block scan like the classifier).
@@ -85,16 +120,26 @@ public:
 
   void fit(const data::Dataset &Train, support::Rng &R) override;
   double predict(const data::Sample &S) const override;
-  /// Batched form over one kNearestBatch scan; element I equals
-  /// predict(Batch[I]) bit for bit.
+  /// Batched form over one kNearestBatch scan — or one nearestPrunedBatch
+  /// scan with a cluster index built (lossless, same bits); element I
+  /// equals predict(Batch[I]) bit for bit.
   std::vector<double> predictBatch(const data::Dataset &Batch) const override;
   /// Raw-feature embedding packed in one pass (see KnnClassifier).
   support::Matrix embedBatch(const data::Dataset &Batch) const override;
   std::string name() const override { return "kNN-Reg"; }
 
-  /// Lossless cluster index over the fitted block for serial predict();
+  /// Lossless cluster index over the fitted block for the predict paths;
   /// see KnnClassifier::buildClusterIndex().
   void buildClusterIndex(size_t NumCentroids = 0);
+
+  /// Auto-index policy at fit() time; see KnnClassifier::setAutoIndex().
+  void setAutoIndex(size_t MinPoints, size_t NumCentroids = 0) {
+    AutoIndexMinPoints = MinPoints;
+    AutoIndexCentroids = NumCentroids;
+  }
+
+  /// True when a cluster index currently accelerates the predict paths.
+  bool hasClusterIndex() const { return Index.valid(); }
 
 private:
   size_t K;
@@ -102,6 +147,9 @@ private:
   std::vector<double> Targets;
   /// Optional lossless index over Points (see buildClusterIndex()).
   support::ClusterIndex Index;
+  /// Auto-index policy (see setAutoIndex()).
+  size_t AutoIndexMinPoints = KnnAutoIndexMinPoints;
+  size_t AutoIndexCentroids = 0;
 };
 
 } // namespace ml

@@ -8,10 +8,17 @@
 #include "support/KMeans.h"
 #include "support/Kernels.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+
+/// Query-tile height of nearestPrunedBatch: bounds the materialized
+/// query-to-centroid block to this many rows regardless of batch size
+/// (matching the KnnQueryTile convention of the exact batched scans).
+/// Per-query work is independent, so tiling cannot change any result.
+static constexpr size_t ClusterQueryTile = 256;
 
 using namespace prom::support;
 
@@ -84,6 +91,19 @@ void ClusterIndex::centroidDistances(const double *Query,
                    Centroids.dim(), Centroids.stride(), OutDistSq);
 }
 
+void ClusterIndex::centroidDistancesBatch(const double *Queries,
+                                          size_t NumQueries,
+                                          size_t QueryStride,
+                                          double *OutDistSq) const {
+  assert(valid() && "querying an empty index");
+  // l2SqMxN's row Q is bit-identical to l2Sq1xN on query Q alone (the
+  // kernel contract), so this block is exactly NumQueries stacked
+  // centroidDistances() calls.
+  kernels::l2SqMxN(Queries, NumQueries, QueryStride, Centroids.data(),
+                   Centroids.rows(), Centroids.dim(), Centroids.stride(),
+                   OutDistSq);
+}
+
 double ClusterIndex::listLowerBoundSq(double CentroidDistSq,
                                       size_t L) const {
   // Every quantity is slackened toward "do not prune": the query-centroid
@@ -101,6 +121,16 @@ std::vector<std::pair<double, uint32_t>>
 ClusterIndex::nearestPruned(const double *Query, size_t K,
                             ClusterScanStats *Stats) const {
   assert(valid() && "querying an empty index");
+  std::vector<double> CentDistSq(numLists());
+  centroidDistances(Query, CentDistSq.data());
+  return nearestPrunedFromCentroids(Query, CentDistSq.data(), K, Stats);
+}
+
+std::vector<std::pair<double, uint32_t>>
+ClusterIndex::nearestPrunedFromCentroids(const double *Query,
+                                         const double *CentDistSq, size_t K,
+                                         ClusterScanStats *Stats) const {
+  assert(valid() && "querying an empty index");
   size_t NumLists = numLists();
   size_t N = coveredRows();
   K = std::min(K, N);
@@ -109,8 +139,6 @@ ClusterIndex::nearestPruned(const double *Query, size_t K,
 
   // Rank the lists by (query-centroid distance, list id) — the scan order
   // only affects how fast the bound tightens, never the result.
-  std::vector<double> CentDistSq(NumLists);
-  centroidDistances(Query, CentDistSq.data());
   std::vector<std::pair<double, uint32_t>> Order(NumLists);
   for (size_t L = 0; L < NumLists; ++L)
     Order[L] = {CentDistSq[L], static_cast<uint32_t>(L)};
@@ -163,4 +191,38 @@ ClusterIndex::nearestPruned(const double *Query, size_t K,
   if (Stats)
     *Stats = S;
   return Cand;
+}
+
+std::vector<std::vector<std::pair<double, uint32_t>>>
+ClusterIndex::nearestPrunedBatch(const FeatureMatrix &Queries, size_t K,
+                                 std::vector<ClusterScanStats> *Stats) const {
+  assert(valid() && "querying an empty index");
+  assert((Queries.empty() || Queries.dim() == Centroids.dim()) &&
+         "query/index dim mismatch");
+  size_t NumQ = Queries.rows();
+  std::vector<std::vector<std::pair<double, uint32_t>>> Out(NumQ);
+  if (Stats)
+    Stats->assign(NumQ, ClusterScanStats());
+  if (NumQ == 0)
+    return Out;
+
+  size_t NumLists = numLists();
+  std::vector<double> CentBlock(std::min(NumQ, ClusterQueryTile) * NumLists);
+  for (size_t Q0 = 0; Q0 < NumQ; Q0 += ClusterQueryTile) {
+    size_t Tile = std::min(ClusterQueryTile, NumQ - Q0);
+    // One blocked pass ranks the whole tile against the centroids; each
+    // block row carries the bits centroidDistances() would have produced.
+    centroidDistancesBatch(Queries.rowPtr(Q0), Tile, Queries.stride(),
+                           CentBlock.data());
+    // Per-query walks are independent (each bound tightens only on its own
+    // candidates) and every lane writes only its own queries' Out/Stats
+    // slots, so the fan-out cannot change a bit at any thread count.
+    ThreadPool::global().parallelFor(Tile, [&](size_t Begin, size_t End) {
+      for (size_t Q = Begin; Q < End; ++Q)
+        Out[Q0 + Q] = nearestPrunedFromCentroids(
+            Queries.rowPtr(Q0 + Q), CentBlock.data() + Q * NumLists, K,
+            Stats ? Stats->data() + (Q0 + Q) : nullptr);
+    });
+  }
+  return Out;
 }

@@ -76,6 +76,17 @@ struct ClusterScanStats {
   size_t ListsScanned = 0; ///< Lists that survived the bound test.
   size_t RowsTotal = 0;    ///< Rows the index covers.
   size_t RowsScanned = 0;  ///< Rows of the surviving lists.
+
+  /// Merges another query's counters in. Pure integer sums, so any merge
+  /// order yields the same totals — batch callers still fold in canonical
+  /// ascending-query order so the aggregate is reproducible by eye.
+  ClusterScanStats &operator+=(const ClusterScanStats &O) {
+    ListsTotal += O.ListsTotal;
+    ListsScanned += O.ListsScanned;
+    RowsTotal += O.RowsTotal;
+    RowsScanned += O.RowsScanned;
+    return *this;
+  }
 };
 
 /// Coarse-quantized inverted-list index over a contiguous row range of a
@@ -118,6 +129,15 @@ public:
   /// \p OutDistSq (numLists() slots).
   void centroidDistances(const double *Query, double *OutDistSq) const;
 
+  /// Batched form: one blocked l2SqMxN pass writes the centroid distances
+  /// of \p NumQueries query rows (stride \p QueryStride) into consecutive
+  /// numLists()-slot rows of \p OutDistSq. Row Q is bit-identical to
+  /// centroidDistances(query Q) — the MxN kernel's per-row contract — so
+  /// batch callers can amortize the centroid ranking without perturbing
+  /// a single pruning decision.
+  void centroidDistancesBatch(const double *Queries, size_t NumQueries,
+                              size_t QueryStride, double *OutDistSq) const;
+
   /// Safe lower bound on the *kernel-computed* squared distance of \p Query
   /// to any member of list \p L, given the kernel squared distance
   /// \p CentroidDistSq of the query to that list's centroid. Slackened by
@@ -133,6 +153,29 @@ public:
   std::vector<std::pair<double, uint32_t>>
   nearestPruned(const double *Query, size_t K,
                 ClusterScanStats *Stats = nullptr) const;
+
+  /// nearestPruned() with the query-to-centroid squared distances already
+  /// computed (\p CentDistSq, numLists() values — e.g. one row of a
+  /// centroidDistancesBatch() block). The walk, the bounds, and the result
+  /// are exactly nearestPruned()'s; only the centroid scan is skipped.
+  std::vector<std::pair<double, uint32_t>>
+  nearestPrunedFromCentroids(const double *Query, const double *CentDistSq,
+                             size_t K,
+                             ClusterScanStats *Stats = nullptr) const;
+
+  /// Batch-native pruned k-NN: element Q is bit-identical — pair for pair,
+  /// and counter for counter in \p Stats — to nearestPruned(row Q of
+  /// \p Queries, K). The batch amortizes what the per-query loop repays
+  /// every call: the centroid distances of a whole query tile come from
+  /// one blocked l2SqMxN pass, and the per-query pruned walks (which are
+  /// independent — each query's bound tightens only on its own
+  /// candidates) fan out over the ThreadPool in deterministic chunks,
+  /// each lane writing only its own queries' slots. \p Stats, when
+  /// non-null, is resized to the batch and carries each query's counters
+  /// in ascending query order. \p Queries.dim() must match the index.
+  std::vector<std::vector<std::pair<double, uint32_t>>>
+  nearestPrunedBatch(const FeatureMatrix &Queries, size_t K,
+                     std::vector<ClusterScanStats> *Stats = nullptr) const;
 
 private:
   size_t BeginRow = 0;

@@ -205,6 +205,15 @@ const std::vector<ClassifierCase> &classifierCases() {
        DataKind::Tabular},
       {"Knn", [] { return std::make_unique<ml::KnnClassifier>(5); },
        DataKind::Tabular},
+      {"KnnIndexed",
+       [] {
+         // MinPoints=1 forces the cluster index even on the small
+         // fixture, so the batch path under test is nearestPrunedBatch.
+         auto Model = std::make_unique<ml::KnnClassifier>(5);
+         Model->setAutoIndex(1);
+         return Model;
+       },
+       DataKind::Tabular},
       {"RandomForest",
        [] {
          return std::make_unique<ml::RandomForestClassifier>(
@@ -250,6 +259,13 @@ const std::vector<RegressorCase> &regressorCases() {
       {"MlpRegressor", [] { return std::make_unique<ml::MlpRegressor>(); },
        DataKind::Tabular},
       {"KnnRegressor", [] { return std::make_unique<ml::KnnRegressor>(5); },
+       DataKind::Tabular},
+      {"KnnRegressorIndexed",
+       [] {
+         auto Model = std::make_unique<ml::KnnRegressor>(5);
+         Model->setAutoIndex(1);
+         return Model;
+       },
        DataKind::Tabular},
       {"GradientBoostingRegressor",
        [] {
@@ -442,6 +458,28 @@ TEST(BatchEquivalenceTest, KnnClassifierCommitteeBitIdentical) {
   checkClassifierEquivalence(Prom, mixedTestSet(100, R));
 }
 
+TEST(BatchEquivalenceTest, IndexedKnnPrunedStoreCommitteeBitIdentical) {
+  // Batch-native pruned path end to end: the expert's forwards go through
+  // nearestPrunedBatch (auto-index at MinPoints=1) AND the store's
+  // selection routes through the batch-prepared cluster-pruned scan
+  // (MinEntries lowered so the fixture-sized store builds shard indexes;
+  // SelectFraction <= MaxSelectFraction so routing actually fires).
+  support::Rng R(57);
+  data::Dataset Full = gaussianBlobs(3, 260, 4.0, 0.8, R);
+  auto [Train, Calib] = data::calibrationPartition(Full, R, 0.4);
+  ml::KnnClassifier Model(5);
+  Model.setAutoIndex(1);
+  Model.fit(Train, R);
+
+  PromConfig Cfg;
+  Cfg.ClusterIndexMinEntries = 64;
+  Cfg.SelectFraction = 0.2;
+  Cfg.SelectAllBelow = 16;
+  PromClassifier Prom(Model, Cfg);
+  Prom.calibrate(Calib);
+  checkClassifierEquivalence(Prom, mixedTestSet(100, R));
+}
+
 TEST(BatchEquivalenceTest, RandomForestCommitteeBitIdentical) {
   // Exercises the canonical ascending-tree vote merge under the
   // ThreadPool fan-out across trees.
@@ -598,6 +636,42 @@ TEST(BatchEquivalenceTest, KnnRegressorBatchPathBitIdentical) {
   std::vector<RegressionVerdict> Batched = Prom.assessBatch(Test);
   for (size_t I = 0; I < Test.size(); ++I)
     expectSameRegressionVerdict(Prom.assessSerial(Test[I]), Batched[I], I);
+}
+
+TEST(BatchEquivalenceTest, IndexedRegressorLosslessAgainstUnindexed) {
+  // Three-way regressor check with the calibration-side k-NN index live:
+  // (a) batch vs serial bit-identity with the index on (both the knnStats
+  // reuse of the index and the batch-prepared pruned store selection), and
+  // (b) the indexed detector's verdicts are bit-identical to a detector
+  // with the index disabled — losslessness at the committee level.
+  support::Rng R(58);
+  data::Dataset Train = linearRegression(300, 0.1, R);
+  data::Dataset Calib = linearRegression(160, 0.1, R);
+  ml::MlpRegressor Model;
+  Model.fit(Train, R);
+
+  PromConfig Indexed;
+  Indexed.ClusterIndexMinEntries = 64;
+  Indexed.SelectFraction = 0.2;
+  Indexed.SelectAllBelow = 16;
+  PromConfig Unindexed = Indexed;
+  Unindexed.ClusterIndex = false;
+  Unindexed.KnnClusterIndex = false;
+
+  support::Rng RIdx(77), RRef(77);
+  PromRegressor PromIdx(Model, Indexed);
+  PromIdx.calibrate(Calib, RIdx);
+  PromRegressor PromRef(Model, Unindexed);
+  PromRef.calibrate(Calib, RRef);
+
+  data::Dataset Test = linearRegression(90, 0.1, R);
+  std::vector<RegressionVerdict> Batched = PromIdx.assessBatch(Test);
+  std::vector<RegressionVerdict> Reference = PromRef.assessBatch(Test);
+  ASSERT_EQ(Batched.size(), Test.size());
+  for (size_t I = 0; I < Test.size(); ++I) {
+    expectSameRegressionVerdict(PromIdx.assessSerial(Test[I]), Batched[I], I);
+    expectSameRegressionVerdict(Reference[I], Batched[I], I);
+  }
 }
 
 TEST(BatchEquivalenceTest, GbrRegressorCommitteeBitIdentical) {

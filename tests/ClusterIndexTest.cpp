@@ -362,6 +362,127 @@ TEST(ClusterIndexTest, PruningActuallySkipsListsOnClusteredData) {
   EXPECT_LT(Stats.RowsScanned, Stats.RowsTotal / 2);
 }
 
+//===----------------------------------------------------------------------===//
+// nearestPrunedBatch: batch-native pruned k-NN
+//===----------------------------------------------------------------------===//
+
+TEST(ClusterIndexTest, NearestPrunedBatchMatchesSerialBitForBit) {
+  // The binary runs under PROM_THREADS=1/4 and PROM_KERNELS=scalar (ctest
+  // registrations), so this also pins the batch fan-out across thread
+  // counts and ISAs. Stats equality is part of the contract: the batch
+  // walk must make exactly the serial walk's pruning decisions.
+  for (uint64_t Seed : {4u, 81u, 733u}) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    Rng R(Seed);
+    FeatureMatrix Rows = randomRows(2500, 8, R);
+    ClusterIndex Index;
+    Index.build(Rows, 0, Rows.rows(), /*NumCentroids=*/0, Seed);
+    ASSERT_TRUE(Index.valid());
+
+    for (size_t NumQ : {size_t(1), size_t(7), size_t(64)}) {
+      SCOPED_TRACE("batch " + std::to_string(NumQ));
+      FeatureMatrix Queries = randomRows(NumQ, Rows.dim(), R);
+      for (size_t K : {size_t(1), size_t(7), size_t(2500)}) {
+        SCOPED_TRACE("K " + std::to_string(K));
+        std::vector<ClusterScanStats> BatchStats;
+        std::vector<std::vector<std::pair<double, uint32_t>>> Batch =
+            Index.nearestPrunedBatch(Queries, K, &BatchStats);
+        ASSERT_EQ(Batch.size(), NumQ);
+        ASSERT_EQ(BatchStats.size(), NumQ);
+        for (size_t Q = 0; Q < NumQ; ++Q) {
+          SCOPED_TRACE("query " + std::to_string(Q));
+          ClusterScanStats Serial;
+          expectSamePairs(Batch[Q],
+                          Index.nearestPruned(Queries.rowPtr(Q), K, &Serial));
+          expectSamePairs(Batch[Q],
+                          fullScanNearest(Rows, Queries.rowPtr(Q), K));
+          EXPECT_EQ(BatchStats[Q].ListsTotal, Serial.ListsTotal);
+          EXPECT_EQ(BatchStats[Q].ListsScanned, Serial.ListsScanned);
+          EXPECT_EQ(BatchStats[Q].RowsTotal, Serial.RowsTotal);
+          EXPECT_EQ(BatchStats[Q].RowsScanned, Serial.RowsScanned);
+        }
+      }
+    }
+  }
+}
+
+TEST(ClusterIndexTest, NearestPrunedBatchTieHeavyGridStaysExact) {
+  Rng R(4321);
+  FeatureMatrix Rows = gridRows(1800, 5, R);
+  ClusterIndex Index;
+  Index.build(Rows, 0, Rows.rows(), 24, 99);
+  ASSERT_TRUE(Index.valid());
+
+  // Queries from the same grid maximize exact distance ties; the
+  // (dist, ascending id) tie-break must survive both the pruning and the
+  // batch fan-out.
+  FeatureMatrix Queries = gridRows(13, Rows.dim(), R);
+  std::vector<std::vector<std::pair<double, uint32_t>>> Batch =
+      Index.nearestPrunedBatch(Queries, 64);
+  ASSERT_EQ(Batch.size(), Queries.rows());
+  for (size_t Q = 0; Q < Queries.rows(); ++Q) {
+    SCOPED_TRACE("query " + std::to_string(Q));
+    expectSamePairs(Batch[Q], fullScanNearest(Rows, Queries.rowPtr(Q), 64));
+  }
+}
+
+TEST(ClusterIndexTest, NearestPrunedBatchEmptyAndDegenerateBatches) {
+  Rng R(17);
+  FeatureMatrix Rows = randomRows(600, 4, R);
+  ClusterIndex Index;
+  Index.build(Rows, 0, Rows.rows(), 0, 5);
+  ASSERT_TRUE(Index.valid());
+
+  // Empty batch: no queries, no stats, no crash.
+  FeatureMatrix NoQueries(0, Rows.dim());
+  std::vector<ClusterScanStats> Stats;
+  EXPECT_TRUE(Index.nearestPrunedBatch(NoQueries, 5, &Stats).empty());
+  EXPECT_TRUE(Stats.empty());
+
+  // K = 0 yields empty per-query results; K > N clamps to N.
+  FeatureMatrix Queries = randomRows(3, Rows.dim(), R);
+  for (const auto &Near : Index.nearestPrunedBatch(Queries, 0))
+    EXPECT_TRUE(Near.empty());
+  for (const auto &Near : Index.nearestPrunedBatch(Queries, 10000))
+    EXPECT_EQ(Near.size(), Rows.rows());
+
+  // Fully degenerate batch: every query identical to every (identical)
+  // row — all ties, every query must get ids 0..K-1.
+  FeatureMatrix Flat(400, 4);
+  for (size_t I = 0; I < Flat.rows(); ++I)
+    for (size_t D = 0; D < 4; ++D)
+      Flat.rowPtr(I)[D] = 2.5;
+  ClusterIndex FlatIndex;
+  FlatIndex.build(Flat, 0, Flat.rows(), 0, 11);
+  FeatureMatrix FlatQueries(5, 4);
+  for (size_t Q = 0; Q < 5; ++Q)
+    for (size_t D = 0; D < 4; ++D)
+      FlatQueries.rowPtr(Q)[D] = 2.5;
+  for (const auto &Near : FlatIndex.nearestPrunedBatch(FlatQueries, 7)) {
+    ASSERT_EQ(Near.size(), 7u);
+    for (uint32_t I = 0; I < 7; ++I)
+      EXPECT_EQ(Near[I].second, I);
+  }
+}
+
+TEST(ClusterIndexTest, ClusterScanStatsMergeSumsCounters) {
+  ClusterScanStats A;
+  A.ListsTotal = 10;
+  A.ListsScanned = 3;
+  A.RowsTotal = 1000;
+  A.RowsScanned = 120;
+  ClusterScanStats B;
+  B.ListsTotal = 8;
+  B.ListsScanned = 2;
+  B.RowsTotal = 500;
+  B.RowsScanned = 40;
+  A += B;
+  EXPECT_EQ(A.ListsTotal, 18u);
+  EXPECT_EQ(A.ListsScanned, 5u);
+  EXPECT_EQ(A.RowsTotal, 1500u);
+  EXPECT_EQ(A.RowsScanned, 160u);
+}
+
 TEST(ClusterIndexTest, ClearAndRebuild) {
   Rng R(21);
   FeatureMatrix Rows = randomRows(300, 3, R);
