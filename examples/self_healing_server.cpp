@@ -23,6 +23,13 @@
 // paper's continual-deployment story (labels arrive late, but they
 // arrive). No operator intervention, no detector teardown, no restart.
 //
+// After the yearly stream the example runs a fault storm: every named
+// fault point (snapshot writes/renames/loads, refresh attempts, batcher
+// stalls) armed at 100%. The server must keep answering bit-identically
+// from the last known-good calibration the whole time, and once the
+// faults are disarmed the abandoned refresh batch folds in on the next
+// trigger — graceful degradation, then self-healing.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/Prom.h"
@@ -31,8 +38,12 @@
 #include "eval/ModelZoo.h"
 #include "serve/AssessmentService.h"
 #include "serve/RecalibrationController.h"
+#include "support/FaultInjection.h"
 #include "support/Rng.h"
 #include "support/Serialize.h"
+
+#include <chrono>
+#include <thread>
 #include "tasks/VulnerabilityDetection.h"
 
 #include <cstdio>
@@ -147,6 +158,85 @@ int main() {
                     : "");
   }
 
+  // ---- Fault storm: every failure point armed at 100% ----
+  //
+  // The game-day drill. With writes, renames, loads, refresh attempts,
+  // and the batcher all failing or stalling, the server must degrade
+  // gracefully: keep answering, bit-identical to a direct assessment of
+  // the last known-good store, while the refresh machinery fails loudly
+  // in its counters instead of corrupting anything.
+  std::printf("\n-- fault storm: all fault points armed at 100%% --\n");
+  data::Dataset Probe = Data.byYearRange(2023, 2023);
+  Scaler.transformInPlace(Probe);
+  std::vector<Verdict> Direct = Prom.assessBatch(Probe);
+
+  namespace faults = support::faults;
+  for (const char *Point :
+       {"snapshot_write", "snapshot_truncate", "snapshot_corrupt",
+        "snapshot_rename", "snapshot_load", "refresh_throw", "refresh_stall",
+        "batcher_stall"})
+    faults::arm(Point);
+
+  // Serve under the storm: the batcher stalls on every batch, but every
+  // verdict must still match the direct one bit for bit.
+  size_t StormMismatches = 0, StormServed = 0;
+  {
+    std::vector<std::future<Verdict>> StormFutures;
+    StormFutures.reserve(Probe.size());
+    for (const data::Sample &S : Probe.samples())
+      StormFutures.push_back(Service.submit(S));
+    for (size_t I = 0; I < Probe.size(); ++I) {
+      try {
+        Verdict V = StormFutures[I].get();
+        ++StormServed;
+        if (V.Predicted != Direct[I].Predicted ||
+            V.Drifted != Direct[I].Drifted)
+          ++StormMismatches;
+      } catch (const std::exception &) {
+        ++Failed;
+      }
+    }
+  }
+
+  // Force a refresh under the storm: every attempt throws, the batch is
+  // abandoned back into the buffer, and the store never moves.
+  size_t StoreBefore = Prom.calibrationSize();
+  uint64_t AbandonedBefore = Controller.stats().RefreshesAbandoned;
+  for (size_t I = 0; I < RecalCfg.MinRefreshSamples; ++I)
+    Controller.submitLabeled(Probe[I % Probe.size()]);
+  Controller.triggerRefresh();
+  for (int Spin = 0;
+       Spin < 10000 &&
+       Controller.stats().RefreshesAbandoned == AbandonedBefore;
+       ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  serve::RecalibrationStats Storm = Controller.stats();
+  std::printf("served %zu/%zu storm requests, %zu verdict mismatches; "
+              "refresh failed %llu times, %llu batch(es) abandoned, store "
+              "still %zu entries\n",
+              StormServed, Probe.size(), StormMismatches,
+              static_cast<unsigned long long>(Storm.RefreshFailures),
+              static_cast<unsigned long long>(Storm.RefreshesAbandoned -
+                                              AbandonedBefore),
+              Prom.calibrationSize());
+  bool StormHealthy = StormMismatches == 0 &&
+                      Prom.calibrationSize() == StoreBefore &&
+                      Storm.RefreshesAbandoned > AbandonedBefore;
+
+  // Disarm and heal: the abandoned batch is still buffered, so the next
+  // trigger folds it in and rotation commits a fresh generation.
+  faults::disarmAll();
+  Controller.triggerRefresh();
+  Controller.waitForRefreshes(Storm.RefreshesCompleted + 1,
+                              std::chrono::milliseconds(10000));
+  serve::RecalibrationStats Healed = Controller.stats();
+  std::printf("disarmed: refresh #%llu folded the abandoned batch, store "
+              "%zu entries -> recovered\n",
+              static_cast<unsigned long long>(Healed.RefreshesCompleted),
+              Prom.calibrationSize());
+  StormHealthy =
+      StormHealthy && Healed.RefreshesCompleted > Storm.RefreshesCompleted;
+
   Service.shutdown();
   Controller.shutdown();
 
@@ -183,5 +273,5 @@ int main() {
                     .c_str());
   std::remove((std::string(SnapshotDir) + "/latest").c_str());
   std::remove(SnapshotDir);
-  return Failed == 0 ? 0 : 1;
+  return Failed == 0 && StormHealthy ? 0 : 1;
 }

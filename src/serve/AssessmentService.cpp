@@ -6,11 +6,90 @@
 
 #include "serve/AssessmentService.h"
 
+#include "support/FaultInjection.h"
+
+#include <algorithm>
 #include <cassert>
-#include <stdexcept>
+#include <cmath>
 
 using namespace prom;
 using namespace prom::serve;
+
+namespace {
+
+const char *shedMessage(ShedReason R) {
+  switch (R) {
+  case ShedReason::QueueFull:
+    return "request shed: queue full";
+  case ShedReason::DeadlineExpired:
+    return "request shed: deadline expired";
+  case ShedReason::Shutdown:
+    return "AssessmentService is shut down";
+  }
+  return "request shed";
+}
+
+double microsBetween(AssessmentService::Clock::time_point From,
+                     AssessmentService::Clock::time_point To) {
+  return 1e6 * std::chrono::duration<double>(To - From).count();
+}
+
+} // namespace
+
+ShedError::ShedError(ShedReason R)
+    : std::runtime_error(shedMessage(R)), Reason(R) {}
+
+//===----------------------------------------------------------------------===//
+// LatencyHistogram
+//===----------------------------------------------------------------------===//
+
+// Bucket 0 holds [0, 1us); bucket I >= 1 holds [2^((I-1)/2), 2^(I/2)) us,
+// with the last bucket absorbing everything beyond.
+
+void LatencyHistogram::record(double Us) {
+  ++Total;
+  size_t Idx = 0;
+  if (Us >= 1.0) {
+    Idx = static_cast<size_t>(2.0 * std::log2(Us)) + 1;
+    if (Idx >= NumBuckets)
+      Idx = NumBuckets - 1;
+  }
+  ++Counts[Idx];
+}
+
+double LatencyHistogram::quantileUs(double Q) const {
+  if (Total == 0)
+    return 0.0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  double Target = Q * static_cast<double>(Total);
+  uint64_t Cum = 0;
+  double LastUpper = 0.0;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    if (Counts[I] == 0)
+      continue;
+    double Lo = I == 0 ? 0.0 : std::exp2(static_cast<double>(I - 1) / 2.0);
+    double Hi = std::exp2(static_cast<double>(I) / 2.0);
+    LastUpper = Hi;
+    if (static_cast<double>(Cum + Counts[I]) >= Target) {
+      double Frac =
+          (Target - static_cast<double>(Cum)) / static_cast<double>(Counts[I]);
+      return Lo + std::max(0.0, Frac) * (Hi - Lo);
+    }
+    Cum += Counts[I];
+  }
+  return LastUpper;
+}
+
+LatencyHistogram &LatencyHistogram::operator+=(const LatencyHistogram &Other) {
+  for (size_t I = 0; I < NumBuckets; ++I)
+    Counts[I] += Other.Counts[I];
+  Total += Other.Total;
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// AssessmentService
+//===----------------------------------------------------------------------===//
 
 AssessmentService::AssessmentService(const PromClassifier &Engine,
                                      ServiceConfig CfgIn,
@@ -40,51 +119,144 @@ void AssessmentService::start() {
 
 AssessmentService::~AssessmentService() { shutdown(); }
 
+void AssessmentService::shed(Request &Req, ShedReason Reason) {
+  Req.P.set_exception(std::make_exception_ptr(ShedError(Reason)));
+}
+
+void AssessmentService::evictExpiredLocked(Clock::time_point Now,
+                                           std::vector<Request> &Out) {
+  // Caller holds Mutex. Expired requests anywhere in the queue are pulled
+  // out (deadlines are per request, so expiry is not FIFO); their
+  // promises are failed by the caller after unlocking.
+  auto Keep = Queue.begin();
+  for (auto It = Queue.begin(); It != Queue.end(); ++It) {
+    if (It->expired(Now)) {
+      ++Stats.ShedExpired;
+      Out.push_back(std::move(*It));
+    } else {
+      if (Keep != It)
+        *Keep = std::move(*It);
+      ++Keep;
+    }
+  }
+  Queue.erase(Keep, Queue.end());
+}
+
 std::future<Verdict> AssessmentService::submit(data::Sample S) {
+  if (Cfg.DefaultDeadline.count() > 0)
+    return submitWithDeadline(std::move(S), Cfg.DefaultDeadline);
+  return submitImpl(std::move(S), /*HasDeadline=*/false, Clock::time_point());
+}
+
+std::future<Verdict>
+AssessmentService::submitWithDeadline(data::Sample S,
+                                      std::chrono::microseconds Budget) {
+  Clock::time_point Deadline = Clock::now() + Budget;
+  return submitImpl(std::move(S), /*HasDeadline=*/true, Deadline);
+}
+
+std::future<Verdict> AssessmentService::submitImpl(data::Sample S,
+                                                   bool HasDeadline,
+                                                   Clock::time_point Deadline) {
   Request Req;
   Req.S = std::move(S);
+  Req.SubmittedAt = Clock::now();
+  Req.HasDeadline = HasDeadline;
+  Req.Deadline = Deadline;
   std::future<Verdict> Fut = Req.P.get_future();
 
-  std::unique_lock<std::mutex> Lock(Mutex);
-  if (Stopping) {
-    Req.P.set_exception(std::make_exception_ptr(
-        std::runtime_error("AssessmentService is shut down")));
+  std::vector<Request> Evicted;
+  bool ShedNow = false;
+  ShedReason Reason = ShedReason::QueueFull;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (Stopping) {
+      ShedNow = true;
+      Reason = ShedReason::Shutdown;
+      ++Stats.ShedShutdown;
+    } else if (Req.expired(Req.SubmittedAt)) {
+      // A non-positive budget: the caller's deadline is already gone.
+      ShedNow = true;
+      Reason = ShedReason::DeadlineExpired;
+      ++Stats.ShedExpired;
+    } else if (Queue.size() >= Cfg.QueueCapacity) {
+      switch (Cfg.Shed) {
+      case ShedPolicy::Block:
+        // Backpressure: wait for space. Expiry while waiting is caught at
+        // batch-pick time, so a deadline still bounds wasted engine work.
+        NotFull.wait(Lock, [&] {
+          return Stopping || Queue.size() < Cfg.QueueCapacity;
+        });
+        if (Stopping) {
+          ShedNow = true;
+          Reason = ShedReason::Shutdown;
+          ++Stats.ShedShutdown;
+        }
+        break;
+      case ShedPolicy::RejectNewest:
+        ShedNow = true;
+        Reason = ShedReason::QueueFull;
+        ++Stats.ShedQueueFull;
+        break;
+      case ShedPolicy::DeadlineAware:
+        // Make room from requests that can no longer be answered in time
+        // before refusing work that still can.
+        evictExpiredLocked(Clock::now(), Evicted);
+        if (Queue.size() >= Cfg.QueueCapacity) {
+          ShedNow = true;
+          Reason = ShedReason::QueueFull;
+          ++Stats.ShedQueueFull;
+        }
+        break;
+      }
+    }
+    if (!ShedNow) {
+      Queue.push_back(std::move(Req));
+      ++Stats.Submitted;
+    }
+  }
+  for (Request &E : Evicted)
+    shed(E, ShedReason::DeadlineExpired);
+  if (ShedNow) {
+    shed(Req, Reason);
     return Fut;
   }
-  NotFull.wait(Lock,
-               [&] { return Stopping || Queue.size() < Cfg.QueueCapacity; });
-  if (Stopping) {
-    Req.P.set_exception(std::make_exception_ptr(
-        std::runtime_error("AssessmentService is shut down")));
-    return Fut;
-  }
-  Queue.push_back(std::move(Req));
-  ++Stats.Submitted;
-  Lock.unlock();
   NotEmpty.notify_one();
   return Fut;
 }
 
 bool AssessmentService::trySubmit(data::Sample S, std::future<Verdict> &Out) {
-  std::unique_lock<std::mutex> Lock(Mutex);
-  if (Stopping || Queue.size() >= Cfg.QueueCapacity)
-    return false;
   Request Req;
   Req.S = std::move(S);
-  Out = Req.P.get_future();
-  Queue.push_back(std::move(Req));
-  ++Stats.Submitted;
-  Lock.unlock();
+  Req.SubmittedAt = Clock::now();
+  if (Cfg.DefaultDeadline.count() > 0) {
+    Req.HasDeadline = true;
+    Req.Deadline = Req.SubmittedAt + Cfg.DefaultDeadline;
+  }
+  std::future<Verdict> Fut = Req.P.get_future();
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (Stopping || Queue.size() >= Cfg.QueueCapacity)
+      return false;
+    Queue.push_back(std::move(Req));
+    ++Stats.Submitted;
+  }
+  Out = std::move(Fut);
   NotEmpty.notify_one();
   return true;
 }
 
 void AssessmentService::batcherLoop() {
   std::vector<std::promise<Verdict>> Promises;
+  std::vector<Clock::time_point> SubmitTimes;
+  std::vector<Request> Expired;
   Promises.reserve(Cfg.MaxBatch);
+  SubmitTimes.reserve(Cfg.MaxBatch);
 
   while (true) {
     Promises.clear();
+    SubmitTimes.clear();
+    Expired.clear();
     data::Dataset Work;
     Work.reserve(Cfg.MaxBatch);
     bool ByDeadline = false;
@@ -93,24 +265,35 @@ void AssessmentService::batcherLoop() {
       NotEmpty.wait(Lock,
                     [&] { return Stopping || (Started && !Queue.empty()); });
       if (Stopping && (Queue.empty() || !Started))
-        return; // Drained (or never started: shutdown() fails the queue).
+        return; // Drained (or never started: shutdown() sheds the queue).
 
       // Requests move straight from the queue into the engine Dataset;
-      // only the promise is kept aside. The batch's flush deadline runs
-      // from its first (oldest) request.
+      // only the promise is kept aside. Expiry is re-checked here, at
+      // pick time: a request that waited out its deadline in the queue
+      // is shed in O(1) instead of spending engine time on an answer
+      // nobody is waiting for. The batch's flush deadline runs from its
+      // first (oldest) live request.
       auto TakeFront = [&] {
-        Work.add(std::move(Queue.front().S));
-        Promises.push_back(std::move(Queue.front().P));
+        Request Req = std::move(Queue.front());
         Queue.pop_front();
+        if (Req.expired(Clock::now())) {
+          ++Stats.ShedExpired;
+          Expired.push_back(std::move(Req));
+          return;
+        }
+        SubmitTimes.push_back(Req.SubmittedAt);
+        Work.add(std::move(Req.S));
+        Promises.push_back(std::move(Req.P));
       };
       TakeFront();
-      auto Deadline =
-          std::chrono::steady_clock::now() + Cfg.FlushDeadline;
+      auto Deadline = std::chrono::steady_clock::now() + Cfg.FlushDeadline;
       while (Promises.size() < Cfg.MaxBatch) {
         if (!Queue.empty()) {
           TakeFront();
           continue;
         }
+        if (Promises.empty())
+          break; // Every pick so far expired; nothing to flush for.
         if (Stopping) {
           ByDeadline = true; // Drain flush: take what we have, now.
           break;
@@ -122,32 +305,55 @@ void AssessmentService::batcherLoop() {
         ByDeadline = true; // Deadline expired with a short batch.
         break;
       }
-      ++InFlight;
-      ++Stats.Batches;
-      if (ByDeadline)
-        ++Stats.DeadlineFlushes;
-      else
-        ++Stats.SizeFlushes;
+      if (!Promises.empty()) {
+        ++InFlight;
+        ++Stats.Batches;
+        if (ByDeadline)
+          ++Stats.DeadlineFlushes;
+        else
+          ++Stats.SizeFlushes;
+      } else if (Queue.empty() && InFlight == 0) {
+        // An expired-only pick emptied the queue without forming a
+        // batch; drain() waiters must still wake.
+        Idle.notify_all();
+      }
     }
     NotFull.notify_all();
+    for (Request &Req : Expired)
+      shed(Req, ShedReason::DeadlineExpired);
+    if (Promises.empty())
+      continue;
+
+    // Injected engine slowness: with "batcher_stall" armed the batch
+    // takes ~2ms longer, so offered load outruns capacity and the shed
+    // machinery above is what keeps latency bounded.
+    if (support::faults::shouldFail("batcher_stall"))
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
 
     // Engine work outside the lock: other batchers keep collecting.
     std::vector<Verdict> Verdicts = Engine.assessBatch(Work);
     assert(Verdicts.size() == Promises.size() && "engine dropped verdicts");
 
+    // One completion timestamp per batch: requests in a batch finish
+    // together, and per-promise clock reads would only jitter the
+    // histogram.
+    Clock::time_point Done = Clock::now();
+    LatencyHistogram BatchLatency;
     size_t Rejected = 0;
     for (size_t I = 0; I < Promises.size(); ++I) {
       if (Verdicts[I].Drifted)
         ++Rejected;
       if (Monitor)
         Monitor->record(Verdicts[I]);
+      BatchLatency.record(microsBetween(SubmitTimes[I], Done));
       Promises[I].set_value(std::move(Verdicts[I]));
     }
 
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       Stats.Completed += Promises.size();
-      Stats.Rejected += Rejected;
+      Stats.DriftRejected += Rejected;
+      Stats.Latency += BatchLatency;
       --InFlight;
       if (Queue.empty() && InFlight == 0)
         Idle.notify_all();
@@ -172,18 +378,23 @@ void AssessmentService::shutdown() {
       return;
     Stopping = true;
     // A StartPaused service that was never start()ed must not begin
-    // assessing during teardown; fail its pending requests instead.
-    if (!Started)
+    // assessing during teardown; shed its pending requests instead.
+    if (!Started) {
+      Stats.ShedShutdown += Queue.size();
       Orphans.swap(Queue);
+    }
   }
   NotEmpty.notify_all();
   NotFull.notify_all();
+  // Concurrent drain() callers on a never-started service would
+  // otherwise sleep until the final notify below; the queue is already
+  // empty, so wake them now.
+  Idle.notify_all();
   for (std::thread &T : Batchers)
     T.join();
   Batchers.clear();
   for (Request &Req : Orphans)
-    Req.P.set_exception(std::make_exception_ptr(
-        std::runtime_error("AssessmentService shut down before start")));
+    shed(Req, ShedReason::Shutdown);
   Idle.notify_all();
 }
 

@@ -16,11 +16,22 @@
 /// bit-identical to a direct assess() call for the same sample; the
 /// runtime only changes *when* work happens, never what it computes.
 ///
-/// The queue bound applies backpressure: submit() blocks while the queue
-/// is full (trySubmit() refuses instead), so a burst degrades latency
-/// rather than memory. An optional WindowedDriftMonitor is folded on the
-/// batcher threads, putting the streaming recalibration alarm directly in
-/// the serving loop.
+/// Overload control: the queue bound plus a ShedPolicy decide what a
+/// burst past capacity degrades into. Under Block (the default) submit()
+/// applies backpressure — it blocks while the queue is full, so latency
+/// grows but nothing is lost. Under RejectNewest the arriving request is
+/// shed immediately (its future fails with ShedError{QueueFull}), and
+/// under DeadlineAware already-expired queued requests are evicted first
+/// to make room before the arrival is shed. Requests may carry a
+/// per-request deadline (submitWithDeadline); expiry is re-checked when a
+/// batch is picked, so a request that waited out its budget is shed with
+/// ShedError{DeadlineExpired} in O(1) instead of burning engine time on
+/// an answer nobody is waiting for. Every accepted request is always
+/// resolved — with a verdict or a ShedError — never dropped.
+///
+/// An optional WindowedDriftMonitor is folded on the batcher threads,
+/// putting the streaming recalibration alarm directly in the serving
+/// loop.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,16 +47,71 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 /// \namespace prom::serve
 /// The asynchronous serving runtime: AssessmentService (queue +
-/// micro-batcher), WindowedDriftMonitor (streaming recalibration alarm),
-/// and RecalibrationController (drift-triggered self-recalibration).
+/// micro-batcher + overload control), WindowedDriftMonitor (streaming
+/// recalibration alarm), and RecalibrationController (drift-triggered
+/// self-recalibration).
 
 namespace prom {
 namespace serve {
+
+/// What a burst past the queue bound degrades into.
+enum class ShedPolicy {
+  /// submit() blocks until space frees (backpressure; nothing is shed at
+  /// admission — pick-time deadline expiry still applies).
+  Block,
+  /// The arriving request is shed immediately when the queue is full.
+  RejectNewest,
+  /// Already-expired queued requests are evicted first to make room;
+  /// only if the queue is still full is the arrival shed. Under
+  /// overload, capacity goes to the requests that can still meet their
+  /// deadlines.
+  DeadlineAware,
+};
+
+/// Why a request was shed instead of assessed.
+enum class ShedReason {
+  QueueFull,       ///< Admission refused: queue at capacity.
+  DeadlineExpired, ///< The request's deadline passed before assessment.
+  Shutdown,        ///< The service was shut down.
+};
+
+/// The failure a shed request's future resolves with. Derives from
+/// std::runtime_error so callers that only distinguish success/failure
+/// keep working; overload-aware callers switch on reason().
+class ShedError : public std::runtime_error {
+public:
+  explicit ShedError(ShedReason R); ///< Constructs with reason \p R.
+  ShedReason reason() const { return Reason; } ///< Why it was shed.
+
+private:
+  ShedReason Reason;
+};
+
+/// Fixed-footprint log-bucketed latency histogram (microseconds).
+/// Buckets are sqrt(2)-spaced from 1us, so quantiles resolve to ~±20%
+/// anywhere in the range — enough to watch a p99.9 walk toward the
+/// deadline under load without storing per-request samples.
+struct LatencyHistogram {
+  static constexpr size_t NumBuckets = 64; ///< Covers 1us .. ~50 days.
+  uint64_t Counts[NumBuckets] = {0};       ///< Per-bucket request counts.
+  uint64_t Total = 0;                      ///< Requests recorded.
+
+  void record(double Us); ///< Adds one latency observation.
+  /// Latency at quantile \p Q in [0, 1] (linear interpolation inside the
+  /// bucket; 0 with no observations).
+  double quantileUs(double Q) const;
+  double p50Us() const { return quantileUs(0.50); }    ///< Median.
+  double p99Us() const { return quantileUs(0.99); }    ///< Tail.
+  double p999Us() const { return quantileUs(0.999); }  ///< Deep tail.
+  /// Merges \p Other's buckets into this histogram.
+  LatencyHistogram &operator+=(const LatencyHistogram &Other);
+};
 
 /// Serving-runtime knobs.
 struct ServiceConfig {
@@ -59,6 +125,12 @@ struct ServiceConfig {
   /// a second lets queue pop + batch assembly + promise fulfillment of one
   /// batch overlap the engine work of the previous one.
   size_t NumBatchers = 1;
+  /// What to do with arrivals while the queue is full; see ShedPolicy.
+  ShedPolicy Shed = ShedPolicy::Block;
+  /// Deadline budget applied to submit() calls that do not carry their
+  /// own (zero = no deadline). submitWithDeadline() overrides per
+  /// request.
+  std::chrono::microseconds DefaultDeadline{0};
   /// Construct without batchers; requests queue up (to the capacity
   /// bound) until start(). Lets a server finish staged initialization —
   /// snapshot load, warm-up, health checks — while the listener already
@@ -68,14 +140,28 @@ struct ServiceConfig {
 
 /// Monotonic counters of a running service (consistent snapshot).
 struct ServiceStats {
-  uint64_t Submitted = 0;       ///< Requests accepted into the queue.
-  uint64_t Completed = 0;       ///< Requests answered with a verdict.
-  uint64_t Rejected = 0;        ///< Completed verdicts with Drifted set.
-  uint64_t Batches = 0;         ///< Micro-batches driven through the engine.
-  uint64_t SizeFlushes = 0;     ///< Batches flushed by reaching MaxBatch.
+  uint64_t Submitted = 0;     ///< Requests accepted into the queue.
+  uint64_t Completed = 0;     ///< Requests answered with a verdict.
+  uint64_t DriftRejected = 0; ///< Completed verdicts with Drifted set.
+  uint64_t ShedQueueFull = 0; ///< Shed at admission: queue at capacity.
+  uint64_t ShedExpired = 0;   ///< Shed for an expired deadline (at
+                              ///< admission, eviction, or batch pick).
+  uint64_t ShedShutdown = 0;  ///< Failed because the service was shut down.
+  uint64_t Batches = 0;       ///< Micro-batches that assessed >=1 request.
+  uint64_t SizeFlushes = 0;   ///< Batches flushed by reaching MaxBatch.
   uint64_t DeadlineFlushes = 0; ///< Batches flushed by deadline or drain.
+  /// Submit-to-verdict latency of completed requests (shed requests are
+  /// not latency observations — they are counted above).
+  LatencyHistogram Latency;
 
-  /// Completed requests per batch (0 before the first batch).
+  /// Requests shed for any reason.
+  uint64_t shedTotal() const {
+    return ShedQueueFull + ShedExpired + ShedShutdown;
+  }
+
+  /// Completed (answered-with-a-verdict) requests per assessed batch;
+  /// shed requests never enter a batch, so they cannot dilute this (0
+  /// before the first batch).
   double meanBatchSize() const {
     return Batches == 0 ? 0.0
                         : static_cast<double>(Completed) /
@@ -86,36 +172,58 @@ struct ServiceStats {
 /// Async micro-batching front-end over a calibrated PromClassifier; see
 /// the file comment. The engine (and its underlying model) must outlive
 /// the service and stay unmodified while it runs.
+///
+/// Post-shutdown contract (unified across entry points): after
+/// shutdown() begins, trySubmit() returns false and submit() /
+/// submitWithDeadline() return a future that fails with
+/// ShedError{Shutdown}; neither throws synchronously, and no request
+/// accepted *before* shutdown is ever dropped — it resolves with a
+/// verdict (started services drain) or a ShedError. drain() may run
+/// concurrently with shutdown() (and with other drain() calls).
 class AssessmentService {
 public:
+  using Clock = std::chrono::steady_clock; ///< Deadline/latency clock.
+
   /// Spawns the batcher threads over \p Engine; \p Monitor, when given,
   /// is folded on the batcher threads (may be null).
   explicit AssessmentService(const PromClassifier &Engine,
                              ServiceConfig Cfg = ServiceConfig(),
                              WindowedDriftMonitor *Monitor = nullptr);
-  ~AssessmentService(); ///< shutdown()s, completing every queued request.
+  ~AssessmentService(); ///< shutdown()s, resolving every queued request.
 
   AssessmentService(const AssessmentService &) = delete; ///< Owns threads.
   /// Non-copyable: owns threads and pending promises.
   AssessmentService &operator=(const AssessmentService &) = delete;
 
-  /// Enqueues one sample; blocks while the queue is full. The future
-  /// resolves to the committee verdict — shutdown() drains, so requests
-  /// accepted before it still complete. Submitting to an already-shut-down
-  /// service resolves the future with std::runtime_error instead.
+  /// Enqueues one sample under the configured ShedPolicy (with the
+  /// config's DefaultDeadline, if any). Under Block this waits while the
+  /// queue is full; the other policies shed instead of waiting. The
+  /// future resolves to the committee verdict or fails with a ShedError.
   std::future<Verdict> submit(data::Sample S);
 
+  /// submit() with a per-request deadline budget measured from now: once
+  /// \p Budget elapses the request is shed (at admission, by DeadlineAware
+  /// eviction, or at batch pick) rather than assessed late. A
+  /// non-positive budget sheds immediately.
+  std::future<Verdict> submitWithDeadline(data::Sample S,
+                                          std::chrono::microseconds Budget);
+
   /// Non-blocking submit; returns false (leaving \p Out untouched) when
-  /// the queue is full or the service is shut down.
+  /// the queue is full or the service is shut down. Never sheds queued
+  /// requests (even under DeadlineAware) — it is the polling-style
+  /// admission probe.
   bool trySubmit(data::Sample S, std::future<Verdict> &Out);
 
   /// Starts the batchers of a StartPaused service (no-op otherwise).
   void start();
 
-  /// Blocks until every submitted request has been answered.
+  /// Blocks until every accepted request has been resolved (verdict or
+  /// shed). Safe to call concurrently with submitters, other drain()
+  /// callers, and shutdown().
   void drain();
 
-  /// Drains, then stops the batcher threads. Idempotent.
+  /// Drains, then stops the batcher threads. Idempotent and safe against
+  /// concurrent shutdown()/drain() callers.
   void shutdown();
 
   /// Requests currently queued (not yet picked into a batch).
@@ -128,7 +236,26 @@ private:
   struct Request {
     data::Sample S;
     std::promise<Verdict> P;
+    Clock::time_point SubmittedAt;
+    Clock::time_point Deadline;
+    bool HasDeadline = false;
+
+    bool expired(Clock::time_point Now) const {
+      return HasDeadline && Deadline <= Now;
+    }
   };
+
+  /// Shared admission path of submit()/submitWithDeadline().
+  std::future<Verdict> submitImpl(data::Sample S, bool HasDeadline,
+                                  Clock::time_point Deadline);
+
+  /// Fails \p Req's promise with ShedError(\p Reason). Called outside
+  /// Mutex (set_exception wakes waiters synchronously).
+  static void shed(Request &Req, ShedReason Reason);
+
+  /// Evicts expired requests from the queue into \p Out; caller holds
+  /// Mutex and sheds them after unlocking. Counts them as ShedExpired.
+  void evictExpiredLocked(Clock::time_point Now, std::vector<Request> &Out);
 
   void batcherLoop();
 

@@ -7,9 +7,11 @@
 #include "serve/RecalibrationController.h"
 
 #include "data/Scaler.h"
+#include "support/FaultInjection.h"
 #include "support/Serialize.h"
 
 #include <cassert>
+#include <stdexcept>
 
 using namespace prom;
 using namespace prom::serve;
@@ -23,6 +25,8 @@ RecalibrationController::RecalibrationController(PromClassifier &Engine,
     Cfg.MinRefreshSamples = 1;
   if (Cfg.KeepGenerations == 0)
     Cfg.KeepGenerations = 1;
+  if (Cfg.MaxRefreshAttempts == 0)
+    Cfg.MaxRefreshAttempts = 1;
 
   // Resume the generation sequence of an existing rotation directory so a
   // restarted server keeps numbering monotonically instead of overwriting
@@ -127,19 +131,82 @@ void RecalibrationController::workerLoop() {
   }
 }
 
+bool RecalibrationController::backoffWait(std::chrono::milliseconds Backoff) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  // Alerts may notify WakeWorker during the wait; the predicate only
+  // breaks on shutdown, so a mid-backoff alert simply coalesces into the
+  // retry already scheduled.
+  WakeWorker.wait_for(Lock, Backoff, [&] { return Stopping; });
+  return !Stopping;
+}
+
+void RecalibrationController::requeueBatch(std::deque<data::Sample> &&Batch) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Stopping)
+    return;
+  for (auto It = Batch.rbegin(); It != Batch.rend(); ++It)
+    Pending.push_front(std::move(*It));
+  while (Cfg.MaxBufferedSamples != 0 &&
+         Pending.size() > Cfg.MaxBufferedSamples)
+    Pending.pop_front(); // Oldest out: freshest labels win.
+}
+
 void RecalibrationController::runRefresh(std::deque<data::Sample> Batch) {
   // The engine refresh: incremental store fold + atomic swap. Serving
-  // continues on the previous store generation throughout.
+  // continues on the previous store generation throughout — including
+  // across failed attempts, because the swap is the *last* step of a
+  // successful refreshCalibration() and a throw before it leaves the
+  // last known-good store untouched.
   data::Dataset Refresh;
   Refresh.reserve(Batch.size());
-  for (data::Sample &S : Batch)
-    Refresh.add(std::move(S));
-  size_t StoreSize = Engine.refreshCalibration(Refresh);
+  for (const data::Sample &S : Batch)
+    Refresh.add(S);
+
+  size_t StoreSize = 0;
+  bool Refreshed = false;
+  std::chrono::milliseconds Backoff = Cfg.RefreshRetryBackoff;
+  for (size_t Attempt = 1; Attempt <= Cfg.MaxRefreshAttempts && !Refreshed;
+       ++Attempt) {
+    try {
+      if (support::faults::shouldFail("refresh_throw"))
+        throw std::runtime_error("injected refresh failure");
+      if (support::faults::shouldFail("refresh_stall"))
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      StoreSize = Engine.refreshCalibration(Refresh);
+      Refreshed = true;
+    } catch (const std::exception &) {
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        ++Stats.RefreshFailures;
+      }
+      if (Attempt < Cfg.MaxRefreshAttempts) {
+        if (!backoffWait(Backoff))
+          return; // Shutting down mid-retry; the buffer is dropped anyway.
+        Backoff *= 2;
+      }
+    }
+  }
+  if (!Refreshed) {
+    // Abandon: the batch goes back to the front of the buffer, so the
+    // next alert (or triggerRefresh) retries it together with whatever
+    // labels arrived meanwhile. The engine keeps serving the last
+    // known-good store bit-identically the whole time.
+    requeueBatch(std::move(Batch));
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Stats.RefreshesAbandoned;
+    }
+    RefreshDone.notify_all();
+    return;
+  }
 
   // Snapshot rotation: write the new generation fully, commit the
   // `latest` pointer atomically, then prune old generations. A crash
   // between any two steps leaves a loadable committed state behind
   // (support::resolveLatestSnapshot falls back over invalid files).
+  // Rotation failures get the same bounded retry/backoff as the refresh;
+  // a rotation that never commits only costs durability — the refreshed
+  // store is live, and the previous committed generation still loads.
   uint64_t Generation = 0;
   bool Rotated = false;
   const data::StandardScaler *SnapScaler = nullptr;
@@ -149,15 +216,29 @@ void RecalibrationController::runRefresh(std::deque<data::Sample> Batch) {
       SnapScaler = Scaler;
     Generation = Stats.LastGeneration + 1;
   }
-  if (!Cfg.SnapshotDir.empty() &&
-      support::ensureDirectory(Cfg.SnapshotDir)) {
-    std::string Path = Cfg.SnapshotDir + "/" +
-                       support::snapshotGenerationFile(Generation);
-    if (Engine.saveSnapshot(Path, SnapScaler) &&
-        support::commitLatestPointer(Cfg.SnapshotDir, Generation)) {
-      support::pruneSnapshotGenerations(Cfg.SnapshotDir,
-                                        Cfg.KeepGenerations);
-      Rotated = true;
+  if (!Cfg.SnapshotDir.empty()) {
+    Backoff = Cfg.RefreshRetryBackoff;
+    for (size_t Attempt = 1; Attempt <= Cfg.MaxRefreshAttempts && !Rotated;
+         ++Attempt) {
+      std::string Path = Cfg.SnapshotDir + "/" +
+                         support::snapshotGenerationFile(Generation);
+      if (support::ensureDirectory(Cfg.SnapshotDir) &&
+          Engine.saveSnapshot(Path, SnapScaler) &&
+          support::commitLatestPointer(Cfg.SnapshotDir, Generation)) {
+        support::pruneSnapshotGenerations(Cfg.SnapshotDir,
+                                          Cfg.KeepGenerations);
+        Rotated = true;
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        ++Stats.SnapshotFailures;
+      }
+      if (Attempt < Cfg.MaxRefreshAttempts) {
+        if (!backoffWait(Backoff))
+          return;
+        Backoff *= 2;
+      }
     }
   }
 
@@ -172,10 +253,6 @@ void RecalibrationController::runRefresh(std::deque<data::Sample> Batch) {
     if (Rotated) {
       ++Stats.SnapshotsRotated;
       Stats.LastGeneration = Generation;
-    } else if (!Cfg.SnapshotDir.empty()) {
-      // Rotation was configured but did not commit: the refresh is live
-      // in memory yet a restart would lose it. Surface it.
-      ++Stats.SnapshotFailures;
     }
   }
   RefreshDone.notify_all();

@@ -33,6 +33,20 @@
 /// callback only signals it, so the serving path never blocks on a
 /// refresh.
 ///
+/// Failure semantics: the engine publishes a refreshed store only as the
+/// last step of a successful refresh, so a refresh attempt that throws —
+/// an I/O error in the relabel pipeline, an injected refresh_throw fault,
+/// anything — leaves the last known-good calibrated state serving
+/// bit-identical verdicts. The controller retries with exponential
+/// backoff up to MaxRefreshAttempts, counting every failure
+/// (RecalibrationStats::RefreshFailures); an abandoned batch
+/// (RefreshesAbandoned) is returned to the relabel buffer so the next
+/// alert retries it together with newer labels. Snapshot rotation gets
+/// the same bounded retry; a rotation that never commits leaves the
+/// previous committed generation in place (SnapshotFailures is the
+/// alarm), and a restart's resolveLatestSnapshot walks back over
+/// checksum-invalid generations to the newest one that still loads.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PROM_SERVE_RECALIBRATIONCONTROLLER_H
@@ -79,6 +93,15 @@ struct RecalibrationConfig {
   /// Save the deployment feature scaler into rotated snapshots when the
   /// server registered one (see RecalibrationController::setScaler()).
   bool SnapshotScaler = true;
+
+  /// Attempts per refresh batch (first try + retries) before the batch
+  /// is abandoned back into the relabel buffer. Snapshot rotation gets
+  /// the same bound independently.
+  size_t MaxRefreshAttempts = 3;
+
+  /// Backoff before the first retry; doubles on each subsequent retry.
+  /// The wait is interruptible by shutdown().
+  std::chrono::milliseconds RefreshRetryBackoff{25};
 };
 
 /// Monotonic counters of the refresh loop (consistent snapshot).
@@ -89,11 +112,20 @@ struct RecalibrationStats {
   uint64_t SamplesFolded = 0;      ///< Relabeled samples folded in, total.
   uint64_t SnapshotsRotated = 0;   ///< Generations written + committed.
   /// Rotation attempts that failed (unusable SnapshotDir, save error, or
-  /// pointer-commit error). The refresh itself still succeeded — only
-  /// its durability is missing; monitor this alongside SnapshotsRotated,
-  /// because a permanently failing rotation means a restart falls back
-  /// to the last committed (possibly pre-drift) generation.
+  /// pointer-commit error), across the bounded per-refresh retries. The
+  /// refresh itself still succeeded — only its durability is missing;
+  /// monitor this alongside SnapshotsRotated, because a permanently
+  /// failing rotation means a restart falls back to the last committed
+  /// (possibly pre-drift) generation.
   uint64_t SnapshotFailures = 0;
+  /// Refresh attempts that threw. The engine still serves the previous
+  /// store after any number of these — a failed refresh never corrupts
+  /// the serving state, it only delays the fold.
+  uint64_t RefreshFailures = 0;
+  /// Refresh batches given up after MaxRefreshAttempts and returned to
+  /// the relabel buffer. A rising count with zero RefreshesCompleted is
+  /// the "calibration is going stale" alarm.
+  uint64_t RefreshesAbandoned = 0;
   uint64_t LastGeneration = 0;     ///< Newest committed generation (0 = none).
   size_t PendingSamples = 0;       ///< Relabeled samples waiting in buffer.
   size_t StoreSize = 0;            ///< Live calibration entries after last swap.
@@ -153,9 +185,19 @@ public:
 private:
   void workerLoop();
 
-  /// One refresh pass: drain buffer, refresh engine, rotate snapshot,
-  /// reset monitor. Runs on the worker thread only.
+  /// One refresh pass: drain buffer, refresh engine (bounded retries),
+  /// rotate snapshot (bounded retries), reset monitor. Runs on the
+  /// worker thread only.
   void runRefresh(std::deque<data::Sample> Batch);
+
+  /// Sleeps \p Backoff on the worker thread, waking early on shutdown.
+  /// Returns false when the controller is stopping.
+  bool backoffWait(std::chrono::milliseconds Backoff);
+
+  /// Returns \p Batch to the front of the relabel buffer (oldest-first
+  /// drop beyond MaxBufferedSamples) so an abandoned refresh is retried
+  /// with these samples plus whatever arrives next.
+  void requeueBatch(std::deque<data::Sample> &&Batch);
 
   PromClassifier &Engine;
   WindowedDriftMonitor &Monitor;

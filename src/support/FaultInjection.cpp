@@ -1,0 +1,162 @@
+//===- support/FaultInjection.cpp - Named, armable failure points -----------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/Rng.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+using namespace prom::support;
+
+namespace {
+
+struct PointState {
+  double Probability = 1.0;
+  uint64_t Draws = 0;
+  uint64_t Fires = 0;
+};
+
+/// The registry. One process-wide instance behind a mutex: fault points
+/// sit on cold failure paths (file I/O, refresh retries), never in the
+/// per-sample hot loop, and the disarmed fast path in the header skips
+/// all of this.
+struct Registry {
+  std::mutex Mutex;
+  std::unordered_map<std::string, PointState> Points;
+  Rng Decisions{0x9e3779b97f4a7c15ull};
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+/// Arms PROM_FAULTS at startup. The anchor lives in this TU, which every
+/// fault-point call site links against, so env-armed faults work without
+/// any explicit init call in main().
+struct EnvArmAtStartup {
+  EnvArmAtStartup() { faults::armFromEnv(); }
+} EnvArm;
+
+} // namespace
+
+std::atomic<bool> faults::detail::AnyArmed{false};
+
+bool faults::detail::shouldFailSlow(const char *Point) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = R.Points.find(Point);
+  if (It == R.Points.end())
+    return false;
+  PointState &St = It->second;
+  ++St.Draws;
+  // Probability 1 never consumes a stream draw: a fully-armed point fires
+  // on every hit no matter what other points drew before it.
+  bool Fire =
+      St.Probability >= 1.0 ||
+      (St.Probability > 0.0 && R.Decisions.uniform() < St.Probability);
+  if (Fire)
+    ++St.Fires;
+  return Fire;
+}
+
+void faults::arm(const std::string &Point, double Probability) {
+  if (Point.empty())
+    return;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  PointState &St = R.Points[Point];
+  St.Probability =
+      Probability < 0.0 ? 0.0 : (Probability > 1.0 ? 1.0 : Probability);
+  detail::AnyArmed.store(true, std::memory_order_relaxed);
+}
+
+void faults::disarm(const std::string &Point) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Points.erase(Point);
+  if (R.Points.empty())
+    detail::AnyArmed.store(false, std::memory_order_relaxed);
+}
+
+void faults::disarmAll() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Points.clear();
+  detail::AnyArmed.store(false, std::memory_order_relaxed);
+}
+
+void faults::seed(uint64_t Seed) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Decisions = Rng(Seed);
+}
+
+size_t faults::armFromEnv() {
+  const char *Spec = std::getenv("PROM_FAULTS");
+  if (const char *SeedStr = std::getenv("PROM_FAULTS_SEED"))
+    seed(std::strtoull(SeedStr, nullptr, 10));
+  if (!Spec || !*Spec)
+    return 0;
+
+  // Comma-separated `point[:probability]` entries; malformed entries are
+  // skipped rather than aborting startup (an operator typo must not take
+  // the server down — the armedPoints() introspection shows what took).
+  size_t Armed = 0;
+  std::string S(Spec);
+  size_t Begin = 0;
+  while (Begin <= S.size()) {
+    size_t End = S.find(',', Begin);
+    if (End == std::string::npos)
+      End = S.size();
+    std::string Entry = S.substr(Begin, End - Begin);
+    Begin = End + 1;
+    if (Entry.empty())
+      continue;
+    double Probability = 1.0;
+    size_t Colon = Entry.find(':');
+    std::string Name = Entry.substr(0, Colon);
+    if (Colon != std::string::npos) {
+      char *EndPtr = nullptr;
+      const std::string ProbStr = Entry.substr(Colon + 1);
+      Probability = std::strtod(ProbStr.c_str(), &EndPtr);
+      if (EndPtr == ProbStr.c_str())
+        continue; // Unparseable probability: skip the entry.
+    }
+    if (Name.empty())
+      continue;
+    arm(Name, Probability);
+    ++Armed;
+  }
+  return Armed;
+}
+
+uint64_t faults::fireCount(const std::string &Point) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = R.Points.find(Point);
+  return It == R.Points.end() ? 0 : It->second.Fires;
+}
+
+uint64_t faults::drawCount(const std::string &Point) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = R.Points.find(Point);
+  return It == R.Points.end() ? 0 : It->second.Draws;
+}
+
+std::vector<std::pair<std::string, double>> faults::armedPoints() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::vector<std::pair<std::string, double>> Out;
+  Out.reserve(R.Points.size());
+  for (const auto &KV : R.Points)
+    Out.emplace_back(KV.first, KV.second.Probability);
+  return Out;
+}

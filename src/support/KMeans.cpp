@@ -13,6 +13,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -180,7 +181,10 @@ KMeansMatrixResult prom::support::kMeansMatrix(const FeatureMatrix &Rows,
   std::vector<double> SampleDistSq(SampleN, 0.0);
   ThreadPool &Pool = ThreadPool::global();
   for (size_t Iter = 0; Iter < MaxIters; ++Iter) {
-    bool Changed = false;
+    // Atomic because every worker chunk may set it; relaxed is enough --
+    // the flag only gates convergence, and parallelFor's completion wait
+    // orders the stores before the read below.
+    std::atomic<bool> Changed{false};
     Pool.parallelFor(SampleN, [&](size_t B, size_t E) {
       std::vector<double> DistBuf(K);
       for (size_t I = B; I < E; ++I) {
@@ -189,7 +193,7 @@ KMeansMatrixResult prom::support::kMeansMatrix(const FeatureMatrix &Rows,
         SampleDistSq[I] = Best.second;
         if (SampleAssign[I] != Best.first) {
           SampleAssign[I] = static_cast<uint32_t>(Best.first);
-          Changed = true;
+          Changed.store(true, std::memory_order_relaxed);
         }
       }
     });

@@ -6,6 +6,8 @@
 
 #include "support/Serialize.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -61,24 +63,40 @@ void ByteWriter::writeDoubleVec(const std::vector<double> &V) {
 }
 
 bool ByteWriter::writeFile(const std::string &Path) const {
+  // An injected outright write failure: shaped like fopen/fwrite failing
+  // (no file left behind), which is how a full disk or a bad path fails.
+  if (faults::shouldFail("snapshot_write"))
+    return false;
+
+  // Assemble the full file image first: the checksum covers magic +
+  // payload, so a corrupted header fails the same way a corrupted payload
+  // does — and the fault points below can tear or flip a fully-formed
+  // image exactly where real-world corruption would.
+  std::vector<uint8_t> Image(SnapshotMagic,
+                             SnapshotMagic + sizeof(SnapshotMagic));
+  Image.insert(Image.end(), Bytes.begin(), Bytes.end());
+  uint64_t Sum = fnv1a(Image.data(), Image.size());
+  uint8_t Raw[sizeof(Sum)];
+  std::memcpy(Raw, &Sum, sizeof(Sum));
+  Image.insert(Image.end(), Raw, Raw + sizeof(Sum));
+
+  size_t WriteLen = Image.size();
+  if (faults::shouldFail("snapshot_truncate")) {
+    // A torn write: only a prefix reaches the disk, yet the writer is
+    // told it succeeded (buffered write + power loss). The checksummed
+    // load is the defense that must catch this.
+    WriteLen = Image.size() / 2;
+  } else if (faults::shouldFail("snapshot_corrupt")) {
+    // Silent media corruption: one payload byte flips after the checksum
+    // was computed, so the file is full-length but fails verification.
+    Image[Image.size() / 2] ^= 0x40;
+  }
+
   std::FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F)
     return false;
-  bool Ok = std::fwrite(SnapshotMagic, 1, sizeof(SnapshotMagic), F) ==
-            sizeof(SnapshotMagic);
-  if (Ok && !Bytes.empty())
-    Ok = std::fwrite(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
-  if (Ok) {
-    // The checksum covers magic + payload, so a corrupted header fails the
-    // same way a corrupted payload does.
-    std::vector<uint8_t> Checked(SnapshotMagic,
-                                 SnapshotMagic + sizeof(SnapshotMagic));
-    Checked.insert(Checked.end(), Bytes.begin(), Bytes.end());
-    uint64_t Sum = fnv1a(Checked.data(), Checked.size());
-    uint8_t Raw[sizeof(Sum)];
-    std::memcpy(Raw, &Sum, sizeof(Sum));
-    Ok = std::fwrite(Raw, 1, sizeof(Sum), F) == sizeof(Sum);
-  }
+  bool Ok = WriteLen == 0 ||
+            std::fwrite(Image.data(), 1, WriteLen, F) == WriteLen;
   return std::fclose(F) == 0 && Ok;
 }
 
@@ -86,6 +104,13 @@ bool ByteReader::loadFile(const std::string &Path) {
   Failed = true;
   Bytes.clear();
   Cursor = 0;
+
+  // An injected load failure covers unreadable files and corruption the
+  // checksum would reject; it also fails generation *probing*, so
+  // resolveLatestSnapshot's walk-back over older generations is what gets
+  // exercised when this point is armed with a probability < 1.
+  if (faults::shouldFail("snapshot_load"))
+    return false;
 
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
@@ -242,6 +267,12 @@ prom::support::listSnapshotGenerations(const std::string &Dir) {
 
 bool prom::support::commitLatestPointer(const std::string &Dir,
                                         uint64_t Gen) {
+  // An injected pointer-commit failure: the rename never happens, so the
+  // previous committed generation stays pointed-to — a reader must keep
+  // resolving the old state, never a half-committed one.
+  if (faults::shouldFail("snapshot_rename"))
+    return false;
+
   std::string Tmp = joinPath(Dir, std::string(LatestPointerName) + ".tmp");
   std::string Final = joinPath(Dir, LatestPointerName);
   std::FILE *F = std::fopen(Tmp.c_str(), "wb");

@@ -159,11 +159,252 @@ TEST(ServeTest, ShutdownDrainsAndRejectsLateSubmits) {
   for (auto &Fut : Futures)
     EXPECT_NO_THROW(Fut.get()); // Accepted before shutdown => answered.
 
+  // The unified post-shutdown contract: submit() resolves the future
+  // with ShedError{Shutdown} (a runtime_error, so reason-agnostic
+  // callers still just see a failure), trySubmit() returns false.
   std::future<Verdict> Late = Svc->submit(F.Test[0]);
-  EXPECT_THROW(Late.get(), std::runtime_error);
+  try {
+    Late.get();
+    FAIL() << "post-shutdown submit must fail the future";
+  } catch (const ShedError &E) {
+    EXPECT_EQ(E.reason(), ShedReason::Shutdown);
+  }
+  EXPECT_EQ(Svc->stats().ShedShutdown, 1u);
 
   std::future<Verdict> TryLate;
   EXPECT_FALSE(Svc->trySubmit(F.Test[0], TryLate));
+}
+
+TEST(ServeTest, DrainIsSafeConcurrentWithShutdown) {
+  EngineFixture &F = fixture();
+
+  for (int Round = 0; Round < 4; ++Round) {
+    AssessmentService Svc(*F.Prom);
+    std::vector<std::future<Verdict>> Futures;
+    for (size_t I = 0; I < 24; ++I)
+      Futures.push_back(Svc.submit(F.Test[I % F.Test.size()]));
+
+    // drain() from several threads racing one shutdown(): every call
+    // must return (no deadlock, no missed wakeup) and every accepted
+    // request must still resolve with a verdict.
+    std::vector<std::thread> Drainers;
+    for (int D = 0; D < 3; ++D)
+      Drainers.emplace_back([&] { Svc.drain(); });
+    std::thread Stopper([&] { Svc.shutdown(); });
+    for (std::thread &T : Drainers)
+      T.join();
+    Stopper.join();
+    for (auto &Fut : Futures)
+      EXPECT_NO_THROW(Fut.get());
+  }
+
+  // The never-started flavor: a paused service's queue is shed at
+  // shutdown; concurrent drain() must wake rather than hang.
+  ServiceConfig Cfg;
+  Cfg.StartPaused = true;
+  AssessmentService Paused(*F.Prom, Cfg);
+  std::future<Verdict> Parked = Paused.submit(F.Test[0]);
+  std::thread Drainer([&] { Paused.drain(); });
+  Paused.shutdown();
+  Drainer.join();
+  try {
+    Parked.get();
+    FAIL() << "queued request on a never-started service must be shed";
+  } catch (const ShedError &E) {
+    EXPECT_EQ(E.reason(), ShedReason::Shutdown);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Overload control: shed policies, deadlines, latency accounting
+//===----------------------------------------------------------------------===//
+
+TEST(ServeTest, RejectNewestShedsWhenQueueIsFull) {
+  EngineFixture &F = fixture();
+
+  // Paused batchers keep the queue from draining, so admission control is
+  // tested in isolation.
+  ServiceConfig Cfg;
+  Cfg.QueueCapacity = 2;
+  Cfg.MaxBatch = 4;
+  Cfg.Shed = ShedPolicy::RejectNewest;
+  Cfg.StartPaused = true;
+  AssessmentService Svc(*F.Prom, Cfg);
+
+  std::future<Verdict> A = Svc.submit(F.Test[0]);
+  std::future<Verdict> B = Svc.submit(F.Test[1]);
+  std::future<Verdict> C = Svc.submit(F.Test[2]); // Queue full: shed, fast.
+  try {
+    C.get();
+    FAIL() << "third submit must shed";
+  } catch (const ShedError &E) {
+    EXPECT_EQ(E.reason(), ShedReason::QueueFull);
+  }
+
+  ServiceStats Stats = Svc.stats();
+  EXPECT_EQ(Stats.Submitted, 2u);
+  EXPECT_EQ(Stats.ShedQueueFull, 1u);
+
+  Svc.start();
+  EXPECT_NO_THROW(A.get());
+  EXPECT_NO_THROW(B.get());
+  Svc.drain();
+  Stats = Svc.stats();
+  EXPECT_EQ(Stats.Completed, 2u);
+  EXPECT_EQ(Stats.shedTotal(), 1u);
+}
+
+TEST(ServeTest, DeadlineAwareEvictsExpiredToAdmitLiveWork) {
+  EngineFixture &F = fixture();
+
+  ServiceConfig Cfg;
+  Cfg.QueueCapacity = 2;
+  Cfg.Shed = ShedPolicy::DeadlineAware;
+  Cfg.StartPaused = true;
+  AssessmentService Svc(*F.Prom, Cfg);
+
+  // Two requests with microscopic budgets fill the queue...
+  std::future<Verdict> A =
+      Svc.submitWithDeadline(F.Test[0], std::chrono::microseconds(1));
+  std::future<Verdict> B =
+      Svc.submitWithDeadline(F.Test[1], std::chrono::microseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  // ...and the next arrival evicts them instead of being refused: the
+  // queue's capacity goes to work that can still meet its deadline.
+  std::future<Verdict> C =
+      Svc.submitWithDeadline(F.Test[2], std::chrono::seconds(10));
+  for (auto *Fut : {&A, &B}) {
+    try {
+      Fut->get();
+      FAIL() << "expired queued request must be shed";
+    } catch (const ShedError &E) {
+      EXPECT_EQ(E.reason(), ShedReason::DeadlineExpired);
+    }
+  }
+
+  Svc.start();
+  EXPECT_NO_THROW(C.get());
+  Svc.drain();
+  ServiceStats Stats = Svc.stats();
+  EXPECT_EQ(Stats.ShedExpired, 2u);
+  EXPECT_EQ(Stats.Completed, 1u);
+  // meanBatchSize counts only assessed requests: one batch, one verdict.
+  EXPECT_DOUBLE_EQ(Stats.meanBatchSize(), 1.0);
+}
+
+TEST(ServeTest, ExpiredRequestsAreShedAtBatchPick) {
+  EngineFixture &F = fixture();
+
+  // Block policy: nothing is shed at admission, but requests whose
+  // deadline ran out while queued must be shed at pick time instead of
+  // burning engine work.
+  ServiceConfig Cfg;
+  Cfg.Shed = ShedPolicy::Block;
+  Cfg.StartPaused = true;
+  AssessmentService Svc(*F.Prom, Cfg);
+
+  std::vector<std::future<Verdict>> Doomed;
+  for (size_t I = 0; I < 4; ++I)
+    Doomed.push_back(
+        Svc.submitWithDeadline(F.Test[I], std::chrono::milliseconds(1)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  Svc.start();
+  for (auto &Fut : Doomed) {
+    try {
+      Fut.get();
+      FAIL() << "request expired in queue must be shed at pick";
+    } catch (const ShedError &E) {
+      EXPECT_EQ(E.reason(), ShedReason::DeadlineExpired);
+    }
+  }
+  Svc.drain();
+  ServiceStats Stats = Svc.stats();
+  EXPECT_EQ(Stats.ShedExpired, 4u);
+  EXPECT_EQ(Stats.Completed, 0u);
+  // An expired-only pick forms no batch: the engine never ran, and the
+  // batch-size accounting is not diluted by shed requests.
+  EXPECT_EQ(Stats.Batches, 0u);
+  EXPECT_DOUBLE_EQ(Stats.meanBatchSize(), 0.0);
+
+  // A non-positive budget sheds at admission without queueing.
+  std::future<Verdict> Immediate =
+      Svc.submitWithDeadline(F.Test[0], std::chrono::microseconds(0));
+  EXPECT_THROW(Immediate.get(), ShedError);
+  EXPECT_EQ(Svc.stats().ShedExpired, 5u);
+}
+
+TEST(ServeTest, ServedVerdictsBitIdenticalUnderOverload) {
+  EngineFixture &F = fixture();
+  std::vector<Verdict> Direct = F.Prom->assessBatch(F.Test);
+
+  // A queue far smaller than the burst, so a large fraction of submits
+  // races admission against the batchers: every request must resolve —
+  // with a verdict bit-identical to the direct one, or an explicit shed —
+  // and the counters must account for every single submit.
+  ServiceConfig Cfg;
+  Cfg.QueueCapacity = 8;
+  Cfg.MaxBatch = 4;
+  Cfg.NumBatchers = 2;
+  Cfg.Shed = ShedPolicy::DeadlineAware;
+  AssessmentService Svc(*F.Prom, Cfg);
+
+  constexpr size_t Clients = 4, PerClient = 60;
+  std::atomic<size_t> Served{0}, Shed{0};
+  std::vector<std::thread> Threads;
+  for (size_t C = 0; C < Clients; ++C)
+    Threads.emplace_back([&, C] {
+      for (size_t I = 0; I < PerClient; ++I) {
+        size_t Idx = (C * PerClient + I) % F.Test.size();
+        std::future<Verdict> Fut = Svc.submitWithDeadline(
+            F.Test[Idx], std::chrono::milliseconds(200));
+        try {
+          Verdict V = Fut.get();
+          expectSameVerdict(Direct[Idx], V, Idx);
+          ++Served;
+        } catch (const ShedError &) {
+          ++Shed;
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Served.load() + Shed.load(), Clients * PerClient);
+
+  Svc.drain();
+  ServiceStats Stats = Svc.stats();
+  EXPECT_EQ(Stats.Completed, Served.load());
+  EXPECT_EQ(Stats.shedTotal(), Shed.load());
+  EXPECT_EQ(Stats.Completed + Stats.shedTotal(), Clients * PerClient);
+  // Latency is recorded for every completed request, none of the shed.
+  EXPECT_EQ(Stats.Latency.Total, Stats.Completed);
+}
+
+TEST(ServeTest, LatencyHistogramQuantilesAreOrderedAndBucketed) {
+  LatencyHistogram H;
+  EXPECT_DOUBLE_EQ(H.quantileUs(0.5), 0.0); // Empty: no observations.
+
+  // 90 fast observations and 10 slow ones: the median must sit in the
+  // fast bucket, the deep tail in the slow one, and quantiles must be
+  // monotone.
+  for (int I = 0; I < 90; ++I)
+    H.record(100.0);
+  for (int I = 0; I < 10; ++I)
+    H.record(50000.0);
+  EXPECT_EQ(H.Total, 100u);
+  EXPECT_GT(H.p50Us(), 64.0);
+  EXPECT_LT(H.p50Us(), 256.0); // ~one sqrt(2) bucket around 100us.
+  EXPECT_GT(H.p999Us(), 16000.0);
+  EXPECT_LE(H.p50Us(), H.p99Us());
+  EXPECT_LE(H.p99Us(), H.p999Us());
+
+  // Merge keeps totals and tail mass.
+  LatencyHistogram Sum;
+  Sum += H;
+  Sum += H;
+  EXPECT_EQ(Sum.Total, 200u);
+  EXPECT_GT(Sum.p999Us(), 16000.0);
 }
 
 TEST(ServeTest, ServiceFoldsVerdictsIntoMonitor) {
@@ -185,7 +426,7 @@ TEST(ServeTest, ServiceFoldsVerdictsIntoMonitor) {
   DriftWindowSnapshot Snap = Monitor.snapshot();
   EXPECT_EQ(Snap.TotalSeen, F.Test.size());
   EXPECT_EQ(Snap.WindowFill, std::min<size_t>(F.Test.size(), 64));
-  EXPECT_EQ(Svc.stats().Rejected, Rejected);
+  EXPECT_EQ(Svc.stats().DriftRejected, Rejected);
 }
 
 //===----------------------------------------------------------------------===//
