@@ -22,6 +22,10 @@
 // controller — the "relabel a small sample of deployment data" of the
 // paper's continual-deployment story (labels arrive late, but they
 // arrive). No operator intervention, no detector teardown, no restart.
+// A DriftAttribution sink rides along the monitor, so every alert also
+// prints *which* feature dimensions drifted (and how: sudden, gradual,
+// recurring), and the controller spends the bounded relabel budget on
+// the samples that moved along those dimensions.
 //
 // After the yearly stream the example runs a fault storm: every named
 // fault point (snapshot writes/renames/loads, refresh attempts, batcher
@@ -81,19 +85,49 @@ int main() {
 
   // The serving stack: async service + streaming drift alarm + the
   // controller that turns alarms into automatic calibration refreshes.
+  // The attribution layer rides along as an observe-only sink: it never
+  // changes a verdict or an alert edge, it only explains them.
+  serve::DriftAttributionConfig AttrCfg =
+      serve::DriftAttributionConfig::fromProm(Cfg);
+  AttrCfg.ReferenceWindow = 192; // Short windows: yearly streams are small.
+  AttrCfg.CurrentWindow = 96;
+  AttrCfg.MinCurrent = 24;
+  serve::DriftAttribution Attribution(AttrCfg);
+
   serve::DriftWindowConfig WindowCfg;
   WindowCfg.WindowSize = 128;
   WindowCfg.AlertRejectRate = 0.25;
   WindowCfg.MinFill = 48;
   serve::WindowedDriftMonitor Monitor(WindowCfg);
+  Monitor.setAttributionSink(&Attribution);
 
   const char *SnapshotDir = "self_healing_snapshots";
   serve::RecalibrationConfig RecalCfg;
   RecalCfg.MinRefreshSamples = 32;
   RecalCfg.SnapshotDir = SnapshotDir;
   RecalCfg.KeepGenerations = 2;
+  RecalCfg.MaxSamplesPerRefresh = 40; // Spend the label budget on the
+                                      // dimensions that actually moved.
   serve::RecalibrationController Controller(Prom, Monitor, RecalCfg);
   Controller.setScaler(&Scaler);
+  Controller.setAttribution(&Attribution);
+
+  // Tap the alert stream (the controller holds the monitor's subscriber
+  // slot) to print *which* feature dimensions drifted at each alert.
+  Controller.setAlertObserver([](const serve::DriftWindowSnapshot &Snap) {
+    if (!Snap.HasAttribution || !Snap.Attribution.ReferenceReady)
+      return;
+    const serve::DriftAttributionReport &Rep = Snap.Attribution;
+    std::printf("  [alert] reject rate %.2f, drift type %s, top dims:",
+                Snap.RejectRate, serve::driftTypeName(Rep.Type));
+    size_t Shown = 0;
+    for (const serve::DimensionDrift &D : Rep.Top) {
+      if (Shown++ == 4)
+        break;
+      std::printf(" f%zu(z=%+.1f)", D.Dim, D.ZScore);
+    }
+    std::printf("\n");
+  });
 
   serve::ServiceConfig SvcCfg;
   SvcCfg.MaxBatch = 32;
@@ -250,6 +284,14 @@ int main() {
               static_cast<unsigned long long>(RStats.RefreshesCompleted),
               static_cast<unsigned long long>(RStats.SamplesFolded),
               static_cast<unsigned long long>(RStats.SnapshotsRotated));
+  if (!RStats.LastDriftedDims.empty())
+    std::printf("last refresh attributed the drift to feature dim %zu "
+                "(type %s, max |z| %.1f); %llu refresh(es) ranked their "
+                "relabel batch by attribution.\n",
+                RStats.LastDriftedDims.front(),
+                serve::driftTypeName(RStats.LastDriftType),
+                RStats.LastMaxAbsZ,
+                static_cast<unsigned long long>(RStats.RefreshesPrioritized));
 
   // The restart path: a fresh process resolves the committed generation
   // (stale pointers fall back to the newest valid file) and serves the

@@ -344,7 +344,12 @@ void AssessmentService::batcherLoop() {
       if (Verdicts[I].Drifted)
         ++Rejected;
       if (Monitor)
-        Monitor->record(Verdicts[I]);
+        // The feature-carrying fold: samples are still alive in Work, so
+        // the monitor's attribution sink (when one is attached) sees the
+        // assessed vector alongside the verdict. Observe-only — the
+        // verdict already exists and is moved out unchanged below.
+        Monitor->record(Verdicts[I], Work[I].Features.data(),
+                        Work[I].Features.size());
       BatchLatency.record(microsBetween(SubmitTimes[I], Done));
       Promises[I].set_value(std::move(Verdicts[I]));
     }

@@ -10,7 +10,9 @@
 #include "support/FaultInjection.h"
 #include "support/Serialize.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 using namespace prom;
@@ -40,12 +42,20 @@ RecalibrationController::RecalibrationController(PromClassifier &Engine,
 
   Worker = std::thread([this] { workerLoop(); });
   // The callback only signals; the refresh itself runs on Worker so the
-  // recording batcher thread returns to serving immediately.
-  Monitor.setAlertCallback([this](const DriftWindowSnapshot &) {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    ++Stats.AlertsSeen;
-    RefreshRequested = true;
-    WakeWorker.notify_one();
+  // recording batcher thread returns to serving immediately. The
+  // registered alert observer (if any) runs after the signaling, outside
+  // the controller's lock, still on the recording thread.
+  Monitor.setAlertCallback([this](const DriftWindowSnapshot &Snap) {
+    AlertObserver Observer;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Stats.AlertsSeen;
+      RefreshRequested = true;
+      WakeWorker.notify_one();
+      Observer = OnAlertObserved;
+    }
+    if (Observer)
+      Observer(Snap);
   });
 }
 
@@ -69,6 +79,16 @@ size_t RecalibrationController::pendingLabeled() const {
 void RecalibrationController::setScaler(const data::StandardScaler *S) {
   std::lock_guard<std::mutex> Lock(Mutex);
   Scaler = S;
+}
+
+void RecalibrationController::setAttribution(DriftAttribution *A) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Attribution = A;
+}
+
+void RecalibrationController::setAlertObserver(AlertObserver Fn) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  OnAlertObserved = std::move(Fn);
 }
 
 void RecalibrationController::triggerRefresh() {
@@ -151,7 +171,92 @@ void RecalibrationController::requeueBatch(std::deque<data::Sample> &&Batch) {
     Pending.pop_front(); // Oldest out: freshest labels win.
 }
 
+std::deque<data::Sample> RecalibrationController::prioritizeBatch(
+    std::deque<data::Sample> &Batch, size_t Bound,
+    const DriftAttributionReport *Report, bool &Ranked) {
+  std::deque<data::Sample> Overflow;
+  Ranked = Report != nullptr && Report->ReferenceReady &&
+           !Report->Top.empty();
+  if (!Ranked) {
+    // No usable attribution: recency wins, keep the newest Bound.
+    while (Batch.size() > Bound) {
+      Overflow.push_back(std::move(Batch.front()));
+      Batch.pop_front();
+    }
+    return Overflow;
+  }
+
+  // Score each sample by how far it sits from the frozen reference along
+  // the reported top drifted dimensions (mean standardized distance):
+  // the samples that live where the drift is are the ones whose labels
+  // teach the refreshed calibration the most.
+  std::vector<double> Score(Batch.size(), 0.0);
+  for (size_t I = 0; I < Batch.size(); ++I) {
+    const std::vector<double> &F = Batch[I].Features;
+    double Sum = 0.0;
+    size_t Used = 0;
+    for (const DimensionDrift &D : Report->Top) {
+      if (D.Dim >= F.size())
+        continue;
+      // Constant reference dims score in raw-difference units, matching
+      // the attribution layer's zero-variance fallback.
+      double Spread = D.RefStd > 1e-9 ? D.RefStd : 1.0;
+      Sum += std::fabs(F[D.Dim] - D.RefMean) / Spread;
+      ++Used;
+    }
+    Score[I] = Used == 0 ? 0.0 : Sum / static_cast<double>(Used);
+  }
+  std::vector<size_t> Order(Batch.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    if (Score[A] != Score[B])
+      return Score[A] > Score[B];
+    return A < B;
+  });
+  std::vector<char> Keep(Batch.size(), 0);
+  for (size_t I = 0; I < Bound && I < Order.size(); ++I)
+    Keep[Order[I]] = 1;
+
+  std::deque<data::Sample> Kept;
+  for (size_t I = 0; I < Batch.size(); ++I) {
+    if (Keep[I])
+      Kept.push_back(std::move(Batch[I]));
+    else
+      Overflow.push_back(std::move(Batch[I]));
+  }
+  Batch = std::move(Kept);
+  return Overflow;
+}
+
 void RecalibrationController::runRefresh(std::deque<data::Sample> Batch) {
+  // Attribution at refresh time: one report taken before anything is
+  // folded or re-armed, so it describes the drift that triggered this
+  // refresh. Used to prioritize the batch and recorded into stats on
+  // completion.
+  DriftAttribution *Attr;
+  size_t Bound;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Attr = Attribution;
+    Bound = Cfg.MaxSamplesPerRefresh;
+  }
+  DriftAttributionReport Report;
+  bool HasReport = false;
+  if (Attr != nullptr) {
+    Report = Attr->report();
+    HasReport = true;
+  }
+
+  bool Prioritized = false;
+  if (Bound != 0 && Batch.size() > Bound) {
+    std::deque<data::Sample> Overflow = prioritizeBatch(
+        Batch, Bound, HasReport ? &Report : nullptr, Prioritized);
+    // The less drift-relevant tail goes back to the buffer front (it is
+    // older than anything arriving next) for a later refresh.
+    requeueBatch(std::move(Overflow));
+  }
+
   // The engine refresh: incremental store fold + atomic swap. Serving
   // continues on the previous store generation throughout — including
   // across failed attempts, because the swap is the *last* step of a
@@ -242,8 +347,14 @@ void RecalibrationController::runRefresh(std::deque<data::Sample> Batch) {
     }
   }
 
-  if (Cfg.ResetMonitorAfterRefresh)
+  if (Cfg.ResetMonitorAfterRefresh) {
     Monitor.reset();
+    // Re-arm the attribution layer alongside the window: the reference
+    // must be rebuilt against the refreshed calibration, not the drift
+    // that just got folded in.
+    if (Attr != nullptr)
+      Attr->rearm();
+  }
 
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -253,6 +364,15 @@ void RecalibrationController::runRefresh(std::deque<data::Sample> Batch) {
     if (Rotated) {
       ++Stats.SnapshotsRotated;
       Stats.LastGeneration = Generation;
+    }
+    if (Prioritized)
+      ++Stats.RefreshesPrioritized;
+    if (HasReport) {
+      Stats.LastDriftType = Report.Type;
+      Stats.LastMaxAbsZ = Report.MaxAbsZ;
+      Stats.LastDriftedDims.clear();
+      for (const DimensionDrift &D : Report.Top)
+        Stats.LastDriftedDims.push_back(D.Dim);
     }
   }
   RefreshDone.notify_all();

@@ -59,9 +59,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace prom {
 namespace serve {
@@ -102,6 +104,16 @@ struct RecalibrationConfig {
   /// Backoff before the first retry; doubles on each subsequent retry.
   /// The wait is interruptible by shutdown().
   std::chrono::milliseconds RefreshRetryBackoff{25};
+
+  /// Bound on the relabeled samples folded per refresh (0 = fold the
+  /// whole drained buffer). When the drained batch exceeds the bound,
+  /// the controller keeps the most drift-relevant samples — ranked along
+  /// the attribution report's top drifted dimensions when an attribution
+  /// layer is registered (setAttribution), by recency otherwise — and
+  /// returns the rest to the relabel buffer for a later refresh. This is
+  /// the targeted-refresh knob: label budget goes to the directions that
+  /// actually moved.
+  size_t MaxSamplesPerRefresh = 0;
 };
 
 /// Monotonic counters of the refresh loop (consistent snapshot).
@@ -129,6 +141,17 @@ struct RecalibrationStats {
   uint64_t LastGeneration = 0;     ///< Newest committed generation (0 = none).
   size_t PendingSamples = 0;       ///< Relabeled samples waiting in buffer.
   size_t StoreSize = 0;            ///< Live calibration entries after last swap.
+  /// Refreshes whose relabel batch exceeded MaxSamplesPerRefresh and was
+  /// ranked along the attribution report's top drifted dimensions.
+  uint64_t RefreshesPrioritized = 0;
+  /// Drift shape reported by the attribution layer at the last completed
+  /// refresh (None when no layer is registered).
+  DriftType LastDriftType = DriftType::None;
+  /// Attribution report magnitude (max |z|) at the last completed refresh.
+  double LastMaxAbsZ = 0.0;
+  /// Ranked top drifted dimensions at the last completed refresh (the
+  /// report's Top rows; empty when no layer is registered).
+  std::vector<size_t> LastDriftedDims;
 };
 
 /// Drift-triggered background recalibrator; see the file comment. The
@@ -137,6 +160,9 @@ struct RecalibrationStats {
 /// runs (assessments may continue concurrently — that is the point).
 class RecalibrationController {
 public:
+  /// Observer of the alert stream; see setAlertObserver().
+  using AlertObserver = std::function<void(const DriftWindowSnapshot &)>;
+
   /// Subscribes to \p Monitor's rising-edge alerts and starts the
   /// background refresh thread. \p Engine must already be calibrated.
   RecalibrationController(PromClassifier &Engine,
@@ -161,6 +187,25 @@ public:
   /// snapshots (optional; pass nullptr to clear). The scaler must outlive
   /// the controller.
   void setScaler(const data::StandardScaler *Scaler);
+
+  /// Registers the drift-attribution layer (optional; pass nullptr to
+  /// clear; it must outlive the controller). At each refresh the
+  /// controller takes one report — describing the drift that triggered
+  /// the refresh — records it in stats() (LastDriftType / LastMaxAbsZ /
+  /// LastDriftedDims), uses it to prioritize the relabel batch under
+  /// MaxSamplesPerRefresh, and re-arms the layer after a successful
+  /// refresh when ResetMonitorAfterRefresh is set, so the reference
+  /// window rebuilds against the refreshed calibration.
+  void setAttribution(DriftAttribution *Attribution);
+
+  /// Registers an observer of the alert stream (optional; pass nullptr
+  /// to clear). The controller occupies the monitor's single alert
+  /// subscriber slot; this hook lets a server still tap the alerts —
+  /// e.g. to print the attribution report carried by the snapshot. Runs
+  /// after the controller's own signaling, on the recording batcher
+  /// thread, outside the controller's lock; it must be cheap and must
+  /// not block (same rules as a monitor callback).
+  void setAlertObserver(AlertObserver Fn);
 
   /// Manually requests a refresh (the same path an alert takes) — e.g.
   /// for an operator-initiated recalibration or a scheduled one. Returns
@@ -199,10 +244,22 @@ private:
   /// with these samples plus whatever arrives next.
   void requeueBatch(std::deque<data::Sample> &&Batch);
 
+  /// Trims \p Batch to its \p Bound most drift-relevant samples (relative
+  /// order preserved) and returns the overflow. With a usable \p Report
+  /// (reference frozen, ranked rows), relevance is the mean standardized
+  /// distance from the reference along the report's top dimensions and
+  /// \p Ranked is set; otherwise the newest \p Bound samples are kept.
+  /// Deterministic: score ties break by original position.
+  std::deque<data::Sample>
+  prioritizeBatch(std::deque<data::Sample> &Batch, size_t Bound,
+                  const DriftAttributionReport *Report, bool &Ranked);
+
   PromClassifier &Engine;
   WindowedDriftMonitor &Monitor;
   RecalibrationConfig Cfg;
   const data::StandardScaler *Scaler = nullptr;
+  DriftAttribution *Attribution = nullptr;
+  AlertObserver OnAlertObserved;
 
   mutable std::mutex Mutex;
   std::condition_variable WakeWorker;

@@ -18,21 +18,44 @@ WindowedDriftMonitor::WindowedDriftMonitor(DriftWindowConfig CfgIn)
 }
 
 void WindowedDriftMonitor::record(const Verdict &V) {
-  fold(V.Drifted, /*Mispredicted=*/-1);
+  fold(V.Drifted, /*Mispredicted=*/-1, nullptr, 0);
 }
 
 void WindowedDriftMonitor::record(const RegressionVerdict &V) {
-  fold(V.Drifted, /*Mispredicted=*/-1);
+  fold(V.Drifted, /*Mispredicted=*/-1, nullptr, 0);
+}
+
+void WindowedDriftMonitor::record(const Verdict &V, const double *Features,
+                                  size_t Dims) {
+  fold(V.Drifted, /*Mispredicted=*/-1, Features, Dims);
+}
+
+void WindowedDriftMonitor::record(const RegressionVerdict &V,
+                                  const double *Features, size_t Dims) {
+  fold(V.Drifted, /*Mispredicted=*/-1, Features, Dims);
 }
 
 void WindowedDriftMonitor::recordLabeled(const Verdict &V,
                                          bool Mispredicted) {
-  fold(V.Drifted, Mispredicted ? 1 : 0);
+  fold(V.Drifted, Mispredicted ? 1 : 0, nullptr, 0);
 }
 
 void WindowedDriftMonitor::recordLabeled(const RegressionVerdict &V,
                                          bool Mispredicted) {
-  fold(V.Drifted, Mispredicted ? 1 : 0);
+  fold(V.Drifted, Mispredicted ? 1 : 0, nullptr, 0);
+}
+
+void WindowedDriftMonitor::recordLabeled(const Verdict &V, bool Mispredicted,
+                                         const double *Features,
+                                         size_t Dims) {
+  fold(V.Drifted, Mispredicted ? 1 : 0, Features, Dims);
+}
+
+void WindowedDriftMonitor::recordLabeled(const RegressionVerdict &V,
+                                         bool Mispredicted,
+                                         const double *Features,
+                                         size_t Dims) {
+  fold(V.Drifted, Mispredicted ? 1 : 0, Features, Dims);
 }
 
 void WindowedDriftMonitor::evict(const Slot &Old) {
@@ -54,7 +77,21 @@ void WindowedDriftMonitor::evict(const Slot &Old) {
     --Window.TrueNegative;
 }
 
-void WindowedDriftMonitor::fold(bool Rejected, int8_t Mispredicted) {
+void WindowedDriftMonitor::fold(bool Rejected, int8_t Mispredicted,
+                                const double *Features, size_t Dims) {
+  // Attribution first, outside Mutex (the sink has its own lock): the
+  // sink sees the observation before the fold, so the snapshot taken at
+  // an alert crossing reports an attribution state that includes the
+  // crossing verdict. Observe-only by construction — nothing the sink
+  // computes flows back into the counters below.
+  DriftAttribution *Sink;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Sink = Attribution;
+  }
+  if (Sink)
+    Sink->observe(Features, Dims, Rejected);
+
   bool MaybeNotify = false;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -103,6 +140,12 @@ void WindowedDriftMonitor::fold(bool Rejected, int8_t Mispredicted) {
     Notify = OnAlert;
     AtCrossing = snapshotLocked();
   }
+  // The attribution report joins the snapshot outside Mutex, so the
+  // sink's own lock is never nested inside the monitor's.
+  if (Sink) {
+    AtCrossing.HasAttribution = true;
+    AtCrossing.Attribution = Sink->report();
+  }
   if (Notify)
     Notify(AtCrossing);
 }
@@ -111,6 +154,16 @@ void WindowedDriftMonitor::setAlertCallback(AlertCallback Fn) {
   std::lock_guard<std::recursive_mutex> CallbackLock(CallbackMutex);
   std::lock_guard<std::mutex> Lock(Mutex);
   OnAlert = std::move(Fn);
+}
+
+void WindowedDriftMonitor::setAttributionSink(DriftAttribution *Sink) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Attribution = Sink;
+}
+
+DriftAttribution *WindowedDriftMonitor::attributionSink() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Attribution;
 }
 
 DriftWindowSnapshot WindowedDriftMonitor::snapshotLocked() const {
@@ -129,8 +182,18 @@ DriftWindowSnapshot WindowedDriftMonitor::snapshotLocked() const {
 }
 
 DriftWindowSnapshot WindowedDriftMonitor::snapshot() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return snapshotLocked();
+  DriftWindowSnapshot S;
+  DriftAttribution *Sink;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    S = snapshotLocked();
+    Sink = Attribution;
+  }
+  if (Sink) {
+    S.HasAttribution = true;
+    S.Attribution = Sink->report();
+  }
+  return S;
 }
 
 void WindowedDriftMonitor::reset() {

@@ -27,6 +27,7 @@
 
 #include "core/Detector.h"
 #include "core/DriftMetrics.h"
+#include "serve/DriftAttribution.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -61,6 +62,13 @@ struct DriftWindowSnapshot {
   size_t AlertsRaised = 0;  ///< Rising edges so far.
   DetectionCounts Window;   ///< Labeled-verdict confusion in the window.
   DetectionCounts Lifetime; ///< Labeled-verdict confusion since start/reset.
+  /// True when an attribution sink was attached at snapshot time; the
+  /// Attribution field then carries its report (default otherwise).
+  bool HasAttribution = false;
+  /// Drift-attribution report taken alongside the window counters (see
+  /// HasAttribution). In an alert callback this is the attribution at
+  /// the crossing, including the verdict that crossed.
+  DriftAttributionReport Attribution;
 };
 
 /// Sliding-window drift monitor; see file comment.
@@ -78,11 +86,31 @@ public:
   /// Folds one regression verdict (no ground truth).
   void record(const RegressionVerdict &V);
 
+  /// record() carrying the assessed feature/embedding vector (\p Features
+  /// points at \p Dims values): the vector and the rejection flag are
+  /// forwarded to the attribution sink *before* the windowed fold, so an
+  /// alert raised by this verdict snapshots an attribution state that
+  /// already includes it. Without a sink attached this is exactly
+  /// record() — the window counters never depend on the features.
+  void record(const Verdict &V, const double *Features, size_t Dims);
+  /// Feature-carrying fold of a regression verdict; see the classifier
+  /// overload.
+  void record(const RegressionVerdict &V, const double *Features,
+              size_t Dims);
+
   /// Folds one verdict with ground truth: \p Mispredicted is the label of
   /// the DetectionCounts fold ("the underlying model got this one wrong").
   void recordLabeled(const Verdict &V, bool Mispredicted);
   /// Labeled fold of a regression verdict; see the classifier overload.
   void recordLabeled(const RegressionVerdict &V, bool Mispredicted);
+
+  /// Labeled fold carrying the assessed feature vector; see the
+  /// feature-carrying record() overload.
+  void recordLabeled(const Verdict &V, bool Mispredicted,
+                     const double *Features, size_t Dims);
+  /// Labeled feature-carrying fold of a regression verdict.
+  void recordLabeled(const RegressionVerdict &V, bool Mispredicted,
+                     const double *Features, size_t Dims);
 
   /// Consistent view of every statistic.
   DriftWindowSnapshot snapshot() const;
@@ -114,6 +142,20 @@ public:
   /// thread, the previous subscriber is guaranteed not to be running.
   void setAlertCallback(AlertCallback Fn);
 
+  /// Attaches the drift-attribution sink (nullptr to detach). Every
+  /// record() then forwards its rejection flag — and, via the
+  /// feature-carrying overloads, the assessed feature vector — to the
+  /// sink, and snapshots/alert callbacks carry its report. The sink is
+  /// strictly observe-only: the window counters and alert edges are
+  /// bit-identical with or without one. The sink must outlive the
+  /// monitor or be detached while no records are in flight; reset() does
+  /// not touch it (the RecalibrationController re-arms it explicitly
+  /// after a refresh).
+  void setAttributionSink(DriftAttribution *Sink);
+
+  /// The attached attribution sink (nullptr when none).
+  DriftAttribution *attributionSink() const;
+
   const DriftWindowConfig &config() const { return Cfg; } ///< The knobs.
 
 private:
@@ -123,13 +165,16 @@ private:
     int8_t Mispredicted = -1; ///< -1 unknown, else 0/1.
   };
 
-  void fold(bool Rejected, int8_t Mispredicted);
+  void fold(bool Rejected, int8_t Mispredicted, const double *Features,
+            size_t Dims);
   void evict(const Slot &Old);
-  /// Locked part of snapshot(); callers hold Mutex.
+  /// Locked part of snapshot(); callers hold Mutex. Attribution is
+  /// filled in by the callers outside Mutex (the sink has its own lock).
   DriftWindowSnapshot snapshotLocked() const;
 
   DriftWindowConfig Cfg;
   AlertCallback OnAlert; ///< Rising-edge subscriber (may be empty).
+  DriftAttribution *Attribution = nullptr; ///< Observe-only sink (may be null).
   /// Serializes callback invocation against setAlertCallback(), so
   /// unsubscribing synchronizes with any in-flight notification. Taken
   /// only on the rare rising-edge path (the per-verdict fold never

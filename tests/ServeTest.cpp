@@ -559,6 +559,35 @@ TEST(ServeTest, MonitorRaisesAlertOnRisingEdgeOnly) {
   EXPECT_EQ(Monitor.alertsRaised(), 2u);
 }
 
+TEST(ServeTest, AlertCallbackSelfUnsubscribesDuringAlert) {
+  DriftWindowConfig Cfg;
+  Cfg.WindowSize = 8;
+  Cfg.MinFill = 4;
+  Cfg.AlertRejectRate = 0.5;
+  WindowedDriftMonitor Monitor(Cfg);
+
+  // The callback unsubscribes itself from inside its own invocation —
+  // the documented self-unsubscribe path through the recursive callback
+  // lock. Only the first rising edge may be delivered; the edges keep
+  // being counted regardless.
+  size_t Calls = 0;
+  Monitor.setAlertCallback([&](const DriftWindowSnapshot &Snap) {
+    ++Calls;
+    EXPECT_TRUE(Snap.AlertActive);
+    Monitor.setAlertCallback(nullptr);
+  });
+
+  for (int I = 0; I < 8; ++I)
+    Monitor.record(fakeVerdict(true)); // First excursion.
+  for (int I = 0; I < 12; ++I)
+    Monitor.record(fakeVerdict(false)); // Back below the threshold.
+  for (int I = 0; I < 8; ++I)
+    Monitor.record(fakeVerdict(true)); // Second excursion: no callback.
+
+  EXPECT_EQ(Calls, 1u);
+  EXPECT_EQ(Monitor.alertsRaised(), 2u);
+}
+
 TEST(ServeTest, MonitorWindowEvictionIsExact) {
   DriftWindowConfig Cfg;
   Cfg.WindowSize = 4;

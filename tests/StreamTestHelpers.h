@@ -1,0 +1,156 @@
+//===- tests/StreamTestHelpers.h - Synthetic drift streams -------*- C++ -*-===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic drift-stream generation shared by the drift
+/// test suites and the drift_attr bench, so test and bench inputs cannot
+/// diverge. A stream is a sequence of (feature vector, rejection flag)
+/// observations: features are unit-variance Gaussians around fixed
+/// per-dimension base means, a chosen subset of dimensions shifts by a
+/// configured magnitude following a sudden / gradual / recurring drift
+/// profile, and the rejection probability interpolates from a base rate
+/// to a drifted rate with the same profile. Everything replays bit-for-
+/// bit from the spec's seed; the randomized suites expose their failure
+/// seed via the PROM_DRIFT_PROP_SEED environment knob (see envSeedOr).
+///
+/// Deliberately gtest-free so bench binaries can include it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROM_TESTS_STREAMTESTHELPERS_H
+#define PROM_TESTS_STREAMTESTHELPERS_H
+
+#include "support/Rng.h"
+
+#include <cstdlib>
+#include <vector>
+
+namespace prom {
+namespace testing {
+
+/// Ground-truth drift profile of a synthetic stream.
+enum class DriftShape { None, Sudden, Gradual, Recurring };
+
+/// Display name of \p S ("none"/"sudden"/"gradual"/"recurring").
+inline const char *driftShapeName(DriftShape S) {
+  switch (S) {
+  case DriftShape::None:
+    return "none";
+  case DriftShape::Sudden:
+    return "sudden";
+  case DriftShape::Gradual:
+    return "gradual";
+  case DriftShape::Recurring:
+    return "recurring";
+  }
+  return "none";
+}
+
+/// Synthetic drift-stream parameters.
+struct DriftStreamSpec {
+  size_t Dims = 16;                  ///< Feature dimensions.
+  std::vector<size_t> PerturbedDims; ///< Dimensions that actually drift.
+  DriftShape Shape = DriftShape::Sudden;
+  size_t DriftStart = 1024; ///< First observation index with drift > 0.
+  double Magnitude = 4.0;   ///< Mean shift at full strength (sigma units).
+  size_t RampLength = 512;  ///< Gradual: observations to full strength.
+  size_t Period = 256;      ///< Recurring: on/off half-period length.
+  double BaseRejectRate = 0.05;  ///< Committee rejection rate, in-dist.
+  double DriftRejectRate = 0.35; ///< Rejection rate at full drift.
+  uint64_t Seed = 1;             ///< Replays the stream bit-for-bit.
+};
+
+/// One observation of a synthetic stream.
+struct DriftObservation {
+  std::vector<double> Features; ///< The assessed feature vector.
+  bool Rejected = false;        ///< The committee rejection flag.
+  double Level = 0.0;           ///< Ground-truth drift strength in [0, 1].
+};
+
+/// Deterministic generator over a DriftStreamSpec; next() yields the
+/// observations in order, replayable from the seed.
+class DriftStreamGenerator {
+public:
+  explicit DriftStreamGenerator(DriftStreamSpec SpecIn)
+      : Spec(std::move(SpecIn)), R(Spec.Seed) {}
+
+  /// Fixed per-dimension base mean (distinct across dimensions so a
+  /// mixed-up index is caught, stable so reference windows freeze it).
+  static double baseMean(size_t Dim) {
+    return 0.25 * static_cast<double>(Dim);
+  }
+
+  /// Ground-truth drift strength at observation index \p T.
+  double levelAt(size_t T) const {
+    if (Spec.Shape == DriftShape::None || T < Spec.DriftStart)
+      return 0.0;
+    size_t Since = T - Spec.DriftStart;
+    switch (Spec.Shape) {
+    case DriftShape::Sudden:
+      return 1.0;
+    case DriftShape::Gradual:
+      return Spec.RampLength == 0
+                 ? 1.0
+                 : (Since >= Spec.RampLength
+                        ? 1.0
+                        : static_cast<double>(Since) /
+                              static_cast<double>(Spec.RampLength));
+    case DriftShape::Recurring:
+      return Spec.Period == 0 || (Since / Spec.Period) % 2 == 0 ? 1.0 : 0.0;
+    case DriftShape::None:
+      break;
+    }
+    return 0.0;
+  }
+
+  /// Whether \p Dim is one of the truly perturbed dimensions.
+  bool perturbed(size_t Dim) const {
+    for (size_t D : Spec.PerturbedDims)
+      if (D == Dim)
+        return true;
+    return false;
+  }
+
+  /// The next observation (deterministic from the seed).
+  DriftObservation next() {
+    DriftObservation Obs;
+    Obs.Level = levelAt(T);
+    Obs.Features.resize(Spec.Dims);
+    for (size_t D = 0; D < Spec.Dims; ++D) {
+      double Mean = baseMean(D);
+      if (perturbed(D))
+        Mean += Obs.Level * Spec.Magnitude;
+      Obs.Features[D] = R.gaussian(Mean, 1.0);
+    }
+    double P = Spec.BaseRejectRate +
+               Obs.Level * (Spec.DriftRejectRate - Spec.BaseRejectRate);
+    Obs.Rejected = R.bernoulli(P);
+    ++T;
+    return Obs;
+  }
+
+  size_t index() const { return T; }             ///< Next index to emit.
+  const DriftStreamSpec &spec() const { return Spec; } ///< The parameters.
+
+private:
+  DriftStreamSpec Spec;
+  support::Rng R;
+  size_t T = 0;
+};
+
+/// Reads a replay seed from environment variable \p Var (e.g.
+/// PROM_DRIFT_PROP_SEED), falling back to \p Fallback when unset/empty.
+inline uint64_t envSeedOr(const char *Var, uint64_t Fallback) {
+  const char *V = std::getenv(Var);
+  if (V == nullptr || *V == '\0')
+    return Fallback;
+  return std::strtoull(V, nullptr, 10);
+}
+
+} // namespace testing
+} // namespace prom
+
+#endif // PROM_TESTS_STREAMTESTHELPERS_H
