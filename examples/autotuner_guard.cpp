@@ -1,83 +1,171 @@
-//===- examples/autotuner_guard.cpp - Rejection-aware autotuning --------------===//
+//===- examples/autotuner_guard.cpp - Multi-session autotuner farm ------------===//
 //
 // Part of the PROM reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 //
-// The paper's flagship use case (Sec. 1/5.4): an ML compiler heuristic
-// whose predictions PROM vets at deployment time. Accepted predictions are
-// used directly; rejected ones fall back to a (more expensive) empirical
-// search over the option space — "use alternative search processes to find
-// better solutions".
+// The paper's flagship use case (Sec. 1/5.4) scaled to a farm: an ML
+// compiler heuristic whose predictions PROM vets at deployment time,
+// serving several user sessions at once. Each session owns its own
+// trained heuristic and its own guarded detector; all of them live
+// behind one serve::DetectorRegistry under a deliberately tight memory
+// budget (about 1.5 detectors' worth), so the fleet continuously evicts
+// cold sessions to snapshots and lazily reloads them on their next
+// request — and one shared AssessmentService batches tenant-tagged
+// requests so each micro-batch hits exactly one session's detector.
 //
-// Substrate: the loop-vectorization case study. The model is trained on 12
-// loop families and deployed on loops from families of two entirely unseen
-// regimes. The output compares three policies: trust-the-model everywhere,
-// search-everything (the expensive oracle), and PROM-guarded (search only
-// where PROM rejects).
+// Accepted predictions are used directly; rejected ones fall back to a
+// (more expensive) empirical search over the option space — "use
+// alternative search processes to find better solutions". The output
+// compares trust-everywhere against the PROM-guarded policy per session,
+// then prints the per-tenant service splits and the registry's
+// eviction/reload ledger.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Prom.h"
-#include "support/Rng.h"
 #include "eval/ModelZoo.h"
 #include "eval/Runner.h"
+#include "serve/AssessmentService.h"
+#include "serve/DetectorRegistry.h"
+#include "support/Rng.h"
 #include "support/Stats.h"
 #include "tasks/LoopVectorization.h"
 
-#include <algorithm>
 #include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
 
 using namespace prom;
 
+namespace {
+
+/// One user session of the autotuning service: a heuristic trained on
+/// this user's loop mix, the calibration-tuned PROM config, and the
+/// unseen-regime loops the session will submit.
+struct Session {
+  std::string Id;
+  std::unique_ptr<ml::Classifier> Model;
+  PromConfig Cfg;
+  data::Dataset Test;
+};
+
+} // namespace
+
 int main() {
-  support::Rng R(42);
-  tasks::LoopVectorization Task(/*LoopsPerFamily=*/80);
-  data::Dataset Data = Task.generate(R);
-  auto Drift = Task.driftSplits(Data, R)[0];
-  eval::PreparedSplit Prep = eval::prepare(Drift, R);
+  // Three sessions, each with its own data distribution (different loop
+  // mixes), its own trained heuristic, and its own detector.
+  constexpr int NumSessions = 3;
+  std::vector<Session> Sessions;
+  std::vector<std::unique_ptr<PromClassifier>> Fresh;
 
-  auto Model =
-      eval::makeClassifier(eval::TaskId::LoopVectorization, "K.Stock");
-  std::printf("training the vectorization heuristic on %zu loops...\n",
-              Prep.Train.size());
-  Model->fit(Prep.Train, R);
+  size_t DetectorBytes = 0;
+  for (int U = 0; U < NumSessions; ++U) {
+    support::Rng R(42 + 17 * U);
+    tasks::LoopVectorization Task(/*LoopsPerFamily=*/60);
+    data::Dataset Data = Task.generate(R);
+    auto Drift = Task.driftSplits(Data, R)[0];
+    eval::PreparedSplit Prep = eval::prepare(Drift, R);
 
-  // Tune the rejection thresholds on the calibration split (Sec. 5.2).
-  GridSearchResult Tuned =
-      gridSearch(*Model, Prep.Calib, GridSearchSpace(), PromConfig(), R, 1,
-                 eval::mispredicateFor(true));
-  PromClassifier Prom(*Model, Tuned.Best);
-  Prom.calibrate(Prep.Calib);
+    Session S;
+    S.Id = "user" + std::to_string(U + 1);
+    S.Model = eval::makeClassifier(eval::TaskId::LoopVectorization, "K.Stock");
+    std::printf("[%s] training on %zu loops, calibrating on %zu...\n",
+                S.Id.c_str(), Prep.Train.size(), Prep.Calib.size());
+    S.Model->fit(Prep.Train, R);
 
-  std::vector<double> TrustPerf, GuardedPerf, SearchPerf;
-  size_t Searches = 0;
-  for (const data::Sample &S : Prep.Test.samples()) {
-    Verdict V = Prom.assess(S);
-    TrustPerf.push_back(S.perfToOracle(V.Predicted));
-    SearchPerf.push_back(1.0); // Exhaustive search always finds the best.
-    if (V.Drifted) {
-      // Fallback: empirically try every (VF, IF) pair for this loop.
-      ++Searches;
-      GuardedPerf.push_back(1.0);
-    } else {
-      GuardedPerf.push_back(S.perfToOracle(V.Predicted));
-    }
+    // Tune the rejection thresholds on this session's calibration split
+    // (Sec. 5.2), then hand the registry a freshly calibrated detector.
+    GridSearchResult Tuned =
+        gridSearch(*S.Model, Prep.Calib, GridSearchSpace(), PromConfig(), R, 1,
+                   eval::mispredicateFor(true));
+    S.Cfg = Tuned.Best;
+    auto Engine = std::make_unique<PromClassifier>(*S.Model, S.Cfg);
+    Engine->calibrate(Prep.Calib);
+    DetectorBytes = Engine->memoryBytes(); // Sessions are near-equal sized.
+    Fresh.push_back(std::move(Engine));
+    S.Test = Prep.Test;
+    Sessions.push_back(std::move(S));
   }
 
-  std::printf("\npolicy comparison on %zu unseen-regime loops:\n",
-              Prep.Test.size());
-  std::printf("  trust model everywhere : mean perf-to-oracle %.3f, "
-              "0 searches\n",
-              support::mean(TrustPerf));
-  std::printf("  PROM-guarded           : mean perf-to-oracle %.3f, "
-              "%zu searches (%.0f%%)\n",
-              support::mean(GuardedPerf), Searches,
-              100.0 * Searches / Prep.Test.size());
-  std::printf("  search everything      : mean perf-to-oracle %.3f, "
-              "%zu searches\n",
-              support::mean(SearchPerf), Prep.Test.size());
-  std::printf("\nPROM converts a fraction of the search budget into most "
-              "of the search quality.\n");
+  // The farm: one registry under a budget of ~1.5 detectors, so at most
+  // one session stays resident and the others round-trip through their
+  // snapshot directories as requests arrive.
+  serve::RegistryConfig RCfg;
+  RCfg.MemoryBudgetBytes = DetectorBytes + DetectorBytes / 2;
+  serve::DetectorRegistry Registry(RCfg);
+  for (int U = 0; U < NumSessions; ++U) {
+    serve::TenantSpec Spec;
+    Spec.Model = Sessions[U].Model.get();
+    Spec.Cfg = Sessions[U].Cfg;
+    Spec.SnapshotDir = "autotuner_sessions/" + Sessions[U].Id;
+    Registry.registerTenant(Sessions[U].Id, Spec);
+    Registry.installDetector(Sessions[U].Id, std::move(Fresh[U]));
+  }
+  std::printf("\nfarm budget %zu bytes (~1.5 detectors of %zu bytes)\n",
+              RCfg.MemoryBudgetBytes, DetectorBytes);
+
+  // One shared service over the fleet; the batcher groups per tenant.
+  serve::ServiceConfig SCfg;
+  SCfg.MaxBatch = 16;
+  serve::AssessmentService Service(Registry, SCfg);
+
+  // Interleave the sessions' loops round-robin, the way concurrent users
+  // would hit the endpoint.
+  std::vector<std::vector<std::future<Verdict>>> Futures(NumSessions);
+  size_t MaxLoops = 0;
+  for (const Session &S : Sessions)
+    MaxLoops = std::max(MaxLoops, S.Test.size());
+  for (size_t I = 0; I < MaxLoops; ++I)
+    for (int U = 0; U < NumSessions; ++U)
+      if (I < Sessions[U].Test.size())
+        Futures[U].push_back(Service.submit(Sessions[U].Id, Sessions[U].Test[I]));
+
+  // Guarded policy per session: accepted verdicts keep the heuristic's
+  // pick; rejected ones spend an empirical search (which finds the
+  // oracle's pick by construction).
+  std::printf("\nper-session policy comparison on unseen-regime loops:\n");
+  for (int U = 0; U < NumSessions; ++U) {
+    std::vector<double> TrustPerf, GuardedPerf;
+    size_t Searches = 0;
+    for (size_t I = 0; I < Futures[U].size(); ++I) {
+      Verdict V = Futures[U][I].get();
+      const data::Sample &S = Sessions[U].Test[I];
+      TrustPerf.push_back(S.perfToOracle(V.Predicted));
+      if (V.Drifted) {
+        ++Searches;
+        GuardedPerf.push_back(1.0);
+      } else {
+        GuardedPerf.push_back(S.perfToOracle(V.Predicted));
+      }
+    }
+    std::printf("  [%s] trust %.3f | guarded %.3f with %zu/%zu searches\n",
+                Sessions[U].Id.c_str(), support::mean(TrustPerf),
+                support::mean(GuardedPerf), Searches, Futures[U].size());
+  }
+
+  // The service's per-tenant splits and the registry's eviction ledger:
+  // the budget forces cold sessions out (snapshot saved) and back in
+  // (bit-identical reload) as the round-robin proceeds.
+  Service.drain();
+  serve::ServiceStats SS = Service.stats();
+  std::printf("\nshared service: %llu requests in %llu single-tenant batches\n",
+              (unsigned long long)SS.Completed, (unsigned long long)SS.Batches);
+  for (const auto &KV : SS.Tenants)
+    std::printf("  [%s] %llu completed, %llu rejected, %llu batches\n",
+                KV.first.c_str(), (unsigned long long)KV.second.Completed,
+                (unsigned long long)KV.second.DriftRejected,
+                (unsigned long long)KV.second.Batches);
+  serve::RegistryStats RS = Registry.stats();
+  std::printf("fleet registry: %llu evictions, %llu snapshot reloads, "
+              "%llu snapshots saved, %zu bytes resident\n",
+              (unsigned long long)RS.Evictions, (unsigned long long)RS.Loads,
+              (unsigned long long)RS.SnapshotsSaved, RS.MemoryBytes);
+  std::printf("\nPROM converts a fraction of the search budget into most of "
+              "the search quality — here for %d sessions behind one "
+              "capacity-managed service.\n",
+              NumSessions);
   return 0;
 }

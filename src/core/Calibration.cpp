@@ -26,6 +26,20 @@ void CalibrationScores::finalize() {
   computeMedianNNDist();
 }
 
+size_t CalibrationScores::memoryBytes() const {
+  size_t Bytes = Entries.capacity() * sizeof(CalibrationEntry);
+  for (const CalibrationEntry &E : Entries)
+    Bytes += (E.Embed.capacity() + E.Scores.capacity()) * sizeof(double);
+  Bytes += Embeds.memoryBytes();
+  Bytes += Labels.capacity() * sizeof(int);
+  for (const std::vector<double> &Col : ScoreColumns)
+    Bytes += Col.capacity() * sizeof(double);
+  for (const auto &PerLabel : SortedScores)
+    for (const std::vector<double> &Scores : PerLabel)
+      Bytes += Scores.capacity() * sizeof(double);
+  return Bytes;
+}
+
 void CalibrationScores::computeMedianNNDist() {
   if (Entries.size() < 2) {
     MedianNNDist = 1.0;

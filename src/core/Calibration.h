@@ -203,6 +203,13 @@ public:
     return Entries.empty() ? 0 : Entries.front().Scores.size();
   }
 
+  /// Estimated heap footprint: the per-entry vectors plus every
+  /// batch-engine index (embedding block, score columns, sorted-score
+  /// indexes). O(entries) walk; the fleet registry meters tenants with it
+  /// when deciding LRU eviction, so it only needs to be proportional, not
+  /// allocator-exact.
+  size_t memoryBytes() const;
+
   /// Adaptive subset selection for \p TestEmbed (Sec. 5.1.2): sorts entries
   /// by Euclidean distance, keeps the closest Cfg.SelectFraction (all when
   /// the set is smaller than Cfg.SelectAllBelow), and attaches Eq. (1)

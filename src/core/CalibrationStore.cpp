@@ -181,6 +181,17 @@ size_t CalibrationStore::indexedShards() const {
   return Count;
 }
 
+size_t CalibrationStore::memoryBytes() const {
+  size_t Bytes = Flat.memoryBytes();
+  for (const Shard &S : Shards)
+    for (const auto &PerLabel : S.SortedScores)
+      for (const std::vector<double> &Scores : PerLabel)
+        Bytes += Scores.capacity() * sizeof(double);
+  for (const support::ClusterIndex &Idx : ShardIndexes)
+    Bytes += Idx.memoryBytes();
+  return Bytes;
+}
+
 size_t CalibrationStore::unindexedEntries() const {
   size_t Count = 0;
   for (size_t S = 0; S < Shards.size(); ++S) {

@@ -163,6 +163,11 @@ public:
   /// paths and the snapshot writer iterate through this.
   const CalibrationScores &flat() const { return Flat; }
 
+  /// Estimated heap footprint of the store: the flat scores plus every
+  /// per-shard sorted index and cluster index. The fleet registry meters
+  /// a tenant's detector with this when enforcing its LRU memory budget.
+  size_t memoryBytes() const;
+
   //===--------------------------------------------------------------------===//
   // Cluster-pruned distance scan (lossless; support/ClusterIndex.h)
   //===--------------------------------------------------------------------===//

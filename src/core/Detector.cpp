@@ -121,6 +121,11 @@ size_t PromClassifier::calibrationSize() const {
   return S ? S->size() : 0;
 }
 
+size_t PromClassifier::memoryBytes() const {
+  std::shared_ptr<const CalibrationStore> S = store();
+  return sizeof(*this) + (S ? S->memoryBytes() : 0);
+}
+
 size_t PromClassifier::numShards() const {
   std::shared_ptr<const CalibrationStore> S = store();
   return S && S->numShards() ? S->numShards() : 1;

@@ -149,6 +149,12 @@ public:
   /// Live calibration entries (0 before calibrate()).
   size_t calibrationSize() const;
 
+  /// Estimated heap footprint of the calibrated state (the live
+  /// calibration store with its indexes; the wrapped model is external
+  /// and not counted). The serve::DetectorRegistry meters loaded tenants
+  /// with this against its memory budget.
+  size_t memoryBytes() const;
+
   /// The fitted softening temperature (1 = untouched).
   double temperature() const { return Temperature; }
 

@@ -1,0 +1,47 @@
+//===- ml/HostModel.cpp - Host-supplied-output classifier --------------------===//
+//
+// Part of the PROM reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/HostModel.h"
+
+#include <cassert>
+
+using namespace prom;
+using namespace prom::ml;
+
+HostOutputClassifier::HostOutputClassifier(int NumClasses, int FeatureDim)
+    : Classes(NumClasses), FeatDim(FeatureDim) {
+  assert(NumClasses >= 2 && FeatureDim >= 1 && "degenerate host layout");
+}
+
+data::Sample HostOutputClassifier::pack(const double *Probs,
+                                        const double *Features,
+                                        int NumClasses, int FeatureDim,
+                                        int Label) {
+  data::Sample S;
+  S.Features.reserve(static_cast<size_t>(NumClasses + FeatureDim));
+  S.Features.assign(Probs, Probs + NumClasses);
+  S.Features.insert(S.Features.end(), Features, Features + FeatureDim);
+  S.Label = Label;
+  return S;
+}
+
+void HostOutputClassifier::fit(const data::Dataset &, support::Rng &) {}
+
+std::vector<double>
+HostOutputClassifier::predictProba(const data::Sample &S) const {
+  assert(S.Features.size() ==
+             static_cast<size_t>(Classes) + static_cast<size_t>(FeatDim) &&
+         "sample not packed for this host layout");
+  return std::vector<double>(S.Features.begin(),
+                             S.Features.begin() + Classes);
+}
+
+std::vector<double> HostOutputClassifier::embed(const data::Sample &S) const {
+  assert(S.Features.size() ==
+             static_cast<size_t>(Classes) + static_cast<size_t>(FeatDim) &&
+         "sample not packed for this host layout");
+  return std::vector<double>(S.Features.begin() + Classes, S.Features.end());
+}

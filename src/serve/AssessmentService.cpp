@@ -25,6 +25,8 @@ const char *shedMessage(ShedReason R) {
     return "request shed: deadline expired";
   case ShedReason::Shutdown:
     return "AssessmentService is shut down";
+  case ShedReason::UnknownTenant:
+    return "request shed: unknown or unloadable tenant";
   }
   return "request shed";
 }
@@ -94,8 +96,18 @@ LatencyHistogram &LatencyHistogram::operator+=(const LatencyHistogram &Other) {
 AssessmentService::AssessmentService(const PromClassifier &Engine,
                                      ServiceConfig CfgIn,
                                      WindowedDriftMonitor *Monitor)
-    : Engine(Engine), Cfg(CfgIn), Monitor(Monitor) {
+    : Engine(&Engine), Fleet(nullptr), Cfg(CfgIn), Monitor(Monitor) {
   assert(Engine.isCalibrated() && "serve an uncalibrated detector");
+  spawnBatchers();
+}
+
+AssessmentService::AssessmentService(DetectorRegistry &Fleet,
+                                     ServiceConfig CfgIn)
+    : Engine(nullptr), Fleet(&Fleet), Cfg(CfgIn), Monitor(nullptr) {
+  spawnBatchers();
+}
+
+void AssessmentService::spawnBatchers() {
   assert(Cfg.QueueCapacity > 0 && Cfg.MaxBatch > 0 && "degenerate config");
   if (Cfg.NumBatchers == 0)
     Cfg.NumBatchers = 1;
@@ -123,6 +135,11 @@ void AssessmentService::shed(Request &Req, ShedReason Reason) {
   Req.P.set_exception(std::make_exception_ptr(ShedError(Reason)));
 }
 
+void AssessmentService::countShedLocked(const Request &Req) {
+  if (Fleet)
+    ++Stats.Tenants[Req.Tenant].Shed;
+}
+
 void AssessmentService::evictExpiredLocked(Clock::time_point Now,
                                            std::vector<Request> &Out) {
   // Caller holds Mutex. Expired requests anywhere in the queue are pulled
@@ -132,6 +149,7 @@ void AssessmentService::evictExpiredLocked(Clock::time_point Now,
   for (auto It = Queue.begin(); It != Queue.end(); ++It) {
     if (It->expired(Now)) {
       ++Stats.ShedExpired;
+      countShedLocked(*It);
       Out.push_back(std::move(*It));
     } else {
       if (Keep != It)
@@ -143,23 +161,38 @@ void AssessmentService::evictExpiredLocked(Clock::time_point Now,
 }
 
 std::future<Verdict> AssessmentService::submit(data::Sample S) {
+  return submit(std::string(), std::move(S));
+}
+
+std::future<Verdict> AssessmentService::submit(const std::string &Tenant,
+                                               data::Sample S) {
   if (Cfg.DefaultDeadline.count() > 0)
-    return submitWithDeadline(std::move(S), Cfg.DefaultDeadline);
-  return submitImpl(std::move(S), /*HasDeadline=*/false, Clock::time_point());
+    return submitWithDeadline(Tenant, std::move(S), Cfg.DefaultDeadline);
+  return submitImpl(Tenant, std::move(S), /*HasDeadline=*/false,
+                    Clock::time_point());
 }
 
 std::future<Verdict>
 AssessmentService::submitWithDeadline(data::Sample S,
                                       std::chrono::microseconds Budget) {
-  Clock::time_point Deadline = Clock::now() + Budget;
-  return submitImpl(std::move(S), /*HasDeadline=*/true, Deadline);
+  return submitWithDeadline(std::string(), std::move(S), Budget);
 }
 
-std::future<Verdict> AssessmentService::submitImpl(data::Sample S,
+std::future<Verdict>
+AssessmentService::submitWithDeadline(const std::string &Tenant,
+                                      data::Sample S,
+                                      std::chrono::microseconds Budget) {
+  Clock::time_point Deadline = Clock::now() + Budget;
+  return submitImpl(Tenant, std::move(S), /*HasDeadline=*/true, Deadline);
+}
+
+std::future<Verdict> AssessmentService::submitImpl(std::string Tenant,
+                                                   data::Sample S,
                                                    bool HasDeadline,
                                                    Clock::time_point Deadline) {
   Request Req;
   Req.S = std::move(S);
+  Req.Tenant = std::move(Tenant);
   Req.SubmittedAt = Clock::now();
   Req.HasDeadline = HasDeadline;
   Req.Deadline = Deadline;
@@ -210,9 +243,13 @@ std::future<Verdict> AssessmentService::submitImpl(data::Sample S,
         break;
       }
     }
-    if (!ShedNow) {
-      Queue.push_back(std::move(Req));
+    if (ShedNow) {
+      countShedLocked(Req);
+    } else {
       ++Stats.Submitted;
+      if (Fleet)
+        ++Stats.Tenants[Req.Tenant].Submitted;
+      Queue.push_back(std::move(Req));
     }
   }
   for (Request &E : Evicted)
@@ -226,8 +263,19 @@ std::future<Verdict> AssessmentService::submitImpl(data::Sample S,
 }
 
 bool AssessmentService::trySubmit(data::Sample S, std::future<Verdict> &Out) {
+  return trySubmitImpl(std::string(), std::move(S), Out);
+}
+
+bool AssessmentService::trySubmit(const std::string &Tenant, data::Sample S,
+                                  std::future<Verdict> &Out) {
+  return trySubmitImpl(Tenant, std::move(S), Out);
+}
+
+bool AssessmentService::trySubmitImpl(std::string Tenant, data::Sample S,
+                                      std::future<Verdict> &Out) {
   Request Req;
   Req.S = std::move(S);
+  Req.Tenant = std::move(Tenant);
   Req.SubmittedAt = Clock::now();
   if (Cfg.DefaultDeadline.count() > 0) {
     Req.HasDeadline = true;
@@ -238,8 +286,10 @@ bool AssessmentService::trySubmit(data::Sample S, std::future<Verdict> &Out) {
     std::unique_lock<std::mutex> Lock(Mutex);
     if (Stopping || Queue.size() >= Cfg.QueueCapacity)
       return false;
-    Queue.push_back(std::move(Req));
     ++Stats.Submitted;
+    if (Fleet)
+      ++Stats.Tenants[Req.Tenant].Submitted;
+    Queue.push_back(std::move(Req));
   }
   Out = std::move(Fut);
   NotEmpty.notify_one();
@@ -260,6 +310,8 @@ void AssessmentService::batcherLoop() {
     data::Dataset Work;
     Work.reserve(Cfg.MaxBatch);
     bool ByDeadline = false;
+    std::string BatchTenant;   // Fleet mode: the batch's single tenant.
+    bool TenantChosen = false; // Set by the first live pick (fleet mode).
     {
       std::unique_lock<std::mutex> Lock(Mutex);
       NotEmpty.wait(Lock,
@@ -273,34 +325,60 @@ void AssessmentService::batcherLoop() {
       // is shed in O(1) instead of spending engine time on an answer
       // nobody is waiting for. The batch's flush deadline runs from its
       // first (oldest) live request.
-      auto TakeFront = [&] {
-        Request Req = std::move(Queue.front());
-        Queue.pop_front();
+      //
+      // Fleet mode: the first live pick fixes the batch's tenant, and
+      // every later pick takes only that tenant's oldest queued request
+      // (skipped requests stay queued in order, so per-tenant FIFO is
+      // preserved and a batch holds exactly one tenant — the grouping
+      // that makes shared-service verdicts bit-identical to a dedicated
+      // service).
+      auto TakeNext = [&]() -> bool {
+        auto It = Queue.begin();
+        if (Fleet && TenantChosen)
+          while (It != Queue.end() && It->Tenant != BatchTenant)
+            ++It;
+        if (It == Queue.end())
+          return false;
+        Request Req = std::move(*It);
+        Queue.erase(It);
         if (Req.expired(Clock::now())) {
           ++Stats.ShedExpired;
+          countShedLocked(Req);
           Expired.push_back(std::move(Req));
-          return;
+          return true;
+        }
+        if (Fleet && !TenantChosen) {
+          BatchTenant = Req.Tenant;
+          TenantChosen = true;
         }
         SubmitTimes.push_back(Req.SubmittedAt);
         Work.add(std::move(Req.S));
         Promises.push_back(std::move(Req.P));
+        return true;
       };
-      TakeFront();
+      // A queued request the current batch can still take: any request
+      // until the tenant is fixed, then only the batch tenant's.
+      auto HasCandidate = [&]() -> bool {
+        if (!Fleet || !TenantChosen)
+          return !Queue.empty();
+        for (const Request &Req : Queue)
+          if (Req.Tenant == BatchTenant)
+            return true;
+        return false;
+      };
+      TakeNext();
       auto Deadline = std::chrono::steady_clock::now() + Cfg.FlushDeadline;
       while (Promises.size() < Cfg.MaxBatch) {
-        if (!Queue.empty()) {
-          TakeFront();
+        if (TakeNext())
           continue;
-        }
         if (Promises.empty())
           break; // Every pick so far expired; nothing to flush for.
         if (Stopping) {
           ByDeadline = true; // Drain flush: take what we have, now.
           break;
         }
-        if (NotEmpty.wait_until(Lock, Deadline, [&] {
-              return Stopping || !Queue.empty();
-            }))
+        if (NotEmpty.wait_until(Lock, Deadline,
+                                [&] { return Stopping || HasCandidate(); }))
           continue;
         ByDeadline = true; // Deadline expired with a short batch.
         break;
@@ -330,8 +408,32 @@ void AssessmentService::batcherLoop() {
     if (support::faults::shouldFail("batcher_stall"))
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
 
-    // Engine work outside the lock: other batchers keep collecting.
-    std::vector<Verdict> Verdicts = Engine.assessBatch(Work);
+    // Engine work outside the lock: other batchers keep collecting. In
+    // fleet mode the batch's tenant is pinned for the duration (lazily
+    // reloading it if it was evicted); a tenant that cannot be resolved
+    // fails the whole batch — each request individually — with
+    // UnknownTenant.
+    const PromClassifier *BatchEngine = Engine;
+    WindowedDriftMonitor *BatchMonitor = Monitor;
+    DetectorRegistry::Lease Lease;
+    if (Fleet) {
+      Lease = Fleet->acquire(BatchTenant);
+      if (!Lease) {
+        for (std::promise<Verdict> &P : Promises)
+          P.set_exception(
+              std::make_exception_ptr(ShedError(ShedReason::UnknownTenant)));
+        std::lock_guard<std::mutex> Lock(Mutex);
+        Stats.ShedUnknownTenant += Promises.size();
+        Stats.Tenants[BatchTenant].Shed += Promises.size();
+        --InFlight;
+        if (Queue.empty() && InFlight == 0)
+          Idle.notify_all();
+        continue;
+      }
+      BatchEngine = Lease.engine();
+      BatchMonitor = Lease.monitor();
+    }
+    std::vector<Verdict> Verdicts = BatchEngine->assessBatch(Work);
     assert(Verdicts.size() == Promises.size() && "engine dropped verdicts");
 
     // One completion timestamp per batch: requests in a batch finish
@@ -343,22 +445,36 @@ void AssessmentService::batcherLoop() {
     for (size_t I = 0; I < Promises.size(); ++I) {
       if (Verdicts[I].Drifted)
         ++Rejected;
-      if (Monitor)
+      if (BatchMonitor)
         // The feature-carrying fold: samples are still alive in Work, so
         // the monitor's attribution sink (when one is attached) sees the
         // assessed vector alongside the verdict. Observe-only — the
-        // verdict already exists and is moved out unchanged below.
-        Monitor->record(Verdicts[I], Work[I].Features.data(),
-                        Work[I].Features.size());
+        // verdict already exists and is moved out unchanged below. In
+        // fleet mode this is the batch tenant's own monitor, folded
+        // under the lease.
+        BatchMonitor->record(Verdicts[I], Work[I].Features.data(),
+                             Work[I].Features.size());
       BatchLatency.record(microsBetween(SubmitTimes[I], Done));
       Promises[I].set_value(std::move(Verdicts[I]));
     }
+
+    // Unpin the tenant before signaling idle: a drain() caller must be
+    // free to evict the tenant the moment drain() returns, so the lease
+    // cannot outlive the InFlight decrement that wakes the waiter.
+    Lease.release();
 
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       Stats.Completed += Promises.size();
       Stats.DriftRejected += Rejected;
       Stats.Latency += BatchLatency;
+      if (Fleet) {
+        TenantServiceStats &TS = Stats.Tenants[BatchTenant];
+        TS.Completed += Promises.size();
+        TS.DriftRejected += Rejected;
+        TS.Latency += BatchLatency;
+        ++TS.Batches;
+      }
       --InFlight;
       if (Queue.empty() && InFlight == 0)
         Idle.notify_all();
@@ -386,6 +502,8 @@ void AssessmentService::shutdown() {
     // assessing during teardown; shed its pending requests instead.
     if (!Started) {
       Stats.ShedShutdown += Queue.size();
+      for (const Request &Req : Queue)
+        countShedLocked(Req);
       Orphans.swap(Queue);
     }
   }

@@ -33,12 +33,26 @@
 /// putting the streaming recalibration alarm directly in the serving
 /// loop.
 ///
+/// Fleet mode: constructed over a DetectorRegistry instead of one
+/// engine, the service serves every registered tenant through one queue
+/// and one batcher pool. Requests carry a tenant id, and the
+/// micro-batcher groups per tenant — a batch holds requests of exactly
+/// one tenant and is assessed under an acquire() lease, so the tenant
+/// cannot be evicted mid-batch and per-tenant FIFO order is preserved.
+/// Because each batch hits exactly one detector and batched assessment
+/// is element-wise bit-identical to serial assessment, a tenant's
+/// verdicts through the shared service are bit-identical to a dedicated
+/// single-tenant service over the same detector (FleetTest enforces
+/// this, including across an evict -> reload cycle). Stats gain
+/// per-tenant splits alongside the fleet-wide counters.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PROM_SERVE_ASSESSMENTSERVICE_H
 #define PROM_SERVE_ASSESSMENTSERVICE_H
 
 #include "core/Detector.h"
+#include "serve/DetectorRegistry.h"
 #include "serve/WindowedDriftMonitor.h"
 
 #include <chrono>
@@ -46,8 +60,10 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -79,6 +95,7 @@ enum class ShedReason {
   QueueFull,       ///< Admission refused: queue at capacity.
   DeadlineExpired, ///< The request's deadline passed before assessment.
   Shutdown,        ///< The service was shut down.
+  UnknownTenant,   ///< Fleet mode: the tenant is unregistered or unloadable.
 };
 
 /// The failure a shed request's future resolves with. Derives from
@@ -138,6 +155,19 @@ struct ServiceConfig {
   bool StartPaused = false;
 };
 
+/// Per-tenant slice of the fleet-mode counters (empty map in
+/// single-tenant mode). The fleet-wide ServiceStats counters always
+/// equal the sum over tenants plus the untagged traffic.
+struct TenantServiceStats {
+  uint64_t Submitted = 0;     ///< Requests accepted for this tenant.
+  uint64_t Completed = 0;     ///< Requests answered with a verdict.
+  uint64_t DriftRejected = 0; ///< Completed verdicts with Drifted set.
+  uint64_t Shed = 0;          ///< Requests shed, any reason.
+  uint64_t Batches = 0;       ///< Single-tenant micro-batches assessed.
+  /// Submit-to-verdict latency of this tenant's completed requests.
+  LatencyHistogram Latency;
+};
+
 /// Monotonic counters of a running service (consistent snapshot).
 struct ServiceStats {
   uint64_t Submitted = 0;     ///< Requests accepted into the queue.
@@ -147,6 +177,8 @@ struct ServiceStats {
   uint64_t ShedExpired = 0;   ///< Shed for an expired deadline (at
                               ///< admission, eviction, or batch pick).
   uint64_t ShedShutdown = 0;  ///< Failed because the service was shut down.
+  /// Fleet mode: shed because the tenant tag matched no loadable tenant.
+  uint64_t ShedUnknownTenant = 0;
   uint64_t Batches = 0;       ///< Micro-batches that assessed >=1 request.
   uint64_t SizeFlushes = 0;   ///< Batches flushed by reaching MaxBatch.
   uint64_t DeadlineFlushes = 0; ///< Batches flushed by deadline or drain.
@@ -154,9 +186,13 @@ struct ServiceStats {
   /// not latency observations — they are counted above).
   LatencyHistogram Latency;
 
+  /// Fleet mode: the per-tenant splits, keyed by tenant id (empty in
+  /// single-tenant mode).
+  std::map<std::string, TenantServiceStats> Tenants;
+
   /// Requests shed for any reason.
   uint64_t shedTotal() const {
-    return ShedQueueFull + ShedExpired + ShedShutdown;
+    return ShedQueueFull + ShedExpired + ShedShutdown + ShedUnknownTenant;
   }
 
   /// Completed (answered-with-a-verdict) requests per assessed batch;
@@ -189,6 +225,16 @@ public:
   explicit AssessmentService(const PromClassifier &Engine,
                              ServiceConfig Cfg = ServiceConfig(),
                              WindowedDriftMonitor *Monitor = nullptr);
+
+  /// Fleet mode: spawns the batcher threads over \p Fleet, serving every
+  /// registered tenant through one queue (see the file comment). Submit
+  /// through the tenant-tagged overloads; untagged submits are shed with
+  /// ShedError{UnknownTenant} at batch pick. Each tenant's own drift
+  /// monitor (enableRecalibration) is folded on the batcher threads. The
+  /// registry must outlive the service.
+  explicit AssessmentService(DetectorRegistry &Fleet,
+                             ServiceConfig Cfg = ServiceConfig());
+
   ~AssessmentService(); ///< shutdown()s, resolving every queued request.
 
   AssessmentService(const AssessmentService &) = delete; ///< Owns threads.
@@ -214,6 +260,22 @@ public:
   /// admission probe.
   bool trySubmit(data::Sample S, std::future<Verdict> &Out);
 
+  /// Fleet mode: submit() tagged with \p Tenant. The request rides the
+  /// shared queue but is batched only with other \p Tenant requests and
+  /// assessed by that tenant's detector (lazily loaded under the lease
+  /// if evicted). An unknown or unloadable tenant fails the future with
+  /// ShedError{UnknownTenant} at batch pick.
+  std::future<Verdict> submit(const std::string &Tenant, data::Sample S);
+
+  /// Tenant-tagged submitWithDeadline(); see the tenant submit().
+  std::future<Verdict> submitWithDeadline(const std::string &Tenant,
+                                          data::Sample S,
+                                          std::chrono::microseconds Budget);
+
+  /// Tenant-tagged trySubmit(); see the tenant submit().
+  bool trySubmit(const std::string &Tenant, data::Sample S,
+                 std::future<Verdict> &Out);
+
   /// Starts the batchers of a StartPaused service (no-op otherwise).
   void start();
 
@@ -235,6 +297,7 @@ public:
 private:
   struct Request {
     data::Sample S;
+    std::string Tenant; ///< Fleet routing tag ("" in single-tenant mode).
     std::promise<Verdict> P;
     Clock::time_point SubmittedAt;
     Clock::time_point Deadline;
@@ -246,8 +309,16 @@ private:
   };
 
   /// Shared admission path of submit()/submitWithDeadline().
-  std::future<Verdict> submitImpl(data::Sample S, bool HasDeadline,
-                                  Clock::time_point Deadline);
+  std::future<Verdict> submitImpl(std::string Tenant, data::Sample S,
+                                  bool HasDeadline, Clock::time_point Deadline);
+
+  /// Shared admission path of the trySubmit() overloads.
+  bool trySubmitImpl(std::string Tenant, data::Sample S,
+                     std::future<Verdict> &Out);
+
+  /// Counts one shed request against its tenant split (fleet mode only;
+  /// caller holds Mutex).
+  void countShedLocked(const Request &Req);
 
   /// Fails \p Req's promise with ShedError(\p Reason). Called outside
   /// Mutex (set_exception wakes waiters synchronously).
@@ -258,8 +329,10 @@ private:
   void evictExpiredLocked(Clock::time_point Now, std::vector<Request> &Out);
 
   void batcherLoop();
+  void spawnBatchers(); ///< Shared constructor tail.
 
-  const PromClassifier &Engine;
+  const PromClassifier *Engine; ///< Single-tenant engine (null in fleet mode).
+  DetectorRegistry *Fleet;      ///< Fleet registry (null in single-tenant mode).
   ServiceConfig Cfg;
   WindowedDriftMonitor *Monitor;
 

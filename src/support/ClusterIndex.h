@@ -113,6 +113,15 @@ public:
   /// Number of inverted lists (== built centroid count).
   size_t numLists() const { return Centroids.rows(); }
 
+  /// Heap bytes held by the index (centroid + grouped-row blocks and the
+  /// list bookkeeping); feeds the fleet registry's memory budget.
+  size_t memoryBytes() const {
+    return Centroids.memoryBytes() + Rows.memoryBytes() +
+           RowIds.capacity() * sizeof(uint32_t) +
+           ListOffsets.capacity() * sizeof(size_t) +
+           ListRMax.capacity() * sizeof(double);
+  }
+
   /// The K x dim centroid block (kernel-scannable).
   const FeatureMatrix &centroids() const { return Centroids; }
   /// The grouped member-embedding block; rows of list L occupy

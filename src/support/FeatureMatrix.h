@@ -54,6 +54,11 @@ public:
   size_t stride() const { return RowStride; }
   bool empty() const { return NumRows == 0; }
 
+  /// Heap bytes held by the flat data block (capacity, not size: the
+  /// block is what the allocator actually reserved). The fleet registry's
+  /// memory budget sums these estimates.
+  size_t memoryBytes() const { return Data.capacity() * sizeof(double); }
+
   double *rowPtr(size_t R) {
     assert(R < NumRows && "feature row out of range");
     return Data.data() + R * RowStride;

@@ -9,6 +9,7 @@
 #include "support/FaultInjection.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -246,7 +247,17 @@ bool prom::support::ensureDirectory(const std::string &Dir) {
   struct stat St;
   if (::stat(Dir.c_str(), &St) == 0)
     return S_ISDIR(St.st_mode);
-  return ::mkdir(Dir.c_str(), 0755) == 0;
+  // Create missing parents first (mkdir -p): walk the separators and
+  // mkdir each prefix, tolerating the ones that already exist.
+  for (size_t Pos = Dir.find('/', 1); Pos != std::string::npos;
+       Pos = Dir.find('/', Pos + 1)) {
+    std::string Prefix = Dir.substr(0, Pos);
+    if (::mkdir(Prefix.c_str(), 0755) != 0 && errno != EEXIST)
+      return false;
+  }
+  if (::mkdir(Dir.c_str(), 0755) != 0 && errno != EEXIST)
+    return false;
+  return ::stat(Dir.c_str(), &St) == 0 && S_ISDIR(St.st_mode);
 }
 
 std::vector<uint64_t>

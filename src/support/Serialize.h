@@ -115,8 +115,10 @@ private:
 /// File name of generation \p Gen ("snapshot.<Gen>.bin").
 std::string snapshotGenerationFile(uint64_t Gen);
 
-/// Creates \p Dir if it does not exist (single level). Returns false when
-/// the path cannot be used as a directory.
+/// Creates \p Dir if it does not exist, including missing parent
+/// components (mkdir -p semantics; fleet tenants nest their rotation
+/// directories under a common root). Returns false when the path cannot
+/// be used as a directory.
 bool ensureDirectory(const std::string &Dir);
 
 /// Generation numbers of every "snapshot.N.bin" in \p Dir, ascending.

@@ -1,0 +1,22 @@
+/*===- tests/CApiHeaderCheck.c - strict-C99 check of CApi.h --------*- C -*-===
+ *
+ * Part of the PROM reproduction. Distributed under the MIT license.
+ *
+ *===----------------------------------------------------------------------===*/
+/*
+ * Compiled with -std=c99 -pedantic -Werror (see CMakeLists.txt): any C++
+ * construct, implicit type, or missing include leaking into the public
+ * ABI header fails the build. Included twice to prove the include guard.
+ */
+
+#include "core/CApi.h"
+#include "core/CApi.h"
+
+/* Touch one symbol from each handle family so the declarations are used
+ * and the translation unit is not empty (empty TUs are a C99 constraint
+ * violation under -pedantic). */
+typedef prom_detector *(*prom_create_fn)(int, int, double);
+typedef prom_fleet *(*prom_fleet_create_fn)(size_t);
+
+const prom_create_fn prom_capi_header_check_create = prom_create;
+const prom_fleet_create_fn prom_capi_header_check_fleet = prom_fleet_create;

@@ -15,12 +15,14 @@
 #include "core/CApi.h"
 #include "core/Detector.h"
 #include "data/Split.h"
+#include "ml/HostModel.h"
 #include "ml/Linear.h"
 #include "support/Rng.h"
 #include "tests/TestHelpers.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <tuple>
 
@@ -262,8 +264,41 @@ prom_detector *makeCDetector(SharedFixture &S) {
 TEST(CApiTest, CreateRejectsInvalidArguments) {
   EXPECT_EQ(prom_create(1, 2, 0.1), nullptr);  // < 2 classes.
   EXPECT_EQ(prom_create(3, 0, 0.1), nullptr);  // No features.
-  prom_detector *D = prom_create(3, 2, -5.0);  // Bad epsilon -> default.
+  // A non-zero out-of-range epsilon is an error, not a silent fallback
+  // to the default (a -5.0 here used to produce a detector running at
+  // epsilon 0.1 while the host believed its own setting was live).
+  EXPECT_EQ(prom_create(3, 2, -5.0), nullptr);
+  EXPECT_EQ(prom_create(3, 2, 1.0), nullptr);
+  EXPECT_EQ(prom_create(3, 2, 17.0), nullptr);
+  prom_detector *D = prom_create(3, 2, 0.0); // 0 = "use the default".
   ASSERT_NE(D, nullptr);
+  prom_destroy(D);
+}
+
+TEST(CApiTest, DoubleFinalizeIsNoop) {
+  // Repeat prom_finalize() calls are a defined no-op success: the
+  // calibrated state stays live and verdicts are unchanged bit for bit
+  // (a second finalize used to rescore the already-finalized store).
+  SharedFixture &S = fixture();
+  prom_detector *D = makeCDetector(S);
+  ASSERT_NE(D, nullptr);
+
+  const data::Sample &Smp = S.Test[0];
+  std::vector<double> P = S.Model.predictProba(Smp);
+  double CredBefore = -1.0, ConfBefore = -1.0;
+  int Before = prom_should_reject(D, P.data(), Smp.Features.data(),
+                                  &CredBefore, &ConfBefore);
+  ASSERT_GE(Before, 0);
+
+  EXPECT_EQ(prom_finalize(D), 0); // Second finalize: no-op success.
+  EXPECT_EQ(prom_finalize(D), 0); // And a third.
+
+  double CredAfter = -1.0, ConfAfter = -1.0;
+  int After = prom_should_reject(D, P.data(), Smp.Features.data(),
+                                 &CredAfter, &ConfAfter);
+  EXPECT_EQ(Before, After);
+  EXPECT_EQ(CredBefore, CredAfter); // Bit-equal.
+  EXPECT_EQ(ConfBefore, ConfAfter);
   prom_destroy(D);
 }
 
@@ -311,6 +346,66 @@ TEST(CApiTest, PredictedLabelIsArgmax) {
   ASSERT_NE(D, nullptr);
   double Probs[3] = {0.1, 0.7, 0.2};
   EXPECT_EQ(prom_predicted_label(D, Probs), 1);
+  prom_destroy(D);
+}
+
+TEST(CApiTest, VerdictsBitIdenticalToPromClassifier) {
+  // The C ABI rides the full C++ detector stack over the host-output
+  // adapter, so a C verdict must be bit-equal — decision, credibility,
+  // confidence — to a PromClassifier built over the same packed model
+  // outputs. This is the round-trip contract that makes the C boundary
+  // a transport, not a reimplementation.
+  SharedFixture &S = fixture();
+  prom_detector *D = makeCDetector(S);
+  ASSERT_NE(D, nullptr);
+
+  ml::HostOutputClassifier Host(/*NumClasses=*/4, /*FeatureDim=*/2);
+  PromConfig Cfg;
+  Cfg.Epsilon = 0.1; // makeCDetector's epsilon.
+  PromClassifier Ref(Host, Cfg);
+  data::Dataset Packed;
+  for (const data::Sample &Smp : S.Calib.samples()) {
+    std::vector<double> P = S.Model.predictProba(Smp);
+    Packed.add(ml::HostOutputClassifier::pack(P.data(), Smp.Features.data(),
+                                              4, 2, Smp.Label));
+  }
+  Ref.calibrate(Packed);
+
+  const size_t N = std::min<size_t>(64, S.Test.size());
+  std::vector<double> Probs, Feats;
+  for (size_t I = 0; I < N; ++I) {
+    const data::Sample &Smp = S.Test[I];
+    std::vector<double> P = S.Model.predictProba(Smp);
+    Probs.insert(Probs.end(), P.begin(), P.end());
+    Feats.insert(Feats.end(), Smp.Features.begin(), Smp.Features.end());
+
+    double Cred = -1.0, Conf = -1.0;
+    int Flag = prom_should_reject(D, P.data(), Smp.Features.data(), &Cred,
+                                  &Conf);
+    ASSERT_GE(Flag, 0);
+    Verdict V = Ref.assess(ml::HostOutputClassifier::pack(
+        P.data(), Smp.Features.data(), 4, 2));
+    EXPECT_EQ(Flag == 1, V.Drifted) << "sample " << I;
+    EXPECT_EQ(Cred, V.meanCredibility()) << "sample " << I; // Bit-equal.
+    EXPECT_EQ(Conf, V.meanConfidence()) << "sample " << I;
+  }
+
+  // The batched C entry point is element-wise bit-identical too.
+  std::vector<int> Reject(N, -1);
+  std::vector<double> Cred(N, -1.0), Conf(N, -1.0);
+  ASSERT_EQ(prom_assess_batch(D, N, Probs.data(), Feats.data(),
+                              Reject.data(), Cred.data(), Conf.data()),
+            0);
+  for (size_t I = 0; I < N; ++I) {
+    const data::Sample &Smp = S.Test[I];
+    std::vector<double> P = S.Model.predictProba(Smp);
+    double C1 = -1.0, C2 = -1.0;
+    int Flag = prom_should_reject(D, P.data(), Smp.Features.data(), &C1,
+                                  &C2);
+    EXPECT_EQ(Reject[I], Flag) << "sample " << I;
+    EXPECT_EQ(Cred[I], C1) << "sample " << I;
+    EXPECT_EQ(Conf[I], C2) << "sample " << I;
+  }
   prom_destroy(D);
 }
 
